@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation — §5 future work: asynchronous eviction orchestration.
+ *
+ * "Asynchronous mechanisms to perform these GPU orchestrations can help
+ * reduce the associated costs upon demand misses by performing some of
+ * these operations in the background." GMT-Reuse with eviction work on
+ * vs off the faulting warp's critical path.
+ */
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Ablation: asynchronous eviction (§5)");
+    RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t("GMT-Reuse speedup over BaM: synchronous vs "
+                   "asynchronous eviction");
+    t.header({"App", "sync eviction", "async eviction", "gain"});
+    std::vector<double> sync_s, async_s;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto bam = runSystem(System::Bam, cfg, info.name);
+        cfg.asyncEviction = false;
+        const auto sync = runSystem(System::GmtReuse, cfg, info.name);
+        cfg.asyncEviction = true;
+        const auto async = runSystem(System::GmtReuse, cfg, info.name);
+        sync_s.push_back(sync.speedupOver(bam));
+        async_s.push_back(async.speedupOver(bam));
+        t.row({info.name, stats::Table::num(sync_s.back()),
+               stats::Table::num(async_s.back()),
+               stats::Table::num(async_s.back() / sync_s.back())});
+    }
+    t.row({"geo-mean", stats::Table::num(meanSpeedup(sync_s)),
+           stats::Table::num(meanSpeedup(async_s)),
+           stats::Table::num(meanSpeedup(async_s)
+                             / meanSpeedup(sync_s))});
+    emit(t, opt);
+    return 0;
+}

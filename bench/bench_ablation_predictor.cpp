@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Ablation — the Figure 5 Markov predictor vs plain persistence.
+ *
+ * GMT-Reuse with the 3-state Markov chain vs a degraded predictor that
+ * always repeats the last correct tier. Apps whose per-page RRDs
+ * alternate (PageRank's src/dst swap, Backprop's fwd/bwd asymmetry)
+ * should benefit from the chain; constant-RRD apps should not care.
+ */
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Ablation: Markov predictor vs persistence");
+    RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t("GMT-Reuse accuracy and speedup: Markov vs "
+                   "last-tier persistence");
+    t.header({"App", "Markov acc", "persist acc", "Markov speedup",
+              "persist speedup"});
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto bam = runSystem(System::Bam, cfg, info.name);
+        cfg.markovPredictor = true;
+        const auto markov = runSystem(System::GmtReuse, cfg, info.name);
+        cfg.markovPredictor = false;
+        const auto persist = runSystem(System::GmtReuse, cfg, info.name);
+        t.row({info.name,
+               stats::Table::pct(markov.predictionAccuracy()),
+               stats::Table::pct(persist.predictionAccuracy()),
+               stats::Table::num(markov.speedupOver(bam)),
+               stats::Table::num(persist.speedupOver(bam))});
+    }
+    emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation — transfer scheme inside the full runtime (§2.3).
+ *
+ * GMT-Reuse with Tier-1<->Tier-2 transfers forced to always-DMA,
+ * always-zero-copy, or the paper's Hybrid-32T. Since runtime transfers
+ * are mostly small batches, Hybrid-32T should track DMA and zero-copy
+ * should pay its per-batch pin overhead.
+ */
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Ablation: transfer scheme in the full runtime");
+    RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t("GMT-Reuse speedup over BaM per transfer scheme");
+    t.header({"App", "Hybrid-32T", "DMA only", "zero-copy only"});
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto bam = runSystem(System::Bam, cfg, info.name);
+        cfg.transferScheme = pcie::TransferScheme::Hybrid32T;
+        const auto hybrid = runSystem(System::GmtReuse, cfg, info.name);
+        cfg.transferScheme = pcie::TransferScheme::DmaOnly;
+        const auto dma = runSystem(System::GmtReuse, cfg, info.name);
+        cfg.transferScheme = pcie::TransferScheme::ZeroCopyOnly;
+        const auto zc = runSystem(System::GmtReuse, cfg, info.name);
+        t.row({info.name, stats::Table::num(hybrid.speedupOver(bam)),
+               stats::Table::num(dma.speedupOver(bam)),
+               stats::Table::num(zc.speedupOver(bam))});
+    }
+    emit(t, opt);
+    return 0;
+}

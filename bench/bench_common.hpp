@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration benches.
+ *
+ * Every bench binary regenerates one of the paper's tables/figures:
+ * it prints the Table 1 platform banner, builds the §3.1 default
+ * configuration (optionally shrunk by --quick for CI), runs the systems
+ * it needs, and prints rows in the same shape the paper reports —
+ * annotated with the paper's published value where the text states one.
+ */
+
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/trace_analysis.hpp"
+#include "stats/table.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::bench
+{
+
+/** Command-line switches shared by all benches. */
+struct BenchOptions
+{
+    bool quick = false; ///< quarter-scale runs for CI
+    bool csv = false;   ///< machine-readable output
+};
+
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0)
+            opt.quick = true;
+        else if (std::strcmp(argv[i], "--csv") == 0)
+            opt.csv = true;
+        else
+            fatal("unknown bench option '%s' (expected --quick/--csv)",
+                  argv[i]);
+    }
+    return opt;
+}
+
+/** Print the Table 1 platform banner (the simulated system). */
+inline void
+printPlatformBanner(const char *bench_name)
+{
+    std::printf("GMT reproduction bench: %s\n", bench_name);
+    std::printf("Simulated platform (Table 1, capacities at 1:1024 "
+                "scale):\n"
+                "  GPU    : A100-class SIMT access engine, 64 KiB pages\n"
+                "  SSD    : Samsung 970 EVO Plus class (3.4/3.2 GB/s, "
+                "~110 us read media latency)\n"
+                "  PCIe   : Gen3 x16 (12 GB/s usable)\n"
+                "  Tiers  : T1 = GPU memory, T2 = host pinned memory, "
+                "T3 = SSD\n");
+}
+
+/** §3.1 default config, optionally shrunk for --quick runs. */
+inline RuntimeConfig
+defaultConfig(const BenchOptions &opt)
+{
+    RuntimeConfig cfg = RuntimeConfig::paperDefault();
+    if (opt.quick) {
+        cfg.tier1Pages /= 4;
+        cfg.tier2Pages /= 4;
+        cfg.setOversubscription(2.0);
+        cfg.sampleTarget /= 4;
+    }
+    return cfg;
+}
+
+/** Render a table as ASCII or CSV per options. */
+inline void
+emit(const stats::Table &table, const BenchOptions &opt)
+{
+    if (opt.csv)
+        table.printCsv();
+    else
+        table.print();
+}
+
+/** Names of the nine apps in Table 2 order. */
+inline std::vector<std::string>
+appNames()
+{
+    std::vector<std::string> names;
+    for (const auto &info : workloads::allWorkloads())
+        names.push_back(info.name);
+    return names;
+}
+
+} // namespace gmt::bench

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10 — the costs of having a Tier-2 (§3.4).
+ *
+ * 10a: wasteful Tier-2 lookups (probe missed) as a percentage of
+ *      Tier-1 misses: GMT-Reuse fewest, GMT-TierOrder worst.
+ * 10b: pages placed into Tier-2 and pages fetched from Tier-2, each as
+ *      a percentage of BaM's GPU<->SSD transfers; matched halves mean
+ *      placements are actually being reused.
+ */
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Figure 10 (Tier-2 overheads)");
+    const RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t10a("Figure 10a: wasteful Tier-2 lookups "
+                      "(% of Tier-1 misses)");
+    t10a.header({"App", "GMT-TierOrder", "GMT-Random", "GMT-Reuse"});
+    stats::Table t10b("Figure 10b: Tier-1->Tier-2 placements and "
+                      "Tier-2->Tier-1 fetches (% of BaM SSD transfers)");
+    t10b.header({"App", "TierOrder place/fetch", "Random place/fetch",
+                 "Reuse place/fetch"});
+
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto bam = runSystem(System::Bam, cfg, info.name);
+        const double bam_io = double(bam.ssdReads + bam.ssdWrites);
+
+        std::vector<std::string> rowa = {info.name};
+        std::vector<std::string> rowb = {info.name};
+        for (auto sys : {System::GmtTierOrder, System::GmtRandom,
+                         System::GmtReuse}) {
+            const auto r = runSystem(sys, cfg, info.name);
+            rowa.push_back(stats::Table::pct(
+                r.tier1Misses
+                    ? double(r.wastefulLookups) / double(r.tier1Misses)
+                    : 0.0));
+            rowb.push_back(
+                stats::Table::pct(double(r.evictToTier2) / bam_io) + " / "
+                + stats::Table::pct(double(r.tier2Fetches) / bam_io));
+        }
+        t10a.row(rowa);
+        t10b.row(rowb);
+    }
+    emit(t10a, opt);
+    emit(t10b, opt);
+    std::printf("Paper: GMT-Reuse has the fewest unnecessary lookups; "
+                "GMT-TierOrder is worst. In 10b the two halves should "
+                "match most closely for GMT-Reuse.\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 7 — per-application RRD distributions at Tier-1 eviction,
+ * with the Tier-1 and Tier-1+Tier-2 capacity demarcations, plus the
+ * page-reuse percentage printed above each plot in the paper.
+ */
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Figure 7 (RRD distributions)");
+    const RuntimeConfig cfg = defaultConfig(opt);
+    const std::uint64_t t1 = cfg.tier1Pages;
+    const std::uint64_t t12 = cfg.tier1Pages + cfg.tier2Pages;
+
+    stats::Table t("Figure 7: RRD distribution at Tier-1 evictions "
+                   "(fraction of reused evictions per tier band)");
+    t.header({"App", "Reuse%", "RRD<T1", "T1<=RRD<T1+T2", "RRD>=T1+T2",
+              "never-reused evictions", "paper bias"});
+
+    for (const auto &info : workloads::allWorkloads()) {
+        workloads::WorkloadConfig wc;
+        wc.pages = cfg.numPages;
+        wc.seed = cfg.seed + 13;
+        auto stream = workloads::makeWorkload(info.name, wc);
+        const TraceAnalysis a = analyzeStream(*stream, t1);
+
+        std::uint64_t never = 0;
+        for (const auto &e : a.evictions)
+            never += e.reusedAgain ? 0 : 1;
+
+        t.row({info.name, stats::Table::num(a.reusePct(), 1),
+               stats::Table::pct(a.rrdFractionBetween(0, t1)),
+               stats::Table::pct(a.rrdFractionBetween(t1, t12)),
+               stats::Table::pct(a.rrdFractionBetween(
+                   t12, std::uint64_t(1) << 62)),
+               std::to_string(never), info.rrdBias});
+    }
+    emit(t, opt);
+    std::printf("Tier demarcations: |T1| = %llu pages, |T1|+|T2| = %llu "
+                "pages (vertical lines in the paper's plots).\n",
+                (unsigned long long)t1, (unsigned long long)t12);
+    return 0;
+}

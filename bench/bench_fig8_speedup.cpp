@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 8 — the headline result.
+ *
+ * 8a: speedup of GMT-{TierOrder, Random, Reuse} over BaM for all nine
+ *     Table 2 applications (paper averages: 1.07 / 1.24 / 1.50).
+ * 8b: SSD I/O of each policy relative to BaM (the Tier-2 hit-rate
+ *     mechanism behind the speedups).
+ *
+ * Configuration matches §3.1: Tier-1 = 16 GB, Tier-2 = 64 GB (both at
+ * 1:1024 scale), oversubscription factor 2.
+ */
+
+#include <map>
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Figure 8 (speedup over BaM, Tier-1=16GB, "
+                        "Tier-2=64GB, OSF=2)");
+    const RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t8a("Figure 8a: Speedup over BaM");
+    t8a.header({"App", "GMT-TierOrder", "GMT-Random", "GMT-Reuse",
+                "Paper(GMT-Reuse approx)"});
+    stats::Table t8b("Figure 8b: SSD I/O relative to BaM (reads+writes)");
+    t8b.header({"App", "BaM(GB)", "TierOrder", "Random", "Reuse"});
+
+    // Per-app GMT-Reuse speedups read off the paper's Figure 8a bars.
+    const std::map<std::string, double> paper_reuse = {
+        {"lavaMD", 0.88},    {"Pathfinder", 1.25},
+        {"BFS", 1.28},       {"MultiVectorAdd", 1.40},
+        {"Srad", 2.33},      {"Backprop", 2.79},
+        {"PageRank", 1.18},  {"SSSP", 1.13},
+        {"Hotspot", 2.25},
+    };
+
+    std::vector<double> sp_order, sp_random, sp_reuse;
+    for (const auto &app : appNames()) {
+        const auto bam = runSystem(System::Bam, cfg, app);
+        const auto order = runSystem(System::GmtTierOrder, cfg, app);
+        const auto random = runSystem(System::GmtRandom, cfg, app);
+        const auto reuse = runSystem(System::GmtReuse, cfg, app);
+
+        sp_order.push_back(order.speedupOver(bam));
+        sp_random.push_back(random.speedupOver(bam));
+        sp_reuse.push_back(reuse.speedupOver(bam));
+
+        t8a.row({app, stats::Table::num(sp_order.back()),
+                 stats::Table::num(sp_random.back()),
+                 stats::Table::num(sp_reuse.back()),
+                 stats::Table::num(paper_reuse.at(app))});
+
+        const double bam_gb = double(bam.ssdBytes()) / double(1_GiB)
+                              * double(kCapacityScale);
+        auto rel = [&](const ExperimentResult &r) {
+            return stats::Table::pct(double(r.ssdBytes())
+                                     / double(bam.ssdBytes()));
+        };
+        t8b.row({app, stats::Table::num(bam_gb, 1), rel(order),
+                 rel(random), rel(reuse)});
+    }
+    t8a.row({"geo-mean", stats::Table::num(meanSpeedup(sp_order)),
+             stats::Table::num(meanSpeedup(sp_random)),
+             stats::Table::num(meanSpeedup(sp_reuse)),
+             "1.50 (avg; 1.07/1.24 for TierOrder/Random)"});
+
+    emit(t8a, opt);
+    emit(t8b, opt);
+    return 0;
+}

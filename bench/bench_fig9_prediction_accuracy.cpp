@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Figure 9 — GMT-Reuse tier-prediction accuracy per application, for
+ * the same runs as Figure 8 (Tier-1 = 16 GB, Tier-2 = 64 GB, OSF 2).
+ */
+
+#include "bench_common.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Figure 9 (GMT-Reuse prediction accuracy)");
+    const RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t("Figure 9: Prediction accuracy of GMT-Reuse");
+    t.header({"App", "validated predictions", "accuracy",
+              "paper expectation"});
+    for (const auto &info : workloads::allWorkloads()) {
+        const ExperimentResult r =
+            runSystem(System::GmtReuse, cfg, info.name);
+        const char *expect = info.name == "lavaMD"
+            ? "low (hardly any history)"
+            : "fairly high";
+        t.row({info.name, std::to_string(r.predTotal),
+               stats::Table::pct(r.predictionAccuracy()), expect});
+    }
+    emit(t, opt);
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Ablation — GMT-Reuse vs a Belady-style oracle bound.
+ *
+ * For every application: the maximum Tier-2 hits an oracle with exact
+ * future knowledge could extract from the same Tier-1 eviction stream
+ * (k-slot interval scheduling over true reuse intervals), next to what
+ * GMT-Reuse's practical predictor actually achieved. This quantifies
+ * how much headroom is left on the table by the sampling + Markov
+ * approximation of Belady's OPT (§2.1.3).
+ */
+
+#include "bench_common.hpp"
+#include "harness/oracle.hpp"
+
+using namespace gmt;
+using namespace gmt::bench;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const BenchOptions opt = parseOptions(argc, argv);
+    printPlatformBanner("Oracle comparison (Belady-style Tier-2 bound)");
+    const RuntimeConfig cfg = defaultConfig(opt);
+
+    stats::Table t("Tier-2 hits: oracle bound vs GMT-Reuse");
+    t.header({"App", "reused evictions", "oracle bound (T2 slots)",
+              "GMT-Reuse hits", "achieved/bound"});
+    for (const auto &info : workloads::allWorkloads()) {
+        workloads::WorkloadConfig wc;
+        wc.pages = cfg.numPages;
+        wc.seed = cfg.seed + 13;
+        auto stream = workloads::makeWorkload(info.name, wc);
+        const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
+        const OracleBound bound = oracleTier2Bound(a, cfg.tier2Pages);
+
+        const ExperimentResult reuse =
+            runSystem(System::GmtReuse, cfg, info.name);
+
+        const double frac = bound.tier2HitBound
+            ? double(reuse.tier2Hits) / double(bound.tier2HitBound)
+            : 0.0;
+        t.row({info.name, std::to_string(bound.reusedEvictions),
+               std::to_string(bound.tier2HitBound),
+               std::to_string(reuse.tier2Hits),
+               stats::Table::pct(frac)});
+    }
+    emit(t, opt);
+    std::printf("Note: the bound is computed on a single-warp reference "
+                "trace; the runtime's warp interleaving shifts miss "
+                "counts slightly, so ratios slightly above 100%% are "
+                "possible on hit-amplifying schedules.\n");
+    return 0;
+}

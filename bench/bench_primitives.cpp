@@ -1,0 +1,106 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks over GMT's core data structures:
+ * the hot-path costs that bound the simulator's own throughput and
+ * document the cost model of the software structures GMT relies on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "mem/frame_pool.hpp"
+#include "replacement/policy.hpp"
+#include "reuse/olken_tree.hpp"
+#include "reuse/ols_regressor.hpp"
+#include "sim/channel.hpp"
+#include "sim/event_queue.hpp"
+#include "tier2/directory.hpp"
+#include "util/rng.hpp"
+
+using namespace gmt;
+
+static void
+BM_OlkenTreeAccess(benchmark::State &state)
+{
+    const std::uint64_t pages = state.range(0);
+    reuse::OlkenTree tree;
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tree.access(rng.below(pages)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OlkenTreeAccess)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 18);
+
+static void
+BM_DirectoryLookup(benchmark::State &state)
+{
+    tier2::Directory dir(4096);
+    Rng rng(2);
+    for (PageId p = 0; p < 4096; ++p)
+        dir.insert(p * 7, FrameId(p));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dir.find(rng.below(8192) * 7));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DirectoryLookup);
+
+static void
+BM_ClockVictimSelection(benchmark::State &state)
+{
+    const std::uint64_t frames = state.range(0);
+    mem::FramePool pool(frames);
+    auto clock = replacement::makeClock(frames);
+    for (std::uint64_t i = 0; i < frames; ++i)
+        clock->onInsert(pool.allocate(i));
+    Rng rng(3);
+    for (auto _ : state) {
+        const FrameId v = clock->selectVictim(pool);
+        benchmark::DoNotOptimize(v);
+        clock->onAccess(FrameId(rng.below(frames)));
+        clock->onInsert(v);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClockVictimSelection)->Arg(256)->Arg(4096);
+
+static void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    sim::EventQueue q;
+    Rng rng(4);
+    int sink = 0;
+    for (int i = 0; i < 64; ++i)
+        q.scheduleAt(rng.below(1000), [&] { ++sink; });
+    for (auto _ : state) {
+        q.scheduleAt(q.now() + rng.below(1000) + 1, [&] { ++sink; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueChurn);
+
+static void
+BM_BandwidthChannelTransfer(benchmark::State &state)
+{
+    sim::BandwidthChannel ch("bench", 12e9, 1000);
+    SimTime now = 0;
+    for (auto _ : state) {
+        now = ch.transferAt(now, 64 * 1024);
+        benchmark::DoNotOptimize(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BandwidthChannelTransfer);
+
+static void
+BM_OlsRegressorSample(benchmark::State &state)
+{
+    reuse::OlsRegressor ols;
+    Rng rng(5);
+    for (auto _ : state)
+        ols.addSample(double(rng.below(10000)), double(rng.below(5000)));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OlsRegressorSample);
+
+BENCHMARK_MAIN();

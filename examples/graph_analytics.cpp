@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Graph analytics example: out-of-core PageRank.
+ *
+ * The motivating scenario from the paper's introduction — a graph whose
+ * rank/edge data exceed GPU and host memory combined (oversubscription
+ * factor 2) — run on all four systems of the evaluation. Prints the
+ * per-system time, where misses were served, and the speedups, i.e. a
+ * miniature Figure 8/14 for one irregular, data-dependent application.
+ *
+ * Build & run:  ./build/examples/graph_analytics [oversubscription]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/experiment.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    double osf = 2.0;
+    if (argc > 1)
+        osf = std::atof(argv[1]);
+    if (osf <= 0.0)
+        osf = 2.0;
+
+    RuntimeConfig cfg = RuntimeConfig::paperDefault();
+    cfg.setOversubscription(osf);
+    std::printf("PageRank on a synthetic Kron graph\n");
+    std::printf("  working set %llu pages (%.1f GB at paper scale), "
+                "oversubscription %.1fx\n\n",
+                (unsigned long long)cfg.numPages,
+                double(cfg.numPages * kPageBytes) / double(1_GiB)
+                    * double(kCapacityScale),
+                osf);
+
+    ExperimentResult bam;
+    std::printf("%-14s %12s %10s %12s %12s %9s\n", "system",
+                "sim time(ms)", "T1 hit%", "T2 hits", "SSD reads",
+                "speedup");
+    for (const System sys : {System::Bam, System::Hmm,
+                             System::GmtTierOrder, System::GmtRandom,
+                             System::GmtReuse}) {
+        const ExperimentResult r = runSystem(sys, cfg, "PageRank");
+        if (sys == System::Bam)
+            bam = r;
+        std::printf("%-14s %12.2f %9.1f%% %12llu %12llu %8.2fx\n",
+                    r.system.c_str(), double(r.makespanNs) / 1e6,
+                    100.0 * double(r.tier1Hits) / double(r.accesses),
+                    (unsigned long long)r.tier2Hits,
+                    (unsigned long long)r.ssdReads, r.speedupOver(bam));
+    }
+    std::printf("\nGMT-Reuse keeps the graph's hot rank pages near the "
+                "GPU and parks medium-reuse pages in host memory, while "
+                "HMM pays the host fault pipeline on every miss.\n");
+    return 0;
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Policy explorer: a small CLI over the full public API.
+ *
+ *   policy_explorer <workload> [--policy reuse|random|tierorder|bam|hmm]
+ *                   [--tier1-gb N] [--tier2-gb N] [--osf F]
+ *                   [--warps N] [--transfer dma|zerocopy|hybrid32]
+ *
+ * Runs one configuration and prints every counter the runtime exports —
+ * the tool to answer "what would GMT do on MY workload shape?".
+ *
+ * Example:
+ *   ./build/examples/policy_explorer Srad --policy tierorder --osf 4
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: policy_explorer <workload> [--policy P] "
+                 "[--tier1-gb N] [--tier2-gb N] [--osf F] [--warps N] "
+                 "[--transfer T]\n  workloads:");
+    for (const auto &info : workloads::allWorkloads())
+        std::fprintf(stderr, " %s", info.name.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string workload = argv[1];
+
+    RuntimeConfig cfg = RuntimeConfig::paperDefault();
+    std::string policy = "reuse";
+    double osf = 2.0;
+    unsigned warps = 64;
+    std::uint64_t t1_gb = 16, t2_gb = 64;
+
+    for (int i = 2; i < argc; ++i) {
+        auto need = [&](const char *flag) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                usage();
+            }
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--policy"))
+            policy = need("--policy");
+        else if (!std::strcmp(argv[i], "--tier1-gb"))
+            t1_gb = std::strtoull(need("--tier1-gb"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--tier2-gb"))
+            t2_gb = std::strtoull(need("--tier2-gb"), nullptr, 10);
+        else if (!std::strcmp(argv[i], "--osf"))
+            osf = std::atof(need("--osf"));
+        else if (!std::strcmp(argv[i], "--warps"))
+            warps = unsigned(std::atoi(need("--warps")));
+        else if (!std::strcmp(argv[i], "--transfer"))
+            cfg.transferScheme = pcie::schemeFromName(need("--transfer"));
+        else
+            usage();
+    }
+    cfg.tier1Pages = scaledPagesForGiB(t1_gb);
+    cfg.tier2Pages = scaledPagesForGiB(t2_gb);
+    cfg.setOversubscription(osf > 0 ? osf : 2.0);
+
+    System sys = System::GmtReuse;
+    if (policy == "reuse")
+        sys = System::GmtReuse;
+    else if (policy == "random")
+        sys = System::GmtRandom;
+    else if (policy == "tierorder")
+        sys = System::GmtTierOrder;
+    else if (policy == "bam")
+        sys = System::Bam;
+    else if (policy == "hmm")
+        sys = System::Hmm;
+    else
+        usage();
+
+    // Run the chosen system and BaM as the reference point.
+    const ExperimentResult r = runSystem(sys, cfg, workload, warps);
+    const ExperimentResult bam = runSystem(System::Bam, cfg, workload,
+                                           warps);
+
+    std::printf("%s on %s  (T1 %llu GB, T2 %llu GB, OSF %.1f, %u "
+                "warps)\n\n",
+                r.system.c_str(), workload.c_str(),
+                (unsigned long long)t1_gb, (unsigned long long)t2_gb,
+                osf, warps);
+    auto line = [](const char *k, std::uint64_t v) {
+        std::printf("  %-22s %llu\n", k, (unsigned long long)v);
+    };
+    std::printf("  %-22s %.3f ms\n", "simulated time",
+                double(r.makespanNs) / 1e6);
+    line("accesses", r.accesses);
+    line("tier1 hits", r.tier1Hits);
+    line("tier1 misses", r.tier1Misses);
+    line("tier2 lookups", r.tier2Lookups);
+    line("tier2 hits", r.tier2Hits);
+    line("wasteful lookups", r.wastefulLookups);
+    line("ssd reads", r.ssdReads);
+    line("ssd writes", r.ssdWrites);
+    line("tier1 evictions", r.tier1Evictions);
+    line("placed into tier2", r.evictToTier2);
+    line("overflow redirects", r.overflowRedirects);
+    if (r.predTotal) {
+        std::printf("  %-22s %.1f%% (%llu validated)\n",
+                    "prediction accuracy",
+                    100.0 * r.predictionAccuracy(),
+                    (unsigned long long)r.predTotal);
+    }
+    std::printf("  %-22s %.2fx\n", "speedup over BaM",
+                r.speedupOver(bam));
+    return 0;
+}

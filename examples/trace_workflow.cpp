@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trace workflow example: capture once, replay everywhere.
+ *
+ * Records the PageRank access stream to a binary trace file, then
+ * replays the *identical* stimulus against every system — the workflow
+ * for comparing policies on traces captured from real applications
+ * (and for archiving the exact stimulus behind a reported number).
+ *
+ * Build & run:  ./build/examples/trace_workflow [trace-path]
+ */
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "workloads/trace_file.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+int
+main(int argc, char **argv)
+{
+    const std::string path =
+        argc > 1 ? argv[1] : "/tmp/gmt_pagerank.trace";
+
+    RuntimeConfig cfg = RuntimeConfig::paperDefault();
+
+    // --- 1. Capture the workload once. ------------------------------
+    workloads::WorkloadConfig wc;
+    wc.pages = cfg.numPages;
+    wc.warps = 64;
+    wc.seed = cfg.seed + 13;
+    auto original = workloads::makeWorkload("PageRank", wc);
+    const std::uint64_t accesses =
+        workloads::TraceRecorder::record(*original, path);
+    std::printf("recorded %llu accesses of %s to %s\n\n",
+                (unsigned long long)accesses, original->name().c_str(),
+                path.c_str());
+
+    // --- 2. Replay the identical stimulus on every system. ----------
+    workloads::TraceReplayStream replay(path);
+    std::printf("%-14s %12s %10s %12s %9s\n", "system", "sim time(ms)",
+                "T1 hit%", "SSD reads", "speedup");
+    SimTime bam_time = 0;
+    for (const System sys : {System::Bam, System::GmtTierOrder,
+                             System::GmtRandom, System::GmtReuse}) {
+        auto runtime = makeSystem(sys, cfg);
+        const ExperimentResult r = runOne(*runtime, replay);
+        if (sys == System::Bam)
+            bam_time = r.makespanNs;
+        std::printf("%-14s %12.2f %9.1f%% %12llu %8.2fx\n",
+                    r.system.c_str(), double(r.makespanNs) / 1e6,
+                    100.0 * double(r.tier1Hits) / double(r.accesses),
+                    (unsigned long long)r.ssdReads,
+                    double(bam_time) / double(r.makespanNs));
+    }
+    std::printf("\nEvery system above consumed byte-identical input — "
+                "the differences are policy, nothing else.\n");
+    std::remove(path.c_str());
+    return 0;
+}

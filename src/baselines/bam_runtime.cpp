@@ -1,0 +1,15 @@
+#include "baselines/bam_runtime.hpp"
+
+#include "core/gmt_runtime.hpp"
+
+namespace gmt::baselines
+{
+
+std::unique_ptr<TieredRuntime>
+makeBamRuntime(RuntimeConfig cfg)
+{
+    cfg.tier2Pages = 0;
+    return std::make_unique<GmtRuntime>(cfg);
+}
+
+} // namespace gmt::baselines

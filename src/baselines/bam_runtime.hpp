@@ -1,0 +1,30 @@
+/**
+ * @file
+ * BaM baseline (§3.1): GPU-orchestrated 2-tier hierarchy.
+ *
+ * BaM is exactly GMT with the host-memory tier removed — misses go
+ * straight to the SSD through GPU-resident NVMe queues, evictions are
+ * discarded when clean and written to the SSD when dirty, and no Tier-2
+ * directory probe ever happens. GmtRuntime already implements that
+ * degenerate mode when tier2Pages == 0 (and reports its name as "BaM"),
+ * so the baseline is a configuration guard rather than a re-implementation
+ * — which also guarantees the BaM and GMT numbers differ *only* by the
+ * Tier-2 mechanisms the paper evaluates.
+ */
+
+#pragma once
+
+#include <memory>
+
+#include "core/runtime.hpp"
+
+namespace gmt::baselines
+{
+
+/**
+ * Build a BaM runtime from @p cfg (its tier2Pages is forced to zero;
+ * every other parameter — SSD, queues, working set — is honored).
+ */
+std::unique_ptr<TieredRuntime> makeBamRuntime(RuntimeConfig cfg);
+
+} // namespace gmt::baselines

@@ -1,0 +1,155 @@
+#include "baselines/hmm_runtime.hpp"
+
+#include <algorithm>
+
+#include "pcie/params.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::baselines
+{
+
+HmmRuntime::HmmRuntime(const RuntimeConfig &config,
+                       const HmmParams &hmm_params)
+    : TieredRuntime(config), hp(hmm_params),
+      tier1(pt, config.tier1Pages),
+      hostCache(pt, config.tier2Pages, "clock"),
+      pcieLink("pcie-x16", pcie::kLinkBandwidth, pcie::kLinkLatencyNs),
+      dma(pcieLink, 1), // UVM's serialized migration path
+      faultPipeline("hmm-fault-pipeline", hmm_params.hostHandlers),
+      nvme(config.ssd, 1, config.nvmeQueueDepth, config.numSsds)
+{
+    GMT_ASSERT(config.tier2Pages > 0); // HMM always has a page cache
+}
+
+AccessResult
+HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
+{
+    (void)warp; // the host, not the warp, orchestrates everything
+    GMT_ASSERT(page < cfg.numPages);
+    stats.get("accesses").inc();
+
+    mem::PageMeta &m = pt.meta(page);
+    ++m.accessCount;
+
+    const cache::LookupResult lr = tier1.lookup(page);
+    if (lr.kind == cache::LookupResult::Kind::Hit) {
+        stats.get("tier1_hits").inc();
+        if (is_write)
+            tier1.markDirty(page);
+        AccessResult r;
+        r.readyAt = pageReadyAt(now, page);
+        r.tier1Hit = true;
+        return r;
+    }
+    stats.get("tier1_misses").inc();
+    stats.get("host_faults").inc();
+
+    // 1. Fault delivery stalls the warp before the host even sees it.
+    const SimTime delivered = now + hp.faultDeliveryNs;
+
+    // 2. The host fault pipeline serializes the software handling.
+    const SimTime handled =
+        faultPipeline.serviceAt(delivered, hp.faultServiceNs);
+
+    // 3. Data path: page cache, else SSD through the kernel.
+    stats.get("tier2_lookups").inc();
+    SimTime data_ready = handled;
+    const bool cached = hostCache.contains(page);
+    if (cached) {
+        stats.get("tier2_hits").inc();
+        hostCache.take(page);
+        stats.get("tier2_fetches").inc();
+    } else {
+        stats.get("wasteful_lookups").inc();
+        const SimTime io_done =
+            nvme.hostReadPage(handled + hp.filesystemNs, page);
+        stats.get("ssd_reads").inc();
+        data_ready = io_done;
+    }
+
+    // 4. Eviction is more host work, then the DMA migration up.
+    SimTime evict_done = handled;
+    if (tier1.full())
+        evict_done = evictToHost(handled);
+
+    const SimTime migrate_from =
+        std::max(cached ? handled : data_ready, evict_done);
+    const SimTime done = dma.transferPages(migrate_from, 1);
+
+    tier1.beginFetch(page, done);
+    tier1.finishFetch(page, is_write);
+    setPageReadyAt(page, done);
+
+    AccessResult r;
+    r.readyAt = done;
+    r.tier2Hit = cached;
+    return r;
+}
+
+SimTime
+HmmRuntime::evictToHost(SimTime now)
+{
+    const FrameId victim = tier1.selectVictim();
+    GMT_ASSERT(victim != kInvalidFrame);
+    const PageId vpage = tier1.evict(victim);
+    mem::PageMeta &vm = pt.meta(vpage);
+    ++vm.evictCount;
+    stats.get("tier1_evictions").inc();
+
+    // The host migrates every victim into its page cache (strict
+    // tier-order; HMM has no bypass), paying another pipeline job.
+    const SimTime handled = faultPipeline.serviceAt(now, hp.faultServiceNs);
+
+    SimTime t = handled;
+    if (hostCache.full()) {
+        const PageId displaced = hostCache.evictOne();
+        GMT_ASSERT(displaced != kInvalidPage);
+        mem::PageMeta &dm = pt.meta(displaced);
+        pt.setResidency(displaced, mem::Residency::Tier3, kInvalidFrame);
+        if (dm.dirty) {
+            t = std::max(t, nvme.hostWritePage(handled + hp.filesystemNs,
+                                               displaced));
+            dm.dirty = false;
+            stats.get("ssd_writes").inc();
+        }
+        stats.get("tier2_displacements").inc();
+    }
+    hostCache.insert(vpage);
+    stats.get("evict_to_tier2").inc();
+    return dma.transferPages(t, 1);
+}
+
+SimTime
+HmmRuntime::flush(SimTime now)
+{
+    SimTime done = now;
+    for (PageId p = 0; p < cfg.numPages; ++p) {
+        mem::PageMeta &m = pt.meta(p);
+        if (!m.dirty)
+            continue;
+        done = std::max(done, nvme.hostWritePage(now, p));
+        m.dirty = false;
+        stats.get("ssd_writes").inc();
+    }
+    return done;
+}
+
+void
+HmmRuntime::reset()
+{
+    TieredRuntime::reset();
+    tier1.reset();
+    hostCache.reset();
+    pcieLink.reset();
+    dma.reset();
+    faultPipeline.reset();
+    nvme.reset();
+}
+
+std::unique_ptr<TieredRuntime>
+makeHmmRuntime(const RuntimeConfig &cfg, const HmmParams &params)
+{
+    return std::make_unique<HmmRuntime>(cfg, params);
+}
+
+} // namespace gmt::baselines

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * HMM baseline (§3.6): CPU-orchestrated 3-tier hierarchy.
+ *
+ * Linux HMM extends UVM so GPU page faults are serviced by the host —
+ * the driver drains the GPU's fault buffer, the kernel resolves the page
+ * (host page cache hit, or a filesystem read from the SSD), and a DMA
+ * migration moves it to GPU memory. The defining performance property is
+ * that *every* miss crosses this host software path, which has limited
+ * parallelism: the fault-buffer drain is effectively serialized and only
+ * a few host threads service faults concurrently, so thousands of
+ * faulting GPU threads queue behind them [BaM's critique, §1].
+ *
+ * Model, per Tier-1 miss:
+ *   1. GPU-side fault delivery: fixed warp stall (fault buffer entry,
+ *      context save) — kFaultDeliveryNs;
+ *   2. host fault pipeline: ServerPool with cfg.hostHandlers servers and
+ *      per-fault software service time kFaultServiceNs (page table walk,
+ *      VMA lookup, page-cache lookup, TLB shootdown);
+ *   3. data: host page cache hit -> DMA migration up; miss -> kernel
+ *      block I/O from the SSD (host queue) + extra filesystem overhead,
+ *      then DMA up;
+ *   4. Tier-1 eviction under oversubscription is also host work: another
+ *      pipeline job plus a DMA down into the page cache (write-back to
+ *      SSD when a dirty page falls out of the cache).
+ * All migrations use the serialized DMA engine — the host never issues
+ * warp zero-copy transfers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "cache/tier1_cache.hpp"
+#include "core/runtime.hpp"
+#include "nvme/nvme_device.hpp"
+#include "pcie/dma_engine.hpp"
+#include "sim/channel.hpp"
+#include "tier2/tier2_pool.hpp"
+
+namespace gmt::baselines
+{
+
+/** HMM-specific timing knobs. */
+struct HmmParams
+{
+    /** GPU-side fault delivery stall per miss. */
+    SimTime faultDeliveryNs = 25000;
+
+    /** Host software service per fault (and per eviction job): fault
+     *  buffer drain, page-table walk, mapping update, TLB shootdown.
+     *  Calibrated so sustained fault throughput lands in the tens of
+     *  thousands per second measured for UVM far-fault handling at
+     *  64 KiB granularity. */
+    SimTime faultServiceNs = 45000;
+
+    /** Concurrent host fault-handling threads (the UVM fault-buffer
+     *  drain is effectively serialized per GPU). */
+    unsigned hostHandlers = 1;
+
+    /** Extra kernel-filesystem overhead per SSD I/O. */
+    SimTime filesystemNs = 15000;
+};
+
+/** CPU-orchestrated 3-tier runtime (UVM + HMM + Linux page cache). */
+class HmmRuntime : public TieredRuntime
+{
+  public:
+    HmmRuntime(const RuntimeConfig &config, const HmmParams &hmm_params);
+
+    AccessResult access(SimTime now, WarpId warp, PageId page,
+                        bool is_write) override;
+    SimTime flush(SimTime now) override;
+    const char *name() const override { return "HMM"; }
+    void reset() override;
+
+    const HmmParams &hmmParams() const { return hp; }
+    const tier2::Tier2Pool &pageCache() const { return hostCache; }
+
+  private:
+    /** Migrate the Tier-1 clock victim into the host page cache. */
+    SimTime evictToHost(SimTime now);
+
+    HmmParams hp;
+    cache::Tier1Cache tier1;
+    tier2::Tier2Pool hostCache;
+    sim::BandwidthChannel pcieLink;
+    pcie::DmaEngine dma;
+    sim::ServerPool faultPipeline;
+    nvme::NvmeDevice nvme;
+};
+
+/** Build an HMM runtime (host page cache sized by cfg.tier2Pages). */
+std::unique_ptr<TieredRuntime> makeHmmRuntime(
+    const RuntimeConfig &cfg, const HmmParams &params = HmmParams{});
+
+} // namespace gmt::baselines

@@ -1,0 +1,106 @@
+#include "cache/tier1_cache.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::cache
+{
+
+Tier1Cache::Tier1Cache(mem::PageTable &page_table, std::uint64_t num_frames)
+    : pt(page_table), pool(num_frames),
+      clock(replacement::makeClock(num_frames))
+{
+}
+
+LookupResult
+Tier1Cache::lookup(PageId page)
+{
+    LookupResult r;
+    const mem::PageMeta &m = pt.meta(page);
+    if (m.residency == mem::Residency::Tier1) {
+        r.kind = LookupResult::Kind::Hit;
+        r.frame = m.frame;
+        clock->onAccess(m.frame);
+        return r;
+    }
+    if (auto it = inflight.find(page); it != inflight.end()) {
+        r.kind = LookupResult::Kind::InFlight;
+        r.readyAt = it->second;
+        return r;
+    }
+    r.kind = LookupResult::Kind::Miss;
+    return r;
+}
+
+void
+Tier1Cache::beginFetch(PageId page, SimTime ready_at)
+{
+    GMT_ASSERT(pt.meta(page).residency != mem::Residency::Tier1);
+    const auto [it, inserted] = inflight.emplace(page, ready_at);
+    GMT_ASSERT(inserted);
+    (void)it;
+}
+
+FrameId
+Tier1Cache::finishFetch(PageId page, bool mark_dirty)
+{
+    const auto erased = inflight.erase(page);
+    GMT_ASSERT(erased == 1);
+    const FrameId f = pool.allocate(page);
+    GMT_ASSERT(f != kInvalidFrame);
+    pt.setResidency(page, mem::Residency::Tier1, f);
+    if (mark_dirty)
+        pt.meta(page).dirty = true;
+    clock->onInsert(f);
+    return f;
+}
+
+SimTime
+Tier1Cache::inflightReadyAt(PageId page) const
+{
+    const auto it = inflight.find(page);
+    GMT_ASSERT(it != inflight.end());
+    return it->second;
+}
+
+FrameId
+Tier1Cache::selectVictim()
+{
+    return clock->selectVictim(pool);
+}
+
+PageId
+Tier1Cache::evict(FrameId frame)
+{
+    const PageId page = pool.frame(frame).page;
+    GMT_ASSERT(page != kInvalidPage);
+    clock->onRemove(frame);
+    pool.release(frame);
+    // Caller sets the new residency (Tier2 / Tier3); mark None meanwhile
+    // so accounting never shows the page in two places.
+    pt.setResidency(page, mem::Residency::None, kInvalidFrame);
+    return page;
+}
+
+void
+Tier1Cache::markDirty(PageId page)
+{
+    mem::PageMeta &m = pt.meta(page);
+    GMT_ASSERT(m.residency == mem::Residency::Tier1);
+    m.dirty = true;
+}
+
+void
+Tier1Cache::giveSecondChance(FrameId frame)
+{
+    clock->onAccess(frame);
+}
+
+void
+Tier1Cache::reset()
+{
+    pool.clear();
+    clock->reset();
+    inflight.clear();
+}
+
+} // namespace gmt::cache

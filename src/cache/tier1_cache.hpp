@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tier-1 (GPU memory) page cache, after BaM's software cache.
+ *
+ * Responsibilities:
+ *  - residency lookup and clock touch on hits;
+ *  - frame allocation, with clock victim selection when full;
+ *  - warp-coordinated miss handling: if another warp is already fetching
+ *    a page, later warps wait on the *same* in-flight completion instead
+ *    of issuing duplicate I/O (the SIMT coordination §2 calls out);
+ *  - pin/unpin so in-transfer frames are never chosen as victims.
+ *
+ * What it deliberately does NOT do: decide where an evicted page goes.
+ * That is the placement policy (§2.1), owned by the runtime above.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "mem/frame_pool.hpp"
+#include "mem/page_table.hpp"
+#include "replacement/policy.hpp"
+#include "util/types.hpp"
+
+namespace gmt::cache
+{
+
+/** Result of a Tier-1 lookup. */
+struct LookupResult
+{
+    enum class Kind
+    {
+        Hit,       ///< resident; frame touched
+        InFlight,  ///< being fetched by another warp; wait on readyAt
+        Miss,      ///< not resident, no fetch outstanding
+    };
+
+    Kind kind = Kind::Miss;
+    FrameId frame = kInvalidFrame;
+    SimTime readyAt = 0; ///< valid for InFlight
+};
+
+/** The GPU-memory page cache. */
+class Tier1Cache
+{
+  public:
+    /**
+     * @param page_table  shared global page table
+     * @param num_frames  Tier-1 capacity in pages
+     */
+    Tier1Cache(mem::PageTable &page_table, std::uint64_t num_frames);
+
+    std::uint64_t capacity() const { return pool.capacity(); }
+    std::uint64_t used() const { return pool.used(); }
+    bool full() const { return pool.full(); }
+
+    /** Look @p page up; touches the clock on a hit. */
+    LookupResult lookup(PageId page);
+
+    /**
+     * Begin fetching @p page (caller has issued the I/O/transfer that
+     * completes at @p ready_at). Later lookups return InFlight until
+     * finishFetch.
+     */
+    void beginFetch(PageId page, SimTime ready_at);
+
+    /**
+     * Complete a fetch: allocate a frame and mark @p page resident.
+     * @pre a frame is free (caller evicted if needed).
+     */
+    FrameId finishFetch(PageId page, bool mark_dirty);
+
+    /** An in-flight fetch's completion time (page must be in flight). */
+    SimTime inflightReadyAt(PageId page) const;
+
+    /**
+     * Run the clock to pick a victim frame.
+     * @return frame id, or kInvalidFrame if everything is pinned.
+     */
+    FrameId selectVictim();
+
+    /**
+     * Remove the page in @p frame from Tier-1 (the caller decides its
+     * destination and updates residency afterwards).
+     * @return the evicted page id.
+     */
+    PageId evict(FrameId frame);
+
+    /** Mark a resident page dirty (store hit). */
+    void markDirty(PageId page);
+
+    void pin(FrameId f) { pool.pin(f); }
+    void unpin(FrameId f) { pool.unpin(f); }
+
+    /** Second-chance refresh: give @p frame a new reference bit without
+     *  an access (GMT-Reuse "short-reuse: retain and re-run clock"). */
+    void giveSecondChance(FrameId frame);
+
+    const mem::FramePool &frames() const { return pool; }
+
+    void reset();
+
+  private:
+    mem::PageTable &pt;
+    mem::FramePool pool;
+    std::unique_ptr<replacement::Policy> clock;
+    std::unordered_map<PageId, SimTime> inflight;
+};
+
+} // namespace gmt::cache

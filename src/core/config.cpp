@@ -1,0 +1,66 @@
+#include "core/config.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gmt
+{
+
+const char *
+policyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::TierOrder: return "GMT-TierOrder";
+      case PlacementPolicy::Random: return "GMT-Random";
+      case PlacementPolicy::Reuse: return "GMT-Reuse";
+    }
+    return "GMT-?";
+}
+
+PlacementPolicy
+policyFromName(const std::string &name)
+{
+    if (name == "tierorder" || name == "GMT-TierOrder")
+        return PlacementPolicy::TierOrder;
+    if (name == "random" || name == "GMT-Random")
+        return PlacementPolicy::Random;
+    if (name == "reuse" || name == "GMT-Reuse")
+        return PlacementPolicy::Reuse;
+    fatal("unknown placement policy '%s'", name.c_str());
+}
+
+RuntimeConfig
+RuntimeConfig::paperDefault()
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = scaledPagesForGiB(16);
+    cfg.tier2Pages = scaledPagesForGiB(64);
+    cfg.setOversubscription(2.0);
+    return cfg;
+}
+
+void
+RuntimeConfig::setOversubscription(double factor)
+{
+    GMT_ASSERT(factor > 0.0);
+    numPages = std::uint64_t(
+        std::llround(double(tier1Pages + tier2Pages) * factor));
+}
+
+void
+RuntimeConfig::validate() const
+{
+    if (numPages == 0)
+        fatal("RuntimeConfig: working set is empty");
+    if (tier1Pages == 0)
+        fatal("RuntimeConfig: Tier-1 must hold at least one page");
+    if (nvmeQueues == 0)
+        fatal("RuntimeConfig: need at least one NVMe queue pair");
+    if (numSsds == 0)
+        fatal("RuntimeConfig: need at least one SSD");
+    if (samplePeriod == 0)
+        fatal("RuntimeConfig: sample period must be positive");
+}
+
+} // namespace gmt

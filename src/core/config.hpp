@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Runtime configuration — the §3.1 platform in one struct.
+ *
+ * Capacity scale: all capacity-dependent experiments run at 1:1024 scale
+ * (the paper's 16 GiB Tier-1 becomes 16 MiB = 256 pages of 64 KiB).
+ * Every placement decision in GMT depends on capacity *ratios*
+ * (oversubscription factor, Tier2:Tier1 ratio, the Eq. 1 thresholds),
+ * which the scale factor preserves exactly. kCapacityScale documents the
+ * mapping so configs can be written in paper-units.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nvme/ssd_model.hpp"
+#include "pcie/transfer_manager.hpp"
+#include "util/types.hpp"
+
+namespace gmt
+{
+
+/** Tier-1 eviction placement policies of §2.1. */
+enum class PlacementPolicy : std::uint8_t
+{
+    TierOrder, ///< victim always moves to the next tier (§2.1.1)
+    Random,    ///< host memory or SSD chosen randomly (§2.1.2)
+    Reuse,     ///< RRD-predicted placement (§2.1.3)
+};
+
+/** Human-readable policy name. */
+const char *policyName(PlacementPolicy policy);
+
+/** Parse a policy name ("tierorder" / "random" / "reuse"). */
+PlacementPolicy policyFromName(const std::string &name);
+
+/** 1:1024 capacity scale between paper GB and simulated MB. */
+inline constexpr std::uint64_t kCapacityScale = 1024;
+
+/** Paper-units helper: "16 GB of Tier-1" -> pages at simulation scale. */
+inline constexpr std::uint64_t
+scaledPagesForGiB(std::uint64_t paper_gib)
+{
+    return paper_gib * 1_GiB / kCapacityScale / kPageBytes;
+}
+
+/** Full configuration for any of the tiered runtimes. */
+struct RuntimeConfig
+{
+    /** Application working set (virtual address space) in pages. */
+    std::uint64_t numPages = 0;
+
+    /** Tier-1 (GPU memory) capacity in pages. */
+    std::uint64_t tier1Pages = scaledPagesForGiB(16);
+
+    /** Tier-2 (host memory) capacity in pages; 0 disables the tier. */
+    std::uint64_t tier2Pages = scaledPagesForGiB(64);
+
+    /** Which placement policy a GmtRuntime uses. */
+    PlacementPolicy policy = PlacementPolicy::Reuse;
+
+    /** Tier-1 <-> Tier-2 transfer scheme (§2.3); paper picks Hybrid-32T. */
+    pcie::TransferScheme transferScheme = pcie::TransferScheme::Hybrid32T;
+
+    /** SSD characteristics (Table 1 drive). */
+    nvme::SsdParams ssd{};
+
+    /** GPU-side NVMe queue pairs (per drive) and per-ring depth. */
+    unsigned nvmeQueues = 32;
+    std::uint16_t nvmeQueueDepth = 64;
+
+    /** Drives in the Tier-3 array; pages stripe across them. The
+     *  paper's platform has one (Table 1); the SSD-scaling extension
+     *  bench sweeps this. */
+    unsigned numSsds = 1;
+
+    /** Deterministic seed (GMT-Random placement etc.). */
+    std::uint64_t seed = 1;
+
+    /** §2.2 Tier-3-overflow redirection heuristic (GMT-Reuse). */
+    bool overflowHeuristic = true;
+
+    /** Figure 5 Markov predictor; false degrades GMT-Reuse to pure
+     *  last-correct-tier persistence (ablation). */
+    bool markovPredictor = true;
+
+    /**
+     * §5 future-work extension: perform eviction work (Tier-2 insert /
+     * SSD write-back) asynchronously in the background instead of on
+     * the faulting warp's critical path. The work still occupies the
+     * shared channels; only the warp's ready time stops waiting on it.
+     */
+    bool asyncEviction = false;
+
+    /**
+     * §2 extension hook ("placement options can also be considered in
+     * conjunction with prefetching"): on an SSD demand miss, also fetch
+     * the next N sequential pages that are not yet resident. 0 = off
+     * (the paper's demand-only configuration).
+     */
+    unsigned prefetchDegree = 0;
+
+    /** GMT-Reuse sampling: record every Nth access, stop after target. */
+    std::uint64_t samplePeriod = 4;
+    std::uint64_t sampleTarget = 200000;
+
+    /** Tier-2 directory probe cost on the critical path (§3.4: ~50 ns). */
+    SimTime tier2LookupNs = 50;
+
+    /** Software cost of the miss-handling path (map/pin bookkeeping). */
+    SimTime missHandlingNs = 25000;
+
+    /** Allocate a byte-level backing store (examples/integrity tests). */
+    bool backingStore = false;
+
+    /** Default §3.1 configuration: T1=16 GB, T2=64 GB (4x), OSF=2. */
+    static RuntimeConfig paperDefault();
+
+    /** Working set implied by an oversubscription factor (§3.1 fn 2):
+     *  OSF = workingSet / (T1 + T2). */
+    void setOversubscription(double factor);
+
+    /** Sanity-check invariants; fatal() on nonsense. */
+    void validate() const;
+};
+
+} // namespace gmt

@@ -1,0 +1,404 @@
+#include "core/gmt_runtime.hpp"
+
+#include <algorithm>
+
+#include "pcie/params.hpp"
+#include "util/logging.hpp"
+
+namespace gmt
+{
+
+GmtRuntime::GmtRuntime(const RuntimeConfig &config)
+    : TieredRuntime(config),
+      tier1(pt, config.tier1Pages),
+      tier2(pt, config.tier2Pages,
+            config.policy == PlacementPolicy::TierOrder ? "clock" : "fifo"),
+      pcieUp("pcie-x16-up", pcie::kLinkBandwidth, pcie::kLinkLatencyNs),
+      pcieDown("pcie-x16-down", pcie::kLinkBandwidth,
+               pcie::kLinkLatencyNs),
+      xferUp(pcieUp, config.transferScheme),
+      xferDown(pcieDown, config.transferScheme),
+      nvme(config.ssd, config.nvmeQueues, config.nvmeQueueDepth,
+           config.numSsds),
+      sampler(config.samplePeriod, config.sampleTarget),
+      classifier(config.tier1Pages, config.tier2Pages),
+      rng(config.seed)
+{
+}
+
+const char *
+GmtRuntime::name() const
+{
+    if (bamMode())
+        return "BaM";
+    return policyName(cfg.policy);
+}
+
+AccessResult
+GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
+{
+    GMT_ASSERT(page < cfg.numPages);
+    stats.get("accesses").inc();
+    vtd.tick();
+    const VirtualStamp stamp = vtd.now();
+
+    mem::PageMeta &m = pt.meta(page);
+
+    // GMT-Reuse sampling phase: push (page, VTD) onto the host queue.
+    if (!bamMode() && cfg.policy == PlacementPolicy::Reuse
+        && sampler.active()) {
+        const VirtualStamp sample_vtd =
+            m.accessCount > 0 ? stamp - m.lastAccessStamp : 0;
+        sampler.onAccess(page, sample_vtd);
+    }
+
+    const cache::LookupResult lr = tier1.lookup(page);
+    if (lr.kind == cache::LookupResult::Kind::Hit) {
+        stats.get("tier1_hits").inc();
+        if (is_write)
+            tier1.markDirty(page);
+        m.lastAccessStamp = stamp;
+        ++m.accessCount;
+        AccessResult r;
+        // A page another warp is still fetching reports its arrival
+        // time; this warp waits on the same transfer.
+        r.readyAt = pageReadyAt(now, page);
+        r.tier1Hit = true;
+        return r;
+    }
+    GMT_ASSERT(lr.kind == cache::LookupResult::Kind::Miss);
+    stats.get("tier1_misses").inc();
+
+    // ---- Miss path ----
+    SimTime t = now;
+    bool from_tier2 = false;
+    if (!bamMode()) {
+        // Probe the Tier-2 directory before going to storage (§3.4).
+        t += cfg.tier2LookupNs;
+        stats.get("tier2_lookups").inc();
+        from_tier2 = tier2.contains(page);
+        if (from_tier2) {
+            stats.get("tier2_hits").inc();
+            // Claim the slot immediately so the eviction below can
+            // neither displace this page nor race with its promotion
+            // (the freed slot is what §2.2 calls an empty slot showing
+            // up "upon a demand miss in Tier-1").
+            tier2.take(page);
+        } else {
+            stats.get("wasteful_lookups").inc();
+        }
+    }
+
+    // Make room first so the incoming page always has a frame.
+    SimTime evict_done = t;
+    if (tier1.full())
+        evict_done = evictOne(t, warp);
+
+    // GMT-Reuse learns from the page's return before re-stamping it.
+    if (!bamMode() && cfg.policy == PlacementPolicy::Reuse)
+        learnOnRefetch(page);
+
+    // Fetch the page (up path always bypasses Tier-2 for SSD sources).
+    const SimTime issue = t + cfg.missHandlingNs;
+    SimTime fetch_done;
+    if (from_tier2) {
+        fetch_done = xferUp.transfer(issue, 1, kWarpLanes);
+        stats.get("tier2_fetches").inc();
+    } else {
+        // NVMe completion, then the payload crosses the upstream x16
+        // hop into GPU memory.
+        const SimTime io_done = nvme.readPage(issue, page, warp);
+        fetch_done = pcieUp.transferAt(io_done, kPageBytes);
+        stats.get("ssd_reads").inc();
+    }
+
+    tier1.beginFetch(page, fetch_done);
+    tier1.finishFetch(page, is_write);
+    m.retainedThisResidency = false;
+    m.lastAccessStamp = stamp;
+    ++m.accessCount;
+
+    // Prefetch behind the demand miss, after the demand page owns its
+    // frame (prefetches must never steal the frame just freed for it).
+    if (!from_tier2 && cfg.prefetchDegree > 0)
+        prefetchAfter(issue, warp, page);
+
+    // §5 extension: asynchronous eviction takes the placement work off
+    // the warp's critical path (the channel occupancy stays).
+    const SimTime ready = cfg.asyncEviction
+        ? fetch_done
+        : std::max(fetch_done, evict_done);
+    setPageReadyAt(page, ready);
+
+    AccessResult r;
+    r.readyAt = ready;
+    r.tier2Hit = from_tier2;
+    return r;
+}
+
+Tier
+GmtRuntime::predictTier(PageId page)
+{
+    const mem::PageMeta &m = pt.meta(page);
+    const reuse::LinearModel model = sampler.model();
+
+    // Without a fitted model or per-page history, fall back to the
+    // default strategy (paper: GMT-Random until samples suffice).
+    const unsigned last_correct = m.correctTierHistory[0];
+    if (!model.fitted || last_correct > 2)
+        return rng.chance(0.5) ? Tier::HostMem : Tier::Ssd;
+
+    // Markov prediction from the last correct-tier state; a state with
+    // no outgoing evidence predicts persistence (same tier again). The
+    // ablation knob forces persistence always.
+    bool any_weight = false;
+    for (unsigned to = 0; to < kNumTiers; ++to)
+        any_weight |= m.markov[last_correct][to].value() > 0;
+    const unsigned predicted = cfg.markovPredictor && any_weight
+        ? m.markovPredict(last_correct)
+        : last_correct;
+    return Tier(predicted);
+}
+
+void
+GmtRuntime::learnOnRefetch(PageId page)
+{
+    mem::PageMeta &m = pt.meta(page);
+    if (!m.everEvicted)
+        return;
+    const reuse::LinearModel model = sampler.model();
+    if (!model.fitted)
+        return;
+
+    // Actual RVTD from the last eviction is now known; map it through
+    // the fitted line (Eq. 3) and classify (Eq. 1) to get the tier the
+    // page *should* have gone to.
+    const VirtualStamp rvtd = vtd.now() - m.lastEvictStamp;
+    const double rrd = model.predict(double(rvtd));
+    const auto correct =
+        std::uint8_t(classifier.classify(rrd));
+
+    if (m.lastPredictedTier <= 2) {
+        stats.get("pred_total").inc();
+        if (m.lastPredictedTier == correct)
+            stats.get("pred_correct").inc();
+    }
+
+    // Transition from the previous eviction's correct tier to this one.
+    if (m.correctTierHistory[0] <= 2)
+        m.markovUpdate(m.correctTierHistory[0], correct);
+    m.correctTierHistory[1] = m.correctTierHistory[0];
+    m.correctTierHistory[0] = correct;
+}
+
+SimTime
+GmtRuntime::evictOne(SimTime now, WarpId warp)
+{
+    const bool reuse_policy =
+        !bamMode() && cfg.policy == PlacementPolicy::Reuse;
+
+    for (unsigned attempt = 0;; ++attempt) {
+        const FrameId victim = tier1.selectVictim();
+        if (victim == kInvalidFrame)
+            panic("Tier-1 eviction found no victim (all pinned?)");
+        const PageId vpage = tier1.frames().frame(victim).page;
+
+        // Decide the destination tier.
+        Tier target;
+        std::uint8_t pure_prediction = 3; // what the predictor said,
+                                          // before capacity adjustments
+        if (bamMode()) {
+            target = Tier::Ssd;
+        } else if (cfg.policy == PlacementPolicy::TierOrder) {
+            target = Tier::HostMem;
+        } else if (cfg.policy == PlacementPolicy::Random) {
+            target = rng.chance(0.5) ? Tier::HostMem : Tier::Ssd;
+        } else {
+            target = predictTier(vpage);
+            pure_prediction = std::uint8_t(target);
+            if (target == Tier::GpuMem) {
+                // Short reuse predicted: retain and re-run the clock.
+                // One retain per residency (and a bounded scan) keeps
+                // hot pages in Tier-1 without letting repeated sweeps
+                // strip every frame's reference bit, which would turn
+                // the clock into thrash under short-heavy phases.
+                mem::PageMeta &cand = pt.meta(vpage);
+                if (!cand.retainedThisResidency
+                    && attempt < kMaxShortRetains) {
+                    cand.retainedThisResidency = true;
+                    tier1.giveSecondChance(victim);
+                    stats.get("short_retains").inc();
+                    continue;
+                }
+                target = Tier::HostMem;
+            }
+            // §2.2 overflow heuristic: when Tier-3 predictions dominate
+            // recent evictions, use the idle Tier-2 capacity anyway.
+            if (cfg.overflowHeuristic) {
+                overflow.record(target == Tier::Ssd);
+                if (target == Tier::Ssd && overflow.shouldRedirect()
+                    && !tier2.full()) {
+                    target = Tier::HostMem;
+                    stats.get("overflow_redirects").inc();
+                }
+            }
+            // Medium placements into a full Tier-2 displace the FIFO
+            // head (§2.2): every resident was predicted into the same
+            // reuse class, so among equals insertion order decides.
+            // (Only the overflow *redirects* above are restricted to
+            // genuinely free slots — they are opportunistic users of
+            // idle capacity, not class peers.)
+        }
+
+        // Execute the eviction.
+        mem::PageMeta &vm = pt.meta(vpage);
+        tier1.evict(victim);
+        vm.lastEvictStamp = vtd.now();
+        vm.everEvicted = true;
+        ++vm.evictCount;
+        // Validation (Figure 9) scores the *predictor*: capacity-forced
+        // adjustments (overflow redirect, full-Tier-2 bypass) are not
+        // the Markov chain's errors.
+        vm.lastPredictedTier = reuse_policy ? pure_prediction : 3;
+        stats.get("tier1_evictions").inc();
+
+        if (evictionProbe)
+            evictionProbe(vpage, vm.evictCount, target);
+
+        if (target == Tier::HostMem)
+            return placeInTier2(now, vpage);
+        return placeInTier3(now, warp, vpage);
+    }
+}
+
+SimTime
+GmtRuntime::placeInTier2(SimTime now, PageId page)
+{
+    GMT_ASSERT(!bamMode());
+    SimTime t = now;
+    if (tier2.full()) {
+        // TierOrder (clock) and Random (FIFO) displace a Tier-2
+        // resident; its fate follows the usual rule: dirty pages go to
+        // the SSD via the host I/O path, clean ones are dropped.
+        const PageId displaced = tier2.evictOne();
+        GMT_ASSERT(displaced != kInvalidPage);
+        mem::PageMeta &dm = pt.meta(displaced);
+        pt.setResidency(displaced, mem::Residency::Tier3, kInvalidFrame);
+        if (dm.dirty) {
+            t = std::max(t, nvme.hostWritePage(now, displaced));
+            dm.dirty = false;
+            stats.get("ssd_writes").inc();
+        }
+        stats.get("tier2_displacements").inc();
+    }
+    tier2.insert(page);
+    stats.get("evict_to_tier2").inc();
+    // Down-path transfer GPU -> host memory.
+    return xferDown.transfer(t, 1, kWarpLanes);
+}
+
+SimTime
+GmtRuntime::placeInTier3(SimTime now, WarpId warp, PageId page)
+{
+    mem::PageMeta &m = pt.meta(page);
+    pt.setResidency(page, mem::Residency::Tier3, kInvalidFrame);
+    if (m.dirty) {
+        m.dirty = false;
+        stats.get("ssd_writes").inc();
+        stats.get("evict_to_ssd").inc();
+        // Payload leaves GPU memory over the downstream x16 hop, then
+        // the NVMe write is serviced.
+        const SimTime staged = pcieDown.transferAt(now, kPageBytes);
+        return nvme.writePage(staged, page, warp);
+    }
+    stats.get("evict_discard").inc();
+    return now;
+}
+
+void
+GmtRuntime::prefetchAfter(SimTime now, WarpId warp, PageId page)
+{
+    // Sequential next-line prefetch behind a demand miss: pull in the
+    // following pages unless they are already materialized somewhere
+    // above the SSD. Prefetches run in the background (never block the
+    // demanding warp) but occupy the same SSD/PCIe resources, and the
+    // fetched pages enter Tier-1 normally, evicting via the regular
+    // policy path.
+    for (unsigned d = 1; d <= cfg.prefetchDegree; ++d) {
+        const PageId next = page + d;
+        if (next >= cfg.numPages)
+            break;
+        const mem::PageMeta &nm = pt.meta(next);
+        if (nm.residency == mem::Residency::Tier1
+            || nm.residency == mem::Residency::Tier2) {
+            continue;
+        }
+        if (tier1.lookup(next).kind != cache::LookupResult::Kind::Miss)
+            continue;
+        if (tier1.full())
+            evictOne(now, warp);
+        const SimTime io_done = nvme.readPage(now, next, warp);
+        const SimTime done = pcieUp.transferAt(io_done, kPageBytes);
+        tier1.beginFetch(next, done);
+        tier1.finishFetch(next, false);
+        pt.meta(next).retainedThisResidency = false;
+        setPageReadyAt(next, done);
+        stats.get("ssd_reads").inc();
+        stats.get("prefetches").inc();
+    }
+}
+
+void
+GmtRuntime::backgroundTick(SimTime now)
+{
+    (void)now;
+    if (bamMode() || cfg.policy != PlacementPolicy::Reuse)
+        return;
+    // Host regression thread: consume queued samples off the critical
+    // path. Generous per-tick budget — the host easily keeps up with
+    // the sampled stream (one sample per cfg.samplePeriod accesses).
+    sampler.drain(4096);
+}
+
+SimTime
+GmtRuntime::flush(SimTime now)
+{
+    SimTime done = now;
+    for (PageId p = 0; p < cfg.numPages; ++p) {
+        mem::PageMeta &m = pt.meta(p);
+        if (!m.dirty)
+            continue;
+        if (m.residency == mem::Residency::Tier1)
+            done = std::max(done, nvme.writePage(now, p, 0));
+        else if (m.residency == mem::Residency::Tier2)
+            done = std::max(done, nvme.hostWritePage(now, p));
+        m.dirty = false;
+        stats.get("ssd_writes").inc();
+    }
+    return done;
+}
+
+std::unique_ptr<TieredRuntime>
+makeGmtRuntime(const RuntimeConfig &cfg)
+{
+    return std::make_unique<GmtRuntime>(cfg);
+}
+
+void
+GmtRuntime::reset()
+{
+    TieredRuntime::reset();
+    tier1.reset();
+    tier2.reset();
+    pcieUp.reset();
+    pcieDown.reset();
+    xferUp.reset();
+    xferDown.reset();
+    nvme.reset();
+    vtd.reset();
+    sampler.reset();
+    overflow.reset();
+    rng.reseed(cfg.seed);
+}
+
+} // namespace gmt

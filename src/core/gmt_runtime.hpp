@@ -1,0 +1,122 @@
+/**
+ * @file
+ * GmtRuntime — the paper's contribution: a GPU-orchestrated 3-tier
+ * memory hierarchy (GPU memory / host memory / SSD) with discretionary
+ * page placement on Tier-1 eviction.
+ *
+ * Up path (§2, item 4): host memory is always bypassed — misses are
+ * served from Tier-2 if the directory probe hits, else directly from the
+ * SSD into GPU memory.
+ *
+ * Down path (§2.1): the clock algorithm nominates a Tier-1 victim and
+ * the configured placement policy decides its fate:
+ *  - GMT-TierOrder: always into Tier-2 (FIFO/clock eviction there);
+ *  - GMT-Random:    coin flip between Tier-2 and Tier-3;
+ *  - GMT-Reuse:     RRD prediction (VTD sampling -> OLS model -> Markov
+ *                   chain over per-page correct-tier history) classifies
+ *                   the victim short/medium/long per Eq. 1; short stays
+ *                   in Tier-1, medium goes to a *free* Tier-2 slot,
+ *                   long is discarded (clean) or written to SSD (dirty),
+ *                   subject to the §2.2 80% overflow redirection.
+ *
+ * With tier2Pages == 0 the runtime degenerates exactly to BaM: no
+ * directory probe, evictions go straight to the SSD. The baselines
+ * library exposes that configuration as makeBamRuntime().
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "cache/tier1_cache.hpp"
+#include "core/runtime.hpp"
+#include "nvme/nvme_device.hpp"
+#include "pcie/transfer_manager.hpp"
+#include "reuse/classifier.hpp"
+#include "reuse/overflow_heuristic.hpp"
+#include "reuse/sampler.hpp"
+#include "reuse/vtd_tracker.hpp"
+#include "sim/channel.hpp"
+#include "tier2/tier2_pool.hpp"
+#include "util/rng.hpp"
+
+namespace gmt
+{
+
+/** The GPU-orchestrated 3-tier runtime (2-tier BaM when Tier-2 is 0). */
+class GmtRuntime : public TieredRuntime
+{
+  public:
+    explicit GmtRuntime(const RuntimeConfig &config);
+
+    AccessResult access(SimTime now, WarpId warp, PageId page,
+                        bool is_write) override;
+    void backgroundTick(SimTime now) override;
+    SimTime flush(SimTime now) override;
+    const char *name() const override;
+    void reset() override;
+
+    /** Introspection for tests and benches. */
+    const cache::Tier1Cache &tier1Cache() const { return tier1; }
+    const tier2::Tier2Pool &tier2Pool() const { return tier2; }
+    const nvme::NvmeDevice &nvmeDevice() const { return nvme; }
+    const pcie::TransferManager &upTransfers() const { return xferUp; }
+    const pcie::TransferManager &downTransfers() const
+    {
+        return xferDown;
+    }
+    const reuse::ReuseSampler &reuseSampler() const { return sampler; }
+    reuse::LinearModel fittedModel() const { return sampler.model(); }
+
+    /**
+     * Hook for instrumented runs (Figure 4b/4c): invoked at every
+     * Tier-1 eviction with (page, eviction ordinal, predicted tier).
+     */
+    using EvictionProbe =
+        std::function<void(PageId, std::uint32_t, Tier)>;
+    void setEvictionProbe(EvictionProbe probe) { evictionProbe = probe; }
+
+  private:
+    /** Decide + perform one Tier-1 eviction; returns its finish time. */
+    SimTime evictOne(SimTime now, WarpId warp);
+
+    /** Place @p page into Tier-2, making room per policy. */
+    SimTime placeInTier2(SimTime now, PageId page);
+
+    /** Send @p page to Tier-3: write if dirty, else discard. */
+    SimTime placeInTier3(SimTime now, WarpId warp, PageId page);
+
+    /** GMT-Reuse: predicted placement tier for an eviction candidate. */
+    Tier predictTier(PageId page);
+
+    /** GMT-Reuse: learn from a page re-entering Tier-1. */
+    void learnOnRefetch(PageId page);
+
+    /** Sequential prefetch behind a demand SSD miss (config knob). */
+    void prefetchAfter(SimTime now, WarpId warp, PageId page);
+
+    bool bamMode() const { return cfg.tier2Pages == 0; }
+
+    cache::Tier1Cache tier1;
+    tier2::Tier2Pool tier2;
+    /** PCIe Gen3 x16 is full duplex: upstream (to GPU) and downstream
+     *  (to host) lanes carry traffic independently, and the A100 has
+     *  separate copy-engine sets per direction. */
+    sim::BandwidthChannel pcieUp;
+    sim::BandwidthChannel pcieDown;
+    pcie::TransferManager xferUp;   ///< Tier-2 -> Tier-1 fetches
+    pcie::TransferManager xferDown; ///< Tier-1 -> Tier-2 placements
+    nvme::NvmeDevice nvme;
+    reuse::VtdTracker vtd;
+    reuse::ReuseSampler sampler;
+    reuse::RrdClassifier classifier;
+    reuse::OverflowHeuristic overflow;
+    Rng rng;
+    EvictionProbe evictionProbe;
+
+    /** Retries when GMT-Reuse keeps re-classifying candidates short. */
+    static constexpr unsigned kMaxShortRetains = 8;
+};
+
+} // namespace gmt

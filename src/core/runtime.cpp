@@ -1,0 +1,50 @@
+#include "core/runtime.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt
+{
+
+TieredRuntime::TieredRuntime(const RuntimeConfig &config)
+    : cfg(config), pt(config.numPages),
+      store(config.backingStore ? config.numPages : 0)
+{
+    cfg.validate();
+}
+
+TieredRuntime::~TieredRuntime() = default;
+
+SimTime
+TieredRuntime::flush(SimTime now)
+{
+    return now;
+}
+
+void
+TieredRuntime::reset()
+{
+    pt.clear();
+    stats.resetAll();
+    arrivals.clear();
+}
+
+void
+TieredRuntime::setPageReadyAt(PageId page, SimTime when)
+{
+    arrivals[page] = when;
+}
+
+SimTime
+TieredRuntime::pageReadyAt(SimTime now, PageId page)
+{
+    const auto it = arrivals.find(page);
+    if (it == arrivals.end())
+        return now;
+    if (it->second <= now) {
+        arrivals.erase(it); // transfer long since finished
+        return now;
+    }
+    return it->second;
+}
+
+} // namespace gmt

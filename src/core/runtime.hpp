@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The TieredRuntime interface: what a GPU access engine drives.
+ *
+ * All four systems of the evaluation (BaM, HMM, and GMT under its three
+ * placement policies) implement this interface, so every bench and test
+ * can swap them freely. The contract is timing-functional: access()
+ * updates tier state *immediately* and returns the simulated time at
+ * which the data is available to the warp; shared-resource contention is
+ * captured by the channel models the runtimes consult.
+ *
+ * Warp coordination on concurrent same-page misses is handled with
+ * per-page availability times: the first warp to miss materializes the
+ * page and records its arrival time; warps touching the page before that
+ * time observe a "hit" whose ready time is the arrival time — i.e. they
+ * wait on the same transfer instead of duplicating it.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "core/config.hpp"
+#include "mem/backing_store.hpp"
+#include "mem/page_table.hpp"
+#include "stats/counters.hpp"
+#include "util/types.hpp"
+
+namespace gmt
+{
+
+/** Outcome of one coalesced access. */
+struct AccessResult
+{
+    /** Simulated time at which the warp may proceed. */
+    SimTime readyAt = 0;
+
+    /** Serviced without leaving Tier-1 (includes joining an in-flight
+     *  fetch another warp started). */
+    bool tier1Hit = false;
+
+    /** Page arrived from Tier-2 (host memory). */
+    bool tier2Hit = false;
+};
+
+/** Base class of BaM / HMM / GMT runtimes. */
+class TieredRuntime
+{
+  public:
+    explicit TieredRuntime(const RuntimeConfig &config);
+    virtual ~TieredRuntime();
+
+    TieredRuntime(const TieredRuntime &) = delete;
+    TieredRuntime &operator=(const TieredRuntime &) = delete;
+
+    /**
+     * One coalesced access by @p warp to @p page at time @p now.
+     * Must be called with non-decreasing @p now per warp (the engine's
+     * scheduling guarantees a globally non-decreasing issue order).
+     */
+    virtual AccessResult access(SimTime now, WarpId warp, PageId page,
+                                bool is_write) = 0;
+
+    /**
+     * Background work hook, called periodically by the engine with the
+     * current simulated time (e.g. the host regression thread draining
+     * the sample queue). Never charged to warp time.
+     */
+    virtual void backgroundTick(SimTime now) { (void)now; }
+
+    /**
+     * Flush dirty state at the end of a run (write-back to SSD).
+     * @return time the flush completes.
+     */
+    virtual SimTime flush(SimTime now);
+
+    /** System name for reports ("BaM", "HMM", "GMT-Reuse", ...). */
+    virtual const char *name() const = 0;
+
+    const RuntimeConfig &config() const { return cfg; }
+    mem::PageTable &pageTable() { return pt; }
+    const mem::PageTable &pageTable() const { return pt; }
+    mem::BackingStore &backingStore() { return store; }
+    stats::CounterSet &counters() { return stats; }
+    const stats::CounterSet &counters() const { return stats; }
+
+    /** Reset all tiering + statistics state for a fresh run. */
+    virtual void reset();
+
+  protected:
+    /** Record that @p page's content arrives at @p when. */
+    void setPageReadyAt(PageId page, SimTime when);
+
+    /** Earliest time @p page's content is usable (>= @p now). */
+    SimTime pageReadyAt(SimTime now, PageId page);
+
+    RuntimeConfig cfg;
+    mem::PageTable pt;
+    mem::BackingStore store;
+    stats::CounterSet stats;
+
+  private:
+    /** Pages still in transit: page -> arrival time. Lazily pruned. */
+    std::unordered_map<PageId, SimTime> arrivals;
+};
+
+/** Factory for the paper's system (placement policy from cfg.policy). */
+std::unique_ptr<TieredRuntime> makeGmtRuntime(const RuntimeConfig &cfg);
+
+} // namespace gmt

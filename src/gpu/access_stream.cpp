@@ -1,0 +1,6 @@
+// AccessStream is an interface; anchor its vtable here.
+#include "gpu/access_stream.hpp"
+
+namespace gmt::gpu
+{
+} // namespace gmt::gpu

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * AccessStream: the interface between workloads and the GPU engine.
+ *
+ * A stream yields, per warp, a sequence of *coalesced* page accesses —
+ * each element is one warp-wide access to one 64 KiB page (the engine
+ * models the lanes of a warp as already coalesced, which is how BaM/GMT
+ * see traffic too: their cache keys are pages, not addresses). Streams
+ * must be deterministic for a given seed.
+ *
+ * Workloads implement nextAccess() as a resumable per-warp cursor so the
+ * engine can interleave warps by simulated readiness; a stream therefore
+ * never assumes warps advance in lockstep.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gmt::gpu
+{
+
+/** One coalesced warp access. */
+struct Access
+{
+    PageId page = kInvalidPage;
+    bool write = false;
+};
+
+/** Pull-based per-warp access generator. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Number of warps this stream schedules work for. */
+    virtual unsigned numWarps() const = 0;
+
+    /** Pages in the stream's (dense) address space. */
+    virtual std::uint64_t numPages() const = 0;
+
+    /**
+     * Produce warp @p warp's next access.
+     * @retval false when the warp has retired (no more work).
+     */
+    virtual bool nextAccess(WarpId warp, Access &out) = 0;
+
+    /** Workload name for reports. */
+    virtual const std::string &name() const = 0;
+
+    /** Restart the stream from the beginning (same sequence). */
+    virtual void reset() = 0;
+};
+
+} // namespace gmt::gpu

@@ -1,0 +1,47 @@
+#include "gpu/coalescer.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::gpu
+{
+
+std::vector<CoalescedRequest>
+Coalescer::coalesce(const Warp &warp)
+{
+    std::vector<CoalescedRequest> out;
+    out.reserve(4); // the common case: high spatial locality
+    for (const LaneAccess &lane : warp) {
+        if (!lane.active)
+            continue;
+        const PageId page = lane.byteAddress / kPageBytes;
+        bool merged = false;
+        for (auto &req : out) {
+            if (req.page == page) {
+                ++req.lanes;
+                req.write |= lane.write;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            out.push_back(CoalescedRequest{page, 1, lane.write});
+    }
+    return out;
+}
+
+std::vector<CoalescedRequest>
+Coalescer::coalesceStrided(std::uint64_t base_byte,
+                           std::uint64_t stride_bytes,
+                           unsigned active_lanes, bool write)
+{
+    GMT_ASSERT(active_lanes <= kWarpLanes);
+    Warp warp{};
+    for (unsigned lane = 0; lane < active_lanes; ++lane) {
+        warp[lane].byteAddress = base_byte + lane * stride_bytes;
+        warp[lane].active = true;
+        warp[lane].write = write;
+    }
+    return coalesce(warp);
+}
+
+} // namespace gmt::gpu

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Warp memory coalescer.
+ *
+ * GMT's unit of work is the coalesced warp access: 32 lanes issue byte
+ * addresses in lock-step and the hardware merges them into the minimal
+ * set of page-granular requests. The Coalescer performs exactly that
+ * merge and reports the lane count behind each page — the number the
+ * Hybrid-XT policy consults for "can we employ at least X threads in a
+ * warp for these transfers" (§2.3).
+ *
+ * The nine Table 2 workloads generate page-level accesses directly (the
+ * coalescing already folded into their visit streams); the coalescer is
+ * the substrate for byte-addressed kernels like the quickstart's typed
+ * arrays and for the Figure 6b-style microbenchmarks.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::gpu
+{
+
+/** One coalesced page request with its contributing lanes. */
+struct CoalescedRequest
+{
+    PageId page = kInvalidPage;
+    unsigned lanes = 0;  ///< active lanes that touched this page
+    bool write = false;
+};
+
+/** Lock-step lane address merger. */
+class Coalescer
+{
+  public:
+    /** Per-lane request for one warp instruction; inactive lanes are
+     *  masked out. */
+    struct LaneAccess
+    {
+        std::uint64_t byteAddress = 0;
+        bool active = false;
+        bool write = false;
+    };
+
+    using Warp = std::array<LaneAccess, kWarpLanes>;
+
+    /**
+     * Merge one warp instruction's lane addresses into page requests,
+     * preserving first-touch order. A page touched by both reads and
+     * writes coalesces into a single write request (store buffers win).
+     */
+    static std::vector<CoalescedRequest> coalesce(const Warp &warp);
+
+    /**
+     * Convenience for unit-strided accesses: lanes 0..count-1 touch
+     * base + lane * stride bytes.
+     */
+    static std::vector<CoalescedRequest> coalesceStrided(
+        std::uint64_t base_byte, std::uint64_t stride_bytes,
+        unsigned active_lanes, bool write);
+};
+
+} // namespace gmt::gpu

@@ -1,0 +1,75 @@
+#include "gpu/gpu_engine.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gmt::gpu
+{
+
+GpuEngine::GpuEngine(const EngineConfig &engine_config)
+    : cfg(engine_config)
+{
+}
+
+RunResult
+GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
+{
+    struct ReadyWarp
+    {
+        SimTime at;
+        WarpId warp;
+        bool operator>(const ReadyWarp &o) const
+        {
+            if (at != o.at)
+                return at > o.at;
+            return warp > o.warp;
+        }
+    };
+
+    std::priority_queue<ReadyWarp, std::vector<ReadyWarp>,
+                        std::greater<ReadyWarp>> ready;
+    const unsigned warps = stream.numWarps();
+    GMT_ASSERT(warps > 0);
+    for (WarpId w = 0; w < warps; ++w)
+        ready.push(ReadyWarp{cfg.startTimeNs, w});
+
+    RunResult result;
+    while (!ready.empty()) {
+        const ReadyWarp rw = ready.top();
+        ready.pop();
+
+        Access a;
+        if (!stream.nextAccess(rw.warp, a)) {
+            result.makespanNs = std::max(result.makespanNs, rw.at);
+            continue; // warp retired
+        }
+
+        const AccessResult ar =
+            runtime.access(rw.at, rw.warp, a.page, a.write);
+        ++result.accesses;
+        result.tier1Hits += ar.tier1Hit ? 1 : 0;
+        result.tier2Hits += ar.tier2Hit ? 1 : 0;
+
+        const SimTime next_at =
+            std::max(ar.readyAt, rw.at) + cfg.computeNsPerAccess;
+        ready.push(ReadyWarp{next_at, rw.warp});
+
+        if (result.accesses % cfg.backgroundInterval == 0)
+            runtime.backgroundTick(rw.at);
+
+        if (cfg.maxAccesses && result.accesses >= cfg.maxAccesses) {
+            warn("GpuEngine: access cap (%llu) hit; truncating run",
+                 static_cast<unsigned long long>(cfg.maxAccesses));
+            break;
+        }
+    }
+    // Drain any warps still queued after a truncated run.
+    while (!ready.empty()) {
+        result.makespanNs = std::max(result.makespanNs, ready.top().at);
+        ready.pop();
+    }
+    return result;
+}
+
+} // namespace gmt::gpu

@@ -1,0 +1,103 @@
+#include "harness/experiment.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gmt::harness
+{
+
+const char *
+systemName(System system)
+{
+    switch (system) {
+      case System::Bam: return "BaM";
+      case System::GmtTierOrder: return "GMT-TierOrder";
+      case System::GmtRandom: return "GMT-Random";
+      case System::GmtReuse: return "GMT-Reuse";
+      case System::Hmm: return "HMM";
+    }
+    return "?";
+}
+
+std::unique_ptr<TieredRuntime>
+makeSystem(System system, const RuntimeConfig &cfg)
+{
+    RuntimeConfig c = cfg;
+    switch (system) {
+      case System::Bam:
+        return baselines::makeBamRuntime(c);
+      case System::GmtTierOrder:
+        c.policy = PlacementPolicy::TierOrder;
+        return makeGmtRuntime(c);
+      case System::GmtRandom:
+        c.policy = PlacementPolicy::Random;
+        return makeGmtRuntime(c);
+      case System::GmtReuse:
+        c.policy = PlacementPolicy::Reuse;
+        return makeGmtRuntime(c);
+      case System::Hmm:
+        return baselines::makeHmmRuntime(c);
+    }
+    panic("bad system enum");
+}
+
+ExperimentResult
+runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
+       const gpu::EngineConfig &engine_cfg)
+{
+    runtime.reset();
+    stream.reset();
+    gpu::GpuEngine engine(engine_cfg);
+    const gpu::RunResult rr = engine.run(runtime, stream);
+    const SimTime flushed = runtime.flush(rr.makespanNs);
+
+    const auto &c = runtime.counters();
+    ExperimentResult r;
+    r.system = runtime.name();
+    r.workload = stream.name();
+    r.makespanNs = flushed;
+    r.accesses = c.value("accesses");
+    r.tier1Hits = c.value("tier1_hits");
+    r.tier1Misses = c.value("tier1_misses");
+    r.tier2Lookups = c.value("tier2_lookups");
+    r.tier2Hits = c.value("tier2_hits");
+    r.wastefulLookups = c.value("wasteful_lookups");
+    r.ssdReads = c.value("ssd_reads");
+    r.ssdWrites = c.value("ssd_writes");
+    r.tier1Evictions = c.value("tier1_evictions");
+    r.evictToTier2 = c.value("evict_to_tier2");
+    r.tier2Fetches = c.value("tier2_fetches");
+    r.predTotal = c.value("pred_total");
+    r.predCorrect = c.value("pred_correct");
+    r.overflowRedirects = c.value("overflow_redirects");
+    return r;
+}
+
+ExperimentResult
+runSystem(System system, const RuntimeConfig &cfg,
+          const std::string &workload_name, unsigned warps)
+{
+    workloads::WorkloadConfig wc;
+    wc.pages = cfg.numPages;
+    wc.warps = warps;
+    wc.seed = cfg.seed + 13;
+    auto stream = workloads::makeWorkload(workload_name, wc);
+    auto runtime = makeSystem(system, cfg);
+    return runOne(*runtime, *stream);
+}
+
+double
+meanSpeedup(const std::vector<double> &speedups)
+{
+    if (speedups.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double s : speedups) {
+        GMT_ASSERT(s > 0.0);
+        log_sum += std::log(s);
+    }
+    return std::exp(log_sum / double(speedups.size()));
+}
+
+} // namespace gmt::harness

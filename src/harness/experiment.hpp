@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Experiment driver: one place that knows how to run a (runtime,
+ * workload) pair and extract the metrics every figure reports.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bam_runtime.hpp"
+#include "baselines/hmm_runtime.hpp"
+#include "core/gmt_runtime.hpp"
+#include "core/runtime.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "workloads/factory.hpp"
+
+namespace gmt::harness
+{
+
+/** Everything a figure might need from one run. */
+struct ExperimentResult
+{
+    std::string system;
+    std::string workload;
+
+    SimTime makespanNs = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t tier1Hits = 0;
+    std::uint64_t tier1Misses = 0;
+    std::uint64_t tier2Lookups = 0;
+    std::uint64_t tier2Hits = 0;
+    std::uint64_t wastefulLookups = 0;
+    std::uint64_t ssdReads = 0;
+    std::uint64_t ssdWrites = 0;
+    std::uint64_t tier1Evictions = 0;
+    std::uint64_t evictToTier2 = 0;
+    std::uint64_t tier2Fetches = 0;
+    std::uint64_t predTotal = 0;
+    std::uint64_t predCorrect = 0;
+    std::uint64_t overflowRedirects = 0;
+
+    /** Total SSD I/O in bytes. */
+    std::uint64_t ssdBytes() const
+    {
+        return (ssdReads + ssdWrites) * kPageBytes;
+    }
+
+    /** Wall-clock speedup of this run relative to @p base. */
+    double
+    speedupOver(const ExperimentResult &base) const
+    {
+        return makespanNs ? double(base.makespanNs) / double(makespanNs)
+                          : 0.0;
+    }
+
+    /** GMT-Reuse prediction accuracy (Figure 9). */
+    double
+    predictionAccuracy() const
+    {
+        return predTotal ? double(predCorrect) / double(predTotal) : 0.0;
+    }
+};
+
+/** Which of the four evaluated systems to build. */
+enum class System
+{
+    Bam,
+    GmtTierOrder,
+    GmtRandom,
+    GmtReuse,
+    Hmm,
+};
+
+/** Display name matching the paper's figures. */
+const char *systemName(System system);
+
+/** Build the runtime for @p system from @p cfg. */
+std::unique_ptr<TieredRuntime> makeSystem(System system,
+                                          const RuntimeConfig &cfg);
+
+/** Reset runtime + stream, run to completion, flush, harvest metrics. */
+ExperimentResult runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
+                        const gpu::EngineConfig &engine_cfg = {});
+
+/**
+ * Convenience: run @p workload_name under @p system with consistent
+ * sizing (cfg.numPages defines the workload's pages).
+ */
+ExperimentResult runSystem(System system, const RuntimeConfig &cfg,
+                           const std::string &workload_name,
+                           unsigned warps = 64);
+
+/** Geometric mean of speedups over a baseline vector (paper averages). */
+double meanSpeedup(const std::vector<double> &speedups);
+
+} // namespace gmt::harness

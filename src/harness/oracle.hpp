@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Belady-style oracle bound for Tier-2 placement.
+ *
+ * Given an exact instrumented trace (TraceAnalysis: every Tier-1
+ * eviction with its true remaining reuse distance and next-visit
+ * position), compute the maximum number of Tier-1 misses an *oracle*
+ * placement policy could have served from a Tier-2 of a given capacity:
+ * each catchable eviction occupies one slot from its eviction until its
+ * next visit, and the oracle picks the optimal subset under the slot
+ * budget. This is k-machine interval scheduling, solved optimally by
+ * the earliest-finishing greedy.
+ *
+ * The bound is what GMT-Reuse's prediction machinery is *trying* to
+ * approximate; the oracle bench reports achieved/bound per application.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "harness/trace_analysis.hpp"
+
+namespace gmt::harness
+{
+
+/** Result of the oracle computation. */
+struct OracleBound
+{
+    /** Evictions whose page is ever reused (candidates). */
+    std::uint64_t reusedEvictions = 0;
+
+    /** Upper bound on Tier-2 hits with @p tier2_slots capacity. */
+    std::uint64_t tier2HitBound = 0;
+
+    /** Hits achievable with infinite Tier-2 (every reused eviction). */
+    std::uint64_t unboundedHits = 0;
+};
+
+/**
+ * Compute the oracle Tier-2 hit bound for a trace.
+ * @param analysis    exact trace analysis (must retain evictions)
+ * @param tier2_slots Tier-2 capacity in pages
+ */
+OracleBound oracleTier2Bound(const TraceAnalysis &analysis,
+                             std::uint64_t tier2_slots);
+
+} // namespace gmt::harness

@@ -1,0 +1,245 @@
+#include "harness/trace_analysis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+
+namespace gmt::harness
+{
+
+namespace
+{
+
+/** Fenwick tree over trace positions (values can go negative). */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t n) : tree(n + 1, 0) {}
+
+    void
+    add(std::size_t i, int delta)
+    {
+        for (std::size_t x = i + 1; x < tree.size(); x += x & (~x + 1))
+            tree[x] += delta;
+    }
+
+    /** Sum of [0, i]. */
+    long long
+    prefix(std::size_t i) const
+    {
+        long long s = 0;
+        for (std::size_t x = i + 1; x > 0; x -= x & (~x + 1))
+            s += tree[x];
+        return s;
+    }
+
+    /** Sum of (k, j] with k < j; k may be SIZE_MAX-like "before start". */
+    long long
+    range(std::size_t k_exclusive, std::size_t j) const
+    {
+        const long long hi = prefix(j);
+        if (k_exclusive == std::size_t(-1))
+            return hi;
+        return hi - prefix(k_exclusive);
+    }
+
+  private:
+    std::vector<long long> tree;
+};
+
+/** Sequential clock cache used only to generate eviction events. */
+class ClockSim
+{
+  public:
+    explicit ClockSim(std::uint64_t frames)
+        : page(frames, kInvalidPage), ref(frames, false)
+    {
+    }
+
+    /**
+     * Visit @p p. @return the evicted page if the visit forced an
+     * eviction, else kInvalidPage.
+     */
+    PageId
+    visit(PageId p)
+    {
+        if (auto it = where.find(p); it != where.end()) {
+            ref[it->second] = true;
+            return kInvalidPage;
+        }
+        PageId evicted = kInvalidPage;
+        std::size_t slot;
+        if (used < page.size()) {
+            slot = used++;
+        } else {
+            for (;;) {
+                if (!ref[hand]) {
+                    slot = hand;
+                    hand = (hand + 1) % page.size();
+                    break;
+                }
+                ref[hand] = false;
+                hand = (hand + 1) % page.size();
+            }
+            evicted = page[slot];
+            where.erase(evicted);
+        }
+        page[slot] = p;
+        ref[slot] = true;
+        where[p] = slot;
+        return evicted;
+    }
+
+  private:
+    std::vector<PageId> page;
+    std::vector<bool> ref;
+    std::unordered_map<PageId, std::size_t> where;
+    std::size_t used = 0;
+    std::size_t hand = 0;
+};
+
+} // namespace
+
+double
+TraceAnalysis::rrdFractionBetween(std::uint64_t lo, std::uint64_t hi) const
+{
+    std::uint64_t total = 0, in_range = 0;
+    for (const auto &e : evictions) {
+        if (!e.reusedAgain)
+            continue;
+        ++total;
+        if (e.rrd >= lo && e.rrd < hi)
+            ++in_range;
+    }
+    return total ? double(in_range) / double(total) : 0.0;
+}
+
+TraceAnalysis
+analyzeStream(gpu::AccessStream &stream, std::uint64_t tier1_pages,
+              std::uint64_t max_pairs)
+{
+    TraceAnalysis out;
+
+    // ---- 1. Record the (visit-collapsed) trace. ----
+    std::vector<PageId> trace;
+    {
+        stream.reset();
+        gpu::Access a;
+        PageId last = kInvalidPage;
+        while (stream.nextAccess(0, a)) {
+            ++out.accesses;
+            if (a.page != last) {
+                trace.push_back(a.page);
+                last = a.page;
+            }
+        }
+        stream.reset();
+    }
+    out.visits = trace.size();
+    if (trace.empty())
+        return out;
+    const std::size_t n = trace.size();
+
+    // ---- 2. prev/next occurrence arrays + page visit counts. ----
+    std::vector<std::size_t> prev(n, std::size_t(-1));
+    std::vector<std::size_t> next(n, std::size_t(-1));
+    std::unordered_map<PageId, std::size_t> last_pos;
+    std::unordered_map<PageId, std::uint32_t> visit_count;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (auto it = last_pos.find(trace[i]); it != last_pos.end()) {
+            prev[i] = it->second;
+            next[it->second] = i;
+            it->second = i;
+        } else {
+            last_pos.emplace(trace[i], i);
+        }
+        ++visit_count[trace[i]];
+    }
+    out.distinctPages = visit_count.size();
+    for (const auto &[page, cnt] : visit_count) {
+        (void)page;
+        if (cnt >= 2)
+            ++out.reusedPages;
+    }
+
+    // ---- 3. Clock simulation: eviction events + their query anchors.
+    // An eviction of page P at position k asks for the distinct pages
+    // in (k, jP] where jP is P's next visit. P's most recent visit is
+    // tracked so jP = next[lastVisit(P)].
+    struct Query
+    {
+        std::size_t k;            ///< eviction position (exclusive)
+        std::size_t j;            ///< next visit of the evicted page
+        std::size_t record_index; ///< where the answer lands
+    };
+    std::vector<Query> queries;
+    {
+        ClockSim clock_sim(tier1_pages);
+        std::unordered_map<PageId, std::size_t> recent;
+        std::unordered_map<PageId, std::uint32_t> evict_ordinal;
+        for (std::size_t i = 0; i < n; ++i) {
+            const PageId evicted = clock_sim.visit(trace[i]);
+            recent[trace[i]] = i;
+            if (evicted == kInvalidPage)
+                continue;
+            EvictionRecord rec;
+            rec.page = evicted;
+            rec.ordinal = ++evict_ordinal[evicted];
+            const std::size_t lastv = recent.at(evicted);
+            const std::size_t j = next[lastv];
+            rec.reusedAgain = j != std::size_t(-1);
+            rec.rrd = 0;
+            rec.evictPos = i;
+            rec.nextVisit = rec.reusedAgain ? j : std::uint64_t(-1);
+            if (rec.reusedAgain)
+                queries.push_back(Query{i, j, out.evictions.size()});
+            out.evictions.push_back(rec);
+        }
+    }
+
+    // ---- 4. Fenwick sweep answering RD/VTD pairs and RRD queries. ----
+    std::sort(queries.begin(), queries.end(),
+              [](const Query &a, const Query &b) { return a.j < b.j; });
+    Fenwick bit(n);
+    std::size_t qi = 0;
+    std::uint64_t pair_stride = 1, pair_tick = 0;
+    for (std::size_t j = 0; j < n; ++j) {
+        bit.add(j, +1);
+        if (prev[j] != std::size_t(-1))
+            bit.add(prev[j], -1);
+
+        // (VTD, RD) pair for this visit (Figure 4a), stride-sampled to
+        // stay under max_pairs.
+        if (prev[j] != std::size_t(-1)) {
+            if (pair_tick++ % pair_stride == 0) {
+                const auto rd =
+                    std::uint64_t(bit.range(prev[j], j) - 1);
+                out.pairs.push_back(
+                    VtdRdPair{std::uint64_t(j - prev[j]), rd});
+                if (out.pairs.size() >= max_pairs) {
+                    // Thin to half and double the stride.
+                    std::vector<VtdRdPair> kept;
+                    kept.reserve(out.pairs.size() / 2);
+                    for (std::size_t p = 0; p < out.pairs.size(); p += 2)
+                        kept.push_back(out.pairs[p]);
+                    out.pairs.swap(kept);
+                    pair_stride *= 2;
+                }
+            }
+        }
+
+        // Answer RRD queries anchored at this right endpoint.
+        while (qi < queries.size() && queries[qi].j == j) {
+            const Query &q = queries[qi];
+            const long long distinct = bit.range(q.k, q.j) - 1;
+            GMT_ASSERT(distinct >= 0);
+            out.evictions[q.record_index].rrd = std::uint64_t(distinct);
+            ++qi;
+        }
+    }
+    GMT_ASSERT(qi == queries.size());
+    return out;
+}
+
+} // namespace gmt::harness

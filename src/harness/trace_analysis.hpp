@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Offline trace analysis — the "fully instrumented runs" behind
+ * Figures 4 and 7 and the Table 2 reuse column.
+ *
+ * A workload's access stream is recorded once (consecutive accesses to
+ * the same page collapse into one visit), then analyzed exactly:
+ *
+ *  - per-visit unique reuse distance (RD) and visit-count distance
+ *    (VTD proxy), via the classic prev-occurrence + Fenwick-tree sweep:
+ *    distinct pages in (k, j] = #{p in (k, j] : prev[p] <= k};
+ *  - a sequential Tier-1 clock simulation produces eviction events, and
+ *    each eviction's *Remaining* Reuse Distance — the distinct pages
+ *    between the eviction and the page's next visit — is answered by
+ *    the same sweep with range queries anchored at eviction points;
+ *  - page-level reuse statistics (Table 2's "Reuse % of a Page").
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/access_stream.hpp"
+#include "util/types.hpp"
+
+namespace gmt::harness
+{
+
+/** One (VTD, RD) training-style pair (Figure 4a). */
+struct VtdRdPair
+{
+    std::uint64_t vtd; ///< visits since previous visit of the page
+    std::uint64_t rd;  ///< distinct pages since previous visit
+};
+
+/** One Tier-1 eviction with its exact RRD (Figures 4b/4c, 7). */
+struct EvictionRecord
+{
+    PageId page;
+    std::uint32_t ordinal;    ///< nth eviction of this page (1-based)
+    std::uint64_t rrd;        ///< distinct pages to next visit
+    bool reusedAgain;         ///< false: page never touched again
+    std::uint64_t evictPos;   ///< trace (visit) position of eviction
+    std::uint64_t nextVisit;  ///< position of the page's next visit
+};
+
+/** Full analysis output. */
+struct TraceAnalysis
+{
+    std::uint64_t visits = 0;         ///< collapsed page visits
+    std::uint64_t accesses = 0;       ///< raw coalesced accesses
+    std::uint64_t distinctPages = 0;  ///< pages touched at least once
+    std::uint64_t reusedPages = 0;    ///< pages with >= 2 visits
+
+    std::vector<VtdRdPair> pairs;
+    std::vector<EvictionRecord> evictions;
+
+    /** Table 2 "Reuse % of a Page". */
+    double
+    reusePct() const
+    {
+        return distinctPages
+            ? 100.0 * double(reusedPages) / double(distinctPages)
+            : 0.0;
+    }
+
+    /** Fraction of *reused* evictions whose RRD lies in [lo, hi). */
+    double rrdFractionBetween(std::uint64_t lo, std::uint64_t hi) const;
+};
+
+/**
+ * Record @p stream (drained warp-by-warp in engine order with a
+ * single-warp view: the analysis is order-exact for the global
+ * sequence) and analyze it against a Tier-1 of @p tier1_pages frames.
+ *
+ * @param max_pairs  cap on (VTD, RD) pairs retained (sampled uniformly)
+ */
+TraceAnalysis analyzeStream(gpu::AccessStream &stream,
+                            std::uint64_t tier1_pages,
+                            std::uint64_t max_pairs = 200000);
+
+} // namespace gmt::harness

@@ -1,0 +1,37 @@
+#include "mem/backing_store.hpp"
+
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace gmt::mem
+{
+
+BackingStore::BackingStore(std::uint64_t num_pages)
+    : pages(num_pages)
+{
+    if (num_pages > 0)
+        bytes.assign(num_pages * kPageBytes, 0);
+}
+
+void
+BackingStore::read(PageId page, std::uint64_t offset, void *out,
+                   std::uint64_t len) const
+{
+    GMT_ASSERT(enabled());
+    GMT_ASSERT(page < pages);
+    GMT_ASSERT(offset + len <= kPageBytes);
+    std::memcpy(out, bytes.data() + page * kPageBytes + offset, len);
+}
+
+void
+BackingStore::write(PageId page, std::uint64_t offset, const void *in,
+                    std::uint64_t len)
+{
+    GMT_ASSERT(enabled());
+    GMT_ASSERT(page < pages);
+    GMT_ASSERT(offset + len <= kPageBytes);
+    std::memcpy(bytes.data() + page * kPageBytes + offset, in, len);
+}
+
+} // namespace gmt::mem

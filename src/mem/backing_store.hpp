@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Optional byte-level backing store.
+ *
+ * The DES models *when* data moves; the BackingStore models *what* moves,
+ * so that examples and integrity tests can verify end-to-end data
+ * correctness (a value written through the runtime, evicted to SSD, and
+ * demand-faulted back must read identically). Benches that only need
+ * timing leave it disabled, which skips all memcpy work.
+ *
+ * The store keeps one canonical 64 KiB buffer per page regardless of which
+ * tier holds the page — physically moving bytes between three host arrays
+ * would exercise memcpy, not the tiering logic. The tier-timing fidelity
+ * lives in the DES; the data fidelity lives here.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::mem
+{
+
+/** Byte-addressable storage behind the paged address space. */
+class BackingStore
+{
+  public:
+    /**
+     * @param num_pages  pages to back; 0 disables the store entirely
+     */
+    explicit BackingStore(std::uint64_t num_pages);
+
+    bool enabled() const { return !bytes.empty(); }
+    std::uint64_t numPages() const { return pages; }
+
+    /** Read @p len bytes at byte offset @p offset within @p page. */
+    void read(PageId page, std::uint64_t offset, void *out,
+              std::uint64_t len) const;
+
+    /** Write @p len bytes at byte offset @p offset within @p page. */
+    void write(PageId page, std::uint64_t offset, const void *in,
+               std::uint64_t len);
+
+    /** Typed convenience accessors for examples. */
+    template <typename T>
+    T
+    load(std::uint64_t elem_index) const
+    {
+        T v{};
+        const std::uint64_t byte = elem_index * sizeof(T);
+        read(byte / kPageBytes, byte % kPageBytes, &v, sizeof(T));
+        return v;
+    }
+
+    template <typename T>
+    void
+    store(std::uint64_t elem_index, const T &v)
+    {
+        const std::uint64_t byte = elem_index * sizeof(T);
+        write(byte / kPageBytes, byte % kPageBytes, &v, sizeof(T));
+    }
+
+  private:
+    std::uint64_t pages;
+    std::vector<std::uint8_t> bytes;
+};
+
+} // namespace gmt::mem

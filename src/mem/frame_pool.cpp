@@ -1,0 +1,100 @@
+#include "mem/frame_pool.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::mem
+{
+
+FramePool::FramePool(std::uint64_t num_frames)
+    : frames(num_frames)
+{
+    freeList.reserve(num_frames);
+    // Hand out low frame ids first: push in reverse so pop_back yields 0.
+    for (std::uint64_t i = num_frames; i > 0; --i)
+        freeList.push_back(FrameId(i - 1));
+}
+
+FrameId
+FramePool::allocate(PageId page)
+{
+    if (freeList.empty())
+        return kInvalidFrame;
+    const FrameId id = freeList.back();
+    freeList.pop_back();
+    Frame &f = frames[id];
+    GMT_ASSERT(f.page == kInvalidPage);
+    f.page = page;
+    f.referenced = true;
+    f.pins = 0;
+    ++occupied;
+    return id;
+}
+
+void
+FramePool::release(FrameId id)
+{
+    Frame &f = frame(id);
+    GMT_ASSERT(f.page != kInvalidPage);
+    GMT_ASSERT(f.pins == 0);
+    f.page = kInvalidPage;
+    f.referenced = false;
+    freeList.push_back(id);
+    --occupied;
+}
+
+void
+FramePool::retarget(FrameId id, PageId new_page)
+{
+    Frame &f = frame(id);
+    GMT_ASSERT(f.page != kInvalidPage);
+    GMT_ASSERT(f.pins == 0);
+    f.page = new_page;
+    f.referenced = true;
+}
+
+Frame &
+FramePool::frame(FrameId id)
+{
+    GMT_ASSERT(id < frames.size());
+    return frames[id];
+}
+
+const Frame &
+FramePool::frame(FrameId id) const
+{
+    GMT_ASSERT(id < frames.size());
+    return frames[id];
+}
+
+void
+FramePool::pin(FrameId id)
+{
+    ++frame(id).pins;
+}
+
+void
+FramePool::unpin(FrameId id)
+{
+    Frame &f = frame(id);
+    GMT_ASSERT(f.pins > 0);
+    --f.pins;
+}
+
+bool
+FramePool::pinned(FrameId id) const
+{
+    return frame(id).pins > 0;
+}
+
+void
+FramePool::clear()
+{
+    const auto n = frames.size();
+    frames.assign(n, Frame{});
+    freeList.clear();
+    for (std::uint64_t i = n; i > 0; --i)
+        freeList.push_back(FrameId(i - 1));
+    occupied = 0;
+}
+
+} // namespace gmt::mem

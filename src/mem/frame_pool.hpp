@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Frame pools for Tier-1 and Tier-2.
+ *
+ * A FramePool owns a fixed set of page-sized frames and tracks, per frame,
+ * which virtual page occupies it plus the reference/pin state that the
+ * BaM-style cache needs (a pinned frame must not be chosen for eviction;
+ * the clock hand skips it).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::mem
+{
+
+/** State of one physical frame. */
+struct Frame
+{
+    PageId page = kInvalidPage;   ///< Occupant, kInvalidPage if free.
+    bool referenced = false;      ///< Clock reference bit.
+    std::uint16_t pins = 0;       ///< Active pins (in-flight transfers).
+};
+
+/** Fixed-capacity pool of page frames for one tier. */
+class FramePool
+{
+  public:
+    explicit FramePool(std::uint64_t num_frames);
+
+    std::uint64_t capacity() const { return frames.size(); }
+    std::uint64_t used() const { return occupied; }
+    bool full() const { return occupied == frames.size(); }
+
+    /**
+     * Allocate a free frame for @p page.
+     * @return the frame id, or kInvalidFrame if the pool is full.
+     */
+    FrameId allocate(PageId page);
+
+    /** Release @p frame back to the free list. */
+    void release(FrameId frame);
+
+    /** Re-target an occupied frame to a new page (eviction fast path). */
+    void retarget(FrameId frame, PageId new_page);
+
+    Frame &frame(FrameId id);
+    const Frame &frame(FrameId id) const;
+
+    void pin(FrameId id);
+    void unpin(FrameId id);
+    bool pinned(FrameId id) const;
+
+    /** Reset to an empty pool. */
+    void clear();
+
+  private:
+    std::vector<Frame> frames;
+    std::vector<FrameId> freeList;
+    std::uint64_t occupied = 0;
+};
+
+} // namespace gmt::mem

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Per-page metadata shared by all runtimes.
+ *
+ * A PageMeta record exists for every page of an application's virtual
+ * address space (the working set), regardless of which tier currently
+ * holds it. The reuse-prediction fields (§2.1.3) live here too so the
+ * GMT-Reuse policy can read/update them on the access and eviction paths
+ * without a second lookup: last-access virtual stamp (for VTD), the stamp
+ * at the last Tier-1 eviction (for RVTD), the last two "correct" tiers,
+ * and the per-page 3x3 Markov transition weights (Figure 5).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace gmt::mem
+{
+
+/** Which tier currently holds the only copy of a page. */
+enum class Residency : std::uint8_t
+{
+    None = 0,   ///< Not materialized anywhere yet (first touch pending).
+    Tier1,      ///< GPU memory.
+    Tier2,      ///< Host memory.
+    Tier3,      ///< SSD.
+};
+
+/** Saturating 8-bit counter used for Markov transition weights. */
+class SatCounter8
+{
+  public:
+    void
+    inc()
+    {
+        if (v < 255)
+            ++v;
+    }
+
+    /** Halve (aging) — applied when any weight saturates. */
+    void age() { v = std::uint8_t(v >> 1); }
+
+    std::uint8_t value() const { return v; }
+
+  private:
+    std::uint8_t v = 0;
+};
+
+/** Full metadata for one virtual page. */
+struct PageMeta
+{
+    /** Current residency; pages are never duplicated across tiers. */
+    Residency residency = Residency::Tier3;
+
+    /** Frame index within the tier named by residency (if Tier1/Tier2). */
+    FrameId frame = kInvalidFrame;
+
+    /** Dirty with respect to the SSD copy. */
+    bool dirty = false;
+
+    /** Virtual stamp of the most recent access (for VTD computation). */
+    VirtualStamp lastAccessStamp = 0;
+
+    /** Virtual stamp when the page was last evicted from Tier-1. */
+    VirtualStamp lastEvictStamp = 0;
+
+    /** True once lastEvictStamp is meaningful. */
+    bool everEvicted = false;
+
+    /** Number of times the page has been accessed. */
+    std::uint32_t accessCount = 0;
+
+    /** Number of Tier-1 evictions this page has suffered. */
+    std::uint32_t evictCount = 0;
+
+    /**
+     * "Correct" tiers (per Eq. 1 applied to the *actual* RRD) of the two
+     * most recent Tier-1 evictions: [0] = most recent, [1] = previous.
+     * 3 encodes "unknown" (fewer than that many evictions observed).
+     */
+    std::array<std::uint8_t, 2> correctTierHistory{3, 3};
+
+    /** Tier the policy chose at the most recent eviction (for accuracy). */
+    std::uint8_t lastPredictedTier = 3;
+
+    /** GMT-Reuse short-retention already spent for this Tier-1
+     *  residency (bounds clock churn to one retain per page). */
+    bool retainedThisResidency = false;
+
+    /** Markov chain transition weights W(from -> to), Figure 5. */
+    std::array<std::array<SatCounter8, kNumTiers>, kNumTiers> markov{};
+
+    /** Record a transition from -> to with saturation aging. */
+    void
+    markovUpdate(unsigned from, unsigned to)
+    {
+        auto &w = markov[from][to];
+        if (w.value() == 255) {
+            for (auto &row : markov) {
+                for (auto &c : row)
+                    c.age();
+            }
+        }
+        w.inc();
+    }
+
+    /** argmax over outgoing weights from state @p from; ties prefer
+     *  the nearer tier (keeps pages higher in the hierarchy). */
+    unsigned
+    markovPredict(unsigned from) const
+    {
+        unsigned best = 0;
+        for (unsigned to = 1; to < kNumTiers; ++to) {
+            if (markov[from][to].value() > markov[from][best].value())
+                best = to;
+        }
+        return best;
+    }
+};
+
+} // namespace gmt::mem

@@ -1,0 +1,58 @@
+#include "mem/page_table.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::mem
+{
+
+PageTable::PageTable(std::uint64_t num_pages)
+    : metas(num_pages)
+{
+    counts[unsigned(Residency::Tier3)] = num_pages;
+}
+
+PageMeta &
+PageTable::meta(PageId page)
+{
+    GMT_ASSERT(page < metas.size());
+    return metas[page];
+}
+
+const PageMeta &
+PageTable::meta(PageId page) const
+{
+    GMT_ASSERT(page < metas.size());
+    return metas[page];
+}
+
+void
+PageTable::setResidency(PageId page, Residency where, FrameId frame)
+{
+    PageMeta &m = meta(page);
+    GMT_ASSERT(counts[unsigned(m.residency)] > 0);
+    --counts[unsigned(m.residency)];
+    m.residency = where;
+    m.frame = frame;
+    ++counts[unsigned(where)];
+}
+
+std::uint64_t
+PageTable::residentCount(Residency where) const
+{
+    return counts[unsigned(where)];
+}
+
+void
+PageTable::clear()
+{
+    const auto n = metas.size();
+    metas.assign(n, PageMeta{});
+    for (auto &c : counts)
+        c = 0;
+    counts[unsigned(Residency::Tier3)] = n;
+    // Default-constructed PageMeta says Tier3, matching the counts.
+    for (auto &m : metas)
+        m.residency = Residency::Tier3;
+}
+
+} // namespace gmt::mem

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The global page table: PageId -> PageMeta for the whole working set.
+ *
+ * The address space is a dense range [0, numPages), so the table is a flat
+ * vector — the BaM paper's hash-based page table exists to support sparse
+ * spaces, but every workload here addresses a dense region, and a flat
+ * array is both faster and simpler to reason about. A separate
+ * open-addressed directory (Tier2Directory in tier2/) demonstrates the
+ * hash-table variant where sparseness actually occurs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/page_meta.hpp"
+#include "util/types.hpp"
+
+namespace gmt::mem
+{
+
+/** Dense PageId -> PageMeta map plus residency accounting. */
+class PageTable
+{
+  public:
+    explicit PageTable(std::uint64_t num_pages);
+
+    std::uint64_t numPages() const { return metas.size(); }
+
+    PageMeta &meta(PageId page);
+    const PageMeta &meta(PageId page) const;
+
+    /** Move accounting helper: update residency + per-tier counts. */
+    void setResidency(PageId page, Residency where, FrameId frame);
+
+    /** Pages currently resident in @p where. */
+    std::uint64_t residentCount(Residency where) const;
+
+    /** Reset all metadata (pages return to Tier-3, stats cleared). */
+    void clear();
+
+  private:
+    std::vector<PageMeta> metas;
+    std::uint64_t counts[4] = {0, 0, 0, 0};
+};
+
+} // namespace gmt::mem

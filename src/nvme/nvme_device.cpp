@@ -1,0 +1,133 @@
+#include "nvme/nvme_device.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gmt::nvme
+{
+
+NvmeDevice::NvmeDevice(const SsdParams &params, unsigned num_queues,
+                       std::uint16_t queue_depth, unsigned num_drives)
+{
+    GMT_ASSERT(num_queues > 0);
+    GMT_ASSERT(num_drives > 0);
+    models.reserve(num_drives);
+    gpuQueues.resize(num_drives);
+    hostQueues.reserve(num_drives);
+    for (unsigned d = 0; d < num_drives; ++d) {
+        models.push_back(std::make_unique<SsdModel>(params));
+        gpuQueues[d].reserve(num_queues);
+        for (unsigned q = 0; q < num_queues; ++q) {
+            gpuQueues[d].push_back(
+                std::make_unique<QueuePair>(*models[d], queue_depth));
+        }
+        hostQueues.push_back(
+            std::make_unique<QueuePair>(*models[d], queue_depth));
+    }
+}
+
+SimTime
+NvmeDevice::submitPage(QueuePair &qp, SimTime now, PageId page,
+                       NvmeOpcode op)
+{
+    // First reap whatever has completed by now — those warps' polls
+    // have long since freed their ring slots.
+    SimTime t = now;
+    {
+        CompletionEntry ce;
+        while (qp.poll(t, ce)) {
+        }
+    }
+
+    // Ring back-pressure: a full SQ forces the submitter to spin until
+    // the oldest in-flight command completes and its CQ entry is reaped.
+    while (qp.full()) {
+        const SimTime wake = qp.earliestCompletion();
+        GMT_ASSERT(wake != kNeverTime);
+        t = std::max(t, wake);
+        CompletionEntry ce;
+        const bool reaped = qp.poll(t, ce);
+        GMT_ASSERT(reaped);
+        ++stallCount;
+    }
+
+    SubmissionEntry sqe;
+    sqe.opcode = op;
+    sqe.startLba = page * (kPageBytes / QueuePair::kBlockBytes);
+    sqe.numBlocks = std::uint32_t(kPageBytes / QueuePair::kBlockBytes);
+    const std::uint16_t cid = qp.submit(t, sqe);
+
+    // The submitter peeks its own CQ entry for the completion time; the
+    // entry keeps its slot until a later poll drains it, so concurrent
+    // submissions feel the ring's occupancy.
+    return qp.readyTimeOf(cid);
+}
+
+SimTime
+NvmeDevice::readPage(SimTime now, PageId page, WarpId warp)
+{
+    auto &drive_queues = gpuQueues[driveOf(page)];
+    auto &qp = *drive_queues[warp % drive_queues.size()];
+    ++gpuReadCount;
+    return submitPage(qp, now, page, NvmeOpcode::Read);
+}
+
+SimTime
+NvmeDevice::writePage(SimTime now, PageId page, WarpId warp)
+{
+    auto &drive_queues = gpuQueues[driveOf(page)];
+    auto &qp = *drive_queues[warp % drive_queues.size()];
+    ++gpuWriteCount;
+    return submitPage(qp, now, page, NvmeOpcode::Write);
+}
+
+SimTime
+NvmeDevice::hostReadPage(SimTime now, PageId page)
+{
+    ++hostIoCount;
+    return submitPage(*hostQueues[driveOf(page)], now, page,
+                      NvmeOpcode::Read);
+}
+
+SimTime
+NvmeDevice::hostWritePage(SimTime now, PageId page)
+{
+    ++hostIoCount;
+    return submitPage(*hostQueues[driveOf(page)], now, page,
+                      NvmeOpcode::Write);
+}
+
+std::uint64_t
+NvmeDevice::totalReads() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &m : models)
+        sum += m->readsServiced();
+    return sum;
+}
+
+std::uint64_t
+NvmeDevice::totalWrites() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &m : models)
+        sum += m->writesServiced();
+    return sum;
+}
+
+void
+NvmeDevice::reset()
+{
+    for (auto &m : models)
+        m->reset();
+    for (auto &drive_queues : gpuQueues) {
+        for (auto &qp : drive_queues)
+            qp->reset();
+    }
+    for (auto &qp : hostQueues)
+        qp->reset();
+    gpuReadCount = gpuWriteCount = hostIoCount = stallCount = 0;
+}
+
+} // namespace gmt::nvme

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Device facade: many GPU-resident queue pairs over one SsdModel.
+ *
+ * BaM's key mechanism is that *GPU threads* submit NVMe commands through
+ * queues mapped into GPU memory (via nvidia_p2p page mappings), spreading
+ * submissions over many queue pairs to avoid serialization. NvmeDevice
+ * reproduces that: page reads/writes issued by a warp hash to one of
+ * numQueues QueuePairs; a full ring stalls the submitting warp until the
+ * ring's earliest completion (back-pressure), which is the behaviour that
+ * bounds miss-level parallelism under I/O-heavy phases.
+ *
+ * A separate host queue pair serves the conventional (libnvm userspace)
+ * Tier-2 <-> SSD path, which never competes for the GPU-side rings.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nvme/queue_pair.hpp"
+#include "nvme/ssd_model.hpp"
+#include "util/types.hpp"
+
+namespace gmt::nvme
+{
+
+/** GPU-orchestrated multi-queue access to one or more striped SSDs. */
+class NvmeDevice
+{
+  public:
+    /**
+     * @param params      per-drive SSD characteristics
+     * @param num_queues  GPU-side queue pairs per drive
+     * @param queue_depth entries per ring (power of two)
+     * @param num_drives  drives; pages stripe across them (page % N)
+     */
+    NvmeDevice(const SsdParams &params, unsigned num_queues,
+               std::uint16_t queue_depth, unsigned num_drives = 1);
+
+    /**
+     * GPU path: read one page into GPU memory, submitted by @p warp at
+     * @p now. Includes ring back-pressure. @return completion time.
+     */
+    SimTime readPage(SimTime now, PageId page, WarpId warp);
+
+    /** GPU path: write one page from GPU memory to the SSD. */
+    SimTime writePage(SimTime now, PageId page, WarpId warp);
+
+    /** Host path (libnvm): read one page into host memory. */
+    SimTime hostReadPage(SimTime now, PageId page);
+
+    /** Host path (libnvm): write one page from host memory. */
+    SimTime hostWritePage(SimTime now, PageId page);
+
+    /** First drive (back-compat accessor for single-SSD setups). */
+    SsdModel &ssd() { return *models[0]; }
+    const SsdModel &ssd() const { return *models[0]; }
+
+    unsigned numDrives() const { return unsigned(models.size()); }
+    const SsdModel &drive(unsigned i) const { return *models.at(i); }
+
+    /** Aggregate reads/writes across all drives. */
+    std::uint64_t totalReads() const;
+    std::uint64_t totalWrites() const;
+
+    std::uint64_t gpuReads() const { return gpuReadCount; }
+    std::uint64_t gpuWrites() const { return gpuWriteCount; }
+    std::uint64_t hostIos() const { return hostIoCount; }
+    std::uint64_t ringStalls() const { return stallCount; }
+
+    /** GPU-side queue pairs per drive. */
+    unsigned
+    numQueues() const
+    {
+        return unsigned(gpuQueues[0].size());
+    }
+
+    void reset();
+
+  private:
+    SimTime submitPage(QueuePair &qp, SimTime now, PageId page,
+                       NvmeOpcode op);
+
+    /** Drive a page stripes to. */
+    unsigned driveOf(PageId page) const
+    {
+        return unsigned(page % models.size());
+    }
+
+    std::vector<std::unique_ptr<SsdModel>> models;
+    /** gpuQueues[drive][queue] */
+    std::vector<std::vector<std::unique_ptr<QueuePair>>> gpuQueues;
+    std::vector<std::unique_ptr<QueuePair>> hostQueues; ///< per drive
+    std::uint64_t gpuReadCount = 0;
+    std::uint64_t gpuWriteCount = 0;
+    std::uint64_t hostIoCount = 0;
+    std::uint64_t stallCount = 0;
+};
+
+} // namespace gmt::nvme

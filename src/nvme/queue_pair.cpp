@@ -1,0 +1,120 @@
+#include "nvme/queue_pair.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace gmt::nvme
+{
+
+QueuePair::QueuePair(SsdModel &ssd, std::uint16_t depth)
+    : device(ssd), ringDepth(depth)
+{
+    GMT_ASSERT(depth > 0 && (depth & (depth - 1)) == 0);
+    pendingCq.reserve(depth);
+}
+
+bool
+QueuePair::full() const
+{
+    return occupancy == ringDepth;
+}
+
+std::uint16_t
+QueuePair::submit(SimTime now, const SubmissionEntry &entry)
+{
+    GMT_ASSERT(!full());
+    GMT_ASSERT(entry.numBlocks > 0);
+
+    const std::uint16_t cid = nextCommandId++;
+    sqTail = std::uint16_t((sqTail + 1) % ringDepth);
+    ++occupancy;
+    ++totalSubmissions;
+
+    const std::uint64_t bytes =
+        std::uint64_t(entry.numBlocks) * kBlockBytes;
+    const SimTime done = entry.opcode == NvmeOpcode::Read
+        ? device.read(now, bytes)
+        : device.write(now, bytes);
+
+    CompletionEntry ce;
+    ce.commandId = cid;
+    ce.status = 0;
+    // The phase tag is stamped when the device *writes* the completion
+    // (poll time, in readiness order), not at submission.
+    ce.phase = false;
+    ce.readyAt = done;
+    // Keep ordered by readiness (insertion sort: rings are small).
+    auto it = std::upper_bound(
+        pendingCq.begin(), pendingCq.end(), ce,
+        [](const CompletionEntry &a, const CompletionEntry &b) {
+            return a.readyAt < b.readyAt;
+        });
+    pendingCq.insert(it, ce);
+    return cid;
+}
+
+bool
+QueuePair::poll(SimTime now, CompletionEntry &out)
+{
+    if (pendingCq.empty() || pendingCq.front().readyAt > now)
+        return false;
+    out = pendingCq.front();
+    // Device writes the completion into slot cqHead with the current
+    // phase; the consumer validates the tag against its own expected
+    // phase — matching by construction here, which is the invariant a
+    // real poller relies on for lock-free consumption.
+    out.phase = cqPhase;
+    pendingCq.erase(pendingCq.begin());
+    --occupancy;
+    ++totalCompletions;
+    cqHead = std::uint16_t((cqHead + 1) % ringDepth);
+    if (cqHead == 0)
+        cqPhase = !cqPhase; // phase flips when the CQ wraps
+    return true;
+}
+
+SimTime
+QueuePair::reapUntil(std::uint16_t cid)
+{
+    // Completions are consumed in readiness order; the caller's polling
+    // loop reaps everything that finishes before its own command.
+    while (!pendingCq.empty()) {
+        const CompletionEntry ce = pendingCq.front();
+        CompletionEntry out;
+        const bool ok = poll(ce.readyAt, out);
+        GMT_ASSERT(ok);
+        if (out.commandId == cid)
+            return out.readyAt;
+    }
+    panic("reapUntil: command %u not in flight", unsigned(cid));
+}
+
+SimTime
+QueuePair::readyTimeOf(std::uint16_t cid) const
+{
+    for (const auto &ce : pendingCq) {
+        if (ce.commandId == cid)
+            return ce.readyAt;
+    }
+    panic("readyTimeOf: command %u not in flight", unsigned(cid));
+}
+
+SimTime
+QueuePair::earliestCompletion() const
+{
+    if (pendingCq.empty())
+        return kNeverTime;
+    return pendingCq.front().readyAt;
+}
+
+void
+QueuePair::reset()
+{
+    sqTail = cqHead = occupancy = nextCommandId = 0;
+    cqPhase = true;
+    pendingCq.clear();
+    totalSubmissions = totalCompletions = 0;
+}
+
+} // namespace gmt::nvme

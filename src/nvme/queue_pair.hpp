@@ -1,0 +1,128 @@
+/**
+ * @file
+ * NVMe submission/completion queue pair as BaM allocates them: rings
+ * resident in GPU memory, doorbells written by GPU threads, completions
+ * polled without host involvement.
+ *
+ * The ring mechanics are modelled faithfully — bounded slots, head/tail
+ * indices, a completion phase bit that flips each wrap, doorbell writes —
+ * because ring back-pressure (a full SQ stalls further submissions until
+ * completions are reaped) is a real throughput effect under heavy miss
+ * parallelism. The SSD's *timing* comes from SsdModel; the ring layer
+ * decides *when a slot is even available* to issue.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "nvme/ssd_model.hpp"
+#include "util/types.hpp"
+
+namespace gmt::nvme
+{
+
+/** NVMe opcode subset used by GMT. */
+enum class NvmeOpcode : std::uint8_t
+{
+    Read = 0x02,
+    Write = 0x01,
+};
+
+/** One submission-queue entry (the fields GMT actually uses). */
+struct SubmissionEntry
+{
+    NvmeOpcode opcode = NvmeOpcode::Read;
+    std::uint16_t commandId = 0;
+    std::uint64_t startLba = 0;
+    std::uint32_t numBlocks = 0; ///< 512-byte blocks
+};
+
+/** One completion-queue entry. */
+struct CompletionEntry
+{
+    std::uint16_t commandId = 0;
+    std::uint16_t status = 0;   ///< 0 = success
+    bool phase = false;         ///< phase tag for lock-free polling
+    SimTime readyAt = 0;        ///< simulated completion time
+};
+
+/** A paired SQ/CQ ring with doorbells, bound to one SsdModel. */
+class QueuePair
+{
+  public:
+    /** Logical block size the LBA space uses. */
+    static constexpr std::uint64_t kBlockBytes = 512;
+
+    /**
+     * @param ssd        the device servicing commands
+     * @param depth      ring size (entries); power of two required
+     */
+    QueuePair(SsdModel &ssd, std::uint16_t depth);
+
+    /** True when no SQ slot is free (caller must reap completions). */
+    bool full() const;
+
+    /** Entries currently in flight. */
+    std::uint16_t inFlight() const { return occupancy; }
+
+    std::uint16_t depth() const { return ringDepth; }
+
+    /**
+     * Ring the submission doorbell for @p entry at time @p now.
+     * @pre !full()
+     * @return the command id assigned to this submission.
+     */
+    std::uint16_t submit(SimTime now, const SubmissionEntry &entry);
+
+    /**
+     * Poll the CQ at time @p now: pops the oldest completion whose
+     * readyAt <= now, validating the phase tag.
+     * @retval true and fills @p out when a completion was reaped.
+     */
+    bool poll(SimTime now, CompletionEntry &out);
+
+    /**
+     * Poll the CQ until command @p cid has been reaped, consuming any
+     * completions that become ready before it (how a submitting GPU
+     * thread actually waits on NVMe). @return the command's ready time.
+     * @pre @p cid is in flight.
+     */
+    SimTime reapUntil(std::uint16_t cid);
+
+    /**
+     * Completion time of in-flight command @p cid without reaping it —
+     * the submitter's "peek" at its own CQ entry. The entry keeps its
+     * ring slot until polled, which is what creates back-pressure.
+     * @pre @p cid is in flight.
+     */
+    SimTime readyTimeOf(std::uint16_t cid) const;
+
+    /**
+     * Time at which the oldest in-flight command completes
+     * (kNeverTime when idle). Warps block on this when the ring is full.
+     */
+    SimTime earliestCompletion() const;
+
+    std::uint64_t submissions() const { return totalSubmissions; }
+    std::uint64_t completionsReaped() const { return totalCompletions; }
+
+    void reset();
+
+  private:
+    SsdModel &device;
+    std::uint16_t ringDepth;
+    std::uint16_t sqTail = 0;
+    std::uint16_t cqHead = 0;
+    std::uint16_t occupancy = 0;
+    std::uint16_t nextCommandId = 0;
+    bool cqPhase = true;
+    /** In-flight completions ordered by readiness. */
+    std::vector<CompletionEntry> pendingCq;
+    std::uint64_t totalSubmissions = 0;
+    std::uint64_t totalCompletions = 0;
+};
+
+} // namespace gmt::nvme

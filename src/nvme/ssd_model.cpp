@@ -1,0 +1,49 @@
+#include "nvme/ssd_model.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::nvme
+{
+
+SsdModel::SsdModel(const SsdParams &params)
+    : cfg(params), slots("ssd-slots", params.queueDepth),
+      media("ssd-media", params.readBandwidth, 0)
+{
+}
+
+SimTime
+SsdModel::read(SimTime now, std::uint64_t bytes)
+{
+    GMT_ASSERT(bytes > 0);
+    // Slot first (command-level parallelism), then media occupancy.
+    const SimTime slot_done = slots.serviceAt(now, cfg.readLatencyNs);
+    const SimTime media_done = media.transferAt(slot_done, bytes);
+    ++reads;
+    readBytes += bytes;
+    return media_done;
+}
+
+SimTime
+SsdModel::write(SimTime now, std::uint64_t bytes)
+{
+    GMT_ASSERT(bytes > 0);
+    const SimTime slot_done = slots.serviceAt(now, cfg.writeLatencyNs);
+    // Occupy the shared media for bytes / writeBandwidth seconds.
+    const auto scaled = std::uint64_t(
+        double(bytes) * cfg.readBandwidth / cfg.writeBandwidth);
+    const SimTime media_done = media.transferAt(slot_done, scaled);
+    ++writes;
+    writeBytes += bytes;
+    return media_done;
+}
+
+void
+SsdModel::reset()
+{
+    slots.reset();
+    media.reset();
+    reads = writes = 0;
+    readBytes = writeBytes = 0;
+}
+
+} // namespace gmt::nvme

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * SSD service model calibrated to a Samsung 970 EVO Plus (Table 1).
+ *
+ * Three resources compose a command's service:
+ *   1. a command slot (ServerPool with kQueueDepth servers) — models
+ *      the device's internal parallelism / NVMe queue depth;
+ *   2. media occupancy: reads and writes share ONE media/controller
+ *      channel (mixed read/write interference is a first-order SSD
+ *      effect — a policy that spams write-backs steals read
+ *      bandwidth); write occupancy is scaled by the read:write
+ *      bandwidth ratio so a pure-write stream sustains writeBandwidth;
+ *   3. the PCIe Gen3 x4 hop to/from the drive is folded into the media
+ *      bandwidth figure (the drive, not its link, is the bottleneck).
+ *
+ * Per-command media latency reproduces the paper's ≈130 µs end-to-end
+ * SSD fetch once queueing under load is added.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "util/types.hpp"
+
+namespace gmt::nvme
+{
+
+/** Tunable SSD characteristics. */
+struct SsdParams
+{
+    double readBandwidth = 3.4e9;     ///< bytes/s, sequential read
+    double writeBandwidth = 3.2e9;    ///< bytes/s, sequential write
+    SimTime readLatencyNs = 110000;   ///< per-command media read latency
+    SimTime writeLatencyNs = 30000;   ///< per-command program latency
+    unsigned queueDepth = 64;         ///< concurrent commands serviced
+};
+
+/** Queueing model of one NVMe SSD. */
+class SsdModel
+{
+  public:
+    explicit SsdModel(const SsdParams &params);
+
+    /** Service a read of @p bytes arriving at @p now; returns done time. */
+    SimTime read(SimTime now, std::uint64_t bytes);
+
+    /** Service a write of @p bytes arriving at @p now. */
+    SimTime write(SimTime now, std::uint64_t bytes);
+
+    std::uint64_t readsServiced() const { return reads; }
+    std::uint64_t writesServiced() const { return writes; }
+    std::uint64_t bytesRead() const { return readBytes; }
+    std::uint64_t bytesWritten() const { return writeBytes; }
+    const SsdParams &params() const { return cfg; }
+
+    void reset();
+
+  private:
+    SsdParams cfg;
+    sim::ServerPool slots;
+    sim::BandwidthChannel media; ///< shared by reads and writes
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t readBytes = 0;
+    std::uint64_t writeBytes = 0;
+};
+
+} // namespace gmt::nvme

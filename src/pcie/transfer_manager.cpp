@@ -1,0 +1,91 @@
+#include "pcie/transfer_manager.hpp"
+
+#include "pcie/params.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::pcie
+{
+
+const char *
+schemeName(TransferScheme scheme)
+{
+    switch (scheme) {
+      case TransferScheme::DmaOnly: return "cudaMemcpyAsync";
+      case TransferScheme::ZeroCopyOnly: return "zero-copy";
+      case TransferScheme::Hybrid8T: return "Hybrid-8T";
+      case TransferScheme::Hybrid16T: return "Hybrid-16T";
+      case TransferScheme::Hybrid32T: return "Hybrid-32T";
+    }
+    return "?";
+}
+
+TransferScheme
+schemeFromName(const std::string &name)
+{
+    if (name == "dma" || name == "cudaMemcpyAsync")
+        return TransferScheme::DmaOnly;
+    if (name == "zero-copy" || name == "zerocopy")
+        return TransferScheme::ZeroCopyOnly;
+    if (name == "hybrid8")
+        return TransferScheme::Hybrid8T;
+    if (name == "hybrid16")
+        return TransferScheme::Hybrid16T;
+    if (name == "hybrid32" || name == "hybrid")
+        return TransferScheme::Hybrid32T;
+    fatal("unknown transfer scheme '%s'", name.c_str());
+}
+
+unsigned
+hybridThreadRequirement(TransferScheme scheme)
+{
+    switch (scheme) {
+      case TransferScheme::Hybrid8T: return 8;
+      case TransferScheme::Hybrid16T: return 16;
+      case TransferScheme::Hybrid32T: return 32;
+      default: return 0;
+    }
+}
+
+TransferManager::TransferManager(sim::BandwidthChannel &link,
+                                 TransferScheme scheme)
+    : mode(scheme), dma(link), zc(link)
+{
+}
+
+bool
+TransferManager::useZeroCopy(unsigned num_pages, unsigned threads) const
+{
+    switch (mode) {
+      case TransferScheme::DmaOnly:
+        return false;
+      case TransferScheme::ZeroCopyOnly:
+        return true;
+      default:
+        return num_pages > kHybridPageThreshold
+            && threads >= hybridThreadRequirement(mode);
+    }
+}
+
+SimTime
+TransferManager::transfer(SimTime now, unsigned num_pages,
+                          unsigned available_threads)
+{
+    GMT_ASSERT(num_pages > 0);
+    if (useZeroCopy(num_pages, available_threads)) {
+        ++viaZeroCopy;
+        return zc.transferPages(now, num_pages, available_threads);
+    }
+    ++viaDma;
+    return dma.transferPages(now, num_pages);
+}
+
+void
+TransferManager::reset()
+{
+    dma.reset();
+    zc.reset();
+    viaDma = 0;
+    viaZeroCopy = 0;
+}
+
+} // namespace gmt::pcie

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Transfer-scheme selection between Tiers 1 and 2 (§2.3).
+ *
+ * Schemes:
+ *  - DmaOnly      : always cudaMemcpyAsync (one descriptor per page)
+ *  - ZeroCopyOnly : always warp load/store
+ *  - HybridXT     : zero-copy only when (a) the batch exceeds
+ *                   kHybridPageThreshold pages AND (b) at least X threads
+ *                   of the warp can be employed; otherwise DMA.
+ *
+ * The paper selects Hybrid-32T (full warp) after the Figure 6b sweep;
+ * TransferManager exposes all variants so that sweep is reproducible.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pcie/dma_engine.hpp"
+#include "pcie/zero_copy_engine.hpp"
+#include "sim/channel.hpp"
+#include "util/types.hpp"
+
+namespace gmt::pcie
+{
+
+/** Which Tier-1 <-> Tier-2 transfer mechanism to use. */
+enum class TransferScheme : std::uint8_t
+{
+    DmaOnly,
+    ZeroCopyOnly,
+    Hybrid8T,
+    Hybrid16T,
+    Hybrid32T,
+};
+
+/** Human-readable scheme name. */
+const char *schemeName(TransferScheme scheme);
+
+/** Parse a scheme name (for CLI flags); fatal on unknown names. */
+TransferScheme schemeFromName(const std::string &name);
+
+/** Minimum warp threads Hybrid-XT requires for zero-copy (0 if N/A). */
+unsigned hybridThreadRequirement(TransferScheme scheme);
+
+/** Chooses and executes transfers between GPU and host memory. */
+class TransferManager
+{
+  public:
+    TransferManager(sim::BandwidthChannel &link, TransferScheme scheme);
+
+    /**
+     * Transfer a batch of @p num_pages non-contiguous pages arriving at
+     * @p now with @p available_threads warp lanes free to help.
+     * @return delivery completion time.
+     */
+    SimTime transfer(SimTime now, unsigned num_pages,
+                     unsigned available_threads = kWarpLanes);
+
+    TransferScheme scheme() const { return mode; }
+    std::uint64_t dmaBatches() const { return viaDma; }
+    std::uint64_t zeroCopyBatches() const { return viaZeroCopy; }
+    std::uint64_t pagesMoved() const
+    {
+        return dma.pagesMoved() + zc.pagesMoved();
+    }
+
+    void reset();
+
+  private:
+    bool useZeroCopy(unsigned num_pages, unsigned threads) const;
+
+    TransferScheme mode;
+    DmaEngine dma;
+    ZeroCopyEngine zc;
+    std::uint64_t viaDma = 0;
+    std::uint64_t viaZeroCopy = 0;
+};
+
+} // namespace gmt::pcie

@@ -1,0 +1,52 @@
+#include "pcie/zero_copy_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pcie/params.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::pcie
+{
+
+ZeroCopyEngine::ZeroCopyEngine(sim::BandwidthChannel &link)
+    : pcie(link)
+{
+}
+
+SimTime
+ZeroCopyEngine::transferPages(SimTime now, unsigned num_pages,
+                              unsigned threads)
+{
+    GMT_ASSERT(num_pages > 0);
+    GMT_ASSERT(threads > 0 && threads <= kWarpLanes);
+    const std::uint64_t bytes = std::uint64_t(num_pages) * kPageBytes;
+
+    // Pin first; then the copy is limited by whichever is slower: the
+    // aggregate instruction-issue bandwidth of the participating threads
+    // or the shared link. Thread-issue slowness shows up as *extra* time
+    // beyond the link occupancy, so we model it as added latency on top
+    // of the link transfer (the link is only physically occupied for
+    // bytes/link_bw).
+    const SimTime pinned = now + kPinOverheadNs;
+    const double thread_bw = kPerThreadBandwidth * double(threads);
+    const SimTime link_done = pcie.transferAt(pinned, bytes);
+    SimTime extra = 0;
+    if (thread_bw < pcie.bandwidth()) {
+        const double link_ns = double(bytes) / pcie.bandwidth() * 1e9;
+        const double thread_ns = double(bytes) / thread_bw * 1e9;
+        extra = SimTime(std::llround(thread_ns - link_ns));
+    }
+    ++totalBatches;
+    totalPages += num_pages;
+    return link_done + extra;
+}
+
+void
+ZeroCopyEngine::reset()
+{
+    totalBatches = 0;
+    totalPages = 0;
+}
+
+} // namespace gmt::pcie

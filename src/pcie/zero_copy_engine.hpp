@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Warp zero-copy transfer model (§2.3, following EMOGI).
+ *
+ * Warp threads issue load/store instructions directly against pinned host
+ * memory. Aggregate throughput scales with the number of threads employed
+ * (each sustains kPerThreadBandwidth) up to the link limit, but every
+ * batch first pays a fixed pinning overhead to keep the source frames
+ * from being replaced mid-copy. Many warps can transfer concurrently —
+ * the only shared resource is the PCIe link itself.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/channel.hpp"
+#include "util/types.hpp"
+
+namespace gmt::pcie
+{
+
+/** Thread-parallel load/store transfer engine. */
+class ZeroCopyEngine
+{
+  public:
+    explicit ZeroCopyEngine(sim::BandwidthChannel &link);
+
+    /**
+     * Move @p num_pages pages using @p threads GPU threads, batch
+     * arriving at @p now. @return delivery completion time.
+     */
+    SimTime transferPages(SimTime now, unsigned num_pages,
+                          unsigned threads);
+
+    std::uint64_t batches() const { return totalBatches; }
+    std::uint64_t pagesMoved() const { return totalPages; }
+
+    void reset();
+
+  private:
+    sim::BandwidthChannel &pcie;
+    std::uint64_t totalBatches = 0;
+    std::uint64_t totalPages = 0;
+};
+
+} // namespace gmt::pcie

@@ -1,0 +1,62 @@
+#include "replacement/clock.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::replacement
+{
+
+ClockPolicy::ClockPolicy(std::uint64_t num_frames)
+    : refBit(num_frames, false)
+{
+}
+
+void
+ClockPolicy::onInsert(FrameId f)
+{
+    refBit[f] = true;
+}
+
+void
+ClockPolicy::onAccess(FrameId f)
+{
+    refBit[f] = true;
+}
+
+void
+ClockPolicy::onRemove(FrameId f)
+{
+    refBit[f] = false;
+}
+
+FrameId
+ClockPolicy::selectVictim(const mem::FramePool &pool)
+{
+    const std::uint64_t n = refBit.size();
+    GMT_ASSERT(n == pool.capacity());
+    // Two full sweeps suffice: the first clears reference bits, the
+    // second must find one clear unless everything is pinned.
+    for (std::uint64_t scanned = 0; scanned < 2 * n; ++scanned) {
+        const auto f = FrameId(handPos);
+        handPos = (handPos + 1) % n;
+        const mem::Frame &fr = pool.frame(f);
+        if (fr.page == kInvalidPage)
+            continue;
+        if (fr.pins > 0)
+            continue;
+        if (refBit[f]) {
+            refBit[f] = false;
+            continue;
+        }
+        return f;
+    }
+    return kInvalidFrame;
+}
+
+void
+ClockPolicy::reset()
+{
+    refBit.assign(refBit.size(), false);
+    handPos = 0;
+}
+
+} // namespace gmt::replacement

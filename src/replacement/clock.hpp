@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Clock (second-chance) replacement — the Tier-1 policy of BaM and GMT.
+ *
+ * Classic circular-hand scan: each frame has a reference bit set on
+ * access; the hand clears set bits and evicts the first frame found with
+ * a clear bit. Pinned frames are skipped without clearing their bit (an
+ * in-flight transfer is not evidence of reuse).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replacement/policy.hpp"
+
+namespace gmt::replacement
+{
+
+/** Clock / second-chance policy. */
+class ClockPolicy : public Policy
+{
+  public:
+    explicit ClockPolicy(std::uint64_t num_frames);
+
+    void onInsert(FrameId f) override;
+    void onAccess(FrameId f) override;
+    void onRemove(FrameId f) override;
+    FrameId selectVictim(const mem::FramePool &pool) override;
+    const char *name() const override { return "clock"; }
+    void reset() override;
+
+    /** Current hand position (exposed for tests). */
+    std::uint64_t hand() const { return handPos; }
+
+  private:
+    std::vector<bool> refBit;
+    std::uint64_t handPos = 0;
+};
+
+} // namespace gmt::replacement

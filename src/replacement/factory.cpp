@@ -1,0 +1,50 @@
+#include "replacement/clock.hpp"
+#include "replacement/fifo.hpp"
+#include "replacement/lru.hpp"
+#include "replacement/policy.hpp"
+#include "replacement/random.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::replacement
+{
+
+std::unique_ptr<Policy>
+makeClock(std::uint64_t num_frames)
+{
+    return std::make_unique<ClockPolicy>(num_frames);
+}
+
+std::unique_ptr<Policy>
+makeFifo(std::uint64_t num_frames)
+{
+    return std::make_unique<FifoPolicy>(num_frames);
+}
+
+std::unique_ptr<Policy>
+makeLru(std::uint64_t num_frames)
+{
+    return std::make_unique<LruPolicy>(num_frames);
+}
+
+std::unique_ptr<Policy>
+makeRandom(std::uint64_t num_frames, std::uint64_t seed)
+{
+    return std::make_unique<RandomPolicy>(num_frames, seed);
+}
+
+std::unique_ptr<Policy>
+makePolicy(const std::string &name, std::uint64_t num_frames,
+           std::uint64_t seed)
+{
+    if (name == "clock")
+        return makeClock(num_frames);
+    if (name == "fifo")
+        return makeFifo(num_frames);
+    if (name == "lru")
+        return makeLru(num_frames);
+    if (name == "random")
+        return makeRandom(num_frames, seed);
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+} // namespace gmt::replacement

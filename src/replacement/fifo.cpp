@@ -1,0 +1,64 @@
+#include "replacement/fifo.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::replacement
+{
+
+FifoPolicy::FifoPolicy(std::uint64_t num_frames)
+    : queued(num_frames, false)
+{
+}
+
+void
+FifoPolicy::onInsert(FrameId f)
+{
+    GMT_ASSERT(!queued[f]);
+    order.push_back(f);
+    queued[f] = true;
+}
+
+void
+FifoPolicy::onRemove(FrameId f)
+{
+    if (!queued[f])
+        return;
+    for (auto it = order.begin(); it != order.end(); ++it) {
+        if (*it == f) {
+            order.erase(it);
+            break;
+        }
+    }
+    queued[f] = false;
+}
+
+FrameId
+FifoPolicy::selectVictim(const mem::FramePool &pool)
+{
+    // Rotate over pinned/stale entries at most once around the queue.
+    for (std::size_t scanned = 0, n = order.size(); scanned < n; ++scanned) {
+        const FrameId f = order.front();
+        order.pop_front();
+        const mem::Frame &fr = pool.frame(f);
+        if (fr.page == kInvalidPage) {
+            queued[f] = false; // stale entry: page left without notice
+            continue;
+        }
+        if (fr.pins > 0) {
+            order.push_back(f); // keep FIFO position roughly: rotate
+            continue;
+        }
+        queued[f] = false;
+        return f;
+    }
+    return kInvalidFrame;
+}
+
+void
+FifoPolicy::reset()
+{
+    order.clear();
+    queued.assign(queued.size(), false);
+}
+
+} // namespace gmt::replacement

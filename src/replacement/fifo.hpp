@@ -1,0 +1,39 @@
+/**
+ * @file
+ * FIFO replacement — the Tier-2 eviction mechanism of §2.2.
+ *
+ * Victims are chosen in insertion order. Accesses do not reorder the
+ * queue (unlike LRU), matching the paper's "simple FIFO mechanism in
+ * Tier-2". Pinned frames are rotated to the back rather than skipped
+ * destructively so the scan terminates.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "replacement/policy.hpp"
+
+namespace gmt::replacement
+{
+
+/** First-in-first-out victim selection. */
+class FifoPolicy : public Policy
+{
+  public:
+    explicit FifoPolicy(std::uint64_t num_frames);
+
+    void onInsert(FrameId f) override;
+    void onAccess(FrameId f) override {}
+    void onRemove(FrameId f) override;
+    FrameId selectVictim(const mem::FramePool &pool) override;
+    const char *name() const override { return "fifo"; }
+    void reset() override;
+
+  private:
+    std::deque<FrameId> order;
+    std::vector<bool> queued;
+};
+
+} // namespace gmt::replacement

@@ -1,0 +1,87 @@
+#include "replacement/lru.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::replacement
+{
+
+LruPolicy::LruPolicy(std::uint64_t num_frames)
+    : nodes(num_frames)
+{
+}
+
+void
+LruPolicy::unlink(FrameId f)
+{
+    Node &n = nodes[f];
+    GMT_ASSERT(n.linked);
+    if (n.prev != kInvalidFrame)
+        nodes[n.prev].next = n.next;
+    else
+        mru = n.next;
+    if (n.next != kInvalidFrame)
+        nodes[n.next].prev = n.prev;
+    else
+        lru = n.prev;
+    n.prev = n.next = kInvalidFrame;
+    n.linked = false;
+}
+
+void
+LruPolicy::pushMru(FrameId f)
+{
+    Node &n = nodes[f];
+    GMT_ASSERT(!n.linked);
+    n.prev = kInvalidFrame;
+    n.next = mru;
+    if (mru != kInvalidFrame)
+        nodes[mru].prev = f;
+    mru = f;
+    if (lru == kInvalidFrame)
+        lru = f;
+    n.linked = true;
+}
+
+void
+LruPolicy::onInsert(FrameId f)
+{
+    pushMru(f);
+}
+
+void
+LruPolicy::onAccess(FrameId f)
+{
+    if (nodes[f].linked)
+        unlink(f);
+    pushMru(f);
+}
+
+void
+LruPolicy::onRemove(FrameId f)
+{
+    if (nodes[f].linked)
+        unlink(f);
+}
+
+FrameId
+LruPolicy::selectVictim(const mem::FramePool &pool)
+{
+    // Walk from the LRU end, skipping pinned frames.
+    for (FrameId f = lru; f != kInvalidFrame; f = nodes[f].prev) {
+        const mem::Frame &fr = pool.frame(f);
+        if (fr.page == kInvalidPage || fr.pins > 0)
+            continue;
+        unlink(f);
+        return f;
+    }
+    return kInvalidFrame;
+}
+
+void
+LruPolicy::reset()
+{
+    nodes.assign(nodes.size(), Node{});
+    mru = lru = kInvalidFrame;
+}
+
+} // namespace gmt::replacement

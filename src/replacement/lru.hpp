@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Exact LRU replacement (intrusive doubly linked list over frame ids).
+ *
+ * Not used by the paper's configurations (clock approximates it far more
+ * cheaply), but needed for the ablation benches that quantify how much of
+ * GMT-Reuse's win comes from beating recency-based placement.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "replacement/policy.hpp"
+
+namespace gmt::replacement
+{
+
+/** True least-recently-used victim selection. */
+class LruPolicy : public Policy
+{
+  public:
+    explicit LruPolicy(std::uint64_t num_frames);
+
+    void onInsert(FrameId f) override;
+    void onAccess(FrameId f) override;
+    void onRemove(FrameId f) override;
+    FrameId selectVictim(const mem::FramePool &pool) override;
+    const char *name() const override { return "lru"; }
+    void reset() override;
+
+  private:
+    void unlink(FrameId f);
+    void pushMru(FrameId f);
+
+    struct Node
+    {
+        FrameId prev = kInvalidFrame;
+        FrameId next = kInvalidFrame;
+        bool linked = false;
+    };
+
+    std::vector<Node> nodes;
+    FrameId mru = kInvalidFrame;
+    FrameId lru = kInvalidFrame;
+};
+
+} // namespace gmt::replacement

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Replacement-policy interface for frame pools.
+ *
+ * The paper fixes clock as the Tier-1 victim selector (§2, item 3) and
+ * FIFO for Tier-2 (§2.2); GMT-TierOrder additionally runs clock in
+ * Tier-2. LRU and Random are provided for ablation benches and tests.
+ *
+ * A policy ranks *frames*, not pages: the tiering runtime asks "which
+ * occupied, unpinned frame should be the next victim", then decides what
+ * to do with the page found there (the GMT placement policies of §2.1
+ * operate one level above this interface).
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mem/frame_pool.hpp"
+#include "util/types.hpp"
+
+namespace gmt::replacement
+{
+
+/** Victim-selection policy over one FramePool. */
+class Policy
+{
+  public:
+    virtual ~Policy() = default;
+
+    /** Frame @p f was inserted (page newly placed). */
+    virtual void onInsert(FrameId f) = 0;
+
+    /** Frame @p f was touched by an access (hit). */
+    virtual void onAccess(FrameId f) = 0;
+
+    /** Frame @p f was emptied without choosing it as a victim
+     *  (e.g. its page was promoted to another tier). */
+    virtual void onRemove(FrameId f) = 0;
+
+    /**
+     * Choose the next victim frame. Pinned frames must be skipped.
+     * @return kInvalidFrame only if every occupied frame is pinned.
+     */
+    virtual FrameId selectVictim(const mem::FramePool &pool) = 0;
+
+    /** Policy name for reports. */
+    virtual const char *name() const = 0;
+
+    /** Reset to initial state. */
+    virtual void reset() = 0;
+};
+
+/** Factory helpers. */
+std::unique_ptr<Policy> makeClock(std::uint64_t num_frames);
+std::unique_ptr<Policy> makeFifo(std::uint64_t num_frames);
+std::unique_ptr<Policy> makeLru(std::uint64_t num_frames);
+std::unique_ptr<Policy> makeRandom(std::uint64_t num_frames,
+                                   std::uint64_t seed);
+
+/** Name-based factory (for config files / CLI flags). */
+std::unique_ptr<Policy> makePolicy(const std::string &name,
+                                   std::uint64_t num_frames,
+                                   std::uint64_t seed = 1);
+
+} // namespace gmt::replacement

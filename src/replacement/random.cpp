@@ -1,0 +1,41 @@
+#include "replacement/random.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::replacement
+{
+
+RandomPolicy::RandomPolicy(std::uint64_t num_frames, std::uint64_t seed)
+    : frames(num_frames), seed_(seed), rng(seed)
+{
+}
+
+FrameId
+RandomPolicy::selectVictim(const mem::FramePool &pool)
+{
+    GMT_ASSERT(frames == pool.capacity());
+    // Rejection-sample a few times, then fall back to a linear scan so
+    // selection terminates even when nearly everything is pinned.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+        const auto f = FrameId(rng.below(frames));
+        const mem::Frame &fr = pool.frame(f);
+        if (fr.page != kInvalidPage && fr.pins == 0)
+            return f;
+    }
+    const auto start = FrameId(rng.below(frames));
+    for (std::uint64_t i = 0; i < frames; ++i) {
+        const auto f = FrameId((start + i) % frames);
+        const mem::Frame &fr = pool.frame(f);
+        if (fr.page != kInvalidPage && fr.pins == 0)
+            return f;
+    }
+    return kInvalidFrame;
+}
+
+void
+RandomPolicy::reset()
+{
+    rng.reseed(seed_);
+}
+
+} // namespace gmt::replacement

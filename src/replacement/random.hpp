@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Random replacement — a cheap ablation baseline.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "replacement/policy.hpp"
+#include "util/rng.hpp"
+
+namespace gmt::replacement
+{
+
+/** Uniformly random victim among occupied, unpinned frames. */
+class RandomPolicy : public Policy
+{
+  public:
+    RandomPolicy(std::uint64_t num_frames, std::uint64_t seed);
+
+    void onInsert(FrameId) override {}
+    void onAccess(FrameId) override {}
+    void onRemove(FrameId) override {}
+    FrameId selectVictim(const mem::FramePool &pool) override;
+    const char *name() const override { return "random"; }
+    void reset() override;
+
+  private:
+    std::uint64_t frames;
+    std::uint64_t seed_;
+    Rng rng;
+};
+
+} // namespace gmt::replacement

@@ -1,0 +1,25 @@
+#include "reuse/classifier.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::reuse
+{
+
+RrdClassifier::RrdClassifier(std::uint64_t tier1_pages,
+                             std::uint64_t tier2_pages)
+    : t1(tier1_pages), t2(tier2_pages)
+{
+    GMT_ASSERT(tier1_pages > 0);
+}
+
+ReuseClass
+RrdClassifier::classify(double rrd) const
+{
+    if (rrd < double(t1))
+        return ReuseClass::Short;
+    if (rrd < double(t1 + t2))
+        return ReuseClass::Medium;
+    return ReuseClass::Long;
+}
+
+} // namespace gmt::reuse

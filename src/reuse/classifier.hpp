@@ -1,0 +1,69 @@
+/**
+ * @file
+ * RRD -> tier classification (Eq. 1) plus the sampling-window logic that
+ * decides when the regression model is trustworthy.
+ *
+ * T(RRD) = short-reuse  if RRD <  |Tier1|
+ *          medium-reuse if |Tier1| <= RRD < |Tier1| + |Tier2|
+ *          long-reuse   otherwise
+ *
+ * The medium bound uses the *combined* capacity of the top two tiers:
+ * a page re-referenced after touching fewer distinct pages than the
+ * hierarchy can hold above the SSD is servable from host memory.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace gmt::reuse
+{
+
+/** Reuse-category outcome of Eq. 1. */
+enum class ReuseClass : std::uint8_t
+{
+    Short = 0,   ///< keep in Tier-1
+    Medium = 1,  ///< place in Tier-2 (host memory)
+    Long = 2,    ///< Tier-3: discard if clean, write to SSD if dirty
+};
+
+/** Tier a reuse class maps to (identical encoding by construction). */
+inline constexpr Tier
+tierFor(ReuseClass c)
+{
+    return Tier(std::uint8_t(c));
+}
+
+inline constexpr ReuseClass
+classForTier(Tier t)
+{
+    return ReuseClass(std::uint8_t(t));
+}
+
+/** Eq. 1 evaluated against fixed tier capacities (in pages). */
+class RrdClassifier
+{
+  public:
+    /**
+     * @param tier1_pages capacity of GPU memory in pages
+     * @param tier2_pages capacity of host memory in pages
+     */
+    RrdClassifier(std::uint64_t tier1_pages, std::uint64_t tier2_pages);
+
+    /** Classify a (remaining) reuse distance in unique pages. */
+    ReuseClass classify(double rrd) const;
+
+    std::uint64_t tier1Pages() const { return t1; }
+    std::uint64_t tier2Pages() const { return t2; }
+
+    /** Upper RRD bound of the medium class (= |T1| + |T2|). */
+    std::uint64_t mediumBound() const { return t1 + t2; }
+
+  private:
+    std::uint64_t t1;
+    std::uint64_t t2;
+};
+
+} // namespace gmt::reuse

@@ -1,0 +1,147 @@
+#include "reuse/olken_tree.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::reuse
+{
+
+OlkenTree::OlkenTree(std::uint64_t seed)
+    : rng(seed)
+{
+    // Node 0 is the null sentinel with size 0.
+    pool.push_back(Node{0, 0, 0, 0, 0});
+}
+
+OlkenTree::~OlkenTree() = default;
+
+std::uint32_t
+OlkenTree::allocNode(std::uint64_t key)
+{
+    std::uint32_t idx;
+    if (!freeNodes.empty()) {
+        idx = freeNodes.back();
+        freeNodes.pop_back();
+        pool[idx] = Node{key, rng.next(), 0, 0, 1};
+    } else {
+        idx = std::uint32_t(pool.size());
+        pool.push_back(Node{key, rng.next(), 0, 0, 1});
+    }
+    return idx;
+}
+
+void
+OlkenTree::freeNode(std::uint32_t n)
+{
+    freeNodes.push_back(n);
+}
+
+std::uint32_t
+OlkenTree::size(std::uint32_t n) const
+{
+    return pool[n].size;
+}
+
+void
+OlkenTree::split(std::uint32_t t, std::uint64_t key, std::uint32_t &l,
+                 std::uint32_t &r)
+{
+    // Split into keys <= key (l) and keys > key (r).
+    if (t == 0) {
+        l = r = 0;
+        return;
+    }
+    if (pool[t].key <= key) {
+        split(pool[t].right, key, pool[t].right, r);
+        l = t;
+    } else {
+        split(pool[t].left, key, l, pool[t].left);
+        r = t;
+    }
+    pool[t].size = 1 + size(pool[t].left) + size(pool[t].right);
+}
+
+std::uint32_t
+OlkenTree::merge(std::uint32_t l, std::uint32_t r)
+{
+    if (l == 0 || r == 0)
+        return l ? l : r;
+    if (pool[l].prio >= pool[r].prio) {
+        pool[l].right = merge(pool[l].right, r);
+        pool[l].size = 1 + size(pool[l].left) + size(pool[l].right);
+        return l;
+    }
+    pool[r].left = merge(l, pool[r].left);
+    pool[r].size = 1 + size(pool[r].left) + size(pool[r].right);
+    return r;
+}
+
+void
+OlkenTree::insert(std::uint64_t key)
+{
+    const std::uint32_t n = allocNode(key);
+    std::uint32_t l = 0, r = 0;
+    split(root, key, l, r);
+    root = merge(merge(l, n), r);
+}
+
+void
+OlkenTree::erase(std::uint64_t key)
+{
+    std::uint32_t l = 0, mid = 0, r = 0;
+    split(root, key, l, r);
+    split(l, key - 1, l, mid);
+    GMT_ASSERT(mid != 0 && pool[mid].key == key && pool[mid].size == 1);
+    freeNode(mid);
+    root = merge(l, r);
+}
+
+std::uint64_t
+OlkenTree::countGreater(std::uint64_t key) const
+{
+    std::uint64_t greater = 0;
+    std::uint32_t t = root;
+    while (t != 0) {
+        if (pool[t].key > key) {
+            greater += 1 + size(pool[t].right);
+            t = pool[t].left;
+        } else {
+            t = pool[t].right;
+        }
+    }
+    return greater;
+}
+
+std::uint64_t
+OlkenTree::access(PageId page)
+{
+    // Stamps start at 1: erase() computes key - 1 and a zero key would
+    // wrap around.
+    const std::uint64_t stamp = ++clock;
+    auto it = lastStamp.find(page);
+    std::uint64_t distance = kColdDistance;
+    if (it != lastStamp.end()) {
+        // Distinct pages touched since the previous access = nodes whose
+        // last-access timestamp is newer than ours (we ourselves were
+        // re-stamped by those accesses' inserts).
+        distance = countGreater(it->second);
+        erase(it->second);
+        it->second = stamp;
+    } else {
+        lastStamp.emplace(page, stamp);
+    }
+    insert(stamp);
+    return distance;
+}
+
+void
+OlkenTree::reset()
+{
+    pool.clear();
+    pool.push_back(Node{0, 0, 0, 0, 0});
+    freeNodes.clear();
+    root = 0;
+    lastStamp.clear();
+    clock = 0;
+}
+
+} // namespace gmt::reuse

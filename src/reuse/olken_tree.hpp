@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Olken's algorithm: exact unique reuse-distance computation.
+ *
+ * This is the "tree-based method" (§2.1.3) the CPU thread uses to turn a
+ * stream of page accesses into true reuse distances (number of *distinct*
+ * pages touched between consecutive accesses to the same page). The
+ * structure is a balanced order-statistic tree keyed by last-access
+ * timestamp: on each access, the previous occurrence of the page is
+ * located via a hash map, its rank from the right equals the set of
+ * distinct pages touched since, the old node is deleted and a new node
+ * with the current timestamp inserted.
+ *
+ * We implement the order-statistic tree as a treap (randomized priorities,
+ * deterministic seed) with subtree counts: expected O(log n) per access
+ * and far simpler to verify against the brute-force oracle in tests than
+ * a red-black tree.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gmt::reuse
+{
+
+/** Reuse distance reported for a first-ever access (cold). */
+inline constexpr std::uint64_t kColdDistance =
+    std::numeric_limits<std::uint64_t>::max();
+
+/** Streaming exact unique-reuse-distance analyzer (Olken). */
+class OlkenTree
+{
+  public:
+    explicit OlkenTree(std::uint64_t seed = 42);
+    ~OlkenTree();
+
+    OlkenTree(const OlkenTree &) = delete;
+    OlkenTree &operator=(const OlkenTree &) = delete;
+
+    /**
+     * Record an access to @p page.
+     * @return the unique reuse distance since its previous access, or
+     *         kColdDistance if this is the first access.
+     */
+    std::uint64_t access(PageId page);
+
+    /** Number of distinct pages seen so far. */
+    std::uint64_t distinctPages() const { return lastStamp.size(); }
+
+    /** Total accesses processed. */
+    std::uint64_t accesses() const { return clock; }
+
+    void reset();
+
+  private:
+    struct Node
+    {
+        std::uint64_t key;      ///< last-access timestamp
+        std::uint64_t prio;     ///< treap heap priority
+        std::uint32_t left = 0; ///< node-pool indices; 0 = null
+        std::uint32_t right = 0;
+        std::uint32_t size = 1; ///< subtree node count
+    };
+
+    std::uint32_t allocNode(std::uint64_t key);
+    void freeNode(std::uint32_t n);
+    std::uint32_t size(std::uint32_t n) const;
+    void split(std::uint32_t t, std::uint64_t key, std::uint32_t &l,
+               std::uint32_t &r);
+    std::uint32_t merge(std::uint32_t l, std::uint32_t r);
+    void insert(std::uint64_t key);
+    void erase(std::uint64_t key);
+    /** Number of keys strictly greater than @p key. */
+    std::uint64_t countGreater(std::uint64_t key) const;
+
+    std::vector<Node> pool;           ///< node 0 is the null sentinel
+    std::vector<std::uint32_t> freeNodes;
+    std::uint32_t root = 0;
+    std::unordered_map<PageId, std::uint64_t> lastStamp;
+    std::uint64_t clock = 0;
+    Rng rng;
+};
+
+} // namespace gmt::reuse

@@ -1,0 +1,54 @@
+#include "reuse/ols_regressor.hpp"
+
+#include <cmath>
+
+namespace gmt::reuse
+{
+
+void
+OlsRegressor::addSample(double vtd, double reuse_distance)
+{
+    ++n;
+    sumX += vtd;
+    sumY += reuse_distance;
+    sumXX += vtd * vtd;
+    sumXY += vtd * reuse_distance;
+    if (n % kPipelineBatch == 0)
+        published = fit();
+}
+
+LinearModel
+OlsRegressor::fit() const
+{
+    LinearModel model;
+    if (n < 2)
+        return model;
+    const double dn = double(n);
+    const double var_x = sumXX - sumX * sumX / dn;
+    if (var_x <= 1e-12) {
+        // Degenerate x (a workload with one reuse operating point, e.g.
+        // a fixed-period cyclic sweep): fall back to a proportional
+        // model through the origin, which is exact at the observed
+        // point and conservative elsewhere.
+        if (sumX > 0.0) {
+            model.m = sumY / sumX;
+            model.b = 0.0;
+            model.fitted = true;
+        }
+        return model;
+    }
+    model.m = (sumXY - sumX * sumY / dn) / var_x;
+    model.b = (sumY - model.m * sumX) / dn;
+    model.fitted = true;
+    return model;
+}
+
+void
+OlsRegressor::reset()
+{
+    n = 0;
+    sumX = sumY = sumXX = sumXY = 0.0;
+    published = LinearModel{};
+}
+
+} // namespace gmt::reuse

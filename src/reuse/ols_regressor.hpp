@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Streaming Ordinary Least Squares regression — Eq. 2/3 of the paper.
+ *
+ * The CPU-side thread receives (VTD, reuse-distance) sample pairs from
+ * the GPU (batched every kPipelineBatch samples, §2.1.3 "we pipeline the
+ * samples (every 10000 samples) to the CPU thread") and maintains the
+ * running sums needed for the closed-form simple-linear-regression
+ * solution, so coefficients improve incrementally as batches arrive —
+ * identical to refitting on the union of all samples.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace gmt::reuse
+{
+
+/** Slope/offset pair of the fitted line RD = m * VTD + b. */
+struct LinearModel
+{
+    double m = 1.0;
+    double b = 0.0;
+    bool fitted = false;
+
+    /** Predicted reuse distance for a VTD (clamped at zero). */
+    double
+    predict(double vtd) const
+    {
+        const double v = m * vtd + b;
+        return v > 0.0 ? v : 0.0;
+    }
+};
+
+/** Incremental simple-OLS over (x = VTD, y = reuse distance) pairs. */
+class OlsRegressor
+{
+  public:
+    /** Paper batch size: coefficients refresh every this many samples. */
+    static constexpr std::uint64_t kPipelineBatch = 10000;
+
+    /** Add one training pair. */
+    void addSample(double vtd, double reuse_distance);
+
+    /** Samples accumulated. */
+    std::uint64_t samples() const { return n; }
+
+    /**
+     * Recompute m/b from the running sums.
+     * @retval model with fitted=false when under 2 samples or a
+     *         degenerate (zero-variance) x.
+     */
+    LinearModel fit() const;
+
+    /**
+     * Model as of the last completed pipeline batch: callers (the GPU
+     * side) see coefficients refreshed every kPipelineBatch samples
+     * rather than on every addSample, matching the paper's design.
+     */
+    LinearModel pipelinedModel() const { return published; }
+
+    void reset();
+
+  private:
+    std::uint64_t n = 0;
+    double sumX = 0.0;
+    double sumY = 0.0;
+    double sumXX = 0.0;
+    double sumXY = 0.0;
+    LinearModel published;
+};
+
+} // namespace gmt::reuse

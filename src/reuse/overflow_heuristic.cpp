@@ -1,0 +1,42 @@
+#include "reuse/overflow_heuristic.hpp"
+
+namespace gmt::reuse
+{
+
+void
+OverflowHeuristic::record(bool predicted_tier3)
+{
+    if (filled == kWindow) {
+        if (window[head])
+            --tier3Count;
+    } else {
+        ++filled;
+    }
+    window[head] = predicted_tier3;
+    if (predicted_tier3)
+        ++tier3Count;
+    head = (head + 1) % kWindow;
+}
+
+bool
+OverflowHeuristic::shouldRedirect() const
+{
+    if (filled < kWindow)
+        return false;
+    return double(tier3Count) / double(filled) > kThreshold;
+}
+
+double
+OverflowHeuristic::tier3Fraction() const
+{
+    return filled ? double(tier3Count) / double(filled) : 0.0;
+}
+
+void
+OverflowHeuristic::reset()
+{
+    window.reset();
+    head = filled = tier3Count = 0;
+}
+
+} // namespace gmt::reuse

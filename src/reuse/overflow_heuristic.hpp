@@ -1,0 +1,49 @@
+/**
+ * @file
+ * The Tier-3 overflow heuristic of §2.2.
+ *
+ * When an overwhelming share of recent Tier-1 evictions are predicted
+ * long-reuse (Tier-3), host memory would sit idle even though it is still
+ * a much lower-latency place than the SSD. The paper's rule: if more than
+ * 80% of the last evictions were headed to Tier-3, place the current one
+ * in Tier-2 anyway. We implement the window as a 64-entry ring of recent
+ * outcomes.
+ */
+
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+
+namespace gmt::reuse
+{
+
+/** Sliding-window ">80% of recent evictions are Tier-3" detector. */
+class OverflowHeuristic
+{
+  public:
+    static constexpr unsigned kWindow = 64;
+    static constexpr double kThreshold = 0.80;
+
+    /** Record whether the latest Tier-1 eviction was predicted Tier-3. */
+    void record(bool predicted_tier3);
+
+    /**
+     * Should the current (Tier-3-predicted) eviction be redirected to
+     * Tier-2? True once the window is warm and >80% of it is Tier-3.
+     */
+    bool shouldRedirect() const;
+
+    /** Fraction of the current window predicted Tier-3. */
+    double tier3Fraction() const;
+
+    void reset();
+
+  private:
+    std::bitset<kWindow> window;
+    unsigned head = 0;
+    unsigned filled = 0;
+    unsigned tier3Count = 0;
+};
+
+} // namespace gmt::reuse

@@ -1,0 +1,68 @@
+#include "reuse/sampler.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::reuse
+{
+
+ReuseSampler::ReuseSampler(std::uint64_t sample_period,
+                           std::uint64_t sample_target)
+    : period(sample_period), target(sample_target)
+{
+    GMT_ASSERT(sample_period > 0);
+}
+
+void
+ReuseSampler::onAccess(PageId page, VirtualStamp vtd)
+{
+    if (!active())
+        return;
+    if (++seen % period != 0)
+        return;
+    queue.push_back(AccessSample{page, vtd});
+    ++recorded;
+}
+
+std::uint64_t
+ReuseSampler::drain(std::uint64_t max_samples)
+{
+    std::uint64_t done = 0;
+    while (done < max_samples && !queue.empty()) {
+        const AccessSample s = queue.front();
+        queue.pop_front();
+        // The tree runs over the *sampled* stream. Unique-page counts
+        // are nearly sampling-invariant: a page visit spans many
+        // coalesced accesses, so a page appearing between two samples
+        // of p is itself sampled with high probability. The distance
+        // therefore feeds the regressor unscaled (VTDs are true global
+        // counter deltas).
+        const std::uint64_t rd = tree.access(s.page);
+        if (rd != kColdDistance && s.vtd > 0)
+            regressor.addSample(double(s.vtd), double(rd));
+        ++consumed;
+        ++done;
+    }
+    return done;
+}
+
+LinearModel
+ReuseSampler::model() const
+{
+    // Prefer the pipelined coefficients; before the first full batch,
+    // fall back to a direct fit so short sampling phases still learn.
+    LinearModel m = regressor.pipelinedModel();
+    if (!m.fitted)
+        m = regressor.fit();
+    return m;
+}
+
+void
+ReuseSampler::reset()
+{
+    seen = recorded = consumed = 0;
+    queue.clear();
+    tree.reset();
+    regressor.reset();
+}
+
+} // namespace gmt::reuse

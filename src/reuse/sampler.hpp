@@ -1,0 +1,85 @@
+/**
+ * @file
+ * GPU->CPU sampling pipeline for fitting the VTD->RD model (§2.1.3).
+ *
+ * Early in execution the GPU pushes a sample of its coalesced page
+ * accesses into a queue shared with the host. A dedicated host thread
+ * drains the queue, runs each sampled access through the Olken tree to
+ * recover the true unique reuse distance, pairs it with the VTD the GPU
+ * measured, and feeds the pair to the OLS regressor. Updated (m, b)
+ * coefficients are published back every OlsRegressor::kPipelineBatch
+ * samples.
+ *
+ * In the DES the "host thread" is a logical actor: draining is
+ * off the GPU critical path (its cost is charged to a host-side channel,
+ * never to warp time), matching the paper's design intent.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "reuse/olken_tree.hpp"
+#include "reuse/ols_regressor.hpp"
+#include "util/types.hpp"
+
+namespace gmt::reuse
+{
+
+/** One queued sample: which page was touched and the VTD observed. */
+struct AccessSample
+{
+    PageId page;
+    VirtualStamp vtd; ///< VTD at this access (0 for first touch)
+};
+
+/** Sampling controller + host-side consumer. */
+class ReuseSampler
+{
+  public:
+    /**
+     * @param sample_period  record every Nth coalesced access
+     * @param sample_target  stop sampling after this many samples
+     *                       ("typically we collect hundreds of thousands")
+     */
+    ReuseSampler(std::uint64_t sample_period, std::uint64_t sample_target);
+
+    /** Is the sampling phase still active? */
+    bool active() const { return recorded < target; }
+
+    /**
+     * GPU side: called on every coalesced access during the sampling
+     * phase. Cheap: one modulo and, on sampled accesses, a queue push.
+     */
+    void onAccess(PageId page, VirtualStamp vtd);
+
+    /**
+     * Host side: drain up to @p max_samples queued samples through the
+     * Olken tree + regressor. @return samples consumed.
+     */
+    std::uint64_t drain(std::uint64_t max_samples);
+
+    /** Coefficients as published by the pipelined regression. */
+    LinearModel model() const;
+
+    /** Queue length (for host-actor scheduling & tests). */
+    std::size_t pendingSamples() const { return queue.size(); }
+
+    std::uint64_t samplesRecorded() const { return recorded; }
+    std::uint64_t samplesConsumed() const { return consumed; }
+
+    void reset();
+
+  private:
+    std::uint64_t period;
+    std::uint64_t target;
+    std::uint64_t seen = 0;
+    std::uint64_t recorded = 0;
+    std::uint64_t consumed = 0;
+    std::deque<AccessSample> queue;
+    OlkenTree tree;
+    OlsRegressor regressor;
+};
+
+} // namespace gmt::reuse

@@ -1,0 +1,4 @@
+// VtdTracker is header-only; this translation unit exists so the target
+// always has at least one object file and to anchor the vtable-less class
+// in the library for tooling.
+#include "reuse/vtd_tracker.hpp"

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Virtual Timestamp Distance (VTD) tracking — §2.1.3.
+ *
+ * One global counter increments on every coalesced access. Each page is
+ * stamped with the counter value when accessed; the page's VTD at any
+ * moment is counter - stamp (the number of possibly-non-unique accesses
+ * since its last touch). VTD is the cheap on-GPU proxy that the OLS
+ * regression maps to true (unique) reuse distance.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace gmt::reuse
+{
+
+/** Global coalesced-access counter with stamp arithmetic helpers. */
+class VtdTracker
+{
+  public:
+    /** Advance the counter for one coalesced access; returns new value. */
+    VirtualStamp
+    tick()
+    {
+        return ++counter;
+    }
+
+    /** Current counter value. */
+    VirtualStamp now() const { return counter; }
+
+    /** VTD of a page stamped at @p last_stamp. */
+    VirtualStamp
+    vtdSince(VirtualStamp last_stamp) const
+    {
+        return counter - last_stamp;
+    }
+
+    void reset() { counter = 0; }
+
+  private:
+    VirtualStamp counter = 0;
+};
+
+} // namespace gmt::reuse

@@ -1,0 +1,68 @@
+#include "sim/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace gmt::sim
+{
+
+BandwidthChannel::BandwidthChannel(std::string channel_name,
+                                   double bytes_per_second,
+                                   SimTime latency_ns)
+    : _name(std::move(channel_name)), bytesPerSec(bytes_per_second),
+      latencyNs(latency_ns)
+{
+    GMT_ASSERT(bytes_per_second > 0.0);
+}
+
+SimTime
+BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
+{
+    const SimTime start = std::max(now, busyUntil);
+    const double ns = double(bytes) / bytesPerSec * 1e9;
+    const auto occupy = SimTime(std::llround(ns));
+    busyUntil = start + occupy;
+    totalBusy += occupy;
+    totalBytes += bytes;
+    return busyUntil + latencyNs;
+}
+
+void
+BandwidthChannel::reset()
+{
+    busyUntil = 0;
+    totalBytes = 0;
+    totalBusy = 0;
+}
+
+ServerPool::ServerPool(std::string pool_name, unsigned num_servers)
+    : _name(std::move(pool_name)), freeAt(num_servers, 0)
+{
+    GMT_ASSERT(num_servers > 0);
+}
+
+SimTime
+ServerPool::serviceAt(SimTime now, SimTime service_ns)
+{
+    // Earliest-available server; linear scan is fine (pools are small:
+    // SSD queue depth and handler thread counts are both < 1024).
+    auto it = std::min_element(freeAt.begin(), freeAt.end());
+    const SimTime start = std::max(now, *it);
+    totalQueueing += start - now;
+    *it = start + service_ns;
+    ++totalJobs;
+    return *it;
+}
+
+void
+ServerPool::reset()
+{
+    std::fill(freeAt.begin(), freeAt.end(), 0);
+    totalJobs = 0;
+    totalQueueing = 0;
+}
+
+} // namespace gmt::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Queueing resources for the DES: bandwidth channels and server pools.
+ *
+ * BandwidthChannel models a FIFO, work-conserving link (PCIe link, SSD
+ * media bandwidth, a DMA engine): each transfer occupies the channel for
+ * bytes/bandwidth seconds, transfers serialize in arrival order, and the
+ * completion additionally pays a fixed propagation latency that does NOT
+ * occupy the channel (pipelining).
+ *
+ * ServerPool models a k-server station (SSD command slots / queue depth,
+ * HMM host fault-handler threads): each job takes a fixed service time on
+ * one of k servers; arrivals beyond k wait for the earliest-free server.
+ *
+ * Both hand back *completion times* rather than scheduling events
+ * themselves, so callers compose them: e.g. an SSD read's completion is
+ * serviceAt(ssdSlots) then transferAt(pcieLink).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::sim
+{
+
+/** Work-conserving FIFO bandwidth resource with pipelined latency. */
+class BandwidthChannel
+{
+  public:
+    /**
+     * @param channel_name     for reporting
+     * @param bytes_per_second sustained bandwidth
+     * @param latency_ns       per-transfer propagation latency (pipelined)
+     */
+    BandwidthChannel(std::string channel_name, double bytes_per_second,
+                     SimTime latency_ns);
+
+    /**
+     * Enqueue a transfer of @p bytes arriving at @p now.
+     * @return the time at which the payload is fully delivered.
+     */
+    SimTime transferAt(SimTime now, std::uint64_t bytes);
+
+    /** Time the channel next becomes idle (for utilization probes). */
+    SimTime nextFree() const { return busyUntil; }
+
+    /** Total bytes pushed through the channel. */
+    std::uint64_t bytesTransferred() const { return totalBytes; }
+
+    /** Busy time accumulated (for utilization = busy / elapsed). */
+    SimTime busyTime() const { return totalBusy; }
+
+    double bandwidth() const { return bytesPerSec; }
+    SimTime latency() const { return latencyNs; }
+    const std::string &name() const { return _name; }
+
+    void reset();
+
+  private:
+    std::string _name;
+    double bytesPerSec;
+    SimTime latencyNs;
+    SimTime busyUntil = 0;
+    std::uint64_t totalBytes = 0;
+    SimTime totalBusy = 0;
+};
+
+/** k-server FIFO station with per-job service time. */
+class ServerPool
+{
+  public:
+    /**
+     * @param pool_name  for reporting
+     * @param num_servers concurrent jobs supported (queue depth)
+     */
+    ServerPool(std::string pool_name, unsigned num_servers);
+
+    /**
+     * Enqueue a job arriving at @p now that needs @p service_ns of work.
+     * @return completion time on the earliest-available server.
+     */
+    SimTime serviceAt(SimTime now, SimTime service_ns);
+
+    /** Jobs accepted so far. */
+    std::uint64_t jobs() const { return totalJobs; }
+
+    /** Sum of time jobs spent queued before service began. */
+    SimTime queueingTime() const { return totalQueueing; }
+
+    unsigned servers() const { return unsigned(freeAt.size()); }
+    const std::string &name() const { return _name; }
+
+    void reset();
+
+  private:
+    std::string _name;
+    std::vector<SimTime> freeAt;
+    std::uint64_t totalJobs = 0;
+    SimTime totalQueueing = 0;
+};
+
+} // namespace gmt::sim

@@ -1,0 +1,66 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace gmt::sim
+{
+
+void
+EventQueue::scheduleAt(SimTime when, EventFn fn)
+{
+    GMT_ASSERT(when >= currentTime);
+    events.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+void
+EventQueue::scheduleAfter(SimTime delay, EventFn fn)
+{
+    scheduleAt(currentTime + delay, std::move(fn));
+}
+
+bool
+EventQueue::step()
+{
+    if (events.empty())
+        return false;
+    // priority_queue::top returns const&; move the callback out via a copy
+    // of the entry since we pop immediately after.
+    Entry e = events.top();
+    events.pop();
+    currentTime = e.when;
+    e.fn();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runToCompletion()
+{
+    std::uint64_t dispatched = 0;
+    while (step())
+        ++dispatched;
+    return dispatched;
+}
+
+std::uint64_t
+EventQueue::runUntil(SimTime deadline)
+{
+    std::uint64_t dispatched = 0;
+    while (!events.empty() && events.top().when <= deadline) {
+        step();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+void
+EventQueue::reset()
+{
+    while (!events.empty())
+        events.pop();
+    currentTime = 0;
+    nextSeq = 0;
+}
+
+} // namespace gmt::sim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Discrete-event core: a time-ordered event queue with a simulated clock.
+ *
+ * GMT's evaluation properties (miss-level parallelism, channel contention,
+ * host-handler serialization under HMM) are all *queueing* effects, so the
+ * whole platform is modelled as a single-threaded DES. Actors (warps, the
+ * host regression thread, the HMM fault handler) schedule callbacks; the
+ * queue dispatches them in (time, sequence) order, giving deterministic
+ * FIFO tie-breaking.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::sim
+{
+
+/** Callback invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/** Time-ordered event queue plus the simulated clock. */
+class EventQueue
+{
+  public:
+    /** Current simulated time in nanoseconds. */
+    SimTime now() const { return currentTime; }
+
+    /** Schedule @p fn at absolute time @p when. @pre when >= now(). */
+    void scheduleAt(SimTime when, EventFn fn);
+
+    /** Schedule @p fn @p delay ns in the future. */
+    void scheduleAfter(SimTime delay, EventFn fn);
+
+    /** True when no events remain. */
+    bool empty() const { return events.empty(); }
+
+    /** Number of pending events. */
+    std::size_t pending() const { return events.size(); }
+
+    /**
+     * Dispatch the single earliest event, advancing the clock to it.
+     * @retval false if the queue was empty.
+     */
+    bool step();
+
+    /** Dispatch until the queue drains. Returns events dispatched. */
+    std::uint64_t runToCompletion();
+
+    /** Dispatch until the clock would pass @p deadline or queue drains. */
+    std::uint64_t runUntil(SimTime deadline);
+
+    /** Drop all pending events and reset the clock to zero. */
+    void reset();
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    SimTime currentTime = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+} // namespace gmt::sim

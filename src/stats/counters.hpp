@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Lightweight named counters.
+ *
+ * Every runtime (BaM, HMM, the three GMT policies) exports the same
+ * counter set so benches and tests can compare them uniformly. Counters
+ * are plain uint64 increments — no atomics, since the DES is single
+ * threaded by construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gmt::stats
+{
+
+/** One named monotone counter. */
+class Counter
+{
+  public:
+    explicit Counter(std::string counter_name)
+        : _name(std::move(counter_name))
+    {}
+
+    void inc(std::uint64_t by = 1) { _value += by; }
+    void reset() { _value = 0; }
+
+    std::uint64_t value() const { return _value; }
+    const std::string &name() const { return _name; }
+
+  private:
+    std::string _name;
+    std::uint64_t _value = 0;
+};
+
+/** An ordered bag of counters, exported by each runtime for reporting. */
+class CounterSet
+{
+  public:
+    /** Create (or fetch) a counter by name; names are unique. */
+    Counter &
+    get(const std::string &name)
+    {
+        for (auto &c : counters) {
+            if (c.name() == name)
+                return c;
+        }
+        counters.emplace_back(name);
+        return counters.back();
+    }
+
+    /** Value of a counter, 0 if it was never created. */
+    std::uint64_t
+    value(const std::string &name) const
+    {
+        for (const auto &c : counters) {
+            if (c.name() == name)
+                return c.value();
+        }
+        return 0;
+    }
+
+    void
+    resetAll()
+    {
+        for (auto &c : counters)
+            c.reset();
+    }
+
+    const std::vector<Counter> &all() const { return counters; }
+
+  private:
+    std::vector<Counter> counters;
+};
+
+} // namespace gmt::stats

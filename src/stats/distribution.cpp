@@ -1,0 +1,137 @@
+#include "stats/distribution.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gmt::stats
+{
+
+void
+Distribution::add(double sample)
+{
+    if (n == 0) {
+        lo = hi = sample;
+    } else {
+        lo = std::min(lo, sample);
+        hi = std::max(hi, sample);
+    }
+    ++n;
+    total += sample;
+    totalSq += sample * sample;
+}
+
+void
+Distribution::reset()
+{
+    n = 0;
+    total = totalSq = lo = hi = 0.0;
+}
+
+double
+Distribution::mean() const
+{
+    return n ? total / double(n) : 0.0;
+}
+
+double
+Distribution::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    const double m = mean();
+    // Sample variance; guard tiny negative values from rounding.
+    return std::max(0.0, (totalSq - double(n) * m * m) / double(n - 1));
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double upper_bound, unsigned num_buckets, Scale scale)
+    : bound(upper_bound), scaling(scale), buckets(num_buckets, 0)
+{
+    GMT_ASSERT(upper_bound > 0.0 && num_buckets > 0);
+}
+
+unsigned
+Histogram::bucketFor(double sample) const
+{
+    const unsigned nb = unsigned(buckets.size());
+    if (scaling == Scale::Linear) {
+        const double width = bound / nb;
+        return unsigned(sample / width);
+    }
+    // Log2 buckets: bucket i covers [bound / 2^(nb-i), bound / 2^(nb-i-1)).
+    // Equivalently, bucket index grows with log2(sample).
+    if (sample < 1.0)
+        return 0;
+    const double per_bucket = std::log2(bound) / nb;
+    const unsigned idx = unsigned(std::log2(sample) / per_bucket);
+    return std::min(idx, nb - 1);
+}
+
+void
+Histogram::add(double sample, std::uint64_t weight)
+{
+    total += weight;
+    if (sample >= bound || sample < 0.0) {
+        overflow += weight;
+        return;
+    }
+    buckets[std::min(bucketFor(sample), unsigned(buckets.size()) - 1)]
+        += weight;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    overflow = 0;
+    total = 0;
+}
+
+double
+Histogram::bucketLow(unsigned i) const
+{
+    const unsigned nb = unsigned(buckets.size());
+    GMT_ASSERT(i < nb);
+    if (scaling == Scale::Linear)
+        return bound / nb * i;
+    if (i == 0)
+        return 0.0;
+    const double per_bucket = std::log2(bound) / nb;
+    return std::exp2(per_bucket * i);
+}
+
+double
+Histogram::bucketHigh(unsigned i) const
+{
+    const unsigned nb = unsigned(buckets.size());
+    GMT_ASSERT(i < nb);
+    if (scaling == Scale::Linear)
+        return bound / nb * (i + 1);
+    const double per_bucket = std::log2(bound) / nb;
+    return std::exp2(per_bucket * (i + 1));
+}
+
+double
+Histogram::fractionBetween(double lo, double hi) const
+{
+    if (total == 0)
+        return 0.0;
+    std::uint64_t in_range = 0;
+    for (unsigned i = 0; i < buckets.size(); ++i) {
+        const double mid = 0.5 * (bucketLow(i) + bucketHigh(i));
+        if (mid >= lo && mid < hi)
+            in_range += buckets[i];
+    }
+    if (hi >= bound)
+        in_range += overflow;
+    return double(in_range) / double(total);
+}
+
+} // namespace gmt::stats

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sample distributions and histograms.
+ *
+ * Distribution accumulates scalar samples with O(1) state (count, sum,
+ * min, max, sum of squares). Histogram additionally buckets samples,
+ * either linearly or logarithmically — the RRD distributions of Figure 7
+ * use the log variant since reuse distances span five decades.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gmt::stats
+{
+
+/** Streaming scalar distribution (no per-sample storage). */
+class Distribution
+{
+  public:
+    void add(double sample);
+    void reset();
+
+    std::uint64_t count() const { return n; }
+    double sum() const { return total; }
+    double mean() const;
+    double variance() const;
+    double stddev() const;
+    double min() const { return n ? lo : 0.0; }
+    double max() const { return n ? hi : 0.0; }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double totalSq = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+};
+
+/** Bucketed histogram over [0, bound) with linear or log2 buckets. */
+class Histogram
+{
+  public:
+    enum class Scale { Linear, Log2 };
+
+    /**
+     * @param upper_bound  samples >= upper_bound land in the overflow bucket
+     * @param num_buckets  bucket count (excluding overflow)
+     * @param scale        linear or log2 bucket widths
+     */
+    Histogram(double upper_bound, unsigned num_buckets,
+              Scale scale = Scale::Linear);
+
+    void add(double sample, std::uint64_t weight = 1);
+    void reset();
+
+    unsigned numBuckets() const { return unsigned(buckets.size()); }
+    std::uint64_t bucketCount(unsigned i) const { return buckets.at(i); }
+    std::uint64_t overflowCount() const { return overflow; }
+    std::uint64_t totalCount() const { return total; }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double bucketLow(unsigned i) const;
+    /** Exclusive upper edge of bucket @p i. */
+    double bucketHigh(unsigned i) const;
+
+    /** Fraction of samples in [lo, hi) (bucket-resolution approximation). */
+    double fractionBetween(double lo, double hi) const;
+
+  private:
+    unsigned bucketFor(double sample) const;
+
+    double bound;
+    Scale scaling;
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace gmt::stats

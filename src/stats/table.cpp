@@ -1,0 +1,87 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace gmt::stats
+{
+
+void
+Table::header(std::vector<std::string> cols)
+{
+    GMT_ASSERT(!cols.empty());
+    head = std::move(cols);
+}
+
+void
+Table::row(std::vector<std::string> cols)
+{
+    GMT_ASSERT(cols.size() == head.size());
+    rows.push_back(std::move(cols));
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::vector<std::size_t> width(head.size(), 0);
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &r : rows) {
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+    }
+
+    std::size_t line = 1;
+    for (auto w : width)
+        line += w + 3;
+
+    std::fprintf(out, "\n== %s ==\n", title.c_str());
+    const std::string rule(line, '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    auto emit = [&](const std::vector<std::string> &cells) {
+        std::fprintf(out, "|");
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::fprintf(out, " %-*s |", int(width[c]), cells[c].c_str());
+        std::fprintf(out, "\n");
+    };
+    emit(head);
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto &r : rows)
+        emit(r);
+    std::fprintf(out, "%s\n", rule.c_str());
+    std::fflush(out);
+}
+
+void
+Table::printCsv(std::FILE *out) const
+{
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            std::fprintf(out, "%s%s", cells[c].c_str(),
+                         c + 1 == cells.size() ? "\n" : ",");
+    };
+    emit(head);
+    for (const auto &r : rows)
+        emit(r);
+    std::fflush(out);
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+} // namespace gmt::stats

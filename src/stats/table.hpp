@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width ASCII table / CSV printer.
+ *
+ * Every bench binary regenerates one of the paper's tables or figures as
+ * rows printed through this class, so all outputs share one format:
+ * a title line, a header row, aligned data rows, and an optional
+ * "paper reference" annotation per row for EXPERIMENTS.md comparisons.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gmt::stats
+{
+
+/** A simple column-aligned table builder. */
+class Table
+{
+  public:
+    explicit Table(std::string table_title) : title(std::move(table_title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cols);
+
+    /** Append a data row; must match the header width. */
+    void row(std::vector<std::string> cols);
+
+    /** Render to an ASCII box on @p out (defaults to stdout). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Render as CSV (header + rows, no title). */
+    void printCsv(std::FILE *out = stdout) const;
+
+    /** Format helpers for numeric cells. */
+    static std::string num(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::string title;
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace gmt::stats

@@ -1,0 +1,92 @@
+#include "tier2/directory.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace gmt::tier2
+{
+
+Directory::Directory(std::uint64_t capacity_hint)
+{
+    const std::uint64_t want = capacity_hint < 8 ? 16 : capacity_hint * 2;
+    table.resize(std::bit_ceil(want));
+}
+
+std::uint64_t
+Directory::hash(PageId page)
+{
+    // splitmix64 finalizer — strong enough to break up the strided page
+    // ids the stencil workloads generate.
+    std::uint64_t x = page + 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+FrameId
+Directory::find(PageId page) const
+{
+    std::uint64_t i = hash(page) & mask();
+    for (std::uint64_t n = 0; n <= mask(); ++n) {
+        ++probes;
+        const Cell &c = table[i];
+        if (c.page == page)
+            return c.slot;
+        if (c.page == kInvalidPage && !c.tombstone)
+            return kInvalidFrame;
+        i = (i + 1) & mask();
+    }
+    return kInvalidFrame;
+}
+
+void
+Directory::insert(PageId page, FrameId slot)
+{
+    GMT_ASSERT(entries < table.size());
+    std::uint64_t i = hash(page) & mask();
+    for (;;) {
+        Cell &c = table[i];
+        if (c.page == kInvalidPage) {
+            c.page = page;
+            c.slot = slot;
+            c.tombstone = false;
+            ++entries;
+            return;
+        }
+        GMT_ASSERT(c.page != page); // precondition: not present
+        i = (i + 1) & mask();
+    }
+}
+
+void
+Directory::erase(PageId page)
+{
+    std::uint64_t i = hash(page) & mask();
+    for (std::uint64_t n = 0; n <= mask(); ++n) {
+        Cell &c = table[i];
+        if (c.page == page) {
+            c.page = kInvalidPage;
+            c.slot = kInvalidFrame;
+            c.tombstone = true;
+            --entries;
+            return;
+        }
+        if (c.page == kInvalidPage && !c.tombstone)
+            break;
+        i = (i + 1) & mask();
+    }
+    panic("Directory::erase: page %llu not present",
+          static_cast<unsigned long long>(page));
+}
+
+void
+Directory::clear()
+{
+    const auto n = table.size();
+    table.assign(n, Cell{});
+    entries = 0;
+    probes = 0;
+}
+
+} // namespace gmt::tier2

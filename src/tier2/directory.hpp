@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Open-addressed Tier-2 directory: PageId -> slot.
+ *
+ * The directory is the structure GPU threads probe on every Tier-1 miss
+ * ("looking up Tier-2 to see whether a page is present, before going to
+ * storage introduces additional latency" — §2, §3.4's 50 ns cost). It is
+ * implemented as a power-of-two open-addressed hash table with linear
+ * probing and tombstones, the same shape BaM uses for its page table,
+ * sized at 2x the slot count to keep probe chains short.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::tier2
+{
+
+/** Linear-probing hash map PageId -> FrameId with deletion. */
+class Directory
+{
+  public:
+    /** @param capacity_hint expected max entries (table is 2x, pow2) */
+    explicit Directory(std::uint64_t capacity_hint);
+
+    /** @return slot for @p page or kInvalidFrame. */
+    FrameId find(PageId page) const;
+
+    /** Insert a mapping. @pre page not present; table not full. */
+    void insert(PageId page, FrameId slot);
+
+    /** Remove a mapping. @pre present. */
+    void erase(PageId page);
+
+    std::uint64_t size() const { return entries; }
+    std::uint64_t tableSlots() const { return table.size(); }
+
+    /** Probes performed since construction/reset (perf diagnostics). */
+    std::uint64_t probeCount() const { return probes; }
+
+    void clear();
+
+  private:
+    struct Cell
+    {
+        PageId page = kInvalidPage;
+        FrameId slot = kInvalidFrame;
+        bool tombstone = false;
+    };
+
+    std::uint64_t mask() const { return table.size() - 1; }
+    static std::uint64_t hash(PageId page);
+
+    std::vector<Cell> table;
+    std::uint64_t entries = 0;
+    mutable std::uint64_t probes = 0;
+};
+
+} // namespace gmt::tier2

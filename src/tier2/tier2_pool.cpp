@@ -1,0 +1,102 @@
+#include "tier2/tier2_pool.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::tier2
+{
+
+Tier2Pool::Tier2Pool(mem::PageTable &page_table, std::uint64_t num_slots,
+                     const std::string &policy_name)
+    : pt(page_table), slots(num_slots), dir(num_slots),
+      policy(num_slots > 0
+                 ? replacement::makePolicy(policy_name, num_slots)
+                 : nullptr),
+      slotSeq(num_slots, 0)
+{
+}
+
+bool
+Tier2Pool::contains(PageId page) const
+{
+    return dir.find(page) != kInvalidFrame;
+}
+
+void
+Tier2Pool::insert(PageId page)
+{
+    GMT_ASSERT(enabled());
+    GMT_ASSERT(!full());
+    GMT_ASSERT(!contains(page));
+    const FrameId slot = slots.allocate(page);
+    GMT_ASSERT(slot != kInvalidFrame);
+    dir.insert(page, slot);
+    pt.setResidency(page, mem::Residency::Tier2, slot);
+    policy->onInsert(slot);
+    slotSeq[slot] = ++seqCounter;
+    ++insertCount;
+}
+
+void
+Tier2Pool::take(PageId page)
+{
+    const FrameId slot = dir.find(page);
+    GMT_ASSERT(slot != kInvalidFrame);
+    dir.erase(page);
+    policy->onRemove(slot);
+    slots.release(slot);
+    pt.setResidency(page, mem::Residency::None, kInvalidFrame);
+    ++takeCount;
+}
+
+PageId
+Tier2Pool::evictOneOlderThan(std::uint64_t min_age)
+{
+    GMT_ASSERT(enabled());
+    const FrameId victim = policy->selectVictim(slots);
+    if (victim == kInvalidFrame)
+        return kInvalidPage;
+    const std::uint64_t age = seqCounter - slotSeq[victim];
+    if (age < min_age) {
+        // Young resident: its predicted reuse is still plausible; put
+        // it back (fresh insert position) and decline.
+        policy->onInsert(victim);
+        return kInvalidPage;
+    }
+    const PageId page = slots.frame(victim).page;
+    GMT_ASSERT(page != kInvalidPage);
+    dir.erase(page);
+    slots.release(victim);
+    pt.setResidency(page, mem::Residency::None, kInvalidFrame);
+    ++evictCount;
+    return page;
+}
+
+PageId
+Tier2Pool::evictOne()
+{
+    GMT_ASSERT(enabled());
+    const FrameId victim = policy->selectVictim(slots);
+    if (victim == kInvalidFrame)
+        return kInvalidPage;
+    const PageId page = slots.frame(victim).page;
+    GMT_ASSERT(page != kInvalidPage);
+    dir.erase(page);
+    slots.release(victim);
+    pt.setResidency(page, mem::Residency::None, kInvalidFrame);
+    ++evictCount;
+    return page;
+}
+
+void
+Tier2Pool::reset()
+{
+    slots.clear();
+    dir.clear();
+    if (policy)
+        policy->reset();
+    slotSeq.assign(slotSeq.size(), 0);
+    seqCounter = 0;
+    insertCount = takeCount = evictCount = 0;
+}
+
+} // namespace gmt::tier2

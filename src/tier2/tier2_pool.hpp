@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tier-2 (host pinned memory) pool — §2.2.
+ *
+ * Placement rules from the paper:
+ *  - insert into a free slot when one exists;
+ *  - when full, the runtime may *choose* to evict (FIFO) or to bypass
+ *    Tier-2 entirely (GMT-Reuse discards clean / writes dirty pages to
+ *    SSD instead of displacing same-class pages);
+ *  - a Tier-2 hit promotes the page to Tier-1 and frees the slot (pages
+ *    are never duplicated across tiers);
+ *  - the pool supports a "supports-eviction" mode so GMT-TierOrder can
+ *    run a clock over Tier-2 instead of FIFO.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mem/frame_pool.hpp"
+#include "mem/page_table.hpp"
+#include "replacement/policy.hpp"
+#include "tier2/directory.hpp"
+#include "util/types.hpp"
+
+namespace gmt::tier2
+{
+
+/** Host-memory slot pool with directory and pluggable eviction. */
+class Tier2Pool
+{
+  public:
+    /**
+     * @param page_table  shared global page table
+     * @param num_slots   Tier-2 capacity in pages (0 = tier disabled)
+     * @param policy_name eviction policy: "fifo" (default) or "clock"
+     */
+    Tier2Pool(mem::PageTable &page_table, std::uint64_t num_slots,
+              const std::string &policy_name = "fifo");
+
+    std::uint64_t capacity() const { return slots.capacity(); }
+    std::uint64_t used() const { return slots.used(); }
+    bool full() const { return slots.full(); }
+    bool enabled() const { return slots.capacity() > 0; }
+
+    /**
+     * Directory probe: is @p page held in Tier-2?
+     * The runtime charges the 50 ns lookup cost; this just answers.
+     */
+    bool contains(PageId page) const;
+
+    /**
+     * Insert @p page into a free slot.
+     * @pre !full() and page not present.
+     */
+    void insert(PageId page);
+
+    /**
+     * Remove @p page (promotion to Tier-1). Frees its slot.
+     * The caller sets the page's new residency afterwards.
+     */
+    void take(PageId page);
+
+    /**
+     * Evict one page chosen by the pool's policy to make room.
+     * @return the evicted page (now residency None), or kInvalidPage
+     *         if nothing evictable.
+     */
+    PageId evictOne();
+
+    /**
+     * Evict the policy's next victim only if it was inserted at least
+     * @p min_age inserts ago (a "stale" resident whose predicted reuse
+     * is overdue — see §2.1.3/§2.2 reconciliation in GmtRuntime).
+     * A younger victim is put back and kInvalidPage returned.
+     */
+    PageId evictOneOlderThan(std::uint64_t min_age);
+
+    /** Monotone insert sequence number (age base for staleness). */
+    std::uint64_t insertSeq() const { return seqCounter; }
+
+    std::uint64_t inserts() const { return insertCount; }
+    std::uint64_t takes() const { return takeCount; }
+    std::uint64_t evictions() const { return evictCount; }
+
+    const Directory &directory() const { return dir; }
+
+    void reset();
+
+  private:
+    mem::PageTable &pt;
+    mem::FramePool slots;
+    Directory dir;
+    std::unique_ptr<replacement::Policy> policy;
+    std::vector<std::uint64_t> slotSeq; ///< insert seq per slot
+    std::uint64_t seqCounter = 0;
+    std::uint64_t insertCount = 0;
+    std::uint64_t takeCount = 0;
+    std::uint64_t evictCount = 0;
+};
+
+} // namespace gmt::tier2

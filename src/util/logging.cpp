@@ -1,0 +1,82 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmt
+{
+
+namespace
+{
+
+bool informEnabled = true;
+
+void
+vreport(std::FILE *stream, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fprintf(stream, "%s", prefix);
+    std::vfprintf(stream, fmt, ap);
+    std::fprintf(stream, "\n");
+    std::fflush(stream);
+}
+
+} // namespace
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!informEnabled)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+setInformEnabled(bool enabled)
+{
+    informEnabled = enabled;
+}
+
+namespace detail
+{
+
+void
+assertFail(const char *expr, const char *file, int line)
+{
+    panic("assertion failed: %s at %s:%d", expr, file, line);
+}
+
+} // namespace detail
+
+} // namespace gmt

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Status / error reporting in the gem5 spirit.
+ *
+ * panic()  - an internal invariant was violated; this is a GMT bug.
+ *            Aborts so a debugger/core dump can catch it.
+ * fatal()  - the user asked for something impossible (bad configuration);
+ *            exits with status 1.
+ * warn()   - something is suspicious but the run can continue.
+ * inform() - plain status output.
+ *
+ * All functions take printf-style formatting. GMT_ASSERT is a hot-path
+ * checked assertion that routes through panic() with file/line context.
+ */
+
+#pragma once
+
+#include <cstdarg>
+
+namespace gmt
+{
+
+/** Abort with a message: internal invariant violated (a GMT bug). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a message: unusable user configuration, not a bug. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning on stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message on stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it for clean tables). */
+void setInformEnabled(bool enabled);
+
+namespace detail
+{
+[[noreturn]] void assertFail(const char *expr, const char *file, int line);
+} // namespace detail
+
+} // namespace gmt
+
+/** Always-on assertion; violations are GMT bugs, so they panic. */
+#define GMT_ASSERT(expr)                                                   \
+    do {                                                                   \
+        if (!(expr)) [[unlikely]] {                                        \
+            ::gmt::detail::assertFail(#expr, __FILE__, __LINE__);          \
+        }                                                                  \
+    } while (false)

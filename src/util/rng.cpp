@@ -1,0 +1,34 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gmt
+{
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double skew)
+    : skew_(skew)
+{
+    GMT_ASSERT(n > 0);
+    cdf.resize(n);
+    double acc = 0.0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        acc += 1.0 / std::pow(static_cast<double>(i + 1), skew);
+        cdf[i] = acc;
+    }
+    const double total = acc;
+    for (auto &v : cdf)
+        v /= total;
+}
+
+std::uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        --it;
+    return static_cast<std::uint64_t>(it - cdf.begin());
+}
+
+} // namespace gmt

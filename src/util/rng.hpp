@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * Every stochastic component in GMT (GMT-Random placement, workload access
+ * generators, the Zipf microbenchmark of Figure 6b) draws from an explicit,
+ * seeded Rng instance so that runs are exactly reproducible. We use
+ * xorshift64* — tiny state, good quality for simulation purposes, and far
+ * cheaper than std::mt19937 on the access hot path.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace gmt
+{
+
+/** xorshift64*-based deterministic RNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state = x;
+        return x * 0x2545f4914f6cdd1dull;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        GMT_ASSERT(bound > 0);
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Re-seed in place. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        state = seed ? seed : 0x9e3779b97f4a7c15ull;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Zipf-distributed sampler over [0, n).
+ *
+ * Used by the Figure 6b microbenchmark: GPU threads draw page addresses
+ * from a Zipf distribution whose skew is swept from 0 (uniform) to 1
+ * (highly skewed). Sampling inverts the CDF with binary search over a
+ * precomputed table, so draws are O(log n) and deterministic.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n     population size (number of distinct pages)
+     * @param skew  Zipf exponent; 0 degenerates to uniform
+     */
+    ZipfSampler(std::uint64_t n, double skew);
+
+    /** Draw one rank in [0, n); rank 0 is the most popular element. */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return cdf.size(); }
+    double skewness() const { return skew_; }
+
+  private:
+    std::vector<double> cdf;
+    double skew_;
+};
+
+} // namespace gmt

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Fundamental types shared by every GMT module.
+ *
+ * All quantities of simulated time are nanoseconds (SimTime). All page
+ * identities are indices into a flat, page-granular virtual address space
+ * (PageId). These are plain integer aliases rather than strong types so
+ * that hot-path arithmetic (the simulator executes tens of millions of
+ * page accesses per run) stays branch- and wrapper-free; the naming
+ * convention keeps call sites readable.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace gmt
+{
+
+/** Simulated time in nanoseconds. */
+using SimTime = std::uint64_t;
+
+/** Index of a 64 KiB page in the application's virtual address space. */
+using PageId = std::uint64_t;
+
+/** Index of a physical frame inside one tier's frame pool. */
+using FrameId = std::uint32_t;
+
+/** Index of a warp in the simulated GPU. */
+using WarpId = std::uint32_t;
+
+/** Monotone count of coalesced accesses: the virtual timestamp of §2.1.3. */
+using VirtualStamp = std::uint64_t;
+
+/** Sentinel for "no page". */
+inline constexpr PageId kInvalidPage = std::numeric_limits<PageId>::max();
+
+/** Sentinel for "no frame". */
+inline constexpr FrameId kInvalidFrame = std::numeric_limits<FrameId>::max();
+
+/** Sentinel for "never / unknown time". */
+inline constexpr SimTime kNeverTime = std::numeric_limits<SimTime>::max();
+
+/** Placement / movement granularity (§2 item 1): 64 KiB, the UVM default. */
+inline constexpr std::size_t kPageBytes = 64 * 1024;
+
+/** Lanes per warp on the modelled GPU. */
+inline constexpr unsigned kWarpLanes = 32;
+
+/** Convenience byte-size literals. */
+inline constexpr std::uint64_t
+operator""_KiB(unsigned long long v)
+{
+    return v << 10;
+}
+
+inline constexpr std::uint64_t
+operator""_MiB(unsigned long long v)
+{
+    return v << 20;
+}
+
+inline constexpr std::uint64_t
+operator""_GiB(unsigned long long v)
+{
+    return v << 30;
+}
+
+/** Number of whole pages needed to hold @p bytes. */
+inline constexpr std::uint64_t
+pagesForBytes(std::uint64_t bytes)
+{
+    return (bytes + kPageBytes - 1) / kPageBytes;
+}
+
+/** The three tiers of the GMT hierarchy (Figure 1). */
+enum class Tier : std::uint8_t
+{
+    GpuMem = 0,   ///< Tier-1: GPU device memory.
+    HostMem = 1,  ///< Tier-2: host (CPU) pinned memory.
+    Ssd = 2,      ///< Tier-3: NVMe storage.
+};
+
+/** Number of tiers (for array sizing). */
+inline constexpr unsigned kNumTiers = 3;
+
+/** Human-readable tier name. */
+inline constexpr const char *
+tierName(Tier t)
+{
+    switch (t) {
+      case Tier::GpuMem: return "Tier-1(GPU)";
+      case Tier::HostMem: return "Tier-2(Host)";
+      case Tier::Ssd: return "Tier-3(SSD)";
+    }
+    return "Tier-?";
+}
+
+} // namespace gmt

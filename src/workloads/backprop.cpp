@@ -1,0 +1,73 @@
+#include "workloads/backprop.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+Backprop::Backprop(const WorkloadConfig &config,
+                   std::uint64_t weight_pages, unsigned num_epochs)
+    : SequenceStream("Backprop", config), weightPages(weight_pages),
+      dataPages(config.pages - weight_pages), epochs(num_epochs),
+      // Batches cycle through the training data about twice over the
+      // run, so data pages are *reused* (across epochs, at long
+      // distance) — the paper reports 93.5% page reuse.
+      batchPages(2 * dataPages / num_epochs)
+{
+    GMT_ASSERT(weight_pages < config.pages);
+    GMT_ASSERT(num_epochs >= 1);
+    GMT_ASSERT(batchPages >= 1);
+}
+
+bool
+Backprop::nextItem(WorkItem &out)
+{
+    if (epoch >= epochs)
+        return false;
+
+    switch (phase) {
+      case 0: {
+        // Load this epoch's mini-batch (training data recurs one full
+        // epoch later: long reuse).
+        const PageId data_base = weightPages;
+        const PageId page =
+            data_base + (std::uint64_t(epoch) * batchPages + pos)
+                            % dataPages;
+        out = WorkItem{page, false, cfg.touchesPerVisit};
+        if (++pos == batchPages) {
+            pos = 0;
+            phase = 1;
+        }
+        return true;
+      }
+      case 1:
+        // Forward pass: weights front-to-back, read-only.
+        out = WorkItem{pos, false, cfg.touchesPerVisit};
+        if (++pos == weightPages) {
+            pos = 0;
+            phase = 2;
+        }
+        return true;
+      default: {
+        // Backward pass: weights back-to-front, updated in place.
+        const PageId page = weightPages - 1 - pos;
+        out = WorkItem{page, true, cfg.touchesPerVisit};
+        if (++pos == weightPages) {
+            pos = 0;
+            phase = 0;
+            ++epoch;
+        }
+        return true;
+      }
+    }
+}
+
+void
+Backprop::resetSequence()
+{
+    epoch = 0;
+    phase = 0;
+    pos = 0;
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,85 @@
+#include "workloads/bfs.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+constexpr double Bfs::kLevelShare[6];
+
+Bfs::Bfs(const WorkloadConfig &config, std::uint64_t vertex_pages,
+         std::uint64_t offset_pages)
+    : SequenceStream("BFS", config), vertexPages(vertex_pages),
+      offsetPages(offset_pages),
+      edgePages(config.pages - vertex_pages - offset_pages),
+      edgeBase(vertex_pages + offset_pages),
+      graph(vertex_pages * 512, 16.0, config.seed)
+{
+    GMT_ASSERT(vertex_pages + offset_pages < config.pages);
+}
+
+bool
+Bfs::nextItem(WorkItem &out)
+{
+    if (level >= 6)
+        return false;
+
+    const auto level_edges =
+        std::uint64_t(std::llround(kLevelShare[level] * double(edgePages)));
+
+    if (edgeInLevel >= level_edges || edgeCursor >= edgePages) {
+        ++level;
+        edgeInLevel = 0;
+        micro = 0;
+        if (level >= 6 || edgeCursor >= edgePages)
+            return level < 6 ? nextItem(out) : false;
+    }
+
+    // Per edge page: the CSR offset page (1 in 15), the edge page
+    // itself, three data-dependent endpoint reads, one distance write.
+    switch (micro) {
+      case 0:
+        ++micro;
+        if (edgeCursor % 15 == 0) {
+            const PageId off = vertexPages + edgeCursor % offsetPages;
+            out = WorkItem{off, false, cfg.touchesPerVisit / 2 + 1};
+            return true;
+        }
+        [[fallthrough]];
+      case 1:
+        out = WorkItem{edgeBase + edgeCursor, false, cfg.touchesPerVisit};
+        ++micro;
+        return true;
+      case 2:
+      case 3:
+      case 4: {
+        const std::uint64_t endpoint = graph.sampleEndpoint(rng);
+        out = WorkItem{endpoint % vertexPages, false,
+                       cfg.touchesPerVisit / 4 + 1};
+        ++micro;
+        return true;
+      }
+      default: {
+        const std::uint64_t endpoint = graph.sampleEndpoint(rng);
+        out = WorkItem{endpoint % vertexPages, true,
+                       cfg.touchesPerVisit / 4 + 1};
+        micro = 0;
+        ++edgeCursor;
+        ++edgeInLevel;
+        return true;
+      }
+    }
+}
+
+void
+Bfs::resetSequence()
+{
+    level = 0;
+    edgeInLevel = 0;
+    edgeCursor = 0;
+    micro = 0;
+}
+
+} // namespace gmt::workloads

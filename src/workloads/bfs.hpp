@@ -1,0 +1,53 @@
+/**
+ * @file
+ * BFS over a synthetic Kron graph (BaM workload, Table 2).
+ *
+ * Level-synchronous traversal: each level visits the edge pages of the
+ * frontier (every edge page is owned by exactly one level — edges are
+ * consumed once) and performs data-dependent reads/writes of the
+ * distance/visited vertex array for the endpoints found there. Vertex
+ * pages are re-touched every level, so their reuse distance is one
+ * level's footprint — the Tier-2 band for the mid-sized levels that
+ * dominate the traversal of a power-law graph.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "workloads/kron_graph.hpp"
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The BFS access stream. */
+class Bfs : public SequenceStream
+{
+  public:
+    explicit Bfs(const WorkloadConfig &config,
+                 std::uint64_t vertex_pages = 480,
+                 std::uint64_t offset_pages = 128);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    std::uint64_t vertexPages;
+    std::uint64_t offsetPages;
+    std::uint64_t edgePages;
+    std::uint64_t edgeBase; ///< first edge page id
+    KronGraph graph;
+
+    /** Fraction of edge pages owned by each BFS level. */
+    static constexpr double kLevelShare[6] =
+        {0.02, 0.13, 0.30, 0.28, 0.17, 0.10};
+
+    unsigned level = 0;
+    std::uint64_t edgeInLevel = 0;   ///< edge pages processed this level
+    std::uint64_t edgeCursor = 0;    ///< global next edge page
+    unsigned micro = 0;              ///< sub-steps per edge page
+};
+
+} // namespace gmt::workloads

@@ -1,0 +1,78 @@
+#include "workloads/factory.hpp"
+
+#include "util/logging.hpp"
+#include "workloads/backprop.hpp"
+#include "workloads/bfs.hpp"
+#include "workloads/hotspot.hpp"
+#include "workloads/lavamd.hpp"
+#include "workloads/multi_vector_add.hpp"
+#include "workloads/pagerank.hpp"
+#include "workloads/pathfinder.hpp"
+#include "workloads/srad.hpp"
+#include "workloads/sssp.hpp"
+
+namespace gmt::workloads
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> table = {
+        {"lavaMD", "Particle simulation, neighbor accesses (Rodinia)",
+         1.17, 168.0, false, "Tier-1"},
+        {"Pathfinder", "Dynamic programming, row-by-row iter. (Rodinia)",
+         19.47, 202.0, false, "Tier-1"},
+        {"BFS", "Graph traversal, data-dependent accesses (BaM)",
+         32.86, 87.0, true, "Tier-2"},
+        {"MultiVectorAdd", "Linear algebra, output repeatedly accessed",
+         40.0, 267.0, false, "Tier-2"},
+        {"Srad", "Image processing, 4 grid neighbor accesses (Rodinia)",
+         83.38, 270.0, false, "Tier-2"},
+        {"Backprop", "ML training, forward + backward passes (Rodinia)",
+         93.54, 6823.0, false, "Tier-2"},
+        {"PageRank", "Graph algorithm, data-dependent accesses (BaM)",
+         90.42, 349.0, true, "Tier-3"},
+        {"SSSP", "Graph algorithm, data-dependent accesses (BaM)",
+         79.96, 239.0, true, "Tier-3"},
+        {"Hotspot", "Thermal simulation, iterations on a grid (Rodinia)",
+         81.33, 1492.0, false, "Tier-3"},
+    };
+    return table;
+}
+
+const WorkloadInfo &
+workloadInfo(const std::string &name)
+{
+    for (const auto &info : allWorkloads()) {
+        if (info.name == name)
+            return info;
+    }
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+std::unique_ptr<SequenceStream>
+makeWorkload(const std::string &name, const WorkloadConfig &config)
+{
+    const std::uint64_t p = config.pages;
+    if (name == "lavaMD")
+        return std::make_unique<LavaMd>(config);
+    if (name == "Pathfinder")
+        return std::make_unique<Pathfinder>(config);
+    if (name == "BFS")
+        return std::make_unique<Bfs>(config, p / 12, p / 20);
+    if (name == "MultiVectorAdd")
+        return std::make_unique<MultiVectorAdd>(config);
+    if (name == "Srad")
+        return std::make_unique<Srad>(config);
+    if (name == "Backprop")
+        return std::make_unique<Backprop>(config, p * 43 / 100);
+    if (name == "PageRank")
+        return std::make_unique<PageRank>(config, p * 3 / 20, p / 20);
+    if (name == "SSSP")
+        return std::make_unique<Sssp>(config, p * 3 / 20, p / 20);
+    if (name == "Hotspot")
+        return std::make_unique<Hotspot>(config);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace gmt::workloads

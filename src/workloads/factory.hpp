@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Workload registry: the nine Table 2 applications by name, plus their
+ * published characteristics for the Table 2 / Figure 7 benches.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** Paper-reported workload characteristics (Table 2 / §3.3). */
+struct WorkloadInfo
+{
+    std::string name;        ///< display name (Table 2 spelling)
+    std::string description; ///< Table 2 description
+    double paperReusePct;    ///< "Reuse % of a Page"
+    double paperTotalIoGb;   ///< "Total I/O (GB)"
+    bool graphApp;           ///< graph apps resize differently in §3.5
+    const char *rrdBias;     ///< §3.3 category (Tier-1/2/3 bias)
+};
+
+/** All nine applications in Table 2 order. */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** Paper metadata for one workload; fatal on unknown name. */
+const WorkloadInfo &workloadInfo(const std::string &name);
+
+/**
+ * Instantiate a workload by Table 2 name with the given sizing.
+ * Parameters internal to each app (strip sizes, epochs, ...) scale off
+ * config.pages so the §3.5 capacity sweeps reshape them consistently.
+ */
+std::unique_ptr<SequenceStream> makeWorkload(const std::string &name,
+                                             const WorkloadConfig &config);
+
+} // namespace gmt::workloads

@@ -1,0 +1,62 @@
+#include "workloads/hotspot.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+Hotspot::Hotspot(const WorkloadConfig &config, double hot_fraction,
+                 unsigned num_iterations)
+    : SequenceStream("Hotspot", config),
+      gridPages(std::uint64_t(double(config.pages) * hot_fraction) / 2),
+      auxPages(config.pages - 2 * gridPages),
+      iterations(num_iterations)
+{
+    GMT_ASSERT(gridPages >= 1);
+    GMT_ASSERT(num_iterations >= 1);
+}
+
+bool
+Hotspot::nextItem(WorkItem &out)
+{
+    if (iter >= iterations)
+        return false;
+
+    // A slice of the single-touch auxiliary data is consumed at the
+    // start of each iteration (grid metadata, pyramid setup).
+    const std::uint64_t aux_per_iter = auxPages / iterations;
+    if (auxCursor < std::uint64_t(iter + 1) * aux_per_iter
+        && auxCursor < auxPages) {
+        out = WorkItem{2 * gridPages + auxCursor, false,
+                       cfg.touchesPerVisit};
+        ++auxCursor;
+        return true;
+    }
+
+    // Main sweep: read the power cell page, update the temperature
+    // cell page (stencil neighbors live on the same or adjacent page —
+    // adjacent-page traffic is covered by the visit's touch count).
+    if (micro == 0) {
+        out = WorkItem{gridPages + pos, false, cfg.touchesPerVisit};
+        micro = 1;
+        return true;
+    }
+    out = WorkItem{pos, true, cfg.touchesPerVisit};
+    micro = 0;
+    if (++pos == gridPages) {
+        pos = 0;
+        ++iter;
+    }
+    return true;
+}
+
+void
+Hotspot::resetSequence()
+{
+    iter = 0;
+    pos = 0;
+    micro = 0;
+    auxCursor = 0;
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Hotspot (Rodinia thermal simulation, Table 2).
+ *
+ * Iterative grid relaxation over a temperature plane and a power plane:
+ * every iteration sweeps both planes in full, so every reuse arrives at
+ * a distance equal to the whole hot working set — beyond Tier-1+Tier-2,
+ * hence the paper's 100% Tier-3 RRD bias. This is the workload where
+ * GMT-Reuse's §2.2 overflow heuristic matters: pure prediction would
+ * leave Tier-2 idle, yet forcing evictions into it converts 73% of the
+ * SSD reads into host-memory hits.
+ */
+
+#pragma once
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The Hotspot access stream. */
+class Hotspot : public SequenceStream
+{
+  public:
+    explicit Hotspot(const WorkloadConfig &config,
+                     double hot_fraction = 0.70,
+                     unsigned iterations = 6);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    std::uint64_t gridPages;   ///< temperature plane (power is equal)
+    std::uint64_t auxPages;    ///< single-touch setup data
+    unsigned iterations;
+
+    unsigned iter = 0;
+    std::uint64_t pos = 0;
+    unsigned micro = 0;        ///< 0 = power read, 1 = temp update
+    std::uint64_t auxCursor = 0;
+};
+
+} // namespace gmt::workloads

@@ -1,0 +1,99 @@
+#include "workloads/kron_graph.hpp"
+
+#include <bit>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+namespace
+{
+
+/** splitmix64 — deterministic per-query hashing. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Standard GAP R-MAT quadrant probabilities. */
+constexpr double kA = 0.57;
+constexpr double kB = 0.19;
+constexpr double kC = 0.19;
+
+} // namespace
+
+KronGraph::KronGraph(std::uint64_t num_vertices, double avg_degree,
+                     std::uint64_t seed)
+    : vertices(std::bit_ceil(num_vertices < 2 ? 2 : num_vertices)),
+      edges(std::uint64_t(double(vertices) * avg_degree)),
+      levels(unsigned(std::countr_zero(vertices))),
+      seed_(seed)
+{
+    GMT_ASSERT(avg_degree > 0.0);
+}
+
+std::uint64_t
+KronGraph::scrambled(std::uint64_t v) const
+{
+    // A fixed pseudo-random permutation of vertex ids so that the
+    // power-law "rank" of a vertex is unrelated to its page.
+    return mix(v ^ seed_) % vertices;
+}
+
+std::uint64_t
+KronGraph::degree(std::uint64_t v) const
+{
+    GMT_ASSERT(v < vertices);
+    // Zipf over the scrambled rank: degree(rank r) ~ d_max / (r+1)^0.6,
+    // normalized roughly to the requested average.
+    const std::uint64_t rank = scrambled(v);
+    const double d_max = double(edges) / double(vertices) * 8.0;
+    const double d = d_max / std::pow(double(rank + 1), 0.6)
+                     * std::pow(double(vertices), 0.6) / 8.0 * 0.4;
+    return std::uint64_t(d) + 1;
+}
+
+std::uint64_t
+KronGraph::sampleHotEndpoint(Rng &rng) const
+{
+    std::uint64_t v = 0;
+    for (unsigned l = 0; l < levels; ++l) {
+        const double u = rng.uniform();
+        // Collapse the 2-D quadrant choice to the destination bit.
+        std::uint64_t bit;
+        if (u < kA)
+            bit = 0;
+        else if (u < kA + kB)
+            bit = 1;
+        else if (u < kA + kB + kC)
+            bit = 0;
+        else
+            bit = 1;
+        v = (v << 1) | bit;
+    }
+    return v;
+}
+
+std::uint64_t
+KronGraph::sampleEndpoint(Rng &rng) const
+{
+    // Scramble so hubs are spread across the page range.
+    return scrambled(sampleHotEndpoint(rng));
+}
+
+std::uint64_t
+KronGraph::neighbor(std::uint64_t v, std::uint64_t edge_index) const
+{
+    // Deterministic per-(v, i) endpoint: seed a throwaway RNG from the
+    // pair and draw one R-MAT sample.
+    Rng r(mix(v * 0x100000001b3ull + edge_index) ^ seed_);
+    return sampleEndpoint(r);
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Synthetic Kronecker (R-MAT) graph — stand-in for GAP-Kron.
+ *
+ * The paper's graph workloads (BFS, PageRank, SSSP) run on GAP-Kron,
+ * whose defining properties for memory behaviour are (i) a power-law
+ * degree distribution, so a few vertex pages are extremely hot, and
+ * (ii) unstructured neighbor scatter, so rank/distance accesses are
+ * data-dependent and irregular. The R-MAT recursive quadrant sampler
+ * reproduces both with the standard (a,b,c,d) = (0.57,0.19,0.19,0.05)
+ * parameters used by GAP.
+ *
+ * We do not materialize the edge list (at 1:1024 scale it would be tiny
+ * anyway); instead the generator answers the two queries the workloads
+ * need deterministically: the degree of a vertex and a random edge
+ * endpoint, both from seeded hashes, so every run sees the same graph.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gmt::workloads
+{
+
+/** Deterministic R-MAT graph oracle. */
+class KronGraph
+{
+  public:
+    /**
+     * @param num_vertices  vertex count (power of two rounded up)
+     * @param avg_degree    mean out-degree
+     * @param seed          graph identity
+     */
+    KronGraph(std::uint64_t num_vertices, double avg_degree,
+              std::uint64_t seed);
+
+    std::uint64_t numVertices() const { return vertices; }
+    std::uint64_t numEdges() const { return edges; }
+
+    /**
+     * Out-degree of @p v: power-law distributed (Zipf-like over a
+     * permuted vertex order so hot vertices are scattered over pages).
+     */
+    std::uint64_t degree(std::uint64_t v) const;
+
+    /** Sample one R-MAT edge endpoint with @p rng. */
+    std::uint64_t sampleEndpoint(Rng &rng) const;
+
+    /**
+     * Like sampleEndpoint but WITHOUT the id scramble: hot vertices
+     * cluster at low ids, so dividing by vertices-per-page yields
+     * power-law-hot *pages* — the layout of a CSR rank/distance array,
+     * where hub vertices were assigned first.
+     */
+    std::uint64_t sampleHotEndpoint(Rng &rng) const;
+
+    /** Sample a neighbor of @p v (edge target), deterministic in
+     *  (v, edge_index). */
+    std::uint64_t neighbor(std::uint64_t v, std::uint64_t edge_index) const;
+
+  private:
+    std::uint64_t scrambled(std::uint64_t v) const;
+
+    std::uint64_t vertices;
+    std::uint64_t edges;
+    unsigned levels;
+    std::uint64_t seed_;
+};
+
+} // namespace gmt::workloads

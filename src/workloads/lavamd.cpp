@@ -1,0 +1,64 @@
+#include "workloads/lavamd.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+LavaMd::LavaMd(const WorkloadConfig &config, std::uint64_t box_pages)
+    : SequenceStream("lavaMD", config), boxPages(box_pages),
+      numBoxes(config.pages / box_pages)
+{
+    GMT_ASSERT(box_pages >= 2);
+    GMT_ASSERT(numBoxes >= 2);
+}
+
+bool
+LavaMd::nextItem(WorkItem &out)
+{
+    if (box >= numBoxes)
+        return false;
+
+    // Schedule per box: neighbor boundary pages first (the only
+    // cross-box reuse), then the private payload, whose last page is
+    // this box's own boundary page. Neighbors live one box back (z)
+    // and one grid row back (y, kRowBoxes earlier); the row-distance
+    // reuse is what survives eviction and shows up in Figure 7's
+    // Tier-1 band.
+    const std::uint64_t base = box * boxPages;
+    unsigned boundary_steps = 0;
+    if (box > 0)
+        ++boundary_steps;
+    if (box >= kRowBoxes)
+        ++boundary_steps;
+    if (step < boundary_steps) {
+        const std::uint64_t back = step == 0 && box >= kRowBoxes
+            ? kRowBoxes
+            : 1;
+        const PageId shared = (box - back + 1) * boxPages - 1;
+        out = WorkItem{shared, false, cfg.touchesPerVisit};
+        ++step;
+        return true;
+    }
+    const std::uint64_t offset = step - boundary_steps;
+    // Forces are accumulated in place: the first quarter of the payload
+    // is written, the rest only read.
+    const bool write = offset < boxPages / 4;
+    out = WorkItem{base + offset, write, cfg.touchesPerVisit};
+    ++step;
+    const std::uint64_t steps_this_box = boxPages + boundary_steps;
+    if (step >= steps_this_box) {
+        step = 0;
+        ++box;
+    }
+    return true;
+}
+
+void
+LavaMd::resetSequence()
+{
+    box = 0;
+    step = 0;
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * LavaMD (Rodinia particle simulation, Table 2).
+ *
+ * The grid of particle boxes is processed box-by-box; each box streams
+ * its large private particle payload exactly once and additionally reads
+ * the boundary page it shares with the neighboring box. Only those
+ * boundary pages are ever reused (the paper's 1.17% reuse), and their
+ * reuse happens within a box or two — far inside Tier-1 capacity, so
+ * virtually no accesses trickle below the GPU tier.
+ */
+
+#pragma once
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The LavaMD access stream. */
+class LavaMd : public SequenceStream
+{
+  public:
+    explicit LavaMd(const WorkloadConfig &config,
+                    std::uint64_t box_pages = 85);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    /** Boxes per grid row: the y-neighbor lives this many boxes back,
+     *  making its boundary page's reuse distance just exceed Tier-1's
+     *  residency window so the reuse registers at eviction time. */
+    static constexpr std::uint64_t kRowBoxes = 6;
+
+    std::uint64_t boxPages;   ///< pages per box (last one is shared)
+    std::uint64_t numBoxes;
+
+    std::uint64_t box = 0;
+    std::uint64_t step = 0;   ///< page index within the box's schedule
+};
+
+} // namespace gmt::workloads

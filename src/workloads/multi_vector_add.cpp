@@ -1,0 +1,62 @@
+#include "workloads/multi_vector_add.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+MultiVectorAdd::MultiVectorAdd(const WorkloadConfig &config,
+                               unsigned num_inputs, double out_fraction,
+                               double input_retouch)
+    : SequenceStream("MultiVectorAdd", config), k(num_inputs),
+      vOut(std::uint64_t(double(config.pages) * out_fraction)),
+      vIn((config.pages - vOut) / num_inputs),
+      retouch(input_retouch)
+{
+    GMT_ASSERT(num_inputs >= 1);
+    GMT_ASSERT(vOut >= 1 && vIn >= 1);
+}
+
+bool
+MultiVectorAdd::nextItem(WorkItem &out)
+{
+    if (pass >= k)
+        return false;
+
+    // Inputs and output have different lengths (element counts match;
+    // inputs are narrower types), so input pages advance proportionally.
+    const PageId input_page =
+        PageId(k) * 0 + vOut + std::uint64_t(pass) * vIn
+        + elem * vIn / vOut;
+    const PageId output_page = elem;
+
+    switch (step) {
+      case 0:
+        out = WorkItem{input_page, false, cfg.touchesPerVisit};
+        // Optionally revisit the input page right away (short reuse).
+        step = rng.chance(retouch) ? 1 : 2;
+        return true;
+      case 1:
+        out = WorkItem{input_page, false, cfg.touchesPerVisit};
+        step = 2;
+        return true;
+      default:
+        out = WorkItem{output_page, true, cfg.touchesPerVisit};
+        step = 0;
+        if (++elem == vOut) {
+            elem = 0;
+            ++pass;
+        }
+        return true;
+    }
+}
+
+void
+MultiVectorAdd::resetSequence()
+{
+    pass = 0;
+    elem = 0;
+    step = 0;
+}
+
+} // namespace gmt::workloads

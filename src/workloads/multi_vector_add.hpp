@@ -1,0 +1,59 @@
+/**
+ * @file
+ * MultiVectorAdd (BaM's linear-algebra workload, Table 2).
+ *
+ * out[i] += in_k[i] for K input vectors: each pass streams one input
+ * vector and re-touches the whole output vector, so output pages are
+ * "repeatedly accessed" with a *constant* remaining reuse distance per
+ * eviction (the Figure 4b signature).
+ *
+ * Sizing is chosen to reproduce the §3.3 observation that MultiVectorAdd
+ * has "larger reuse distances than BFS": the per-pass footprint (one
+ * input + the output) lands just below the combined Tier-1+Tier-2
+ * capacity, which is the regime where GMT-TierOrder's insert-everything
+ * churn displaces output pages right before their reuse while
+ * GMT-Reuse's free-slot parking holds them.
+ *
+ * A fraction of the input visits is immediately re-touched
+ * (register-tile reuse), which lifts page reuse toward the paper's 40%
+ * without disturbing the Tier-2 RRD bias.
+ */
+
+#pragma once
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The MultiVectorAdd access stream. */
+class MultiVectorAdd : public SequenceStream
+{
+  public:
+    /**
+     * @param num_inputs     input vectors (= passes over the output)
+     * @param out_fraction   share of the working set for the output
+     * @param input_retouch  P(an input page gets a quick second visit)
+     */
+    explicit MultiVectorAdd(const WorkloadConfig &config,
+                            unsigned num_inputs = 3,
+                            double out_fraction = 0.235,
+                            double input_retouch = 0.35);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    unsigned k;             ///< input vectors
+    std::uint64_t vOut;     ///< output vector pages
+    std::uint64_t vIn;      ///< pages per input vector
+    double retouch;         ///< P(input page gets a quick second visit)
+
+    // Sequence state: pass over input k, element page i, micro-step.
+    unsigned pass = 0;
+    std::uint64_t elem = 0;
+    unsigned step = 0;      ///< 0=input read, 1=input retouch, 2=output
+};
+
+} // namespace gmt::workloads

@@ -1,0 +1,89 @@
+#include "workloads/pagerank.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+PageRank::PageRank(const WorkloadConfig &config, std::uint64_t rank_pages,
+                   std::uint64_t offset_pages, unsigned num_iterations)
+    : SequenceStream("PageRank", config), rankPages(rank_pages),
+      offsetPages(offset_pages),
+      edgePages(config.pages - 2 * rank_pages - offset_pages),
+      iterations(num_iterations),
+      offsetBase(0),
+      edgeBase(offset_pages),
+      rankABase(offset_pages + edgePages),
+      rankBBase(offset_pages + edgePages + rank_pages),
+      graph(rank_pages * 512, 16.0, config.seed)
+{
+    GMT_ASSERT(2 * rank_pages + offset_pages < config.pages);
+    GMT_ASSERT(num_iterations >= 1);
+}
+
+bool
+PageRank::nextItem(WorkItem &out)
+{
+    if (iter >= iterations)
+        return false;
+
+    // Rank arrays swap src/dst roles every iteration (Figure 4c).
+    const std::uint64_t src = iter % 2 == 0 ? rankABase : rankBBase;
+    const std::uint64_t dst = iter % 2 == 0 ? rankBBase : rankABase;
+
+    switch (micro) {
+      case 0:
+        ++micro;
+        if (edgeCursor % 13 == 0) {
+            out = WorkItem{offsetBase + edgeCursor % offsetPages, false,
+                           cfg.touchesPerVisit / 2 + 1};
+            return true;
+        }
+        [[fallthrough]];
+      case 1:
+        out = WorkItem{edgeBase + edgeCursor, false, cfg.touchesPerVisit};
+        ++micro;
+        return true;
+      case 2:
+      case 3: {
+        // Gather: source ranks of endpoints found on this edge page.
+        // Power-law graphs split endpoint traffic into two modes: hub
+        // vertices (a handful of pages, pinned in Tier-1 by sheer
+        // touch frequency) and the long tail, whose pages recur only
+        // once per full iteration — the paper's 94% Tier-3 RRD bias.
+        constexpr std::uint64_t hub_pages = 16;
+        PageId target;
+        if (rng.chance(0.75)) {
+            const std::uint64_t e = graph.sampleHotEndpoint(rng);
+            target = src + e * hub_pages / graph.numVertices();
+        } else {
+            target = src + rng.below(rankPages);
+        }
+        out = WorkItem{target, false, cfg.touchesPerVisit / 4 + 1};
+        ++micro;
+        return true;
+      }
+      default: {
+        // Scatter: the destination rank region fills sequentially as
+        // edge pages are consumed.
+        const std::uint64_t frac = edgeCursor * rankPages / edgePages;
+        out = WorkItem{dst + frac, true, cfg.touchesPerVisit / 4 + 1};
+        micro = 0;
+        if (++edgeCursor >= edgePages) {
+            edgeCursor = 0;
+            ++iter;
+        }
+        return true;
+      }
+    }
+}
+
+void
+PageRank::resetSequence()
+{
+    iter = 0;
+    edgeCursor = 0;
+    micro = 0;
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PageRank over a synthetic Kron graph (BaM workload, Table 2).
+ *
+ * Pull-style iterations: every iteration streams the full edge list,
+ * reads the *source* rank array at data-dependent endpoints, and writes
+ * the *destination* rank array sequentially; the two rank arrays swap
+ * roles each iteration. Every page is touched every iteration, so RRDs
+ * concentrate beyond the combined Tier-1+Tier-2 capacity (the paper's
+ * 94% Tier-3 bias), and the src/dst swap produces the alternating
+ * per-page RRD pattern of Figure 4c.
+ */
+
+#pragma once
+
+#include "workloads/kron_graph.hpp"
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The PageRank access stream. */
+class PageRank : public SequenceStream
+{
+  public:
+    explicit PageRank(const WorkloadConfig &config,
+                      std::uint64_t rank_pages = 384,
+                      std::uint64_t offset_pages = 128,
+                      unsigned iterations = 3);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    std::uint64_t rankPages;   ///< per rank array
+    std::uint64_t offsetPages;
+    std::uint64_t edgePages;
+    unsigned iterations;
+
+    std::uint64_t offsetBase;
+    std::uint64_t edgeBase;
+    std::uint64_t rankABase;
+    std::uint64_t rankBBase;
+    KronGraph graph;
+
+    unsigned iter = 0;
+    std::uint64_t edgeCursor = 0;
+    unsigned micro = 0;
+};
+
+} // namespace gmt::workloads

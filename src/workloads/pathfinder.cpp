@@ -1,0 +1,57 @@
+#include "workloads/pathfinder.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+Pathfinder::Pathfinder(const WorkloadConfig &config,
+                       std::uint64_t row_pages, unsigned inputs_per_visit,
+                       double halo_retouch)
+    : SequenceStream("Pathfinder", config), rowPages(row_pages),
+      inputsPerVisit(inputs_per_visit), haloRetouch(halo_retouch),
+      inputBase(row_pages), numInputs(config.pages - row_pages)
+{
+    GMT_ASSERT(row_pages >= 1 && row_pages < config.pages);
+    GMT_ASSERT(inputs_per_visit >= 1);
+}
+
+bool
+Pathfinder::nextItem(WorkItem &out)
+{
+    // Each step of a sweep reads fresh input pages, then updates one
+    // DP row page in place; halo inputs queued by the previous sweep
+    // are re-read just before the row update (short reuse distance).
+    if (phase < inputsPerVisit) {
+        if (!halo.empty()) {
+            out = WorkItem{halo.back(), false, cfg.touchesPerVisit};
+            halo.pop_back();
+            // Halo re-reads replace (not add to) an input this step.
+            ++phase;
+            return true;
+        }
+        if (nextInput >= numInputs)
+            return false; // all input strips consumed
+        const PageId input = inputBase + nextInput++;
+        if (rng.chance(haloRetouch))
+            halo.push_back(input);
+        out = WorkItem{input, false, cfg.touchesPerVisit};
+        ++phase;
+        return true;
+    }
+    out = WorkItem{rowPos, true, cfg.touchesPerVisit};
+    rowPos = (rowPos + 1) % rowPages;
+    phase = 0;
+    return true;
+}
+
+void
+Pathfinder::resetSequence()
+{
+    nextInput = 0;
+    rowPos = 0;
+    phase = 0;
+    halo.clear();
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pathfinder (Rodinia dynamic programming, Table 2).
+ *
+ * Classic wavefront DP: a small in-place row buffer is swept repeatedly
+ * while each sweep consumes a strip of fresh input-cost pages. Row-buffer
+ * reuse distances stay well inside Tier-1 (the paper reports 99.99% of
+ * RRDs in the Tier-1 band); a fraction of the input pages is re-read by
+ * the next sweep's halo (the diagonal dependency), which supplies the
+ * ~19% page reuse without moving the RRD mass out of Tier-1.
+ */
+
+#pragma once
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The Pathfinder access stream. */
+class Pathfinder : public SequenceStream
+{
+  public:
+    explicit Pathfinder(const WorkloadConfig &config,
+                        std::uint64_t row_pages = 100,
+                        unsigned inputs_per_visit = 1,
+                        double halo_retouch = 0.20);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    std::uint64_t rowPages;     ///< in-place DP row buffer
+    unsigned inputsPerVisit;    ///< fresh input pages per row-page step
+    double haloRetouch;         ///< P(input page re-read by next sweep)
+
+    std::uint64_t inputBase;    ///< first input page id
+    std::uint64_t numInputs;
+
+    std::uint64_t nextInput = 0;
+    std::uint64_t rowPos = 0;
+    unsigned phase = 0;         ///< 0..inputsPerVisit-1 inputs, then row
+    std::vector<PageId> halo;   ///< inputs scheduled for a second read
+};
+
+} // namespace gmt::workloads

@@ -1,0 +1,53 @@
+#include "workloads/sequence_stream.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+SequenceStream::SequenceStream(std::string stream_name,
+                               const WorkloadConfig &config)
+    : cfg(config), rng(config.seed), _name(std::move(stream_name)),
+      cursors(config.warps)
+{
+    GMT_ASSERT(config.warps > 0);
+    GMT_ASSERT(config.pages > 0);
+    GMT_ASSERT(config.touchesPerVisit > 0);
+}
+
+bool
+SequenceStream::nextAccess(WarpId warp, gpu::Access &out)
+{
+    GMT_ASSERT(warp < cursors.size());
+    Cursor &c = cursors[warp];
+    if (c.remaining == 0) {
+        if (exhausted)
+            return false;
+        WorkItem item;
+        if (!nextItem(item)) {
+            exhausted = true;
+            return false;
+        }
+        GMT_ASSERT(item.page < cfg.pages);
+        c.page = item.page;
+        c.write = item.write;
+        c.remaining = item.touches;
+    }
+    out.page = c.page;
+    out.write = c.write;
+    --c.remaining;
+    return true;
+}
+
+void
+SequenceStream::reset()
+{
+    cursors.assign(cfg.warps, Cursor{});
+    exhausted = false;
+    rng.reseed(cfg.seed);
+    resetSequence();
+}
+
+} // namespace gmt::workloads

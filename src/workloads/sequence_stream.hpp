@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SequenceStream: common machinery for the nine Table 2 workloads.
+ *
+ * Each workload defines a *global* sequence of page-granular work items
+ * (a grid-stride loop over its data structures); warps pull items from
+ * that shared sequence as they become ready, which is how GPU grids
+ * dynamically balance work and what creates the massive concurrent
+ * demand-fault pressure the paper's systems are built for.
+ *
+ * A WorkItem is one page visit with a touch count: visiting a 64 KiB
+ * page for real work means many coalesced warp accesses (a warp covers
+ * 256 B per access), modelled as `touches` consecutive accesses to the
+ * page. Only the first access of a visit can miss; the rest hit and
+ * account for the compute/VTD activity between misses.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/access_stream.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gmt::workloads
+{
+
+/** Shared workload sizing knobs. */
+struct WorkloadConfig
+{
+    /** Total working-set pages (= RuntimeConfig::numPages). */
+    std::uint64_t pages = 2560;
+
+    /** Warps issuing accesses. */
+    unsigned warps = 64;
+
+    /** Coalesced accesses per page visit. */
+    unsigned touchesPerVisit = 16;
+
+    /** Deterministic seed. */
+    std::uint64_t seed = 7;
+};
+
+/** One page visit in the global work sequence. */
+struct WorkItem
+{
+    PageId page = kInvalidPage;
+    bool write = false;
+    unsigned touches = 1;
+};
+
+/** Base for workloads expressed as a global item sequence. */
+class SequenceStream : public gpu::AccessStream
+{
+  public:
+    SequenceStream(std::string stream_name, const WorkloadConfig &config);
+
+    unsigned numWarps() const override { return cfg.warps; }
+    std::uint64_t numPages() const override { return cfg.pages; }
+    const std::string &name() const override { return _name; }
+
+    bool nextAccess(WarpId warp, gpu::Access &out) final;
+    void reset() final;
+
+    const WorkloadConfig &workloadConfig() const { return cfg; }
+
+  protected:
+    /** Produce the next global item; false when the kernel is done. */
+    virtual bool nextItem(WorkItem &out) = 0;
+
+    /** Restart the global sequence. */
+    virtual void resetSequence() = 0;
+
+    WorkloadConfig cfg;
+    Rng rng; ///< derived classes may use for data-dependent patterns
+
+  private:
+    struct Cursor
+    {
+        PageId page = kInvalidPage;
+        bool write = false;
+        unsigned remaining = 0;
+    };
+
+    std::string _name;
+    std::vector<Cursor> cursors;
+    bool exhausted = false;
+};
+
+} // namespace gmt::workloads

@@ -1,0 +1,75 @@
+#include "workloads/srad.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+Srad::Srad(const WorkloadConfig &config, unsigned num_strips,
+           unsigned num_iterations)
+    : SequenceStream("Srad", config), strips(num_strips),
+      iterations(num_iterations), planePages(config.pages / 5),
+      stripPages(planePages / num_strips)
+{
+    GMT_ASSERT(num_strips >= 1);
+    GMT_ASSERT(stripPages >= 1);
+}
+
+bool
+Srad::nextItem(WorkItem &out)
+{
+    if (iter >= iterations)
+        return false;
+
+    // Page ids: plane p of 5 (image = 0, coefficients 1..4), strip-local
+    // position `pos` within this strip.
+    const std::uint64_t strip_base = std::uint64_t(strip) * stripPages;
+    const auto plane_page = [&](unsigned plane) {
+        return PageId(plane) * planePages + strip_base + pos;
+    };
+
+    // Even passes (extract/srad1): read image, write coefficients.
+    // Odd passes (reduce/srad2): read coefficients, update the image.
+    WorkItem item;
+    if (pass % 2 == 0) {
+        if (micro == 0)
+            item = WorkItem{plane_page(0), false, cfg.touchesPerVisit};
+        else
+            item = WorkItem{plane_page(micro), true,
+                            cfg.touchesPerVisit / 2 + 1};
+    } else {
+        if (micro < 4)
+            item = WorkItem{plane_page(micro + 1), false,
+                            cfg.touchesPerVisit / 2 + 1};
+        else
+            item = WorkItem{plane_page(0), true, cfg.touchesPerVisit};
+    }
+    out = item;
+
+    if (++micro == 5) {
+        micro = 0;
+        if (++pos == stripPages) {
+            pos = 0;
+            if (++pass == kPassesPerStrip) {
+                pass = 0;
+                if (++strip == strips) {
+                    strip = 0;
+                    ++iter;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+void
+Srad::resetSequence()
+{
+    iter = 0;
+    strip = 0;
+    pass = 0;
+    pos = 0;
+    micro = 0;
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Srad (Rodinia speckle-reducing anisotropic diffusion, Table 2).
+ *
+ * Strip-mined stencil: the image and its four diffusion-coefficient
+ * planes are processed strip by strip; each strip runs the two SRAD
+ * kernels back-to-back (coefficient computation, then update), so every
+ * page in the strip is re-touched after roughly one strip footprint —
+ * the Tier-2 band for the default strip size. Across iterations pages
+ * recur at full-working-set distance. This reproduces the paper's
+ * high-reuse (83%), Tier-2-biased profile that gives GMT-Reuse its
+ * 133% speedup.
+ */
+
+#pragma once
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** The Srad access stream. */
+class Srad : public SequenceStream
+{
+  public:
+    explicit Srad(const WorkloadConfig &config, unsigned strips = 4,
+                  unsigned iterations = 3);
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    unsigned strips;
+    unsigned iterations;
+    std::uint64_t planePages;  ///< image + 4 coefficient planes
+    std::uint64_t stripPages;  ///< plane pages per strip
+
+    /** Kernel passes per strip per iteration (extract, reduce, srad1,
+     *  srad2 in the Rodinia code): each pass re-touches the whole strip,
+     *  so a strip page sees several medium-distance reuses per
+     *  full-working-set (cross-iteration) reuse. */
+    static constexpr unsigned kPassesPerStrip = 4;
+
+    unsigned iter = 0;
+    unsigned strip = 0;
+    unsigned pass = 0;
+    std::uint64_t pos = 0;
+    unsigned micro = 0;
+};
+
+} // namespace gmt::workloads

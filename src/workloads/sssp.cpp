@@ -1,0 +1,95 @@
+#include "workloads/sssp.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+constexpr double Sssp::kRoundActive[5];
+
+Sssp::Sssp(const WorkloadConfig &config, std::uint64_t dist_pages,
+           std::uint64_t offset_pages)
+    : SequenceStream("SSSP", config), distPages(dist_pages),
+      offsetPages(offset_pages),
+      edgePages(config.pages - dist_pages - offset_pages),
+      offsetBase(dist_pages),
+      edgeBase(dist_pages + offset_pages),
+      graph(dist_pages * 512, 16.0, config.seed)
+{
+    GMT_ASSERT(dist_pages + offset_pages < config.pages);
+}
+
+PageId
+Sssp::sampleDistPage()
+{
+    constexpr std::uint64_t hub_pages = 12;
+    if (rng.chance(0.7)) {
+        const std::uint64_t e = graph.sampleHotEndpoint(rng);
+        return e * hub_pages / graph.numVertices();
+    }
+    return rng.below(distPages);
+}
+
+bool
+Sssp::nextItem(WorkItem &out)
+{
+    while (round < 5) {
+        if (edgeCursor >= edgePages) {
+            edgeCursor = 0;
+            micro = 0;
+            ++round;
+            continue;
+        }
+        if (micro == 0) {
+            // Is this edge page's owner vertex active this round?
+            edgeActive = rng.chance(kRoundActive[round]);
+            if (!edgeActive) {
+                ++edgeCursor;
+                continue;
+            }
+        }
+        switch (micro) {
+          case 0:
+            ++micro;
+            if (edgeCursor % 13 == 0) {
+                out = WorkItem{offsetBase + edgeCursor % offsetPages,
+                               false, cfg.touchesPerVisit / 2 + 1};
+                return true;
+            }
+            [[fallthrough]];
+          case 1:
+            out = WorkItem{edgeBase + edgeCursor, false,
+                           cfg.touchesPerVisit};
+            ++micro;
+            return true;
+          case 2: {
+            // Hub distances are hot (low CSR ids, a few pages); tail
+            // pages recur only once per round (97% Tier-3 bias).
+            out = WorkItem{sampleDistPage(), false,
+                           cfg.touchesPerVisit / 4 + 1};
+            ++micro;
+            return true;
+          }
+          default: {
+            // Relaxation writes the endpoint's distance entry.
+            out = WorkItem{sampleDistPage(), true,
+                           cfg.touchesPerVisit / 4 + 1};
+            micro = 0;
+            ++edgeCursor;
+            return true;
+          }
+        }
+    }
+    return false;
+}
+
+void
+Sssp::resetSequence()
+{
+    round = 0;
+    edgeCursor = 0;
+    micro = 0;
+    edgeActive = false;
+}
+
+} // namespace gmt::workloads

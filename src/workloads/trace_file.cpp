@@ -1,0 +1,165 @@
+#include "workloads/trace_file.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'G', 'M', 'T', 'T', 'R', 'A', 'C', 'E'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kWriteBit = std::uint64_t(1) << 63;
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void
+writeOrDie(const void *data, std::size_t size, std::FILE *f,
+           const std::string &path)
+{
+    if (std::fwrite(data, 1, size, f) != size)
+        fatal("trace write failed for '%s'", path.c_str());
+}
+
+void
+readOrDie(void *data, std::size_t size, std::FILE *f,
+          const std::string &path)
+{
+    if (std::fread(data, 1, size, f) != size)
+        fatal("trace '%s' is truncated or unreadable", path.c_str());
+}
+
+} // namespace
+
+std::uint64_t
+TraceRecorder::record(gpu::AccessStream &stream, const std::string &path)
+{
+    FilePtr f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        fatal("cannot open trace file '%s' for writing", path.c_str());
+
+    // Header with a placeholder count, patched at the end.
+    writeOrDie(kMagic, sizeof(kMagic), f.get(), path);
+    const std::uint32_t version = kVersion;
+    const std::uint32_t warps = stream.numWarps();
+    const std::uint64_t pages = stream.numPages();
+    std::uint64_t count = 0;
+    writeOrDie(&version, sizeof(version), f.get(), path);
+    writeOrDie(&warps, sizeof(warps), f.get(), path);
+    writeOrDie(&pages, sizeof(pages), f.get(), path);
+    const long count_pos = std::ftell(f.get());
+    writeOrDie(&count, sizeof(count), f.get(), path);
+
+    // Drain warps round-robin so the file interleaves them the way a
+    // lock-step engine would issue.
+    stream.reset();
+    std::vector<bool> done(warps, false);
+    unsigned live = warps;
+    while (live > 0) {
+        for (WarpId w = 0; w < warps; ++w) {
+            if (done[w])
+                continue;
+            gpu::Access a;
+            if (!stream.nextAccess(w, a)) {
+                done[w] = true;
+                --live;
+                continue;
+            }
+            std::uint64_t word = a.page;
+            if (a.write)
+                word |= kWriteBit;
+            writeOrDie(&word, sizeof(word), f.get(), path);
+            writeOrDie(&w, sizeof(w), f.get(), path);
+            ++count;
+        }
+    }
+
+    if (std::fseek(f.get(), count_pos, SEEK_SET) != 0)
+        fatal("trace seek failed for '%s'", path.c_str());
+    writeOrDie(&count, sizeof(count), f.get(), path);
+    stream.reset();
+    return count;
+}
+
+TraceReplayStream::TraceReplayStream(const std::string &path)
+    : _name("trace:" + path)
+{
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    char magic[8];
+    readOrDie(magic, sizeof(magic), f.get(), path);
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        fatal("'%s' is not a GMT trace file", path.c_str());
+    std::uint32_t version = 0;
+    readOrDie(&version, sizeof(version), f.get(), path);
+    if (version != kVersion)
+        fatal("trace '%s' has unsupported version %u", path.c_str(),
+              unsigned(version));
+
+    std::uint32_t warp_count = 0;
+    readOrDie(&warp_count, sizeof(warp_count), f.get(), path);
+    readOrDie(&pages, sizeof(pages), f.get(), path);
+    readOrDie(&total, sizeof(total), f.get(), path);
+    if (warp_count == 0)
+        fatal("trace '%s' has zero warps", path.c_str());
+    warps = warp_count;
+    perWarp.resize(warps);
+    cursor.assign(warps, 0);
+
+    for (std::uint64_t i = 0; i < total; ++i) {
+        std::uint64_t word = 0;
+        std::uint32_t warp = 0;
+        readOrDie(&word, sizeof(word), f.get(), path);
+        readOrDie(&warp, sizeof(warp), f.get(), path);
+        if (warp >= warps)
+            fatal("trace '%s' record %llu names warp %u of %u",
+                  path.c_str(), static_cast<unsigned long long>(i),
+                  unsigned(warp), warps);
+        Record rec;
+        rec.write = (word & kWriteBit) != 0;
+        rec.page = word & ~kWriteBit;
+        if (rec.page >= pages)
+            fatal("trace '%s' record %llu is out of range",
+                  path.c_str(), static_cast<unsigned long long>(i));
+        perWarp[warp].push_back(rec);
+    }
+}
+
+bool
+TraceReplayStream::nextAccess(WarpId warp, gpu::Access &out)
+{
+    GMT_ASSERT(warp < warps);
+    auto &pos = cursor[warp];
+    const auto &list = perWarp[warp];
+    if (pos >= list.size())
+        return false;
+    out.page = list[pos].page;
+    out.write = list[pos].write;
+    ++pos;
+    return true;
+}
+
+void
+TraceReplayStream::reset()
+{
+    cursor.assign(warps, 0);
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Access-trace capture and replay.
+ *
+ * Any AccessStream can be recorded to a compact binary trace file and
+ * replayed later as a stream of its own — the workflow for (a) running
+ * the tiering policies over traces captured from real applications,
+ * and (b) archiving the exact stimulus behind a reported number.
+ *
+ * File format (little-endian, native field widths):
+ *   magic "GMTTRACE" (8 bytes)
+ *   u32 version | u32 warps | u64 pages | u64 record count
+ *   records: u64 page (bit 63 = write flag), u32 warp
+ *
+ * Records preserve the per-warp attribution produced at record time, so
+ * replay reproduces each warp's program order exactly; the engine's
+ * interleaving may still differ if the replaying runtime has different
+ * timing, which is the point of trace-driven experiments.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/access_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** Drain a stream (all warps, round-robin) into a trace file. */
+class TraceRecorder
+{
+  public:
+    /**
+     * Record @p stream to @p path.
+     * @return number of accesses written.
+     */
+    static std::uint64_t record(gpu::AccessStream &stream,
+                                const std::string &path);
+};
+
+/** Replay a trace file as an AccessStream. */
+class TraceReplayStream : public gpu::AccessStream
+{
+  public:
+    /** Load @p path fully into memory (fatal on malformed files). */
+    explicit TraceReplayStream(const std::string &path);
+
+    unsigned numWarps() const override { return warps; }
+    std::uint64_t numPages() const override { return pages; }
+    const std::string &name() const override { return _name; }
+
+    bool nextAccess(WarpId warp, gpu::Access &out) override;
+    void reset() override;
+
+    std::uint64_t totalAccesses() const { return total; }
+
+  private:
+    struct Record
+    {
+        PageId page;
+        bool write;
+    };
+
+    unsigned warps = 0;
+    std::uint64_t pages = 0;
+    std::uint64_t total = 0;
+    std::string _name;
+    /** Per-warp access lists + replay cursors. */
+    std::vector<std::vector<Record>> perWarp;
+    std::vector<std::size_t> cursor;
+};
+
+} // namespace gmt::workloads

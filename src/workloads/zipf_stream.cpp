@@ -1,0 +1,38 @@
+#include "workloads/zipf_stream.hpp"
+
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+ZipfStream::ZipfStream(const WorkloadConfig &config, double zipf_skew,
+                       std::uint64_t total_visits, double write_ratio)
+    : SequenceStream("Zipf", config),
+      sampler(config.pages, zipf_skew), totalVisits(total_visits),
+      writeRatio(write_ratio)
+{
+    GMT_ASSERT(total_visits > 0);
+}
+
+bool
+ZipfStream::nextItem(WorkItem &out)
+{
+    if (issued >= totalVisits)
+        return false;
+    ++issued;
+    // The sampler returns popularity rank; scramble rank -> page so hot
+    // pages are spread over the address space.
+    const std::uint64_t rank = sampler.sample(rng);
+    const PageId page =
+        (rank * 0x9e3779b97f4a7c15ull) % cfg.pages;
+    out = WorkItem{page, rng.chance(writeRatio), cfg.touchesPerVisit};
+    return true;
+}
+
+void
+ZipfStream::resetSequence()
+{
+    issued = 0;
+}
+
+} // namespace gmt::workloads

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Zipf microbenchmark stream (§2.3 / Figure 6b).
+ *
+ * "All GPU threads repeatedly generate page addresses drawn from a zipf
+ * distribution" — skew 0 degenerates to uniform (many distinct pages per
+ * window), skew 1 concentrates on few pages. Used by the Figure 6b bench
+ * to sweep transfer schemes, and generally handy as a tunable-locality
+ * stress stream for cache tests.
+ */
+
+#pragma once
+
+#include "workloads/sequence_stream.hpp"
+
+namespace gmt::workloads
+{
+
+/** Zipf-distributed page access stream. */
+class ZipfStream : public SequenceStream
+{
+  public:
+    /**
+     * @param skew         Zipf exponent in [0, 1]
+     * @param total_visits page visits before the stream ends
+     * @param write_ratio  fraction of visits that write
+     */
+    ZipfStream(const WorkloadConfig &config, double skew,
+               std::uint64_t total_visits, double write_ratio = 0.25);
+
+    double skew() const { return sampler.skewness(); }
+
+  protected:
+    bool nextItem(WorkItem &out) override;
+    void resetSequence() override;
+
+  private:
+    ZipfSampler sampler;
+    std::uint64_t totalVisits;
+    double writeRatio;
+    std::uint64_t issued = 0;
+};
+
+} // namespace gmt::workloads

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Coalescer tests: merge behaviour, write dominance, lane accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/coalescer.hpp"
+
+using namespace gmt;
+using namespace gmt::gpu;
+
+TEST(Coalescer, FullWarpSamePageMergesToOne)
+{
+    const auto reqs = Coalescer::coalesceStrided(0, 8, kWarpLanes, false);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].page, 0u);
+    EXPECT_EQ(reqs[0].lanes, kWarpLanes);
+    EXPECT_FALSE(reqs[0].write);
+}
+
+TEST(Coalescer, PageBoundarySplitsRequest)
+{
+    // 32 lanes x 4 KiB stride = 128 KiB span = exactly 2 pages.
+    const auto reqs =
+        Coalescer::coalesceStrided(0, 4096, kWarpLanes, false);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].page, 0u);
+    EXPECT_EQ(reqs[1].page, 1u);
+    EXPECT_EQ(reqs[0].lanes + reqs[1].lanes, kWarpLanes);
+    EXPECT_EQ(reqs[0].lanes, 16u);
+}
+
+TEST(Coalescer, FullyDivergentLanes)
+{
+    // Each lane hits a different page: worst-case scatter.
+    const auto reqs =
+        Coalescer::coalesceStrided(0, kPageBytes, kWarpLanes, true);
+    ASSERT_EQ(reqs.size(), kWarpLanes);
+    for (unsigned i = 0; i < kWarpLanes; ++i) {
+        EXPECT_EQ(reqs[i].page, i);
+        EXPECT_EQ(reqs[i].lanes, 1u);
+        EXPECT_TRUE(reqs[i].write);
+    }
+}
+
+TEST(Coalescer, InactiveLanesIgnored)
+{
+    const auto reqs = Coalescer::coalesceStrided(0, 8, 7, false);
+    ASSERT_EQ(reqs.size(), 1u);
+    EXPECT_EQ(reqs[0].lanes, 7u);
+}
+
+TEST(Coalescer, EmptyWarpYieldsNothing)
+{
+    Coalescer::Warp warp{};
+    EXPECT_TRUE(Coalescer::coalesce(warp).empty());
+}
+
+TEST(Coalescer, WriteDominatesMixedAccess)
+{
+    Coalescer::Warp warp{};
+    warp[0] = {100, true, false};              // read page 0
+    warp[1] = {200, true, true};               // write page 0
+    warp[2] = {kPageBytes + 8, true, false};   // read page 1
+    const auto reqs = Coalescer::coalesce(warp);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_TRUE(reqs[0].write) << "page with any store coalesces dirty";
+    EXPECT_FALSE(reqs[1].write);
+}
+
+TEST(Coalescer, PreservesFirstTouchOrder)
+{
+    Coalescer::Warp warp{};
+    warp[0] = {5 * kPageBytes, true, false};
+    warp[1] = {2 * kPageBytes, true, false};
+    warp[2] = {5 * kPageBytes + 64, true, false};
+    const auto reqs = Coalescer::coalesce(warp);
+    ASSERT_EQ(reqs.size(), 2u);
+    EXPECT_EQ(reqs[0].page, 5u);
+    EXPECT_EQ(reqs[1].page, 2u);
+    EXPECT_EQ(reqs[0].lanes, 2u);
+}

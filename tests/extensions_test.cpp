@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Tests for the §5 extension features: async eviction, sequential
+ * prefetch, and engine phase chaining (startTimeNs), plus a
+ * parameterized cross-policy invariant sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/gmt_runtime.hpp"
+#include "gpu/gpu_engine.hpp"
+#include "workloads/zipf_stream.hpp"
+
+using namespace gmt;
+
+namespace
+{
+
+RuntimeConfig
+tinyConfig(PlacementPolicy policy = PlacementPolicy::Reuse)
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 8;
+    cfg.tier2Pages = 16;
+    cfg.numPages = 64;
+    cfg.policy = policy;
+    cfg.sampleTarget = 2000;
+    cfg.samplePeriod = 1;
+    return cfg;
+}
+
+SimTime
+drive(TieredRuntime &rt, const std::vector<PageId> &pages,
+      bool writes = false)
+{
+    SimTime now = 0;
+    for (const PageId p : pages) {
+        now = std::max(now, rt.access(now, 0, p, writes).readyAt);
+        rt.backgroundTick(now);
+    }
+    return now;
+}
+
+std::vector<PageId>
+randomTrace(std::uint64_t seed, int n, std::uint64_t pages = 64)
+{
+    Rng rng(seed);
+    std::vector<PageId> seq;
+    for (int i = 0; i < n; ++i)
+        seq.push_back(rng.below(pages));
+    return seq;
+}
+
+} // namespace
+
+TEST(AsyncEviction, NeverSlowerThanSync)
+{
+    RuntimeConfig cfg = tinyConfig(PlacementPolicy::TierOrder);
+    const auto seq = randomTrace(3, 3000);
+
+    cfg.asyncEviction = false;
+    GmtRuntime sync(cfg);
+    const SimTime t_sync = drive(sync, seq, true);
+
+    cfg.asyncEviction = true;
+    GmtRuntime async(cfg);
+    const SimTime t_async = drive(async, seq, true);
+
+    EXPECT_LE(t_async, t_sync);
+}
+
+TEST(AsyncEviction, SameTierFlows)
+{
+    // Async only changes *when* the warp proceeds, not *what* moves.
+    RuntimeConfig cfg = tinyConfig(PlacementPolicy::TierOrder);
+    const auto seq = randomTrace(5, 2000);
+
+    cfg.asyncEviction = false;
+    GmtRuntime sync(cfg);
+    drive(sync, seq);
+
+    cfg.asyncEviction = true;
+    GmtRuntime async(cfg);
+    drive(async, seq);
+
+    EXPECT_EQ(sync.counters().value("evict_to_tier2"),
+              async.counters().value("evict_to_tier2"));
+    EXPECT_EQ(sync.counters().value("ssd_reads"),
+              async.counters().value("ssd_reads"));
+}
+
+TEST(Prefetch, SequentialStreamPrefetchesAndHits)
+{
+    RuntimeConfig cfg = tinyConfig(PlacementPolicy::Random);
+    cfg.prefetchDegree = 2;
+    GmtRuntime rt(cfg);
+    std::vector<PageId> seq;
+    for (PageId p = 0; p < 64; ++p)
+        seq.push_back(p);
+    drive(rt, seq);
+    const auto &c = rt.counters();
+    EXPECT_GT(c.value("prefetches"), 0u);
+    // A sequential scan with next-line prefetch hits on most pages.
+    EXPECT_GT(c.value("tier1_hits"), 30u);
+}
+
+TEST(Prefetch, DisabledByDefault)
+{
+    GmtRuntime rt(tinyConfig());
+    std::vector<PageId> seq;
+    for (PageId p = 0; p < 32; ++p)
+        seq.push_back(p);
+    drive(rt, seq);
+    EXPECT_EQ(rt.counters().value("prefetches"), 0u);
+}
+
+TEST(Prefetch, NeverCrossesAddressSpaceEnd)
+{
+    RuntimeConfig cfg = tinyConfig();
+    cfg.prefetchDegree = 8;
+    GmtRuntime rt(cfg);
+    // Touch the last page: prefetch must clip, not panic.
+    const AccessResult r = rt.access(0, 0, cfg.numPages - 1, false);
+    EXPECT_GT(r.readyAt, 0u);
+}
+
+TEST(Prefetch, SkipsResidentPages)
+{
+    RuntimeConfig cfg = tinyConfig();
+    cfg.prefetchDegree = 4;
+    GmtRuntime rt(cfg);
+    SimTime now = 0;
+    // Warm pages 1..4, then miss on page 0: prefetch of 1..4 skips.
+    for (PageId p = 1; p <= 4; ++p)
+        now = std::max(now, rt.access(now, 0, p, false).readyAt);
+    const auto before = rt.counters().value("prefetches");
+    rt.access(now, 0, 0, false);
+    EXPECT_EQ(rt.counters().value("prefetches"), before);
+}
+
+TEST(EngineStartTime, ChainsPhasesOnOneClock)
+{
+    RuntimeConfig cfg = tinyConfig();
+    GmtRuntime rt(cfg);
+    workloads::WorkloadConfig wc;
+    wc.pages = cfg.numPages;
+    wc.warps = 4;
+    workloads::ZipfStream phase1(wc, 0.3, 500);
+    workloads::ZipfStream phase2(wc, 0.3, 500);
+    phase2.workloadConfig(); // silence unused warnings pattern
+
+    gpu::EngineConfig ec1;
+    const gpu::RunResult r1 = gpu::GpuEngine(ec1).run(rt, phase1);
+
+    gpu::EngineConfig ec2;
+    ec2.startTimeNs = r1.makespanNs;
+    const gpu::RunResult r2 = gpu::GpuEngine(ec2).run(rt, phase2);
+    EXPECT_GE(r2.makespanNs, r1.makespanNs);
+}
+
+// ---- Cross-policy invariant sweep. ----
+
+struct SweepParam
+{
+    PlacementPolicy policy;
+    std::uint64_t tier1;
+    std::uint64_t tier2;
+    std::uint64_t seed;
+};
+
+class PolicySweepTest : public ::testing::TestWithParam<SweepParam>
+{
+};
+
+TEST_P(PolicySweepTest, InvariantsHoldUnderRandomChurn)
+{
+    const SweepParam p = GetParam();
+    RuntimeConfig cfg;
+    cfg.tier1Pages = p.tier1;
+    cfg.tier2Pages = p.tier2;
+    cfg.numPages = (p.tier1 + p.tier2) * 2 + 7;
+    cfg.policy = p.policy;
+    cfg.seed = p.seed;
+    cfg.sampleTarget = 3000;
+    cfg.samplePeriod = 1;
+    GmtRuntime rt(cfg);
+
+    Rng rng(p.seed * 7 + 1);
+    SimTime now = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const PageId page = rng.below(cfg.numPages);
+        const AccessResult r =
+            rt.access(now, WarpId(i % 8), page, rng.chance(0.4));
+        ASSERT_GE(r.readyAt, now);
+        now = std::max(now, r.readyAt);
+        if (i % 64 == 0)
+            rt.backgroundTick(now);
+    }
+
+    const auto &c = rt.counters();
+    const auto &pt = rt.pageTable();
+    EXPECT_EQ(c.value("tier1_hits") + c.value("tier1_misses"),
+              c.value("accesses"));
+    EXPECT_EQ(c.value("tier2_hits") + c.value("ssd_reads"),
+              c.value("tier1_misses"));
+    EXPECT_EQ(pt.residentCount(mem::Residency::Tier1),
+              rt.tier1Cache().used());
+    EXPECT_EQ(pt.residentCount(mem::Residency::Tier2),
+              rt.tier2Pool().used());
+    EXPECT_EQ(pt.residentCount(mem::Residency::None), 0u);
+    EXPECT_EQ(pt.residentCount(mem::Residency::Tier1)
+                  + pt.residentCount(mem::Residency::Tier2)
+                  + pt.residentCount(mem::Residency::Tier3),
+              cfg.numPages);
+
+    // Flush leaves no dirty pages anywhere.
+    rt.flush(now);
+    for (PageId page = 0; page < cfg.numPages; ++page)
+        ASSERT_FALSE(pt.meta(page).dirty);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PolicySweepTest,
+    ::testing::Values(
+        SweepParam{PlacementPolicy::Reuse, 8, 16, 1},
+        SweepParam{PlacementPolicy::Reuse, 16, 64, 2},
+        SweepParam{PlacementPolicy::Reuse, 4, 4, 3},
+        SweepParam{PlacementPolicy::Random, 8, 16, 4},
+        SweepParam{PlacementPolicy::Random, 32, 32, 5},
+        SweepParam{PlacementPolicy::TierOrder, 8, 16, 6},
+        SweepParam{PlacementPolicy::TierOrder, 16, 128, 7},
+        SweepParam{PlacementPolicy::Reuse, 8, 0, 8},
+        SweepParam{PlacementPolicy::TierOrder, 8, 0, 9}),
+    [](const ::testing::TestParamInfo<SweepParam> &info) {
+        const auto &p = info.param;
+        return std::string(policyName(p.policy)).substr(4)
+               + "_t1_" + std::to_string(p.tier1) + "_t2_"
+               + std::to_string(p.tier2) + "_s"
+               + std::to_string(p.seed);
+    });

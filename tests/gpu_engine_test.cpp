@@ -1,0 +1,187 @@
+/**
+ * @file
+ * GPU engine tests against a stub runtime with fully predictable
+ * timing: warp interleaving, makespan math, background ticks,
+ * determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "gpu/access_stream.hpp"
+#include "gpu/gpu_engine.hpp"
+
+using namespace gmt;
+using namespace gmt::gpu;
+
+namespace
+{
+
+/** Runtime stub: every access is "ready" after a fixed delay. */
+class StubRuntime : public TieredRuntime
+{
+  public:
+    explicit StubRuntime(SimTime delay)
+        : TieredRuntime(makeCfg()), accessDelay(delay)
+    {
+    }
+
+    AccessResult
+    access(SimTime now, WarpId warp, PageId page, bool) override
+    {
+        issueTimes.push_back(now);
+        lastWarp = warp;
+        lastPage = page;
+        AccessResult r;
+        r.readyAt = now + accessDelay;
+        r.tier1Hit = true;
+        return r;
+    }
+
+    void backgroundTick(SimTime) override { ++ticks; }
+    const char *name() const override { return "stub"; }
+
+    static RuntimeConfig
+    makeCfg()
+    {
+        RuntimeConfig cfg;
+        cfg.tier1Pages = 4;
+        cfg.tier2Pages = 0;
+        cfg.numPages = 1024;
+        return cfg;
+    }
+
+    SimTime accessDelay;
+    std::vector<SimTime> issueTimes;
+    WarpId lastWarp = 0;
+    PageId lastPage = 0;
+    unsigned ticks = 0;
+};
+
+/** Stream: each warp performs a fixed number of accesses. */
+class CountingStream : public AccessStream
+{
+  public:
+    CountingStream(unsigned warps, std::uint64_t per_warp)
+        : warps_(warps), perWarp(per_warp), remaining(warps, per_warp)
+    {
+    }
+
+    unsigned numWarps() const override { return warps_; }
+    std::uint64_t numPages() const override { return 1024; }
+    const std::string &name() const override { return name_; }
+
+    bool
+    nextAccess(WarpId w, Access &out) override
+    {
+        if (remaining[w] == 0)
+            return false;
+        --remaining[w];
+        out.page = (w * 131 + remaining[w]) % 1024;
+        out.write = false;
+        return true;
+    }
+
+    void
+    reset() override
+    {
+        remaining.assign(warps_, perWarp);
+    }
+
+  private:
+    unsigned warps_;
+    std::uint64_t perWarp;
+    std::vector<std::uint64_t> remaining;
+    std::string name_ = "counting";
+};
+
+} // namespace
+
+TEST(GpuEngine, MakespanForSingleWarp)
+{
+    StubRuntime rt(0);
+    CountingStream stream(1, 10);
+    EngineConfig ec;
+    ec.computeNsPerAccess = 100;
+    const RunResult r = GpuEngine(ec).run(rt, stream);
+    EXPECT_EQ(r.accesses, 10u);
+    EXPECT_EQ(r.makespanNs, 1000u);
+}
+
+TEST(GpuEngine, WarpsProgressIndependently)
+{
+    StubRuntime rt(0);
+    CountingStream stream(4, 10);
+    EngineConfig ec;
+    ec.computeNsPerAccess = 100;
+    const RunResult r = GpuEngine(ec).run(rt, stream);
+    EXPECT_EQ(r.accesses, 40u);
+    // Warps run concurrently: 4 warps of 10 accesses still take 1000ns.
+    EXPECT_EQ(r.makespanNs, 1000u);
+}
+
+TEST(GpuEngine, AccessDelayExtendsMakespan)
+{
+    StubRuntime rt(900);
+    CountingStream stream(1, 10);
+    EngineConfig ec;
+    ec.computeNsPerAccess = 100;
+    const RunResult r = GpuEngine(ec).run(rt, stream);
+    EXPECT_EQ(r.makespanNs, 10u * 1000u);
+}
+
+TEST(GpuEngine, IssuesFromEarliestReadyWarp)
+{
+    StubRuntime rt(0);
+    CountingStream stream(2, 3);
+    EngineConfig ec;
+    ec.computeNsPerAccess = 50;
+    GpuEngine(ec).run(rt, stream);
+    // Issue times must be globally non-decreasing.
+    for (std::size_t i = 1; i < rt.issueTimes.size(); ++i)
+        EXPECT_GE(rt.issueTimes[i], rt.issueTimes[i - 1]);
+}
+
+TEST(GpuEngine, BackgroundTickFiresPeriodically)
+{
+    StubRuntime rt(0);
+    CountingStream stream(2, 600);
+    EngineConfig ec;
+    ec.backgroundInterval = 100;
+    GpuEngine(ec).run(rt, stream);
+    EXPECT_EQ(rt.ticks, 12u);
+}
+
+TEST(GpuEngine, MaxAccessesTruncates)
+{
+    StubRuntime rt(0);
+    CountingStream stream(2, 1000);
+    EngineConfig ec;
+    ec.maxAccesses = 50;
+    const RunResult r = GpuEngine(ec).run(rt, stream);
+    EXPECT_EQ(r.accesses, 50u);
+}
+
+TEST(GpuEngine, DeterministicAcrossRuns)
+{
+    EngineConfig ec;
+    ec.computeNsPerAccess = 77;
+    StubRuntime rt1(33), rt2(33);
+    CountingStream s1(8, 100), s2(8, 100);
+    const RunResult a = GpuEngine(ec).run(rt1, s1);
+    const RunResult b = GpuEngine(ec).run(rt2, s2);
+    EXPECT_EQ(a.makespanNs, b.makespanNs);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(rt1.issueTimes, rt2.issueTimes);
+}
+
+TEST(GpuEngine, CountsHitsReportedByRuntime)
+{
+    StubRuntime rt(0);
+    CountingStream stream(1, 25);
+    const RunResult r = GpuEngine().run(rt, stream);
+    EXPECT_EQ(r.tier1Hits, 25u);
+    EXPECT_EQ(r.tier2Hits, 0u);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Harness tests: system factory, runSystem determinism, result
+ * arithmetic, and end-to-end coherence between the instrumented trace
+ * statistics and the simulated runtime.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/oracle.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+namespace
+{
+
+RuntimeConfig
+smallConfig()
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.setOversubscription(2.0);
+    cfg.sampleTarget = 20000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Harness, SystemNamesMatchRuntimes)
+{
+    const RuntimeConfig cfg = smallConfig();
+    for (const System sys : {System::Bam, System::GmtTierOrder,
+                             System::GmtRandom, System::GmtReuse,
+                             System::Hmm}) {
+        auto rt = makeSystem(sys, cfg);
+        EXPECT_STREQ(rt->name(), systemName(sys));
+    }
+}
+
+TEST(Harness, RunSystemIsDeterministic)
+{
+    const RuntimeConfig cfg = smallConfig();
+    const auto a = runSystem(System::GmtRandom, cfg, "Srad", 8);
+    const auto b = runSystem(System::GmtRandom, cfg, "Srad", 8);
+    EXPECT_EQ(a.makespanNs, b.makespanNs);
+    EXPECT_EQ(a.ssdReads, b.ssdReads);
+    EXPECT_EQ(a.tier2Hits, b.tier2Hits);
+    EXPECT_EQ(a.wastefulLookups, b.wastefulLookups);
+}
+
+TEST(Harness, WarpCountChangesScheduleNotWork)
+{
+    const RuntimeConfig cfg = smallConfig();
+    const auto few = runSystem(System::Bam, cfg, "Hotspot", 4);
+    const auto many = runSystem(System::Bam, cfg, "Hotspot", 32);
+    EXPECT_EQ(few.accesses, many.accesses)
+        << "the global work sequence is warp-count independent";
+    EXPECT_GT(few.makespanNs, many.makespanNs)
+        << "more warps -> more miss-level parallelism";
+}
+
+TEST(Harness, ResultArithmetic)
+{
+    ExperimentResult a, b;
+    a.makespanNs = 100;
+    b.makespanNs = 200;
+    EXPECT_DOUBLE_EQ(a.speedupOver(b), 2.0);
+    EXPECT_DOUBLE_EQ(b.speedupOver(a), 0.5);
+
+    a.ssdReads = 3;
+    a.ssdWrites = 1;
+    EXPECT_EQ(a.ssdBytes(), 4 * kPageBytes);
+
+    a.predTotal = 0;
+    EXPECT_DOUBLE_EQ(a.predictionAccuracy(), 0.0);
+    a.predTotal = 10;
+    a.predCorrect = 7;
+    EXPECT_DOUBLE_EQ(a.predictionAccuracy(), 0.7);
+}
+
+TEST(Harness, TraceStatisticsCohereWithRuntime)
+{
+    // The instrumented trace's cold-miss floor must lower-bound the
+    // simulated runtime's SSD reads (every distinct page must come off
+    // the SSD at least once), and the runtime's misses must be at
+    // least the trace's distinct pages.
+    const RuntimeConfig cfg = smallConfig();
+    workloads::WorkloadConfig wc;
+    wc.pages = cfg.numPages;
+    wc.seed = cfg.seed + 13;
+    auto stream = workloads::makeWorkload("Srad", wc);
+    const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
+
+    const auto r = runSystem(System::GmtReuse, cfg, "Srad", 8);
+    EXPECT_GE(r.ssdReads, a.distinctPages);
+    EXPECT_GE(r.tier1Misses, a.distinctPages);
+    EXPECT_LE(r.accesses, a.accesses * 2) << "same workload scale";
+}
+
+TEST(Harness, OracleBoundsRuntimeHitsOnMatchedTrace)
+{
+    // With a single warp the runtime executes exactly the reference
+    // trace order, so the oracle bound must be a true upper bound on
+    // GMT-Reuse's Tier-2 hits.
+    const RuntimeConfig cfg = smallConfig();
+    workloads::WorkloadConfig wc;
+    wc.pages = cfg.numPages;
+    wc.seed = cfg.seed + 13;
+    auto stream = workloads::makeWorkload("Backprop", wc);
+    const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
+    const OracleBound bound = oracleTier2Bound(a, cfg.tier2Pages);
+
+    const auto r = runSystem(System::GmtReuse, cfg, "Backprop",
+                             /*warps=*/1);
+    EXPECT_LE(r.tier2Hits, bound.tier2HitBound);
+    EXPECT_GT(bound.tier2HitBound, 0u);
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * HMM baseline tests: host fault-pipeline accounting, page-cache flows,
+ * and the defining property that host orchestration serializes misses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "baselines/bam_runtime.hpp"
+#include "baselines/hmm_runtime.hpp"
+#include "util/rng.hpp"
+
+using namespace gmt;
+using namespace gmt::baselines;
+
+namespace
+{
+
+RuntimeConfig
+tinyConfig()
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 8;
+    cfg.tier2Pages = 16;
+    cfg.numPages = 64;
+    return cfg;
+}
+
+SimTime
+drive(TieredRuntime &rt, const std::vector<PageId> &pages,
+      bool writes = false)
+{
+    SimTime now = 0;
+    for (const PageId p : pages)
+        now = std::max(now, rt.access(now, 0, p, writes).readyAt);
+    return now;
+}
+
+} // namespace
+
+TEST(HmmRuntime, EveryMissIsAHostFault)
+{
+    HmmRuntime rt(tinyConfig(), HmmParams{});
+    Rng rng(3);
+    std::vector<PageId> seq;
+    for (int i = 0; i < 1000; ++i)
+        seq.push_back(rng.below(64));
+    drive(rt, seq);
+    const auto &c = rt.counters();
+    EXPECT_EQ(c.value("host_faults"), c.value("tier1_misses"));
+    EXPECT_GT(c.value("host_faults"), 0u);
+}
+
+TEST(HmmRuntime, FaultDeliveryFloorsMissLatency)
+{
+    HmmParams hp;
+    HmmRuntime rt(tinyConfig(), hp);
+    const AccessResult r = rt.access(0, 0, 5, false);
+    EXPECT_GE(r.readyAt, hp.faultDeliveryNs + hp.faultServiceNs);
+}
+
+TEST(HmmRuntime, PageCacheHitsAvoidSsd)
+{
+    HmmRuntime rt(tinyConfig(), HmmParams{});
+    // Stream 12 pages through an 8-frame Tier-1: the first 4 evictions
+    // land in the host cache; touching them again must hit there.
+    SimTime now = 0;
+    for (PageId p = 0; p < 12; ++p)
+        now = std::max(now, rt.access(now, 0, p, false).readyAt);
+    const auto reads_before = rt.counters().value("ssd_reads");
+    for (PageId p = 0; p < 4; ++p)
+        now = std::max(now, rt.access(now, 0, p, false).readyAt);
+    const auto &c = rt.counters();
+    EXPECT_EQ(c.value("ssd_reads"), reads_before)
+        << "all four re-touches were host page cache hits";
+    EXPECT_GE(c.value("tier2_hits"), 4u);
+}
+
+TEST(HmmRuntime, EvictionsAlwaysMigrateToHost)
+{
+    HmmRuntime rt(tinyConfig(), HmmParams{});
+    std::vector<PageId> seq;
+    for (PageId p = 0; p < 30; ++p)
+        seq.push_back(p);
+    drive(rt, seq);
+    const auto &c = rt.counters();
+    EXPECT_EQ(c.value("evict_to_tier2"), c.value("tier1_evictions"));
+}
+
+TEST(HmmRuntime, DirtyCacheFalloutWritesToSsd)
+{
+    HmmRuntime rt(tinyConfig(), HmmParams{});
+    std::vector<PageId> seq;
+    for (PageId p = 0; p < 64; ++p)
+        seq.push_back(p);
+    drive(rt, seq, /*writes=*/true);
+    EXPECT_GT(rt.counters().value("ssd_writes"), 0u);
+}
+
+TEST(HmmRuntime, SlowerThanBamOnFaultHeavyStream)
+{
+    // The §3.6 claim at unit-test scale: on a miss-dominated random
+    // stream, host orchestration loses to GPU orchestration even though
+    // HMM has a Tier-2 and BaM does not.
+    RuntimeConfig cfg = tinyConfig();
+    auto bam = makeBamRuntime(cfg);
+    HmmRuntime hmm(cfg, HmmParams{});
+    Rng rng(17);
+    std::vector<PageId> seq;
+    for (int i = 0; i < 3000; ++i)
+        seq.push_back(rng.below(64));
+
+    // Interleave 8 "warps" to give both systems miss parallelism.
+    auto run = [&](TieredRuntime &rt) {
+        std::array<SimTime, 8> warp_now{};
+        for (std::size_t i = 0; i < seq.size(); ++i) {
+            auto &now = warp_now[i % 8];
+            now = std::max(now,
+                           rt.access(now, WarpId(i % 8), seq[i], false)
+                               .readyAt);
+        }
+        SimTime end = 0;
+        for (const SimTime t : warp_now)
+            end = std::max(end, t);
+        return end;
+    };
+    const SimTime t_hmm = run(hmm);
+    const SimTime t_bam = run(*bam);
+    EXPECT_GT(t_hmm, t_bam);
+}
+
+TEST(HmmRuntime, FlushDrainsDirtyPages)
+{
+    HmmRuntime rt(tinyConfig(), HmmParams{});
+    SimTime now = 0;
+    for (PageId p = 0; p < 5; ++p)
+        now = std::max(now, rt.access(now, 0, p, true).readyAt);
+    rt.flush(now);
+    // Nothing should remain dirty anywhere.
+    for (PageId p = 0; p < 64; ++p)
+        EXPECT_FALSE(rt.pageTable().meta(p).dirty);
+}
+
+TEST(HmmRuntime, ResetReproduces)
+{
+    HmmRuntime rt(tinyConfig(), HmmParams{});
+    Rng rng(5);
+    std::vector<PageId> seq;
+    for (int i = 0; i < 800; ++i)
+        seq.push_back(rng.below(64));
+    const SimTime t1 = drive(rt, seq);
+    rt.reset();
+    const SimTime t2 = drive(rt, seq);
+    EXPECT_EQ(t1, t2);
+}

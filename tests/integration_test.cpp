@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Cross-module integration: every Table 2 workload runs on all four
+ * evaluated systems under the paper-default (scaled) configuration,
+ * and system-level invariants hold on each combination.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+namespace
+{
+
+RuntimeConfig
+smallConfig()
+{
+    // 1/4 of the paper-default scale keeps the full cross product fast
+    // while preserving all the capacity ratios (T2 = 4x T1, OSF = 2).
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.setOversubscription(2.0);
+    cfg.sampleTarget = 20000;
+    return cfg;
+}
+
+struct Combo
+{
+    System system;
+    std::string workload;
+};
+
+std::vector<Combo>
+allCombos()
+{
+    std::vector<Combo> v;
+    for (const auto sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse,
+                           System::Hmm}) {
+        for (const auto &info : workloads::allWorkloads())
+            v.push_back(Combo{sys, info.name});
+    }
+    return v;
+}
+
+} // namespace
+
+class SystemWorkloadTest : public ::testing::TestWithParam<Combo>
+{
+};
+
+TEST_P(SystemWorkloadTest, InvariantsHold)
+{
+    const Combo combo = GetParam();
+    const RuntimeConfig cfg = smallConfig();
+    const ExperimentResult r =
+        runSystem(combo.system, cfg, combo.workload, /*warps=*/16);
+
+    EXPECT_GT(r.accesses, 0u);
+    EXPECT_GT(r.makespanNs, 0u);
+    EXPECT_EQ(r.tier1Hits + r.tier1Misses, r.accesses);
+    // Misses are served from exactly one source. (HMM performs its SSD
+    // reads through the host path but the identity is the same.)
+    EXPECT_EQ(r.tier2Hits + r.ssdReads, r.tier1Misses);
+    // Cold misses alone require at least one SSD read per distinct
+    // SSD-resident page; every system must do *some* I/O at OSF 2.
+    EXPECT_GT(r.ssdReads, 0u);
+    if (combo.system != System::Bam) {
+        EXPECT_EQ(r.tier2Lookups, r.tier1Misses);
+        EXPECT_EQ(r.tier2Hits + r.wastefulLookups, r.tier2Lookups);
+    } else {
+        EXPECT_EQ(r.tier2Lookups, 0u);
+        EXPECT_EQ(r.tier2Hits, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FullMatrix, SystemWorkloadTest, ::testing::ValuesIn(allCombos()),
+    [](const ::testing::TestParamInfo<Combo> &info) {
+        std::string name = std::string(systemName(info.param.system))
+                           + "_" + info.param.workload;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Integration, Tier2SystemsReduceSsdReadsOnHighReuseApps)
+{
+    const RuntimeConfig cfg = smallConfig();
+    for (const char *app : {"Srad", "Backprop", "Hotspot"}) {
+        const auto bam = runSystem(System::Bam, cfg, app, 16);
+        const auto reuse = runSystem(System::GmtReuse, cfg, app, 16);
+        EXPECT_LT(reuse.ssdReads, bam.ssdReads) << app;
+        EXPECT_GT(reuse.tier2Hits, 0u) << app;
+    }
+}
+
+TEST(Integration, GmtReuseBeatsBamOnTier2BiasedApps)
+{
+    const RuntimeConfig cfg = smallConfig();
+    for (const char *app : {"Srad", "Backprop"}) {
+        const auto bam = runSystem(System::Bam, cfg, app, 16);
+        const auto reuse = runSystem(System::GmtReuse, cfg, app, 16);
+        EXPECT_GT(reuse.speedupOver(bam), 1.1) << app;
+    }
+}
+
+TEST(Integration, HmmLosesToBamOverall)
+{
+    // §3.6 at test scale: geometric-mean speedup of HMM over BaM < 1.
+    const RuntimeConfig cfg = smallConfig();
+    std::vector<double> speedups;
+    for (const char *app : {"MultiVectorAdd", "PageRank", "Hotspot"}) {
+        const auto bam = runSystem(System::Bam, cfg, app, 16);
+        const auto hmm = runSystem(System::Hmm, cfg, app, 16);
+        speedups.push_back(hmm.speedupOver(bam));
+    }
+    EXPECT_LT(meanSpeedup(speedups), 1.0);
+}
+
+TEST(Integration, PredictionAccuracyIsMeaningfulForReuse)
+{
+    const RuntimeConfig cfg = smallConfig();
+    const auto r = runSystem(System::GmtReuse, cfg, "Backprop", 16);
+    EXPECT_GT(r.predTotal, 100u);
+    EXPECT_GT(r.predictionAccuracy(), 0.3);
+    EXPECT_LE(r.predictionAccuracy(), 1.0);
+}
+
+TEST(Integration, RunsAreReproducible)
+{
+    const RuntimeConfig cfg = smallConfig();
+    const auto a = runSystem(System::GmtReuse, cfg, "BFS", 16);
+    const auto b = runSystem(System::GmtReuse, cfg, "BFS", 16);
+    EXPECT_EQ(a.makespanNs, b.makespanNs);
+    EXPECT_EQ(a.ssdReads, b.ssdReads);
+    EXPECT_EQ(a.tier2Hits, b.tier2Hits);
+}
+
+TEST(Integration, MeanSpeedupIsGeometric)
+{
+    EXPECT_DOUBLE_EQ(meanSpeedup({4.0, 1.0}), 2.0);
+    EXPECT_DOUBLE_EQ(meanSpeedup({1.0, 1.0, 1.0}), 1.0);
+    EXPECT_DOUBLE_EQ(meanSpeedup({}), 0.0);
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests for gmt_mem: frame pools, page table residency accounting,
+ * backing store integrity, page metadata (Markov counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+#include "mem/frame_pool.hpp"
+#include "mem/page_meta.hpp"
+#include "mem/page_table.hpp"
+
+using namespace gmt;
+using namespace gmt::mem;
+
+TEST(FramePool, AllocateUntilFull)
+{
+    FramePool p(3);
+    EXPECT_EQ(p.capacity(), 3u);
+    EXPECT_NE(p.allocate(10), kInvalidFrame);
+    EXPECT_NE(p.allocate(11), kInvalidFrame);
+    EXPECT_NE(p.allocate(12), kInvalidFrame);
+    EXPECT_TRUE(p.full());
+    EXPECT_EQ(p.allocate(13), kInvalidFrame);
+}
+
+TEST(FramePool, ReleaseMakesRoom)
+{
+    FramePool p(1);
+    const FrameId f = p.allocate(5);
+    p.release(f);
+    EXPECT_EQ(p.used(), 0u);
+    EXPECT_NE(p.allocate(6), kInvalidFrame);
+}
+
+TEST(FramePool, RetargetSwapsOccupant)
+{
+    FramePool p(1);
+    const FrameId f = p.allocate(5);
+    p.retarget(f, 9);
+    EXPECT_EQ(p.frame(f).page, 9u);
+    EXPECT_EQ(p.used(), 1u);
+}
+
+TEST(FramePool, PinsNest)
+{
+    FramePool p(1);
+    const FrameId f = p.allocate(5);
+    p.pin(f);
+    p.pin(f);
+    EXPECT_TRUE(p.pinned(f));
+    p.unpin(f);
+    EXPECT_TRUE(p.pinned(f));
+    p.unpin(f);
+    EXPECT_FALSE(p.pinned(f));
+}
+
+TEST(FramePoolDeathTest, ReleasingPinnedFramePanics)
+{
+    FramePool p(1);
+    const FrameId f = p.allocate(5);
+    p.pin(f);
+    EXPECT_DEATH(p.release(f), "assertion failed");
+}
+
+TEST(FramePool, ClearEmptiesEverything)
+{
+    FramePool p(4);
+    p.allocate(1);
+    p.allocate(2);
+    p.clear();
+    EXPECT_EQ(p.used(), 0u);
+    EXPECT_NE(p.allocate(3), kInvalidFrame);
+}
+
+TEST(PageTable, StartsAllTier3)
+{
+    PageTable pt(100);
+    EXPECT_EQ(pt.residentCount(Residency::Tier3), 100u);
+    EXPECT_EQ(pt.residentCount(Residency::Tier1), 0u);
+}
+
+TEST(PageTable, ResidencyMovesAreCounted)
+{
+    PageTable pt(10);
+    pt.setResidency(3, Residency::Tier1, 0);
+    pt.setResidency(4, Residency::Tier2, 1);
+    EXPECT_EQ(pt.residentCount(Residency::Tier1), 1u);
+    EXPECT_EQ(pt.residentCount(Residency::Tier2), 1u);
+    EXPECT_EQ(pt.residentCount(Residency::Tier3), 8u);
+    EXPECT_EQ(pt.meta(3).frame, 0u);
+
+    pt.setResidency(3, Residency::Tier3, kInvalidFrame);
+    EXPECT_EQ(pt.residentCount(Residency::Tier1), 0u);
+    EXPECT_EQ(pt.residentCount(Residency::Tier3), 9u);
+}
+
+TEST(PageTable, ClearRestoresTier3)
+{
+    PageTable pt(5);
+    pt.setResidency(0, Residency::Tier1, 0);
+    pt.meta(0).dirty = true;
+    pt.clear();
+    EXPECT_EQ(pt.residentCount(Residency::Tier3), 5u);
+    EXPECT_FALSE(pt.meta(0).dirty);
+}
+
+TEST(BackingStore, RoundTripBytes)
+{
+    BackingStore bs(4);
+    const char msg[] = "GMT tiering";
+    bs.write(2, 100, msg, sizeof(msg));
+    char back[sizeof(msg)] = {};
+    bs.read(2, 100, back, sizeof(msg));
+    EXPECT_STREQ(back, msg);
+}
+
+TEST(BackingStore, TypedAccessCrossesPages)
+{
+    BackingStore bs(4);
+    // Element index chosen to land near a page boundary.
+    const std::uint64_t idx = kPageBytes / sizeof(double) - 1;
+    bs.store<double>(idx, 2.5);
+    bs.store<double>(idx + 1, 7.5); // first element of page 1
+    EXPECT_DOUBLE_EQ(bs.load<double>(idx), 2.5);
+    EXPECT_DOUBLE_EQ(bs.load<double>(idx + 1), 7.5);
+}
+
+TEST(BackingStore, DisabledWhenZeroPages)
+{
+    BackingStore bs(0);
+    EXPECT_FALSE(bs.enabled());
+}
+
+TEST(SatCounter8, SaturatesAt255)
+{
+    SatCounter8 c;
+    for (int i = 0; i < 300; ++i)
+        c.inc();
+    EXPECT_EQ(c.value(), 255u);
+    c.age();
+    EXPECT_EQ(c.value(), 127u);
+}
+
+TEST(PageMeta, MarkovLearnsDominantTransition)
+{
+    PageMeta m;
+    for (int i = 0; i < 10; ++i)
+        m.markovUpdate(0, 2);
+    m.markovUpdate(0, 1);
+    EXPECT_EQ(m.markovPredict(0), 2u);
+}
+
+TEST(PageMeta, MarkovAgingPreservesOrder)
+{
+    PageMeta m;
+    for (int i = 0; i < 255; ++i)
+        m.markovUpdate(1, 1);
+    for (int i = 0; i < 100; ++i)
+        m.markovUpdate(1, 2);
+    // Saturation-triggered aging halves everything but the dominant
+    // transition must survive.
+    for (int i = 0; i < 200; ++i)
+        m.markovUpdate(1, 1);
+    EXPECT_EQ(m.markovPredict(1), 1u);
+}
+
+TEST(PageMeta, DefaultHistoryIsUnknown)
+{
+    PageMeta m;
+    EXPECT_EQ(m.correctTierHistory[0], 3u);
+    EXPECT_EQ(m.correctTierHistory[1], 3u);
+    EXPECT_FALSE(m.everEvicted);
+}

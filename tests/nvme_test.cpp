@@ -1,0 +1,235 @@
+/**
+ * @file
+ * NVMe substrate tests: SSD service model, ring mechanics (wrap, phase,
+ * back-pressure), and the multi-queue device facade.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvme/nvme_device.hpp"
+#include "nvme/queue_pair.hpp"
+#include "nvme/ssd_model.hpp"
+
+using namespace gmt;
+using namespace gmt::nvme;
+
+namespace
+{
+
+SsdParams
+fastParams()
+{
+    SsdParams p;
+    p.readBandwidth = 3.4e9;
+    p.writeBandwidth = 3.2e9;
+    p.readLatencyNs = 100000;
+    p.writeLatencyNs = 30000;
+    p.queueDepth = 4;
+    return p;
+}
+
+} // namespace
+
+TEST(SsdModel, ReadLatencyPlusBandwidth)
+{
+    SsdModel ssd(fastParams());
+    const SimTime done = ssd.read(0, kPageBytes);
+    const auto media =
+        SimTime(double(kPageBytes) / fastParams().readBandwidth * 1e9);
+    EXPECT_EQ(done, 100000u + media);
+}
+
+TEST(SsdModel, QueueDepthBoundsParallelism)
+{
+    SsdModel ssd(fastParams()); // 4 slots
+    SimTime last = 0;
+    for (int i = 0; i < 8; ++i)
+        last = ssd.read(0, kPageBytes);
+    // Two waves of latency at minimum.
+    EXPECT_GE(last, 2u * 100000u);
+}
+
+TEST(SsdModel, BandwidthBindsLargeTransfers)
+{
+    SsdParams p = fastParams();
+    p.queueDepth = 256; // latency no longer the bottleneck
+    SsdModel ssd(p);
+    SimTime last = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i)
+        last = ssd.read(0, kPageBytes);
+    const double expected_ns =
+        double(n) * double(kPageBytes) / p.readBandwidth * 1e9;
+    EXPECT_NEAR(double(last), expected_ns + p.readLatencyNs,
+                expected_ns * 0.02);
+}
+
+TEST(SsdModel, WritesUseWritePath)
+{
+    SsdModel ssd(fastParams());
+    ssd.write(0, kPageBytes);
+    EXPECT_EQ(ssd.writesServiced(), 1u);
+    EXPECT_EQ(ssd.readsServiced(), 0u);
+    EXPECT_EQ(ssd.bytesWritten(), kPageBytes);
+}
+
+TEST(QueuePair, SubmitPollRoundTrip)
+{
+    SsdModel ssd(fastParams());
+    QueuePair qp(ssd, 8);
+    SubmissionEntry sqe;
+    sqe.opcode = NvmeOpcode::Read;
+    sqe.numBlocks = 128; // one 64 KiB page
+    const std::uint16_t cid = qp.submit(0, sqe);
+    EXPECT_EQ(qp.inFlight(), 1u);
+
+    CompletionEntry cqe;
+    EXPECT_FALSE(qp.poll(0, cqe)) << "not ready yet";
+    const SimTime ready = qp.earliestCompletion();
+    ASSERT_NE(ready, kNeverTime);
+    EXPECT_TRUE(qp.poll(ready, cqe));
+    EXPECT_EQ(cqe.commandId, cid);
+    EXPECT_EQ(qp.inFlight(), 0u);
+}
+
+TEST(QueuePair, FillsAtDepth)
+{
+    SsdModel ssd(fastParams());
+    QueuePair qp(ssd, 4);
+    SubmissionEntry sqe;
+    sqe.numBlocks = 128;
+    for (int i = 0; i < 4; ++i)
+        qp.submit(0, sqe);
+    EXPECT_TRUE(qp.full());
+}
+
+TEST(QueuePair, ReapUntilConsumesEarlierCompletions)
+{
+    SsdModel ssd(fastParams());
+    QueuePair qp(ssd, 8);
+    SubmissionEntry sqe;
+    sqe.numBlocks = 128;
+    qp.submit(0, sqe);
+    qp.submit(0, sqe);
+    const std::uint16_t last = qp.submit(0, sqe);
+    const SimTime done = qp.reapUntil(last);
+    EXPECT_EQ(qp.inFlight(), 0u);
+    EXPECT_GT(done, 0u);
+    EXPECT_EQ(qp.completionsReaped(), 3u);
+}
+
+TEST(QueuePair, PhaseSurvivesManyWraps)
+{
+    SsdModel ssd(fastParams());
+    QueuePair qp(ssd, 4);
+    SubmissionEntry sqe;
+    sqe.numBlocks = 128;
+    // 40 commands through a 4-deep ring: 10 full wraps; the phase-tag
+    // assertion inside poll() validates every completion.
+    SimTime t = 0;
+    for (int i = 0; i < 40; ++i) {
+        const std::uint16_t cid = qp.submit(t, sqe);
+        t = qp.reapUntil(cid);
+    }
+    EXPECT_EQ(qp.submissions(), 40u);
+    EXPECT_EQ(qp.completionsReaped(), 40u);
+}
+
+TEST(QueuePairDeathTest, SubmitWhenFullPanics)
+{
+    SsdModel ssd(fastParams());
+    QueuePair qp(ssd, 4);
+    SubmissionEntry sqe;
+    sqe.numBlocks = 128;
+    for (int i = 0; i < 4; ++i)
+        qp.submit(0, sqe);
+    EXPECT_DEATH(qp.submit(0, sqe), "assertion failed");
+}
+
+TEST(NvmeDevice, ReadCompletesWithCalibratedLatency)
+{
+    NvmeDevice dev(fastParams(), 4, 64);
+    const SimTime done = dev.readPage(0, 0, 0);
+    // ~100 us latency + ~19 us media occupancy.
+    EXPECT_GT(done, 100000u);
+    EXPECT_LT(done, 140000u);
+    EXPECT_EQ(dev.gpuReads(), 1u);
+}
+
+TEST(NvmeDevice, WarpsSpreadAcrossQueues)
+{
+    NvmeDevice dev(fastParams(), 4, 4);
+    // 16 warps issue one read each; queue stalls should stay zero since
+    // warp->queue hashing spreads load over rings.
+    for (WarpId w = 0; w < 16; ++w)
+        dev.readPage(0, w, w);
+    EXPECT_EQ(dev.gpuReads(), 16u);
+    EXPECT_EQ(dev.ringStalls(), 0u);
+}
+
+TEST(NvmeDevice, RingBackPressureStalls)
+{
+    SsdParams p = fastParams();
+    p.queueDepth = 2;
+    NvmeDevice dev(p, 1, 4); // tiny ring, single queue
+    // Many same-warp submissions at t=0 overflow the 4-deep ring.
+    for (int i = 0; i < 32; ++i)
+        dev.readPage(0, 7, 0);
+    EXPECT_GT(dev.ringStalls(), 0u);
+}
+
+TEST(NvmeDevice, HostPathIsSeparatelyAccounted)
+{
+    NvmeDevice dev(fastParams(), 2, 8);
+    dev.hostReadPage(0, 1);
+    dev.hostWritePage(0, 2);
+    EXPECT_EQ(dev.hostIos(), 2u);
+    EXPECT_EQ(dev.gpuReads(), 0u);
+    EXPECT_EQ(dev.ssd().readsServiced(), 1u);
+    EXPECT_EQ(dev.ssd().writesServiced(), 1u);
+}
+
+TEST(NvmeDevice, StripesPagesAcrossDrives)
+{
+    NvmeDevice dev(fastParams(), 2, 8, /*num_drives=*/4);
+    EXPECT_EQ(dev.numDrives(), 4u);
+    // 16 consecutive pages: 4 land on each drive.
+    for (PageId p = 0; p < 16; ++p)
+        dev.readPage(0, p, 0);
+    for (unsigned d = 0; d < 4; ++d)
+        EXPECT_EQ(dev.drive(d).readsServiced(), 4u);
+    EXPECT_EQ(dev.totalReads(), 16u);
+}
+
+TEST(NvmeDevice, StripingScalesSequentialBandwidth)
+{
+    // The same 256-page burst completes ~4x sooner on 4 drives.
+    NvmeDevice one(fastParams(), 4, 64, 1);
+    NvmeDevice four(fastParams(), 4, 64, 4);
+    SimTime t1 = 0, t4 = 0;
+    for (PageId p = 0; p < 256; ++p) {
+        t1 = std::max(t1, one.readPage(0, p, WarpId(p % 8)));
+        t4 = std::max(t4, four.readPage(0, p, WarpId(p % 8)));
+    }
+    EXPECT_GT(double(t1) / double(t4), 2.5);
+}
+
+TEST(NvmeDevice, HostPathStripesToo)
+{
+    NvmeDevice dev(fastParams(), 1, 8, 2);
+    dev.hostWritePage(0, 0);
+    dev.hostWritePage(0, 1);
+    EXPECT_EQ(dev.drive(0).writesServiced(), 1u);
+    EXPECT_EQ(dev.drive(1).writesServiced(), 1u);
+}
+
+TEST(NvmeDevice, ResetClearsCounters)
+{
+    NvmeDevice dev(fastParams(), 2, 8);
+    dev.readPage(0, 0, 0);
+    dev.reset();
+    EXPECT_EQ(dev.gpuReads(), 0u);
+    EXPECT_EQ(dev.ssd().readsServiced(), 0u);
+    // And the device is immediately usable again.
+    EXPECT_GT(dev.readPage(0, 0, 0), 0u);
+}

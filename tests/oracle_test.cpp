@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Oracle-bound tests: the k-slot interval-scheduling computation
+ * against hand-checked and brute-force cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/oracle.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+namespace
+{
+
+/** Build an analysis containing only synthetic eviction intervals. */
+TraceAnalysis
+analysisWithIntervals(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> &ivs)
+{
+    TraceAnalysis a;
+    PageId p = 0;
+    for (const auto &[start, end] : ivs) {
+        EvictionRecord rec;
+        rec.page = p++;
+        rec.ordinal = 1;
+        rec.rrd = end - start;
+        rec.reusedAgain = true;
+        rec.evictPos = start;
+        rec.nextVisit = end;
+        a.evictions.push_back(rec);
+    }
+    return a;
+}
+
+} // namespace
+
+TEST(OracleBound, AllFitWithEnoughSlots)
+{
+    const auto a = analysisWithIntervals({{0, 10}, {1, 11}, {2, 12}});
+    const OracleBound b = oracleTier2Bound(a, 3);
+    EXPECT_EQ(b.reusedEvictions, 3u);
+    EXPECT_EQ(b.tier2HitBound, 3u);
+    EXPECT_EQ(b.unboundedHits, 3u);
+}
+
+TEST(OracleBound, SingleSlotPicksNonOverlapping)
+{
+    // Three overlapping + one disjoint: best single-slot schedule = 2.
+    const auto a =
+        analysisWithIntervals({{0, 10}, {2, 12}, {4, 14}, {20, 25}});
+    const OracleBound b = oracleTier2Bound(a, 1);
+    EXPECT_EQ(b.tier2HitBound, 2u);
+}
+
+TEST(OracleBound, CapacityScalesHits)
+{
+    // Five identical overlapping intervals: hits == min(slots, 5).
+    const auto a = analysisWithIntervals(
+        {{0, 10}, {0, 10}, {0, 10}, {0, 10}, {0, 10}});
+    EXPECT_EQ(oracleTier2Bound(a, 2).tier2HitBound, 2u);
+    EXPECT_EQ(oracleTier2Bound(a, 4).tier2HitBound, 4u);
+    EXPECT_EQ(oracleTier2Bound(a, 8).tier2HitBound, 5u);
+}
+
+TEST(OracleBound, SlotReusableAfterInterval)
+{
+    // Chain of back-to-back intervals fits in one slot.
+    const auto a =
+        analysisWithIntervals({{0, 5}, {5, 9}, {9, 14}, {14, 20}});
+    EXPECT_EQ(oracleTier2Bound(a, 1).tier2HitBound, 4u);
+}
+
+TEST(OracleBound, NeverReusedEvictionsAreNotCandidates)
+{
+    TraceAnalysis a = analysisWithIntervals({{0, 10}});
+    EvictionRecord dead;
+    dead.page = 99;
+    dead.reusedAgain = false;
+    dead.evictPos = 1;
+    dead.nextVisit = std::uint64_t(-1);
+    a.evictions.push_back(dead);
+    const OracleBound b = oracleTier2Bound(a, 4);
+    EXPECT_EQ(b.reusedEvictions, 1u);
+    EXPECT_EQ(b.tier2HitBound, 1u);
+}
+
+TEST(OracleBound, ZeroSlotsMeansZeroHits)
+{
+    const auto a = analysisWithIntervals({{0, 10}});
+    EXPECT_EQ(oracleTier2Bound(a, 0).tier2HitBound, 0u);
+    EXPECT_EQ(oracleTier2Bound(a, 0).unboundedHits, 1u);
+}
+
+TEST(OracleBound, GreedyMatchesBruteForceOnSmallCases)
+{
+    // Exhaustive check: all subsets of 8 random-ish intervals, capacity
+    // 2; the greedy bound must equal the best feasible subset size.
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>> ivs = {
+        {0, 6}, {1, 4}, {3, 9}, {5, 8}, {7, 12}, {2, 11}, {10, 14},
+        {0, 3}};
+    const auto a = analysisWithIntervals(ivs);
+    const unsigned k = 2;
+
+    // Brute force over all subsets: feasible if at every point at most
+    // k chosen intervals overlap.
+    unsigned best = 0;
+    for (unsigned mask = 0; mask < (1u << ivs.size()); ++mask) {
+        bool ok = true;
+        for (std::uint64_t t = 0; t < 15 && ok; ++t) {
+            unsigned overlap = 0;
+            for (std::size_t i = 0; i < ivs.size(); ++i) {
+                if ((mask >> i) & 1u) {
+                    if (ivs[i].first <= t && t < ivs[i].second)
+                        ++overlap;
+                }
+            }
+            ok = overlap <= k;
+        }
+        if (ok)
+            best = std::max(best, unsigned(__builtin_popcount(mask)));
+    }
+    EXPECT_EQ(oracleTier2Bound(a, k).tier2HitBound, best);
+}

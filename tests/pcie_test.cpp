@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Transfer-engine tests: DMA serialization, zero-copy thread scaling,
+ * the Figure 6a crossover, and Hybrid-XT selection rules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcie/dma_engine.hpp"
+#include "pcie/params.hpp"
+#include "pcie/transfer_manager.hpp"
+#include "pcie/zero_copy_engine.hpp"
+#include "sim/channel.hpp"
+
+using namespace gmt;
+using namespace gmt::pcie;
+
+namespace
+{
+
+sim::BandwidthChannel
+makeLink()
+{
+    return sim::BandwidthChannel("pcie", kLinkBandwidth, kLinkLatencyNs);
+}
+
+} // namespace
+
+TEST(DmaEngine, SinglePageCost)
+{
+    auto link = makeLink();
+    DmaEngine dma(link);
+    const SimTime done = dma.transferPages(0, 1);
+    const auto page_ns =
+        SimTime(double(kPageBytes) / kLinkBandwidth * 1e9);
+    EXPECT_EQ(done, kDmaLaunchOverheadNs + page_ns + kLinkLatencyNs);
+    EXPECT_EQ(dma.launches(), 1u);
+}
+
+TEST(DmaEngine, LaunchOverheadSerializesPerPage)
+{
+    auto link = makeLink();
+    DmaEngine dma(link);
+    const SimTime one = dma.transferPages(0, 1);
+    link.reset();
+    dma.reset();
+    const SimTime eight = dma.transferPages(0, 8);
+    // 8 non-contiguous pages pay ~8x the single-page cost.
+    EXPECT_NEAR(double(eight), 8.0 * double(one - kLinkLatencyNs),
+                double(one));
+    EXPECT_EQ(dma.launches(), 8u);
+}
+
+TEST(ZeroCopyEngine, PinOverheadDominatesSmallBatches)
+{
+    auto link = makeLink();
+    ZeroCopyEngine zc(link);
+    const SimTime done = zc.transferPages(0, 1, kWarpLanes);
+    EXPECT_GE(done, kPinOverheadNs);
+}
+
+TEST(ZeroCopyEngine, FullWarpSaturatesLink)
+{
+    auto link = makeLink();
+    ZeroCopyEngine zc(link);
+    // 32 threads x 0.5 GB/s = 16 GB/s > link: link-bound, no extra.
+    const SimTime batch = zc.transferPages(0, 64, 32);
+    const auto expect = kPinOverheadNs
+        + SimTime(64.0 * double(kPageBytes) / kLinkBandwidth * 1e9)
+        + kLinkLatencyNs;
+    EXPECT_NEAR(double(batch), double(expect), 10.0);
+}
+
+TEST(ZeroCopyEngine, FewThreadsAreIssueBound)
+{
+    auto link1 = makeLink();
+    auto link2 = makeLink();
+    ZeroCopyEngine fast(link1), slow(link2);
+    const SimTime t32 = fast.transferPages(0, 64, 32);
+    const SimTime t4 = slow.transferPages(0, 64, 4);
+    // 4 threads = 2 GB/s aggregate: markedly slower than full warp.
+    EXPECT_GT(t4, t32 * 3);
+}
+
+TEST(Figure6aCrossover, DmaWinsBelowEightPagesZeroCopyAbove)
+{
+    for (unsigned pages : {1u, 2u, 4u, 8u}) {
+        auto l1 = makeLink();
+        auto l2 = makeLink();
+        DmaEngine dma(l1);
+        ZeroCopyEngine zc(l2);
+        EXPECT_LE(dma.transferPages(0, pages),
+                  zc.transferPages(0, pages, 32))
+            << pages << " pages";
+    }
+    for (unsigned pages : {9u, 16u, 64u, 256u}) {
+        auto l1 = makeLink();
+        auto l2 = makeLink();
+        DmaEngine dma(l1);
+        ZeroCopyEngine zc(l2);
+        EXPECT_GT(dma.transferPages(0, pages),
+                  zc.transferPages(0, pages, 32))
+            << pages << " pages";
+    }
+}
+
+TEST(TransferManager, DmaOnlyNeverUsesZeroCopy)
+{
+    auto link = makeLink();
+    TransferManager tm(link, TransferScheme::DmaOnly);
+    tm.transfer(0, 100, 32);
+    EXPECT_EQ(tm.zeroCopyBatches(), 0u);
+    EXPECT_EQ(tm.dmaBatches(), 1u);
+}
+
+TEST(TransferManager, ZeroCopyOnlyAlwaysPins)
+{
+    auto link = makeLink();
+    TransferManager tm(link, TransferScheme::ZeroCopyOnly);
+    tm.transfer(0, 1, 32);
+    EXPECT_EQ(tm.zeroCopyBatches(), 1u);
+}
+
+TEST(TransferManager, HybridRespectsPageThreshold)
+{
+    auto link = makeLink();
+    TransferManager tm(link, TransferScheme::Hybrid32T);
+    tm.transfer(0, kHybridPageThreshold, 32); // at threshold: DMA
+    EXPECT_EQ(tm.dmaBatches(), 1u);
+    tm.transfer(0, kHybridPageThreshold + 1, 32); // above: zero-copy
+    EXPECT_EQ(tm.zeroCopyBatches(), 1u);
+}
+
+TEST(TransferManager, HybridRespectsThreadRequirement)
+{
+    auto link = makeLink();
+    TransferManager tm(link, TransferScheme::Hybrid32T);
+    tm.transfer(0, 64, 16); // not enough threads for 32T
+    EXPECT_EQ(tm.dmaBatches(), 1u);
+
+    auto link2 = makeLink();
+    TransferManager tm16(link2, TransferScheme::Hybrid16T);
+    tm16.transfer(0, 64, 16); // 16T variant is satisfied
+    EXPECT_EQ(tm16.zeroCopyBatches(), 1u);
+}
+
+TEST(TransferManager, PageAccounting)
+{
+    auto link = makeLink();
+    TransferManager tm(link, TransferScheme::Hybrid32T);
+    tm.transfer(0, 4, 32);
+    tm.transfer(0, 100, 32);
+    EXPECT_EQ(tm.pagesMoved(), 104u);
+}
+
+TEST(TransferManager, SchemeNamesRoundTrip)
+{
+    EXPECT_EQ(schemeFromName("dma"), TransferScheme::DmaOnly);
+    EXPECT_EQ(schemeFromName("zero-copy"), TransferScheme::ZeroCopyOnly);
+    EXPECT_EQ(schemeFromName("hybrid32"), TransferScheme::Hybrid32T);
+    EXPECT_STREQ(schemeName(TransferScheme::Hybrid8T), "Hybrid-8T");
+    EXPECT_EQ(hybridThreadRequirement(TransferScheme::Hybrid16T), 16u);
+    EXPECT_EQ(hybridThreadRequirement(TransferScheme::DmaOnly), 0u);
+}
+
+TEST(TransferManager, SharedLinkCreatesContention)
+{
+    auto link = makeLink();
+    TransferManager a(link, TransferScheme::ZeroCopyOnly);
+    TransferManager b(link, TransferScheme::ZeroCopyOnly);
+    const SimTime t1 = a.transfer(0, 64, 32);
+    const SimTime t2 = b.transfer(0, 64, 32);
+    // Both contend for the same link: the second finishes later.
+    EXPECT_GT(t2, t1);
+}

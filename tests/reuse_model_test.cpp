@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the GMT-Reuse prediction machinery: OLS regression, the
+ * Eq. 1 classifier, the overflow heuristic, and the sampling pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "reuse/classifier.hpp"
+#include "reuse/ols_regressor.hpp"
+#include "reuse/overflow_heuristic.hpp"
+#include "reuse/sampler.hpp"
+#include "util/rng.hpp"
+
+using namespace gmt;
+using namespace gmt::reuse;
+
+TEST(OlsRegressor, RecoversExactLine)
+{
+    OlsRegressor ols;
+    for (int x = 1; x <= 100; ++x)
+        ols.addSample(x, 3.0 * x + 11.0);
+    const LinearModel m = ols.fit();
+    ASSERT_TRUE(m.fitted);
+    EXPECT_NEAR(m.m, 3.0, 1e-9);
+    EXPECT_NEAR(m.b, 11.0, 1e-9);
+}
+
+TEST(OlsRegressor, RecoversLineUnderNoise)
+{
+    OlsRegressor ols;
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        const double x = rng.below(1000);
+        const double noise = (rng.uniform() - 0.5) * 20.0;
+        ols.addSample(x, 0.5 * x + 100.0 + noise);
+    }
+    const LinearModel m = ols.fit();
+    ASSERT_TRUE(m.fitted);
+    EXPECT_NEAR(m.m, 0.5, 0.01);
+    EXPECT_NEAR(m.b, 100.0, 2.0);
+}
+
+TEST(OlsRegressor, UnfittedBelowTwoSamples)
+{
+    OlsRegressor ols;
+    EXPECT_FALSE(ols.fit().fitted);
+    ols.addSample(1.0, 2.0);
+    EXPECT_FALSE(ols.fit().fitted);
+}
+
+TEST(OlsRegressor, DegenerateXFallsBackToProportionalModel)
+{
+    OlsRegressor ols;
+    for (int i = 0; i < 10; ++i)
+        ols.addSample(5.0, 20.0);
+    const LinearModel m = ols.fit();
+    ASSERT_TRUE(m.fitted);
+    EXPECT_DOUBLE_EQ(m.b, 0.0);
+    EXPECT_DOUBLE_EQ(m.predict(5.0), 20.0) << "exact at the one point";
+    EXPECT_DOUBLE_EQ(m.predict(10.0), 40.0) << "proportional beyond";
+}
+
+TEST(OlsRegressor, DegenerateZeroXStaysUnfitted)
+{
+    OlsRegressor ols;
+    for (int i = 0; i < 10; ++i)
+        ols.addSample(0.0, double(i));
+    EXPECT_FALSE(ols.fit().fitted);
+}
+
+TEST(OlsRegressor, PipelinedModelRefreshesPerBatch)
+{
+    OlsRegressor ols;
+    // Below one batch: nothing published yet.
+    for (std::uint64_t i = 1; i < OlsRegressor::kPipelineBatch; ++i)
+        ols.addSample(double(i), 2.0 * double(i));
+    EXPECT_FALSE(ols.pipelinedModel().fitted);
+    ols.addSample(double(OlsRegressor::kPipelineBatch),
+                  2.0 * double(OlsRegressor::kPipelineBatch));
+    ASSERT_TRUE(ols.pipelinedModel().fitted);
+    EXPECT_NEAR(ols.pipelinedModel().m, 2.0, 1e-9);
+}
+
+TEST(OlsRegressor, IncrementalEqualsBatch)
+{
+    // Feeding samples in two "pipelined" chunks must equal one big fit.
+    OlsRegressor a, b;
+    Rng rng(9);
+    std::vector<std::pair<double, double>> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.emplace_back(double(rng.below(500)),
+                             double(rng.below(2000)));
+    for (const auto &[x, y] : samples)
+        a.addSample(x, y);
+    for (const auto &[x, y] : samples)
+        b.addSample(x, y);
+    EXPECT_DOUBLE_EQ(a.fit().m, b.fit().m);
+    EXPECT_DOUBLE_EQ(a.fit().b, b.fit().b);
+}
+
+TEST(LinearModel, PredictClampsAtZero)
+{
+    LinearModel m{1.0, -100.0, true};
+    EXPECT_DOUBLE_EQ(m.predict(10.0), 0.0);
+    EXPECT_DOUBLE_EQ(m.predict(150.0), 50.0);
+}
+
+TEST(RrdClassifier, Equation1Boundaries)
+{
+    RrdClassifier c(256, 1024);
+    EXPECT_EQ(c.classify(0), ReuseClass::Short);
+    EXPECT_EQ(c.classify(255.9), ReuseClass::Short);
+    EXPECT_EQ(c.classify(256), ReuseClass::Medium);
+    EXPECT_EQ(c.classify(1279.9), ReuseClass::Medium);
+    EXPECT_EQ(c.classify(1280), ReuseClass::Long);
+    EXPECT_EQ(c.classify(1e12), ReuseClass::Long);
+    EXPECT_EQ(c.mediumBound(), 1280u);
+}
+
+TEST(RrdClassifier, ZeroTier2CollapsesMediumBand)
+{
+    RrdClassifier c(256, 0);
+    EXPECT_EQ(c.classify(255), ReuseClass::Short);
+    EXPECT_EQ(c.classify(256), ReuseClass::Long);
+}
+
+TEST(RrdClassifier, TierMappingIsIdentity)
+{
+    EXPECT_EQ(tierFor(ReuseClass::Short), Tier::GpuMem);
+    EXPECT_EQ(tierFor(ReuseClass::Medium), Tier::HostMem);
+    EXPECT_EQ(tierFor(ReuseClass::Long), Tier::Ssd);
+    EXPECT_EQ(classForTier(Tier::HostMem), ReuseClass::Medium);
+}
+
+TEST(OverflowHeuristic, SilentUntilWindowWarm)
+{
+    OverflowHeuristic h;
+    for (unsigned i = 0; i < OverflowHeuristic::kWindow - 1; ++i) {
+        h.record(true);
+        EXPECT_FALSE(h.shouldRedirect());
+    }
+    h.record(true);
+    EXPECT_TRUE(h.shouldRedirect());
+}
+
+TEST(OverflowHeuristic, ThresholdAtEightyPercent)
+{
+    // 51/64 = 79.7% Tier-3: below the >80% bar, no redirection.
+    OverflowHeuristic h;
+    for (unsigned i = 0; i < 51; ++i)
+        h.record(true);
+    for (unsigned i = 51; i < OverflowHeuristic::kWindow; ++i)
+        h.record(false);
+    EXPECT_LT(h.tier3Fraction(), 0.80001);
+    EXPECT_FALSE(h.shouldRedirect());
+
+    // 52/64 = 81.25%: crosses the threshold.
+    OverflowHeuristic h2;
+    for (unsigned i = 0; i < 52; ++i)
+        h2.record(true);
+    for (unsigned i = 52; i < OverflowHeuristic::kWindow; ++i)
+        h2.record(false);
+    EXPECT_GT(h2.tier3Fraction(), 0.8);
+    EXPECT_TRUE(h2.shouldRedirect());
+}
+
+TEST(OverflowHeuristic, SlidesOffOldBehaviour)
+{
+    OverflowHeuristic h;
+    for (unsigned i = 0; i < OverflowHeuristic::kWindow; ++i)
+        h.record(true);
+    EXPECT_TRUE(h.shouldRedirect());
+    for (unsigned i = 0; i < OverflowHeuristic::kWindow / 2; ++i)
+        h.record(false);
+    EXPECT_FALSE(h.shouldRedirect());
+}
+
+TEST(OverflowHeuristic, ResetClears)
+{
+    OverflowHeuristic h;
+    for (unsigned i = 0; i < OverflowHeuristic::kWindow; ++i)
+        h.record(true);
+    h.reset();
+    EXPECT_FALSE(h.shouldRedirect());
+    EXPECT_DOUBLE_EQ(h.tier3Fraction(), 0.0);
+}
+
+TEST(ReuseSampler, RecordsEveryNthAccess)
+{
+    ReuseSampler s(4, 1000);
+    for (int i = 0; i < 100; ++i)
+        s.onAccess(PageId(i), 1);
+    EXPECT_EQ(s.samplesRecorded(), 25u);
+    EXPECT_EQ(s.pendingSamples(), 25u);
+}
+
+TEST(ReuseSampler, StopsAtTarget)
+{
+    ReuseSampler s(1, 10);
+    for (int i = 0; i < 100; ++i)
+        s.onAccess(PageId(i % 5), 1);
+    EXPECT_EQ(s.samplesRecorded(), 10u);
+    EXPECT_FALSE(s.active());
+}
+
+TEST(ReuseSampler, DrainConsumesQueue)
+{
+    ReuseSampler s(1, 100);
+    for (int i = 0; i < 50; ++i)
+        s.onAccess(PageId(i % 10), i >= 10 ? 10 : 0);
+    EXPECT_EQ(s.drain(20), 20u);
+    EXPECT_EQ(s.pendingSamples(), 30u);
+    EXPECT_EQ(s.drain(1000), 30u);
+    EXPECT_EQ(s.samplesConsumed(), 50u);
+}
+
+TEST(ReuseSampler, LearnsVtdToRdRelationFromMixedTrace)
+{
+    // Alternating sweeps over a small and a large region create reuses
+    // at several distinct (VTD, RD) operating points; the fitted line
+    // must at least order them correctly (larger VTD -> larger RD).
+    ReuseSampler s(1, 1000000);
+    std::uint64_t vtd_counter = 0;
+    std::vector<std::uint64_t> last(128, 0);
+    auto sweep = [&](std::uint64_t lo, std::uint64_t hi) {
+        for (std::uint64_t p = lo; p < hi; ++p) {
+            ++vtd_counter;
+            const std::uint64_t vtd =
+                last[p] ? vtd_counter - last[p] : 0;
+            last[p] = vtd_counter;
+            s.onAccess(p, vtd);
+        }
+    };
+    for (int round = 0; round < 100; ++round) {
+        sweep(0, 32);   // short-distance reuse of the hot region
+        sweep(0, 128);  // long-distance reuse of the cold region
+    }
+    s.drain(1u << 20);
+    const LinearModel m = s.model();
+    ASSERT_TRUE(m.fitted);
+    EXPECT_GT(m.m, 0.0) << "reuse grows with virtual time distance";
+    EXPECT_GT(m.predict(160.0), m.predict(32.0));
+    // Absolute sanity: a VTD of ~160 (full cycle) maps to an RD in the
+    // right ballpark (tens to a couple hundred distinct pages).
+    EXPECT_GT(m.predict(160.0), 30.0);
+    EXPECT_LT(m.predict(160.0), 400.0);
+}
+
+TEST(ReuseSampler, ResetRestartsSampling)
+{
+    ReuseSampler s(1, 10);
+    for (int i = 0; i < 20; ++i)
+        s.onAccess(1, 1);
+    s.reset();
+    EXPECT_TRUE(s.active());
+    EXPECT_EQ(s.samplesRecorded(), 0u);
+    EXPECT_EQ(s.pendingSamples(), 0u);
+}

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Olken-tree tests: exactness against a brute-force oracle over random
+ * and structured traces (parameterized), plus edge cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "reuse/olken_tree.hpp"
+#include "util/rng.hpp"
+
+using namespace gmt;
+using namespace gmt::reuse;
+
+namespace
+{
+
+/** O(n^2) oracle: distinct pages since the previous access. */
+std::vector<std::uint64_t>
+bruteForceDistances(const std::vector<PageId> &trace)
+{
+    std::vector<std::uint64_t> out;
+    std::unordered_map<PageId, std::size_t> last;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        auto it = last.find(trace[i]);
+        if (it == last.end()) {
+            out.push_back(kColdDistance);
+        } else {
+            std::unordered_set<PageId> distinct;
+            for (std::size_t j = it->second + 1; j < i; ++j)
+                distinct.insert(trace[j]);
+            out.push_back(distinct.size());
+        }
+        last[trace[i]] = i;
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(OlkenTree, FirstAccessIsCold)
+{
+    OlkenTree tree;
+    EXPECT_EQ(tree.access(7), kColdDistance);
+    EXPECT_EQ(tree.distinctPages(), 1u);
+}
+
+TEST(OlkenTree, ImmediateReaccessIsZero)
+{
+    OlkenTree tree;
+    tree.access(7);
+    EXPECT_EQ(tree.access(7), 0u);
+}
+
+TEST(OlkenTree, SimpleKnownSequence)
+{
+    OlkenTree tree;
+    // a b c a : reuse distance of the second 'a' is 2 (b, c).
+    tree.access(1);
+    tree.access(2);
+    tree.access(3);
+    EXPECT_EQ(tree.access(1), 2u);
+    // b again: distinct since = {c, a} = 2.
+    EXPECT_EQ(tree.access(2), 2u);
+}
+
+TEST(OlkenTree, RepeatsDoNotInflateDistance)
+{
+    OlkenTree tree;
+    // a b b b a : distance for second 'a' is 1 (just b).
+    tree.access(1);
+    tree.access(2);
+    tree.access(2);
+    tree.access(2);
+    EXPECT_EQ(tree.access(1), 1u);
+}
+
+TEST(OlkenTree, SequentialScanHasMaximalDistances)
+{
+    OlkenTree tree;
+    const int n = 200;
+    for (int i = 0; i < n; ++i)
+        tree.access(i);
+    // Second sweep: every page sees distance n-1.
+    for (int i = 0; i < n; ++i)
+        EXPECT_EQ(tree.access(i), std::uint64_t(n - 1));
+}
+
+TEST(OlkenTree, ResetForgetsHistory)
+{
+    OlkenTree tree;
+    tree.access(1);
+    tree.access(2);
+    tree.reset();
+    EXPECT_EQ(tree.access(1), kColdDistance);
+    EXPECT_EQ(tree.accesses(), 1u);
+}
+
+TEST(OlkenTree, AccessCountTracks)
+{
+    OlkenTree tree;
+    for (int i = 0; i < 10; ++i)
+        tree.access(i % 3);
+    EXPECT_EQ(tree.accesses(), 10u);
+    EXPECT_EQ(tree.distinctPages(), 3u);
+}
+
+struct OlkenParam
+{
+    std::uint64_t seed;
+    std::size_t length;
+    std::uint64_t pages;
+};
+
+class OlkenOracleTest : public ::testing::TestWithParam<OlkenParam>
+{
+};
+
+TEST_P(OlkenOracleTest, MatchesBruteForceOnRandomTrace)
+{
+    const auto p = GetParam();
+    Rng rng(p.seed);
+    std::vector<PageId> trace;
+    trace.reserve(p.length);
+    for (std::size_t i = 0; i < p.length; ++i)
+        trace.push_back(rng.below(p.pages));
+
+    const auto expected = bruteForceDistances(trace);
+    OlkenTree tree(p.seed + 1);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(tree.access(trace[i]), expected[i]) << "position " << i;
+}
+
+TEST_P(OlkenOracleTest, MatchesBruteForceOnStridedTrace)
+{
+    const auto p = GetParam();
+    std::vector<PageId> trace;
+    // Strided with wraparound: classic stencil-like reuse pattern.
+    for (std::size_t i = 0; i < p.length; ++i)
+        trace.push_back((i * 7) % p.pages);
+
+    const auto expected = bruteForceDistances(trace);
+    OlkenTree tree(p.seed);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        ASSERT_EQ(tree.access(trace[i]), expected[i]) << "position " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OlkenOracleTest,
+    ::testing::Values(OlkenParam{1, 300, 10}, OlkenParam{2, 500, 50},
+                      OlkenParam{3, 800, 200}, OlkenParam{4, 1000, 7},
+                      OlkenParam{5, 400, 400}, OlkenParam{6, 600, 64}));

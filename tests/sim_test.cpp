@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Unit tests for the DES core: event ordering, clock advance, channel
+ * queueing invariants (work conservation, FIFO), server pools.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/channel.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace gmt;
+using namespace gmt::sim;
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(100, [&order, i] { order.push_back(i); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    SimTime seen = 0;
+    q.scheduleAt(50, [&] {
+        q.scheduleAfter(25, [&] { seen = q.now(); });
+    });
+    q.runToCompletion();
+    EXPECT_EQ(seen, 75u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 10)
+            q.scheduleAfter(1, recurse);
+    };
+    q.scheduleAt(0, recurse);
+    const auto dispatched = q.runToCompletion();
+    EXPECT_EQ(depth, 10);
+    EXPECT_EQ(dispatched, 10u);
+    EXPECT_EQ(q.now(), 9u);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue q;
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(20, [&] { ++fired; });
+    q.scheduleAt(30, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, ResetDropsEverything)
+{
+    EventQueue q;
+    q.scheduleAt(10, [] {});
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.scheduleAt(100, [] {});
+    q.step();
+    EXPECT_DEATH(q.scheduleAt(50, [] {}), "assertion failed");
+}
+
+TEST(BandwidthChannel, SingleTransferTiming)
+{
+    // 1 GB/s, 100 ns latency: 1000 bytes take 1000 ns + 100 ns.
+    BandwidthChannel ch("t", 1e9, 100);
+    EXPECT_EQ(ch.transferAt(0, 1000), 1100u);
+}
+
+TEST(BandwidthChannel, BackToBackTransfersSerialize)
+{
+    BandwidthChannel ch("t", 1e9, 0);
+    EXPECT_EQ(ch.transferAt(0, 1000), 1000u);
+    EXPECT_EQ(ch.transferAt(0, 1000), 2000u); // queued behind the first
+}
+
+TEST(BandwidthChannel, LatencyIsPipelined)
+{
+    // Latency delays delivery but does not occupy the channel.
+    BandwidthChannel ch("t", 1e9, 500);
+    EXPECT_EQ(ch.transferAt(0, 1000), 1500u);
+    EXPECT_EQ(ch.transferAt(0, 1000), 2500u);
+    EXPECT_EQ(ch.nextFree(), 2000u);
+}
+
+TEST(BandwidthChannel, IdleGapsAreNotWorked)
+{
+    BandwidthChannel ch("t", 1e9, 0);
+    ch.transferAt(0, 1000);
+    // Arrives long after the channel went idle.
+    EXPECT_EQ(ch.transferAt(10000, 1000), 11000u);
+    EXPECT_EQ(ch.busyTime(), 2000u); // work conservation
+}
+
+TEST(BandwidthChannel, AccountsBytes)
+{
+    BandwidthChannel ch("t", 1e9, 0);
+    ch.transferAt(0, 123);
+    ch.transferAt(0, 877);
+    EXPECT_EQ(ch.bytesTransferred(), 1000u);
+}
+
+TEST(BandwidthChannel, ResetRestoresInitialState)
+{
+    BandwidthChannel ch("t", 1e9, 0);
+    ch.transferAt(0, 1000);
+    ch.reset();
+    EXPECT_EQ(ch.nextFree(), 0u);
+    EXPECT_EQ(ch.bytesTransferred(), 0u);
+    EXPECT_EQ(ch.transferAt(0, 1000), 1000u);
+}
+
+TEST(ServerPool, SingleServerQueues)
+{
+    ServerPool p("p", 1);
+    EXPECT_EQ(p.serviceAt(0, 100), 100u);
+    EXPECT_EQ(p.serviceAt(0, 100), 200u);
+    EXPECT_EQ(p.serviceAt(0, 100), 300u);
+    EXPECT_EQ(p.queueingTime(), 100u + 200u);
+}
+
+TEST(ServerPool, ParallelServersOverlap)
+{
+    ServerPool p("p", 3);
+    EXPECT_EQ(p.serviceAt(0, 100), 100u);
+    EXPECT_EQ(p.serviceAt(0, 100), 100u);
+    EXPECT_EQ(p.serviceAt(0, 100), 100u);
+    EXPECT_EQ(p.serviceAt(0, 100), 200u); // fourth job waits
+    EXPECT_EQ(p.jobs(), 4u);
+}
+
+TEST(ServerPool, LateArrivalsDontQueueBehindIdleServers)
+{
+    ServerPool p("p", 1);
+    p.serviceAt(0, 100);
+    EXPECT_EQ(p.serviceAt(1000, 50), 1050u);
+    EXPECT_EQ(p.queueingTime(), 0u);
+}
+
+TEST(ServerPool, ThroughputBoundMatchesLittleLaw)
+{
+    // 4 servers x 10 ns service: 1000 jobs arriving at t=0 finish at
+    // 1000/4 * 10 = 2500.
+    ServerPool p("p", 4);
+    SimTime last = 0;
+    for (int i = 0; i < 1000; ++i)
+        last = std::max(last, p.serviceAt(0, 10));
+    EXPECT_EQ(last, 2500u);
+}
+
+TEST(ServerPool, ResetClears)
+{
+    ServerPool p("p", 2);
+    p.serviceAt(0, 10);
+    p.reset();
+    EXPECT_EQ(p.jobs(), 0u);
+    EXPECT_EQ(p.serviceAt(0, 10), 10u);
+}

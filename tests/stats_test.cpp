@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for gmt_stats: counters, distributions, histograms, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include "stats/counters.hpp"
+#include "stats/distribution.hpp"
+#include "stats/table.hpp"
+
+using namespace gmt::stats;
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c("x");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterSet, GetCreatesOnce)
+{
+    CounterSet s;
+    s.get("a").inc(3);
+    s.get("a").inc(4);
+    EXPECT_EQ(s.value("a"), 7u);
+    EXPECT_EQ(s.all().size(), 1u);
+}
+
+TEST(CounterSet, MissingCounterReadsZero)
+{
+    CounterSet s;
+    EXPECT_EQ(s.value("never"), 0u);
+}
+
+TEST(CounterSet, ResetAllClearsEveryCounter)
+{
+    CounterSet s;
+    s.get("a").inc(1);
+    s.get("b").inc(2);
+    s.resetAll();
+    EXPECT_EQ(s.value("a"), 0u);
+    EXPECT_EQ(s.value("b"), 0u);
+}
+
+TEST(Distribution, MomentsOfKnownSamples)
+{
+    Distribution d;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        d.add(v);
+    EXPECT_EQ(d.count(), 8u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(d.min(), 2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(d.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(Distribution, EmptyIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, ResetClears)
+{
+    Distribution d;
+    d.add(10.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+}
+
+TEST(Histogram, LinearBucketsPartitionRange)
+{
+    Histogram h(100.0, 10);
+    for (int i = 0; i < 100; ++i)
+        h.add(i);
+    for (unsigned b = 0; b < 10; ++b) {
+        EXPECT_EQ(h.bucketCount(b), 10u);
+        EXPECT_DOUBLE_EQ(h.bucketLow(b), 10.0 * b);
+        EXPECT_DOUBLE_EQ(h.bucketHigh(b), 10.0 * (b + 1));
+    }
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
+TEST(Histogram, OverflowCatchesOutOfRange)
+{
+    Histogram h(10.0, 5);
+    h.add(10.0);
+    h.add(1e9);
+    h.add(-1.0);
+    EXPECT_EQ(h.overflowCount(), 3u);
+    EXPECT_EQ(h.totalCount(), 3u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h(10.0, 2);
+    h.add(1.0, 7);
+    EXPECT_EQ(h.bucketCount(0), 7u);
+    EXPECT_EQ(h.totalCount(), 7u);
+}
+
+TEST(Histogram, Log2BucketsGrowGeometrically)
+{
+    Histogram h(1024.0, 10, Histogram::Scale::Log2);
+    // Bucket edges should be powers of two: 2^1, 2^2, ...
+    for (unsigned b = 1; b < 10; ++b)
+        EXPECT_GT(h.bucketHigh(b) / h.bucketLow(b), 1.9);
+    h.add(3.0);
+    h.add(700.0);
+    EXPECT_EQ(h.totalCount(), 2u);
+    EXPECT_EQ(h.overflowCount(), 0u);
+}
+
+TEST(Histogram, FractionBetween)
+{
+    Histogram h(100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.fractionBetween(0.0, 50.0), 0.5, 0.02);
+    EXPECT_NEAR(h.fractionBetween(25.0, 75.0), 0.5, 0.02);
+    EXPECT_NEAR(h.fractionBetween(0.0, 100.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(10.0, 2);
+    h.add(1.0);
+    h.reset();
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.bucketCount(0), 0u);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.5), "50.0%");
+    EXPECT_EQ(Table::pct(0.123, 2), "12.30%");
+}
+
+TEST(Table, PrintsAllRows)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    t.row({"1", "2"});
+    t.row({"3", "4"});
+    // Render to a memstream and check content survived.
+    char *buf = nullptr;
+    std::size_t len = 0;
+    FILE *f = open_memstream(&buf, &len);
+    ASSERT_NE(f, nullptr);
+    t.print(f);
+    fclose(f);
+    const std::string s(buf, len);
+    free(buf);
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("| 3"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("demo");
+    t.header({"x", "y"});
+    t.row({"1", "2"});
+    char *buf = nullptr;
+    std::size_t len = 0;
+    FILE *f = open_memstream(&buf, &len);
+    ASSERT_NE(f, nullptr);
+    t.printCsv(f);
+    fclose(f);
+    const std::string s(buf, len);
+    free(buf);
+    EXPECT_EQ(s, "x,y\n1,2\n");
+}
+
+TEST(TableDeathTest, RowWidthMismatchPanics)
+{
+    Table t("demo");
+    t.header({"a", "b"});
+    EXPECT_DEATH(t.row({"only-one"}), "assertion failed");
+}

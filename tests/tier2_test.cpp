@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tier-2 tests: open-addressed directory (property-tested against a
+ * reference map) and the host-memory pool's insert/take/evict flows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "mem/page_table.hpp"
+#include "tier2/directory.hpp"
+#include "tier2/tier2_pool.hpp"
+#include "util/rng.hpp"
+
+using namespace gmt;
+using namespace gmt::mem;
+using namespace gmt::tier2;
+
+TEST(Directory, InsertFindErase)
+{
+    Directory d(16);
+    EXPECT_EQ(d.find(5), kInvalidFrame);
+    d.insert(5, 2);
+    EXPECT_EQ(d.find(5), 2u);
+    d.erase(5);
+    EXPECT_EQ(d.find(5), kInvalidFrame);
+    EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(Directory, TombstonesKeepProbeChainsAlive)
+{
+    Directory d(8);
+    // Insert enough entries that some share probe chains, then delete
+    // from the middle of chains and verify lookups still succeed.
+    for (PageId p = 0; p < 12; ++p)
+        d.insert(p, FrameId(p));
+    for (PageId p = 0; p < 12; p += 2)
+        d.erase(p);
+    for (PageId p = 1; p < 12; p += 2)
+        EXPECT_EQ(d.find(p), FrameId(p));
+    for (PageId p = 0; p < 12; p += 2)
+        EXPECT_EQ(d.find(p), kInvalidFrame);
+}
+
+TEST(Directory, ReinsertAfterErase)
+{
+    Directory d(8);
+    d.insert(3, 1);
+    d.erase(3);
+    d.insert(3, 7);
+    EXPECT_EQ(d.find(3), 7u);
+}
+
+TEST(DirectoryDeathTest, EraseMissingPanics)
+{
+    Directory d(8);
+    EXPECT_DEATH(d.erase(42), "not present");
+}
+
+TEST(Directory, PropertyMatchesReferenceMap)
+{
+    Directory d(256);
+    std::unordered_map<PageId, FrameId> ref;
+    Rng rng(31);
+    for (int step = 0; step < 20000; ++step) {
+        const PageId p = rng.below(1000);
+        const double u = rng.uniform();
+        if (u < 0.5 && ref.size() < 256) {
+            if (!ref.count(p)) {
+                const auto f = FrameId(rng.below(10000));
+                d.insert(p, f);
+                ref[p] = f;
+            }
+        } else if (u < 0.75) {
+            if (ref.count(p)) {
+                d.erase(p);
+                ref.erase(p);
+            }
+        } else {
+            const auto it = ref.find(p);
+            ASSERT_EQ(d.find(p),
+                      it == ref.end() ? kInvalidFrame : it->second);
+        }
+    }
+    EXPECT_EQ(d.size(), ref.size());
+}
+
+TEST(Directory, ClearEmpties)
+{
+    Directory d(8);
+    d.insert(1, 1);
+    d.clear();
+    EXPECT_EQ(d.size(), 0u);
+    EXPECT_EQ(d.find(1), kInvalidFrame);
+}
+
+namespace
+{
+
+struct PoolFixture : ::testing::Test
+{
+    PoolFixture() : pt(64), pool(pt, 4) {}
+    PageTable pt;
+    Tier2Pool pool;
+};
+
+} // namespace
+
+TEST_F(PoolFixture, InsertSetsResidency)
+{
+    pool.insert(7);
+    EXPECT_TRUE(pool.contains(7));
+    EXPECT_EQ(pt.meta(7).residency, Residency::Tier2);
+    EXPECT_EQ(pool.used(), 1u);
+}
+
+TEST_F(PoolFixture, TakePromotesOut)
+{
+    pool.insert(7);
+    pool.take(7);
+    EXPECT_FALSE(pool.contains(7));
+    EXPECT_EQ(pt.meta(7).residency, Residency::None);
+    EXPECT_EQ(pool.used(), 0u);
+    EXPECT_EQ(pool.takes(), 1u);
+}
+
+TEST_F(PoolFixture, FifoEvictionOrder)
+{
+    for (PageId p = 10; p < 14; ++p)
+        pool.insert(p);
+    EXPECT_TRUE(pool.full());
+    EXPECT_EQ(pool.evictOne(), 10u);
+    EXPECT_EQ(pool.evictOne(), 11u);
+    EXPECT_EQ(pool.evictions(), 2u);
+}
+
+TEST_F(PoolFixture, TakeDoesNotDisturbFifoOrder)
+{
+    for (PageId p = 10; p < 14; ++p)
+        pool.insert(p);
+    pool.take(10);
+    EXPECT_EQ(pool.evictOne(), 11u);
+}
+
+TEST_F(PoolFixture, DisabledPoolReportsEmpty)
+{
+    Tier2Pool none(pt, 0);
+    EXPECT_FALSE(none.enabled());
+    EXPECT_FALSE(none.contains(1));
+    EXPECT_TRUE(none.full()); // zero capacity is always "full"
+}
+
+TEST_F(PoolFixture, ClockPolicyVariantWorks)
+{
+    Tier2Pool clocked(pt, 3, "clock");
+    clocked.insert(20);
+    clocked.insert(21);
+    clocked.insert(22);
+    const PageId v = clocked.evictOne();
+    EXPECT_GE(v, 20u);
+    EXPECT_LE(v, 22u);
+    EXPECT_EQ(clocked.used(), 2u);
+}
+
+TEST_F(PoolFixture, DoubleInsertPanics)
+{
+    pool.insert(5);
+    EXPECT_DEATH(pool.insert(5), "assertion failed");
+}
+
+TEST_F(PoolFixture, ResetClears)
+{
+    pool.insert(5);
+    pool.reset();
+    EXPECT_EQ(pool.used(), 0u);
+    EXPECT_FALSE(pool.contains(5));
+    EXPECT_EQ(pool.inserts(), 0u);
+}

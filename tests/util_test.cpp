@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Unit tests for gmt_util: RNG determinism, Zipf sampling, size
+ * literals, and the logging assertions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+using namespace gmt;
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0.0;
+    for (int i = 0; i < 20000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng r(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(double(hits) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng r(5);
+    const auto first = r.next();
+    r.next();
+    r.reseed(5);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(Rng, ZeroSeedIsUsable)
+{
+    Rng r(0);
+    EXPECT_NE(r.next(), 0u);
+}
+
+TEST(ZipfSampler, UniformWhenSkewZero)
+{
+    ZipfSampler z(100, 0.0);
+    Rng r(3);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z.sample(r)];
+    // Every rank should appear with roughly equal frequency.
+    for (const auto &[rank, c] : counts) {
+        EXPECT_LT(rank, 100u);
+        EXPECT_NEAR(c, 500, 150);
+    }
+}
+
+TEST(ZipfSampler, HighSkewConcentrates)
+{
+    ZipfSampler z(1000, 0.99);
+    Rng r(4);
+    int top_ten = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        top_ten += z.sample(r) < 10;
+    // With skew ~1 the 10 hottest ranks take a large share.
+    EXPECT_GT(double(top_ten) / draws, 0.35);
+}
+
+TEST(ZipfSampler, RanksWithinPopulation)
+{
+    ZipfSampler z(17, 0.5);
+    Rng r(5);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_LT(z.sample(r), 17u);
+}
+
+TEST(ZipfSampler, MorePopularRanksDominateLessPopular)
+{
+    ZipfSampler z(50, 0.8);
+    Rng r(6);
+    std::vector<int> counts(50, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(r)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[1], counts[25]);
+}
+
+TEST(Types, ByteLiterals)
+{
+    EXPECT_EQ(1_KiB, 1024u);
+    EXPECT_EQ(1_MiB, 1024u * 1024u);
+    EXPECT_EQ(16_GiB, 16ull << 30);
+}
+
+TEST(Types, PagesForBytesRoundsUp)
+{
+    EXPECT_EQ(pagesForBytes(0), 0u);
+    EXPECT_EQ(pagesForBytes(1), 1u);
+    EXPECT_EQ(pagesForBytes(kPageBytes), 1u);
+    EXPECT_EQ(pagesForBytes(kPageBytes + 1), 2u);
+    EXPECT_EQ(pagesForBytes(10 * kPageBytes), 10u);
+}
+
+TEST(Types, TierNames)
+{
+    EXPECT_STREQ(tierName(Tier::GpuMem), "Tier-1(GPU)");
+    EXPECT_STREQ(tierName(Tier::HostMem), "Tier-2(Host)");
+    EXPECT_STREQ(tierName(Tier::Ssd), "Tier-3(SSD)");
+}
+
+TEST(LoggingDeathTest, AssertPanicsOnViolation)
+{
+    EXPECT_DEATH(GMT_ASSERT(1 == 2), "assertion failed");
+}
+
+TEST(Logging, AssertPassesSilently)
+{
+    GMT_ASSERT(2 + 2 == 4); // must not abort
+    SUCCEED();
+}

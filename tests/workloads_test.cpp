@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Workload tests: determinism, address-range safety, and — for every
+ * Table 2 application — that the generated stream's measured reuse and
+ * RRD-bias characteristics land in the paper's qualitative category.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/trace_analysis.hpp"
+#include "workloads/factory.hpp"
+#include "workloads/kron_graph.hpp"
+#include "workloads/zipf_stream.hpp"
+
+using namespace gmt;
+using namespace gmt::workloads;
+
+namespace
+{
+
+WorkloadConfig
+defaultCfg()
+{
+    WorkloadConfig cfg;
+    cfg.pages = 2560; // paper default at 1:1024 scale
+    cfg.warps = 8;
+    cfg.touchesPerVisit = 4; // keep unit tests fast
+    cfg.seed = 7;
+    return cfg;
+}
+
+} // namespace
+
+TEST(KronGraph, EndpointsAreInRange)
+{
+    KronGraph g(1 << 16, 16.0, 3);
+    Rng rng(5);
+    for (int i = 0; i < 20000; ++i)
+        EXPECT_LT(g.sampleEndpoint(rng), g.numVertices());
+}
+
+TEST(KronGraph, DegreesArePowerLawSkewed)
+{
+    KronGraph g(1 << 14, 16.0, 3);
+    std::uint64_t max_deg = 0, total = 0;
+    for (std::uint64_t v = 0; v < g.numVertices(); ++v) {
+        const auto d = g.degree(v);
+        max_deg = std::max(max_deg, d);
+        total += d;
+    }
+    const double avg = double(total) / double(g.numVertices());
+    EXPECT_GT(double(max_deg), 20.0 * avg) << "hubs should exist";
+}
+
+TEST(KronGraph, NeighborQueriesAreDeterministic)
+{
+    KronGraph g(1 << 12, 8.0, 9);
+    EXPECT_EQ(g.neighbor(5, 0), g.neighbor(5, 0));
+    EXPECT_EQ(g.neighbor(7, 3), g.neighbor(7, 3));
+}
+
+TEST(ZipfStream, EndsAfterTotalVisits)
+{
+    WorkloadConfig cfg = defaultCfg();
+    ZipfStream s(cfg, 0.5, 100);
+    gpu::Access a;
+    std::uint64_t accesses = 0;
+    while (s.nextAccess(0, a))
+        ++accesses;
+    EXPECT_EQ(accesses, 100u * cfg.touchesPerVisit);
+}
+
+TEST(ZipfStream, HighSkewTouchesFewerPages)
+{
+    WorkloadConfig cfg = defaultCfg();
+    auto distinct = [&](double skew) {
+        ZipfStream s(cfg, skew, 3000);
+        std::set<PageId> pages;
+        gpu::Access a;
+        while (s.nextAccess(0, a))
+            pages.insert(a.page);
+        return pages.size();
+    };
+    EXPECT_LT(distinct(0.99), distinct(0.0));
+}
+
+class WorkloadContractTest
+    : public ::testing::TestWithParam<WorkloadInfo>
+{
+};
+
+TEST_P(WorkloadContractTest, PagesStayInBounds)
+{
+    const WorkloadConfig cfg = defaultCfg();
+    auto s = makeWorkload(GetParam().name, cfg);
+    gpu::Access a;
+    std::uint64_t n = 0;
+    while (s->nextAccess(0, a)) {
+        ASSERT_LT(a.page, cfg.pages);
+        ++n;
+    }
+    EXPECT_GT(n, 10000u) << "stream long enough to exercise tiering";
+}
+
+TEST_P(WorkloadContractTest, DeterministicAcrossResets)
+{
+    const WorkloadConfig cfg = defaultCfg();
+    auto s = makeWorkload(GetParam().name, cfg);
+    std::vector<PageId> first;
+    gpu::Access a;
+    for (int i = 0; i < 5000 && s->nextAccess(0, a); ++i)
+        first.push_back(a.page);
+    s->reset();
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(s->nextAccess(0, a));
+        ASSERT_EQ(a.page, first[i]) << "position " << i;
+    }
+}
+
+TEST_P(WorkloadContractTest, RetiredWarpsStayRetired)
+{
+    const WorkloadConfig cfg = defaultCfg();
+    auto s = makeWorkload(GetParam().name, cfg);
+    gpu::Access a;
+    while (s->nextAccess(0, a)) {
+    }
+    EXPECT_FALSE(s->nextAccess(0, a));
+    EXPECT_FALSE(s->nextAccess(1, a));
+}
+
+TEST_P(WorkloadContractTest, WritesArePresent)
+{
+    const WorkloadConfig cfg = defaultCfg();
+    auto s = makeWorkload(GetParam().name, cfg);
+    gpu::Access a;
+    bool any_write = false, any_read = false;
+    while (s->nextAccess(0, a)) {
+        any_write |= a.write;
+        any_read |= !a.write;
+    }
+    EXPECT_TRUE(any_write);
+    EXPECT_TRUE(any_read);
+}
+
+TEST_P(WorkloadContractTest, RrdBiasMatchesPaperCategory)
+{
+    const WorkloadInfo &info = GetParam();
+    const WorkloadConfig cfg = defaultCfg();
+    auto s = makeWorkload(info.name, cfg);
+    // Paper-default tier sizes at scale: T1=256 pages, T1+T2=1280.
+    const harness::TraceAnalysis a = harness::analyzeStream(*s, 256);
+    const double t1 = a.rrdFractionBetween(0, 256);
+    const double t2 = a.rrdFractionBetween(256, 1280);
+    const double t3 =
+        a.rrdFractionBetween(1280, std::uint64_t(1) << 62);
+    const std::string bias = info.rrdBias;
+    if (bias == "Tier-1") {
+        EXPECT_GT(t1, t2) << t1 << " " << t2 << " " << t3;
+        EXPECT_GT(t1, t3);
+    } else if (bias == "Tier-2") {
+        EXPECT_GT(t2, 0.20) << t1 << " " << t2 << " " << t3;
+    } else {
+        EXPECT_GT(t3, 0.5) << t1 << " " << t2 << " " << t3;
+    }
+}
+
+TEST_P(WorkloadContractTest, ReuseRoughlyTracksPaper)
+{
+    const WorkloadInfo &info = GetParam();
+    const WorkloadConfig cfg = defaultCfg();
+    auto s = makeWorkload(info.name, cfg);
+    const harness::TraceAnalysis a = harness::analyzeStream(*s, 256);
+    // Qualitative banding: low (<10%), medium (10-60%), high (>60%).
+    if (info.paperReusePct < 10.0)
+        EXPECT_LT(a.reusePct(), 15.0);
+    else if (info.paperReusePct < 60.0)
+        EXPECT_GT(a.reusePct(), 5.0);
+    else
+        EXPECT_GT(a.reusePct(), 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, WorkloadContractTest, ::testing::ValuesIn(allWorkloads()),
+    [](const ::testing::TestParamInfo<WorkloadInfo> &info) {
+        return info.param.name;
+    });
+
+TEST(WorkloadFactory, InfoLookup)
+{
+    EXPECT_DOUBLE_EQ(workloadInfo("Hotspot").paperTotalIoGb, 1492.0);
+    EXPECT_TRUE(workloadInfo("PageRank").graphApp);
+    EXPECT_FALSE(workloadInfo("Srad").graphApp);
+    EXPECT_EQ(allWorkloads().size(), 9u);
+}
+
+TEST(WorkloadFactoryDeathTest, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("NotAnApp", defaultCfg()),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
