@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_async_eviction.dir/bench_ablation_async_eviction.cpp.o"
+  "CMakeFiles/bench_ablation_async_eviction.dir/bench_ablation_async_eviction.cpp.o.d"
+  "bench_ablation_async_eviction"
+  "bench_ablation_async_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_async_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

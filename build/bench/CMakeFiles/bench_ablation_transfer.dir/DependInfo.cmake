@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_transfer.cpp" "bench/CMakeFiles/bench_ablation_transfer.dir/bench_ablation_transfer.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_transfer.dir/bench_ablation_transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/gmt_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/gmt_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/gmt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/gmt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/gmt_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gmt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/gmt_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/gmt_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier2/CMakeFiles/gmt_tier2.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/gmt_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tier2_overheads.dir/bench_fig10_tier2_overheads.cpp.o"
+  "CMakeFiles/bench_fig10_tier2_overheads.dir/bench_fig10_tier2_overheads.cpp.o.d"
+  "bench_fig10_tier2_overheads"
+  "bench_fig10_tier2_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tier2_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_oversubscription.dir/bench_fig11_oversubscription.cpp.o"
+  "CMakeFiles/bench_fig11_oversubscription.dir/bench_fig11_oversubscription.cpp.o.d"
+  "bench_fig11_oversubscription"
+  "bench_fig11_oversubscription.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_oversubscription.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig13_large_tier1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_hmm.dir/bench_fig14_hmm.cpp.o"
+  "CMakeFiles/bench_fig14_hmm.dir/bench_fig14_hmm.cpp.o.d"
+  "bench_fig14_hmm"
+  "bench_fig14_hmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_hmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

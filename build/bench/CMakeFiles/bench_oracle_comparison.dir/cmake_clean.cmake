@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_oracle_comparison.dir/bench_oracle_comparison.cpp.o"
+  "CMakeFiles/bench_oracle_comparison.dir/bench_oracle_comparison.cpp.o.d"
+  "bench_oracle_comparison"
+  "bench_oracle_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_oracle_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

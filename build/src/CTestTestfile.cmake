@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("stats")
+subdirs("sim")
+subdirs("mem")
+subdirs("replacement")
+subdirs("reuse")
+subdirs("pcie")
+subdirs("nvme")
+subdirs("cache")
+subdirs("tier2")
+subdirs("core")
+subdirs("baselines")
+subdirs("gpu")
+subdirs("workloads")
+subdirs("harness")

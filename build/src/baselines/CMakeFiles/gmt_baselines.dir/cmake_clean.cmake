@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_baselines.dir/bam_runtime.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/bam_runtime.cpp.o.d"
+  "CMakeFiles/gmt_baselines.dir/hmm_runtime.cpp.o"
+  "CMakeFiles/gmt_baselines.dir/hmm_runtime.cpp.o.d"
+  "libgmt_baselines.a"
+  "libgmt_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

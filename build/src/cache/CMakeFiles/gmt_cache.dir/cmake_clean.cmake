@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_cache.dir/tier1_cache.cpp.o"
+  "CMakeFiles/gmt_cache.dir/tier1_cache.cpp.o.d"
+  "libgmt_cache.a"
+  "libgmt_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

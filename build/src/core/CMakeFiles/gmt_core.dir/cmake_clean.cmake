@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_core.dir/config.cpp.o"
+  "CMakeFiles/gmt_core.dir/config.cpp.o.d"
+  "CMakeFiles/gmt_core.dir/gmt_runtime.cpp.o"
+  "CMakeFiles/gmt_core.dir/gmt_runtime.cpp.o.d"
+  "CMakeFiles/gmt_core.dir/runtime.cpp.o"
+  "CMakeFiles/gmt_core.dir/runtime.cpp.o.d"
+  "libgmt_core.a"
+  "libgmt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

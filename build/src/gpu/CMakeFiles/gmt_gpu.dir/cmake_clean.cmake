@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_gpu.dir/access_stream.cpp.o"
+  "CMakeFiles/gmt_gpu.dir/access_stream.cpp.o.d"
+  "CMakeFiles/gmt_gpu.dir/coalescer.cpp.o"
+  "CMakeFiles/gmt_gpu.dir/coalescer.cpp.o.d"
+  "CMakeFiles/gmt_gpu.dir/gpu_engine.cpp.o"
+  "CMakeFiles/gmt_gpu.dir/gpu_engine.cpp.o.d"
+  "libgmt_gpu.a"
+  "libgmt_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_harness.dir/experiment.cpp.o"
+  "CMakeFiles/gmt_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/gmt_harness.dir/oracle.cpp.o"
+  "CMakeFiles/gmt_harness.dir/oracle.cpp.o.d"
+  "CMakeFiles/gmt_harness.dir/trace_analysis.cpp.o"
+  "CMakeFiles/gmt_harness.dir/trace_analysis.cpp.o.d"
+  "libgmt_harness.a"
+  "libgmt_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

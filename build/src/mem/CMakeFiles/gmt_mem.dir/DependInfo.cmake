@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cpp" "src/mem/CMakeFiles/gmt_mem.dir/backing_store.cpp.o" "gcc" "src/mem/CMakeFiles/gmt_mem.dir/backing_store.cpp.o.d"
+  "/root/repo/src/mem/frame_pool.cpp" "src/mem/CMakeFiles/gmt_mem.dir/frame_pool.cpp.o" "gcc" "src/mem/CMakeFiles/gmt_mem.dir/frame_pool.cpp.o.d"
+  "/root/repo/src/mem/page_table.cpp" "src/mem/CMakeFiles/gmt_mem.dir/page_table.cpp.o" "gcc" "src/mem/CMakeFiles/gmt_mem.dir/page_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

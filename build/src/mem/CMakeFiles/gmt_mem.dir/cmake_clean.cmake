@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_mem.dir/backing_store.cpp.o"
+  "CMakeFiles/gmt_mem.dir/backing_store.cpp.o.d"
+  "CMakeFiles/gmt_mem.dir/frame_pool.cpp.o"
+  "CMakeFiles/gmt_mem.dir/frame_pool.cpp.o.d"
+  "CMakeFiles/gmt_mem.dir/page_table.cpp.o"
+  "CMakeFiles/gmt_mem.dir/page_table.cpp.o.d"
+  "libgmt_mem.a"
+  "libgmt_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

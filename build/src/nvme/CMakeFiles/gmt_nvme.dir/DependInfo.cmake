@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nvme/nvme_device.cpp" "src/nvme/CMakeFiles/gmt_nvme.dir/nvme_device.cpp.o" "gcc" "src/nvme/CMakeFiles/gmt_nvme.dir/nvme_device.cpp.o.d"
+  "/root/repo/src/nvme/queue_pair.cpp" "src/nvme/CMakeFiles/gmt_nvme.dir/queue_pair.cpp.o" "gcc" "src/nvme/CMakeFiles/gmt_nvme.dir/queue_pair.cpp.o.d"
+  "/root/repo/src/nvme/ssd_model.cpp" "src/nvme/CMakeFiles/gmt_nvme.dir/ssd_model.cpp.o" "gcc" "src/nvme/CMakeFiles/gmt_nvme.dir/ssd_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_nvme.dir/nvme_device.cpp.o"
+  "CMakeFiles/gmt_nvme.dir/nvme_device.cpp.o.d"
+  "CMakeFiles/gmt_nvme.dir/queue_pair.cpp.o"
+  "CMakeFiles/gmt_nvme.dir/queue_pair.cpp.o.d"
+  "CMakeFiles/gmt_nvme.dir/ssd_model.cpp.o"
+  "CMakeFiles/gmt_nvme.dir/ssd_model.cpp.o.d"
+  "libgmt_nvme.a"
+  "libgmt_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

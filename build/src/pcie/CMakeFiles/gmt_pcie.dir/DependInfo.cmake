@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcie/dma_engine.cpp" "src/pcie/CMakeFiles/gmt_pcie.dir/dma_engine.cpp.o" "gcc" "src/pcie/CMakeFiles/gmt_pcie.dir/dma_engine.cpp.o.d"
+  "/root/repo/src/pcie/transfer_manager.cpp" "src/pcie/CMakeFiles/gmt_pcie.dir/transfer_manager.cpp.o" "gcc" "src/pcie/CMakeFiles/gmt_pcie.dir/transfer_manager.cpp.o.d"
+  "/root/repo/src/pcie/zero_copy_engine.cpp" "src/pcie/CMakeFiles/gmt_pcie.dir/zero_copy_engine.cpp.o" "gcc" "src/pcie/CMakeFiles/gmt_pcie.dir/zero_copy_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/gmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_pcie.dir/dma_engine.cpp.o"
+  "CMakeFiles/gmt_pcie.dir/dma_engine.cpp.o.d"
+  "CMakeFiles/gmt_pcie.dir/transfer_manager.cpp.o"
+  "CMakeFiles/gmt_pcie.dir/transfer_manager.cpp.o.d"
+  "CMakeFiles/gmt_pcie.dir/zero_copy_engine.cpp.o"
+  "CMakeFiles/gmt_pcie.dir/zero_copy_engine.cpp.o.d"
+  "libgmt_pcie.a"
+  "libgmt_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/replacement/clock.cpp" "src/replacement/CMakeFiles/gmt_replacement.dir/clock.cpp.o" "gcc" "src/replacement/CMakeFiles/gmt_replacement.dir/clock.cpp.o.d"
+  "/root/repo/src/replacement/factory.cpp" "src/replacement/CMakeFiles/gmt_replacement.dir/factory.cpp.o" "gcc" "src/replacement/CMakeFiles/gmt_replacement.dir/factory.cpp.o.d"
+  "/root/repo/src/replacement/fifo.cpp" "src/replacement/CMakeFiles/gmt_replacement.dir/fifo.cpp.o" "gcc" "src/replacement/CMakeFiles/gmt_replacement.dir/fifo.cpp.o.d"
+  "/root/repo/src/replacement/lru.cpp" "src/replacement/CMakeFiles/gmt_replacement.dir/lru.cpp.o" "gcc" "src/replacement/CMakeFiles/gmt_replacement.dir/lru.cpp.o.d"
+  "/root/repo/src/replacement/random.cpp" "src/replacement/CMakeFiles/gmt_replacement.dir/random.cpp.o" "gcc" "src/replacement/CMakeFiles/gmt_replacement.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_replacement.dir/clock.cpp.o"
+  "CMakeFiles/gmt_replacement.dir/clock.cpp.o.d"
+  "CMakeFiles/gmt_replacement.dir/factory.cpp.o"
+  "CMakeFiles/gmt_replacement.dir/factory.cpp.o.d"
+  "CMakeFiles/gmt_replacement.dir/fifo.cpp.o"
+  "CMakeFiles/gmt_replacement.dir/fifo.cpp.o.d"
+  "CMakeFiles/gmt_replacement.dir/lru.cpp.o"
+  "CMakeFiles/gmt_replacement.dir/lru.cpp.o.d"
+  "CMakeFiles/gmt_replacement.dir/random.cpp.o"
+  "CMakeFiles/gmt_replacement.dir/random.cpp.o.d"
+  "libgmt_replacement.a"
+  "libgmt_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reuse/classifier.cpp" "src/reuse/CMakeFiles/gmt_reuse.dir/classifier.cpp.o" "gcc" "src/reuse/CMakeFiles/gmt_reuse.dir/classifier.cpp.o.d"
+  "/root/repo/src/reuse/olken_tree.cpp" "src/reuse/CMakeFiles/gmt_reuse.dir/olken_tree.cpp.o" "gcc" "src/reuse/CMakeFiles/gmt_reuse.dir/olken_tree.cpp.o.d"
+  "/root/repo/src/reuse/ols_regressor.cpp" "src/reuse/CMakeFiles/gmt_reuse.dir/ols_regressor.cpp.o" "gcc" "src/reuse/CMakeFiles/gmt_reuse.dir/ols_regressor.cpp.o.d"
+  "/root/repo/src/reuse/overflow_heuristic.cpp" "src/reuse/CMakeFiles/gmt_reuse.dir/overflow_heuristic.cpp.o" "gcc" "src/reuse/CMakeFiles/gmt_reuse.dir/overflow_heuristic.cpp.o.d"
+  "/root/repo/src/reuse/sampler.cpp" "src/reuse/CMakeFiles/gmt_reuse.dir/sampler.cpp.o" "gcc" "src/reuse/CMakeFiles/gmt_reuse.dir/sampler.cpp.o.d"
+  "/root/repo/src/reuse/vtd_tracker.cpp" "src/reuse/CMakeFiles/gmt_reuse.dir/vtd_tracker.cpp.o" "gcc" "src/reuse/CMakeFiles/gmt_reuse.dir/vtd_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

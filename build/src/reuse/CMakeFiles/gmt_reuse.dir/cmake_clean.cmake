@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_reuse.dir/classifier.cpp.o"
+  "CMakeFiles/gmt_reuse.dir/classifier.cpp.o.d"
+  "CMakeFiles/gmt_reuse.dir/olken_tree.cpp.o"
+  "CMakeFiles/gmt_reuse.dir/olken_tree.cpp.o.d"
+  "CMakeFiles/gmt_reuse.dir/ols_regressor.cpp.o"
+  "CMakeFiles/gmt_reuse.dir/ols_regressor.cpp.o.d"
+  "CMakeFiles/gmt_reuse.dir/overflow_heuristic.cpp.o"
+  "CMakeFiles/gmt_reuse.dir/overflow_heuristic.cpp.o.d"
+  "CMakeFiles/gmt_reuse.dir/sampler.cpp.o"
+  "CMakeFiles/gmt_reuse.dir/sampler.cpp.o.d"
+  "CMakeFiles/gmt_reuse.dir/vtd_tracker.cpp.o"
+  "CMakeFiles/gmt_reuse.dir/vtd_tracker.cpp.o.d"
+  "libgmt_reuse.a"
+  "libgmt_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

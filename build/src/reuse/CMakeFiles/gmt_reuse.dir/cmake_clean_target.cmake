@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgmt_reuse.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_sim.dir/channel.cpp.o"
+  "CMakeFiles/gmt_sim.dir/channel.cpp.o.d"
+  "CMakeFiles/gmt_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/gmt_sim.dir/event_queue.cpp.o.d"
+  "libgmt_sim.a"
+  "libgmt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

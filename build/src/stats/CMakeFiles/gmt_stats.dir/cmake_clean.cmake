@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_stats.dir/distribution.cpp.o"
+  "CMakeFiles/gmt_stats.dir/distribution.cpp.o.d"
+  "CMakeFiles/gmt_stats.dir/table.cpp.o"
+  "CMakeFiles/gmt_stats.dir/table.cpp.o.d"
+  "libgmt_stats.a"
+  "libgmt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tier2/directory.cpp" "src/tier2/CMakeFiles/gmt_tier2.dir/directory.cpp.o" "gcc" "src/tier2/CMakeFiles/gmt_tier2.dir/directory.cpp.o.d"
+  "/root/repo/src/tier2/tier2_pool.cpp" "src/tier2/CMakeFiles/gmt_tier2.dir/tier2_pool.cpp.o" "gcc" "src/tier2/CMakeFiles/gmt_tier2.dir/tier2_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/gmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/gmt_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_tier2.dir/directory.cpp.o"
+  "CMakeFiles/gmt_tier2.dir/directory.cpp.o.d"
+  "CMakeFiles/gmt_tier2.dir/tier2_pool.cpp.o"
+  "CMakeFiles/gmt_tier2.dir/tier2_pool.cpp.o.d"
+  "libgmt_tier2.a"
+  "libgmt_tier2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_tier2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_util.dir/logging.cpp.o"
+  "CMakeFiles/gmt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gmt_util.dir/rng.cpp.o"
+  "CMakeFiles/gmt_util.dir/rng.cpp.o.d"
+  "libgmt_util.a"
+  "libgmt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/backprop.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/backprop.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/backprop.cpp.o.d"
+  "/root/repo/src/workloads/bfs.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/bfs.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/bfs.cpp.o.d"
+  "/root/repo/src/workloads/factory.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/factory.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/factory.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/kron_graph.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/kron_graph.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/kron_graph.cpp.o.d"
+  "/root/repo/src/workloads/lavamd.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/lavamd.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/lavamd.cpp.o.d"
+  "/root/repo/src/workloads/multi_vector_add.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/multi_vector_add.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/multi_vector_add.cpp.o.d"
+  "/root/repo/src/workloads/pagerank.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/pagerank.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/pagerank.cpp.o.d"
+  "/root/repo/src/workloads/pathfinder.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/pathfinder.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/pathfinder.cpp.o.d"
+  "/root/repo/src/workloads/sequence_stream.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/sequence_stream.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/sequence_stream.cpp.o.d"
+  "/root/repo/src/workloads/srad.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/srad.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/srad.cpp.o.d"
+  "/root/repo/src/workloads/sssp.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/sssp.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/sssp.cpp.o.d"
+  "/root/repo/src/workloads/trace_file.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/trace_file.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/trace_file.cpp.o.d"
+  "/root/repo/src/workloads/zipf_stream.cpp" "src/workloads/CMakeFiles/gmt_workloads.dir/zipf_stream.cpp.o" "gcc" "src/workloads/CMakeFiles/gmt_workloads.dir/zipf_stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpu/CMakeFiles/gmt_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gmt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gmt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/gmt_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvme/CMakeFiles/gmt_nvme.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/gmt_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/reuse/CMakeFiles/gmt_reuse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier2/CMakeFiles/gmt_tier2.dir/DependInfo.cmake"
+  "/root/repo/build/src/replacement/CMakeFiles/gmt_replacement.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/gmt_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gmt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/gmt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

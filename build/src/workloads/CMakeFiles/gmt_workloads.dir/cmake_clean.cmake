@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gmt_workloads.dir/backprop.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/backprop.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/bfs.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/bfs.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/factory.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/factory.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/kron_graph.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/kron_graph.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/lavamd.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/lavamd.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/multi_vector_add.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/multi_vector_add.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/pagerank.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/pagerank.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/pathfinder.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/pathfinder.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/sequence_stream.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/sequence_stream.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/srad.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/srad.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/sssp.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/sssp.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/trace_file.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/trace_file.cpp.o.d"
+  "CMakeFiles/gmt_workloads.dir/zipf_stream.cpp.o"
+  "CMakeFiles/gmt_workloads.dir/zipf_stream.cpp.o.d"
+  "libgmt_workloads.a"
+  "libgmt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gmt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalescer_test.dir/coalescer_test.cpp.o"
+  "CMakeFiles/coalescer_test.dir/coalescer_test.cpp.o.d"
+  "coalescer_test"
+  "coalescer_test.pdb"
+  "coalescer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalescer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

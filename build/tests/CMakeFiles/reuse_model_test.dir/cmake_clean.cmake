@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_model_test.dir/reuse_model_test.cpp.o"
+  "CMakeFiles/reuse_model_test.dir/reuse_model_test.cpp.o.d"
+  "reuse_model_test"
+  "reuse_model_test.pdb"
+  "reuse_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reuse_olken_test.dir/reuse_olken_test.cpp.o"
+  "CMakeFiles/reuse_olken_test.dir/reuse_olken_test.cpp.o.d"
+  "reuse_olken_test"
+  "reuse_olken_test.pdb"
+  "reuse_olken_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reuse_olken_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tier2_test.dir/tier2_test.cpp.o"
+  "CMakeFiles/tier2_test.dir/tier2_test.cpp.o.d"
+  "tier2_test"
+  "tier2_test.pdb"
+  "tier2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tier2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
