@@ -24,13 +24,22 @@ main(int argc, char **argv)
     stats::Table t("GMT-Reuse speedup over BaM: synchronous vs "
                    "asynchronous eviction");
     t.header({"App", "sync eviction", "async eviction", "gain"});
-    std::vector<double> sync_s, async_s;
+    std::vector<RunSpec> specs;
     for (const auto &info : workloads::allWorkloads()) {
-        const auto bam = runSystem(System::Bam, cfg, info.name);
+        specs.push_back({System::Bam, info.name, cfg, 64});
         cfg.asyncEviction = false;
-        const auto sync = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
         cfg.asyncEviction = true;
-        const auto async = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
+    }
+    const auto results = runAll(specs, opt);
+
+    std::vector<double> sync_s, async_s;
+    std::size_t idx = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto &bam = results[idx++];
+        const auto &sync = results[idx++];
+        const auto &async = results[idx++];
         sync_s.push_back(sync.speedupOver(bam));
         async_s.push_back(async.speedupOver(bam));
         t.row({info.name, stats::Table::num(sync_s.back()),

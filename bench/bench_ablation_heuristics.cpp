@@ -24,12 +24,21 @@ main(int argc, char **argv)
 
     stats::Table t("GMT-Reuse speedup over BaM: heuristic on vs off");
     t.header({"App", "with heuristic", "without", "redirects (on)"});
+    std::vector<RunSpec> specs;
     for (const auto &info : workloads::allWorkloads()) {
-        const auto bam = runSystem(System::Bam, cfg, info.name);
+        specs.push_back({System::Bam, info.name, cfg, 64});
         cfg.overflowHeuristic = true;
-        const auto on = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
         cfg.overflowHeuristic = false;
-        const auto off = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
+    }
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto &bam = results[idx++];
+        const auto &on = results[idx++];
+        const auto &off = results[idx++];
         t.row({info.name, stats::Table::num(on.speedupOver(bam)),
                stats::Table::num(off.speedupOver(bam)),
                std::to_string(on.overflowRedirects)});

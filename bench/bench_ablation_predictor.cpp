@@ -25,12 +25,21 @@ main(int argc, char **argv)
                    "last-tier persistence");
     t.header({"App", "Markov acc", "persist acc", "Markov speedup",
               "persist speedup"});
+    std::vector<RunSpec> specs;
     for (const auto &info : workloads::allWorkloads()) {
-        const auto bam = runSystem(System::Bam, cfg, info.name);
+        specs.push_back({System::Bam, info.name, cfg, 64});
         cfg.markovPredictor = true;
-        const auto markov = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
         cfg.markovPredictor = false;
-        const auto persist = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
+    }
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto &bam = results[idx++];
+        const auto &markov = results[idx++];
+        const auto &persist = results[idx++];
         t.row({info.name,
                stats::Table::pct(markov.predictionAccuracy()),
                stats::Table::pct(persist.predictionAccuracy()),

@@ -25,23 +25,27 @@ main(int argc, char **argv)
     stats::Table t("GMT-Reuse speedup over BaM per prefetch degree");
     t.header({"App", "degree 0", "degree 2", "degree 4",
               "prefetches (deg 4)"});
+    std::vector<RunSpec> specs;
     for (const auto &info : workloads::allWorkloads()) {
         cfg.prefetchDegree = 0; // the BaM reference never prefetches
-        const auto bam = runSystem(System::Bam, cfg, info.name);
+        specs.push_back({System::Bam, info.name, cfg, 64});
+        for (unsigned degree : {0u, 2u, 4u}) {
+            cfg.prefetchDegree = degree;
+            specs.push_back({System::GmtReuse, info.name, cfg, 64});
+        }
+    }
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto &bam = results[idx++];
         std::vector<std::string> row = {info.name};
         std::uint64_t prefetches = 0;
         for (unsigned degree : {0u, 2u, 4u}) {
-            cfg.prefetchDegree = degree;
-            workloads::WorkloadConfig wc;
-            wc.pages = cfg.numPages;
-            wc.warps = 64;
-            wc.seed = cfg.seed + 13;
-            auto stream = workloads::makeWorkload(info.name, wc);
-            auto rt = makeSystem(System::GmtReuse, cfg);
-            const auto r = runOne(*rt, *stream);
+            const auto &r = results[idx++];
             row.push_back(stats::Table::num(r.speedupOver(bam)));
             if (degree == 4)
-                prefetches = rt->counters().value("prefetches");
+                prefetches = r.prefetches;
         }
         row.push_back(std::to_string(prefetches));
         t.row(row);

@@ -23,14 +23,24 @@ main(int argc, char **argv)
 
     stats::Table t("GMT-Reuse speedup over BaM per transfer scheme");
     t.header({"App", "Hybrid-32T", "DMA only", "zero-copy only"});
+    std::vector<RunSpec> specs;
     for (const auto &info : workloads::allWorkloads()) {
-        const auto bam = runSystem(System::Bam, cfg, info.name);
-        cfg.transferScheme = pcie::TransferScheme::Hybrid32T;
-        const auto hybrid = runSystem(System::GmtReuse, cfg, info.name);
-        cfg.transferScheme = pcie::TransferScheme::DmaOnly;
-        const auto dma = runSystem(System::GmtReuse, cfg, info.name);
-        cfg.transferScheme = pcie::TransferScheme::ZeroCopyOnly;
-        const auto zc = runSystem(System::GmtReuse, cfg, info.name);
+        specs.push_back({System::Bam, info.name, cfg, 64});
+        for (auto scheme : {pcie::TransferScheme::Hybrid32T,
+                            pcie::TransferScheme::DmaOnly,
+                            pcie::TransferScheme::ZeroCopyOnly}) {
+            cfg.transferScheme = scheme;
+            specs.push_back({System::GmtReuse, info.name, cfg, 64});
+        }
+    }
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto &bam = results[idx++];
+        const auto &hybrid = results[idx++];
+        const auto &dma = results[idx++];
+        const auto &zc = results[idx++];
         t.row({info.name, stats::Table::num(hybrid.speedupOver(bam)),
                stats::Table::num(dma.speedupOver(bam)),
                stats::Table::num(zc.speedupOver(bam))});

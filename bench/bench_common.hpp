@@ -11,11 +11,13 @@
 
 #pragma once
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/run_matrix.hpp"
 #include "harness/trace_analysis.hpp"
 #include "stats/table.hpp"
 #include "util/logging.hpp"
@@ -28,6 +30,8 @@ struct BenchOptions
 {
     bool quick = false; ///< quarter-scale runs for CI
     bool csv = false;   ///< machine-readable output
+    unsigned jobs = 0;  ///< simulation worker threads; 0 = auto
+                        ///< (GMT_JOBS env, else hardware concurrency)
 };
 
 inline BenchOptions
@@ -39,11 +43,35 @@ parseOptions(int argc, char **argv)
             opt.quick = true;
         else if (std::strcmp(argv[i], "--csv") == 0)
             opt.csv = true;
-        else
-            fatal("unknown bench option '%s' (expected --quick/--csv)",
+        else if (std::strcmp(argv[i], "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("--jobs needs a value");
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v <= 0)
+                fatal("--jobs wants a positive integer, got '%s'",
+                      argv[i]);
+            opt.jobs = unsigned(v);
+        } else
+            fatal("unknown bench option '%s' (expected "
+                  "--quick/--csv/--jobs N)",
                   argv[i]);
     }
     return opt;
+}
+
+/** Run a spec matrix with the bench's worker-count setting. */
+inline std::vector<harness::ExperimentResult>
+runAll(const std::vector<harness::RunSpec> &specs, const BenchOptions &opt)
+{
+    return harness::runMatrix(specs, opt.jobs);
+}
+
+/** Deterministic parallel loop with the bench's worker-count setting. */
+inline void
+forEach(std::size_t count, const BenchOptions &opt,
+        const std::function<void(std::size_t)> &body)
+{
+    harness::parallelFor(count, body, opt.jobs);
 }
 
 /** Print the Table 1 platform banner (the simulated system). */

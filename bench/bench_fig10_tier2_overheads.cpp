@@ -30,15 +30,22 @@ main(int argc, char **argv)
     t10b.header({"App", "TierOrder place/fetch", "Random place/fetch",
                  "Reuse place/fetch"});
 
+    std::vector<RunSpec> specs;
+    for (const auto &info : workloads::allWorkloads())
+        for (System sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse})
+            specs.push_back({sys, info.name, cfg, 64});
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
     for (const auto &info : workloads::allWorkloads()) {
-        const auto bam = runSystem(System::Bam, cfg, info.name);
+        const auto &bam = results[idx++];
         const double bam_io = double(bam.ssdReads + bam.ssdWrites);
 
         std::vector<std::string> rowa = {info.name};
         std::vector<std::string> rowb = {info.name};
-        for (auto sys : {System::GmtTierOrder, System::GmtRandom,
-                         System::GmtReuse}) {
-            const auto r = runSystem(sys, cfg, info.name);
+        for (int s = 0; s < 3; ++s) {
+            const auto &r = results[idx++];
             rowa.push_back(stats::Table::pct(
                 r.tier1Misses
                     ? double(r.wastefulLookups) / double(r.tier1Misses)

@@ -23,7 +23,7 @@ main(int argc, char **argv)
     stats::Table t("Figure 11: speedup over BaM at OSF = 4");
     t.header({"App", "GMT-TierOrder", "GMT-Random", "GMT-Reuse"});
 
-    std::vector<double> sp_order, sp_random, sp_reuse;
+    std::vector<RunSpec> specs;
     for (const auto &info : workloads::allWorkloads()) {
         RuntimeConfig cfg = defaultConfig(opt);
         if (info.graphApp) {
@@ -35,12 +35,19 @@ main(int argc, char **argv)
             // Double the dataset.
             cfg.setOversubscription(4.0);
         }
+        for (System sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse})
+            specs.push_back({sys, info.name, cfg, 64});
+    }
+    const auto results = runAll(specs, opt);
 
-        const auto bam = runSystem(System::Bam, cfg, info.name);
-        const auto order =
-            runSystem(System::GmtTierOrder, cfg, info.name);
-        const auto random = runSystem(System::GmtRandom, cfg, info.name);
-        const auto reuse = runSystem(System::GmtReuse, cfg, info.name);
+    std::vector<double> sp_order, sp_random, sp_reuse;
+    std::size_t idx = 0;
+    for (const auto &info : workloads::allWorkloads()) {
+        const auto &bam = results[idx++];
+        const auto &order = results[idx++];
+        const auto &random = results[idx++];
+        const auto &reuse = results[idx++];
         sp_order.push_back(order.speedupOver(bam));
         sp_random.push_back(random.speedupOver(bam));
         sp_reuse.push_back(reuse.speedupOver(bam));

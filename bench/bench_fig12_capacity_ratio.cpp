@@ -27,21 +27,29 @@ main(int argc, char **argv)
     for (const auto &info : workloads::allWorkloads())
         rows.push_back({info.name});
 
-    unsigned col = 0;
+    std::vector<RunSpec> specs;
     for (unsigned ratio : {2u, 4u, 8u}) {
         RuntimeConfig cfg = defaultConfig(opt);
         cfg.tier2Pages = cfg.tier1Pages * ratio;
         cfg.setOversubscription(2.0);
-        std::size_t i = 0;
         for (const auto &info : workloads::allWorkloads()) {
-            const auto bam = runSystem(System::Bam, cfg, info.name);
-            const auto reuse =
-                runSystem(System::GmtReuse, cfg, info.name);
+            specs.push_back({System::Bam, info.name, cfg, 64});
+            specs.push_back({System::GmtReuse, info.name, cfg, 64});
+        }
+    }
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
+    for (unsigned col = 0; col < 3; ++col) {
+        std::size_t i = 0;
+        for ([[maybe_unused]] const auto &info :
+             workloads::allWorkloads()) {
+            const auto &bam = results[idx++];
+            const auto &reuse = results[idx++];
             const double s = reuse.speedupOver(bam);
             per_ratio[col].push_back(s);
             rows[i++].push_back(stats::Table::num(s));
         }
-        ++col;
     }
     for (auto &r : rows)
         t.row(r);

@@ -25,19 +25,29 @@ main(int argc, char **argv)
 
     stats::Table t("Figure 13: speedup over BaM (non-graph apps)");
     t.header({"App", "GMT-TierOrder", "GMT-Random", "GMT-Reuse"});
-    std::vector<double> sp_order, sp_random, sp_reuse;
+    std::vector<RunSpec> specs;
+    std::vector<std::string> apps;
     for (const auto &info : workloads::allWorkloads()) {
         if (info.graphApp)
             continue;
-        const auto bam = runSystem(System::Bam, cfg, info.name);
-        const auto order =
-            runSystem(System::GmtTierOrder, cfg, info.name);
-        const auto random = runSystem(System::GmtRandom, cfg, info.name);
-        const auto reuse = runSystem(System::GmtReuse, cfg, info.name);
+        apps.push_back(info.name);
+        for (System sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse})
+            specs.push_back({sys, info.name, cfg, 64});
+    }
+    const auto results = runAll(specs, opt);
+
+    std::vector<double> sp_order, sp_random, sp_reuse;
+    std::size_t idx = 0;
+    for (const auto &app : apps) {
+        const auto &bam = results[idx++];
+        const auto &order = results[idx++];
+        const auto &random = results[idx++];
+        const auto &reuse = results[idx++];
         sp_order.push_back(order.speedupOver(bam));
         sp_random.push_back(random.speedupOver(bam));
         sp_reuse.push_back(reuse.speedupOver(bam));
-        t.row({info.name, stats::Table::num(sp_order.back()),
+        t.row({app, stats::Table::num(sp_order.back()),
                stats::Table::num(sp_random.back()),
                stats::Table::num(sp_reuse.back())});
     }

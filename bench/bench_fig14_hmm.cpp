@@ -21,11 +21,19 @@ main(int argc, char **argv)
 
     stats::Table t("Figure 14: speedup over BaM");
     t.header({"App", "HMM", "GMT-Reuse", "GMT-Reuse vs HMM"});
+    std::vector<RunSpec> specs;
+    for (const auto &info : workloads::allWorkloads())
+        for (System sys :
+             {System::Bam, System::Hmm, System::GmtReuse})
+            specs.push_back({sys, info.name, cfg, 64});
+    const auto results = runAll(specs, opt);
+
     std::vector<double> sp_hmm, sp_reuse, reuse_vs_hmm;
+    std::size_t idx = 0;
     for (const auto &info : workloads::allWorkloads()) {
-        const auto bam = runSystem(System::Bam, cfg, info.name);
-        const auto hmm = runSystem(System::Hmm, cfg, info.name);
-        const auto reuse = runSystem(System::GmtReuse, cfg, info.name);
+        const auto &bam = results[idx++];
+        const auto &hmm = results[idx++];
+        const auto &reuse = results[idx++];
         sp_hmm.push_back(hmm.speedupOver(bam));
         sp_reuse.push_back(reuse.speedupOver(bam));
         reuse_vs_hmm.push_back(reuse.speedupOver(hmm));

@@ -56,16 +56,25 @@ main(int argc, char **argv)
     printPlatformBanner("Figure 4 (VTD/RRD characteristics)");
     const RuntimeConfig cfg = defaultConfig(opt);
 
+    // Both panels consume the same exact traces; analyze each app once,
+    // in parallel.
+    const std::vector<const char *> apps = {"MultiVectorAdd", "PageRank"};
+    std::vector<TraceAnalysis> analyses(apps.size());
+    forEach(apps.size(), opt, [&](std::size_t i) {
+        workloads::WorkloadConfig wc;
+        wc.pages = cfg.numPages;
+        wc.seed = cfg.seed + 13;
+        auto stream = workloads::makeWorkload(apps[i], wc);
+        analyses[i] = analyzeStream(*stream, cfg.tier1Pages);
+    });
+
     // ---- 4a: VTD <-> RD linearity. ----
     stats::Table t4a("Figure 4a: VTD vs Reuse Distance (linearity)");
     t4a.header({"App", "pairs", "Pearson r", "OLS slope m", "offset b",
                 "paper expectation"});
-    for (const char *app : {"MultiVectorAdd", "PageRank"}) {
-        workloads::WorkloadConfig wc;
-        wc.pages = cfg.numPages;
-        wc.seed = cfg.seed + 13;
-        auto stream = workloads::makeWorkload(app, wc);
-        const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const char *app = apps[i];
+        const TraceAnalysis &a = analyses[i];
         reuse::OlsRegressor ols;
         for (const auto &p : a.pairs)
             ols.addSample(double(p.vtd), double(p.rd));
@@ -83,12 +92,9 @@ main(int argc, char **argv)
     emit(t4a, opt);
 
     // ---- 4b/4c: per-page RRD across successive evictions. ----
-    for (const char *app : {"MultiVectorAdd", "PageRank"}) {
-        workloads::WorkloadConfig wc;
-        wc.pages = cfg.numPages;
-        wc.seed = cfg.seed + 13;
-        auto stream = workloads::makeWorkload(app, wc);
-        const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const char *app = apps[i];
+        const TraceAnalysis &a = analyses[i];
 
         // Collect RRD sequences for pages with the most evictions.
         std::map<PageId, std::vector<std::uint64_t>> seqs;

@@ -25,12 +25,19 @@ main(int argc, char **argv)
     t.header({"App", "Reuse%", "RRD<T1", "T1<=RRD<T1+T2", "RRD>=T1+T2",
               "never-reused evictions", "paper bias"});
 
-    for (const auto &info : workloads::allWorkloads()) {
+    const auto &apps = workloads::allWorkloads();
+    std::vector<TraceAnalysis> analyses(apps.size());
+    forEach(apps.size(), opt, [&](std::size_t i) {
         workloads::WorkloadConfig wc;
         wc.pages = cfg.numPages;
         wc.seed = cfg.seed + 13;
-        auto stream = workloads::makeWorkload(info.name, wc);
-        const TraceAnalysis a = analyzeStream(*stream, t1);
+        auto stream = workloads::makeWorkload(apps[i].name, wc);
+        analyses[i] = analyzeStream(*stream, t1);
+    });
+
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &info = apps[i];
+        const TraceAnalysis &a = analyses[i];
 
         std::uint64_t never = 0;
         for (const auto &e : a.evictions)

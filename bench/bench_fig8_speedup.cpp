@@ -42,12 +42,23 @@ main(int argc, char **argv)
         {"Hotspot", 2.25},
     };
 
+    // One matrix cell per (app, system); executed across --jobs workers.
+    const std::vector<System> systems = {System::Bam, System::GmtTierOrder,
+                                         System::GmtRandom,
+                                         System::GmtReuse};
+    std::vector<RunSpec> specs;
+    for (const auto &app : appNames())
+        for (System sys : systems)
+            specs.push_back({sys, app, cfg, 64});
+    const auto results = runAll(specs, opt);
+
     std::vector<double> sp_order, sp_random, sp_reuse;
+    std::size_t idx = 0;
     for (const auto &app : appNames()) {
-        const auto bam = runSystem(System::Bam, cfg, app);
-        const auto order = runSystem(System::GmtTierOrder, cfg, app);
-        const auto random = runSystem(System::GmtRandom, cfg, app);
-        const auto reuse = runSystem(System::GmtReuse, cfg, app);
+        const auto &bam = results[idx++];
+        const auto &order = results[idx++];
+        const auto &random = results[idx++];
+        const auto &reuse = results[idx++];
 
         sp_order.push_back(order.speedupOver(bam));
         sp_random.push_back(random.speedupOver(bam));

@@ -20,9 +20,14 @@ main(int argc, char **argv)
     stats::Table t("Figure 9: Prediction accuracy of GMT-Reuse");
     t.header({"App", "validated predictions", "accuracy",
               "paper expectation"});
+    std::vector<RunSpec> specs;
+    for (const auto &info : workloads::allWorkloads())
+        specs.push_back({System::GmtReuse, info.name, cfg, 64});
+    const auto results = runAll(specs, opt);
+
+    std::size_t idx = 0;
     for (const auto &info : workloads::allWorkloads()) {
-        const ExperimentResult r =
-            runSystem(System::GmtReuse, cfg, info.name);
+        const ExperimentResult &r = results[idx++];
         const char *expect = info.name == "lavaMD"
             ? "low (hardly any history)"
             : "fairly high";

@@ -27,16 +27,23 @@ main(int argc, char **argv)
     stats::Table t("Tier-2 hits: oracle bound vs GMT-Reuse");
     t.header({"App", "reused evictions", "oracle bound (T2 slots)",
               "GMT-Reuse hits", "achieved/bound"});
-    for (const auto &info : workloads::allWorkloads()) {
+    const auto &apps = workloads::allWorkloads();
+    std::vector<OracleBound> bounds(apps.size());
+    std::vector<ExperimentResult> reuses(apps.size());
+    forEach(apps.size(), opt, [&](std::size_t i) {
         workloads::WorkloadConfig wc;
         wc.pages = cfg.numPages;
         wc.seed = cfg.seed + 13;
-        auto stream = workloads::makeWorkload(info.name, wc);
+        auto stream = workloads::makeWorkload(apps[i].name, wc);
         const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
-        const OracleBound bound = oracleTier2Bound(a, cfg.tier2Pages);
+        bounds[i] = oracleTier2Bound(a, cfg.tier2Pages);
+        reuses[i] = runSystem(System::GmtReuse, cfg, apps[i].name);
+    });
 
-        const ExperimentResult reuse =
-            runSystem(System::GmtReuse, cfg, info.name);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &info = apps[i];
+        const OracleBound &bound = bounds[i];
+        const ExperimentResult &reuse = reuses[i];
 
         const double frac = bound.tier2HitBound
             ? double(reuse.tier2Hits) / double(bound.tier2HitBound)

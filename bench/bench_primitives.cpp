@@ -7,6 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <queue>
+#include <vector>
+
 #include "mem/frame_pool.hpp"
 #include "replacement/policy.hpp"
 #include "reuse/olken_tree.hpp"
@@ -62,10 +66,66 @@ BM_ClockVictimSelection(benchmark::State &state)
 }
 BENCHMARK(BM_ClockVictimSelection)->Arg(256)->Arg(4096);
 
-static void
-BM_EventQueueChurn(benchmark::State &state)
+namespace
 {
-    sim::EventQueue q;
+
+/**
+ * The seed EventQueue (std::priority_queue of std::function entries),
+ * kept as the reference point for the pooled/4-ary implementation in
+ * sim/event_queue.hpp: every schedule type-erases through
+ * std::function and every dispatch copies the entry out of the heap.
+ */
+class LegacyEventQueue
+{
+  public:
+    SimTime now() const { return currentTime; }
+
+    void
+    scheduleAt(SimTime when, std::function<void()> fn)
+    {
+        events.push(Entry{when, nextSeq++, std::move(fn)});
+    }
+
+    bool
+    step()
+    {
+        if (events.empty())
+            return false;
+        Entry e = events.top();
+        events.pop();
+        currentTime = e.when;
+        e.fn();
+        return true;
+    }
+
+  private:
+    struct Entry
+    {
+        SimTime when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    SimTime currentTime = 0;
+    std::uint64_t nextSeq = 0;
+};
+
+/** Schedule-one/dispatch-one churn over a standing population. */
+template <typename Queue>
+void
+eventQueueChurn(benchmark::State &state)
+{
+    Queue q;
     Rng rng(4);
     int sink = 0;
     for (int i = 0; i < 64; ++i)
@@ -77,7 +137,55 @@ BM_EventQueueChurn(benchmark::State &state)
     benchmark::DoNotOptimize(sink);
     state.SetItemsProcessed(state.iterations());
 }
+
+/** Same churn with a fatter capture (4 x 8 bytes: a transfer-completion
+ *  style event), still inside the pooled queue's inline buffer. */
+template <typename Queue>
+void
+eventQueueChurnFatCapture(benchmark::State &state)
+{
+    Queue q;
+    Rng rng(4);
+    std::uint64_t sink = 0;
+    std::uint64_t a = 1, b = 2, c = 3;
+    for (auto _ : state) {
+        q.scheduleAt(q.now() + rng.below(1000) + 1,
+                     [&sink, a, b, c] { sink += a + b + c; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+static void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    eventQueueChurn<sim::EventQueue>(state);
+}
 BENCHMARK(BM_EventQueueChurn);
+
+static void
+BM_EventQueueChurnLegacy(benchmark::State &state)
+{
+    eventQueueChurn<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueChurnLegacy);
+
+static void
+BM_EventQueueFatCapture(benchmark::State &state)
+{
+    eventQueueChurnFatCapture<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueFatCapture);
+
+static void
+BM_EventQueueFatCaptureLegacy(benchmark::State &state)
+{
+    eventQueueChurnFatCapture<LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueFatCaptureLegacy);
 
 static void
 BM_BandwidthChannelTransfer(benchmark::State &state)

@@ -28,15 +28,24 @@ main(int argc, char **argv)
               "Total I/O GB (measured, BaM)", "Total I/O GB (paper)",
               "Accesses", "RRD bias (paper)"});
 
-    for (const auto &info : workloads::allWorkloads()) {
+    // Each app job does the exact trace analysis AND the reference BaM
+    // run; both are per-index isolated, so jobs fan out across workers.
+    const auto &apps = workloads::allWorkloads();
+    std::vector<TraceAnalysis> analyses(apps.size());
+    std::vector<ExperimentResult> bams(apps.size());
+    forEach(apps.size(), opt, [&](std::size_t i) {
         workloads::WorkloadConfig wc;
         wc.pages = cfg.numPages;
         wc.seed = cfg.seed + 13;
-        auto stream = workloads::makeWorkload(info.name, wc);
-        const TraceAnalysis a = analyzeStream(*stream, cfg.tier1Pages);
+        auto stream = workloads::makeWorkload(apps[i].name, wc);
+        analyses[i] = analyzeStream(*stream, cfg.tier1Pages);
+        bams[i] = runSystem(System::Bam, cfg, apps[i].name);
+    });
 
-        const ExperimentResult bam =
-            runSystem(System::Bam, cfg, info.name);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &info = apps[i];
+        const TraceAnalysis &a = analyses[i];
+        const ExperimentResult &bam = bams[i];
         const double io_gb = double(bam.ssdBytes()) / double(1_GiB)
                              * double(kCapacityScale);
 

@@ -5,6 +5,7 @@
  *   policy_explorer <workload> [--policy reuse|random|tierorder|bam|hmm]
  *                   [--tier1-gb N] [--tier2-gb N] [--osf F]
  *                   [--warps N] [--transfer dma|zerocopy|hybrid32]
+ *                   [--jobs N]
  *
  * Runs one configuration and prints every counter the runtime exports —
  * the tool to answer "what would GMT do on MY workload shape?".
@@ -19,6 +20,7 @@
 #include <string>
 
 #include "harness/experiment.hpp"
+#include "harness/run_matrix.hpp"
 
 using namespace gmt;
 using namespace gmt::harness;
@@ -32,7 +34,7 @@ usage()
     std::fprintf(stderr,
                  "usage: policy_explorer <workload> [--policy P] "
                  "[--tier1-gb N] [--tier2-gb N] [--osf F] [--warps N] "
-                 "[--transfer T]\n  workloads:");
+                 "[--transfer T] [--jobs N]\n  workloads:");
     for (const auto &info : workloads::allWorkloads())
         std::fprintf(stderr, " %s", info.name.c_str());
     std::fprintf(stderr, "\n");
@@ -52,6 +54,7 @@ main(int argc, char **argv)
     std::string policy = "reuse";
     double osf = 2.0;
     unsigned warps = 64;
+    unsigned jobs = 0;
     std::uint64_t t1_gb = 16, t2_gb = 64;
 
     for (int i = 2; i < argc; ++i) {
@@ -74,6 +77,8 @@ main(int argc, char **argv)
             warps = unsigned(std::atoi(need("--warps")));
         else if (!std::strcmp(argv[i], "--transfer"))
             cfg.transferScheme = pcie::schemeFromName(need("--transfer"));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = unsigned(std::atoi(need("--jobs")));
         else
             usage();
     }
@@ -95,10 +100,15 @@ main(int argc, char **argv)
     else
         usage();
 
-    // Run the chosen system and BaM as the reference point.
-    const ExperimentResult r = runSystem(sys, cfg, workload, warps);
-    const ExperimentResult bam = runSystem(System::Bam, cfg, workload,
-                                           warps);
+    // Run the chosen system and BaM as the reference point — two
+    // independent simulations, overlapped by the run matrix.
+    const std::vector<RunSpec> specs = {
+        {sys, workload, cfg, warps},
+        {System::Bam, workload, cfg, warps},
+    };
+    const auto results = runMatrix(specs, jobs);
+    const ExperimentResult &r = results[0];
+    const ExperimentResult &bam = results[1];
 
     std::printf("%s on %s  (T1 %llu GB, T2 %llu GB, OSF %.1f, %u "
                 "warps)\n\n",

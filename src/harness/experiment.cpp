@@ -71,6 +71,7 @@ runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
     r.predTotal = c.value("pred_total");
     r.predCorrect = c.value("pred_correct");
     r.overflowRedirects = c.value("overflow_redirects");
+    r.prefetches = c.value("prefetches");
     return r;
 }
 

@@ -41,6 +41,10 @@ struct ExperimentResult
     std::uint64_t predTotal = 0;
     std::uint64_t predCorrect = 0;
     std::uint64_t overflowRedirects = 0;
+    std::uint64_t prefetches = 0;
+
+    /** Exact metric equality (determinism checks across job counts). */
+    bool operator==(const ExperimentResult &) const = default;
 
     /** Total SSD I/O in bytes. */
     std::uint64_t ssdBytes() const

@@ -1,0 +1,43 @@
+#include "harness/run_matrix.hpp"
+
+#include <algorithm>
+
+#include "harness/thread_pool.hpp"
+
+namespace gmt::harness
+{
+
+void
+parallelFor(std::size_t count,
+            const std::function<void(std::size_t)> &body, unsigned jobs)
+{
+    if (count == 0)
+        return;
+    jobs = resolveJobs(jobs);
+    if (jobs == 1 || count == 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    ThreadPool pool(unsigned(std::min<std::size_t>(jobs, count)));
+    for (std::size_t i = 0; i < count; ++i)
+        pool.submit([&body, i] { body(i); });
+    pool.wait();
+}
+
+std::vector<ExperimentResult>
+runMatrix(const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<ExperimentResult> results(specs.size());
+    parallelFor(
+        specs.size(),
+        [&](std::size_t i) {
+            const RunSpec &s = specs[i];
+            results[i] =
+                runSystem(s.system, s.cfg, s.workload, s.warps);
+        },
+        jobs);
+    return results;
+}
+
+} // namespace gmt::harness

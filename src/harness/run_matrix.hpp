@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Parallel experiment matrix: run many independent (system, workload,
+ * config) simulations across a thread pool, returning results in spec
+ * order regardless of worker count.
+ *
+ * Every paper artifact (Figs. 8-14, the tables, the ablations) is a
+ * matrix of deterministic, fully isolated DES runs — each run owns its
+ * runtime, workload stream, and RNG, and no simulator state is global —
+ * so replications can execute concurrently and still produce bit-for-bit
+ * the numbers a serial sweep would (the MIP/MGSim approach of
+ * parallelizing across replications rather than inside one run).
+ *
+ * jobs == 1 reproduces the historical serial behaviour exactly; jobs == 0
+ * means "auto" (GMT_JOBS env var, else hardware concurrency).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace gmt::harness
+{
+
+/** One cell of the experiment matrix. */
+struct RunSpec
+{
+    System system = System::GmtReuse;
+    std::string workload;
+    RuntimeConfig cfg;
+    unsigned warps = 64;
+};
+
+/**
+ * Execute every spec (each on its own runtime instance) and return
+ * results indexed exactly like @p specs. Deterministic: the result
+ * vector is identical for any @p jobs value, including 1 (serial).
+ */
+std::vector<ExperimentResult> runMatrix(const std::vector<RunSpec> &specs,
+                                        unsigned jobs = 0);
+
+/**
+ * Deterministic parallel-for over [0, count): @p body(i) runs once per
+ * index on some worker; the call returns when all indices finished.
+ * Bodies must only touch index-i state (write results[i], etc.).
+ * With jobs == 1 the loop runs inline, in order, on the calling thread.
+ *
+ * This is the escape hatch for sweeps that are not pure RunSpec runs
+ * (trace analysis, transfer-engine sweeps) but are just as independent.
+ */
+void parallelFor(std::size_t count,
+                 const std::function<void(std::size_t)> &body,
+                 unsigned jobs = 0);
+
+} // namespace gmt::harness

@@ -1,0 +1,83 @@
+#include "harness/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace gmt::harness
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = 1;
+    workers.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    taskReady.notify_all();
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        tasks.push(std::move(task));
+        ++inFlight;
+    }
+    taskReady.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            taskReady.wait(lock,
+                           [this] { return stopping || !tasks.empty(); });
+            if (tasks.empty())
+                return; // stopping and drained
+            task = std::move(tasks.front());
+            tasks.pop();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            if (--inFlight == 0)
+                allDone.notify_all();
+        }
+    }
+}
+
+unsigned
+resolveJobs(unsigned jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    if (const char *env = std::getenv("GMT_JOBS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return unsigned(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace gmt::harness

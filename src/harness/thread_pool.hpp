@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A small fixed-size worker pool for running independent simulations.
+ *
+ * The DES itself is single-threaded by design; parallelism in GMT's
+ * evaluation comes from the *matrix* of runs (apps x systems x configs),
+ * which are fully independent. This pool provides exactly what that
+ * needs: submit closures, wait for all of them, no futures, no
+ * cancellation. Workers pull from one shared queue, so imbalanced job
+ * lengths (a Srad run costs ~5x a lavaMD run) self-balance the way
+ * work-stealing would for this one-deep task graph.
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gmt::harness
+{
+
+/** Fixed worker pool; tasks are void() closures, join via wait(). */
+class ThreadPool
+{
+  public:
+    /** Spin up @p threads workers (at least 1). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains outstanding work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p task; runs on some worker thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished running. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned threadCount() const { return unsigned(workers.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> workers;
+    std::queue<std::function<void()>> tasks;
+
+    std::mutex mtx;
+    std::condition_variable taskReady; ///< signals workers: work or stop
+    std::condition_variable allDone;   ///< signals wait(): queue drained
+    std::size_t inFlight = 0;          ///< queued + currently running
+    bool stopping = false;
+};
+
+/**
+ * Worker count to use when the caller asked for "auto" (jobs == 0):
+ * the GMT_JOBS environment variable if set and positive, otherwise the
+ * hardware concurrency (at least 1).
+ */
+unsigned resolveJobs(unsigned jobs);
+
+} // namespace gmt::harness

@@ -1,36 +1,111 @@
 #include "sim/event_queue.hpp"
 
-#include <utility>
+#include <algorithm>
 
 #include "util/logging.hpp"
 
 namespace gmt::sim
 {
 
-void
-EventQueue::scheduleAt(SimTime when, EventFn fn)
+EventQueue::~EventQueue()
 {
-    GMT_ASSERT(when >= currentTime);
-    events.push(Entry{when, nextSeq++, std::move(fn)});
+    // Destroy callbacks of still-pending events; pooled (free-listed)
+    // nodes were already destroyed when they fired or were reset away.
+    for (const NodeId id : heap) {
+        Node &n = node(id);
+        if (n.destroy)
+            n.destroy(n);
+    }
+}
+
+EventQueue::NodeId
+EventQueue::allocNode()
+{
+    if (!freeList.empty()) {
+        const NodeId id = freeList.back();
+        freeList.pop_back();
+        return id;
+    }
+    const std::size_t next = chunks.size() * kChunkNodes;
+    chunks.push_back(std::make_unique<Node[]>(kChunkNodes));
+    // Hand out the first node of the fresh chunk; pool the rest.
+    freeList.reserve(freeList.size() + kChunkNodes - 1);
+    for (std::size_t i = kChunkNodes - 1; i > 0; --i)
+        freeList.push_back(NodeId(next + i));
+    return NodeId(next);
 }
 
 void
-EventQueue::scheduleAfter(SimTime delay, EventFn fn)
+EventQueue::freeNode(NodeId id)
 {
-    scheduleAt(currentTime + delay, std::move(fn));
+    Node &n = node(id);
+    if (n.destroy) {
+        n.destroy(n);
+        n.destroy = nullptr;
+        n.invoke = nullptr;
+    }
+    freeList.push_back(id);
+}
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    const NodeId id = heap[pos];
+    const Node &n = node(id);
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / 4;
+        if (!earlier(n, node(heap[parent])))
+            break;
+        heap[pos] = heap[parent];
+        pos = parent;
+    }
+    heap[pos] = id;
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    const std::size_t size = heap.size();
+    const NodeId id = heap[pos];
+    const Node &n = node(id);
+    for (;;) {
+        const std::size_t first = pos * 4 + 1;
+        if (first >= size)
+            break;
+        // Pick the earliest of up to four children.
+        std::size_t best = first;
+        const std::size_t last = std::min(first + 4, size);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (earlier(node(heap[c]), node(heap[best])))
+                best = c;
+        }
+        if (!earlier(node(heap[best]), n))
+            break;
+        heap[pos] = heap[best];
+        pos = best;
+    }
+    heap[pos] = id;
 }
 
 bool
 EventQueue::step()
 {
-    if (events.empty())
+    if (heap.empty())
         return false;
-    // priority_queue::top returns const&; move the callback out via a copy
-    // of the entry since we pop immediately after.
-    Entry e = events.top();
-    events.pop();
-    currentTime = e.when;
-    e.fn();
+    const NodeId id = heap[0];
+    const NodeId tail = heap.back();
+    heap.pop_back();
+    if (!heap.empty()) {
+        heap[0] = tail;
+        siftDown(0);
+    }
+    Node &n = node(id);
+    currentTime = n.when;
+    // Invoke before recycling: the callback may schedule further events,
+    // and the node must not be handed out again while its capture is
+    // still alive.
+    n.invoke(n);
+    freeNode(id);
     return true;
 }
 
@@ -47,7 +122,7 @@ std::uint64_t
 EventQueue::runUntil(SimTime deadline)
 {
     std::uint64_t dispatched = 0;
-    while (!events.empty() && events.top().when <= deadline) {
+    while (!heap.empty() && node(heap[0]).when <= deadline) {
         step();
         ++dispatched;
     }
@@ -57,10 +132,20 @@ EventQueue::runUntil(SimTime deadline)
 void
 EventQueue::reset()
 {
-    while (!events.empty())
-        events.pop();
+    for (const NodeId id : heap)
+        freeNode(id);
+    heap.clear();
     currentTime = 0;
     nextSeq = 0;
+}
+
+void
+EventQueue::schedulePastFatal(SimTime when) const
+{
+    fatal("EventQueue::scheduleAt: event time %llu is before now() = %llu "
+          "(scheduling into the past would reorder causality)",
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(currentTime));
 }
 
 } // namespace gmt::sim

@@ -8,13 +8,23 @@
  * host regression thread, the HMM fault handler) schedule callbacks; the
  * queue dispatches them in (time, sequence) order, giving deterministic
  * FIFO tie-breaking.
+ *
+ * The hot path is allocation-free: events live in a slab of pooled nodes
+ * recycled through a free list, each node carrying a small-buffer callback
+ * (no per-event heap allocation for captures up to kInlineCallbackBytes;
+ * larger callables fall back to one heap allocation). Ordering is kept by
+ * an indexed 4-ary heap of node ids — shallower than a binary heap and
+ * with better cache behaviour for the sift-down that dominates dispatch.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/types.hpp"
@@ -22,27 +32,55 @@
 namespace gmt::sim
 {
 
-/** Callback invoked when an event fires. */
+/** Callback invoked when an event fires (kept for API compatibility;
+ *  scheduleAt/scheduleAfter accept any callable directly and store it
+ *  without going through std::function). */
 using EventFn = std::function<void()>;
+
+/** Captures up to this many bytes are stored inline in the event node. */
+inline constexpr std::size_t kInlineCallbackBytes = 48;
 
 /** Time-ordered event queue plus the simulated clock. */
 class EventQueue
 {
   public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     /** Current simulated time in nanoseconds. */
     SimTime now() const { return currentTime; }
 
-    /** Schedule @p fn at absolute time @p when. @pre when >= now(). */
-    void scheduleAt(SimTime when, EventFn fn);
+    /**
+     * Schedule @p fn at absolute time @p when.
+     * @pre when >= now(); violating it would silently reorder causality,
+     *      so a stale timestamp is a fatal error.
+     */
+    template <typename F>
+    void
+    scheduleAt(SimTime when, F &&fn)
+    {
+        if (when < currentTime) [[unlikely]]
+            schedulePastFatal(when);
+        push(when, std::forward<F>(fn));
+    }
 
-    /** Schedule @p fn @p delay ns in the future. */
-    void scheduleAfter(SimTime delay, EventFn fn);
+    /** Schedule @p fn @p delay ns in the future. Fast path: the target
+     *  time can never precede now(), so no causality check is needed. */
+    template <typename F>
+    void
+    scheduleAfter(SimTime delay, F &&fn)
+    {
+        push(currentTime + delay, std::forward<F>(fn));
+    }
 
     /** True when no events remain. */
-    bool empty() const { return events.empty(); }
+    bool empty() const { return heap.empty(); }
 
     /** Number of pending events. */
-    std::size_t pending() const { return events.size(); }
+    std::size_t pending() const { return heap.size(); }
 
     /**
      * Dispatch the single earliest event, advancing the clock to it.
@@ -56,29 +94,113 @@ class EventQueue
     /** Dispatch until the clock would pass @p deadline or queue drains. */
     std::uint64_t runUntil(SimTime deadline);
 
-    /** Drop all pending events and reset the clock to zero. */
+    /** Drop all pending events and reset the clock to zero. The node
+     *  slab is retained, so a reset queue reschedules allocation-free. */
     void reset();
 
-  private:
-    struct Entry
-    {
-        SimTime when;
-        std::uint64_t seq;
-        EventFn fn;
-    };
+    /** Nodes the slab currently holds (pooled capacity, not pending
+     *  events); exposed so tests can assert pool reuse. */
+    std::size_t poolSize() const { return chunks.size() * kChunkNodes; }
 
-    struct Later
+  private:
+    using NodeId = std::uint32_t;
+
+    /**
+     * One pooled event. The callback is type-erased into an inline
+     * buffer when the callable fits (and is nothrow-movable); otherwise
+     * a single heap allocation holds it. Nodes never move — the heap
+     * orders NodeIds, and chunks give stable addresses — so the erased
+     * callable needs only invoke and destroy operations.
+     */
+    struct Node
     {
-        bool
-        operator()(const Entry &a, const Entry &b) const
+        SimTime when = 0;
+        std::uint64_t seq = 0;
+
+        void (*invoke)(Node &) = nullptr;
+        void (*destroy)(Node &) = nullptr;
+
+        alignas(std::max_align_t) unsigned char buf[kInlineCallbackBytes];
+        void *heapFn = nullptr; ///< large-capture fallback storage
+
+        template <typename F>
+        void
+        emplace(F &&fn)
         {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
+            using Fn = std::decay_t<F>;
+            if constexpr (sizeof(Fn) <= kInlineCallbackBytes
+                          && alignof(Fn) <= alignof(std::max_align_t)
+                          && std::is_nothrow_move_constructible_v<Fn>) {
+                ::new (static_cast<void *>(buf)) Fn(std::forward<F>(fn));
+                invoke = [](Node &n) {
+                    (*std::launder(reinterpret_cast<Fn *>(n.buf)))();
+                };
+                destroy = [](Node &n) {
+                    std::launder(reinterpret_cast<Fn *>(n.buf))->~Fn();
+                };
+            } else {
+                heapFn = new Fn(std::forward<F>(fn));
+                invoke = [](Node &n) {
+                    (*static_cast<Fn *>(n.heapFn))();
+                };
+                destroy = [](Node &n) {
+                    delete static_cast<Fn *>(n.heapFn);
+                    n.heapFn = nullptr;
+                };
+            }
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events;
+    /** Nodes per slab chunk; chunked so node addresses stay stable while
+     *  the pool grows (callbacks are constructed in place). */
+    static constexpr std::size_t kChunkNodes = 256;
+
+    Node &node(NodeId id)
+    {
+        return chunks[id / kChunkNodes][id % kChunkNodes];
+    }
+    const Node &node(NodeId id) const
+    {
+        return chunks[id / kChunkNodes][id % kChunkNodes];
+    }
+
+    /** (when, seq) lexicographic order: the heap property uses <. */
+    bool
+    earlier(const Node &a, const Node &b) const
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
+
+    NodeId allocNode();
+    void freeNode(NodeId id);
+
+    template <typename F>
+    void
+    push(SimTime when, F &&fn)
+    {
+        const NodeId id = allocNode();
+        Node &n = node(id);
+        n.when = when;
+        n.seq = nextSeq++;
+        n.emplace(std::forward<F>(fn));
+        heap.push_back(id);
+        siftUp(heap.size() - 1);
+    }
+
+    void siftUp(std::size_t pos);
+    void siftDown(std::size_t pos);
+
+    [[noreturn]] void schedulePastFatal(SimTime when) const;
+
+    /** 4-ary min-heap of node ids, ordered by (when, seq). */
+    std::vector<NodeId> heap;
+    /** Stable-address slab the nodes live in. */
+    std::vector<std::unique_ptr<Node[]>> chunks;
+    /** Recycled node ids, used LIFO for cache warmth. */
+    std::vector<NodeId> freeList;
+
     SimTime currentTime = 0;
     std::uint64_t nextSeq = 0;
 };

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the parallel experiment matrix: the thread pool primitive,
+ * spec-order results, and bit-for-bit determinism across worker counts
+ * and repeated invocations — the property that makes parallelizing the
+ * paper's figure sweeps safe.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "harness/run_matrix.hpp"
+#include "harness/thread_pool.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+
+namespace
+{
+
+RuntimeConfig
+smallConfig()
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.setOversubscription(2.0);
+    cfg.sampleTarget = 20000;
+    return cfg;
+}
+
+/** A small apps x systems matrix exercising every runtime flavour. */
+std::vector<RunSpec>
+sampleMatrix()
+{
+    const RuntimeConfig cfg = smallConfig();
+    std::vector<RunSpec> specs;
+    for (const char *app : {"Srad", "Hotspot", "PageRank"}) {
+        for (System sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse,
+                           System::Hmm})
+            specs.push_back({sys, app, cfg, 8});
+    }
+    return specs;
+}
+
+} // namespace
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 1);
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately)
+{
+    ThreadPool pool(3);
+    pool.wait();
+    EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(ThreadPool, ActuallyUsesMultipleThreads)
+{
+    ThreadPool pool(4);
+    std::mutex mtx;
+    std::set<std::thread::id> ids;
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            std::lock_guard<std::mutex> lock(mtx);
+            ids.insert(std::this_thread::get_id());
+        });
+    }
+    pool.wait();
+    EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ResolveJobs, ExplicitValueWins)
+{
+    EXPECT_EQ(resolveJobs(7), 7u);
+}
+
+TEST(ResolveJobs, AutoIsPositive)
+{
+    EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(ResolveJobs, EnvOverridesAuto)
+{
+    ASSERT_EQ(setenv("GMT_JOBS", "3", 1), 0);
+    EXPECT_EQ(resolveJobs(0), 3u);
+    ASSERT_EQ(unsetenv("GMT_JOBS"), 0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(257);
+    parallelFor(hits.size(),
+                [&](std::size_t i) { hits[i].fetch_add(1); }, 4);
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, SerialRunsInOrderOnCallingThread)
+{
+    std::vector<std::size_t> order;
+    const auto caller = std::this_thread::get_id();
+    parallelFor(
+        10,
+        [&](std::size_t i) {
+            EXPECT_EQ(std::this_thread::get_id(), caller);
+            order.push_back(i);
+        },
+        1);
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5, 6, 7,
+                                               8, 9}));
+}
+
+TEST(RunMatrix, ResultsComeBackInSpecOrder)
+{
+    const auto specs = sampleMatrix();
+    const auto results = runMatrix(specs, 4);
+    ASSERT_EQ(results.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        EXPECT_EQ(results[i].system, systemName(specs[i].system));
+        EXPECT_EQ(results[i].workload, specs[i].workload);
+        EXPECT_GT(results[i].makespanNs, 0u);
+        EXPECT_GT(results[i].accesses, 0u);
+    }
+}
+
+TEST(RunMatrix, IdenticalAcrossJobCounts)
+{
+    // Same seed + same matrix => identical metrics at --jobs 1 and
+    // --jobs 4: the determinism contract the figure benches rely on.
+    const auto specs = sampleMatrix();
+    const auto serial = runMatrix(specs, 1);
+    const auto parallel4 = runMatrix(specs, 4);
+    ASSERT_EQ(serial.size(), parallel4.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel4[i]) << "spec " << i;
+}
+
+TEST(RunMatrix, IdenticalAcrossRepeatedInvocations)
+{
+    const auto specs = sampleMatrix();
+    const auto first = runMatrix(specs, 4);
+    const auto second = runMatrix(specs, 4);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_EQ(first[i], second[i]) << "spec " << i;
+}
+
+TEST(RunMatrix, MoreJobsThanSpecsIsFine)
+{
+    std::vector<RunSpec> specs = {
+        {System::Bam, "Srad", smallConfig(), 8}};
+    const auto results = runMatrix(specs, 16);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_GT(results[0].makespanNs, 0u);
+}
+
+TEST(RunMatrix, EmptyMatrixYieldsEmptyResults)
+{
+    EXPECT_TRUE(runMatrix({}, 4).empty());
+}
+
+TEST(RunMatrix, HeterogeneousConfigsStayIsolated)
+{
+    // Two configs whose only difference is the prefetch knob: results
+    // must depend only on each spec's own config, not on neighbours
+    // running concurrently.
+    RuntimeConfig base = smallConfig();
+    RuntimeConfig pf = base;
+    pf.prefetchDegree = 4;
+
+    std::vector<RunSpec> specs;
+    for (int rep = 0; rep < 4; ++rep) {
+        specs.push_back({System::GmtReuse, "Pathfinder", base, 8});
+        specs.push_back({System::GmtReuse, "Pathfinder", pf, 8});
+    }
+    const auto results = runMatrix(specs, 4);
+    for (std::size_t i = 2; i < results.size(); ++i)
+        EXPECT_EQ(results[i], results[i % 2])
+            << "replicated spec " << i << " diverged";
+}

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/channel.hpp"
@@ -83,12 +86,156 @@ TEST(EventQueue, ResetDropsEverything)
     EXPECT_EQ(q.now(), 0u);
 }
 
-TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+TEST(EventQueueDeathTest, SchedulingInThePastIsFatal)
 {
     EventQueue q;
     q.scheduleAt(100, [] {});
     q.step();
-    EXPECT_DEATH(q.scheduleAt(50, [] {}), "assertion failed");
+    EXPECT_DEATH(q.scheduleAt(50, [] {}), "before now");
+}
+
+TEST(EventQueue, SchedulingAtNowIsAllowed)
+{
+    EventQueue q;
+    q.scheduleAt(100, [] {});
+    q.step();
+    int fired = 0;
+    q.scheduleAt(100, [&] { ++fired; }); // exactly now(): legal
+    q.runToCompletion();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, FifoTieBreakSurvivesInterleavedScheduling)
+{
+    // Equal timestamps must dispatch in scheduling order even when the
+    // schedules are interleaved with dispatches that recycle pool nodes.
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(5, [&] { order.push_back(-1); });
+    q.step(); // node 0 recycled; reused below must not break seq order
+    for (int i = 0; i < 8; ++i)
+        q.scheduleAt(50, [&order, i] { order.push_back(i); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventQueue, MatchesReferenceOrderingUnderChurn)
+{
+    // Pseudo-random schedule/dispatch churn: the pooled 4-ary heap must
+    // produce exactly the (time, seq) order of a reference model.
+    EventQueue q;
+    std::vector<std::pair<SimTime, int>> fired;
+    std::uint64_t x = 12345;
+    auto next = [&x] {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return x >> 33;
+    };
+    int tag = 0;
+    for (int round = 0; round < 50; ++round) {
+        const int burst = int(next() % 8) + 1;
+        for (int i = 0; i < burst; ++i) {
+            const SimTime when = q.now() + next() % 97;
+            q.scheduleAt(when, [&fired, when, t = tag++] {
+                fired.push_back({when, t});
+            });
+        }
+        const int steps = int(next() % 4);
+        for (int i = 0; i < steps; ++i)
+            q.step();
+    }
+    q.runToCompletion();
+    ASSERT_EQ(fired.size(), std::size_t(tag));
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        // Non-decreasing time; FIFO within a timestamp.
+        EXPECT_LE(fired[i - 1].first, fired[i].first);
+        if (fired[i - 1].first == fired[i].first) {
+            EXPECT_LT(fired[i - 1].second, fired[i].second);
+        }
+    }
+}
+
+TEST(EventQueue, PoolIsReusedAfterReset)
+{
+    EventQueue q;
+    for (int i = 0; i < 100; ++i)
+        q.scheduleAt(SimTime(i), [] {});
+    const std::size_t grown = q.poolSize();
+    EXPECT_GE(grown, 100u);
+
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    // Rescheduling the same population must not grow the slab.
+    for (int i = 0; i < 100; ++i)
+        q.scheduleAt(SimTime(i), [] {});
+    EXPECT_EQ(q.poolSize(), grown);
+    q.runToCompletion();
+    EXPECT_EQ(q.poolSize(), grown);
+}
+
+TEST(EventQueue, PoolIsReusedAcrossDispatch)
+{
+    // Steady-state churn keeps a small standing population; the slab
+    // must stop growing after the first chunk.
+    EventQueue q;
+    int sink = 0;
+    for (int i = 0; i < 16; ++i)
+        q.scheduleAt(SimTime(i), [&] { ++sink; });
+    const std::size_t initial = q.poolSize();
+    for (int i = 0; i < 10000; ++i) {
+        q.scheduleAfter(1 + (i % 13), [&] { ++sink; });
+        q.step();
+    }
+    EXPECT_EQ(q.poolSize(), initial);
+    q.runToCompletion();
+    EXPECT_EQ(sink, 16 + 10000);
+}
+
+TEST(EventQueue, LargeCapturesFallBackToHeapAndRun)
+{
+    // A capture bigger than the inline buffer takes the heap fallback;
+    // semantics (value intact, destruction) must be unchanged.
+    EventQueue q;
+    std::array<std::uint64_t, 16> big{}; // 128 B > kInlineCallbackBytes
+    static_assert(sizeof(big) > kInlineCallbackBytes);
+    for (std::size_t i = 0; i < big.size(); ++i)
+        big[i] = i + 1;
+    std::uint64_t sum = 0;
+    q.scheduleAt(10, [big, &sum] {
+        for (const auto v : big)
+            sum += v;
+    });
+    q.runToCompletion();
+    EXPECT_EQ(sum, 136u); // 1 + 2 + ... + 16
+
+    // Shared-ptr capture proves the callable is destroyed after firing
+    // (and on reset for pending events).
+    auto token = std::make_shared<int>(7);
+    std::weak_ptr<int> alive = token;
+    q.scheduleAt(20, [token, big] { (void)big; });
+    token.reset();
+    EXPECT_FALSE(alive.expired()); // held by the pending event
+    q.runToCompletion();
+    EXPECT_TRUE(alive.expired()); // released once dispatched
+
+    auto token2 = std::make_shared<int>(8);
+    std::weak_ptr<int> alive2 = token2;
+    q.scheduleAfter(5, [token2, big] { (void)big; });
+    token2.reset();
+    q.reset();
+    EXPECT_TRUE(alive2.expired()); // released by reset
+}
+
+TEST(EventQueue, StdFunctionCallablesStillWork)
+{
+    // The legacy EventFn alias (std::function) remains schedulable.
+    EventQueue q;
+    int calls = 0;
+    EventFn fn = [&calls] { ++calls; };
+    q.scheduleAt(1, fn);
+    q.scheduleAfter(2, std::move(fn));
+    q.runToCompletion();
+    EXPECT_EQ(calls, 2);
 }
 
 TEST(BandwidthChannel, SingleTransferTiming)
