@@ -32,6 +32,14 @@ struct BenchOptions
     bool csv = false;   ///< machine-readable output
     unsigned jobs = 0;  ///< simulation worker threads; 0 = auto
                         ///< (GMT_JOBS env, else hardware concurrency)
+
+    /** Chrome trace_event JSON output (".jsonl" for line records);
+     *  empty = tracing off (zero overhead). */
+    std::string traceFile;
+
+    /** Per-cell metrics JSON (latency percentiles, queue depths);
+     *  empty = metrics off. */
+    std::string metricsFile;
 };
 
 inline BenchOptions
@@ -51,19 +59,44 @@ parseOptions(int argc, char **argv)
                 fatal("--jobs wants a positive integer, got '%s'",
                       argv[i]);
             opt.jobs = unsigned(v);
+        } else if (std::strcmp(argv[i], "--trace") == 0) {
+            if (i + 1 >= argc)
+                fatal("--trace needs a file path");
+            opt.traceFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            if (i + 1 >= argc)
+                fatal("--metrics needs a file path");
+            opt.metricsFile = argv[++i];
         } else
-            fatal("unknown bench option '%s' (expected "
-                  "--quick/--csv/--jobs N)",
+            fatal("unknown bench option '%s' (expected --quick/--csv/"
+                  "--jobs N/--trace FILE/--metrics FILE)",
                   argv[i]);
     }
     return opt;
+}
+
+/**
+ * The bench's process-wide tracer: cells from every runAll() call in
+ * this binary accumulate into one trace/metrics artifact pair.
+ */
+inline harness::MatrixTracer &
+matrixTracer(const BenchOptions &opt)
+{
+    static harness::MatrixTracer tracer(opt.traceFile, opt.metricsFile);
+    return tracer;
 }
 
 /** Run a spec matrix with the bench's worker-count setting. */
 inline std::vector<harness::ExperimentResult>
 runAll(const std::vector<harness::RunSpec> &specs, const BenchOptions &opt)
 {
-    return harness::runMatrix(specs, opt.jobs);
+    harness::MatrixTracer &tracer = matrixTracer(opt);
+    auto results = harness::runMatrix(specs, opt.jobs, &tracer);
+    // Rewritten after every matrix so a bench with several sub-sweeps
+    // always leaves complete artifacts behind, even if interrupted.
+    if (tracer.enabled())
+        tracer.writeOutputs();
+    return results;
 }
 
 /** Deterministic parallel loop with the bench's worker-count setting. */

@@ -21,6 +21,23 @@ HmmRuntime::HmmRuntime(const RuntimeConfig &config,
     GMT_ASSERT(config.tier2Pages > 0); // HMM always has a page cache
 }
 
+void
+HmmRuntime::attachTrace(trace::TraceSession *session)
+{
+    TieredRuntime::attachTrace(session);
+    tier1.attachTrace(session);
+    hostCache.attachTrace(session);
+    pcieLink.attachTrace(session);
+    faultPipeline.attachTrace(session);
+    nvme.attachTrace(session);
+    if (trace::MetricsRegistry *reg = session->metrics())
+        missLat = &reg->latency("tier1.miss_service_ns");
+    if (trace::TraceSink *s = session->sink()) {
+        sink = s;
+        tier1Trk = s->track("tier1");
+    }
+}
+
 AccessResult
 HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 {
@@ -58,6 +75,7 @@ HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     if (cached) {
         stats.get("tier2_hits").inc();
         hostCache.take(page);
+        hostCache.traceOccupancy(handled);
         stats.get("tier2_fetches").inc();
     } else {
         stats.get("wasteful_lookups").inc();
@@ -78,7 +96,14 @@ HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 
     tier1.beginFetch(page, done);
     tier1.finishFetch(page, is_write);
+    tier1.traceOccupancy(done);
     setPageReadyAt(page, done);
+    if (missLat)
+        missLat->record(done - now);
+    if (sink) {
+        sink->span(tier1Trk, cached ? "miss_tier2" : "miss_ssd", now,
+                   done);
+    }
 
     AccessResult r;
     r.readyAt = done;
@@ -92,6 +117,7 @@ HmmRuntime::evictToHost(SimTime now)
     const FrameId victim = tier1.selectVictim();
     GMT_ASSERT(victim != kInvalidFrame);
     const PageId vpage = tier1.evict(victim);
+    tier1.traceOccupancy(now);
     mem::PageMeta &vm = pt.meta(vpage);
     ++vm.evictCount;
     stats.get("tier1_evictions").inc();
@@ -115,6 +141,7 @@ HmmRuntime::evictToHost(SimTime now)
         stats.get("tier2_displacements").inc();
     }
     hostCache.insert(vpage);
+    hostCache.traceOccupancy(t);
     stats.get("evict_to_tier2").inc();
     return dma.transferPages(t, 1);
 }
@@ -144,6 +171,8 @@ HmmRuntime::reset()
     dma.reset();
     faultPipeline.reset();
     nvme.reset();
+    sink = nullptr;
+    missLat = nullptr;
 }
 
 std::unique_ptr<TieredRuntime>

@@ -73,6 +73,7 @@ class HmmRuntime : public TieredRuntime
                         bool is_write) override;
     SimTime flush(SimTime now) override;
     const char *name() const override { return "HMM"; }
+    void attachTrace(trace::TraceSession *session) override;
     void reset() override;
 
     const HmmParams &hmmParams() const { return hp; }
@@ -89,6 +90,10 @@ class HmmRuntime : public TieredRuntime
     pcie::DmaEngine dma;
     sim::ServerPool faultPipeline;
     nvme::NvmeDevice nvme;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId tier1Trk = 0;
+    trace::LatencyHistogram *missLat = nullptr; ///< whole fault path
 };
 
 /** Build an HMM runtime (host page cache sized by cfg.tier2Pages). */

@@ -96,11 +96,21 @@ Tier1Cache::giveSecondChance(FrameId frame)
 }
 
 void
+Tier1Cache::attachTrace(trace::TraceSession *session)
+{
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        occupancy = &reg->queueDepth("tier1.occupancy",
+                                     trace::QueueKind::Occupancy);
+    }
+}
+
+void
 Tier1Cache::reset()
 {
     pool.clear();
     clock->reset();
     inflight.clear();
+    occupancy = nullptr;
 }
 
 } // namespace gmt::cache

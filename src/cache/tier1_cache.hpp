@@ -23,6 +23,7 @@
 #include "mem/frame_pool.hpp"
 #include "mem/page_table.hpp"
 #include "replacement/policy.hpp"
+#include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace gmt::cache
@@ -101,6 +102,21 @@ class Tier1Cache
 
     const mem::FramePool &frames() const { return pool; }
 
+    /**
+     * Instrument residency: "tier1.occupancy" (Occupancy kind — never
+     * required to drain). The cache's mutators carry no simulated time,
+     * so the owning runtime calls traceOccupancy() at its call sites.
+     */
+    void attachTrace(trace::TraceSession *session);
+
+    /** Sample current residency at @p now (no-op when not attached). */
+    void
+    traceOccupancy(SimTime now)
+    {
+        if (occupancy)
+            occupancy->sample(now, std::int64_t(pool.used()));
+    }
+
     void reset();
 
   private:
@@ -108,6 +124,7 @@ class Tier1Cache
     mem::FramePool pool;
     std::unique_ptr<replacement::Policy> clock;
     std::unordered_map<PageId, SimTime> inflight;
+    trace::QueueDepthTracker *occupancy = nullptr;
 };
 
 } // namespace gmt::cache

@@ -34,6 +34,29 @@ GmtRuntime::name() const
     return policyName(cfg.policy);
 }
 
+void
+GmtRuntime::attachTrace(trace::TraceSession *session)
+{
+    TieredRuntime::attachTrace(session);
+    tier1.attachTrace(session);
+    if (!bamMode())
+        tier2.attachTrace(session);
+    pcieUp.attachTrace(session);
+    pcieDown.attachTrace(session);
+    xferUp.attachTrace(session, "pcie.up");
+    xferDown.attachTrace(session, "pcie.down");
+    nvme.attachTrace(session);
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        missLat = &reg->latency("tier1.miss_service_ns");
+        if (!bamMode())
+            tier2FetchLat = &reg->latency("tier2.fetch_ns");
+    }
+    if (trace::TraceSink *s = session->sink()) {
+        sink = s;
+        tier1Trk = s->track("tier1");
+    }
+}
+
 AccessResult
 GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 {
@@ -84,6 +107,7 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
             // (the freed slot is what §2.2 calls an empty slot showing
             // up "upon a demand miss in Tier-1").
             tier2.take(page);
+            tier2.traceOccupancy(t);
         } else {
             stats.get("wasteful_lookups").inc();
         }
@@ -104,6 +128,8 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     if (from_tier2) {
         fetch_done = xferUp.transfer(issue, 1, kWarpLanes);
         stats.get("tier2_fetches").inc();
+        if (tier2FetchLat)
+            tier2FetchLat->record(fetch_done - issue);
     } else {
         // NVMe completion, then the payload crosses the upstream x16
         // hop into GPU memory.
@@ -114,6 +140,7 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 
     tier1.beginFetch(page, fetch_done);
     tier1.finishFetch(page, is_write);
+    tier1.traceOccupancy(fetch_done);
     m.retainedThisResidency = false;
     m.lastAccessStamp = stamp;
     ++m.accessCount;
@@ -129,6 +156,12 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         ? fetch_done
         : std::max(fetch_done, evict_done);
     setPageReadyAt(page, ready);
+    if (missLat)
+        missLat->record(ready - now);
+    if (sink) {
+        sink->span(tier1Trk, from_tier2 ? "miss_tier2" : "miss_ssd", now,
+                   ready);
+    }
 
     AccessResult r;
     r.readyAt = ready;
@@ -253,6 +286,7 @@ GmtRuntime::evictOne(SimTime now, WarpId warp)
         // Execute the eviction.
         mem::PageMeta &vm = pt.meta(vpage);
         tier1.evict(victim);
+        tier1.traceOccupancy(now);
         vm.lastEvictStamp = vtd.now();
         vm.everEvicted = true;
         ++vm.evictCount;
@@ -292,6 +326,7 @@ GmtRuntime::placeInTier2(SimTime now, PageId page)
         stats.get("tier2_displacements").inc();
     }
     tier2.insert(page);
+    tier2.traceOccupancy(t);
     stats.get("evict_to_tier2").inc();
     // Down-path transfer GPU -> host memory.
     return xferDown.transfer(t, 1, kWarpLanes);
@@ -341,6 +376,7 @@ GmtRuntime::prefetchAfter(SimTime now, WarpId warp, PageId page)
         const SimTime done = pcieUp.transferAt(io_done, kPageBytes);
         tier1.beginFetch(next, done);
         tier1.finishFetch(next, false);
+        tier1.traceOccupancy(done);
         pt.meta(next).retainedThisResidency = false;
         setPageReadyAt(next, done);
         stats.get("ssd_reads").inc();
@@ -399,6 +435,9 @@ GmtRuntime::reset()
     sampler.reset();
     overflow.reset();
     rng.reseed(cfg.seed);
+    sink = nullptr;
+    missLat = nullptr;
+    tier2FetchLat = nullptr;
 }
 
 } // namespace gmt

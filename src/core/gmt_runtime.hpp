@@ -55,6 +55,7 @@ class GmtRuntime : public TieredRuntime
     void backgroundTick(SimTime now) override;
     SimTime flush(SimTime now) override;
     const char *name() const override;
+    void attachTrace(trace::TraceSession *session) override;
     void reset() override;
 
     /** Introspection for tests and benches. */
@@ -114,6 +115,11 @@ class GmtRuntime : public TieredRuntime
     reuse::OverflowHeuristic overflow;
     Rng rng;
     EvictionProbe evictionProbe;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId tier1Trk = 0;
+    trace::LatencyHistogram *missLat = nullptr;      ///< whole miss path
+    trace::LatencyHistogram *tier2FetchLat = nullptr;///< Tier-2 -> Tier-1
 
     /** Retries when GMT-Reuse keeps re-classifying candidates short. */
     static constexpr unsigned kMaxShortRetains = 8;

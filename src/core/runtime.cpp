@@ -21,11 +21,18 @@ TieredRuntime::flush(SimTime now)
 }
 
 void
+TieredRuntime::attachTrace(trace::TraceSession *session)
+{
+    traceSess = session;
+}
+
+void
 TieredRuntime::reset()
 {
     pt.clear();
     stats.resetAll();
     arrivals.clear();
+    traceSess = nullptr;
 }
 
 void

@@ -26,6 +26,7 @@
 #include "mem/backing_store.hpp"
 #include "mem/page_table.hpp"
 #include "stats/counters.hpp"
+#include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace gmt
@@ -86,6 +87,18 @@ class TieredRuntime
     stats::CounterSet &counters() { return stats; }
     const stats::CounterSet &counters() const { return stats; }
 
+    /**
+     * Attach structured observability for the next run. Must be called
+     * after reset() (component pointers resolve into the session) and at
+     * most once per run; a never-attached runtime pays only null checks.
+     * Overrides wire their components and call the base.
+     */
+    virtual void attachTrace(trace::TraceSession *session);
+
+    /** The session attached for the current run, or nullptr. The engine
+     *  uses this to instrument warp scheduling. */
+    trace::TraceSession *traceSession() const { return traceSess; }
+
     /** Reset all tiering + statistics state for a fresh run. */
     virtual void reset();
 
@@ -100,6 +113,7 @@ class TieredRuntime
     mem::PageTable pt;
     mem::BackingStore store;
     stats::CounterSet stats;
+    trace::TraceSession *traceSess = nullptr;
 
   private:
     /** Pages still in transit: page -> arrival time. Lazily pruned. */

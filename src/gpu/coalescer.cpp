@@ -30,6 +30,17 @@ Coalescer::coalesce(const Warp &warp)
 }
 
 std::vector<CoalescedRequest>
+Coalescer::coalesce(const Warp &warp, MergeStats &stats)
+{
+    auto out = coalesce(warp);
+    ++stats.instructions;
+    for (const LaneAccess &lane : warp)
+        stats.activeLanes += lane.active ? 1 : 0;
+    stats.requests += out.size();
+    return out;
+}
+
+std::vector<CoalescedRequest>
 Coalescer::coalesceStrided(std::uint64_t base_byte,
                            std::uint64_t stride_bytes,
                            unsigned active_lanes, bool write)
@@ -42,6 +53,30 @@ Coalescer::coalesceStrided(std::uint64_t base_byte,
         warp[lane].write = write;
     }
     return coalesce(warp);
+}
+
+std::vector<CoalescedRequest>
+Coalescer::coalesceStrided(std::uint64_t base_byte,
+                           std::uint64_t stride_bytes,
+                           unsigned active_lanes, bool write,
+                           MergeStats &stats)
+{
+    GMT_ASSERT(active_lanes <= kWarpLanes);
+    Warp warp{};
+    for (unsigned lane = 0; lane < active_lanes; ++lane) {
+        warp[lane].byteAddress = base_byte + lane * stride_bytes;
+        warp[lane].active = true;
+        warp[lane].write = write;
+    }
+    return coalesce(warp, stats);
+}
+
+void
+MergeStats::exportTo(trace::MetricsRegistry &registry) const
+{
+    registry.counter("gpu.coalescer_instructions") += instructions;
+    registry.counter("gpu.coalescer_active_lanes") += activeLanes;
+    registry.counter("gpu.coalescer_requests") += requests;
 }
 
 } // namespace gmt::gpu

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/metrics.hpp"
 #include "util/types.hpp"
 
 namespace gmt::gpu
@@ -32,6 +33,22 @@ struct CoalescedRequest
     PageId page = kInvalidPage;
     unsigned lanes = 0;  ///< active lanes that touched this page
     bool write = false;
+};
+
+/**
+ * Accumulated merge effectiveness over many warp instructions. The
+ * merge ratio (active lanes per produced request) is the number the
+ * paper's Hybrid-XT discussion cares about; keeping the three raw sums
+ * integral keeps exports bit-stable.
+ */
+struct MergeStats
+{
+    std::uint64_t instructions = 0; ///< warp instructions coalesced
+    std::uint64_t activeLanes = 0;  ///< unmasked lanes seen
+    std::uint64_t requests = 0;     ///< page requests produced
+
+    /** Publish as "gpu.coalescer_*" counters. */
+    void exportTo(trace::MetricsRegistry &registry) const;
 };
 
 /** Lock-step lane address merger. */
@@ -56,6 +73,10 @@ class Coalescer
      */
     static std::vector<CoalescedRequest> coalesce(const Warp &warp);
 
+    /** As above, accumulating merge-effectiveness sums into @p stats. */
+    static std::vector<CoalescedRequest> coalesce(const Warp &warp,
+                                                  MergeStats &stats);
+
     /**
      * Convenience for unit-strided accesses: lanes 0..count-1 touch
      * base + lane * stride bytes.
@@ -63,6 +84,11 @@ class Coalescer
     static std::vector<CoalescedRequest> coalesceStrided(
         std::uint64_t base_byte, std::uint64_t stride_bytes,
         unsigned active_lanes, bool write);
+
+    /** As above, accumulating merge-effectiveness sums into @p stats. */
+    static std::vector<CoalescedRequest> coalesceStrided(
+        std::uint64_t base_byte, std::uint64_t stride_bytes,
+        unsigned active_lanes, bool write, MergeStats &stats);
 };
 
 } // namespace gmt::gpu

@@ -34,6 +34,24 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
     for (WarpId w = 0; w < warps; ++w)
         ready.push(ReadyWarp{cfg.startTimeNs, w});
 
+    // Observability hooks resolve once per run off the runtime's
+    // attached session; an untraced run keeps them all null.
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId gpuTrk = 0;
+    trace::LatencyHistogram *stallLat = nullptr;
+    trace::QueueDepthTracker *readyDepth = nullptr;
+    if (trace::TraceSession *session = runtime.traceSession()) {
+        if (trace::MetricsRegistry *reg = session->metrics()) {
+            stallLat = &reg->latency("gpu.stall_ns");
+            readyDepth = &reg->queueDepth("gpu.ready_warps",
+                                          trace::QueueKind::Occupancy);
+        }
+        if (trace::TraceSink *s = session->sink()) {
+            sink = s;
+            gpuTrk = s->track("gpu");
+        }
+    }
+
     RunResult result;
     while (!ready.empty()) {
         const ReadyWarp rw = ready.top();
@@ -42,6 +60,8 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
         Access a;
         if (!stream.nextAccess(rw.warp, a)) {
             result.makespanNs = std::max(result.makespanNs, rw.at);
+            if (readyDepth)
+                readyDepth->sample(rw.at, std::int64_t(ready.size()));
             continue; // warp retired
         }
 
@@ -50,6 +70,15 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
         ++result.accesses;
         result.tier1Hits += ar.tier1Hit ? 1 : 0;
         result.tier2Hits += ar.tier2Hit ? 1 : 0;
+
+        if (stallLat) {
+            stallLat->record(ar.readyAt > rw.at ? ar.readyAt - rw.at
+                                                : 0);
+        }
+        if (sink && ar.readyAt > rw.at)
+            sink->span(gpuTrk, "stall", rw.at, ar.readyAt);
+        if (readyDepth)
+            readyDepth->sample(rw.at, std::int64_t(ready.size() + 1));
 
         const SimTime next_at =
             std::max(ar.readyAt, rw.at) + cfg.computeNsPerAccess;

@@ -44,13 +44,26 @@ makeSystem(System system, const RuntimeConfig &cfg)
 
 ExperimentResult
 runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
-       const gpu::EngineConfig &engine_cfg)
+       const gpu::EngineConfig &engine_cfg, trace::TraceSession *session)
 {
     runtime.reset();
     stream.reset();
+    if (session)
+        runtime.attachTrace(session);
     gpu::GpuEngine engine(engine_cfg);
     const gpu::RunResult rr = engine.run(runtime, stream);
     const SimTime flushed = runtime.flush(rr.makespanNs);
+    if (session) {
+        session->quiesce(flushed);
+        session->info.system = runtime.name();
+        session->info.workload = stream.name();
+        session->info.makespanNs = flushed;
+        session->info.counters.clear();
+        for (const auto &counter : runtime.counters().all()) {
+            session->info.counters.emplace_back(counter.name(),
+                                                counter.value());
+        }
+    }
 
     const auto &c = runtime.counters();
     ExperimentResult r;
@@ -77,7 +90,8 @@ runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
 
 ExperimentResult
 runSystem(System system, const RuntimeConfig &cfg,
-          const std::string &workload_name, unsigned warps)
+          const std::string &workload_name, unsigned warps,
+          trace::TraceSession *session)
 {
     workloads::WorkloadConfig wc;
     wc.pages = cfg.numPages;
@@ -85,7 +99,7 @@ runSystem(System system, const RuntimeConfig &cfg,
     wc.seed = cfg.seed + 13;
     auto stream = workloads::makeWorkload(workload_name, wc);
     auto runtime = makeSystem(system, cfg);
-    return runOne(*runtime, *stream);
+    return runOne(*runtime, *stream, {}, session);
 }
 
 double

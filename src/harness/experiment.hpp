@@ -85,9 +85,16 @@ const char *systemName(System system);
 std::unique_ptr<TieredRuntime> makeSystem(System system,
                                           const RuntimeConfig &cfg);
 
-/** Reset runtime + stream, run to completion, flush, harvest metrics. */
+/**
+ * Reset runtime + stream, run to completion, flush, harvest metrics.
+ * With a @p session the runtime is instrumented for the run (attach
+ * happens after the reset), the session is quiesced at the flush time,
+ * and its CellInfo is filled with identity + the counter snapshot.
+ * Tracing never changes the simulated outcome.
+ */
 ExperimentResult runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
-                        const gpu::EngineConfig &engine_cfg = {});
+                        const gpu::EngineConfig &engine_cfg = {},
+                        trace::TraceSession *session = nullptr);
 
 /**
  * Convenience: run @p workload_name under @p system with consistent
@@ -95,7 +102,8 @@ ExperimentResult runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
  */
 ExperimentResult runSystem(System system, const RuntimeConfig &cfg,
                            const std::string &workload_name,
-                           unsigned warps = 64);
+                           unsigned warps = 64,
+                           trace::TraceSession *session = nullptr);
 
 /** Geometric mean of speedups over a baseline vector (paper averages). */
 double meanSpeedup(const std::vector<double> &speedups);

@@ -1,0 +1,77 @@
+#include "harness/golden.hpp"
+
+#include "util/logging.hpp"
+#include "workloads/factory.hpp"
+
+namespace gmt::harness
+{
+
+namespace
+{
+
+/** One graph app + one regular app keeps both §3.5 resize paths and
+ *  the Tier-2-friendly reuse pattern covered at minimal cost. */
+const char *const kGoldenApps[] = {"Srad", "BFS"};
+
+const System kGoldenSystems[] = {System::Bam, System::GmtTierOrder,
+                                 System::GmtRandom, System::GmtReuse};
+
+} // namespace
+
+const std::vector<std::string> &
+goldenFigures()
+{
+    static const std::vector<std::string> figures = {
+        "fig8_speedup",
+        "fig11_oversubscription",
+    };
+    return figures;
+}
+
+RuntimeConfig
+goldenSmallConfig()
+{
+    RuntimeConfig cfg = RuntimeConfig::paperDefault();
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.setOversubscription(2.0);
+    cfg.sampleTarget = 2000;
+    return cfg;
+}
+
+std::vector<RunSpec>
+goldenSpecs(const std::string &figure)
+{
+    std::vector<RunSpec> specs;
+    for (const char *app : kGoldenApps) {
+        RuntimeConfig cfg = goldenSmallConfig();
+        if (figure == "fig8_speedup") {
+            // Defaults: OSF 2, both tiers as configured.
+        } else if (figure == "fig11_oversubscription") {
+            if (workloads::workloadInfo(app).graphApp) {
+                cfg.tier1Pages /= 2;
+                cfg.tier2Pages /= 2;
+            }
+            cfg.setOversubscription(4.0);
+        } else {
+            fatal("no golden configuration for figure '%s'",
+                  figure.c_str());
+        }
+        for (System sys : kGoldenSystems)
+            specs.push_back({sys, app, cfg, 64});
+    }
+    return specs;
+}
+
+std::vector<ExperimentResult>
+runGolden(const std::string &figure, const std::string &trace_file,
+          const std::string &metrics_file, unsigned jobs)
+{
+    MatrixTracer tracer(trace_file, metrics_file);
+    auto results = runMatrix(goldenSpecs(figure), jobs, &tracer);
+    if (tracer.enabled())
+        tracer.writeOutputs();
+    return results;
+}
+
+} // namespace gmt::harness

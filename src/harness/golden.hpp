@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Golden-metrics configurations: small, fast, fully deterministic
+ * shrunk versions of two paper figures whose metrics artifacts are
+ * checked into tests/golden/ and compared bit-for-bit in CI.
+ *
+ * Everything the metrics exporter emits is integral (see trace/metrics),
+ * so the reference files are stable across machines, compilers, and
+ * --jobs counts; any diff is a real behaviour change in the simulator.
+ * Regenerate intentionally with `trace_tool regen-goldens tests/golden`.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/run_matrix.hpp"
+
+namespace gmt::harness
+{
+
+/** Figures with golden coverage. */
+const std::vector<std::string> &goldenFigures();
+
+/** The shrunk §3.1 configuration every golden cell starts from. */
+RuntimeConfig goldenSmallConfig();
+
+/**
+ * The spec matrix for @p figure ("fig8_speedup" or
+ * "fig11_oversubscription"): two apps (one graph, one regular) under
+ * all four systems, with fig11 applying the paper's §3.5 resizing
+ * (graph apps halve both tiers, others double the dataset).
+ * Fatal on unknown figure names.
+ */
+std::vector<RunSpec> goldenSpecs(const std::string &figure);
+
+/**
+ * Run @p figure's golden matrix, writing the trace and/or metrics
+ * artifacts for the paths that are non-empty.
+ */
+std::vector<ExperimentResult> runGolden(const std::string &figure,
+                                        const std::string &trace_file,
+                                        const std::string &metrics_file,
+                                        unsigned jobs = 1);
+
+} // namespace gmt::harness

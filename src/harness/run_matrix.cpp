@@ -25,16 +25,44 @@ parallelFor(std::size_t count,
     pool.wait();
 }
 
+std::size_t
+MatrixTracer::addCells(std::size_t n)
+{
+    const std::size_t first = cells.size();
+    for (std::size_t i = 0; i < n; ++i)
+        cells.emplace_back(!tracePath.empty(), !metricsPath.empty());
+    return first;
+}
+
+void
+MatrixTracer::writeOutputs() const
+{
+    std::vector<const trace::TraceSession *> views;
+    views.reserve(cells.size());
+    for (const auto &cell : cells)
+        views.push_back(&cell);
+    if (!tracePath.empty())
+        trace::writeTraceFile(tracePath, views);
+    if (!metricsPath.empty())
+        trace::writeMetricsFile(metricsPath, views);
+}
+
 std::vector<ExperimentResult>
-runMatrix(const std::vector<RunSpec> &specs, unsigned jobs)
+runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
+          MatrixTracer *tracer)
 {
     std::vector<ExperimentResult> results(specs.size());
+    // Sessions are carved out up front (deque => stable addresses) so
+    // worker threads never touch shared tracer state.
+    const bool traced = tracer && tracer->enabled();
+    const std::size_t base = traced ? tracer->addCells(specs.size()) : 0;
     parallelFor(
         specs.size(),
         [&](std::size_t i) {
             const RunSpec &s = specs[i];
             results[i] =
-                runSystem(s.system, s.cfg, s.workload, s.warps);
+                runSystem(s.system, s.cfg, s.workload, s.warps,
+                          traced ? tracer->session(base + i) : nullptr);
         },
         jobs);
     return results;

@@ -18,10 +18,13 @@
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "trace/trace.hpp"
 
 namespace gmt::harness
 {
@@ -36,12 +39,53 @@ struct RunSpec
 };
 
 /**
+ * Owns one TraceSession per matrix cell and writes the merged trace /
+ * metrics artifacts. Sessions are allocated before the parallel loop
+ * and merged in spec order, so output bytes are independent of the job
+ * count. A tracer may span several runMatrix calls (a bench with many
+ * sub-matrices accumulates all cells into one pair of files).
+ */
+class MatrixTracer
+{
+  public:
+    /** Either path may be empty to disable that artifact. */
+    MatrixTracer(std::string trace_path, std::string metrics_path)
+        : tracePath(std::move(trace_path)),
+          metricsPath(std::move(metrics_path))
+    {}
+
+    bool enabled() const
+    {
+        return !tracePath.empty() || !metricsPath.empty();
+    }
+
+    /** Append sessions for @p n upcoming cells; returns the index of
+     *  the first new cell. */
+    std::size_t addCells(std::size_t n);
+
+    trace::TraceSession *session(std::size_t i) { return &cells[i]; }
+    std::size_t numCells() const { return cells.size(); }
+
+    /** Write the requested artifacts, cells in creation order. */
+    void writeOutputs() const;
+
+  private:
+    std::string tracePath;
+    std::string metricsPath;
+    std::deque<trace::TraceSession> cells;
+};
+
+/**
  * Execute every spec (each on its own runtime instance) and return
  * results indexed exactly like @p specs. Deterministic: the result
  * vector is identical for any @p jobs value, including 1 (serial).
+ * With an enabled @p tracer, each cell runs instrumented under its own
+ * session (the artifacts are written when the caller invokes
+ * tracer->writeOutputs()).
  */
 std::vector<ExperimentResult> runMatrix(const std::vector<RunSpec> &specs,
-                                        unsigned jobs = 0);
+                                        unsigned jobs = 0,
+                                        MatrixTracer *tracer = nullptr);
 
 /**
  * Deterministic parallel-for over [0, count): @p body(i) runs once per

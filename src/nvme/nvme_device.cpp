@@ -61,7 +61,18 @@ NvmeDevice::submitPage(QueuePair &qp, SimTime now, PageId page,
     // The submitter peeks its own CQ entry for the completion time; the
     // entry keeps its slot until a later poll drains it, so concurrent
     // submissions feel the ring's occupancy.
-    return qp.readyTimeOf(cid);
+    const SimTime done = qp.readyTimeOf(cid);
+    if (cmdLat)
+        cmdLat->record(done - now);
+    if (ringDepth)
+        ringDepth->sample(t, qp.inFlight());
+    window.issue(t, done);
+    if (sink) {
+        sink->span(trk, op == NvmeOpcode::Read ? "read" : "write", now,
+                   done);
+        sink->counter(trk, "ring_depth", t, qp.inFlight());
+    }
+    return done;
 }
 
 SimTime
@@ -116,6 +127,59 @@ NvmeDevice::totalWrites() const
     return sum;
 }
 
+std::uint64_t
+NvmeDevice::totalSubmissions() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &drive_queues : gpuQueues) {
+        for (const auto &qp : drive_queues)
+            sum += qp->submissions();
+    }
+    for (const auto &qp : hostQueues)
+        sum += qp->submissions();
+    return sum;
+}
+
+std::uint64_t
+NvmeDevice::totalCompletionsReaped() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &drive_queues : gpuQueues) {
+        for (const auto &qp : drive_queues)
+            sum += qp->completionsReaped();
+    }
+    for (const auto &qp : hostQueues)
+        sum += qp->completionsReaped();
+    return sum;
+}
+
+void
+NvmeDevice::attachTrace(trace::TraceSession *session)
+{
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        cmdLat = &reg->latency("nvme.cmd_latency_ns");
+        ringDepth = &reg->queueDepth("nvme.ring_depth",
+                                     trace::QueueKind::Occupancy);
+        window.attach(&reg->queueDepth("nvme.inflight",
+                                       trace::QueueKind::Inflight));
+        session->onQuiesce([this, reg](SimTime t) {
+            window.quiesce(t);
+            // Slots still occupied by peeked-not-reaped completions
+            // hold no outstanding work once the device is idle.
+            if (ringDepth)
+                ringDepth->sample(t, 0);
+            reg->counter("nvme.submissions") = totalSubmissions();
+            reg->counter("nvme.completions_reaped") =
+                totalCompletionsReaped();
+            reg->counter("nvme.ring_stalls") = stallCount;
+        });
+    }
+    if (trace::TraceSink *s = session->sink()) {
+        sink = s;
+        trk = s->track("nvme");
+    }
+}
+
 void
 NvmeDevice::reset()
 {
@@ -128,6 +192,11 @@ NvmeDevice::reset()
     for (auto &qp : hostQueues)
         qp->reset();
     gpuReadCount = gpuWriteCount = hostIoCount = stallCount = 0;
+    sink = nullptr;
+    cmdLat = nullptr;
+    ringDepth = nullptr;
+    window.attach(nullptr);
+    window.clear();
 }
 
 } // namespace gmt::nvme

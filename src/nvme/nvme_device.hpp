@@ -22,6 +22,7 @@
 
 #include "nvme/queue_pair.hpp"
 #include "nvme/ssd_model.hpp"
+#include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace gmt::nvme
@@ -78,6 +79,20 @@ class NvmeDevice
         return unsigned(gpuQueues[0].size());
     }
 
+    /** Total SQ doorbell rings / CQ entries reaped across all rings. */
+    std::uint64_t totalSubmissions() const;
+    std::uint64_t totalCompletionsReaped() const;
+
+    /**
+     * Instrument the device: submission -> completion latency of every
+     * command into "nvme.cmd_latency_ns", device-outstanding commands
+     * into "nvme.inflight", per-submission ring occupancy into
+     * "nvme.ring_depth", command spans on the "nvme" track, and live
+     * "nvme.submissions"/"nvme.completions_reaped" counters (exported
+     * at quiesce). Call after reset(), once per run.
+     */
+    void attachTrace(trace::TraceSession *session);
+
     void reset();
 
   private:
@@ -98,6 +113,12 @@ class NvmeDevice
     std::uint64_t gpuWriteCount = 0;
     std::uint64_t hostIoCount = 0;
     std::uint64_t stallCount = 0;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId trk = 0;
+    trace::LatencyHistogram *cmdLat = nullptr;
+    trace::QueueDepthTracker *ringDepth = nullptr;
+    trace::InflightWindow window;
 };
 
 } // namespace gmt::nvme

@@ -71,12 +71,40 @@ TransferManager::transfer(SimTime now, unsigned num_pages,
                           unsigned available_threads)
 {
     GMT_ASSERT(num_pages > 0);
+    SimTime done;
+    const char *mechanism;
     if (useZeroCopy(num_pages, available_threads)) {
         ++viaZeroCopy;
-        return zc.transferPages(now, num_pages, available_threads);
+        done = zc.transferPages(now, num_pages, available_threads);
+        mechanism = "zero_copy";
+    } else {
+        ++viaDma;
+        done = dma.transferPages(now, num_pages);
+        mechanism = "dma";
     }
-    ++viaDma;
-    return dma.transferPages(now, num_pages);
+    if (batchLat)
+        batchLat->record(done - now);
+    if (sink)
+        sink->span(trk, mechanism, now, done);
+    return done;
+}
+
+void
+TransferManager::attachTrace(trace::TraceSession *session,
+                             const char *prefix)
+{
+    const std::string p(prefix);
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        batchLat = &reg->latency(p + ".batch_ns");
+        session->onQuiesce([this, reg, p](SimTime) {
+            reg->counter(p + ".dma_batches") = viaDma;
+            reg->counter(p + ".zero_copy_batches") = viaZeroCopy;
+        });
+    }
+    if (trace::TraceSink *s = session->sink()) {
+        sink = s;
+        trk = s->track(p);
+    }
 }
 
 void
@@ -86,6 +114,8 @@ TransferManager::reset()
     zc.reset();
     viaDma = 0;
     viaZeroCopy = 0;
+    sink = nullptr;
+    batchLat = nullptr;
 }
 
 } // namespace gmt::pcie

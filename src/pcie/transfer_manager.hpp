@@ -21,6 +21,7 @@
 #include "pcie/dma_engine.hpp"
 #include "pcie/zero_copy_engine.hpp"
 #include "sim/channel.hpp"
+#include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace gmt::pcie
@@ -67,6 +68,15 @@ class TransferManager
         return dma.pagesMoved() + zc.pagesMoved();
     }
 
+    /**
+     * Instrument the manager: per-batch latency into
+     * "<prefix>.batch_ns", spans named after the mechanism chosen
+     * ("dma" / "zero_copy") on the "<prefix>" track, and batch counts
+     * ("<prefix>.dma_batches" / "<prefix>.zero_copy_batches") exported
+     * at quiesce. Call after reset(), once per run.
+     */
+    void attachTrace(trace::TraceSession *session, const char *prefix);
+
     void reset();
 
   private:
@@ -77,6 +87,10 @@ class TransferManager
     ZeroCopyEngine zc;
     std::uint64_t viaDma = 0;
     std::uint64_t viaZeroCopy = 0;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId trk = 0;
+    trace::LatencyHistogram *batchLat = nullptr;
 };
 
 } // namespace gmt::pcie

@@ -27,7 +27,28 @@ BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
     busyUntil = start + occupy;
     totalBusy += occupy;
     totalBytes += bytes;
-    return busyUntil + latencyNs;
+    const SimTime done = busyUntil + latencyNs;
+    if (lat)
+        lat->record(done - now);
+    window.issue(now, busyUntil);
+    if (sink)
+        sink->span(trk, "xfer", now, done);
+    return done;
+}
+
+void
+BandwidthChannel::attachTrace(trace::TraceSession *session)
+{
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        lat = &reg->latency(_name + ".xfer_ns");
+        window.attach(&reg->queueDepth(_name + ".inflight",
+                                       trace::QueueKind::Inflight));
+        session->onQuiesce([this](SimTime t) { window.quiesce(t); });
+    }
+    if (trace::TraceSink *s = session->sink()) {
+        sink = s;
+        trk = s->track(_name);
+    }
 }
 
 void
@@ -36,6 +57,10 @@ BandwidthChannel::reset()
     busyUntil = 0;
     totalBytes = 0;
     totalBusy = 0;
+    sink = nullptr;
+    lat = nullptr;
+    window.attach(nullptr);
+    window.clear();
 }
 
 ServerPool::ServerPool(std::string pool_name, unsigned num_servers)
@@ -54,7 +79,28 @@ ServerPool::serviceAt(SimTime now, SimTime service_ns)
     totalQueueing += start - now;
     *it = start + service_ns;
     ++totalJobs;
-    return *it;
+    const SimTime done = *it;
+    if (lat)
+        lat->record(done - now);
+    window.issue(now, done);
+    if (sink)
+        sink->span(trk, "job", now, done);
+    return done;
+}
+
+void
+ServerPool::attachTrace(trace::TraceSession *session)
+{
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        lat = &reg->latency(_name + ".service_ns");
+        window.attach(&reg->queueDepth(_name + ".inflight",
+                                       trace::QueueKind::Inflight));
+        session->onQuiesce([this](SimTime t) { window.quiesce(t); });
+    }
+    if (trace::TraceSink *s = session->sink()) {
+        sink = s;
+        trk = s->track(_name);
+    }
 }
 
 void
@@ -63,6 +109,10 @@ ServerPool::reset()
     std::fill(freeAt.begin(), freeAt.end(), 0);
     totalJobs = 0;
     totalQueueing = 0;
+    sink = nullptr;
+    lat = nullptr;
+    window.attach(nullptr);
+    window.clear();
 }
 
 } // namespace gmt::sim

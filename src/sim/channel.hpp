@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace gmt::sim
@@ -59,6 +60,15 @@ class BandwidthChannel
     SimTime latency() const { return latencyNs; }
     const std::string &name() const { return _name; }
 
+    /**
+     * Instrument this channel: per-transfer latency (queueing included)
+     * into "<name>.xfer_ns", in-flight transfer depth into
+     * "<name>.inflight", spans on the "<name>" track. Call after
+     * reset(), once per run; without a session every probe stays a
+     * null-pointer test.
+     */
+    void attachTrace(trace::TraceSession *session);
+
     void reset();
 
   private:
@@ -68,6 +78,11 @@ class BandwidthChannel
     SimTime busyUntil = 0;
     std::uint64_t totalBytes = 0;
     SimTime totalBusy = 0;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId trk = 0;
+    trace::LatencyHistogram *lat = nullptr;
+    trace::InflightWindow window;
 };
 
 /** k-server FIFO station with per-job service time. */
@@ -95,6 +110,10 @@ class ServerPool
     unsigned servers() const { return unsigned(freeAt.size()); }
     const std::string &name() const { return _name; }
 
+    /** Instrument: per-job latency into "<name>.service_ns", queued or
+     *  in-service jobs into "<name>.inflight", spans on "<name>". */
+    void attachTrace(trace::TraceSession *session);
+
     void reset();
 
   private:
@@ -102,6 +121,11 @@ class ServerPool
     std::vector<SimTime> freeAt;
     std::uint64_t totalJobs = 0;
     SimTime totalQueueing = 0;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId trk = 0;
+    trace::LatencyHistogram *lat = nullptr;
+    trace::InflightWindow window;
 };
 
 } // namespace gmt::sim

@@ -11,9 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <utility>
-#include <vector>
 
 namespace gmt::stats
 {
@@ -37,19 +38,26 @@ class Counter
     std::uint64_t _value = 0;
 };
 
-/** An ordered bag of counters, exported by each runtime for reporting. */
+/**
+ * An ordered bag of counters, exported by each runtime for reporting.
+ *
+ * Storage is a deque so that references returned by get() stay valid
+ * across later insertions (runtimes cache Counter& across a whole run),
+ * with a name index for O(1) lookup on the access hot path.
+ */
 class CounterSet
 {
   public:
-    /** Create (or fetch) a counter by name; names are unique. */
+    /** Create (or fetch) a counter by name; names are unique. The
+     *  returned reference is stable for the CounterSet's lifetime. */
     Counter &
     get(const std::string &name)
     {
-        for (auto &c : counters) {
-            if (c.name() == name)
-                return c;
-        }
+        const auto it = index.find(name);
+        if (it != index.end())
+            return counters[it->second];
         counters.emplace_back(name);
+        index.emplace(name, counters.size() - 1);
         return counters.back();
     }
 
@@ -57,11 +65,8 @@ class CounterSet
     std::uint64_t
     value(const std::string &name) const
     {
-        for (const auto &c : counters) {
-            if (c.name() == name)
-                return c.value();
-        }
-        return 0;
+        const auto it = index.find(name);
+        return it != index.end() ? counters[it->second].value() : 0;
     }
 
     void
@@ -71,10 +76,12 @@ class CounterSet
             c.reset();
     }
 
-    const std::vector<Counter> &all() const { return counters; }
+    /** All counters, in creation order. */
+    const std::deque<Counter> &all() const { return counters; }
 
   private:
-    std::vector<Counter> counters;
+    std::deque<Counter> counters;
+    std::unordered_map<std::string, std::size_t> index;
 };
 
 } // namespace gmt::stats

@@ -15,6 +15,20 @@ Tier2Pool::Tier2Pool(mem::PageTable &page_table, std::uint64_t num_slots,
 {
 }
 
+void
+Tier2Pool::attachTrace(trace::TraceSession *session)
+{
+    if (trace::MetricsRegistry *reg = session->metrics()) {
+        occupancy = &reg->queueDepth("tier2.occupancy",
+                                     trace::QueueKind::Occupancy);
+        session->onQuiesce([this, reg](SimTime) {
+            reg->counter("tier2.inserts") = insertCount;
+            reg->counter("tier2.takes") = takeCount;
+            reg->counter("tier2.evictions") = evictCount;
+        });
+    }
+}
+
 bool
 Tier2Pool::contains(PageId page) const
 {
@@ -97,6 +111,7 @@ Tier2Pool::reset()
     slotSeq.assign(slotSeq.size(), 0);
     seqCounter = 0;
     insertCount = takeCount = evictCount = 0;
+    occupancy = nullptr;
 }
 
 } // namespace gmt::tier2

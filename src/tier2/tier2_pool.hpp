@@ -23,6 +23,7 @@
 #include "mem/page_table.hpp"
 #include "replacement/policy.hpp"
 #include "tier2/directory.hpp"
+#include "trace/trace.hpp"
 #include "util/types.hpp"
 
 namespace gmt::tier2
@@ -87,9 +88,26 @@ class Tier2Pool
 
     const Directory &directory() const { return dir; }
 
+    /**
+     * Instrument residency: "tier2.occupancy" (Occupancy kind) plus
+     * insert/take/evict totals exported at quiesce. The pool's mutators
+     * carry no simulated time, so the owning runtime calls
+     * traceOccupancy() at its call sites.
+     */
+    void attachTrace(trace::TraceSession *session);
+
+    /** Sample current residency at @p now (no-op when not attached). */
+    void
+    traceOccupancy(SimTime now)
+    {
+        if (occupancy)
+            occupancy->sample(now, std::int64_t(slots.used()));
+    }
+
     void reset();
 
   private:
+    trace::QueueDepthTracker *occupancy = nullptr;
     mem::PageTable &pt;
     mem::FramePool slots;
     Directory dir;

@@ -1,0 +1,323 @@
+#include "trace/diff.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gmt::trace
+{
+
+namespace
+{
+
+void
+report(std::FILE *out, DiffResult &r, std::size_t limit,
+       const std::string &path, const std::string &msg)
+{
+    ++r.mismatches;
+    if (out && r.mismatches <= limit)
+        std::fprintf(out, "  %s: %s\n", path.c_str(), msg.c_str());
+}
+
+bool
+numbersEqual(const JsonValue &a, const JsonValue &b, double rel_tol)
+{
+    if (rel_tol <= 0.0)
+        return a.text == b.text;
+    if (a.number == b.number)
+        return true;
+    const double denom =
+        std::max(std::fabs(a.number), std::fabs(b.number));
+    return std::fabs(a.number - b.number) <= rel_tol * denom;
+}
+
+void
+diffWalk(const JsonValue &a, const JsonValue &b, double rel_tol,
+         std::FILE *out, std::size_t limit, const std::string &path,
+         DiffResult &r)
+{
+    if (a.kind != b.kind) {
+        report(out, r, limit, path,
+               std::string(a.kindName()) + " vs " + b.kindName());
+        ++r.compared;
+        return;
+    }
+    switch (a.kind) {
+      case JsonValue::Kind::Object: {
+        for (const auto &[key, av] : a.members) {
+            const JsonValue *bv = b.find(key);
+            if (!bv) {
+                report(out, r, limit, path + "." + key,
+                       "missing on right");
+                continue;
+            }
+            diffWalk(av, *bv, rel_tol, out, limit, path + "." + key, r);
+        }
+        for (const auto &[key, bv] : b.members) {
+            (void)bv;
+            if (!a.find(key))
+                report(out, r, limit, path + "." + key,
+                       "missing on left");
+        }
+        return;
+      }
+      case JsonValue::Kind::Array: {
+        if (a.items.size() != b.items.size()) {
+            std::ostringstream msg;
+            msg << "array length " << a.items.size() << " vs "
+                << b.items.size();
+            report(out, r, limit, path, msg.str());
+        }
+        const std::size_t n = std::min(a.items.size(), b.items.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            std::ostringstream p;
+            p << path << "[" << i << "]";
+            diffWalk(a.items[i], b.items[i], rel_tol, out, limit,
+                     p.str(), r);
+        }
+        return;
+      }
+      case JsonValue::Kind::Number:
+        ++r.compared;
+        if (!numbersEqual(a, b, rel_tol))
+            report(out, r, limit, path, a.text + " vs " + b.text);
+        return;
+      case JsonValue::Kind::String:
+        ++r.compared;
+        if (a.text != b.text)
+            report(out, r, limit, path,
+                   "\"" + a.text + "\" vs \"" + b.text + "\"");
+        return;
+      case JsonValue::Kind::Bool:
+        ++r.compared;
+        if (a.boolean != b.boolean)
+            report(out, r, limit, path, "boolean mismatch");
+        return;
+      case JsonValue::Kind::Null:
+        ++r.compared;
+        return;
+    }
+}
+
+/** Accumulated per-(track, name) span/counter statistics. */
+struct TrackSummary
+{
+    std::uint64_t spans = 0;
+    std::uint64_t totalDurNs = 0;
+    std::uint64_t maxDurNs = 0;
+    std::uint64_t counterSamples = 0;
+    std::int64_t counterMin = 0;
+    std::int64_t counterMax = 0;
+    std::uint64_t instants = 0;
+};
+
+using SummaryMap = std::map<std::pair<std::string, std::string>,
+                            TrackSummary>;
+
+void
+addSpan(SummaryMap &m, const std::string &track, const std::string &name,
+        std::uint64_t dur)
+{
+    TrackSummary &s = m[{track, name}];
+    ++s.spans;
+    s.totalDurNs += dur;
+    s.maxDurNs = std::max(s.maxDurNs, dur);
+}
+
+void
+addCounter(SummaryMap &m, const std::string &track,
+           const std::string &name, std::int64_t value)
+{
+    TrackSummary &s = m[{track, name}];
+    if (s.counterSamples == 0)
+        s.counterMin = s.counterMax = value;
+    ++s.counterSamples;
+    s.counterMin = std::min(s.counterMin, value);
+    s.counterMax = std::max(s.counterMax, value);
+}
+
+std::uint64_t
+microsToNs(const JsonValue &v)
+{
+    // Chrome timestamps are microseconds with 3 exact decimals.
+    return std::uint64_t(std::llround(v.number * 1000.0));
+}
+
+/** Summarize the Chrome trace_event schema. */
+void
+summarizeChrome(const JsonValue &doc, SummaryMap &m,
+                std::uint64_t &events)
+{
+    const JsonValue *list = doc.find("traceEvents");
+    if (!list || list->kind != JsonValue::Kind::Array)
+        return;
+    // pid/tid -> track name, from thread_name metadata.
+    std::map<std::pair<double, double>, std::string> threads;
+    for (const JsonValue &e : list->items) {
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *name = e.find("name");
+        if (!ph || !name)
+            continue;
+        if (ph->text == "M" && name->text == "thread_name") {
+            const JsonValue *args = e.find("args");
+            const JsonValue *pid = e.find("pid");
+            const JsonValue *tid = e.find("tid");
+            const JsonValue *tn = args ? args->find("name") : nullptr;
+            if (pid && tid && tn)
+                threads[{pid->number, tid->number}] = tn->text;
+        }
+    }
+    for (const JsonValue &e : list->items) {
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *name = e.find("name");
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        if (!ph || !name)
+            continue;
+        std::string track = "?";
+        if (pid && tid) {
+            const auto it = threads.find({pid->number, tid->number});
+            if (it != threads.end())
+                track = it->second;
+        }
+        if (ph->text == "X") {
+            const JsonValue *dur = e.find("dur");
+            addSpan(m, track, name->text, dur ? microsToNs(*dur) : 0);
+            ++events;
+        } else if (ph->text == "C") {
+            const JsonValue *args = e.find("args");
+            const JsonValue *v = args ? args->find("value") : nullptr;
+            addCounter(m, track, name->text,
+                       v ? std::int64_t(v->number) : 0);
+            ++events;
+        } else if (ph->text == "i") {
+            ++m[{track, name->text}].instants;
+            ++events;
+        }
+    }
+}
+
+/** Summarize the JSONL schema (one record per line). */
+bool
+summarizeJsonl(const std::string &content, SummaryMap &m,
+               std::uint64_t &events, std::string &error)
+{
+    std::istringstream in(content);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        JsonValue rec;
+        if (!parseJson(line, rec, error))
+            return false;
+        const JsonValue *type = rec.find("type");
+        const JsonValue *track = rec.find("track");
+        const JsonValue *name = rec.find("name");
+        if (!type)
+            continue;
+        const std::string trk = track ? track->text : "?";
+        if (type->text == "span" && name) {
+            const JsonValue *dur = rec.find("dur");
+            addSpan(m, trk, name->text,
+                    dur ? std::uint64_t(dur->number) : 0);
+            ++events;
+        } else if (type->text == "counter" && name) {
+            const JsonValue *v = rec.find("value");
+            addCounter(m, trk, name->text,
+                       v ? std::int64_t(v->number) : 0);
+            ++events;
+        } else if (type->text == "instant" && name) {
+            ++m[{trk, name->text}].instants;
+            ++events;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+DiffResult
+diffMetrics(const JsonValue &a, const JsonValue &b, double rel_tolerance,
+            std::FILE *out, std::size_t limit)
+{
+    DiffResult r;
+    diffWalk(a, b, rel_tolerance, out, limit, "$", r);
+    if (out && r.mismatches > limit)
+        std::fprintf(out, "  ... %zu further mismatches suppressed\n",
+                     r.mismatches - limit);
+    return r;
+}
+
+int
+diffMetricsFiles(const std::string &path_a, const std::string &path_b,
+                 double rel_tolerance, std::FILE *out)
+{
+    JsonValue a, b;
+    std::string error;
+    if (!parseJson(readFileOrDie(path_a), a, error)) {
+        if (out)
+            std::fprintf(out, "%s: parse error: %s\n", path_a.c_str(),
+                         error.c_str());
+        return 2;
+    }
+    if (!parseJson(readFileOrDie(path_b), b, error)) {
+        if (out)
+            std::fprintf(out, "%s: parse error: %s\n", path_b.c_str(),
+                         error.c_str());
+        return 2;
+    }
+    const DiffResult r = diffMetrics(a, b, rel_tolerance, out);
+    if (out) {
+        if (r.identical())
+            std::fprintf(out,
+                         "metrics match (%zu leaves compared, "
+                         "tolerance %g)\n",
+                         r.compared, rel_tolerance);
+        else
+            std::fprintf(out, "%zu mismatches (%zu leaves compared)\n",
+                         r.mismatches, r.compared);
+    }
+    return r.identical() ? 0 : 1;
+}
+
+int
+summarizeTraceFile(const std::string &path, std::FILE *out)
+{
+    const std::string content = readFileOrDie(path);
+    SummaryMap m;
+    std::uint64_t events = 0;
+    std::string error;
+    JsonValue doc;
+    if (parseJson(content, doc, error)) {
+        summarizeChrome(doc, m, events);
+    } else if (!summarizeJsonl(content, m, events, error)) {
+        std::fprintf(out, "%s: parse error: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+    std::fprintf(out, "%s: %" PRIu64 " events across %zu (track, name) "
+                 "series\n",
+                 path.c_str(), events, m.size());
+    std::fprintf(out, "%-14s %-18s %10s %14s %14s %10s\n", "track",
+                 "name", "spans", "total_dur_ns", "max_dur_ns",
+                 "samples");
+    for (const auto &[key, s] : m) {
+        std::fprintf(out,
+                     "%-14s %-18s %10" PRIu64 " %14" PRIu64
+                     " %14" PRIu64 " %10" PRIu64,
+                     key.first.c_str(), key.second.c_str(), s.spans,
+                     s.totalDurNs, s.maxDurNs,
+                     s.counterSamples + s.instants);
+        if (s.counterSamples)
+            std::fprintf(out, "  depth[%" PRId64 ", %" PRId64 "]",
+                         s.counterMin, s.counterMax);
+        std::fprintf(out, "\n");
+    }
+    return 0;
+}
+
+} // namespace gmt::trace

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Comparator and summarizer over trace/metrics artifacts — the library
+ * behind the `trace_tool` binary and the golden-metrics regression test.
+ *
+ * diffMetrics walks two parsed documents structurally: keys must match
+ * exactly (in content, not order); numbers compare textually at
+ * tolerance 0 (the DES is deterministic, so goldens are exact) or with
+ * a relative tolerance for cross-version comparisons. Every mismatch is
+ * reported with its JSON path, so a failing golden test names exactly
+ * which layer drifted.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "trace/json.hpp"
+
+namespace gmt::trace
+{
+
+/** Outcome of a structural diff. */
+struct DiffResult
+{
+    std::size_t mismatches = 0;  ///< differing leaves
+    std::size_t compared = 0;    ///< total leaves compared
+
+    bool identical() const { return mismatches == 0; }
+};
+
+/**
+ * Structurally compare @p a and @p b.
+ * @param rel_tolerance  maximum allowed relative difference between
+ *        numeric leaves (0 = exact textual match)
+ * @param out   mismatch report destination (nullptr = silent)
+ * @param limit stop reporting (but keep counting) after this many lines
+ */
+DiffResult diffMetrics(const JsonValue &a, const JsonValue &b,
+                       double rel_tolerance, std::FILE *out,
+                       std::size_t limit = 50);
+
+/**
+ * Parse and compare two metrics files.
+ * @return 0 when equal within tolerance, 1 on differences, 2 on
+ *         parse/read errors — the trace_tool exit convention.
+ */
+int diffMetricsFiles(const std::string &path_a, const std::string &path_b,
+                     double rel_tolerance, std::FILE *out);
+
+/**
+ * Print a per-track summary (span counts, total/max duration, counter
+ * ranges) of a Chrome-JSON or JSONL trace file.
+ * @return 0 on success, 2 on parse/read errors.
+ */
+int summarizeTraceFile(const std::string &path, std::FILE *out);
+
+} // namespace gmt::trace

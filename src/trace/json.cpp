@@ -1,0 +1,283 @@
+#include "trace/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace gmt::trace
+{
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const char *
+JsonValue::kindName() const
+{
+    switch (kind) {
+      case Kind::Null: return "null";
+      case Kind::Bool: return "bool";
+      case Kind::Number: return "number";
+      case Kind::String: return "string";
+      case Kind::Array: return "array";
+      case Kind::Object: return "object";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Recursive-descent parser over the input buffer. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string &error_out)
+        : src(text), err(error_out)
+    {
+    }
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (pos != src.size())
+            return fail("trailing content");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char *msg)
+    {
+        char buf[128];
+        std::snprintf(buf, sizeof(buf), "%s at offset %zu", msg, pos);
+        err = buf;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < src.size()
+               && std::isspace(static_cast<unsigned char>(src[pos])))
+            ++pos;
+    }
+
+    bool
+    literal(const char *word, std::size_t len)
+    {
+        if (src.compare(pos, len, word) != 0)
+            return fail("bad literal");
+        pos += len;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        if (pos >= src.size())
+            return fail("unexpected end of input");
+        switch (src[pos]) {
+          case '{': return object(out);
+          case '[': return array(out);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return string(out.text);
+          case 't':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true", 4);
+          case 'f':
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false", 5);
+          case 'n':
+            out.kind = JsonValue::Kind::Null;
+            return literal("null", 4);
+          default: return number(out);
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos; // '{'
+        skipWs();
+        if (pos < src.size() && src[pos] == '}') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos >= src.size() || src[pos] != '"')
+                return fail("expected object key");
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos >= src.size() || src[pos] != ':')
+                return fail("expected ':'");
+            ++pos;
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos >= src.size())
+                return fail("unterminated object");
+            if (src[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (src[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos; // '['
+        skipWs();
+        if (pos < src.size() && src[pos] == ']') {
+            ++pos;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            JsonValue v;
+            if (!value(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (pos >= src.size())
+                return fail("unterminated array");
+            if (src[pos] == ',') {
+                ++pos;
+                continue;
+            }
+            if (src[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    string(std::string &out)
+    {
+        ++pos; // opening quote
+        out.clear();
+        while (pos < src.size()) {
+            const char c = src[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                ++pos;
+                if (pos >= src.size())
+                    return fail("bad escape");
+                switch (src[pos]) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'u': {
+                    if (pos + 4 >= src.size())
+                        return fail("bad \\u escape");
+                    const std::string hex = src.substr(pos + 1, 4);
+                    const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                    // ASCII-only writer; anything else round-trips as '?'
+                    out += cp < 0x80 ? char(cp) : '?';
+                    pos += 4;
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+                ++pos;
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos;
+        if (pos < src.size() && (src[pos] == '-' || src[pos] == '+'))
+            ++pos;
+        bool any = false;
+        while (pos < src.size()
+               && (std::isdigit(static_cast<unsigned char>(src[pos]))
+                   || src[pos] == '.' || src[pos] == 'e'
+                   || src[pos] == 'E' || src[pos] == '-'
+                   || src[pos] == '+')) {
+            ++pos;
+            any = true;
+        }
+        if (!any)
+            return fail("expected a value");
+        out.kind = JsonValue::Kind::Number;
+        out.text = src.substr(start, pos - start);
+        out.number = std::strtod(out.text.c_str(), nullptr);
+        return true;
+    }
+
+    const std::string &src;
+    std::string &err;
+    std::size_t pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue &out, std::string &error)
+{
+    return Parser(text, error).parse(out);
+}
+
+std::string
+readFileOrDie(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::string content;
+    char buf[64 * 1024];
+    std::size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        content.append(buf, got);
+    std::fclose(f);
+    return content;
+}
+
+} // namespace gmt::trace

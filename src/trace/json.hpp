@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Minimal JSON reader for the trace tooling (no external deps).
+ *
+ * Parses the subset the trace/metrics writers emit — objects, arrays,
+ * strings, numbers, booleans, null — into an ordered document tree.
+ * Numbers keep their source text alongside the parsed double so that
+ * tolerance-0 comparisons are textual (bit-exact goldens) while
+ * tolerance-based diffs compare numerically.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gmt::trace
+{
+
+/** One parsed JSON value; objects preserve key order. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;     ///< String payload, or a Number's source text
+    std::vector<JsonValue> items; ///< Array elements
+    std::vector<std::pair<std::string, JsonValue>> members; ///< Object
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    const char *kindName() const;
+};
+
+/**
+ * Parse @p text into @p out.
+ * @retval false with a position/message in @p error on malformed input.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string &error);
+
+/** Read a whole file; fatal() if it cannot be opened. */
+std::string readFileOrDie(const std::string &path);
+
+} // namespace gmt::trace

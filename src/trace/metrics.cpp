@@ -1,0 +1,49 @@
+#include "trace/metrics.hpp"
+
+namespace gmt::trace
+{
+
+const char *
+queueKindName(QueueKind kind)
+{
+    switch (kind) {
+      case QueueKind::Inflight: return "inflight";
+      case QueueKind::Occupancy: return "occupancy";
+    }
+    return "?";
+}
+
+LatencyHistogram &
+MetricsRegistry::latency(const std::string &name)
+{
+    const auto it = latIndex.find(name);
+    if (it != latIndex.end())
+        return *it->second;
+    lats.emplace_back(name, LatencyHistogram{});
+    latIndex.emplace(name, &lats.back().second);
+    return lats.back().second;
+}
+
+QueueDepthTracker &
+MetricsRegistry::queueDepth(const std::string &name, QueueKind kind)
+{
+    const auto it = queueIndex.find(name);
+    if (it != queueIndex.end())
+        return *it->second;
+    queues.emplace_back(name, QueueDepthTracker{kind});
+    queueIndex.emplace(name, &queues.back().second);
+    return queues.back().second;
+}
+
+std::uint64_t &
+MetricsRegistry::counter(const std::string &name)
+{
+    const auto it = scalarIndex.find(name);
+    if (it != scalarIndex.end())
+        return *it->second;
+    scalars.emplace_back(name, 0);
+    scalarIndex.emplace(name, &scalars.back().second);
+    return scalars.back().second;
+}
+
+} // namespace gmt::trace

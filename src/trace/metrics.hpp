@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Metric primitives for the observability layer: latency histograms,
+ * queue-depth time series, and the registry that names them.
+ *
+ * Everything here is designed for the DES hot path and for golden-file
+ * regression testing at the same time:
+ *  - recording is O(1) and allocation-free after registration;
+ *  - all exported quantities are integers (counts, nanoseconds, and
+ *    depth*time integrals), so metrics files are bit-stable across
+ *    machines and job counts — percentiles are reported as log2 bucket
+ *    upper edges clamped to the observed maximum;
+ *  - registered objects live in deques, so references handed to
+ *    components stay valid for the registry's lifetime no matter how
+ *    many later registrations happen.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+
+/**
+ * Log2-bucketed latency histogram over [0, 2^64) nanoseconds.
+ *
+ * Bucket i holds samples whose bit width is i (bucket 0 is exactly 0 ns,
+ * bucket 1 is 1 ns, bucket 2 is 2-3 ns, ...), which keeps recording a
+ * single bit_width plus an increment while spanning the five-plus
+ * decades simulated latencies cover (50 ns directory probes to
+ * multi-millisecond queueing).
+ */
+class LatencyHistogram
+{
+  public:
+    static constexpr unsigned kNumBuckets = 65; ///< bit_width(u64) range
+
+    void
+    record(SimTime ns)
+    {
+        const unsigned b = bucketFor(ns);
+        ++buckets[b];
+        ++n;
+        total += ns;
+        if (n == 1 || ns < lo)
+            lo = ns;
+        if (ns > hi)
+            hi = ns;
+    }
+
+    std::uint64_t count() const { return n; }
+    std::uint64_t sum() const { return total; }
+    SimTime min() const { return n ? lo : 0; }
+    SimTime max() const { return hi; }
+    std::uint64_t bucketCount(unsigned i) const { return buckets[i]; }
+
+    /**
+     * The @p pct-th percentile (1..100) as the upper edge of the first
+     * bucket whose cumulative count reaches ceil(pct/100 * count),
+     * clamped to the observed maximum. Integer and monotone in @p pct
+     * by construction; 0 when empty.
+     */
+    SimTime
+    percentile(unsigned pct) const
+    {
+        if (n == 0)
+            return 0;
+        const std::uint64_t target = (n * pct + 99) / 100;
+        std::uint64_t seen = 0;
+        for (unsigned b = 0; b < kNumBuckets; ++b) {
+            seen += buckets[b];
+            if (seen >= target)
+                return bucketHigh(b) < hi ? bucketHigh(b) : hi;
+        }
+        return hi;
+    }
+
+    /** Inclusive upper edge of bucket @p i (0, 1, 3, 7, ...). */
+    static SimTime
+    bucketHigh(unsigned i)
+    {
+        if (i == 0)
+            return 0;
+        if (i >= 64)
+            return ~SimTime(0);
+        return (SimTime(1) << i) - 1;
+    }
+
+    static unsigned
+    bucketFor(SimTime ns)
+    {
+        unsigned w = 0;
+        while (ns) {
+            ns >>= 1;
+            ++w;
+        }
+        return w;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets)
+            b = 0;
+        n = total = 0;
+        lo = hi = 0;
+    }
+
+  private:
+    std::uint64_t buckets[kNumBuckets] = {};
+    std::uint64_t n = 0;
+    std::uint64_t total = 0;
+    SimTime lo = 0;
+    SimTime hi = 0;
+};
+
+/** What a queue-depth series measures (controls quiesce semantics). */
+enum class QueueKind : std::uint8_t
+{
+    /** Outstanding work (NVMe commands, PCIe transfers); must drain
+     *  back to depth 0 when the simulation quiesces. */
+    Inflight,
+    /** Resource occupancy (Tier-1/Tier-2 resident pages); bounded by
+     *  capacity but has no obligation to drain. */
+    Occupancy,
+};
+
+const char *queueKindName(QueueKind kind);
+
+/**
+ * Summarized queue-depth time series: every sample updates count, max,
+ * last value, and the time integral of depth (depth * dt in ns), from
+ * which a time-weighted mean is derivable without storing the series.
+ *
+ * Sample times are expected to be non-decreasing; the DES occasionally
+ * observes a component at a slightly earlier time than a prior sample
+ * (miss-path offsets are computed per access), in which case dt clamps
+ * to zero — deterministic, and bounded by one access's latency.
+ */
+class QueueDepthTracker
+{
+  public:
+    explicit QueueDepthTracker(QueueKind queue_kind) : kind(queue_kind) {}
+
+    void
+    sample(SimTime t, std::int64_t depth)
+    {
+        if (n == 0)
+            firstT = t;
+        else if (t > lastT)
+            integral += std::uint64_t(cur) * (t - lastT);
+        if (t > lastT)
+            lastT = t;
+        cur = depth;
+        ++n;
+        if (depth > maxD)
+            maxD = depth;
+        if (depth < minD)
+            minD = depth;
+    }
+
+    QueueKind queueKind() const { return kind; }
+    std::uint64_t samples() const { return n; }
+    std::int64_t current() const { return cur; }
+    std::int64_t maxDepth() const { return maxD; }
+    std::int64_t minDepth() const { return n ? minD : 0; }
+    /** Integral of depth over time (depth-nanoseconds). */
+    std::uint64_t depthTimeNs() const { return integral; }
+    /** Observed time span [first sample, last sample]. */
+    SimTime spanNs() const { return n ? lastT - firstT : 0; }
+
+    void
+    reset()
+    {
+        n = integral = 0;
+        cur = maxD = 0;
+        minD = 0;
+        firstT = lastT = 0;
+    }
+
+  private:
+    QueueKind kind;
+    std::uint64_t n = 0;
+    std::int64_t cur = 0;
+    std::int64_t maxD = 0;
+    std::int64_t minD = 0;
+    std::uint64_t integral = 0;
+    SimTime firstT = 0;
+    SimTime lastT = 0;
+};
+
+/**
+ * Bridges "issue at t, completes at t'" call sites to a depth series.
+ *
+ * The DES computes completion times synchronously, so a component never
+ * sees its own queue drain; this window keeps the outstanding completion
+ * times in a min-heap and, on every issue, retires the ones that finished
+ * before the new arrival — producing depth samples at the actual
+ * completion instants. quiesce() drains the remainder, so Inflight
+ * trackers provably return to zero at end of run.
+ */
+class InflightWindow
+{
+  public:
+    /** No-op until attached; attach resolves the zero-overhead check. */
+    void
+    attach(QueueDepthTracker *depth_tracker)
+    {
+        tracker = depth_tracker;
+    }
+
+    void
+    issue(SimTime now, SimTime done)
+    {
+        if (!tracker)
+            return;
+        retireUpTo(now);
+        pending.push(done);
+        tracker->sample(now, std::int64_t(pending.size()));
+    }
+
+    /** Retire everything still outstanding (end of run). */
+    void
+    quiesce(SimTime now)
+    {
+        if (!tracker)
+            return;
+        retireUpTo(~SimTime(0));
+        if (tracker->samples() > 0 && tracker->current() != 0)
+            tracker->sample(now, 0);
+    }
+
+    void
+    clear()
+    {
+        pending = {};
+    }
+
+  private:
+    void
+    retireUpTo(SimTime t)
+    {
+        while (!pending.empty() && pending.top() <= t) {
+            const SimTime at = pending.top();
+            pending.pop();
+            tracker->sample(at, std::int64_t(pending.size()));
+        }
+    }
+
+    QueueDepthTracker *tracker = nullptr;
+    std::priority_queue<SimTime, std::vector<SimTime>,
+                        std::greater<SimTime>> pending;
+};
+
+/**
+ * Named metrics for one simulation cell, extending the per-runtime
+ * gmt::stats counters with latency and queue-depth series. Registration
+ * is by name (insertion order is the export order); returned references
+ * stay valid for the registry's lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    LatencyHistogram &latency(const std::string &name);
+    QueueDepthTracker &queueDepth(const std::string &name, QueueKind kind);
+    /** Freeform derived counter (merge ratios, batch counts, ...). */
+    std::uint64_t &counter(const std::string &name);
+
+    /** Export views, in registration order. */
+    const std::deque<std::pair<std::string, LatencyHistogram>> &
+    latencies() const
+    {
+        return lats;
+    }
+    const std::deque<std::pair<std::string, QueueDepthTracker>> &
+    queueDepths() const
+    {
+        return queues;
+    }
+    const std::deque<std::pair<std::string, std::uint64_t>> &
+    counters() const
+    {
+        return scalars;
+    }
+
+  private:
+    std::deque<std::pair<std::string, LatencyHistogram>> lats;
+    std::deque<std::pair<std::string, QueueDepthTracker>> queues;
+    std::deque<std::pair<std::string, std::uint64_t>> scalars;
+    std::unordered_map<std::string, LatencyHistogram *> latIndex;
+    std::unordered_map<std::string, QueueDepthTracker *> queueIndex;
+    std::unordered_map<std::string, std::uint64_t *> scalarIndex;
+};
+
+} // namespace gmt::trace

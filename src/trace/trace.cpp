@@ -1,0 +1,342 @@
+#include "trace/trace.hpp"
+
+#include <cinttypes>
+
+#include "util/logging.hpp"
+
+namespace gmt::trace
+{
+
+namespace
+{
+
+/** Minimal JSON string escaping (names are ASCII identifiers, but the
+ *  writer must never emit malformed JSON whatever the input). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Chrome trace timestamps are microseconds; emit ns/1000 exactly. */
+void
+printMicros(std::FILE *out, SimTime ns)
+{
+    std::fprintf(out, "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+}
+
+void
+writeHistogramJson(std::FILE *out, const LatencyHistogram &h)
+{
+    std::fprintf(out,
+                 "{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
+                 ",\"min_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64
+                 ",\"p50_ns\":%" PRIu64 ",\"p95_ns\":%" PRIu64
+                 ",\"p99_ns\":%" PRIu64 ",\"buckets\":[",
+                 h.count(), h.sum(), h.min(), h.max(), h.percentile(50),
+                 h.percentile(95), h.percentile(99));
+    bool first = true;
+    for (unsigned b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+        if (h.bucketCount(b) == 0)
+            continue;
+        std::fprintf(out, "%s[%u,%" PRIu64 "]", first ? "" : ",", b,
+                     h.bucketCount(b));
+        first = false;
+    }
+    std::fprintf(out, "]}");
+}
+
+void
+writeQueueJson(std::FILE *out, const QueueDepthTracker &q)
+{
+    std::fprintf(out,
+                 "{\"kind\":\"%s\",\"samples\":%" PRIu64
+                 ",\"max\":%" PRId64 ",\"min\":%" PRId64
+                 ",\"final\":%" PRId64 ",\"depth_time_ns\":%" PRIu64
+                 ",\"span_ns\":%" PRIu64 "}",
+                 queueKindName(q.queueKind()), q.samples(), q.maxDepth(),
+                 q.minDepth(), q.current(), q.depthTimeNs(), q.spanNs());
+}
+
+} // namespace
+
+TraceSink::TraceSink(std::size_t max_records_per_type)
+    : cap(max_records_per_type)
+{
+}
+
+TrackId
+TraceSink::track(const std::string &name)
+{
+    for (std::size_t i = 0; i < trackNames.size(); ++i) {
+        if (trackNames[i] == name)
+            return TrackId(i);
+    }
+    trackNames.push_back(name);
+    return TrackId(trackNames.size() - 1);
+}
+
+TraceSession::TraceSession(bool with_trace, bool with_metrics,
+                           std::size_t sink_capacity)
+    : tracing(with_trace), metricsOn(with_metrics), sink_(sink_capacity)
+{
+}
+
+void
+TraceSession::onQuiesce(std::function<void(SimTime)> hook)
+{
+    quiesceHooks.push_back(std::move(hook));
+}
+
+void
+TraceSession::quiesce(SimTime now)
+{
+    for (const auto &hook : quiesceHooks)
+        hook(now);
+}
+
+void
+writeChromeTraceJson(std::FILE *out,
+                     const std::vector<const TraceSession *> &cells)
+{
+    std::fprintf(out, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    bool first = true;
+    auto sep = [&] {
+        std::fprintf(out, first ? "\n" : ",\n");
+        first = false;
+    };
+    for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+        const TraceSession &cell = *cells[pid];
+        const TraceSink *sink = cell.sink();
+        if (!sink)
+            continue;
+        sep();
+        std::fprintf(out,
+                     "{\"ph\":\"M\",\"pid\":%zu,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"cell%zu %s/%s\"}}",
+                     pid, pid, jsonEscape(cell.info.system).c_str(),
+                     jsonEscape(cell.info.workload).c_str());
+        for (std::size_t t = 0; t < sink->tracks().size(); ++t) {
+            sep();
+            std::fprintf(out,
+                         "{\"ph\":\"M\",\"pid\":%zu,\"tid\":%zu,"
+                         "\"name\":\"thread_name\",\"args\":{\"name\":"
+                         "\"%s\"}}",
+                         pid, t,
+                         jsonEscape(sink->tracks()[t]).c_str());
+        }
+        for (const SpanRecord &s : sink->spans()) {
+            sep();
+            std::fprintf(out,
+                         "{\"ph\":\"X\",\"pid\":%zu,\"tid\":%u,"
+                         "\"name\":\"%s\",\"ts\":",
+                         pid, s.track, s.name);
+            printMicros(out, s.begin);
+            std::fprintf(out, ",\"dur\":");
+            printMicros(out, s.end - s.begin);
+            std::fprintf(out, "}");
+        }
+        for (const InstantRecord &i : sink->instants()) {
+            sep();
+            std::fprintf(out,
+                         "{\"ph\":\"i\",\"pid\":%zu,\"tid\":%u,"
+                         "\"name\":\"%s\",\"s\":\"t\",\"ts\":",
+                         pid, i.track, i.name);
+            printMicros(out, i.at);
+            std::fprintf(out, "}");
+        }
+        for (const CounterRecord &c : sink->counters()) {
+            sep();
+            std::fprintf(out,
+                         "{\"ph\":\"C\",\"pid\":%zu,\"tid\":%u,"
+                         "\"name\":\"%s\",\"ts\":",
+                         pid, c.track, c.name);
+            printMicros(out, c.at);
+            std::fprintf(out, ",\"args\":{\"value\":%" PRId64 "}}",
+                         c.value);
+        }
+        if (sink->dropped() > 0) {
+            sep();
+            std::fprintf(out,
+                         "{\"ph\":\"M\",\"pid\":%zu,"
+                         "\"name\":\"dropped_events\","
+                         "\"args\":{\"count\":%" PRIu64 "}}",
+                         pid, sink->dropped());
+        }
+    }
+    std::fprintf(out, "\n]}\n");
+}
+
+void
+writeTraceJsonl(std::FILE *out,
+                const std::vector<const TraceSession *> &cells)
+{
+    for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+        const TraceSession &cell = *cells[pid];
+        const TraceSink *sink = cell.sink();
+        if (!sink)
+            continue;
+        std::fprintf(out,
+                     "{\"type\":\"cell\",\"cell\":%zu,\"system\":\"%s\","
+                     "\"workload\":\"%s\",\"makespan_ns\":%" PRIu64
+                     ",\"dropped\":%" PRIu64 "}\n",
+                     pid, jsonEscape(cell.info.system).c_str(),
+                     jsonEscape(cell.info.workload).c_str(),
+                     cell.info.makespanNs, sink->dropped());
+        for (const SpanRecord &s : sink->spans()) {
+            std::fprintf(out,
+                         "{\"type\":\"span\",\"cell\":%zu,\"track\":"
+                         "\"%s\",\"name\":\"%s\",\"ts\":%" PRIu64
+                         ",\"dur\":%" PRIu64 "}\n",
+                         pid,
+                         jsonEscape(sink->tracks()[s.track]).c_str(),
+                         s.name, s.begin, s.end - s.begin);
+        }
+        for (const InstantRecord &i : sink->instants()) {
+            std::fprintf(out,
+                         "{\"type\":\"instant\",\"cell\":%zu,\"track\":"
+                         "\"%s\",\"name\":\"%s\",\"ts\":%" PRIu64 "}\n",
+                         pid,
+                         jsonEscape(sink->tracks()[i.track]).c_str(),
+                         i.name, i.at);
+        }
+        for (const CounterRecord &c : sink->counters()) {
+            std::fprintf(out,
+                         "{\"type\":\"counter\",\"cell\":%zu,\"track\":"
+                         "\"%s\",\"name\":\"%s\",\"ts\":%" PRIu64
+                         ",\"value\":%" PRId64 "}\n",
+                         pid,
+                         jsonEscape(sink->tracks()[c.track]).c_str(),
+                         c.name, c.at, c.value);
+        }
+    }
+}
+
+void
+writeMetricsJson(std::FILE *out,
+                 const std::vector<const TraceSession *> &cells)
+{
+    std::fprintf(out, "{\"schema\":\"gmt-metrics-v1\",\"cells\":[");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const TraceSession &cell = *cells[i];
+        std::fprintf(out,
+                     "%s\n{\"cell\":%zu,\"system\":\"%s\",\"workload\":"
+                     "\"%s\",\"makespan_ns\":%" PRIu64 ",",
+                     i ? "," : "", i,
+                     jsonEscape(cell.info.system).c_str(),
+                     jsonEscape(cell.info.workload).c_str(),
+                     cell.info.makespanNs);
+
+        std::fprintf(out, "\"counters\":{");
+        for (std::size_t c = 0; c < cell.info.counters.size(); ++c) {
+            std::fprintf(out, "%s\"%s\":%" PRIu64, c ? "," : "",
+                         jsonEscape(cell.info.counters[c].first).c_str(),
+                         cell.info.counters[c].second);
+        }
+        std::fprintf(out, "},");
+
+        const MetricsRegistry *reg = cell.metrics();
+
+        std::fprintf(out, "\"metric_counters\":{");
+        if (reg) {
+            bool first = true;
+            for (const auto &[name, value] : reg->counters()) {
+                std::fprintf(out, "%s\"%s\":%" PRIu64, first ? "" : ",",
+                             jsonEscape(name).c_str(), value);
+                first = false;
+            }
+        }
+        std::fprintf(out, "},");
+
+        std::fprintf(out, "\"latency_ns\":{");
+        if (reg) {
+            bool first = true;
+            for (const auto &[name, hist] : reg->latencies()) {
+                std::fprintf(out, "%s\"%s\":", first ? "" : ",",
+                             jsonEscape(name).c_str());
+                writeHistogramJson(out, hist);
+                first = false;
+            }
+        }
+        std::fprintf(out, "},");
+
+        std::fprintf(out, "\"queue_depth\":{");
+        if (reg) {
+            bool first = true;
+            for (const auto &[name, q] : reg->queueDepths()) {
+                std::fprintf(out, "%s\"%s\":", first ? "" : ",",
+                             jsonEscape(name).c_str());
+                writeQueueJson(out, q);
+                first = false;
+            }
+        }
+        std::fprintf(out, "}}");
+    }
+    std::fprintf(out, "\n]}\n");
+}
+
+namespace
+{
+
+void
+writeToPath(const std::string &path,
+            const std::function<void(std::FILE *)> &writer)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    writer(f);
+    if (std::fclose(f) != 0)
+        fatal("error writing '%s'", path.c_str());
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size()
+        && s.compare(s.size() - suffix.size(), suffix.size(), suffix)
+               == 0;
+}
+
+} // namespace
+
+void
+writeTraceFile(const std::string &path,
+               const std::vector<const TraceSession *> &cells)
+{
+    writeToPath(path, [&](std::FILE *f) {
+        if (hasSuffix(path, ".jsonl"))
+            writeTraceJsonl(f, cells);
+        else
+            writeChromeTraceJson(f, cells);
+    });
+}
+
+void
+writeMetricsFile(const std::string &path,
+                 const std::vector<const TraceSession *> &cells)
+{
+    writeToPath(path,
+                [&](std::FILE *f) { writeMetricsJson(f, cells); });
+}
+
+} // namespace gmt::trace

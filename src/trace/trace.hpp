@@ -1,0 +1,204 @@
+/**
+ * @file
+ * gmt::trace — structured observability for the DES.
+ *
+ * TraceSink records begin/end spans, instants, and counter samples on
+ * named per-component tracks ("gpu", "tier1", "nvme", ...). Recording is
+ * a bounds check plus a vector push; when tracing is disabled no sink
+ * exists and every instrumentation site reduces to a null-pointer test.
+ * Sinks export two formats: Chrome trace_event JSON (loads in
+ * chrome://tracing and Perfetto; spans become complete "X" events,
+ * counters become "C" events) and a line-per-record JSONL schema for
+ * scripted consumers.
+ *
+ * TraceSession bundles one cell's sink and MetricsRegistry, plus the
+ * quiesce hooks components register to drain their in-flight windows at
+ * end of run. One session instruments exactly one simulation run: the
+ * matrix layer allocates a session per cell, which is what keeps traces
+ * byte-identical across --jobs counts (cells are merged in spec order).
+ *
+ * Timestamps are simulated nanoseconds throughout — the DES is
+ * deterministic, so trace and metrics files are bit-stable artifacts
+ * suitable for golden-file regression testing.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+
+/** Index of a registered track (component lane) inside one sink. */
+using TrackId = std::uint16_t;
+
+/** One completed span on a track. @c name must outlive the sink
+ *  (instrumentation passes string literals). */
+struct SpanRecord
+{
+    TrackId track = 0;
+    const char *name = "";
+    SimTime begin = 0;
+    SimTime end = 0;
+};
+
+/** One point event. */
+struct InstantRecord
+{
+    TrackId track = 0;
+    const char *name = "";
+    SimTime at = 0;
+};
+
+/** One counter sample (queue depths, occupancy). */
+struct CounterRecord
+{
+    TrackId track = 0;
+    const char *name = "";
+    SimTime at = 0;
+    std::int64_t value = 0;
+};
+
+/** Bounded in-memory event recorder for one simulation cell. */
+class TraceSink
+{
+  public:
+    /** Default per-record-type capacity; excess events are counted and
+     *  dropped so an unexpectedly chatty run degrades instead of OOMing. */
+    static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+    explicit TraceSink(std::size_t max_records_per_type = kDefaultCapacity);
+
+    /** Register (or fetch) a track by name; export order = id order. */
+    TrackId track(const std::string &name);
+
+    void
+    span(TrackId track_id, const char *name, SimTime begin, SimTime end)
+    {
+        if (spanRecs.size() >= cap) {
+            ++droppedCount;
+            return;
+        }
+        spanRecs.push_back(SpanRecord{track_id, name, begin, end});
+    }
+
+    void
+    instant(TrackId track_id, const char *name, SimTime at)
+    {
+        if (instantRecs.size() >= cap) {
+            ++droppedCount;
+            return;
+        }
+        instantRecs.push_back(InstantRecord{track_id, name, at});
+    }
+
+    void
+    counter(TrackId track_id, const char *name, SimTime at,
+            std::int64_t value)
+    {
+        if (counterRecs.size() >= cap) {
+            ++droppedCount;
+            return;
+        }
+        counterRecs.push_back(CounterRecord{track_id, name, at, value});
+    }
+
+    const std::vector<std::string> &tracks() const { return trackNames; }
+    const std::vector<SpanRecord> &spans() const { return spanRecs; }
+    const std::vector<InstantRecord> &instants() const
+    {
+        return instantRecs;
+    }
+    const std::vector<CounterRecord> &counters() const
+    {
+        return counterRecs;
+    }
+    std::uint64_t dropped() const { return droppedCount; }
+
+  private:
+    std::size_t cap;
+    std::vector<std::string> trackNames;
+    std::vector<SpanRecord> spanRecs;
+    std::vector<InstantRecord> instantRecs;
+    std::vector<CounterRecord> counterRecs;
+    std::uint64_t droppedCount = 0;
+};
+
+/** Identity + end-of-run summary of one traced simulation cell. */
+struct CellInfo
+{
+    std::string system;
+    std::string workload;
+    SimTime makespanNs = 0;
+    /** Runtime counter snapshot, in the runtime's emission order. */
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+
+/**
+ * One simulation cell's instrumentation: an optional sink, an optional
+ * metrics registry, and the quiesce hooks of every attached component.
+ * Components hold raw pointers resolved at attach time, so a session
+ * must outlive the runtime it instruments and a runtime must be reset
+ * *before* attaching (attach once per run).
+ */
+class TraceSession
+{
+  public:
+    TraceSession(bool with_trace, bool with_metrics,
+                 std::size_t sink_capacity = TraceSink::kDefaultCapacity);
+
+    /** Null when tracing is disabled — the zero-overhead check. */
+    TraceSink *sink() { return tracing ? &sink_ : nullptr; }
+    const TraceSink *sink() const { return tracing ? &sink_ : nullptr; }
+
+    /** Null when metrics are disabled. */
+    MetricsRegistry *metrics() { return metricsOn ? &registry : nullptr; }
+    const MetricsRegistry *metrics() const
+    {
+        return metricsOn ? &registry : nullptr;
+    }
+
+    /** Components register end-of-run drains at attach time. */
+    void onQuiesce(std::function<void(SimTime)> hook);
+
+    /** Runs every registered hook (idempotent per hook semantics are the
+     *  component's business; the harness calls this exactly once). */
+    void quiesce(SimTime now);
+
+    CellInfo info;
+
+  private:
+    bool tracing;
+    bool metricsOn;
+    TraceSink sink_;
+    MetricsRegistry registry;
+    std::vector<std::function<void(SimTime)>> quiesceHooks;
+};
+
+/**
+ * Merged-file writers: cells appear in the given order (spec order),
+ * each under its own Chrome process id, so output bytes are independent
+ * of how many worker threads executed the matrix.
+ */
+void writeChromeTraceJson(std::FILE *out,
+                          const std::vector<const TraceSession *> &cells);
+void writeTraceJsonl(std::FILE *out,
+                     const std::vector<const TraceSession *> &cells);
+void writeMetricsJson(std::FILE *out,
+                      const std::vector<const TraceSession *> &cells);
+
+/** Convenience: write to @p path via the matching writer
+ *  (".jsonl" selects the JSONL trace schema). fatal() on I/O errors. */
+void writeTraceFile(const std::string &path,
+                    const std::vector<const TraceSession *> &cells);
+void writeMetricsFile(const std::string &path,
+                      const std::vector<const TraceSession *> &cells);
+
+} // namespace gmt::trace

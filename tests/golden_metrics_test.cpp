@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Golden-metrics regression: the shrunk fig8/fig11 configurations must
+ * reproduce the checked-in metrics artifacts bit-for-bit, at any job
+ * count, and traces must be byte-identical across job counts.
+ *
+ * Regenerate the references intentionally with
+ *     build/tools/trace_tool regen-goldens tests/golden
+ * and commit the diff alongside the simulator change that caused it.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/golden.hpp"
+#include "trace/diff.hpp"
+#include "trace/json.hpp"
+
+using namespace gmt;
+
+namespace
+{
+
+std::string
+goldenPath(const std::string &figure)
+{
+    return std::string(GMT_GOLDEN_DIR) + "/" + figure + "_small.json";
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + name;
+}
+
+} // namespace
+
+class GoldenMetrics : public testing::TestWithParam<std::string>
+{};
+
+TEST_P(GoldenMetrics, MatchesCheckedInReferenceExactly)
+{
+    const std::string figure = GetParam();
+    const std::string fresh = tmpPath(figure + ".metrics.json");
+    harness::runGolden(figure, "", fresh, 1);
+    EXPECT_EQ(trace::diffMetricsFiles(fresh, goldenPath(figure), 0.0,
+                                      stdout),
+              0)
+        << "metrics drifted from tests/golden/" << figure
+        << "_small.json; if intended, regenerate with "
+           "`trace_tool regen-goldens tests/golden`";
+}
+
+TEST_P(GoldenMetrics, MetricsIdenticalAcrossJobCounts)
+{
+    const std::string figure = GetParam();
+    const std::string serial = tmpPath(figure + ".j1.json");
+    const std::string parallel = tmpPath(figure + ".j4.json");
+    harness::runGolden(figure, "", serial, 1);
+    harness::runGolden(figure, "", parallel, 4);
+    EXPECT_EQ(trace::readFileOrDie(serial),
+              trace::readFileOrDie(parallel));
+}
+
+TEST_P(GoldenMetrics, TraceBytesIdenticalAcrossJobCounts)
+{
+    const std::string figure = GetParam();
+    const std::string serial = tmpPath(figure + ".j1.trace.json");
+    const std::string parallel = tmpPath(figure + ".j4.trace.json");
+    harness::runGolden(figure, serial, "", 1);
+    harness::runGolden(figure, parallel, "", 4);
+    const std::string a = trace::readFileOrDie(serial);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, trace::readFileOrDie(parallel));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFigures, GoldenMetrics,
+                         testing::ValuesIn(harness::goldenFigures()),
+                         [](const auto &info) { return info.param; });
+
+TEST(MetricsDiff, ReportsMismatchPathsAndHonorsTolerance)
+{
+    trace::JsonValue a, b;
+    std::string err;
+    ASSERT_TRUE(trace::parseJson(
+        R"({"cells":[{"makespan_ns":1000,"x":"s"}]})", a, err));
+    ASSERT_TRUE(trace::parseJson(
+        R"({"cells":[{"makespan_ns":1001,"x":"s"}]})", b, err));
+
+    const trace::DiffResult exact =
+        trace::diffMetrics(a, b, 0.0, nullptr);
+    EXPECT_EQ(exact.mismatches, 1u);
+
+    const trace::DiffResult loose =
+        trace::diffMetrics(a, b, 0.01, nullptr);
+    EXPECT_TRUE(loose.identical());
+}

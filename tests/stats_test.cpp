@@ -31,6 +31,23 @@ TEST(CounterSet, GetCreatesOnce)
     EXPECT_EQ(s.all().size(), 1u);
 }
 
+TEST(CounterSet, ReferencesSurviveManyLaterInserts)
+{
+    // Runtimes cache Counter& across a whole run; the reference from
+    // get() must stay valid no matter how many counters register later
+    // (a vector-backed set invalidated it on growth).
+    CounterSet s;
+    Counter &first = s.get("first");
+    first.inc(7);
+    for (int i = 0; i < 1000; ++i)
+        s.get("c" + std::to_string(i)).inc();
+    EXPECT_EQ(&first, &s.get("first"));
+    first.inc(3);
+    EXPECT_EQ(s.value("first"), 10u);
+    EXPECT_EQ(s.all().size(), 1001u);
+    EXPECT_EQ(s.all().front().name(), "first");
+}
+
 TEST(CounterSet, MissingCounterReadsZero)
 {
     CounterSet s;

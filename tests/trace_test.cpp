@@ -1,0 +1,354 @@
+/**
+ * @file
+ * Property and invariant tests for gmt::trace — the metric primitives,
+ * the sink, and full traced simulation runs of all five systems.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gpu/coalescer.hpp"
+#include "harness/experiment.hpp"
+#include "harness/golden.hpp"
+#include "trace/json.hpp"
+#include "trace/metrics.hpp"
+#include "trace/trace.hpp"
+
+using namespace gmt;
+using namespace gmt::trace;
+
+namespace
+{
+
+const harness::System kAllSystems[] = {
+    harness::System::Bam,          harness::System::GmtTierOrder,
+    harness::System::GmtRandom,    harness::System::GmtReuse,
+    harness::System::Hmm,
+};
+
+std::uint64_t
+metricCounter(const MetricsRegistry &reg, const std::string &name)
+{
+    for (const auto &[n, v] : reg.counters()) {
+        if (n == name)
+            return v;
+    }
+    ADD_FAILURE() << "metric counter not registered: " << name;
+    return 0;
+}
+
+/** Run one small traced simulation; the session collects everything. */
+harness::ExperimentResult
+runTraced(harness::System sys, TraceSession &session)
+{
+    return harness::runSystem(sys, harness::goldenSmallConfig(), "Srad",
+                              64, &session);
+}
+
+std::string
+captureJson(const std::vector<const TraceSession *> &cells,
+            void (*writer)(std::FILE *,
+                           const std::vector<const TraceSession *> &))
+{
+    char *buf = nullptr;
+    std::size_t len = 0;
+    std::FILE *mem = open_memstream(&buf, &len);
+    EXPECT_NE(mem, nullptr);
+    writer(mem, cells);
+    std::fclose(mem);
+    std::string out(buf, len);
+    std::free(buf);
+    return out;
+}
+
+} // namespace
+
+TEST(LatencyHistogram, BucketsAndStats)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.percentile(50), 0u);
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1006u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.bucketCount(0), 1u); // the 0 ns sample
+    EXPECT_EQ(h.bucketCount(1), 1u); // the 1 ns sample
+    EXPECT_EQ(h.bucketCount(3), 1u); // 5 ns has bit width 3
+    EXPECT_EQ(h.bucketCount(10), 1u); // 1000 ns has bit width 10
+}
+
+TEST(LatencyHistogram, PercentileMonotoneAndClamped)
+{
+    LatencyHistogram h;
+    for (SimTime v : {3u, 9u, 17u, 900u, 901u, 902u, 70000u})
+        h.record(v);
+    SimTime prev = 0;
+    for (unsigned pct = 1; pct <= 100; ++pct) {
+        const SimTime p = h.percentile(pct);
+        EXPECT_GE(p, prev) << "pct " << pct;
+        EXPECT_LE(p, h.max());
+        prev = p;
+    }
+    EXPECT_EQ(h.percentile(100), h.max());
+}
+
+TEST(QueueDepthTracker, IntegralAndExtremes)
+{
+    QueueDepthTracker q(QueueKind::Inflight);
+    q.sample(100, 1);
+    q.sample(200, 3); // depth 1 held for 100 ns
+    q.sample(300, 0); // depth 3 held for 100 ns
+    EXPECT_EQ(q.samples(), 3u);
+    EXPECT_EQ(q.maxDepth(), 3);
+    EXPECT_EQ(q.minDepth(), 0);
+    EXPECT_EQ(q.current(), 0);
+    EXPECT_EQ(q.depthTimeNs(), 100u * 1 + 100u * 3);
+    EXPECT_EQ(q.spanNs(), 200u);
+}
+
+TEST(QueueDepthTracker, NonMonotoneTimeClampsToZeroDt)
+{
+    QueueDepthTracker q(QueueKind::Occupancy);
+    q.sample(500, 2);
+    q.sample(400, 5); // earlier time: no negative integral
+    EXPECT_EQ(q.depthTimeNs(), 0u);
+    EXPECT_EQ(q.spanNs(), 0u);
+    q.sample(600, 1);
+    EXPECT_EQ(q.depthTimeNs(), 5u * 100u);
+}
+
+TEST(InflightWindow, RetiresAtCompletionTimesAndDrains)
+{
+    QueueDepthTracker q(QueueKind::Inflight);
+    InflightWindow w;
+    w.attach(&q);
+    w.issue(0, 100);   // depth 1
+    w.issue(10, 50);   // depth 2
+    w.issue(60, 200);  // the t=50 completion retires first -> depth 2
+    EXPECT_EQ(q.current(), 2);
+    EXPECT_EQ(q.maxDepth(), 2);
+    w.quiesce(200);
+    EXPECT_EQ(q.current(), 0);
+    EXPECT_GE(q.minDepth(), 0);
+}
+
+TEST(TraceSink, CapsAndCountsDrops)
+{
+    TraceSink sink(4);
+    const TrackId t = sink.track("x");
+    for (int i = 0; i < 10; ++i)
+        sink.span(t, "s", i, i + 1);
+    EXPECT_EQ(sink.spans().size(), 4u);
+    EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSession, DisabledMeansNullPointers)
+{
+    TraceSession off(false, false);
+    EXPECT_EQ(off.sink(), nullptr);
+    EXPECT_EQ(off.metrics(), nullptr);
+    TraceSession metrics_only(false, true);
+    EXPECT_EQ(metrics_only.sink(), nullptr);
+    EXPECT_NE(metrics_only.metrics(), nullptr);
+}
+
+TEST(MergeStats, AccumulatesAndExports)
+{
+    gpu::MergeStats stats;
+    // 32 lanes striding by 8 bytes stay inside one page: 1 request.
+    auto reqs = gpu::Coalescer::coalesceStrided(0, 8, 32, false, stats);
+    EXPECT_EQ(reqs.size(), 1u);
+    // 16 lanes striding by a full page each: 16 requests.
+    reqs = gpu::Coalescer::coalesceStrided(0, kPageBytes, 16, true, stats);
+    EXPECT_EQ(reqs.size(), 16u);
+    EXPECT_EQ(stats.instructions, 2u);
+    EXPECT_EQ(stats.activeLanes, 48u);
+    EXPECT_EQ(stats.requests, 17u);
+
+    MetricsRegistry reg;
+    stats.exportTo(reg);
+    EXPECT_EQ(metricCounter(reg, "gpu.coalescer_instructions"), 2u);
+    EXPECT_EQ(metricCounter(reg, "gpu.coalescer_active_lanes"), 48u);
+    EXPECT_EQ(metricCounter(reg, "gpu.coalescer_requests"), 17u);
+}
+
+TEST(MetricsRegistry, ReferencesStableAcrossInserts)
+{
+    MetricsRegistry reg;
+    LatencyHistogram &first = reg.latency("first");
+    for (int i = 0; i < 500; ++i)
+        reg.latency("h" + std::to_string(i));
+    EXPECT_EQ(&first, &reg.latency("first"));
+}
+
+TEST(TracedRun, DoesNotChangeSimulatedOutcome)
+{
+    for (harness::System sys : kAllSystems) {
+        const auto plain = harness::runSystem(
+            sys, harness::goldenSmallConfig(), "Srad", 64);
+        TraceSession session(true, true);
+        const auto traced = runTraced(sys, session);
+        EXPECT_EQ(plain, traced)
+            << "tracing changed " << harness::systemName(sys);
+        EXPECT_EQ(session.info.makespanNs, traced.makespanNs);
+    }
+}
+
+TEST(TracedRun, SpanInvariants)
+{
+    for (harness::System sys : kAllSystems) {
+        TraceSession session(true, true);
+        runTraced(sys, session);
+        const TraceSink *sink = session.sink();
+        ASSERT_NE(sink, nullptr);
+        EXPECT_FALSE(sink->spans().empty())
+            << harness::systemName(sys);
+        for (const SpanRecord &s : sink->spans()) {
+            ASSERT_GE(s.end, s.begin);
+            ASSERT_LT(s.track, sink->tracks().size());
+        }
+        for (const CounterRecord &c : sink->counters())
+            ASSERT_LT(c.track, sink->tracks().size());
+    }
+}
+
+TEST(TracedRun, NvmeCompletionsNeverExceedSubmissions)
+{
+    for (harness::System sys : kAllSystems) {
+        TraceSession session(false, true);
+        runTraced(sys, session);
+        const MetricsRegistry *reg = session.metrics();
+        ASSERT_NE(reg, nullptr);
+        const std::uint64_t subs = metricCounter(*reg,
+                                                 "nvme.submissions");
+        const std::uint64_t reaped =
+            metricCounter(*reg, "nvme.completions_reaped");
+        EXPECT_LE(reaped, subs) << harness::systemName(sys);
+        EXPECT_GT(subs, 0u) << harness::systemName(sys);
+    }
+}
+
+TEST(TracedRun, InflightQueuesDrainToZeroAtQuiesce)
+{
+    for (harness::System sys : kAllSystems) {
+        TraceSession session(false, true);
+        runTraced(sys, session);
+        const MetricsRegistry *reg = session.metrics();
+        ASSERT_NE(reg, nullptr);
+        bool saw_inflight = false;
+        for (const auto &[name, q] : reg->queueDepths()) {
+            EXPECT_GE(q.minDepth(), 0) << name;
+            EXPECT_GE(q.maxDepth(), q.minDepth()) << name;
+            if (q.queueKind() != QueueKind::Inflight || q.samples() == 0)
+                continue;
+            saw_inflight = true;
+            EXPECT_EQ(q.current(), 0)
+                << harness::systemName(sys) << " " << name
+                << " did not drain";
+        }
+        EXPECT_TRUE(saw_inflight) << harness::systemName(sys);
+    }
+}
+
+TEST(TracedRun, HistogramPercentilesMonotone)
+{
+    TraceSession session(false, true);
+    runTraced(harness::System::GmtReuse, session);
+    const MetricsRegistry *reg = session.metrics();
+    ASSERT_NE(reg, nullptr);
+    bool saw_data = false;
+    for (const auto &[name, h] : reg->latencies()) {
+        if (h.count() == 0)
+            continue;
+        saw_data = true;
+        const SimTime p50 = h.percentile(50);
+        const SimTime p95 = h.percentile(95);
+        const SimTime p99 = h.percentile(99);
+        EXPECT_LE(p50, p95) << name;
+        EXPECT_LE(p95, p99) << name;
+        EXPECT_LE(p99, h.max()) << name;
+        EXPECT_LE(h.min(), p50) << name;
+    }
+    EXPECT_TRUE(saw_data);
+}
+
+TEST(TracedRun, CoversEveryInstrumentedLayer)
+{
+    TraceSession session(true, true);
+    runTraced(harness::System::GmtReuse, session);
+    const MetricsRegistry *reg = session.metrics();
+    ASSERT_NE(reg, nullptr);
+    for (const char *name :
+         {"gpu.stall_ns", "nvme.cmd_latency_ns", "pcie.up.batch_ns",
+          "tier1.miss_service_ns", "tier2.fetch_ns"}) {
+        bool found = false;
+        for (const auto &[n, h] : reg->latencies())
+            found |= n == name;
+        EXPECT_TRUE(found) << name;
+    }
+    for (const char *name : {"tier1.occupancy", "tier2.occupancy",
+                             "gpu.ready_warps", "nvme.inflight"}) {
+        bool found = false;
+        for (const auto &[n, q] : reg->queueDepths())
+            found |= n == name && q.samples() > 0;
+        EXPECT_TRUE(found) << name;
+    }
+}
+
+TEST(Writers, MetricsJsonParsesBack)
+{
+    TraceSession session(true, true);
+    runTraced(harness::System::GmtTierOrder, session);
+    const std::string doc =
+        captureJson({&session}, &writeMetricsJson);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc, root, error)) << error;
+    const JsonValue *schema = root.find("schema");
+    ASSERT_NE(schema, nullptr);
+    EXPECT_EQ(schema->text, "gmt-metrics-v1");
+    const JsonValue *cells = root.find("cells");
+    ASSERT_NE(cells, nullptr);
+    ASSERT_EQ(cells->items.size(), 1u);
+    const JsonValue &cell = cells->items[0];
+    EXPECT_NE(cell.find("latency_ns"), nullptr);
+    EXPECT_NE(cell.find("queue_depth"), nullptr);
+    EXPECT_NE(cell.find("makespan_ns"), nullptr);
+}
+
+TEST(Writers, ChromeTraceJsonParsesBack)
+{
+    TraceSession session(true, false);
+    runTraced(harness::System::Bam, session);
+    const std::string doc =
+        captureJson({&session}, &writeChromeTraceJson);
+
+    JsonValue root;
+    std::string error;
+    ASSERT_TRUE(parseJson(doc, root, error)) << error;
+    const JsonValue *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->items.size(), 0u);
+    bool saw_span = false, saw_meta = false;
+    for (const JsonValue &ev : events->items) {
+        const JsonValue *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        if (ph->text == "X") {
+            saw_span = true;
+            const JsonValue *dur = ev.find("dur");
+            ASSERT_NE(dur, nullptr);
+            EXPECT_GE(dur->number, 0.0);
+        }
+        saw_meta |= ph->text == "M";
+    }
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_meta);
+}

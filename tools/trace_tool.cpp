@@ -1,0 +1,111 @@
+/**
+ * @file
+ * trace_tool — inspect and compare the simulator's observability
+ * artifacts.
+ *
+ *   trace_tool summarize TRACE
+ *       Per-track span/counter summary of a Chrome-JSON or JSONL trace.
+ *
+ *   trace_tool diff [--tol REL] METRICS_A METRICS_B
+ *       Structural comparison of two metrics files. Exit 0 when equal
+ *       within tolerance (default 0 = bit-exact), 1 on differences,
+ *       2 on parse errors. Mismatches print with their JSON paths.
+ *
+ *   trace_tool regen-goldens DIR [--jobs N]
+ *       Re-run every golden figure configuration and write
+ *       DIR/<figure>_small.json — the one command that refreshes the
+ *       checked-in references under tests/golden/.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/golden.hpp"
+#include "trace/diff.hpp"
+#include "util/logging.hpp"
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: trace_tool summarize TRACE\n"
+                 "       trace_tool diff [--tol REL] METRICS_A "
+                 "METRICS_B\n"
+                 "       trace_tool regen-goldens DIR [--jobs N]\n");
+    return 2;
+}
+
+int
+runDiff(int argc, char **argv)
+{
+    double tol = 0.0;
+    std::string a, b;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tol") == 0) {
+            if (i + 1 >= argc)
+                return usage();
+            tol = std::strtod(argv[++i], nullptr);
+            if (tol < 0.0)
+                return usage();
+        } else if (a.empty()) {
+            a = argv[i];
+        } else if (b.empty()) {
+            b = argv[i];
+        } else {
+            return usage();
+        }
+    }
+    if (a.empty() || b.empty())
+        return usage();
+    const int rc = gmt::trace::diffMetricsFiles(a, b, tol, stdout);
+    if (rc == 0)
+        std::printf("identical (tolerance %g)\n", tol);
+    return rc;
+}
+
+int
+runRegen(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const std::string dir = argv[0];
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v <= 0)
+                return usage();
+            jobs = unsigned(v);
+        } else {
+            return usage();
+        }
+    }
+    for (const auto &figure : gmt::harness::goldenFigures()) {
+        const std::string path = dir + "/" + figure + "_small.json";
+        gmt::harness::runGolden(figure, "", path, jobs);
+        std::printf("wrote %s\n", path.c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "summarize" && argc == 3)
+        return gmt::trace::summarizeTraceFile(argv[2], stdout);
+    if (cmd == "diff")
+        return runDiff(argc - 2, argv + 2);
+    if (cmd == "regen-goldens")
+        return runRegen(argc - 2, argv + 2);
+    return usage();
+}
