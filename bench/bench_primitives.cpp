@@ -7,10 +7,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <functional>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
+#include "core/config.hpp"
+#include "core/runtime.hpp"
+#include "gpu/coalescer.hpp"
 #include "mem/frame_pool.hpp"
 #include "replacement/policy.hpp"
 #include "reuse/olken_tree.hpp"
@@ -18,6 +23,7 @@
 #include "sim/channel.hpp"
 #include "sim/event_queue.hpp"
 #include "tier2/directory.hpp"
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
 using namespace gmt;
@@ -199,6 +205,270 @@ BM_BandwidthChannelTransfer(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_BandwidthChannelTransfer);
+
+namespace
+{
+
+/**
+ * The seed coalescer: one heap-backed std::vector per warp instruction
+ * (reserve(4), growing under divergence). Kept as the reference point
+ * for the inline CoalescedBatch, exactly like LegacyEventQueue above.
+ */
+std::vector<gpu::CoalescedRequest>
+legacyCoalesce(const gpu::Coalescer::Warp &warp)
+{
+    std::vector<gpu::CoalescedRequest> out;
+    out.reserve(4);
+    for (const gpu::Coalescer::LaneAccess &lane : warp) {
+        if (!lane.active)
+            continue;
+        const PageId page = lane.byteAddress / kPageBytes;
+        bool merged = false;
+        for (auto &req : out) {
+            if (req.page == page) {
+                ++req.lanes;
+                req.write |= lane.write;
+                merged = true;
+                break;
+            }
+        }
+        if (!merged)
+            out.push_back(gpu::CoalescedRequest{page, 1, lane.write});
+    }
+    return out;
+}
+
+/** Strided warp: @p pages distinct pages across the 32 lanes. */
+gpu::Coalescer::Warp
+stridedWarp(unsigned pages)
+{
+    gpu::Coalescer::Warp warp{};
+    const std::uint64_t stride = std::uint64_t(pages) * kPageBytes / 32;
+    for (unsigned lane = 0; lane < kWarpLanes; ++lane) {
+        warp[lane].byteAddress = lane * stride;
+        warp[lane].active = true;
+        warp[lane].write = lane % 4 == 0;
+    }
+    return warp;
+}
+
+} // namespace
+
+static void
+BM_CoalescerBatch(benchmark::State &state)
+{
+    const gpu::Coalescer::Warp warp = stridedWarp(unsigned(state.range(0)));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const gpu::CoalescedBatch batch = gpu::Coalescer::coalesce(warp);
+        sink += batch.size();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoalescerBatch)->Arg(1)->Arg(4)->Arg(32);
+
+static void
+BM_CoalescerLegacy(benchmark::State &state)
+{
+    const gpu::Coalescer::Warp warp = stridedWarp(unsigned(state.range(0)));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const auto reqs = legacyCoalesce(warp);
+        sink += reqs.size();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoalescerLegacy)->Arg(1)->Arg(4)->Arg(32);
+
+namespace
+{
+
+const SimTime *
+findPtr(util::FlatMap<PageId, SimTime> &map, PageId key)
+{
+    return map.find(key);
+}
+
+const SimTime *
+findPtr(std::unordered_map<PageId, SimTime> &map, PageId key)
+{
+    const auto it = map.find(key);
+    return it != map.end() ? &it->second : nullptr;
+}
+
+/** Hit-heavy probe mix over a pre-populated map of @p Map type. */
+template <typename Map>
+void
+mapLookupBench(benchmark::State &state, Map &map)
+{
+    Rng rng(6);
+    for (PageId p = 0; p < 4096; ++p)
+        map.emplace(p * 3, SimTime(p));
+    std::uint64_t sink = 0;
+    for (auto _ : state) {
+        const PageId key = rng.below(8192) * 3; // ~50% hits
+        if (const auto *v = findPtr(map, key))
+            sink += std::uint64_t(*v);
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/** The arrivals-style churn: insert, look up, erase. */
+template <typename Map>
+void
+mapChurnBench(benchmark::State &state, Map &map)
+{
+    Rng rng(8);
+    for (PageId p = 0; p < 256; ++p)
+        map.emplace(p, SimTime(p));
+    for (auto _ : state) {
+        const PageId key = rng.below(4096);
+        map.emplace(key, SimTime(key));
+        benchmark::DoNotOptimize(findPtr(map, key));
+        map.erase(rng.below(4096));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+static void
+BM_FlatMapLookup(benchmark::State &state)
+{
+    util::FlatMap<PageId, SimTime> map(8192);
+    mapLookupBench(state, map);
+}
+BENCHMARK(BM_FlatMapLookup);
+
+static void
+BM_StdUnorderedMapLookup(benchmark::State &state)
+{
+    std::unordered_map<PageId, SimTime> map;
+    map.reserve(8192);
+    mapLookupBench(state, map);
+}
+BENCHMARK(BM_StdUnorderedMapLookup);
+
+static void
+BM_FlatMapChurn(benchmark::State &state)
+{
+    util::FlatMap<PageId, SimTime> map(8192);
+    mapChurnBench(state, map);
+}
+BENCHMARK(BM_FlatMapChurn);
+
+static void
+BM_StdUnorderedMapChurn(benchmark::State &state)
+{
+    std::unordered_map<PageId, SimTime> map;
+    map.reserve(8192);
+    mapChurnBench(state, map);
+}
+BENCHMARK(BM_StdUnorderedMapChurn);
+
+static void
+BM_GmtAccessPathHit(benchmark::State &state)
+{
+    // Working set == Tier-1: pure steady-state hit path, the floor of
+    // every figure reproduction's per-access cost.
+    RuntimeConfig cfg;
+    cfg.numPages = 256;
+    cfg.tier1Pages = 256;
+    cfg.tier2Pages = 1024;
+    cfg.policy = PlacementPolicy::Reuse;
+    auto rt = makeGmtRuntime(cfg);
+    Rng rng(7);
+    SimTime now = 0;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, false).readyAt;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const PageId page = rng.below(cfg.numPages);
+        now += 10;
+        benchmark::DoNotOptimize(
+            rt->access(now, WarpId(i & 31), page, (i & 7) == 0));
+        if ((++i & 1023) == 0)
+            rt->backgroundTick(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmtAccessPathHit);
+
+static void
+BM_GmtAccessPathOversubscribed(benchmark::State &state)
+{
+    // OSF ~2.7 zipf traffic: misses, evictions, placement, sampling —
+    // the full GMT-Reuse access path end to end.
+    RuntimeConfig cfg;
+    cfg.numPages = 2048;
+    cfg.tier1Pages = 256;
+    cfg.tier2Pages = 512;
+    cfg.policy = PlacementPolicy::Reuse;
+    auto rt = makeGmtRuntime(cfg);
+    Rng rng(11);
+    ZipfSampler zipf(cfg.numPages, 0.8);
+    SimTime now = 0;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const PageId page = zipf.sample(rng);
+        now += 10;
+        benchmark::DoNotOptimize(
+            rt->access(now, WarpId(i & 31), page, (i & 7) == 0));
+        if ((++i & 1023) == 0)
+            rt->backgroundTick(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmtAccessPathOversubscribed);
+
+static void
+BM_GmtWarpAccessPath(benchmark::State &state)
+{
+    // Full per-warp-instruction path: coalesce the 32 lanes, then feed
+    // every resulting request through the runtime. This is the loop the
+    // GPU engine runs per instruction, so the coalescer's return-value
+    // representation (heap vector vs inline batch) sits directly on it.
+    RuntimeConfig cfg;
+    cfg.numPages = 256;
+    cfg.tier1Pages = 256;
+    cfg.tier2Pages = 1024;
+    cfg.policy = PlacementPolicy::Reuse;
+    auto rt = makeGmtRuntime(cfg);
+    SimTime now = 0;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, false).readyAt;
+
+    // 3:1 coherent-to-divergent warp mix over the resident set.
+    Rng rng(13);
+    std::array<gpu::Coalescer::Warp, 64> warps{};
+    for (unsigned w = 0; w < warps.size(); ++w) {
+        const std::uint64_t base = rng.below(cfg.numPages) * kPageBytes;
+        for (unsigned lane = 0; lane < kWarpLanes; ++lane) {
+            warps[w][lane].active = true;
+            warps[w][lane].write = lane % 4 == 0;
+            warps[w][lane].byteAddress =
+                w % 4 == 0 ? (lane % 8) * kPageBytes + lane * 8
+                           : base + lane * 8;
+        }
+    }
+
+    gpu::MergeStats stats;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        const auto reqs = gpu::Coalescer::coalesce(warps[i & 63], stats);
+        now += 10;
+        for (const auto &req : reqs)
+            benchmark::DoNotOptimize(
+                rt->access(now, WarpId(i & 31), req.page, req.write));
+        if ((++i & 1023) == 0)
+            rt->backgroundTick(now);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GmtWarpAccessPath);
 
 static void
 BM_OlsRegressorSample(benchmark::State &state)

@@ -1,5 +1,7 @@
 #include "cache/tier1_cache.hpp"
 
+#include <algorithm>
+
 #include "util/logging.hpp"
 
 namespace gmt::cache
@@ -9,6 +11,9 @@ Tier1Cache::Tier1Cache(mem::PageTable &page_table, std::uint64_t num_frames)
     : pt(page_table), pool(num_frames),
       clock(replacement::makeClock(num_frames))
 {
+    // At most one outstanding fetch per frame; cap the hint so huge
+    // Tier-1 configs don't pre-size a window they will never fill.
+    inflight.reserve(std::size_t(std::min<std::uint64_t>(num_frames, 1024)));
 }
 
 LookupResult
@@ -22,9 +27,9 @@ Tier1Cache::lookup(PageId page)
         clock->onAccess(m.frame);
         return r;
     }
-    if (auto it = inflight.find(page); it != inflight.end()) {
+    if (const SimTime *ready = inflight.find(page)) {
         r.kind = LookupResult::Kind::InFlight;
-        r.readyAt = it->second;
+        r.readyAt = *ready;
         return r;
     }
     r.kind = LookupResult::Kind::Miss;
@@ -35,9 +40,9 @@ void
 Tier1Cache::beginFetch(PageId page, SimTime ready_at)
 {
     GMT_ASSERT(pt.meta(page).residency != mem::Residency::Tier1);
-    const auto [it, inserted] = inflight.emplace(page, ready_at);
+    const auto [slot, inserted] = inflight.emplace(page, ready_at);
     GMT_ASSERT(inserted);
-    (void)it;
+    (void)slot;
 }
 
 FrameId
@@ -57,9 +62,9 @@ Tier1Cache::finishFetch(PageId page, bool mark_dirty)
 SimTime
 Tier1Cache::inflightReadyAt(PageId page) const
 {
-    const auto it = inflight.find(page);
-    GMT_ASSERT(it != inflight.end());
-    return it->second;
+    const SimTime *ready = inflight.find(page);
+    GMT_ASSERT(ready != nullptr);
+    return *ready;
 }
 
 FrameId

@@ -18,12 +18,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "mem/frame_pool.hpp"
 #include "mem/page_table.hpp"
 #include "replacement/policy.hpp"
 #include "trace/trace.hpp"
+#include "util/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace gmt::cache
@@ -58,7 +58,9 @@ class Tier1Cache
     std::uint64_t used() const { return pool.used(); }
     bool full() const { return pool.full(); }
 
-    /** Look @p page up; touches the clock on a hit. */
+    /** Look @p page up; touches the clock on a hit. An InFlight result
+     *  carries the fetch's completion time in readyAt from the same
+     *  (single) probe — callers never need a second hash. */
     LookupResult lookup(PageId page);
 
     /**
@@ -74,7 +76,11 @@ class Tier1Cache
      */
     FrameId finishFetch(PageId page, bool mark_dirty);
 
-    /** An in-flight fetch's completion time (page must be in flight). */
+    /**
+     * An in-flight fetch's completion time (page must be in flight).
+     * Tests/assertions only: the hot path gets readyAt from lookup()'s
+     * single probe and must not hash the in-flight window twice.
+     */
     SimTime inflightReadyAt(PageId page) const;
 
     /**
@@ -123,7 +129,10 @@ class Tier1Cache
     mem::PageTable &pt;
     mem::FramePool pool;
     std::unique_ptr<replacement::Policy> clock;
-    std::unordered_map<PageId, SimTime> inflight;
+    /** page -> fetch completion time. Bounded by the outstanding-fetch
+     *  window (never more in-flight fetches than frames), so it is
+     *  pre-sized once and stays allocation-free per access. */
+    util::FlatMap<PageId, SimTime> inflight;
     trace::QueueDepthTracker *occupancy = nullptr;
 };
 

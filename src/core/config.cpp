@@ -61,6 +61,8 @@ RuntimeConfig::validate() const
         fatal("RuntimeConfig: need at least one SSD");
     if (samplePeriod == 0)
         fatal("RuntimeConfig: sample period must be positive");
+    if (samplerDrainBatch == 0)
+        fatal("RuntimeConfig: sampler drain batch must be positive");
 }
 
 } // namespace gmt

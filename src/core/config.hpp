@@ -106,6 +106,17 @@ struct RuntimeConfig
     std::uint64_t samplePeriod = 4;
     std::uint64_t sampleTarget = 200000;
 
+    /**
+     * Max samples the host regression thread consumes per
+     * backgroundTick (§2.1.3's dedicated CPU thread). The engine ticks
+     * every EngineConfig::backgroundInterval accesses while the GPU
+     * queues one sample per samplePeriod accesses, so any value above
+     * backgroundInterval / samplePeriod keeps the host ahead of the
+     * GPU; the default leaves generous headroom without letting one
+     * tick stall on an unbounded backlog.
+     */
+    std::uint64_t samplerDrainBatch = 4096;
+
     /** Tier-2 directory probe cost on the critical path (§3.4: ~50 ns). */
     SimTime tier2LookupNs = 50;
 

@@ -391,9 +391,10 @@ GmtRuntime::backgroundTick(SimTime now)
     if (bamMode() || cfg.policy != PlacementPolicy::Reuse)
         return;
     // Host regression thread: consume queued samples off the critical
-    // path. Generous per-tick budget — the host easily keeps up with
-    // the sampled stream (one sample per cfg.samplePeriod accesses).
-    sampler.drain(4096);
+    // path. The per-tick budget is cfg.samplerDrainBatch — the host
+    // easily keeps up with the sampled stream (one sample per
+    // cfg.samplePeriod accesses).
+    sampler.drain(cfg.samplerDrainBatch);
 }
 
 SimTime

@@ -10,6 +10,9 @@ TieredRuntime::TieredRuntime(const RuntimeConfig &config)
       store(config.backingStore ? config.numPages : 0)
 {
     cfg.validate();
+    // Outstanding-window hint: at steady state only resident pages keep
+    // arrival entries, so Tier-1 capacity bounds the live set.
+    arrivals.reserve(std::size_t(cfg.tier1Pages));
 }
 
 TieredRuntime::~TieredRuntime() = default;
@@ -38,20 +41,20 @@ TieredRuntime::reset()
 void
 TieredRuntime::setPageReadyAt(PageId page, SimTime when)
 {
-    arrivals[page] = when;
+    arrivals.insertOrAssign(page, when);
 }
 
 SimTime
 TieredRuntime::pageReadyAt(SimTime now, PageId page)
 {
-    const auto it = arrivals.find(page);
-    if (it == arrivals.end())
+    const SimTime *when = arrivals.find(page);
+    if (!when)
         return now;
-    if (it->second <= now) {
-        arrivals.erase(it); // transfer long since finished
+    if (*when <= now) {
+        arrivals.erase(page); // transfer long since finished
         return now;
     }
-    return it->second;
+    return *when;
 }
 
 } // namespace gmt

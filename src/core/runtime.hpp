@@ -20,13 +20,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
 #include "core/config.hpp"
 #include "mem/backing_store.hpp"
 #include "mem/page_table.hpp"
 #include "stats/counters.hpp"
 #include "trace/trace.hpp"
+#include "util/flat_map.hpp"
 #include "util/types.hpp"
 
 namespace gmt
@@ -116,8 +116,12 @@ class TieredRuntime
     trace::TraceSession *traceSess = nullptr;
 
   private:
-    /** Pages still in transit: page -> arrival time. Lazily pruned. */
-    std::unordered_map<PageId, SimTime> arrivals;
+    /** Pages still in transit: page -> arrival time. Lazily pruned on
+     *  hits whose transfer has already completed. Pre-sized to the
+     *  Tier-1 capacity (the live outstanding window) so steady-state
+     *  accesses never allocate; stale entries for evicted pages can
+     *  push it past the hint, at which point it doubles. */
+    util::FlatMap<PageId, SimTime> arrivals;
 };
 
 /** Factory for the paper's system (placement policy from cfg.policy). */

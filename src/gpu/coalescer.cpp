@@ -1,46 +1,107 @@
 #include "gpu/coalescer.hpp"
 
-#include "util/logging.hpp"
+#include <cstring>
 
 namespace gmt::gpu
 {
 
-std::vector<CoalescedRequest>
-Coalescer::coalesce(const Warp &warp)
+namespace
 {
-    std::vector<CoalescedRequest> out;
-    out.reserve(4); // the common case: high spatial locality
-    for (const LaneAccess &lane : warp) {
-        if (!lane.active)
+
+/**
+ * Single pass over the lanes: merge into @p out and count active lanes.
+ *
+ * Two accelerations over the naive lane-by-lane linear scan, both
+ * order-preserving (requests still appear in first-touch lane order,
+ * with identical lane counts and write bits):
+ *
+ *  - Run absorption. Consecutive active lanes on the same page — the
+ *    dominant pattern for coherent warps — collapse into one batch
+ *    update instead of one probe per lane.
+ *  - A direct-mapped page->entry table (64 slots on the stack) resolves
+ *    each run's target entry in O(1). A slot collision between distinct
+ *    pages falls back to the linear scan over the batch, so the table
+ *    is purely an accelerator: it can never change the result, and the
+ *    fully divergent 32-distinct-page warp stays O(lanes) instead of
+ *    O(lanes * requests).
+ */
+inline unsigned
+mergeLanes(const Coalescer::Warp &warp, CoalescedBatch &out)
+{
+    constexpr unsigned kTableSlots = 64;
+    constexpr std::uint8_t kEmpty = 0xff;
+    std::uint8_t entryAt[kTableSlots];
+    std::memset(entryAt, kEmpty, sizeof entryAt);
+
+    unsigned active = 0;
+    unsigned lane = 0;
+    while (lane < kWarpLanes) {
+        if (!warp[lane].active) {
+            ++lane;
             continue;
-        const PageId page = lane.byteAddress / kPageBytes;
+        }
+        const PageId page = warp[lane].byteAddress / kPageBytes;
+        unsigned lanes = 0;
+        bool write = false;
+        do {
+            ++lanes;
+            write |= warp[lane].write;
+            ++lane;
+        } while (lane < kWarpLanes && warp[lane].active
+                 && warp[lane].byteAddress / kPageBytes == page);
+        active += lanes;
+
+        const unsigned slot = unsigned(page ^ (page >> 6)) % kTableSlots;
+        const std::uint8_t cached = entryAt[slot];
+        if (cached != kEmpty && out[cached].page == page) {
+            out[cached].lanes += lanes;
+            out[cached].write |= write;
+            continue;
+        }
+        if (cached == kEmpty) {
+            entryAt[slot] = std::uint8_t(out.size());
+            out.push(page, lanes, write);
+            continue;
+        }
+        // Distinct pages sharing a table slot: the later page keeps
+        // falling back here, which is slow but still exact.
         bool merged = false;
-        for (auto &req : out) {
+        for (CoalescedRequest &req : out) {
             if (req.page == page) {
-                ++req.lanes;
-                req.write |= lane.write;
+                req.lanes += lanes;
+                req.write |= write;
                 merged = true;
                 break;
             }
         }
         if (!merged)
-            out.push_back(CoalescedRequest{page, 1, lane.write});
+            out.push(page, lanes, write);
     }
+    return active;
+}
+
+} // namespace
+
+CoalescedBatch
+Coalescer::coalesce(const Warp &warp)
+{
+    CoalescedBatch out;
+    mergeLanes(warp, out);
     return out;
 }
 
-std::vector<CoalescedRequest>
+CoalescedBatch
 Coalescer::coalesce(const Warp &warp, MergeStats &stats)
 {
-    auto out = coalesce(warp);
+    CoalescedBatch out;
+    const unsigned active = mergeLanes(warp, out);
     ++stats.instructions;
-    for (const LaneAccess &lane : warp)
-        stats.activeLanes += lane.active ? 1 : 0;
+    stats.activeLanes += active;
     stats.requests += out.size();
     return out;
 }
 
-std::vector<CoalescedRequest>
+CoalescedBatch
 Coalescer::coalesceStrided(std::uint64_t base_byte,
                            std::uint64_t stride_bytes,
                            unsigned active_lanes, bool write)
@@ -55,7 +116,7 @@ Coalescer::coalesceStrided(std::uint64_t base_byte,
     return coalesce(warp);
 }
 
-std::vector<CoalescedRequest>
+CoalescedBatch
 Coalescer::coalesceStrided(std::uint64_t base_byte,
                            std::uint64_t stride_bytes,
                            unsigned active_lanes, bool write,

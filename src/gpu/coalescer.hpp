@@ -13,15 +13,21 @@
  * coalescing already folded into their visit streams); the coalescer is
  * the substrate for byte-addressed kernels like the quickstart's typed
  * arrays and for the Figure 6b-style microbenchmarks.
+ *
+ * Performance: one warp instruction can never produce more than
+ * kWarpLanes distinct pages, so the merge result is returned in a
+ * fixed-capacity inline CoalescedBatch — no heap allocation per warp
+ * instruction, which keeps the simulator's per-access hot path
+ * allocation-free (DESIGN.md §"Performance engineering").
  */
 
 #pragma once
 
 #include <array>
 #include <cstdint>
-#include <vector>
 
 #include "trace/metrics.hpp"
+#include "util/logging.hpp"
 #include "util/types.hpp"
 
 namespace gmt::gpu
@@ -33,6 +39,62 @@ struct CoalescedRequest
     PageId page = kInvalidPage;
     unsigned lanes = 0;  ///< active lanes that touched this page
     bool write = false;
+};
+
+/**
+ * The merge result of one warp instruction: up to kWarpLanes page
+ * requests stored inline (a warp of 32 lanes cannot touch more than 32
+ * distinct pages). Replaces the seed's std::vector return so the
+ * per-instruction hot path never touches the allocator.
+ */
+class CoalescedBatch
+{
+  public:
+    using value_type = CoalescedRequest;
+    using iterator = CoalescedRequest *;
+    using const_iterator = const CoalescedRequest *;
+
+    /** Hard capacity: the warp width. */
+    static constexpr unsigned kCapacity = kWarpLanes;
+
+    unsigned size() const { return count; }
+    bool empty() const { return count == 0; }
+    bool atCapacity() const { return count == kCapacity; }
+
+    const CoalescedRequest &
+    operator[](unsigned i) const
+    {
+        GMT_ASSERT(i < count);
+        return entries[i];
+    }
+
+    CoalescedRequest &
+    operator[](unsigned i)
+    {
+        GMT_ASSERT(i < count);
+        return entries[i];
+    }
+
+    iterator begin() { return entries.data(); }
+    iterator end() { return entries.data() + count; }
+    const_iterator begin() const { return entries.data(); }
+    const_iterator end() const { return entries.data() + count; }
+
+    void clear() { count = 0; }
+
+    /** Append a request (coalescer-internal; capacity is guaranteed by
+     *  the warp width). */
+    CoalescedRequest &
+    push(PageId page, unsigned lanes, bool write)
+    {
+        GMT_ASSERT(count < kCapacity);
+        entries[count] = CoalescedRequest{page, lanes, write};
+        return entries[count++];
+    }
+
+  private:
+    std::array<CoalescedRequest, kCapacity> entries;
+    unsigned count = 0;
 };
 
 /**
@@ -71,24 +133,29 @@ class Coalescer
      * preserving first-touch order. A page touched by both reads and
      * writes coalesces into a single write request (store buffers win).
      */
-    static std::vector<CoalescedRequest> coalesce(const Warp &warp);
+    static CoalescedBatch coalesce(const Warp &warp);
 
-    /** As above, accumulating merge-effectiveness sums into @p stats. */
-    static std::vector<CoalescedRequest> coalesce(const Warp &warp,
-                                                  MergeStats &stats);
+    /**
+     * As above, accumulating merge-effectiveness sums into @p stats in
+     * the same single pass over the lanes (the seed re-coalesced and
+     * then re-scanned the warp to count active lanes).
+     */
+    static CoalescedBatch coalesce(const Warp &warp, MergeStats &stats);
 
     /**
      * Convenience for unit-strided accesses: lanes 0..count-1 touch
      * base + lane * stride bytes.
      */
-    static std::vector<CoalescedRequest> coalesceStrided(
-        std::uint64_t base_byte, std::uint64_t stride_bytes,
-        unsigned active_lanes, bool write);
+    static CoalescedBatch coalesceStrided(std::uint64_t base_byte,
+                                          std::uint64_t stride_bytes,
+                                          unsigned active_lanes,
+                                          bool write);
 
     /** As above, accumulating merge-effectiveness sums into @p stats. */
-    static std::vector<CoalescedRequest> coalesceStrided(
-        std::uint64_t base_byte, std::uint64_t stride_bytes,
-        unsigned active_lanes, bool write, MergeStats &stats);
+    static CoalescedBatch coalesceStrided(std::uint64_t base_byte,
+                                          std::uint64_t stride_bytes,
+                                          unsigned active_lanes, bool write,
+                                          MergeStats &stats);
 };
 
 } // namespace gmt::gpu

@@ -5,11 +5,21 @@
 namespace gmt::reuse
 {
 
+namespace
+{
+/** Initial stamp-index sizing (distinct pages before the first rehash). */
+constexpr std::size_t kInitialPages = 4096;
+} // namespace
+
 OlkenTree::OlkenTree(std::uint64_t seed)
     : rng(seed)
 {
     // Node 0 is the null sentinel with size 0.
     pool.push_back(Node{0, 0, 0, 0, 0});
+    // The stamp index tracks distinct pages; start at a size that keeps
+    // the sampling phase (hundreds of thousands of samples over a much
+    // smaller distinct-page set) from rehashing more than a few times.
+    lastStamp.reserve(kInitialPages);
 }
 
 OlkenTree::~OlkenTree() = default;
@@ -117,17 +127,15 @@ OlkenTree::access(PageId page)
     // Stamps start at 1: erase() computes key - 1 and a zero key would
     // wrap around.
     const std::uint64_t stamp = ++clock;
-    auto it = lastStamp.find(page);
+    auto [last, inserted] = lastStamp.emplace(page, stamp);
     std::uint64_t distance = kColdDistance;
-    if (it != lastStamp.end()) {
+    if (!inserted) {
         // Distinct pages touched since the previous access = nodes whose
         // last-access timestamp is newer than ours (we ourselves were
         // re-stamped by those accesses' inserts).
-        distance = countGreater(it->second);
-        erase(it->second);
-        it->second = stamp;
-    } else {
-        lastStamp.emplace(page, stamp);
+        distance = countGreater(*last);
+        erase(*last);
+        *last = stamp;
     }
     insert(stamp);
     return distance;

@@ -20,9 +20,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -82,7 +82,9 @@ class OlkenTree
     std::vector<Node> pool;           ///< node 0 is the null sentinel
     std::vector<std::uint32_t> freeNodes;
     std::uint32_t root = 0;
-    std::unordered_map<PageId, std::uint64_t> lastStamp;
+    /** page -> last-access stamp; pure point lookups (no iteration), so
+     *  the flat map's table order never influences reuse distances. */
+    util::FlatMap<PageId, std::uint64_t> lastStamp;
     std::uint64_t clock = 0;
     Rng rng;
 };

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * FlatMap: a deterministic open-addressing hash map for integer keys.
+ *
+ * The simulator's per-access hot path (Tier-1 in-flight window, the
+ * per-page arrival times, the Olken tree's last-stamp index) is keyed
+ * by dense-ish integer ids and does nothing but find/insert/erase.
+ * std::unordered_map pays a heap allocation per node plus a pointer
+ * chase per probe there; this map stores slots inline in one flat
+ * power-of-two array with linear probing, so a lookup is one multiply
+ * (the hash finalizer) plus a short contiguous scan.
+ *
+ * Design constraints, in order:
+ *  - Determinism. The hash is fixed Fibonacci multiplicative hashing
+ *    (one multiply, top bits select the slot), the probe sequence is
+ *    linear, growth doubles at a fixed load factor: identical operation
+ *    sequences produce identical tables on every platform. There is no
+ *    per-process salt.
+ *  - Tombstone-free erase. Deletion backward-shifts the following
+ *    cluster (Knuth 6.4 algorithm R) instead of leaving tombstones, so
+ *    long-running churn (the arrivals map erases lazily on every
+ *    expired hit) never degrades probe lengths.
+ *  - No iteration-order contract. Iteration visits slots in table
+ *    order, which depends on the insertion history. Simulation logic
+ *    must not branch on it (DESIGN.md §"Performance engineering");
+ *    it exists for tests and bulk export only.
+ *
+ * Values must be movable; keys must be trivially copyable integers
+ * (PageId, FrameId, ...). Find returns a pointer that stays valid until
+ * the next insert or erase.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hpp"
+
+namespace gmt::util
+{
+
+/** Open-addressing (linear probe, backward-shift erase) integer map. */
+template <typename Key, typename Value>
+class FlatMap
+{
+    static_assert(std::is_integral_v<Key>,
+                  "FlatMap keys must be plain integers");
+
+  public:
+    FlatMap() = default;
+
+    /** Pre-size for @p expected entries (no rehash until exceeded). */
+    explicit FlatMap(std::size_t expected) { reserve(expected); }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Current slot-array size (0 until first insert/reserve). */
+    std::size_t capacity() const { return slots.size(); }
+
+    /** Drop all entries, keeping the slot array. */
+    void
+    clear()
+    {
+        for (Slot &s : slots)
+            s.used = false;
+        count = 0;
+    }
+
+    /** Ensure @p expected entries fit without growth. */
+    void
+    reserve(std::size_t expected)
+    {
+        const std::size_t needed = tableSizeFor(expected);
+        if (needed > slots.size())
+            rehash(needed);
+    }
+
+    /** Pointer to @p key's value, or nullptr. Never allocates. */
+    Value *
+    find(Key key)
+    {
+        if (count == 0)
+            return nullptr;
+        std::size_t i = indexOf(key);
+        while (slots[i].used) {
+            if (slots[i].key == key)
+                return &slots[i].value;
+            i = (i + 1) & mask;
+        }
+        return nullptr;
+    }
+
+    const Value *
+    find(Key key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(Key key) const { return find(key) != nullptr; }
+
+    /**
+     * Insert (key, value) if absent.
+     * @return {pointer to the (existing or new) value, inserted?}
+     */
+    std::pair<Value *, bool>
+    emplace(Key key, Value value)
+    {
+        growIfNeeded();
+        std::size_t i = indexOf(key);
+        while (slots[i].used) {
+            if (slots[i].key == key)
+                return {&slots[i].value, false};
+            i = (i + 1) & mask;
+        }
+        slots[i].used = true;
+        slots[i].key = key;
+        slots[i].value = std::move(value);
+        ++count;
+        return {&slots[i].value, true};
+    }
+
+    /** Insert or overwrite; returns the stored value. */
+    Value &
+    insertOrAssign(Key key, Value value)
+    {
+        growIfNeeded();
+        std::size_t i = indexOf(key);
+        while (slots[i].used) {
+            if (slots[i].key == key) {
+                slots[i].value = std::move(value);
+                return slots[i].value;
+            }
+            i = (i + 1) & mask;
+        }
+        slots[i].used = true;
+        slots[i].key = key;
+        slots[i].value = std::move(value);
+        ++count;
+        return slots[i].value;
+    }
+
+    /** Value for @p key, default-constructing if absent. */
+    Value &
+    operator[](Key key)
+    {
+        return *emplace(key, Value{}).first;
+    }
+
+    /**
+     * Erase @p key. Backward-shifts the trailing probe cluster so no
+     * tombstones accumulate.
+     * @return entries removed (0 or 1).
+     */
+    std::size_t
+    erase(Key key)
+    {
+        if (count == 0)
+            return 0;
+        std::size_t i = indexOf(key);
+        while (slots[i].used) {
+            if (slots[i].key == key) {
+                shiftBackFrom(i);
+                --count;
+                return 1;
+            }
+            i = (i + 1) & mask;
+        }
+        return 0;
+    }
+
+    /** Visit every (key, value) in unspecified (table) order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots)
+            if (s.used)
+                fn(s.key, s.value);
+    }
+
+  private:
+    struct Slot
+    {
+        Key key{};
+        Value value{};
+        bool used = false;
+    };
+
+    /**
+     * Fibonacci multiplicative hashing: one multiply by 2^64 / phi,
+     * slot taken from the top bits (they mix the whole key, unlike the
+     * low bits). Deterministic, no salt; sequential and strided integer
+     * keys — the simulator's page ids — spread near-uniformly.
+     */
+    std::size_t
+    indexOf(Key key) const
+    {
+        return std::size_t(
+            (std::uint64_t(key) * 0x9e3779b97f4a7c15ull) >> shift);
+    }
+
+    /** Smallest power-of-two table keeping load factor <= 7/8. */
+    static std::size_t
+    tableSizeFor(std::size_t entries)
+    {
+        std::size_t n = kMinCapacity;
+        while (entries * 8 > n * 7)
+            n <<= 1;
+        return n;
+    }
+
+    void
+    growIfNeeded()
+    {
+        if (slots.empty())
+            rehash(kMinCapacity);
+        else if ((count + 1) * 8 > slots.size() * 7)
+            rehash(slots.size() * 2);
+    }
+
+    void
+    rehash(std::size_t new_size)
+    {
+        GMT_ASSERT((new_size & (new_size - 1)) == 0);
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(new_size, Slot{});
+        mask = new_size - 1;
+        shift = 64;
+        for (std::size_t n = new_size; n > 1; n >>= 1)
+            --shift;
+        for (Slot &s : old) {
+            if (!s.used)
+                continue;
+            std::size_t i = indexOf(s.key);
+            while (slots[i].used)
+                i = (i + 1) & mask;
+            slots[i].used = true;
+            slots[i].key = s.key;
+            slots[i].value = std::move(s.value);
+        }
+    }
+
+    /**
+     * Knuth 6.4 algorithm R: having removed the entry at @p hole, pull
+     * back every following cluster member whose probe path crosses the
+     * hole, then clear the final vacated slot.
+     */
+    void
+    shiftBackFrom(std::size_t hole)
+    {
+        std::size_t i = hole;
+        for (;;) {
+            i = (i + 1) & mask;
+            if (!slots[i].used)
+                break;
+            const std::size_t home = indexOf(slots[i].key);
+            // slots[i] may move into the hole iff its home position is
+            // cyclically outside (hole, i] — i.e. probing from home
+            // would have visited the hole before reaching i.
+            if (((i - home) & mask) >= ((i - hole) & mask)) {
+                slots[hole].key = slots[i].key;
+                slots[hole].value = std::move(slots[i].value);
+                slots[hole].used = true;
+                hole = i;
+            }
+        }
+        slots[hole].used = false;
+    }
+
+    static constexpr std::size_t kMinCapacity = 16;
+
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+    std::size_t mask = 0;
+    unsigned shift = 63; ///< 64 - log2(capacity); 63 until first rehash
+};
+
+} // namespace gmt::util

@@ -1,11 +1,15 @@
 /**
  * @file
- * Coalescer tests: merge behaviour, write dominance, lane accounting.
+ * Coalescer tests: merge behaviour, write dominance, lane accounting,
+ * inline-batch capacity, and single-pass stats equivalence.
  */
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "gpu/coalescer.hpp"
+#include "util/rng.hpp"
 
 using namespace gmt;
 using namespace gmt::gpu;
@@ -80,4 +84,92 @@ TEST(Coalescer, PreservesFirstTouchOrder)
     EXPECT_EQ(reqs[0].page, 5u);
     EXPECT_EQ(reqs[1].page, 2u);
     EXPECT_EQ(reqs[0].lanes, 2u);
+}
+
+TEST(Coalescer, BatchAtCapacityWithThirtyTwoDistinctPages)
+{
+    // All 32 lanes touch distinct pages in a shuffled order: the batch
+    // fills to its inline capacity with first-touch order preserved.
+    Coalescer::Warp warp{};
+    for (unsigned lane = 0; lane < kWarpLanes; ++lane) {
+        const PageId page = (lane * 7 + 3) % kWarpLanes; // permutation
+        warp[lane] = {page * kPageBytes, true, lane % 2 == 0};
+    }
+    const CoalescedBatch batch = Coalescer::coalesce(warp);
+    ASSERT_EQ(batch.size(), kWarpLanes);
+    EXPECT_TRUE(batch.atCapacity());
+    for (unsigned i = 0; i < kWarpLanes; ++i) {
+        EXPECT_EQ(batch[i].page, (i * 7 + 3) % kWarpLanes);
+        EXPECT_EQ(batch[i].lanes, 1u);
+        EXPECT_EQ(batch[i].write, i % 2 == 0);
+    }
+}
+
+TEST(Coalescer, InactiveLaneInterleavings)
+{
+    // Odd lanes masked off; even lanes alternate between two pages.
+    // Inactive lanes must affect neither merging nor lane counts,
+    // regardless of where they sit in the warp.
+    Coalescer::Warp warp{};
+    for (unsigned lane = 0; lane < kWarpLanes; lane += 2) {
+        const PageId page = (lane / 2) % 2;
+        warp[lane] = {page * kPageBytes, true, false};
+    }
+    const CoalescedBatch batch = Coalescer::coalesce(warp);
+    ASSERT_EQ(batch.size(), 2u);
+    EXPECT_EQ(batch[0].page, 0u);
+    EXPECT_EQ(batch[1].page, 1u);
+    EXPECT_EQ(batch[0].lanes, 8u);
+    EXPECT_EQ(batch[1].lanes, 8u);
+
+    // A leading run of inactive lanes: first-touch order follows the
+    // first *active* lane.
+    Coalescer::Warp sparse{};
+    sparse[13] = {9 * kPageBytes, true, false};
+    sparse[29] = {4 * kPageBytes, true, true};
+    const CoalescedBatch tail = Coalescer::coalesce(sparse);
+    ASSERT_EQ(tail.size(), 2u);
+    EXPECT_EQ(tail[0].page, 9u);
+    EXPECT_EQ(tail[1].page, 4u);
+}
+
+TEST(Coalescer, SinglePassStatsMatchesTwoPassSemantics)
+{
+    // The seed computed stats in a second pass (re-scanning the warp
+    // after coalescing). The single-pass overload must produce exactly
+    // the sums that definition implies, over arbitrary random warps.
+    Rng rng(2024);
+    MergeStats stats;
+    std::uint64_t expect_instructions = 0;
+    std::uint64_t expect_lanes = 0;
+    std::uint64_t expect_requests = 0;
+    for (int round = 0; round < 200; ++round) {
+        Coalescer::Warp warp{};
+        for (unsigned lane = 0; lane < kWarpLanes; ++lane) {
+            if (rng.chance(0.3))
+                continue; // masked lane
+            warp[lane] = {rng.below(8) * kPageBytes + rng.below(kPageBytes),
+                          true, rng.chance(0.5)};
+        }
+
+        const CoalescedBatch plain = Coalescer::coalesce(warp);
+        const CoalescedBatch counted = Coalescer::coalesce(warp, stats);
+
+        // Two-pass reference: re-derive the sums from the plain merge.
+        ++expect_instructions;
+        for (const Coalescer::LaneAccess &lane : warp)
+            expect_lanes += lane.active ? 1 : 0;
+        expect_requests += plain.size();
+
+        // And the batches themselves must be identical.
+        ASSERT_EQ(counted.size(), plain.size());
+        for (unsigned i = 0; i < plain.size(); ++i) {
+            EXPECT_EQ(counted[i].page, plain[i].page);
+            EXPECT_EQ(counted[i].lanes, plain[i].lanes);
+            EXPECT_EQ(counted[i].write, plain[i].write);
+        }
+    }
+    EXPECT_EQ(stats.instructions, expect_instructions);
+    EXPECT_EQ(stats.activeLanes, expect_lanes);
+    EXPECT_EQ(stats.requests, expect_requests);
 }

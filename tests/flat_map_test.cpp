@@ -1,0 +1,238 @@
+/**
+ * @file
+ * util::FlatMap tests: randomized property testing against a
+ * std::unordered_map oracle (insert / overwrite / erase / find /
+ * clear, including backward-shift erase around table wraparound) and
+ * the determinism guarantees the simulator relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+using namespace gmt;
+using util::FlatMap;
+
+namespace
+{
+
+/** Check that @p map and @p oracle agree exactly. */
+void
+expectMatchesOracle(const FlatMap<std::uint64_t, std::uint64_t> &map,
+                    const std::unordered_map<std::uint64_t, std::uint64_t>
+                        &oracle,
+                    std::uint64_t key_space)
+{
+    ASSERT_EQ(map.size(), oracle.size());
+    for (const auto &[key, value] : oracle) {
+        const std::uint64_t *found = map.find(key);
+        ASSERT_NE(found, nullptr) << "missing key " << key;
+        EXPECT_EQ(*found, value) << "wrong value for key " << key;
+    }
+    // Absent keys must be absent (probing must terminate correctly
+    // even after backward-shift erases).
+    for (std::uint64_t key = 0; key < key_space; ++key) {
+        if (!oracle.count(key)) {
+            EXPECT_EQ(map.find(key), nullptr) << "phantom key " << key;
+        }
+    }
+    // forEach visits exactly the oracle's entries, once each.
+    std::unordered_map<std::uint64_t, std::uint64_t> seen;
+    map.forEach([&](std::uint64_t k, std::uint64_t v) {
+        EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate key " << k;
+    });
+    EXPECT_EQ(seen.size(), oracle.size());
+    for (const auto &[key, value] : oracle) {
+        auto it = seen.find(key);
+        ASSERT_NE(it, seen.end());
+        EXPECT_EQ(it->second, value);
+    }
+}
+
+} // namespace
+
+TEST(FlatMap, StartsEmpty)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.empty());
+    EXPECT_EQ(map.find(0), nullptr);
+    EXPECT_EQ(map.erase(0), 0u);
+}
+
+TEST(FlatMap, BasicInsertFindErase)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    auto [v1, inserted1] = map.emplace(7, 100);
+    EXPECT_TRUE(inserted1);
+    EXPECT_EQ(*v1, 100u);
+    auto [v2, inserted2] = map.emplace(7, 200);
+    EXPECT_FALSE(inserted2) << "emplace must not overwrite";
+    EXPECT_EQ(*v2, 100u);
+    map.insertOrAssign(7, 300);
+    EXPECT_EQ(*map.find(7), 300u);
+    map[9] = 4;
+    EXPECT_EQ(*map.find(9), 4u);
+    EXPECT_EQ(map.size(), 2u);
+    EXPECT_EQ(map.erase(7), 1u);
+    EXPECT_EQ(map.find(7), nullptr);
+    EXPECT_EQ(*map.find(9), 4u);
+    EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatMap, GrowsThroughRehashes)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    for (std::uint64_t k = 0; k < 10000; ++k)
+        map.emplace(k * 97, k);
+    EXPECT_EQ(map.size(), 10000u);
+    for (std::uint64_t k = 0; k < 10000; ++k) {
+        const std::uint64_t *v = map.find(k * 97);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, k);
+    }
+}
+
+TEST(FlatMap, ReserveAvoidsRehash)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map(1000);
+    const std::size_t cap = map.capacity();
+    EXPECT_GE(cap, 1024u) << "1000 entries at <=7/8 load need >= 1024 slots";
+    for (std::uint64_t k = 0; k < 1000; ++k)
+        map.emplace(k, k);
+    EXPECT_EQ(map.capacity(), cap) << "reserve() must pre-size for the hint";
+}
+
+TEST(FlatMap, PropertyAgainstUnorderedMapOracle)
+{
+    // Random op soup over a small key space so inserts collide, erases
+    // split clusters, and clusters wrap the table end. The oracle is
+    // consulted after every batch.
+    Rng rng(1234);
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    constexpr std::uint64_t kKeySpace = 512;
+    for (int batch = 0; batch < 60; ++batch) {
+        for (int op = 0; op < 400; ++op) {
+            const std::uint64_t key = rng.below(kKeySpace);
+            switch (rng.below(10)) {
+              case 0: case 1: case 2: case 3: { // emplace
+                const std::uint64_t value = rng.next();
+                map.emplace(key, value);
+                oracle.emplace(key, value);
+                break;
+              }
+              case 4: case 5: { // overwrite
+                const std::uint64_t value = rng.next();
+                map.insertOrAssign(key, value);
+                oracle[key] = value;
+                break;
+              }
+              case 6: case 7: case 8: { // erase
+                EXPECT_EQ(map.erase(key), oracle.erase(key));
+                break;
+              }
+              default: { // point lookup
+                const std::uint64_t *found = map.find(key);
+                const auto it = oracle.find(key);
+                if (it == oracle.end()) {
+                    EXPECT_EQ(found, nullptr);
+                } else {
+                    ASSERT_NE(found, nullptr);
+                    EXPECT_EQ(*found, it->second);
+                }
+                break;
+              }
+            }
+        }
+        expectMatchesOracle(map, oracle, kKeySpace);
+        if (batch % 20 == 19) {
+            map.clear();
+            oracle.clear();
+            expectMatchesOracle(map, oracle, kKeySpace);
+        }
+    }
+}
+
+TEST(FlatMap, BackwardShiftEraseAroundWraparound)
+{
+    // Keep the table at its 16-slot minimum and churn a key set much
+    // larger than the capacity in small resident windows, so probe
+    // clusters routinely straddle the table end and erases must shift
+    // entries back across the wraparound boundary.
+    Rng rng(77);
+    FlatMap<std::uint64_t, std::uint64_t> map;
+    std::unordered_map<std::uint64_t, std::uint64_t> oracle;
+    std::vector<std::uint64_t> resident;
+    for (int round = 0; round < 20000; ++round) {
+        if (!resident.empty() && (resident.size() >= 12 || rng.chance(0.5))) {
+            const std::size_t pick = rng.below(resident.size());
+            const std::uint64_t key = resident[pick];
+            resident[pick] = resident.back();
+            resident.pop_back();
+            EXPECT_EQ(map.erase(key), 1u);
+            oracle.erase(key);
+        } else {
+            const std::uint64_t key = rng.next(); // spread over the hash range
+            if (map.emplace(key, key ^ 0xff).second) {
+                oracle.emplace(key, key ^ 0xff);
+                resident.push_back(key);
+            }
+        }
+        ASSERT_EQ(map.size(), oracle.size());
+    }
+    ASSERT_LE(map.capacity(), 32u)
+        << "the resident window must stay near the minimum table size";
+    for (const auto &[key, value] : oracle) {
+        const std::uint64_t *found = map.find(key);
+        ASSERT_NE(found, nullptr);
+        EXPECT_EQ(*found, value);
+    }
+}
+
+TEST(FlatMap, DeterministicAcrossCapacityHints)
+{
+    // The simulator's bit-identical-results guarantee requires that a
+    // map's *query* behaviour never depends on its construction
+    // parameters. Run one op sequence into differently-sized maps and
+    // demand identical lookups throughout.
+    FlatMap<std::uint64_t, std::uint64_t> small;
+    FlatMap<std::uint64_t, std::uint64_t> large(4096);
+    Rng rng(9);
+    for (int op = 0; op < 30000; ++op) {
+        const std::uint64_t key = rng.below(1024);
+        if (rng.chance(0.6)) {
+            const std::uint64_t value = rng.next();
+            small.insertOrAssign(key, value);
+            large.insertOrAssign(key, value);
+        } else {
+            EXPECT_EQ(small.erase(key), large.erase(key));
+        }
+        const std::uint64_t *a = small.find(key);
+        const std::uint64_t *b = large.find(key);
+        ASSERT_EQ(a == nullptr, b == nullptr);
+        if (a) {
+            EXPECT_EQ(*a, *b);
+        }
+        ASSERT_EQ(small.size(), large.size());
+    }
+}
+
+TEST(FlatMap, ClearKeepsCapacity)
+{
+    FlatMap<std::uint64_t, std::uint64_t> map(2000);
+    for (std::uint64_t k = 0; k < 2000; ++k)
+        map.emplace(k, k);
+    const std::size_t cap = map.capacity();
+    map.clear();
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_EQ(map.capacity(), cap);
+    EXPECT_EQ(map.find(5), nullptr);
+    map.emplace(5, 50);
+    EXPECT_EQ(*map.find(5), 50u);
+}

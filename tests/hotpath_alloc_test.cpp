@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Allocation-free hot path: a global operator-new hook counts heap
+ * allocations and proves that the per-warp-instruction work — the
+ * coalescer merge, flat-map probes within reserved capacity, and the
+ * steady-state Tier-1 hit path of a GMT runtime — never touches the
+ * allocator (ISSUE 3 acceptance; DESIGN.md §"Performance engineering").
+ *
+ * The hook must live in this dedicated binary: it replaces the global
+ * operator new/delete for every translation unit linked with it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/config.hpp"
+#include "core/runtime.hpp"
+#include "gpu/coalescer.hpp"
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace
+{
+
+/** Allocations observed since process start (single-threaded tests). */
+std::uint64_t g_news = 0;
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_news;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace gmt;
+using namespace gmt::gpu;
+
+TEST(HotPathAlloc, CoalesceNeverAllocates)
+{
+    Rng rng(3);
+    Coalescer::Warp warp{};
+    MergeStats stats;
+    std::uint64_t sink = 0;
+
+    const std::uint64_t before = g_news;
+    for (int round = 0; round < 1000; ++round) {
+        for (unsigned lane = 0; lane < kWarpLanes; ++lane) {
+            warp[lane].active = (round + lane) % 3 != 0;
+            warp[lane].byteAddress =
+                (rng.next() % 64) * kPageBytes + lane * 8;
+            warp[lane].write = lane % 4 == 0;
+        }
+        const CoalescedBatch batch = Coalescer::coalesce(warp, stats);
+        sink += batch.size();
+    }
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "coalescing a warp instruction must stay on the stack";
+    EXPECT_GT(sink, 0u);
+    EXPECT_EQ(stats.instructions, 1000u);
+}
+
+TEST(HotPathAlloc, FlatMapSteadyStateNeverAllocates)
+{
+    util::FlatMap<PageId, SimTime> map(1024);
+    for (PageId p = 0; p < 512; ++p)
+        map.emplace(p, SimTime(p));
+    Rng rng(5);
+    std::uint64_t sink = 0;
+
+    const std::uint64_t before = g_news;
+    for (int op = 0; op < 100000; ++op) {
+        const PageId key = rng.below(1024);
+        if (const SimTime *v = map.find(key)) {
+            sink += *v;
+            if (op % 3 == 0) {
+                map.erase(key);
+                map.emplace(key + 512, 1); // stays within capacity
+                map.erase(key + 512);
+                map.emplace(key, SimTime(key));
+            }
+        } else {
+            map.insertOrAssign(key, SimTime(key));
+        }
+    }
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "find/erase/insert within reserved capacity must not allocate";
+    EXPECT_GT(sink, 0u);
+}
+
+TEST(HotPathAlloc, Tier1HitPathSteadyStateNeverAllocates)
+{
+    // Working set == Tier-1 capacity: after one warm-up sweep every
+    // access is a Tier-1 hit. sampleTarget = 0 keeps GMT-Reuse's
+    // sampling queue out of the picture (its deque growth is host-side
+    // work, not per-warp work).
+    RuntimeConfig cfg;
+    cfg.numPages = 128;
+    cfg.tier1Pages = 128;
+    cfg.tier2Pages = 256;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.sampleTarget = 0;
+    auto rt = makeGmtRuntime(cfg);
+
+    SimTime now = 0;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, false).readyAt;
+    // One hit sweep before measuring: the first hit lazily creates the
+    // "tier1_hits" counter (a one-time registry insertion, not per-warp
+    // work) and prunes the warm-up sweep's expired arrival entries.
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, true).readyAt;
+
+    Rng rng(11);
+    std::uint64_t hits = 0;
+
+    const std::uint64_t before = g_news;
+    for (int i = 0; i < 100000; ++i) {
+        const PageId page = rng.below(cfg.numPages);
+        now += 10;
+        const AccessResult r =
+            rt->access(now, WarpId(i % 32), page, i % 8 == 0);
+        hits += r.tier1Hit ? 1 : 0;
+    }
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "the steady-state Tier-1 hit path must be allocation-free";
+    EXPECT_EQ(hits, 100000u) << "every steady-state access must hit";
+}

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * bench_report: record the perf trajectory as a normalized artifact.
+ *
+ * Runs a google-benchmark binary (bench_primitives by default) in JSON
+ * mode, validates and normalizes the result (all times in ns, stable
+ * field order), and writes BENCH_<tag>.json so each PR's hot-path
+ * numbers are committed and diffable against the previous PR's.
+ *
+ * Usage:
+ *   bench_report --tag pr3 [--bench build/bench/bench_primitives]
+ *                [--min-time 0.1] [--filter <regex>] [--out <dir>]
+ *                [--from-json <google-benchmark.json>]
+ *                [--baseline <BENCH_xxx.json>]
+ *
+ * --from-json normalizes an already-captured google-benchmark JSON
+ * file instead of running the binary (e.g. numbers measured on a
+ * different checkout). --baseline embeds a previously normalized
+ * report under "baseline", so one artifact carries the before/after
+ * pair for a PR.
+ *
+ * Exit status is non-zero only when the report would be malformed
+ * (bench crashed, JSON didn't parse, required fields missing) — never
+ * on slow numbers, so CI can run it without flaky ns thresholds.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/json.hpp"
+#include "util/logging.hpp"
+
+namespace
+{
+
+using gmt::trace::JsonValue;
+
+struct BenchEntry
+{
+    std::string name;
+    std::string runType;
+    double realTimeNs = 0.0;
+    double cpuTimeNs = 0.0;
+    double itemsPerSecond = 0.0; ///< 0 when the bench doesn't report it
+    std::uint64_t iterations = 0;
+};
+
+struct Options
+{
+    std::string tag;
+    std::string bench = "build/bench/bench_primitives";
+    std::string outDir = ".";
+    std::string filter;
+    std::string fromJson;
+    std::string baseline;
+    double minTime = 0.1;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --tag <tag> [--bench <binary>] [--out <dir>]\n"
+                 "          [--min-time <seconds>] [--filter <regex>]\n"
+                 "          [--from-json <file>] [--baseline <file>]\n",
+                 argv0);
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--tag")
+            opt.tag = next();
+        else if (arg == "--bench")
+            opt.bench = next();
+        else if (arg == "--out")
+            opt.outDir = next();
+        else if (arg == "--min-time")
+            opt.minTime = std::atof(next().c_str());
+        else if (arg == "--filter")
+            opt.filter = next();
+        else if (arg == "--from-json")
+            opt.fromJson = next();
+        else if (arg == "--baseline")
+            opt.baseline = next();
+        else
+            usage(argv[0]);
+    }
+    if (opt.tag.empty())
+        usage(argv[0]);
+    if (opt.minTime <= 0.0) {
+        std::fprintf(stderr, "bench_report: --min-time must be > 0\n");
+        std::exit(2);
+    }
+    return opt;
+}
+
+/** Run @p cmd, capturing stdout. Dies on spawn/exit failure. */
+std::string
+runCapture(const std::string &cmd)
+{
+    std::FILE *pipe = popen(cmd.c_str(), "r");
+    if (!pipe) {
+        std::fprintf(stderr, "bench_report: cannot run '%s'\n",
+                     cmd.c_str());
+        std::exit(1);
+    }
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, pipe)) > 0)
+        out.append(buf, n);
+    const int status = pclose(pipe);
+    if (status != 0) {
+        std::fprintf(stderr,
+                     "bench_report: '%s' exited with status %d\n",
+                     cmd.c_str(), status);
+        std::exit(1);
+    }
+    return out;
+}
+
+double
+toNanoseconds(double value, const std::string &unit)
+{
+    if (unit == "ns")
+        return value;
+    if (unit == "us")
+        return value * 1e3;
+    if (unit == "ms")
+        return value * 1e6;
+    if (unit == "s")
+        return value * 1e9;
+    std::fprintf(stderr, "bench_report: unknown time unit '%s'\n",
+                 unit.c_str());
+    std::exit(1);
+}
+
+const JsonValue &
+requireMember(const JsonValue &obj, const char *key, const char *where)
+{
+    const JsonValue *v = obj.find(key);
+    if (!v) {
+        std::fprintf(stderr, "bench_report: %s is missing '%s'\n", where,
+                     key);
+        std::exit(1);
+    }
+    return *v;
+}
+
+/** Parse + validate a google-benchmark JSON document. */
+void
+parseBenchmarkJson(const std::string &text, JsonValue &context,
+                   std::vector<BenchEntry> &entries)
+{
+    JsonValue doc;
+    std::string error;
+    if (!gmt::trace::parseJson(text, doc, error)) {
+        std::fprintf(stderr,
+                     "bench_report: benchmark output is not JSON: %s\n",
+                     error.c_str());
+        std::exit(1);
+    }
+    if (doc.kind != JsonValue::Kind::Object) {
+        std::fprintf(stderr,
+                     "bench_report: benchmark output is not an object\n");
+        std::exit(1);
+    }
+    context = requireMember(doc, "context", "benchmark output");
+    const JsonValue &benches =
+        requireMember(doc, "benchmarks", "benchmark output");
+    if (benches.kind != JsonValue::Kind::Array) {
+        std::fprintf(stderr, "bench_report: 'benchmarks' is not an array\n");
+        std::exit(1);
+    }
+    for (const JsonValue &b : benches.items) {
+        BenchEntry e;
+        e.name = requireMember(b, "name", "benchmark entry").text;
+        if (const JsonValue *rt = b.find("run_type"))
+            e.runType = rt->text;
+        // Aggregate rows (mean/median/stddev) would double-count the
+        // iteration rows; keep only plain iterations.
+        if (!e.runType.empty() && e.runType != "iteration")
+            continue;
+        const std::string unit =
+            requireMember(b, "time_unit", "benchmark entry").text;
+        e.realTimeNs = toNanoseconds(
+            requireMember(b, "real_time", "benchmark entry").number, unit);
+        e.cpuTimeNs = toNanoseconds(
+            requireMember(b, "cpu_time", "benchmark entry").number, unit);
+        if (const JsonValue *ips = b.find("items_per_second"))
+            e.itemsPerSecond = ips->number;
+        if (const JsonValue *it = b.find("iterations"))
+            e.iterations = std::uint64_t(it->number);
+        entries.push_back(std::move(e));
+    }
+    if (entries.empty()) {
+        std::fprintf(stderr, "bench_report: no benchmark iterations in "
+                             "output (bad --filter?)\n");
+        std::exit(1);
+    }
+}
+
+void
+jsonEscapeTo(std::string &out, const std::string &s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof hex, "\\u%04x", c);
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+std::string
+numberText(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+    return buf;
+}
+
+/** Context fields worth keeping in the committed artifact. */
+void
+writeContext(std::string &out, const JsonValue &context,
+             const std::string &indent)
+{
+    static const char *kKeep[] = {"host_name", "num_cpus", "mhz_per_cpu",
+                                  "cpu_scaling_enabled", "library_version",
+                                  "build_type"};
+    out += "{";
+    bool first = true;
+    for (const char *key : kKeep) {
+        const JsonValue *v = context.find(key);
+        if (!v)
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n" + indent + "  \"" + key + "\": ";
+        switch (v->kind) {
+          case JsonValue::Kind::String:
+            out += "\"";
+            jsonEscapeTo(out, v->text);
+            out += "\"";
+            break;
+          case JsonValue::Kind::Bool:
+            out += v->boolean ? "true" : "false";
+            break;
+          case JsonValue::Kind::Number:
+            out += numberText(v->number);
+            break;
+          default:
+            out += "null";
+            break;
+        }
+    }
+    out += "\n" + indent + "}";
+}
+
+void
+writeReport(std::string &out, const std::string &tag,
+            const JsonValue &context,
+            const std::vector<BenchEntry> &entries,
+            const std::string &indent)
+{
+    out += "{\n";
+    out += indent + "  \"schema\": \"gmt-bench-report-v1\",\n";
+    out += indent + "  \"tag\": \"";
+    jsonEscapeTo(out, tag);
+    out += "\",\n";
+    out += indent + "  \"context\": ";
+    writeContext(out, context, indent + "  ");
+    out += ",\n";
+    out += indent + "  \"benchmarks\": [";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const BenchEntry &e = entries[i];
+        out += i ? ",\n" : "\n";
+        out += indent + "    {\"name\": \"";
+        jsonEscapeTo(out, e.name);
+        out += "\", \"real_time_ns\": " + numberText(e.realTimeNs);
+        out += ", \"cpu_time_ns\": " + numberText(e.cpuTimeNs);
+        if (e.itemsPerSecond > 0.0)
+            out += ", \"items_per_second\": " + numberText(e.itemsPerSecond);
+        out += ", \"iterations\": " + std::to_string(e.iterations);
+        out += "}";
+    }
+    out += "\n" + indent + "  ]";
+}
+
+/** Re-validate a previously emitted normalized report. */
+std::string
+loadNormalizedReport(const std::string &path)
+{
+    const std::string text = gmt::trace::readFileOrDie(path);
+    JsonValue doc;
+    std::string error;
+    if (!gmt::trace::parseJson(text, doc, error)) {
+        std::fprintf(stderr,
+                     "bench_report: baseline '%s' is not JSON: %s\n",
+                     path.c_str(), error.c_str());
+        std::exit(1);
+    }
+    const JsonValue *schema = doc.find("schema");
+    if (!schema || schema->text != "gmt-bench-report-v1") {
+        std::fprintf(stderr,
+                     "bench_report: baseline '%s' is not a normalized "
+                     "gmt-bench-report-v1 file\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    // Strip the trailing newline so it nests cleanly.
+    std::string trimmed = text;
+    while (!trimmed.empty()
+           && (trimmed.back() == '\n' || trimmed.back() == ' '))
+        trimmed.pop_back();
+    // Indent the nested report for readability.
+    std::string indented;
+    for (char c : trimmed) {
+        indented += c;
+        if (c == '\n')
+            indented += "  ";
+    }
+    return indented;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    std::string benchJson;
+    if (!opt.fromJson.empty()) {
+        benchJson = gmt::trace::readFileOrDie(opt.fromJson);
+    } else {
+        std::string cmd = opt.bench + " --benchmark_format=json";
+        char minTime[64];
+        std::snprintf(minTime, sizeof minTime,
+                      " --benchmark_min_time=%g", opt.minTime);
+        cmd += minTime;
+        if (!opt.filter.empty())
+            cmd += " --benchmark_filter=" + opt.filter;
+        // google-benchmark prints counters etc. to stderr; keep stdout
+        // pure JSON.
+        benchJson = runCapture(cmd);
+    }
+
+    JsonValue context;
+    std::vector<BenchEntry> entries;
+    parseBenchmarkJson(benchJson, context, entries);
+
+    std::string report;
+    writeReport(report, opt.tag, context, entries, "");
+    if (!opt.baseline.empty()) {
+        report += ",\n  \"baseline\": ";
+        report += loadNormalizedReport(opt.baseline);
+    }
+    report += "\n}\n";
+
+    const std::string path = opt.outDir + "/BENCH_" + opt.tag + ".json";
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "bench_report: cannot write '%s'\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fwrite(report.data(), 1, report.size(), f);
+    std::fclose(f);
+
+    std::fprintf(stderr, "bench_report: wrote %s (%zu benchmarks)\n",
+                 path.c_str(), entries.size());
+    return 0;
+}
