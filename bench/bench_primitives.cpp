@@ -16,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/runtime.hpp"
 #include "gpu/coalescer.hpp"
+#include "gpu/gpu_engine.hpp"
 #include "mem/frame_pool.hpp"
 #include "replacement/policy.hpp"
 #include "reuse/olken_tree.hpp"
@@ -25,6 +26,7 @@
 #include "tier2/directory.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
+#include "workloads/zipf_stream.hpp"
 
 using namespace gmt;
 
@@ -126,6 +128,13 @@ class LegacyEventQueue
     std::uint64_t nextSeq = 0;
 };
 
+/** EventQueue pinned to the timing-wheel backend (the templates below
+ *  default-construct their queue). */
+struct WheelEventQueue : sim::EventQueue
+{
+    WheelEventQueue() : sim::EventQueue(sim::SchedulerBackend::Wheel) {}
+};
+
 /** Schedule-one/dispatch-one churn over a standing population. */
 template <typename Queue>
 void
@@ -138,6 +147,27 @@ eventQueueChurn(benchmark::State &state)
         q.scheduleAt(rng.below(1000), [&] { ++sink; });
     for (auto _ : state) {
         q.scheduleAt(q.now() + rng.below(1000) + 1, [&] { ++sink; });
+        q.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+
+/** Churn with a deep standing population (state.range(0) pending
+ *  events): this is where O(log n) heap sifts separate from the
+ *  wheel's O(1) bucket pushes. */
+template <typename Queue>
+void
+eventQueueChurnDeep(benchmark::State &state)
+{
+    Queue q;
+    Rng rng(4);
+    int sink = 0;
+    const int population = int(state.range(0));
+    for (int i = 0; i < population; ++i)
+        q.scheduleAt(rng.below(1u << 20), [&] { ++sink; });
+    for (auto _ : state) {
+        q.scheduleAt(q.now() + rng.below(1u << 20) + 1, [&] { ++sink; });
         q.step();
     }
     benchmark::DoNotOptimize(sink);
@@ -192,6 +222,34 @@ BM_EventQueueFatCaptureLegacy(benchmark::State &state)
     eventQueueChurnFatCapture<LegacyEventQueue>(state);
 }
 BENCHMARK(BM_EventQueueFatCaptureLegacy);
+
+static void
+BM_EventQueueChurnWheel(benchmark::State &state)
+{
+    eventQueueChurn<WheelEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueChurnWheel);
+
+static void
+BM_EventQueueFatCaptureWheel(benchmark::State &state)
+{
+    eventQueueChurnFatCapture<WheelEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueFatCaptureWheel);
+
+static void
+BM_EventQueueChurnDeep(benchmark::State &state)
+{
+    eventQueueChurnDeep<sim::EventQueue>(state);
+}
+BENCHMARK(BM_EventQueueChurnDeep)->Arg(1 << 12)->Arg(1 << 16);
+
+static void
+BM_EventQueueChurnDeepWheel(benchmark::State &state)
+{
+    eventQueueChurnDeep<WheelEventQueue>(state);
+}
+BENCHMARK(BM_EventQueueChurnDeepWheel)->Arg(1 << 12)->Arg(1 << 16);
 
 static void
 BM_BandwidthChannelTransfer(benchmark::State &state)
@@ -469,6 +527,108 @@ BM_GmtWarpAccessPath(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_GmtWarpAccessPath);
+
+namespace
+{
+
+/**
+ * One full GpuEngine run per iteration over a zipf stream, with the
+ * event scheduler and hit fast path chosen per variant. The "legacy"
+ * variant (heap scheduler, fast path off) is the PR 3 engine's cost
+ * shape; "tuned" is the timing wheel plus the event-free hit streak.
+ * Both produce identical simulated results — only wall time differs.
+ */
+void
+engineRunBench(benchmark::State &state, const RuntimeConfig &cfg,
+               double zipf_skew, std::uint64_t visits,
+               sim::SchedulerBackend backend, bool fast_path)
+{
+    RuntimeConfig rc = cfg;
+    rc.scheduler = backend;
+    auto rt = makeGmtRuntime(rc);
+
+    workloads::WorkloadConfig wc;
+    wc.pages = rc.numPages;
+    wc.warps = 64;
+    wc.touchesPerVisit = 4;
+    workloads::ZipfStream stream(wc, zipf_skew, visits);
+
+    gpu::EngineConfig ec;
+    ec.hitFastPath = fast_path;
+    gpu::GpuEngine engine(ec);
+
+    std::uint64_t makespan = 0;
+    for (auto _ : state) {
+        rt->reset();
+        stream.reset();
+        const gpu::RunResult r = engine.run(*rt, stream);
+        makespan = r.makespanNs;
+        state.SetItemsProcessed(state.items_processed()
+                                + std::int64_t(r.accesses));
+    }
+    benchmark::DoNotOptimize(makespan);
+}
+
+/** Resident working set: every steady-state access is a Tier-1 hit, so
+ *  the engine's dispatch loop dominates. */
+RuntimeConfig
+hitLoopConfig()
+{
+    RuntimeConfig cfg;
+    cfg.numPages = 1024;
+    cfg.tier1Pages = 1024;
+    cfg.tier2Pages = 2048;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.sampleTarget = 0;
+    return cfg;
+}
+
+/** A shrunk fig8 cell: GMT-Reuse at OSF ~1.7 with zipf locality —
+ *  misses, evictions and placements in paper-like proportions. */
+RuntimeConfig
+fig8CellConfig()
+{
+    RuntimeConfig cfg;
+    cfg.numPages = 2560;
+    cfg.tier1Pages = 512;
+    cfg.tier2Pages = 1024;
+    cfg.policy = PlacementPolicy::Reuse;
+    return cfg;
+}
+
+} // namespace
+
+static void
+BM_EngineHitLoopLegacy(benchmark::State &state)
+{
+    engineRunBench(state, hitLoopConfig(), 0.6, 100000,
+                   sim::SchedulerBackend::Heap, false);
+}
+BENCHMARK(BM_EngineHitLoopLegacy)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineHitLoopWheelFast(benchmark::State &state)
+{
+    engineRunBench(state, hitLoopConfig(), 0.6, 100000,
+                   sim::SchedulerBackend::Wheel, true);
+}
+BENCHMARK(BM_EngineHitLoopWheelFast)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineFig8CellLegacy(benchmark::State &state)
+{
+    engineRunBench(state, fig8CellConfig(), 0.8, 60000,
+                   sim::SchedulerBackend::Heap, false);
+}
+BENCHMARK(BM_EngineFig8CellLegacy)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineFig8CellWheelFast(benchmark::State &state)
+{
+    engineRunBench(state, fig8CellConfig(), 0.8, 60000,
+                   sim::SchedulerBackend::Wheel, true);
+}
+BENCHMARK(BM_EngineFig8CellWheelFast)->Unit(benchmark::kMicrosecond);
 
 static void
 BM_OlsRegressorSample(benchmark::State &state)

@@ -38,19 +38,57 @@ HmmRuntime::attachTrace(trace::TraceSession *session)
     }
 }
 
+bool
+HmmRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
+                   AccessResult &out)
+{
+    (void)warp;
+    GMT_ASSERT(page < cfg.numPages);
+    // Pure probes; commit nothing unless this is a clean resident hit
+    // with no in-flight migration to wait on (see GmtRuntime::tryHit).
+    if (pt.meta(page).residency != mem::Residency::Tier1)
+        return false;
+    if (const SimTime *arrival = pageArrivalProbe(page))
+        if (*arrival > now)
+            return false;
+
+    // Commit: byte-for-byte the hit path of access().
+    if (!cAccesses) [[unlikely]]
+        cAccesses = &stats.get("accesses");
+    cAccesses->inc();
+    mem::PageMeta &m = pt.meta(page);
+    ++m.accessCount;
+    const cache::LookupResult lr = tier1.lookup(page);
+    GMT_ASSERT(lr.kind == cache::LookupResult::Kind::Hit);
+    (void)lr;
+    if (!cTier1Hits) [[unlikely]]
+        cTier1Hits = &stats.get("tier1_hits");
+    cTier1Hits->inc();
+    if (is_write)
+        tier1.markDirty(page);
+    out.readyAt = pageReadyAt(now, page); // == now; prunes the entry
+    out.tier1Hit = true;
+    out.tier2Hit = false;
+    return true;
+}
+
 AccessResult
 HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 {
     (void)warp; // the host, not the warp, orchestrates everything
     GMT_ASSERT(page < cfg.numPages);
-    stats.get("accesses").inc();
+    if (!cAccesses) [[unlikely]]
+        cAccesses = &stats.get("accesses");
+    cAccesses->inc();
 
     mem::PageMeta &m = pt.meta(page);
     ++m.accessCount;
 
     const cache::LookupResult lr = tier1.lookup(page);
     if (lr.kind == cache::LookupResult::Kind::Hit) {
-        stats.get("tier1_hits").inc();
+        if (!cTier1Hits) [[unlikely]]
+            cTier1Hits = &stats.get("tier1_hits");
+        cTier1Hits->inc();
         if (is_write)
             tier1.markDirty(page);
         AccessResult r;

@@ -71,6 +71,8 @@ class HmmRuntime : public TieredRuntime
 
     AccessResult access(SimTime now, WarpId warp, PageId page,
                         bool is_write) override;
+    bool tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
+                AccessResult &out) override;
     SimTime flush(SimTime now) override;
     const char *name() const override { return "HMM"; }
     void attachTrace(trace::TraceSession *session) override;
@@ -94,6 +96,11 @@ class HmmRuntime : public TieredRuntime
     trace::TraceSink *sink = nullptr;
     trace::TrackId tier1Trk = 0;
     trace::LatencyHistogram *missLat = nullptr; ///< whole fault path
+
+    /** Hot counters, cached after their first lazy creation (see the
+     *  GmtRuntime note: creation order is observable in exports). */
+    stats::Counter *cAccesses = nullptr;
+    stats::Counter *cTier1Hits = nullptr;
 };
 
 /** Build an HMM runtime (host page cache sized by cfg.tier2Pages). */

@@ -17,6 +17,7 @@
 
 #include "nvme/ssd_model.hpp"
 #include "pcie/transfer_manager.hpp"
+#include "sim/scheduler.hpp"
 #include "util/types.hpp"
 
 namespace gmt
@@ -78,6 +79,12 @@ struct RuntimeConfig
 
     /** Deterministic seed (GMT-Random placement etc.). */
     std::uint64_t seed = 1;
+
+    /** Event-queue ordering backend for runs driven through GpuEngine.
+     *  Both backends dispatch in identical (when, key, seq) order, so
+     *  simulated results do not depend on this choice; the GMT_SCHED
+     *  env var ("heap" | "wheel") overrides it process-wide. */
+    sim::SchedulerBackend scheduler = sim::SchedulerBackend::Heap;
 
     /** §2.2 Tier-3-overflow redirection heuristic (GMT-Reuse). */
     bool overflowHeuristic = true;

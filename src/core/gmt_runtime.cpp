@@ -57,11 +57,64 @@ GmtRuntime::attachTrace(trace::TraceSession *session)
     }
 }
 
+bool
+GmtRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
+                   AccessResult &out)
+{
+    (void)warp;
+    GMT_ASSERT(page < cfg.numPages);
+    // Pure probes first — nothing may be committed unless this is a
+    // clean hit. Residency is read off the page table (Tier1Cache's
+    // lookup() would advance the clock hand), and a recorded arrival
+    // later than `now` means the page is still in flight: joining that
+    // transfer stalls the warp, which is access()'s job.
+    if (pt.meta(page).residency != mem::Residency::Tier1)
+        return false;
+    if (const SimTime *arrival = pageArrivalProbe(page))
+        if (*arrival > now)
+            return false;
+
+    // Commit: byte-for-byte the hit path of access(), including the
+    // counter-creation points (metric exports serialize creation order)
+    // and the single clock touch via tier1.lookup().
+    if (!cAccesses) [[unlikely]]
+        cAccesses = &stats.get("accesses");
+    cAccesses->inc();
+    vtd.tick();
+    const VirtualStamp stamp = vtd.now();
+
+    mem::PageMeta &m = pt.meta(page);
+    if (!bamMode() && cfg.policy == PlacementPolicy::Reuse
+        && sampler.active()) {
+        const VirtualStamp sample_vtd =
+            m.accessCount > 0 ? stamp - m.lastAccessStamp : 0;
+        sampler.onAccess(page, sample_vtd);
+    }
+
+    const cache::LookupResult lr = tier1.lookup(page);
+    GMT_ASSERT(lr.kind == cache::LookupResult::Kind::Hit);
+    (void)lr;
+    if (!cTier1Hits) [[unlikely]]
+        cTier1Hits = &stats.get("tier1_hits");
+    cTier1Hits->inc();
+    if (is_write)
+        tier1.markDirty(page);
+    m.lastAccessStamp = stamp;
+    ++m.accessCount;
+
+    out.readyAt = pageReadyAt(now, page); // == now; prunes the entry
+    out.tier1Hit = true;
+    out.tier2Hit = false;
+    return true;
+}
+
 AccessResult
 GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 {
     GMT_ASSERT(page < cfg.numPages);
-    stats.get("accesses").inc();
+    if (!cAccesses) [[unlikely]]
+        cAccesses = &stats.get("accesses");
+    cAccesses->inc();
     vtd.tick();
     const VirtualStamp stamp = vtd.now();
 
@@ -77,7 +130,9 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 
     const cache::LookupResult lr = tier1.lookup(page);
     if (lr.kind == cache::LookupResult::Kind::Hit) {
-        stats.get("tier1_hits").inc();
+        if (!cTier1Hits) [[unlikely]]
+            cTier1Hits = &stats.get("tier1_hits");
+        cTier1Hits->inc();
         if (is_write)
             tier1.markDirty(page);
         m.lastAccessStamp = stamp;
@@ -90,7 +145,9 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         return r;
     }
     GMT_ASSERT(lr.kind == cache::LookupResult::Kind::Miss);
-    stats.get("tier1_misses").inc();
+    if (!cTier1Misses) [[unlikely]]
+        cTier1Misses = &stats.get("tier1_misses");
+    cTier1Misses->inc();
 
     // ---- Miss path ----
     SimTime t = now;

@@ -52,6 +52,8 @@ class GmtRuntime : public TieredRuntime
 
     AccessResult access(SimTime now, WarpId warp, PageId page,
                         bool is_write) override;
+    bool tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
+                AccessResult &out) override;
     void backgroundTick(SimTime now) override;
     SimTime flush(SimTime now) override;
     const char *name() const override;
@@ -120,6 +122,14 @@ class GmtRuntime : public TieredRuntime
     trace::TrackId tier1Trk = 0;
     trace::LatencyHistogram *missLat = nullptr;      ///< whole miss path
     trace::LatencyHistogram *tier2FetchLat = nullptr;///< Tier-2 -> Tier-1
+
+    /** Hot counters, cached after their first (lazy) creation so the
+     *  hit path skips the name-hash lookup. Cached at the same program
+     *  points stats.get() ran at before, preserving the counter
+     *  creation order that metric exports serialize. */
+    stats::Counter *cAccesses = nullptr;
+    stats::Counter *cTier1Hits = nullptr;
+    stats::Counter *cTier1Misses = nullptr;
 
     /** Retries when GMT-Reuse keeps re-classifying candidates short. */
     static constexpr unsigned kMaxShortRetains = 8;

@@ -65,6 +65,27 @@ class TieredRuntime
                                 bool is_write) = 0;
 
     /**
+     * Fast-path variant of access() for the engine's event-free Tier-1
+     * hit loop: if (and only if) the access would be a pure Tier-1 hit
+     * whose data is already usable at @p now — resident page, no
+     * in-flight transfer to wait on, no channel interaction — commit
+     * the access (identical counter/metadata/clock effects to access())
+     * and return true with @p out filled (out.readyAt == now). Returns
+     * false WITHOUT side effects otherwise; the caller must then issue
+     * the same access through access().
+     *
+     * The base implementation never takes the fast path, so runtimes
+     * opt in explicitly by overriding.
+     */
+    virtual bool
+    tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
+           AccessResult &out)
+    {
+        (void)now; (void)warp; (void)page; (void)is_write; (void)out;
+        return false;
+    }
+
+    /**
      * Background work hook, called periodically by the engine with the
      * current simulated time (e.g. the host regression thread draining
      * the sample queue). Never charged to warp time.
@@ -108,6 +129,14 @@ class TieredRuntime
 
     /** Earliest time @p page's content is usable (>= @p now). */
     SimTime pageReadyAt(SimTime now, PageId page);
+
+    /** Non-mutating probe of the in-transit table: @p page's recorded
+     *  arrival time, or nullptr when none. Used by tryHit() overrides
+     *  to reject in-flight pages before committing anything. */
+    const SimTime *pageArrivalProbe(PageId page) const
+    {
+        return arrivals.find(page);
+    }
 
     RuntimeConfig cfg;
     mem::PageTable pt;

@@ -2,10 +2,127 @@
 
 #include <algorithm>
 
+#include "sim/event_queue.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::gpu
 {
+
+namespace
+{
+
+/**
+ * Per-run issue loop state. Each live warp owns at most one pending
+ * event (its next issue turn, keyed by warp id so same-time ties
+ * dispatch in warp order); turn() issues accesses for one warp, staying
+ * inline across an event-free hit streak and rescheduling onto the
+ * queue the moment the streak breaks.
+ */
+struct EngineLoop
+{
+    sim::EventQueue &q;
+    TieredRuntime &rt;
+    AccessStream &st;
+    const EngineConfig &cfg;
+
+    trace::TraceSink *sink = nullptr;
+    trace::TrackId gpuTrk = 0;
+    trace::LatencyHistogram *stallLat = nullptr;
+    trace::QueueDepthTracker *readyDepth = nullptr;
+
+    RunResult result;
+    /** After the maxAccesses cap: remaining turns only fold their due
+     *  time into the makespan (matching the old drain loop). */
+    bool truncated = false;
+
+    void turn(WarpId w);
+};
+
+/** The pooled event payload: 16 bytes, stored inline in the node. */
+struct WarpTurn
+{
+    EngineLoop *loop;
+    WarpId w;
+    void operator()() const { loop->turn(w); }
+};
+
+void
+EngineLoop::turn(WarpId w)
+{
+    SimTime at = q.now();
+    if (truncated) {
+        result.makespanNs = std::max(result.makespanNs, at);
+        return;
+    }
+    for (;;) {
+        Access a;
+        if (!st.nextAccess(w, a)) {
+            // Warp retired.
+            result.makespanNs = std::max(result.makespanNs, at);
+            if (readyDepth)
+                readyDepth->sample(at, std::int64_t(q.pending()));
+            return;
+        }
+
+        // Fast path first: a pure resident hit commits its effects and
+        // reports readyAt == at without the runtime's full miss
+        // machinery. Anything else goes through access().
+        AccessResult ar;
+        const bool fast =
+            cfg.hitFastPath && rt.tryHit(at, w, a.page, a.write, ar);
+        if (!fast)
+            ar = rt.access(at, w, a.page, a.write);
+
+        ++result.accesses;
+        result.tier1Hits += ar.tier1Hit ? 1 : 0;
+        result.tier2Hits += ar.tier2Hit ? 1 : 0;
+
+        if (stallLat)
+            stallLat->record(ar.readyAt > at ? ar.readyAt - at : 0);
+        if (sink && ar.readyAt > at)
+            sink->span(gpuTrk, "stall", at, ar.readyAt);
+        // This warp is in hand (not queued), so the occupancy sample is
+        // the queued warps plus one — same value the pre-event-queue
+        // engine sampled as ready.size() + 1.
+        if (readyDepth)
+            readyDepth->sample(at, std::int64_t(q.pending() + 1));
+
+        const SimTime next_at =
+            std::max(ar.readyAt, at) + cfg.computeNsPerAccess;
+
+        if (result.accesses % cfg.backgroundInterval == 0)
+            rt.backgroundTick(at);
+
+        if (cfg.maxAccesses && result.accesses >= cfg.maxAccesses) {
+            warn("GpuEngine: access cap (%llu) hit; truncating run",
+                 static_cast<unsigned long long>(cfg.maxAccesses));
+            truncated = true;
+            // The old drain counted this warp's pending turn too.
+            result.makespanNs = std::max(result.makespanNs, next_at);
+            return;
+        }
+
+        // Event-free streak: keep issuing inline iff this warp's next
+        // turn (next_at, w) precedes every queued event in the exact
+        // dispatch order — i.e. the queue would pop this warp next
+        // anyway. A stalled access never continues inline (the streak
+        // condition requires a committed fast hit, readyAt == at).
+        SimTime headWhen;
+        std::uint64_t headKey;
+        if (fast
+            && (!q.peekEarliest(headWhen, headKey) || next_at < headWhen
+                || (next_at == headWhen && w < headKey))) {
+            ++result.fastPathHits;
+            at = next_at;
+            continue;
+        }
+
+        q.scheduleAtKeyed(next_at, w, WarpTurn{this, w});
+        return;
+    }
+}
+
+} // namespace
 
 GpuEngine::GpuEngine(const EngineConfig &engine_config)
     : cfg(engine_config)
@@ -15,90 +132,35 @@ GpuEngine::GpuEngine(const EngineConfig &engine_config)
 RunResult
 GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
 {
-    struct ReadyWarp
-    {
-        SimTime at;
-        WarpId warp;
-        bool operator>(const ReadyWarp &o) const
-        {
-            if (at != o.at)
-                return at > o.at;
-            return warp > o.warp;
-        }
-    };
-
-    std::priority_queue<ReadyWarp, std::vector<ReadyWarp>,
-                        std::greater<ReadyWarp>> ready;
     const unsigned warps = stream.numWarps();
     GMT_ASSERT(warps > 0);
-    for (WarpId w = 0; w < warps; ++w)
-        ready.push(ReadyWarp{cfg.startTimeNs, w});
+
+    // Backend choice never changes simulated results (identical
+    // dispatch order); GMT_SCHED flips a whole process for A/B runs.
+    sim::EventQueue events(
+        sim::schedulerBackendFromEnv(runtime.config().scheduler));
+
+    EngineLoop loop{events, runtime, stream, cfg};
 
     // Observability hooks resolve once per run off the runtime's
     // attached session; an untraced run keeps them all null.
-    trace::TraceSink *sink = nullptr;
-    trace::TrackId gpuTrk = 0;
-    trace::LatencyHistogram *stallLat = nullptr;
-    trace::QueueDepthTracker *readyDepth = nullptr;
     if (trace::TraceSession *session = runtime.traceSession()) {
         if (trace::MetricsRegistry *reg = session->metrics()) {
-            stallLat = &reg->latency("gpu.stall_ns");
-            readyDepth = &reg->queueDepth("gpu.ready_warps",
-                                          trace::QueueKind::Occupancy);
+            loop.stallLat = &reg->latency("gpu.stall_ns");
+            loop.readyDepth = &reg->queueDepth(
+                "gpu.ready_warps", trace::QueueKind::Occupancy);
         }
         if (trace::TraceSink *s = session->sink()) {
-            sink = s;
-            gpuTrk = s->track("gpu");
+            loop.sink = s;
+            loop.gpuTrk = s->track("gpu");
         }
     }
 
-    RunResult result;
-    while (!ready.empty()) {
-        const ReadyWarp rw = ready.top();
-        ready.pop();
+    for (WarpId w = 0; w < warps; ++w)
+        events.scheduleAtKeyed(cfg.startTimeNs, w, WarpTurn{&loop, w});
+    events.runToCompletion();
 
-        Access a;
-        if (!stream.nextAccess(rw.warp, a)) {
-            result.makespanNs = std::max(result.makespanNs, rw.at);
-            if (readyDepth)
-                readyDepth->sample(rw.at, std::int64_t(ready.size()));
-            continue; // warp retired
-        }
-
-        const AccessResult ar =
-            runtime.access(rw.at, rw.warp, a.page, a.write);
-        ++result.accesses;
-        result.tier1Hits += ar.tier1Hit ? 1 : 0;
-        result.tier2Hits += ar.tier2Hit ? 1 : 0;
-
-        if (stallLat) {
-            stallLat->record(ar.readyAt > rw.at ? ar.readyAt - rw.at
-                                                : 0);
-        }
-        if (sink && ar.readyAt > rw.at)
-            sink->span(gpuTrk, "stall", rw.at, ar.readyAt);
-        if (readyDepth)
-            readyDepth->sample(rw.at, std::int64_t(ready.size() + 1));
-
-        const SimTime next_at =
-            std::max(ar.readyAt, rw.at) + cfg.computeNsPerAccess;
-        ready.push(ReadyWarp{next_at, rw.warp});
-
-        if (result.accesses % cfg.backgroundInterval == 0)
-            runtime.backgroundTick(rw.at);
-
-        if (cfg.maxAccesses && result.accesses >= cfg.maxAccesses) {
-            warn("GpuEngine: access cap (%llu) hit; truncating run",
-                 static_cast<unsigned long long>(cfg.maxAccesses));
-            break;
-        }
-    }
-    // Drain any warps still queued after a truncated run.
-    while (!ready.empty()) {
-        result.makespanNs = std::max(result.makespanNs, ready.top().at);
-        ready.pop();
-    }
-    return result;
+    return loop.result;
 }
 
 } // namespace gmt::gpu

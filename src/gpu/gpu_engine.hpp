@@ -2,23 +2,35 @@
  * @file
  * GpuEngine: the SIMT execution model driving a TieredRuntime.
  *
- * The engine keeps every warp's next-ready time in a priority queue and
- * always issues from the earliest-ready warp, which yields a globally
- * non-decreasing access order while letting slow (I/O-blocked) warps
- * overlap with compute on others — this is where miss-level parallelism
- * comes from, and with it the queueing on SSD/PCIe channels that shapes
- * all the paper's results.
+ * The engine runs each warp as a self-rescheduling event on the DES
+ * event queue (sim::EventQueue), keyed by warp id, and always issues
+ * from the earliest-ready warp — events dispatch in (time, warp) order,
+ * exactly the priority-queue order earlier revisions used. That yields
+ * a globally non-decreasing access order while letting slow
+ * (I/O-blocked) warps overlap with compute on others — this is where
+ * miss-level parallelism comes from, and with it the queueing on
+ * SSD/PCIe channels that shapes all the paper's results.
+ *
+ * The common case skips the queue entirely: when the runtime reports a
+ * pure Tier-1 hit (TieredRuntime::tryHit) and no other warp is due
+ * first, the engine advances the warp's clock arithmetically and keeps
+ * issuing inline — an event-free hit streak. The streak breaks (and the
+ * warp goes back on the queue) the moment an access stalls or another
+ * warp's event becomes due, so dispatch order — and therefore every
+ * simulated result — is identical with the fast path on or off.
  *
  * Per access, a warp pays computeNsPerAccess of "useful work" time plus
  * whatever the runtime reports for data readiness. The engine also calls
  * runtime.backgroundTick() periodically (the host-side actors: GMT's
  * regression thread).
+ *
+ * The event-queue ordering backend (4-ary heap vs. timing wheel) comes
+ * from RuntimeConfig::scheduler, overridable with GMT_SCHED=heap|wheel.
  */
 
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "core/runtime.hpp"
@@ -45,6 +57,11 @@ struct EngineConfig
 
     /** Safety valve: abort after this many accesses (0 = unlimited). */
     std::uint64_t maxAccesses = 0;
+
+    /** Issue pure Tier-1 hits inline without scheduling events (the
+     *  event-free hit streak). Never changes simulated results; off is
+     *  kept for A/B parity tests and perf comparisons. */
+    bool hitFastPath = true;
 };
 
 /** Result of one kernel run. */
@@ -61,6 +78,11 @@ struct RunResult
 
     /** Tier-2 hits observed. */
     std::uint64_t tier2Hits = 0;
+
+    /** Accesses issued through the event-free hit fast path (a subset
+     *  of tier1Hits; 0 when the fast path is disabled). Diagnostic
+     *  only — not part of any simulated result. */
+    std::uint64_t fastPathHits = 0;
 };
 
 /** Warp scheduler + issue loop. */

@@ -7,14 +7,30 @@
 namespace gmt::sim
 {
 
+EventQueue::EventQueue(SchedulerBackend backend) : backendKind(backend)
+{
+    if (backend == SchedulerBackend::Wheel)
+        wheel = std::make_unique<TimingWheel>();
+}
+
 EventQueue::~EventQueue()
 {
     // Destroy callbacks of still-pending events; pooled (free-listed)
     // nodes were already destroyed when they fired or were reset away.
-    for (const NodeId id : heap) {
-        Node &n = node(id);
-        if (n.destroy)
-            n.destroy(n);
+    if (wheel) {
+        drainBuf.clear();
+        wheel->collect(drainBuf);
+        for (const TimingWheel::Item &item : drainBuf) {
+            Node &n = node(NodeId(item.id));
+            if (n.destroy)
+                n.destroy(n);
+        }
+    } else {
+        for (const NodeId id : heap) {
+            Node &n = node(id);
+            if (n.destroy)
+                n.destroy(n);
+        }
     }
 }
 
@@ -87,11 +103,11 @@ EventQueue::siftDown(std::size_t pos)
     heap[pos] = id;
 }
 
-bool
-EventQueue::step()
+EventQueue::NodeId
+EventQueue::popEarliest()
 {
-    if (heap.empty())
-        return false;
+    if (wheel)
+        return NodeId(wheel->pop().id);
     const NodeId id = heap[0];
     const NodeId tail = heap.back();
     heap.pop_back();
@@ -99,6 +115,33 @@ EventQueue::step()
         heap[0] = tail;
         siftDown(0);
     }
+    return id;
+}
+
+bool
+EventQueue::peekEarliest(SimTime &when, std::uint64_t &key)
+{
+    if (numPending == 0)
+        return false;
+    if (wheel) {
+        const TimingWheel::Item &item = wheel->peek();
+        when = item.when;
+        key = item.key;
+    } else {
+        const Node &n = node(heap[0]);
+        when = n.when;
+        key = n.key;
+    }
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    if (numPending == 0)
+        return false;
+    const NodeId id = popEarliest();
+    --numPending;
     Node &n = node(id);
     currentTime = n.when;
     // Invoke before recycling: the callback may schedule further events,
@@ -121,8 +164,12 @@ EventQueue::runToCompletion()
 std::uint64_t
 EventQueue::runUntil(SimTime deadline)
 {
+    // Deadline-inclusive contract: an event at exactly `deadline` fires
+    // (see the header). Checked via peek so both backends share it.
     std::uint64_t dispatched = 0;
-    while (!heap.empty() && node(heap[0]).when <= deadline) {
+    SimTime when;
+    std::uint64_t key;
+    while (peekEarliest(when, key) && when <= deadline) {
         step();
         ++dispatched;
     }
@@ -132,9 +179,18 @@ EventQueue::runUntil(SimTime deadline)
 void
 EventQueue::reset()
 {
-    for (const NodeId id : heap)
-        freeNode(id);
-    heap.clear();
+    if (wheel) {
+        drainBuf.clear();
+        wheel->collect(drainBuf);
+        for (const TimingWheel::Item &item : drainBuf)
+            freeNode(NodeId(item.id));
+        wheel->clear();
+    } else {
+        for (const NodeId id : heap)
+            freeNode(id);
+        heap.clear();
+    }
+    numPending = 0;
     currentTime = 0;
     nextSeq = 0;
 }

@@ -6,15 +6,20 @@
  * host-handler serialization under HMM) are all *queueing* effects, so the
  * whole platform is modelled as a single-threaded DES. Actors (warps, the
  * host regression thread, the HMM fault handler) schedule callbacks; the
- * queue dispatches them in (time, sequence) order, giving deterministic
- * FIFO tie-breaking.
+ * queue dispatches them in (time, key, sequence) order — `key` is an
+ * optional caller-supplied tie-break (GpuEngine passes the warp id) and
+ * `sequence` gives deterministic FIFO ordering among exact ties.
  *
  * The hot path is allocation-free: events live in a slab of pooled nodes
  * recycled through a free list, each node carrying a small-buffer callback
  * (no per-event heap allocation for captures up to kInlineCallbackBytes;
- * larger callables fall back to one heap allocation). Ordering is kept by
- * an indexed 4-ary heap of node ids — shallower than a binary heap and
- * with better cache behaviour for the sift-down that dominates dispatch.
+ * larger callables fall back to one heap allocation).
+ *
+ * Two interchangeable ordering backends (see sim/scheduler.hpp):
+ *  - Heap: an indexed 4-ary heap of node ids — shallower than a binary
+ *    heap, O(log n) schedule/dispatch; the reference oracle.
+ *  - Wheel: a hierarchical timing wheel (sim/timing_wheel.hpp) — O(1)
+ *    amortized; dispatches in exactly the same (when, key, seq) order.
  */
 
 #pragma once
@@ -27,6 +32,8 @@
 #include <utility>
 #include <vector>
 
+#include "sim/scheduler.hpp"
+#include "sim/timing_wheel.hpp"
 #include "util/types.hpp"
 
 namespace gmt::sim
@@ -45,10 +52,14 @@ class EventQueue
 {
   public:
     EventQueue() = default;
+    explicit EventQueue(SchedulerBackend backend);
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Which ordering backend this queue dispatches through. */
+    SchedulerBackend backend() const { return backendKind; }
 
     /** Current simulated time in nanoseconds. */
     SimTime now() const { return currentTime; }
@@ -62,9 +73,18 @@ class EventQueue
     void
     scheduleAt(SimTime when, F &&fn)
     {
+        scheduleAtKeyed(when, 0, std::forward<F>(fn));
+    }
+
+    /** scheduleAt with an explicit tie-break key: among events at the
+     *  same timestamp, lower keys dispatch first (FIFO within a key). */
+    template <typename F>
+    void
+    scheduleAtKeyed(SimTime when, std::uint64_t key, F &&fn)
+    {
         if (when < currentTime) [[unlikely]]
             schedulePastFatal(when);
-        push(when, std::forward<F>(fn));
+        push(when, key, std::forward<F>(fn));
     }
 
     /** Schedule @p fn @p delay ns in the future. Fast path: the target
@@ -73,14 +93,22 @@ class EventQueue
     void
     scheduleAfter(SimTime delay, F &&fn)
     {
-        push(currentTime + delay, std::forward<F>(fn));
+        push(currentTime + delay, 0, std::forward<F>(fn));
     }
 
     /** True when no events remain. */
-    bool empty() const { return heap.empty(); }
+    bool empty() const { return numPending == 0; }
 
     /** Number of pending events. */
-    std::size_t pending() const { return heap.size(); }
+    std::size_t pending() const { return numPending; }
+
+    /**
+     * Ordering fields of the next event to dispatch, without firing it.
+     * @retval false if the queue is empty.
+     * Non-const: under the wheel backend a peek may advance the wheel
+     * cursor (cascading upper levels); dispatch order is unaffected.
+     */
+    bool peekEarliest(SimTime &when, std::uint64_t &key);
 
     /**
      * Dispatch the single earliest event, advancing the clock to it.
@@ -91,7 +119,13 @@ class EventQueue
     /** Dispatch until the queue drains. Returns events dispatched. */
     std::uint64_t runToCompletion();
 
-    /** Dispatch until the clock would pass @p deadline or queue drains. */
+    /**
+     * Dispatch every event with `when <= deadline`, advancing the clock
+     * to each; the deadline is inclusive — an event at exactly
+     * @p deadline fires. Events strictly after it stay queued and the
+     * clock is left at the last dispatched event (it does NOT jump to
+     * @p deadline). Returns events dispatched.
+     */
     std::uint64_t runUntil(SimTime deadline);
 
     /** Drop all pending events and reset the clock to zero. The node
@@ -108,13 +142,14 @@ class EventQueue
     /**
      * One pooled event. The callback is type-erased into an inline
      * buffer when the callable fits (and is nothrow-movable); otherwise
-     * a single heap allocation holds it. Nodes never move — the heap
-     * orders NodeIds, and chunks give stable addresses — so the erased
-     * callable needs only invoke and destroy operations.
+     * a single heap allocation holds it. Nodes never move — the
+     * backends order NodeIds, and chunks give stable addresses — so the
+     * erased callable needs only invoke and destroy operations.
      */
     struct Node
     {
         SimTime when = 0;
+        std::uint64_t key = 0;
         std::uint64_t seq = 0;
 
         void (*invoke)(Node &) = nullptr;
@@ -164,12 +199,14 @@ class EventQueue
         return chunks[id / kChunkNodes][id % kChunkNodes];
     }
 
-    /** (when, seq) lexicographic order: the heap property uses <. */
+    /** (when, key, seq) lexicographic order: the heap property uses <. */
     bool
     earlier(const Node &a, const Node &b) const
     {
         if (a.when != b.when)
             return a.when < b.when;
+        if (a.key != b.key)
+            return a.key < b.key;
         return a.seq < b.seq;
     }
 
@@ -178,29 +215,47 @@ class EventQueue
 
     template <typename F>
     void
-    push(SimTime when, F &&fn)
+    push(SimTime when, std::uint64_t key, F &&fn)
     {
         const NodeId id = allocNode();
         Node &n = node(id);
         n.when = when;
+        n.key = key;
         n.seq = nextSeq++;
         n.emplace(std::forward<F>(fn));
-        heap.push_back(id);
-        siftUp(heap.size() - 1);
+        ++numPending;
+        if (wheel) {
+            wheel->insert({when, key, n.seq, id});
+        } else {
+            heap.push_back(id);
+            siftUp(heap.size() - 1);
+        }
     }
+
+    /** Remove and return the earliest node id. @pre !empty() */
+    NodeId popEarliest();
 
     void siftUp(std::size_t pos);
     void siftDown(std::size_t pos);
 
     [[noreturn]] void schedulePastFatal(SimTime when) const;
 
-    /** 4-ary min-heap of node ids, ordered by (when, seq). */
+    SchedulerBackend backendKind = SchedulerBackend::Heap;
+
+    /** 4-ary min-heap of node ids, ordered by (when, key, seq); used
+     *  when backendKind == Heap. */
     std::vector<NodeId> heap;
+    /** Timing-wheel ordering; allocated only for the Wheel backend. */
+    std::unique_ptr<TimingWheel> wheel;
+
     /** Stable-address slab the nodes live in. */
     std::vector<std::unique_ptr<Node[]>> chunks;
     /** Recycled node ids, used LIFO for cache warmth. */
     std::vector<NodeId> freeList;
+    /** Scratch for draining the wheel on reset/destruction. */
+    std::vector<TimingWheel::Item> drainBuf;
 
+    std::size_t numPending = 0;
     SimTime currentTime = 0;
     std::uint64_t nextSeq = 0;
 };

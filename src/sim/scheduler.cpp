@@ -1,0 +1,40 @@
+#include "sim/scheduler.hpp"
+
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace gmt::sim
+{
+
+const char *
+schedulerBackendName(SchedulerBackend backend)
+{
+    switch (backend) {
+      case SchedulerBackend::Heap: return "heap";
+      case SchedulerBackend::Wheel: return "wheel";
+    }
+    return "?";
+}
+
+SchedulerBackend
+schedulerBackendFromName(const std::string &name)
+{
+    if (name == "heap")
+        return SchedulerBackend::Heap;
+    if (name == "wheel")
+        return SchedulerBackend::Wheel;
+    fatal("unknown scheduler backend '%s' (expected 'heap' or 'wheel')",
+          name.c_str());
+}
+
+SchedulerBackend
+schedulerBackendFromEnv(SchedulerBackend fallback)
+{
+    const char *env = std::getenv("GMT_SCHED");
+    if (!env || !*env)
+        return fallback;
+    return schedulerBackendFromName(env);
+}
+
+} // namespace gmt::sim

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Scheduler backend selection for the DES event core.
+ *
+ * Two interchangeable event-queue backends exist so they can be diffed
+ * against each other forever:
+ *  - Heap:  the pooled 4-ary heap (O(log n) schedule/dispatch), kept as
+ *           the reference oracle;
+ *  - Wheel: the hierarchical timing wheel (O(1) amortized), the fast
+ *           path for event-heavy runs.
+ *
+ * Both dispatch in exactly the same (when, key, seq) order, so simulated
+ * results — golden metrics, traces, counters — are byte-identical under
+ * either backend. Selection flows RuntimeConfig::scheduler -> GpuEngine,
+ * with the GMT_SCHED environment variable ("heap" | "wheel") overriding
+ * both, so a whole bench/test binary can be flipped without a rebuild.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gmt::sim
+{
+
+/** Which event-queue implementation orders pending events. */
+enum class SchedulerBackend : std::uint8_t
+{
+    Heap,  ///< pooled 4-ary heap (reference implementation)
+    Wheel, ///< hierarchical timing wheel (O(1) amortized dispatch)
+};
+
+/** Human-readable backend name ("heap" / "wheel"). */
+const char *schedulerBackendName(SchedulerBackend backend);
+
+/** Parse a backend name; fatal() on anything else. */
+SchedulerBackend schedulerBackendFromName(const std::string &name);
+
+/**
+ * Resolve the backend for a run: the GMT_SCHED environment variable if
+ * set ("heap" | "wheel", fatal on junk), else @p fallback.
+ */
+SchedulerBackend schedulerBackendFromEnv(SchedulerBackend fallback);
+
+} // namespace gmt::sim

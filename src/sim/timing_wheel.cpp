@@ -1,0 +1,181 @@
+#include "sim/timing_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace gmt::sim
+{
+
+bool
+TimingWheel::orderedBefore(const Item &a, const Item &b)
+{
+    if (a.when != b.when)
+        return a.when < b.when;
+    if (a.key != b.key)
+        return a.key < b.key;
+    return a.seq < b.seq;
+}
+
+void
+TimingWheel::insert(const Item &item)
+{
+    ++count;
+    // While a drained bucket is being consumed, it owns every timestamp
+    // below scratchLimit: merging here (instead of the wheel) keeps the
+    // "wheel holds only >= scratchLimit" invariant, which is what lets
+    // the cursor run ahead of the owner's clock after a peek().
+    if (scratchHead < scratch.size() && item.when < scratchLimit) {
+        const auto pos =
+            std::lower_bound(scratch.begin() + long(scratchHead),
+                             scratch.end(), item, orderedBefore);
+        scratch.insert(pos, item);
+        return;
+    }
+    bucketInsert(item);
+}
+
+void
+TimingWheel::bucketInsert(const Item &item)
+{
+    const std::uint64_t tick = tickOf(item.when);
+    GMT_ASSERT(tick >= cursorTick);
+    // The level is picked from the highest bit where the item's tick
+    // DIFFERS from the cursor (not from the delta): above that level
+    // their slot counters agree, so the item lands in the cursor's
+    // current frame and its slot index is unambiguous. A delta-based
+    // level would let an unaligned cursor alias an item almost a full
+    // span ahead onto the cursor's own slot one frame early — prime()
+    // would open that bucket and cascade it back into itself forever.
+    const std::uint64_t differing = tick ^ cursorTick;
+    const unsigned level =
+        differing == 0
+            ? 0u
+            : unsigned(std::bit_width(differing) - 1) / kSlotBits;
+    const unsigned slot =
+        unsigned((tick >> (kSlotBits * level)) & (kSlots - 1));
+    buckets[level][slot].push_back(item);
+    occupied[level] |= std::uint64_t(1) << slot;
+}
+
+void
+TimingWheel::prime()
+{
+    if (scratchHead < scratch.size())
+        return; // a drained bucket is still being consumed
+    GMT_ASSERT(count > 0);
+    scratch.clear();
+    scratchHead = 0;
+
+    for (;;) {
+        // Earliest occupied bucket over all levels = the one whose base
+        // time (slot counter << level width) is smallest. Rotating each
+        // level's occupancy mask so the cursor's slot becomes bit 0
+        // turns "next occupied slot at/after the cursor" into a ffs.
+        unsigned bestLevel = kLevels;
+        unsigned bestSlot = 0;
+        std::uint64_t bestBase = ~std::uint64_t(0);
+        for (unsigned level = 0; level < kLevels; ++level) {
+            const std::uint64_t occ = occupied[level];
+            if (!occ)
+                continue;
+            const std::uint64_t cur = cursorTick >> (kSlotBits * level);
+            const unsigned curSlot = unsigned(cur & (kSlots - 1));
+            const unsigned off =
+                unsigned(std::countr_zero(std::rotr(occ, curSlot)));
+            const std::uint64_t base = (cur + off) << (kSlotBits * level);
+            if (base < bestBase) {
+                bestBase = base;
+                bestLevel = level;
+                bestSlot = unsigned((curSlot + off) & (kSlots - 1));
+            }
+        }
+        GMT_ASSERT(bestLevel < kLevels);
+
+        // Advance the cursor to the bucket being opened. Safe: bestBase
+        // was the minimum over all occupied buckets, so nothing pending
+        // lies before it. (For an upper level whose *current* slot is
+        // occupied, base <= cursorTick — never move backwards.)
+        cursorTick = std::max(cursorTick, bestBase);
+
+        std::vector<Item> &bucket = buckets[bestLevel][bestSlot];
+        occupied[bestLevel] &= ~(std::uint64_t(1) << bestSlot);
+
+        if (bestLevel == 0) {
+            // Found the earliest level-0 bucket: drain it through a
+            // bounded sort. Copy-then-clear (not swap) so every
+            // vector's storage stays with its slot — capacities grow
+            // monotonically toward each slot's peak occupancy and the
+            // steady state stops allocating (hotpath_alloc_test).
+            scratch.assign(bucket.begin(), bucket.end());
+            bucket.clear();
+            std::sort(scratch.begin(), scratch.end(), orderedBefore);
+            scratchLimit =
+                SimTime(cursorTick + 1) << kTickShift; // bucket end
+            return;
+        }
+
+        // Upper-level bucket: cascade its items down. With the cursor
+        // now at the bucket's base, every item re-maps to a strictly
+        // lower level (its remaining delta < one slot of bestLevel), so
+        // this loop terminates.
+        cascadeBuf.assign(bucket.begin(), bucket.end());
+        bucket.clear();
+        for (const Item &item : cascadeBuf)
+            bucketInsert(item);
+        cascadeBuf.clear();
+    }
+}
+
+const TimingWheel::Item &
+TimingWheel::peek()
+{
+    prime();
+    return scratch[scratchHead];
+}
+
+TimingWheel::Item
+TimingWheel::pop()
+{
+    prime();
+    const Item item = scratch[scratchHead++];
+    --count;
+    if (scratchHead == scratch.size()) {
+        scratch.clear();
+        scratchHead = 0;
+    }
+    return item;
+}
+
+void
+TimingWheel::clear()
+{
+    for (auto &level : buckets)
+        for (auto &bucket : level)
+            bucket.clear();
+    occupied.fill(0);
+    scratch.clear();
+    scratchHead = 0;
+    scratchLimit = 0;
+    cursorTick = 0;
+    count = 0;
+}
+
+void
+TimingWheel::collect(std::vector<Item> &out) const
+{
+    for (std::size_t i = scratchHead; i < scratch.size(); ++i)
+        out.push_back(scratch[i]);
+    for (unsigned level = 0; level < kLevels; ++level) {
+        std::uint64_t occ = occupied[level];
+        while (occ) {
+            const unsigned slot = unsigned(std::countr_zero(occ));
+            occ &= occ - 1;
+            for (const Item &item : buckets[level][slot])
+                out.push_back(item);
+        }
+    }
+}
+
+} // namespace gmt::sim

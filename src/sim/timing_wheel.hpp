@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hierarchical timing wheel: O(1) amortized ordering for the DES core.
+ *
+ * A Varghese & Lauck style hashed-hierarchical timer wheel over the
+ * simulated nanosecond clock. Level 0 buckets are 64 ns wide — fine
+ * enough that the model's sub-µs GPU/coalescer events land in distinct
+ * buckets — and each level up widens buckets by 64x, so the model's
+ * natural latency bands each live about one level apart:
+ *
+ *   level 0:     64 ns / slot   (compute steps, hit latencies)
+ *   level 1:   4096 ns / slot   (tier-2 DMA, channel completions)
+ *   level 2:   ~262 µs / slot   (host fetch ~50 µs, SSD ~130 µs)
+ *   ...
+ *   level 9:  covers the full 64-bit nanosecond range
+ *
+ * Far-future events park in upper levels and cascade down as the cursor
+ * rolls over into their slot; with 10 levels x 64 slots the wheel spans
+ * every representable SimTime, so there is no overflow list.
+ *
+ * Dispatch order is exactly (when, key, seq) — identical to the 4-ary
+ * heap backend. Items sharing the current level-0 bucket are drained
+ * through a bounded sort (at most one bucket's worth of items), and
+ * same-bucket inserts during the drain are merged in sorted position,
+ * so determinism does not depend on bucket width.
+ *
+ * The wheel stores only POD handles (the pooled EventQueue node id plus
+ * its ordering fields); bucket vectors and the scratch buffer are
+ * retained across use, so the steady state is allocation-free.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::sim
+{
+
+/** Min-order multiset of event handles keyed by (when, key, seq). */
+class TimingWheel
+{
+  public:
+    /** One pending event handle; `id` is opaque to the wheel. */
+    struct Item
+    {
+        SimTime when = 0;
+        std::uint64_t key = 0; ///< caller tie-break (e.g. warp id)
+        std::uint64_t seq = 0; ///< FIFO tie-break, unique per item
+        std::uint32_t id = 0;  ///< owner's node id
+    };
+
+    bool empty() const { return count == 0; }
+    std::size_t size() const { return count; }
+
+    /**
+     * Insert an item.
+     * @pre item.when is not in the past: it must be >= the `when` of the
+     *      last item popped (the owner's clock enforces this).
+     */
+    void insert(const Item &item);
+
+    /** Earliest item by (when, key, seq) without removing it. May
+     *  advance the cursor (cascading upper levels). @pre !empty() */
+    const Item &peek();
+
+    /** Remove and return the earliest item. @pre !empty() */
+    Item pop();
+
+    /** Drop everything and rewind the cursor to time zero. Bucket and
+     *  scratch capacity is retained. */
+    void clear();
+
+    /** Append all pending items to @p out in unspecified order (used by
+     *  the owner's reset/destructor to release callbacks). */
+    void collect(std::vector<Item> &out) const;
+
+  private:
+    static constexpr unsigned kSlotBits = 6; ///< 64 slots per level
+    static constexpr unsigned kSlots = 1u << kSlotBits;
+    static constexpr unsigned kTickShift = 6; ///< 64 ns per tick
+    /** ceil(58 tick bits / 6 slot bits): spans all of SimTime. */
+    static constexpr unsigned kLevels = 10;
+
+    static std::uint64_t tickOf(SimTime when) { return when >> kTickShift; }
+    static bool orderedBefore(const Item &a, const Item &b);
+
+    /** Place an item into its (level, slot) bucket relative to the
+     *  cursor. @pre tickOf(item.when) >= cursorTick */
+    void bucketInsert(const Item &item);
+
+    /** Ensure the scratch buffer holds the next level-0 bucket, sorted;
+     *  cascades upper-level buckets as the cursor reaches them. */
+    void prime();
+
+    std::array<std::array<std::vector<Item>, kSlots>, kLevels> buckets;
+    /** Per-level bitmask of occupied slots (bit i <=> slot i). */
+    std::array<std::uint64_t, kLevels> occupied{};
+
+    /** Current wheel position in level-0 ticks. Monotonic between
+     *  clear()s; always <= tickOf(earliest pending item). */
+    std::uint64_t cursorTick = 0;
+
+    /**
+     * Drain buffer: the level-0 bucket currently being consumed, sorted
+     * by (when, key, seq) from scratchHead on. While non-empty it OWNS
+     * the time range below scratchLimit — inserts with when <
+     * scratchLimit go here (sorted), so an insert below the already-
+     * cascaded cursor can never hit the wheel. Everything left in the
+     * wheel is >= scratchLimit.
+     */
+    std::vector<Item> scratch;
+    std::size_t scratchHead = 0;
+    SimTime scratchLimit = 0;
+
+    /** Reused cascade staging buffer (no steady-state allocation). */
+    std::vector<Item> cascadeBuf;
+
+    std::size_t count = 0;
+};
+
+} // namespace gmt::sim

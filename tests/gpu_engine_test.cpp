@@ -7,11 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "core/config.hpp"
 #include "core/runtime.hpp"
 #include "gpu/access_stream.hpp"
 #include "gpu/gpu_engine.hpp"
+#include "sim/scheduler.hpp"
 
 using namespace gmt;
 using namespace gmt::gpu;
@@ -184,4 +187,82 @@ TEST(GpuEngine, CountsHitsReportedByRuntime)
     const RunResult r = GpuEngine().run(rt, stream);
     EXPECT_EQ(r.tier1Hits, 25u);
     EXPECT_EQ(r.tier2Hits, 0u);
+}
+
+TEST(GpuEngine, StubRuntimeNeverTakesFastPath)
+{
+    // The base TieredRuntime::tryHit declines, so a runtime that does
+    // not opt in goes through access() for every request even with the
+    // fast path enabled (the default).
+    StubRuntime rt(0);
+    CountingStream stream(2, 50);
+    const RunResult r = GpuEngine().run(rt, stream);
+    EXPECT_EQ(r.fastPathHits, 0u);
+    EXPECT_EQ(rt.issueTimes.size(), 100u);
+}
+
+namespace
+{
+
+/** A fully Tier-1-resident GMT config: after one warm sweep every
+ *  access is a pure hit, the territory of the event-free streak. */
+RuntimeConfig
+residentCfg()
+{
+    RuntimeConfig cfg;
+    cfg.numPages = 1024;
+    cfg.tier1Pages = 1024;
+    cfg.tier2Pages = 2048;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.sampleTarget = 0;
+    return cfg;
+}
+
+RunResult
+runResident(sim::SchedulerBackend backend, bool fast_path,
+            std::uint64_t per_warp = 400)
+{
+    RuntimeConfig cfg = residentCfg();
+    cfg.scheduler = backend;
+    auto rt = makeGmtRuntime(cfg);
+    CountingStream stream(8, per_warp);
+    EngineConfig ec;
+    ec.hitFastPath = fast_path;
+    return GpuEngine(ec).run(*rt, stream);
+}
+
+} // namespace
+
+TEST(GpuEngine, FastPathFiresOnResidentWorkload)
+{
+    const RunResult r = runResident(sim::SchedulerBackend::Wheel, true);
+    EXPECT_EQ(r.accesses, 8u * 400u);
+    EXPECT_GT(r.fastPathHits, 0u)
+        << "a Tier-1-resident steady state must take the inline streak";
+}
+
+TEST(GpuEngine, FastPathAndBackendDoNotChangeResults)
+{
+    // The tentpole determinism claim at engine granularity: all four
+    // {heap, wheel} x {fast path on, off} combinations must produce
+    // identical simulated results. (Under GMT_SCHED both backend legs
+    // resolve to the same scheduler; the comparison still holds.)
+    const RunResult heapSlow =
+        runResident(sim::SchedulerBackend::Heap, false);
+    const RunResult heapFast =
+        runResident(sim::SchedulerBackend::Heap, true);
+    const RunResult wheelSlow =
+        runResident(sim::SchedulerBackend::Wheel, false);
+    const RunResult wheelFast =
+        runResident(sim::SchedulerBackend::Wheel, true);
+
+    for (const RunResult *r : {&heapFast, &wheelSlow, &wheelFast}) {
+        EXPECT_EQ(r->accesses, heapSlow.accesses);
+        EXPECT_EQ(r->tier1Hits, heapSlow.tier1Hits);
+        EXPECT_EQ(r->tier2Hits, heapSlow.tier2Hits);
+        EXPECT_EQ(r->makespanNs, heapSlow.makespanNs);
+    }
+    EXPECT_EQ(heapSlow.fastPathHits, 0u);
+    EXPECT_EQ(wheelSlow.fastPathHits, 0u);
+    EXPECT_EQ(heapFast.fastPathHits, wheelFast.fastPathHits);
 }

@@ -19,6 +19,8 @@
 #include "core/config.hpp"
 #include "core/runtime.hpp"
 #include "gpu/coalescer.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
@@ -167,4 +169,104 @@ TEST(HotPathAlloc, Tier1HitPathSteadyStateNeverAllocates)
     EXPECT_EQ(after - before, 0u)
         << "the steady-state Tier-1 hit path must be allocation-free";
     EXPECT_EQ(hits, 100000u) << "every steady-state access must hit";
+}
+
+namespace
+{
+
+/** Balanced schedule/dispatch churn with deltas spanning wheel levels
+ *  0-3 (64 ns buckets up to multi-ms parking) plus exact-now ties. */
+void
+wheelChurn(gmt::sim::EventQueue &q, int iters, std::uint64_t &sink)
+{
+    for (int i = 0; i < iters; ++i) {
+        SimTime delta;
+        switch (i % 5) {
+        case 0: delta = 1 + std::uint64_t(i % 197) * 17; break; // lvl 0-1
+        case 1: delta = std::uint64_t(i % 61); break;           // lvl 0
+        case 2: delta = 4096 + std::uint64_t(i % 13) * 4096; break;
+        case 3: delta = (SimTime(1) << 20) + std::uint64_t(i % 7)
+                            * (SimTime(1) << 18); break;        // lvl 3
+        default: delta = 0; break; // tie at now()
+        }
+        q.scheduleAfter(delta, [&sink] { ++sink; });
+        q.step();
+    }
+}
+
+} // namespace
+
+TEST(HotPathAlloc, WheelBackendSteadyStateNeverAllocates)
+{
+    // The wheel's bucket vectors, scratch/cascade buffers, and the
+    // queue's node slab all reach capacity during warm-up; after that,
+    // schedule -> park -> cascade -> sorted drain must never touch the
+    // allocator (ISSUE 4 acceptance).
+    // The measured phase replays the warm-up's exact absolute-time
+    // range after a reset(): every (level, slot) bucket the run touches
+    // was grown by the warm-up, so the second pass must never allocate.
+    // (A *different* time range could legitimately allocate: crossing a
+    // never-visited upper-level frame boundary touches a fresh bucket
+    // vector once — capacity, not steady-state, work.)
+    sim::EventQueue q(sim::SchedulerBackend::Wheel);
+    std::uint64_t sink = 0;
+
+    auto populateAndChurn = [&] {
+        // Standing population so buckets hold several items each.
+        for (int i = 0; i < 64; ++i)
+            q.scheduleAfter(1 + std::uint64_t(i) * 911, [&sink] { ++sink; });
+        wheelChurn(q, 60000, sink);
+        q.runToCompletion();
+    };
+
+    populateAndChurn(); // warm: grows every reused buffer
+    q.reset();          // keeps slab + bucket/scratch capacity
+
+    const std::uint64_t before = g_news;
+    populateAndChurn();
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "wheel steady-state churn must be allocation-free";
+    EXPECT_EQ(sink, 2u * (64u + 60000u));
+}
+
+TEST(HotPathAlloc, TryHitFastPathNeverAllocates)
+{
+    // The engine's event-free hit streak calls tryHit() per access; a
+    // committed fast hit must be as allocation-free as access() on the
+    // same resident page.
+    RuntimeConfig cfg;
+    cfg.numPages = 128;
+    cfg.tier1Pages = 128;
+    cfg.tier2Pages = 256;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.sampleTarget = 0;
+    auto rt = makeGmtRuntime(cfg);
+
+    SimTime now = 0;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, false).readyAt;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, true).readyAt;
+
+    Rng rng(13);
+    std::uint64_t hits = 0;
+
+    const std::uint64_t before = g_news;
+    for (int i = 0; i < 100000; ++i) {
+        const PageId page = rng.below(cfg.numPages);
+        now += 10;
+        AccessResult r;
+        const bool fast =
+            rt->tryHit(now, WarpId(i % 32), page, i % 8 == 0, r);
+        if (fast && r.tier1Hit && r.readyAt == now)
+            ++hits;
+    }
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "a committed Tier-1 fast hit must be allocation-free";
+    EXPECT_EQ(hits, 100000u) << "every resident access must take the "
+                                "fast path in steady state";
 }

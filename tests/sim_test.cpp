@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <cstdint>
+#include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/channel.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
 
 using namespace gmt;
 using namespace gmt::sim;
@@ -236,6 +240,240 @@ TEST(EventQueue, StdFunctionCallablesStillWork)
     q.scheduleAfter(2, std::move(fn));
     q.runToCompletion();
     EXPECT_EQ(calls, 2);
+}
+
+/**
+ * Backend-parameterized contract tests: every ordering/clock guarantee
+ * the queue documents must hold identically for the 4-ary heap and the
+ * hierarchical timing wheel.
+ */
+class EventQueueBackends : public ::testing::TestWithParam<SchedulerBackend>
+{
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, EventQueueBackends,
+    ::testing::Values(SchedulerBackend::Heap, SchedulerBackend::Wheel),
+    [](const ::testing::TestParamInfo<SchedulerBackend> &info) {
+        return std::string(schedulerBackendName(info.param));
+    });
+
+TEST_P(EventQueueBackends, DispatchesInTimeOrderWithFifoTies)
+{
+    EventQueue q(GetParam());
+    EXPECT_EQ(q.backend(), GetParam());
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(20); });
+    q.scheduleAt(20, [&] { order.push_back(21); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 20, 21, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST_P(EventQueueBackends, KeyedTiesDispatchInKeyOrderThenFifo)
+{
+    // At one timestamp: lower keys first, FIFO within a key — the order
+    // GpuEngine relies on to match the legacy ready-set iteration.
+    EventQueue q(GetParam());
+    std::vector<int> order;
+    q.scheduleAtKeyed(100, 5, [&] { order.push_back(50); });
+    q.scheduleAtKeyed(100, 1, [&] { order.push_back(10); });
+    q.scheduleAtKeyed(100, 5, [&] { order.push_back(51); });
+    q.scheduleAtKeyed(200, 0, [&] { order.push_back(99); });
+    q.scheduleAtKeyed(50, 9, [&] { order.push_back(0); });
+    q.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{0, 10, 50, 51, 99}));
+}
+
+TEST_P(EventQueueBackends, RunUntilDeadlineIsInclusive)
+{
+    // The documented contract: an event at exactly `deadline` fires,
+    // later events stay queued, and the clock is left at the last
+    // dispatched event — it does NOT jump forward to the deadline.
+    EventQueue q(GetParam());
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(20, [&] { ++fired; });
+    q.scheduleAt(20, [&] { ++fired; }); // tie at the deadline fires too
+    q.scheduleAt(21, [&] { ++fired; });
+
+    EXPECT_EQ(q.runUntil(20), 3u);
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(q.now(), 20u);
+    EXPECT_EQ(q.pending(), 1u);
+
+    // Idempotent at the same deadline: nothing left at <= 20.
+    EXPECT_EQ(q.runUntil(20), 0u);
+    EXPECT_EQ(q.now(), 20u);
+
+    // Clock lands on the event's time, not the (later) deadline.
+    EXPECT_EQ(q.runUntil(500), 1u);
+    EXPECT_EQ(fired, 4);
+    EXPECT_EQ(q.now(), 21u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST_P(EventQueueBackends, PeekEarliestReportsNextDispatch)
+{
+    EventQueue q(GetParam());
+    SimTime when = 0;
+    std::uint64_t key = 0;
+    EXPECT_FALSE(q.peekEarliest(when, key));
+
+    q.scheduleAtKeyed(70, 3, [] {});
+    q.scheduleAtKeyed(70, 1, [] {});
+    q.scheduleAtKeyed(90, 0, [] {});
+    ASSERT_TRUE(q.peekEarliest(when, key));
+    EXPECT_EQ(when, 70u);
+    EXPECT_EQ(key, 1u);
+    // Peeking must not consume or reorder anything.
+    EXPECT_EQ(q.pending(), 3u);
+    q.step();
+    ASSERT_TRUE(q.peekEarliest(when, key));
+    EXPECT_EQ(when, 70u);
+    EXPECT_EQ(key, 3u);
+}
+
+TEST_P(EventQueueBackends, FarFutureAndNearMaxTimestamps)
+{
+    // Timestamps spanning every wheel level, including the top of the
+    // 64-bit range: upper-level parking and multi-level cascade must
+    // preserve exact (when, seq) order.
+    EventQueue q(GetParam());
+    constexpr SimTime kMax = std::numeric_limits<SimTime>::max();
+    const std::vector<SimTime> times = {
+        kMax - 1,
+        SimTime(1) << 40,
+        3,
+        kMax,
+        (SimTime(1) << 58) + 12345,
+        SimTime(1) << 20,
+        kMax - 1, // tie near the top: FIFO applies
+        0,
+        (SimTime(1) << 40) + 1,
+    };
+    std::vector<std::pair<SimTime, int>> fired;
+    int tag = 0;
+    for (const SimTime t : times)
+        q.scheduleAt(t, [&fired, t, i = tag++] { fired.push_back({t, i}); });
+    q.runToCompletion();
+
+    const std::vector<std::pair<SimTime, int>> expected = {
+        {0, 7},
+        {3, 2},
+        {SimTime(1) << 20, 5},
+        {SimTime(1) << 40, 1},
+        {(SimTime(1) << 40) + 1, 8},
+        {(SimTime(1) << 58) + 12345, 4},
+        {kMax - 1, 0},
+        {kMax - 1, 6},
+        {kMax, 3},
+    };
+    EXPECT_EQ(fired, expected);
+    EXPECT_EQ(q.now(), kMax);
+}
+
+TEST_P(EventQueueBackends, ResetRewindsClockAndReusesPool)
+{
+    // After reset() the clock (and the wheel cursor) rewind to zero:
+    // small timestamps must be schedulable again, and the node slab must
+    // not regrow for the same population.
+    EventQueue q(GetParam());
+    for (int i = 0; i < 100; ++i)
+        q.scheduleAt(SimTime(i) * (SimTime(1) << 30), [] {});
+    q.step();
+    q.step(); // advance the clock (and wheel cursor) deep into the range
+    const std::size_t grown = q.poolSize();
+
+    q.reset();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.now(), 0u);
+
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        q.scheduleAt(SimTime(99 - i), [&order, i] { order.push_back(i); });
+    EXPECT_EQ(q.poolSize(), grown);
+    q.runToCompletion();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[std::size_t(i)], 99 - i);
+}
+
+namespace
+{
+
+/**
+ * Oracle property check: replay one pseudo-random schedule/peek/dispatch
+ * script against a queue and record every observation. The wheel run
+ * must produce byte-for-byte the trace of the heap (reference) run.
+ *
+ * The script covers the cases a bucketed structure can get wrong:
+ * same-timestamp bursts (FIFO ties), keyed ties, deltas crossing
+ * several wheel levels, far-future parking, a mid-script reset() (pool
+ * reuse + cursor rewind), and interleaved peeks (a wheel peek may
+ * cascade internally; it must never perturb dispatch order).
+ */
+std::vector<std::pair<SimTime, std::int64_t>>
+runChurnScript(EventQueue &q)
+{
+    std::vector<std::pair<SimTime, std::int64_t>> trace;
+    std::uint64_t x = 0x9e3779b97f4a7c15ull;
+    auto next = [&x] {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return x >> 31;
+    };
+    std::int64_t tag = 0;
+    for (int round = 0; round < 400; ++round) {
+        if (round == 250)
+            q.reset(); // rewind: times restart near zero
+
+        const int burst = int(next() % 6) + 1;
+        for (int i = 0; i < burst; ++i) {
+            const std::uint64_t kind = next() % 10;
+            SimTime delta;
+            if (kind < 5)
+                delta = next() % 97; // level-0 neighbourhood
+            else if (kind < 8)
+                delta = next() % (SimTime(1) << 14); // levels 1-2
+            else if (kind < 9)
+                delta = SimTime(1) << (20 + next() % 26); // far future
+            else
+                delta = 0; // exact tie at now()
+            const SimTime when = q.now() + delta;
+            const std::uint64_t key = next() % 4;
+            q.scheduleAtKeyed(when, key, [&trace, when, t = tag++] {
+                trace.push_back({when, t});
+            });
+        }
+
+        SimTime peekWhen = 0;
+        std::uint64_t peekKey = 0;
+        if (q.peekEarliest(peekWhen, peekKey))
+            trace.push_back({peekWhen, -std::int64_t(peekKey) - 1});
+
+        const int steps = int(next() % 4);
+        for (int i = 0; i < steps; ++i)
+            q.step();
+    }
+    q.runToCompletion();
+    trace.push_back({q.now(), -1000});
+    return trace;
+}
+
+} // namespace
+
+TEST(TimingWheelOracle, MatchesHeapTraceUnderRandomizedChurn)
+{
+    EventQueue heapQ(SchedulerBackend::Heap);
+    EventQueue wheelQ(SchedulerBackend::Wheel);
+    const auto heapTrace = runChurnScript(heapQ);
+    const auto wheelTrace = runChurnScript(wheelQ);
+    ASSERT_EQ(heapTrace.size(), wheelTrace.size());
+    for (std::size_t i = 0; i < heapTrace.size(); ++i) {
+        ASSERT_EQ(heapTrace[i], wheelTrace[i]) << "first divergence at " << i;
+    }
 }
 
 TEST(BandwidthChannel, SingleTransferTiming)

@@ -19,9 +19,17 @@
  * report under "baseline", so one artifact carries the before/after
  * pair for a PR.
  *
- * Exit status is non-zero only when the report would be malformed
- * (bench crashed, JSON didn't parse, required fields missing) — never
- * on slow numbers, so CI can run it without flaky ns thresholds.
+ * --check <BENCH_xxx.json> compares the fresh run against a previously
+ * normalized report: benchmarks present in both are matched by name and
+ * the run FAILS (exit 3) when any real_time_ns regresses beyond
+ * --check-threshold (default 0.10 = 10% slower). Benchmarks only on one
+ * side are reported but never fail the check. Intended as an *advisory*
+ * CI step: machine noise makes ns thresholds flaky, so the CI leg using
+ * --check is non-blocking.
+ *
+ * Without --check, exit status is non-zero only when the report would
+ * be malformed (bench crashed, JSON didn't parse, required fields
+ * missing) — never on slow numbers.
  */
 
 #include <cstdio>
@@ -56,7 +64,9 @@ struct Options
     std::string filter;
     std::string fromJson;
     std::string baseline;
+    std::string check;
     double minTime = 0.1;
+    double checkThreshold = 0.10;
 };
 
 void
@@ -65,7 +75,8 @@ usage(const char *argv0)
     std::fprintf(stderr,
                  "usage: %s --tag <tag> [--bench <binary>] [--out <dir>]\n"
                  "          [--min-time <seconds>] [--filter <regex>]\n"
-                 "          [--from-json <file>] [--baseline <file>]\n",
+                 "          [--from-json <file>] [--baseline <file>]\n"
+                 "          [--check <file> [--check-threshold <frac>]]\n",
                  argv0);
     std::exit(2);
 }
@@ -95,6 +106,10 @@ parseArgs(int argc, char **argv)
             opt.fromJson = next();
         else if (arg == "--baseline")
             opt.baseline = next();
+        else if (arg == "--check")
+            opt.check = next();
+        else if (arg == "--check-threshold")
+            opt.checkThreshold = std::atof(next().c_str());
         else
             usage(argv[0]);
     }
@@ -102,6 +117,11 @@ parseArgs(int argc, char **argv)
         usage(argv[0]);
     if (opt.minTime <= 0.0) {
         std::fprintf(stderr, "bench_report: --min-time must be > 0\n");
+        std::exit(2);
+    }
+    if (opt.checkThreshold <= 0.0) {
+        std::fprintf(stderr,
+                     "bench_report: --check-threshold must be > 0\n");
         std::exit(2);
     }
     return opt;
@@ -310,9 +330,9 @@ writeReport(std::string &out, const std::string &tag,
     out += "\n" + indent + "  ]";
 }
 
-/** Re-validate a previously emitted normalized report. */
-std::string
-loadNormalizedReport(const std::string &path)
+/** Parse a previously normalized report into a validated document. */
+JsonValue
+parseNormalizedReport(const std::string &path)
 {
     const std::string text = gmt::trace::readFileOrDie(path);
     JsonValue doc;
@@ -331,6 +351,73 @@ loadNormalizedReport(const std::string &path)
                      path.c_str());
         std::exit(1);
     }
+    return doc;
+}
+
+/**
+ * Regression gate: compare fresh entries against a normalized report,
+ * matching by benchmark name. Returns the number of regressions beyond
+ * @p threshold (fractional slowdown of real_time_ns).
+ */
+int
+checkAgainstBaseline(const std::vector<BenchEntry> &entries,
+                     const std::string &path, double threshold)
+{
+    const JsonValue doc = parseNormalizedReport(path);
+    const JsonValue &benches =
+        requireMember(doc, "benchmarks", "check baseline");
+    int regressions = 0;
+    int compared = 0;
+    for (const BenchEntry &e : entries) {
+        const JsonValue *base = nullptr;
+        for (const JsonValue &b : benches.items) {
+            const JsonValue *n = b.find("name");
+            if (n && n->text == e.name) {
+                base = &b;
+                break;
+            }
+        }
+        if (!base) {
+            std::fprintf(stderr,
+                         "bench_report: check: %-48s  (new, no baseline)\n",
+                         e.name.c_str());
+            continue;
+        }
+        const double baseNs =
+            requireMember(*base, "real_time_ns", "baseline entry").number;
+        if (baseNs <= 0.0)
+            continue;
+        ++compared;
+        const double ratio = e.realTimeNs / baseNs;
+        const bool regressed = ratio > 1.0 + threshold;
+        std::fprintf(stderr,
+                     "bench_report: check: %-48s  %10.0f -> %10.0f ns "
+                     "(%+.1f%%)%s\n",
+                     e.name.c_str(), baseNs, e.realTimeNs,
+                     (ratio - 1.0) * 100.0,
+                     regressed ? "  REGRESSION" : "");
+        if (regressed)
+            ++regressions;
+    }
+    if (compared == 0) {
+        std::fprintf(stderr, "bench_report: check: no benchmarks in "
+                             "common with '%s'\n",
+                     path.c_str());
+        std::exit(1);
+    }
+    std::fprintf(stderr,
+                 "bench_report: check: %d/%d within %.0f%% of '%s'\n",
+                 compared - regressions, compared, threshold * 100.0,
+                 path.c_str());
+    return regressions;
+}
+
+/** Re-validate + reformat a normalized report for embedding. */
+std::string
+loadNormalizedReport(const std::string &path)
+{
+    const std::string text = gmt::trace::readFileOrDie(path);
+    parseNormalizedReport(path); // dies if malformed
     // Strip the trailing newline so it nests cleanly.
     std::string trimmed = text;
     while (!trimmed.empty()
@@ -362,8 +449,10 @@ main(int argc, char **argv)
         std::snprintf(minTime, sizeof minTime,
                       " --benchmark_min_time=%g", opt.minTime);
         cmd += minTime;
+        // Single-quote the filter: regex alternation ('|') and friends
+        // must reach the bench binary, not the shell popen() spawns.
         if (!opt.filter.empty())
-            cmd += " --benchmark_filter=" + opt.filter;
+            cmd += " --benchmark_filter='" + opt.filter + "'";
         // google-benchmark prints counters etc. to stderr; keep stdout
         // pure JSON.
         benchJson = runCapture(cmd);
@@ -393,5 +482,17 @@ main(int argc, char **argv)
 
     std::fprintf(stderr, "bench_report: wrote %s (%zu benchmarks)\n",
                  path.c_str(), entries.size());
+
+    if (!opt.check.empty()) {
+        const int regressions =
+            checkAgainstBaseline(entries, opt.check, opt.checkThreshold);
+        if (regressions > 0) {
+            std::fprintf(stderr,
+                         "bench_report: check: %d regression(s) beyond "
+                         "%.0f%%\n",
+                         regressions, opt.checkThreshold * 100.0);
+            return 3;
+        }
+    }
     return 0;
 }
