@@ -40,6 +40,15 @@ struct BenchOptions
     /** Per-cell metrics JSON (latency percentiles, queue depths);
      *  empty = metrics off. */
     std::string metricsFile;
+
+    /** Per-fault span breakdown JSONL; empty = span profiling off. */
+    std::string spansFile;
+
+    /** Interval telemetry timeline JSONL; empty = timeline off. */
+    std::string timelineFile;
+
+    /** Timeline sampling period in simulated ns; 0 = default. */
+    SimTime timelinePeriodNs = 0;
 };
 
 inline BenchOptions
@@ -67,9 +76,27 @@ parseOptions(int argc, char **argv)
             if (i + 1 >= argc)
                 fatal("--metrics needs a file path");
             opt.metricsFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--spans") == 0) {
+            if (i + 1 >= argc)
+                fatal("--spans needs a file path");
+            opt.spansFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline") == 0) {
+            if (i + 1 >= argc)
+                fatal("--timeline needs a file path");
+            opt.timelineFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--timeline-period") == 0) {
+            if (i + 1 >= argc)
+                fatal("--timeline-period needs a value (simulated ns)");
+            const long long v = std::strtoll(argv[++i], nullptr, 10);
+            if (v <= 0)
+                fatal("--timeline-period wants a positive ns count, "
+                      "got '%s'",
+                      argv[i]);
+            opt.timelinePeriodNs = SimTime(v);
         } else
             fatal("unknown bench option '%s' (expected --quick/--csv/"
-                  "--jobs N/--trace FILE/--metrics FILE)",
+                  "--jobs N/--trace FILE/--metrics FILE/--spans FILE/"
+                  "--timeline FILE/--timeline-period NS)",
                   argv[i]);
     }
     return opt;
@@ -82,7 +109,9 @@ parseOptions(int argc, char **argv)
 inline harness::MatrixTracer &
 matrixTracer(const BenchOptions &opt)
 {
-    static harness::MatrixTracer tracer(opt.traceFile, opt.metricsFile);
+    static harness::MatrixTracer tracer(harness::MatrixTracer::Options{
+        opt.traceFile, opt.metricsFile, opt.spansFile, opt.timelineFile,
+        opt.timelinePeriodNs});
     return tracer;
 }
 

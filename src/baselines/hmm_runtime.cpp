@@ -36,6 +36,25 @@ HmmRuntime::attachTrace(trace::TraceSession *session)
         sink = s;
         tier1Trk = s->track("tier1");
     }
+    if (trace::TimelineSampler *tl = session->timeline()) {
+        tl->addProbe("tier1.used",
+                     [this] { return std::int64_t(tier1.used()); });
+        tl->addProbe("tier2.used", [this] {
+            return std::int64_t(hostCache.used());
+        });
+        tl->addProbe("pcie.busy_ns", [this] {
+            return std::int64_t(pcieLink.busyTime());
+        });
+        tl->addProbe("host.queue_ns", [this] {
+            return std::int64_t(faultPipeline.queueingTime());
+        });
+        tl->addProbe("nvme.media_busy_ns", [this] {
+            return std::int64_t(nvme.mediaBusyNs());
+        });
+        tl->addProbe("nvme.inflight", [this] {
+            return std::int64_t(nvme.totalInFlight());
+        });
+    }
 }
 
 bool
@@ -99,12 +118,21 @@ HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     stats.get("tier1_misses").inc();
     stats.get("host_faults").inc();
 
+    // Span profiling: covering segments below sum exactly to
+    // done - now (see GmtRuntime::access for the scheme).
+    if (spanProf)
+        spanProf->beginFault(now, warp, page);
+
     // 1. Fault delivery stalls the warp before the host even sees it.
     const SimTime delivered = now + hp.faultDeliveryNs;
 
     // 2. The host fault pipeline serializes the software handling.
     const SimTime handled =
         faultPipeline.serviceAt(delivered, hp.faultServiceNs);
+    if (spanProf) {
+        spanProf->stage(trace::Stage::FaultDelivery, hp.faultDeliveryNs);
+        spanProf->stage(trace::Stage::HostService, handled - delivered);
+    }
 
     // 3. Data path: page cache, else SSD through the kernel.
     stats.get("tier2_lookups").inc();
@@ -121,16 +149,32 @@ HmmRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
             nvme.hostReadPage(handled + hp.filesystemNs, page);
         stats.get("ssd_reads").inc();
         data_ready = io_done;
+        if (spanProf)
+            spanProf->stage(trace::Stage::SsdRead, io_done - handled);
     }
 
-    // 4. Eviction is more host work, then the DMA migration up.
+    // 4. Eviction is more host work, then the DMA migration up. It
+    // operates on a different page: mask it out of the demand fault.
     SimTime evict_done = handled;
-    if (tier1.full())
+    if (tier1.full()) {
+        if (spanProf)
+            spanProf->pause();
         evict_done = evictToHost(handled);
+        if (spanProf)
+            spanProf->resume();
+    }
 
     const SimTime migrate_from =
         std::max(cached ? handled : data_ready, evict_done);
     const SimTime done = dma.transferPages(migrate_from, 1);
+    if (spanProf) {
+        spanProf->stage(trace::Stage::EvictWait,
+                        migrate_from - (cached ? handled : data_ready));
+        spanProf->stage(trace::Stage::Migration, done - migrate_from);
+        spanProf->endFault(cached ? trace::FaultKind::HmmCached
+                                  : trace::FaultKind::HmmSsd,
+                           done);
+    }
 
     tier1.beginFetch(page, done);
     tier1.finishFetch(page, is_write);

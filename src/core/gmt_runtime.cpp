@@ -55,6 +55,28 @@ GmtRuntime::attachTrace(trace::TraceSession *session)
         sink = s;
         tier1Trk = s->track("tier1");
     }
+    if (trace::TimelineSampler *tl = session->timeline()) {
+        // Cumulative busy-ns columns: consumers difference adjacent
+        // rows for per-interval bandwidth utilization.
+        tl->addProbe("tier1.used",
+                     [this] { return std::int64_t(tier1.used()); });
+        if (!bamMode()) {
+            tl->addProbe("tier2.used",
+                         [this] { return std::int64_t(tier2.used()); });
+        }
+        tl->addProbe("pcie.up.busy_ns", [this] {
+            return std::int64_t(pcieUp.busyTime());
+        });
+        tl->addProbe("pcie.down.busy_ns", [this] {
+            return std::int64_t(pcieDown.busyTime());
+        });
+        tl->addProbe("nvme.media_busy_ns", [this] {
+            return std::int64_t(nvme.mediaBusyNs());
+        });
+        tl->addProbe("nvme.inflight", [this] {
+            return std::int64_t(nvme.totalInFlight());
+        });
+    }
 }
 
 bool
@@ -150,11 +172,18 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     cTier1Misses->inc();
 
     // ---- Miss path ----
+    // Span profiling: the covering stage segments below are derived
+    // from the same timestamps the path computes, so they sum exactly
+    // to ready - now (endFault folds any residual into Other).
+    if (spanProf)
+        spanProf->beginFault(now, warp, page);
     SimTime t = now;
     bool from_tier2 = false;
     if (!bamMode()) {
         // Probe the Tier-2 directory before going to storage (§3.4).
         t += cfg.tier2LookupNs;
+        if (spanProf)
+            spanProf->stage(trace::Stage::TierProbe, cfg.tier2LookupNs);
         stats.get("tier2_lookups").inc();
         from_tier2 = tier2.contains(page);
         if (from_tier2) {
@@ -170,10 +199,17 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         }
     }
 
-    // Make room first so the incoming page always has a frame.
+    // Make room first so the incoming page always has a frame. The
+    // eviction works on a *different* page, so its channel/NVMe time is
+    // masked out of the demand fault (its tail shows up as EvictWait).
     SimTime evict_done = t;
-    if (tier1.full())
+    if (tier1.full()) {
+        if (spanProf)
+            spanProf->pause();
         evict_done = evictOne(t, warp);
+        if (spanProf)
+            spanProf->resume();
+    }
 
     // GMT-Reuse learns from the page's return before re-stamping it.
     if (!bamMode() && cfg.policy == PlacementPolicy::Reuse)
@@ -181,18 +217,27 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 
     // Fetch the page (up path always bypasses Tier-2 for SSD sources).
     const SimTime issue = t + cfg.missHandlingNs;
+    if (spanProf)
+        spanProf->stage(trace::Stage::MissHandling, cfg.missHandlingNs);
     SimTime fetch_done;
     if (from_tier2) {
         fetch_done = xferUp.transfer(issue, 1, kWarpLanes);
         stats.get("tier2_fetches").inc();
         if (tier2FetchLat)
             tier2FetchLat->record(fetch_done - issue);
+        if (spanProf)
+            spanProf->stage(trace::Stage::Tier2Fetch, fetch_done - issue);
     } else {
         // NVMe completion, then the payload crosses the upstream x16
         // hop into GPU memory.
         const SimTime io_done = nvme.readPage(issue, page, warp);
         fetch_done = pcieUp.transferAt(io_done, kPageBytes);
         stats.get("ssd_reads").inc();
+        if (spanProf) {
+            spanProf->stage(trace::Stage::SsdRead, io_done - issue);
+            spanProf->stage(trace::Stage::PcieTransfer,
+                            fetch_done - io_done);
+        }
     }
 
     tier1.beginFetch(page, fetch_done);
@@ -204,8 +249,13 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
 
     // Prefetch behind the demand miss, after the demand page owns its
     // frame (prefetches must never steal the frame just freed for it).
-    if (!from_tier2 && cfg.prefetchDegree > 0)
+    if (!from_tier2 && cfg.prefetchDegree > 0) {
+        if (spanProf)
+            spanProf->pause();
         prefetchAfter(issue, warp, page);
+        if (spanProf)
+            spanProf->resume();
+    }
 
     // §5 extension: asynchronous eviction takes the placement work off
     // the warp's critical path (the channel occupancy stays).
@@ -213,6 +263,12 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         ? fetch_done
         : std::max(fetch_done, evict_done);
     setPageReadyAt(page, ready);
+    if (spanProf) {
+        spanProf->stage(trace::Stage::EvictWait, ready - fetch_done);
+        spanProf->endFault(from_tier2 ? trace::FaultKind::GmtTier2
+                                      : trace::FaultKind::GmtSsd,
+                           ready);
+    }
     if (missLat)
         missLat->record(ready - now);
     if (sink) {

@@ -27,6 +27,7 @@ void
 TieredRuntime::attachTrace(trace::TraceSession *session)
 {
     traceSess = session;
+    spanProf = session->spans();
 }
 
 void
@@ -36,6 +37,7 @@ TieredRuntime::reset()
     stats.resetAll();
     arrivals.clear();
     traceSess = nullptr;
+    spanProf = nullptr;
 }
 
 void

@@ -143,6 +143,9 @@ class TieredRuntime
     mem::BackingStore store;
     stats::CounterSet stats;
     trace::TraceSession *traceSess = nullptr;
+    /** Per-fault causal profiler of the attached session, or nullptr —
+     *  miss paths open/close fault spans through this. */
+    trace::SpanProfiler *spanProf = nullptr;
 
   private:
     /** Pages still in transit: page -> arrival time. Lazily pruned on

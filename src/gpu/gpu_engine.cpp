@@ -29,6 +29,8 @@ struct EngineLoop
     trace::TrackId gpuTrk = 0;
     trace::LatencyHistogram *stallLat = nullptr;
     trace::QueueDepthTracker *readyDepth = nullptr;
+    trace::TimelineSampler *timeline = nullptr;
+    trace::EngineTimelineStats *engineTl = nullptr;
 
     RunResult result;
     /** After the maxAccesses cap: remaining turns only fold their due
@@ -50,6 +52,10 @@ void
 EngineLoop::turn(WarpId w)
 {
     SimTime at = q.now();
+    // The issue clock is globally non-decreasing, so it can drive the
+    // timeline's period boundaries (including during inline streaks).
+    if (timeline)
+        timeline->advanceTo(at);
     if (truncated) {
         result.makespanNs = std::max(result.makespanNs, at);
         return;
@@ -76,6 +82,10 @@ EngineLoop::turn(WarpId w)
         ++result.accesses;
         result.tier1Hits += ar.tier1Hit ? 1 : 0;
         result.tier2Hits += ar.tier2Hit ? 1 : 0;
+        if (engineTl) {
+            ++engineTl->accesses;
+            engineTl->tier1Hits += ar.tier1Hit ? 1 : 0;
+        }
 
         if (stallLat)
             stallLat->record(ar.readyAt > at ? ar.readyAt - at : 0);
@@ -113,7 +123,11 @@ EngineLoop::turn(WarpId w)
             && (!q.peekEarliest(headWhen, headKey) || next_at < headWhen
                 || (next_at == headWhen && w < headKey))) {
             ++result.fastPathHits;
+            if (engineTl)
+                ++engineTl->fastPathHits;
             at = next_at;
+            if (timeline)
+                timeline->advanceTo(at);
             continue;
         }
 
@@ -144,7 +158,8 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
 
     // Observability hooks resolve once per run off the runtime's
     // attached session; an untraced run keeps them all null.
-    if (trace::TraceSession *session = runtime.traceSession()) {
+    trace::TraceSession *session = runtime.traceSession();
+    if (session) {
         if (trace::MetricsRegistry *reg = session->metrics()) {
             loop.stallLat = &reg->latency("gpu.stall_ns");
             loop.readyDepth = &reg->queueDepth(
@@ -154,11 +169,28 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
             loop.sink = s;
             loop.gpuTrk = s->track("gpu");
         }
+        if (trace::TimelineSampler *tl = session->timeline()) {
+            loop.timeline = tl;
+            // Sampler-owned storage: its probes must outlive this stack
+            // frame (quiesce samples one final row after run returns).
+            loop.engineTl = tl->engineStats();
+        }
     }
 
     for (WarpId w = 0; w < warps; ++w)
         events.scheduleAtKeyed(cfg.startTimeNs, w, WarpTurn{&loop, w});
     events.runToCompletion();
+
+    // Export the fast-path split into the golden metrics (created here,
+    // before the quiesce-hook counters, so export order is fixed).
+    if (session) {
+        if (trace::MetricsRegistry *reg = session->metrics()) {
+            reg->counter("gpu.fast_path_hits") = loop.result.fastPathHits;
+            reg->counter("gpu.fast_path_hit_bp") = loop.result.accesses
+                ? loop.result.fastPathHits * 10000 / loop.result.accesses
+                : 0;
+        }
+    }
 
     return loop.result;
 }

@@ -85,6 +85,7 @@ runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
     r.predCorrect = c.value("pred_correct");
     r.overflowRedirects = c.value("overflow_redirects");
     r.prefetches = c.value("prefetches");
+    r.fastPathHits = rr.fastPathHits;
     return r;
 }
 

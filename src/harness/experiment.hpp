@@ -42,6 +42,8 @@ struct ExperimentResult
     std::uint64_t predCorrect = 0;
     std::uint64_t overflowRedirects = 0;
     std::uint64_t prefetches = 0;
+    /** Tier-1 hits retired through the engine's event-free streak. */
+    std::uint64_t fastPathHits = 0;
 
     /** Exact metric equality (determinism checks across job counts). */
     bool operator==(const ExperimentResult &) const = default;
@@ -65,6 +67,13 @@ struct ExperimentResult
     predictionAccuracy() const
     {
         return predTotal ? double(predCorrect) / double(predTotal) : 0.0;
+    }
+
+    /** Share of all accesses retired on the event-free fast path. */
+    double
+    fastPathHitShare() const
+    {
+        return accesses ? double(fastPathHits) / double(accesses) : 0.0;
     }
 };
 

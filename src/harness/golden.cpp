@@ -24,6 +24,7 @@ goldenFigures()
     static const std::vector<std::string> figures = {
         "fig8_speedup",
         "fig11_oversubscription",
+        "fig12_capacity_ratio",
     };
     return figures;
 }
@@ -53,6 +54,11 @@ goldenSpecs(const std::string &figure)
                 cfg.tier2Pages /= 2;
             }
             cfg.setOversubscription(4.0);
+        } else if (figure == "fig12_capacity_ratio") {
+            // The largest Tier-2:Tier-1 ratio of the Figure 12 sweep
+            // (the bench covers {2, 4, 8}; the default config is 4).
+            cfg.tier2Pages = cfg.tier1Pages * 8;
+            cfg.setOversubscription(2.0);
         } else {
             fatal("no golden configuration for figure '%s'",
                   figure.c_str());

@@ -29,8 +29,17 @@ std::size_t
 MatrixTracer::addCells(std::size_t n)
 {
     const std::size_t first = cells.size();
+    trace::TraceSession::Options so;
+    so.trace = !opt.tracePath.empty();
+    so.metrics = !opt.metricsPath.empty();
+    so.spans = !opt.spansPath.empty();
+    if (!opt.timelinePath.empty()) {
+        so.timelinePeriodNs = opt.timelinePeriodNs
+            ? opt.timelinePeriodNs
+            : trace::TimelineSampler::kDefaultPeriodNs;
+    }
     for (std::size_t i = 0; i < n; ++i)
-        cells.emplace_back(!tracePath.empty(), !metricsPath.empty());
+        cells.emplace_back(so);
     return first;
 }
 
@@ -41,10 +50,14 @@ MatrixTracer::writeOutputs() const
     views.reserve(cells.size());
     for (const auto &cell : cells)
         views.push_back(&cell);
-    if (!tracePath.empty())
-        trace::writeTraceFile(tracePath, views);
-    if (!metricsPath.empty())
-        trace::writeMetricsFile(metricsPath, views);
+    if (!opt.tracePath.empty())
+        trace::writeTraceFile(opt.tracePath, views);
+    if (!opt.metricsPath.empty())
+        trace::writeMetricsFile(opt.metricsPath, views);
+    if (!opt.spansPath.empty())
+        trace::writeSpansFile(opt.spansPath, views);
+    if (!opt.timelinePath.empty())
+        trace::writeTimelineFile(opt.timelinePath, views);
 }
 
 std::vector<ExperimentResult>

@@ -48,15 +48,29 @@ struct RunSpec
 class MatrixTracer
 {
   public:
-    /** Either path may be empty to disable that artifact. */
+    /** Artifact paths; any may be empty to disable that artifact. */
+    struct Options
+    {
+        std::string tracePath;
+        std::string metricsPath;
+        std::string spansPath;    ///< per-fault span breakdown (JSONL)
+        std::string timelinePath; ///< interval telemetry (JSONL)
+        /** Timeline sampling period; 0 picks the default when a
+         *  timeline path is set. */
+        SimTime timelinePeriodNs = 0;
+    };
+
+    explicit MatrixTracer(Options options) : opt(std::move(options)) {}
+
     MatrixTracer(std::string trace_path, std::string metrics_path)
-        : tracePath(std::move(trace_path)),
-          metricsPath(std::move(metrics_path))
+        : MatrixTracer(Options{std::move(trace_path),
+                               std::move(metrics_path), {}, {}, 0})
     {}
 
     bool enabled() const
     {
-        return !tracePath.empty() || !metricsPath.empty();
+        return !opt.tracePath.empty() || !opt.metricsPath.empty()
+            || !opt.spansPath.empty() || !opt.timelinePath.empty();
     }
 
     /** Append sessions for @p n upcoming cells; returns the index of
@@ -70,8 +84,7 @@ class MatrixTracer
     void writeOutputs() const;
 
   private:
-    std::string tracePath;
-    std::string metricsPath;
+    Options opt;
     std::deque<trace::TraceSession> cells;
 };
 

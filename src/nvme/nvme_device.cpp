@@ -51,6 +51,10 @@ NvmeDevice::submitPage(QueuePair &qp, SimTime now, PageId page,
         GMT_ASSERT(reaped);
         ++stallCount;
     }
+    // Ring back-pressure is queue-wait from the fault's perspective;
+    // the drive's own slot/media decomposition happens inside SsdModel.
+    if (prof)
+        prof->queueing(t - now);
 
     SubmissionEntry sqe;
     sqe.opcode = op;
@@ -140,6 +144,28 @@ NvmeDevice::totalSubmissions() const
     return sum;
 }
 
+SimTime
+NvmeDevice::mediaBusyNs() const
+{
+    SimTime sum = 0;
+    for (const auto &m : models)
+        sum += m->mediaBusyNs();
+    return sum;
+}
+
+std::uint64_t
+NvmeDevice::totalInFlight() const
+{
+    std::uint64_t sum = 0;
+    for (const auto &drive_queues : gpuQueues) {
+        for (const auto &qp : drive_queues)
+            sum += qp->inFlight();
+    }
+    for (const auto &qp : hostQueues)
+        sum += qp->inFlight();
+    return sum;
+}
+
 std::uint64_t
 NvmeDevice::totalCompletionsReaped() const
 {
@@ -178,6 +204,11 @@ NvmeDevice::attachTrace(trace::TraceSession *session)
         sink = s;
         trk = s->track("nvme");
     }
+    prof = session->spans();
+    if (prof) {
+        for (auto &m : models)
+            m->attachSpans(prof);
+    }
 }
 
 void
@@ -195,6 +226,7 @@ NvmeDevice::reset()
     sink = nullptr;
     cmdLat = nullptr;
     ringDepth = nullptr;
+    prof = nullptr;
     window.attach(nullptr);
     window.clear();
 }

@@ -83,6 +83,12 @@ class NvmeDevice
     std::uint64_t totalSubmissions() const;
     std::uint64_t totalCompletionsReaped() const;
 
+    /** Aggregate media busy time across drives (utilization probes). */
+    SimTime mediaBusyNs() const;
+
+    /** Commands currently in flight across every ring. */
+    std::uint64_t totalInFlight() const;
+
     /**
      * Instrument the device: submission -> completion latency of every
      * command into "nvme.cmd_latency_ns", device-outstanding commands
@@ -118,6 +124,7 @@ class NvmeDevice
     trace::TrackId trk = 0;
     trace::LatencyHistogram *cmdLat = nullptr;
     trace::QueueDepthTracker *ringDepth = nullptr;
+    trace::SpanProfiler *prof = nullptr;
     trace::InflightWindow window;
 };
 

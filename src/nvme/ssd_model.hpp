@@ -55,6 +55,19 @@ class SsdModel
     std::uint64_t bytesWritten() const { return writeBytes; }
     const SsdParams &params() const { return cfg; }
 
+    /** Busy time of the shared media channel (utilization probes). */
+    SimTime mediaBusyNs() const { return media.busyTime(); }
+
+    /** Attribute slot queueing/service and media occupancy into
+     *  @p profiler's open fault. The internal slots and media never see
+     *  attachTrace, so the device facade wires them explicitly. */
+    void
+    attachSpans(trace::SpanProfiler *profiler)
+    {
+        slots.attachSpans(profiler);
+        media.attachSpans(profiler);
+    }
+
     void reset();
 
   private:

@@ -30,6 +30,10 @@ BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
     const SimTime done = busyUntil + latencyNs;
     if (lat)
         lat->record(done - now);
+    if (prof) {
+        prof->queueing(start - now);
+        prof->wire(occupy + latencyNs);
+    }
     window.issue(now, busyUntil);
     if (sink)
         sink->span(trk, "xfer", now, done);
@@ -49,6 +53,7 @@ BandwidthChannel::attachTrace(trace::TraceSession *session)
         sink = s;
         trk = s->track(_name);
     }
+    prof = session->spans();
 }
 
 void
@@ -59,6 +64,7 @@ BandwidthChannel::reset()
     totalBusy = 0;
     sink = nullptr;
     lat = nullptr;
+    prof = nullptr;
     window.attach(nullptr);
     window.clear();
 }
@@ -82,6 +88,10 @@ ServerPool::serviceAt(SimTime now, SimTime service_ns)
     const SimTime done = *it;
     if (lat)
         lat->record(done - now);
+    if (prof) {
+        prof->queueing(start - now);
+        prof->deviceService(service_ns);
+    }
     window.issue(now, done);
     if (sink)
         sink->span(trk, "job", now, done);
@@ -101,6 +111,7 @@ ServerPool::attachTrace(trace::TraceSession *session)
         sink = s;
         trk = s->track(_name);
     }
+    prof = session->spans();
 }
 
 void
@@ -111,6 +122,7 @@ ServerPool::reset()
     totalQueueing = 0;
     sink = nullptr;
     lat = nullptr;
+    prof = nullptr;
     window.attach(nullptr);
     window.clear();
 }

@@ -69,6 +69,11 @@ class BandwidthChannel
      */
     void attachTrace(trace::TraceSession *session);
 
+    /** Attribute queue-wait and wire time into @p profiler's open
+     *  fault (used standalone for channels attachTrace never sees,
+     *  e.g. the SSD media channel inside SsdModel). */
+    void attachSpans(trace::SpanProfiler *profiler) { prof = profiler; }
+
     void reset();
 
   private:
@@ -82,6 +87,7 @@ class BandwidthChannel
     trace::TraceSink *sink = nullptr;
     trace::TrackId trk = 0;
     trace::LatencyHistogram *lat = nullptr;
+    trace::SpanProfiler *prof = nullptr;
     trace::InflightWindow window;
 };
 
@@ -114,6 +120,10 @@ class ServerPool
      *  in-service jobs into "<name>.inflight", spans on "<name>". */
     void attachTrace(trace::TraceSession *session);
 
+    /** Attribute queue-wait and service time into @p profiler's open
+     *  fault (see BandwidthChannel::attachSpans). */
+    void attachSpans(trace::SpanProfiler *profiler) { prof = profiler; }
+
     void reset();
 
   private:
@@ -125,6 +135,7 @@ class ServerPool
     trace::TraceSink *sink = nullptr;
     trace::TrackId trk = 0;
     trace::LatencyHistogram *lat = nullptr;
+    trace::SpanProfiler *prof = nullptr;
     trace::InflightWindow window;
 };
 

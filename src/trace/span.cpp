@@ -1,0 +1,209 @@
+#include "trace/span.hpp"
+
+#include <cinttypes>
+
+#include "trace/trace.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::trace
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::GmtTier2: return "miss_tier2";
+      case FaultKind::GmtSsd: return "miss_ssd";
+      case FaultKind::HmmCached: return "fault_cached";
+      case FaultKind::HmmSsd: return "fault_ssd";
+    }
+    return "?";
+}
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+      case Stage::TierProbe: return "tier_probe";
+      case Stage::FaultDelivery: return "fault_delivery";
+      case Stage::HostService: return "host_service";
+      case Stage::MissHandling: return "miss_handling";
+      case Stage::Tier2Fetch: return "tier2_fetch";
+      case Stage::SsdRead: return "ssd_read";
+      case Stage::PcieTransfer: return "pcie_transfer";
+      case Stage::Migration: return "migration";
+      case Stage::EvictWait: return "evict_wait";
+      case Stage::Other: return "other";
+    }
+    return "?";
+}
+
+SpanProfiler::SpanProfiler(std::size_t max_fault_records)
+    : cap(max_fault_records)
+{
+}
+
+void
+SpanProfiler::beginFault(SimTime now, WarpId warp, PageId page)
+{
+    GMT_ASSERT(!open);
+    GMT_ASSERT(pauseDepth == 0);
+    open = true;
+    cur = FaultRecord{};
+    cur.id = faultCount;
+    cur.begin = now;
+    cur.warp = warp;
+    cur.page = page;
+}
+
+void
+SpanProfiler::endFault(FaultKind kind, SimTime end)
+{
+    GMT_ASSERT(open);
+    GMT_ASSERT(pauseDepth == 0);
+    open = false;
+    cur.kind = kind;
+    cur.end = end;
+    GMT_ASSERT(end >= cur.begin);
+    const SimTime total = end - cur.begin;
+
+    // The runtime's covering segments must never over-attribute; the
+    // residual below Other-izes whatever they did not cover, so stage
+    // sums reconcile with the end-to-end latency exactly.
+    SimTime attributed = 0;
+    for (unsigned s = 0; s < kNumStages; ++s)
+        attributed += cur.stageNs[s];
+    GMT_ASSERT(attributed <= total);
+    cur.stageNs[unsigned(Stage::Other)] += total - attributed;
+
+    ++faultCount;
+    const unsigned k = unsigned(kind);
+    totals[k].record(total);
+    for (unsigned s = 0; s < kNumStages; ++s) {
+        if (cur.stageNs[s] > 0 || s == unsigned(Stage::Other))
+            hists[k][s].record(cur.stageNs[s]);
+    }
+    CriticalPath &cp = paths[k];
+    ++cp.faults;
+    cp.totalNs += total;
+    cp.queueNs += cur.queueNs;
+    cp.serviceNs += cur.serviceNs;
+    cp.wireNs += cur.wireNs;
+
+    if (recs.size() < cap)
+        recs.push_back(cur);
+    else
+        ++droppedCount;
+}
+
+namespace
+{
+
+void
+writeStageHistogramLine(std::FILE *out, std::size_t cell,
+                        FaultKind kind, const char *stage,
+                        const LatencyHistogram &h)
+{
+    std::fprintf(out,
+                 "{\"type\":\"stage\",\"cell\":%zu,\"fault\":\"%s\","
+                 "\"stage\":\"%s\",\"count\":%" PRIu64
+                 ",\"sum_ns\":%" PRIu64 ",\"min_ns\":%" PRIu64
+                 ",\"max_ns\":%" PRIu64 ",\"p50_ns\":%" PRIu64
+                 ",\"p95_ns\":%" PRIu64 ",\"p99_ns\":%" PRIu64
+                 ",\"buckets\":[",
+                 cell, faultKindName(kind), stage, h.count(), h.sum(),
+                 h.min(), h.max(), h.percentile(50), h.percentile(95),
+                 h.percentile(99));
+    bool first = true;
+    for (unsigned b = 0; b < LatencyHistogram::kNumBuckets; ++b) {
+        if (h.bucketCount(b) == 0)
+            continue;
+        std::fprintf(out, "%s[%u,%" PRIu64 "]", first ? "" : ",", b,
+                     h.bucketCount(b));
+        first = false;
+    }
+    std::fprintf(out, "]}\n");
+}
+
+} // namespace
+
+void
+writeSpansJsonl(std::FILE *out,
+                const std::vector<const TraceSession *> &cells)
+{
+    for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+        const TraceSession &cell = *cells[pid];
+        const SpanProfiler *prof = cell.spans();
+        if (!prof)
+            continue;
+        std::fprintf(out,
+                     "{\"type\":\"cell\",\"cell\":%zu,\"system\":\"%s\","
+                     "\"workload\":\"%s\",\"makespan_ns\":%" PRIu64
+                     ",\"faults\":%" PRIu64 ",\"dropped\":%" PRIu64
+                     "}\n",
+                     pid, jsonEscape(cell.info.system).c_str(),
+                     jsonEscape(cell.info.workload).c_str(),
+                     cell.info.makespanNs, prof->faults(),
+                     prof->dropped());
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            const auto kind = FaultKind(k);
+            const LatencyHistogram &tot = prof->faultHistogram(kind);
+            if (tot.count() == 0)
+                continue;
+            writeStageHistogramLine(out, pid, kind, "total", tot);
+            for (unsigned s = 0; s < kNumStages; ++s) {
+                const LatencyHistogram &h =
+                    prof->stageHistogram(kind, Stage(s));
+                if (h.count() == 0)
+                    continue;
+                writeStageHistogramLine(out, pid, kind,
+                                        stageName(Stage(s)), h);
+            }
+            const CriticalPath &cp = prof->criticalPath(kind);
+            std::fprintf(out,
+                         "{\"type\":\"critical_path\",\"cell\":%zu,"
+                         "\"fault\":\"%s\",\"faults\":%" PRIu64
+                         ",\"total_ns\":%" PRIu64
+                         ",\"queueing_ns\":%" PRIu64
+                         ",\"device_service_ns\":%" PRIu64
+                         ",\"transfer_ns\":%" PRIu64 "}\n",
+                         pid, faultKindName(kind), cp.faults,
+                         cp.totalNs, cp.queueNs, cp.serviceNs,
+                         cp.wireNs);
+        }
+        for (const FaultRecord &f : prof->records()) {
+            std::fprintf(out,
+                         "{\"type\":\"fault\",\"cell\":%zu,\"id\":%" PRIu64
+                         ",\"kind\":\"%s\",\"begin_ns\":%" PRIu64
+                         ",\"end_ns\":%" PRIu64 ",\"warp\":%u,"
+                         "\"page\":%" PRIu64 ",\"stages\":{",
+                         pid, f.id, faultKindName(f.kind), f.begin,
+                         f.end, unsigned(f.warp),
+                         std::uint64_t(f.page));
+            bool first = true;
+            for (unsigned s = 0; s < kNumStages; ++s) {
+                if (f.stageNs[s] == 0)
+                    continue;
+                std::fprintf(out, "%s\"%s\":%" PRIu64, first ? "" : ",",
+                             stageName(Stage(s)), f.stageNs[s]);
+                first = false;
+            }
+            std::fprintf(out,
+                         "},\"queueing_ns\":%" PRIu64
+                         ",\"device_service_ns\":%" PRIu64
+                         ",\"transfer_ns\":%" PRIu64 "}\n",
+                         f.queueNs, f.serviceNs, f.wireNs);
+        }
+    }
+}
+
+void
+writeSpansFile(const std::string &path,
+               const std::vector<const TraceSession *> &cells)
+{
+    writeArtifactFile(path, [&](std::FILE *f) {
+        writeSpansJsonl(f, cells);
+    });
+}
+
+} // namespace gmt::trace

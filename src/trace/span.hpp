@@ -1,0 +1,203 @@
+/**
+ * @file
+ * SpanProfiler — causal, per-fault latency attribution in simulated
+ * time.
+ *
+ * Every Tier-1 miss (a "fault") gets a span ID in issue order. The
+ * owning runtime opens the fault when the miss is discovered, records
+ * covering stage segments as the miss path computes its completion
+ * times (directory probe, software miss handling, SSD read, PCIe hop,
+ * eviction tail, ...), and closes the fault at the warp's ready time.
+ * Stage segments are derived from the same timestamps the runtime
+ * already computes, so per fault they sum *exactly* to the end-to-end
+ * latency — any unattributed residual is folded into an explicit Other
+ * stage rather than silently dropped.
+ *
+ * Orthogonally, the shared queueing resources (BandwidthChannel,
+ * ServerPool, the NVMe rings) attribute their queue-wait, device
+ * service, and wire time into the open fault — the critical-path
+ * decomposition (queueing vs. transfer vs. device service) that tells
+ * apart a saturated link from a slow device. Work a runtime performs
+ * on behalf of *other* pages while a fault is open (evictions,
+ * prefetches) is masked with pause()/resume() so it cannot
+ * double-count into the demand fault.
+ *
+ * Determinism: fault IDs, stage sums, and histogram contents are pure
+ * functions of the simulated event order, which is identical across
+ * scheduler backends and --jobs counts; the spans artifact is
+ * therefore byte-stable. When profiling is disabled no profiler
+ * exists and every instrumentation site reduces to a null-pointer
+ * test (the PR-2 zero-overhead rule).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+
+/** What kind of Tier-1 miss a fault is (names match the sink spans). */
+enum class FaultKind : std::uint8_t
+{
+    GmtTier2, ///< GMT/BaM miss served from the Tier-2 directory
+    GmtSsd,   ///< GMT/BaM miss served from the SSD
+    HmmCached,///< HMM fault served from the host page cache
+    HmmSsd,   ///< HMM fault served from the SSD via the kernel
+};
+
+inline constexpr unsigned kNumFaultKinds = 4;
+
+const char *faultKindName(FaultKind kind);
+
+/** Per-fault critical-path stages (covering segments, in path order). */
+enum class Stage : std::uint8_t
+{
+    TierProbe,     ///< Tier-2 directory lookup
+    FaultDelivery, ///< HMM GPU->host fault delivery
+    HostService,   ///< HMM host fault pipeline (incl. its queueing)
+    MissHandling,  ///< GMT software miss handling (map/pin)
+    Tier2Fetch,    ///< Tier-2 -> Tier-1 transfer batch
+    SsdRead,       ///< NVMe submit -> complete (HMM: + filesystem)
+    PcieTransfer,  ///< SSD payload crossing the upstream PCIe hop
+    Migration,     ///< HMM DMA migration into GPU memory
+    EvictWait,     ///< tail waiting on the eviction to finish
+    Other,         ///< residual the runtime did not attribute
+};
+
+inline constexpr unsigned kNumStages = 10;
+
+const char *stageName(Stage stage);
+
+/** One closed fault (bounded raw record for worst-fault reporting). */
+struct FaultRecord
+{
+    std::uint64_t id = 0;
+    FaultKind kind = FaultKind::GmtSsd;
+    SimTime begin = 0;
+    SimTime end = 0;
+    WarpId warp = 0;
+    PageId page = 0;
+    SimTime stageNs[kNumStages] = {};
+    /** Resource-attributed decomposition (may under-cover: fixed
+     *  software overheads belong to no shared resource). */
+    SimTime queueNs = 0;   ///< waiting for a busy channel/server/ring
+    SimTime serviceNs = 0; ///< device service (SSD slots, host handlers)
+    SimTime wireNs = 0;    ///< payload on a bandwidth channel (+ latency)
+};
+
+/** Aggregate critical-path buckets for one fault kind. */
+struct CriticalPath
+{
+    std::uint64_t faults = 0;
+    SimTime totalNs = 0;   ///< sum of end - begin
+    SimTime queueNs = 0;
+    SimTime serviceNs = 0;
+    SimTime wireNs = 0;
+};
+
+/** Per-cell span profiler; one instance instruments one run. */
+class SpanProfiler
+{
+  public:
+    /** Raw fault records kept; excess is aggregated but not stored. */
+    static constexpr std::size_t kDefaultFaultCapacity = 1u << 16;
+
+    explicit SpanProfiler(
+        std::size_t max_fault_records = kDefaultFaultCapacity);
+
+    /** Open a fault at @p now; the span ID is the miss ordinal. */
+    void beginFault(SimTime now, WarpId warp, PageId page);
+
+    /** Attribute @p ns of the open fault to @p s (runtime call sites). */
+    void
+    stage(Stage s, SimTime ns)
+    {
+        if (!open)
+            return;
+        cur.stageNs[unsigned(s)] += ns;
+    }
+
+    /** Close the open fault ending at @p end as kind @p kind. */
+    void endFault(FaultKind kind, SimTime end);
+
+    /**
+     * Mask resource attribution while the runtime works on *other*
+     * pages (evictions, prefetches) inside an open fault. Nestable.
+     */
+    void pause() { ++pauseDepth; }
+    void resume() { --pauseDepth; }
+
+    /** Resource-side attribution; no-ops when no unmasked fault is
+     *  open, so background work never pollutes a demand fault. */
+    void
+    queueing(SimTime ns)
+    {
+        if (active())
+            cur.queueNs += ns;
+    }
+    void
+    deviceService(SimTime ns)
+    {
+        if (active())
+            cur.serviceNs += ns;
+    }
+    void
+    wire(SimTime ns)
+    {
+        if (active())
+            cur.wireNs += ns;
+    }
+
+    /** Export views. */
+    std::uint64_t faults() const { return faultCount; }
+    std::uint64_t dropped() const { return droppedCount; }
+    const std::vector<FaultRecord> &records() const { return recs; }
+    const CriticalPath &criticalPath(FaultKind kind) const
+    {
+        return paths[unsigned(kind)];
+    }
+    /** Per (kind, stage) latency histogram. */
+    const LatencyHistogram &stageHistogram(FaultKind kind, Stage s) const
+    {
+        return hists[unsigned(kind)][unsigned(s)];
+    }
+    /** End-to-end latency histogram per kind. */
+    const LatencyHistogram &faultHistogram(FaultKind kind) const
+    {
+        return totals[unsigned(kind)];
+    }
+
+  private:
+    bool active() const { return open && pauseDepth == 0; }
+
+    std::size_t cap;
+    bool open = false;
+    int pauseDepth = 0;
+    FaultRecord cur;
+    std::uint64_t faultCount = 0;
+    std::uint64_t droppedCount = 0;
+    std::vector<FaultRecord> recs;
+    CriticalPath paths[kNumFaultKinds];
+    LatencyHistogram hists[kNumFaultKinds][kNumStages];
+    LatencyHistogram totals[kNumFaultKinds];
+};
+
+class TraceSession;
+
+/**
+ * Spans artifact writer (JSONL): per cell, per-kind stage histograms,
+ * critical-path buckets, and the bounded raw fault records. Cells in
+ * the given (spec) order — byte-identical across --jobs counts.
+ */
+void writeSpansJsonl(std::FILE *out,
+                     const std::vector<const TraceSession *> &cells);
+void writeSpansFile(const std::string &path,
+                    const std::vector<const TraceSession *> &cells);
+
+} // namespace gmt::trace

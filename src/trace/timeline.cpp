@@ -1,0 +1,113 @@
+#include "trace/timeline.hpp"
+
+#include <cinttypes>
+
+#include "trace/trace.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::trace
+{
+
+TimelineSampler::TimelineSampler(SimTime period_ns, std::size_t max_rows)
+    : period(period_ns), nextBoundary(period_ns), cap(max_rows)
+{
+    GMT_ASSERT(period_ns > 0);
+}
+
+void
+TimelineSampler::addProbe(std::string name, Probe fn)
+{
+    names.push_back(std::move(name));
+    probes.push_back(std::move(fn));
+}
+
+EngineTimelineStats *
+TimelineSampler::engineStats()
+{
+    if (!engineRegistered) {
+        engineRegistered = true;
+        addProbe("gpu.accesses",
+                 [this] { return std::int64_t(engine.accesses); });
+        addProbe("gpu.tier1_hits",
+                 [this] { return std::int64_t(engine.tier1Hits); });
+        addProbe("gpu.fast_path_hits",
+                 [this] { return std::int64_t(engine.fastPathHits); });
+    }
+    return &engine;
+}
+
+void
+TimelineSampler::emitRow(SimTime t)
+{
+    if (rowStore.size() >= cap) {
+        ++droppedCount;
+        return;
+    }
+    Row row;
+    row.t = t;
+    row.values.reserve(probes.size());
+    for (const Probe &p : probes)
+        row.values.push_back(p());
+    rowStore.push_back(std::move(row));
+    lastEmitted = t;
+    any = true;
+}
+
+void
+TimelineSampler::quiesce(SimTime now)
+{
+    // Catch up on any boundaries the engine never pulsed past, then
+    // close with the settled end-of-run snapshot.
+    advanceTo(now);
+    if (!any || now > lastEmitted)
+        emitRow(now);
+}
+
+void
+writeTimelineJsonl(std::FILE *out,
+                   const std::vector<const TraceSession *> &cells)
+{
+    for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+        const TraceSession &cell = *cells[pid];
+        const TimelineSampler *tl = cell.timeline();
+        if (!tl)
+            continue;
+        std::fprintf(out,
+                     "{\"type\":\"cell\",\"cell\":%zu,\"system\":\"%s\","
+                     "\"workload\":\"%s\",\"makespan_ns\":%" PRIu64
+                     ",\"period_ns\":%" PRIu64 ",\"dropped\":%" PRIu64
+                     ",\"probes\":[",
+                     pid, jsonEscape(cell.info.system).c_str(),
+                     jsonEscape(cell.info.workload).c_str(),
+                     cell.info.makespanNs, tl->periodNs(),
+                     tl->dropped());
+        const auto &names = tl->probeNames();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            std::fprintf(out, "%s\"%s\"", i ? "," : "",
+                         jsonEscape(names[i]).c_str());
+        }
+        std::fprintf(out, "]}\n");
+        for (const TimelineSampler::Row &row : tl->rows()) {
+            std::fprintf(out,
+                         "{\"type\":\"interval\",\"cell\":%zu,\"t_ns\":"
+                         "%" PRIu64 ",\"values\":[",
+                         pid, row.t);
+            for (std::size_t i = 0; i < row.values.size(); ++i) {
+                std::fprintf(out, "%s%" PRId64, i ? "," : "",
+                             row.values[i]);
+            }
+            std::fprintf(out, "]}\n");
+        }
+    }
+}
+
+void
+writeTimelineFile(const std::string &path,
+                  const std::vector<const TraceSession *> &cells)
+{
+    writeArtifactFile(path, [&](std::FILE *f) {
+        writeTimelineJsonl(f, cells);
+    });
+}
+
+} // namespace gmt::trace

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * TimelineSampler — periodic simulated-time telemetry for one cell.
+ *
+ * Components register named probes (std::function returning an
+ * integer: a gauge like Tier-1 occupancy, or a cumulative value like
+ * channel busy-nanoseconds) at attach time; the GPU engine drives the
+ * sampler with its globally non-decreasing issue clock, and whenever
+ * that clock crosses a period boundary the sampler snapshots every
+ * probe into one interval row. quiesce() appends a final row at the
+ * flush time so the artifact always ends with the settled state.
+ *
+ * Determinism: rows are emitted at period boundaries of the simulated
+ * clock, sampling state that is itself a pure function of the
+ * deterministic event order — the timeline artifact is byte-identical
+ * across scheduler backends and --jobs counts. Probe registration
+ * order (attach order) is the column order. When the timeline is
+ * disabled no sampler exists and the engine's pulse is a null check.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+
+/** Engine-side cumulative counters sampled by timeline columns. The
+ *  sampler owns the storage so probes stay valid after the engine's
+ *  run loop (and its stack frame) are gone. */
+struct EngineTimelineStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t tier1Hits = 0;
+    std::uint64_t fastPathHits = 0;
+};
+
+/** Per-cell interval sampler; one instance instruments one run. */
+class TimelineSampler
+{
+  public:
+    /** Default sampling period (simulated time). */
+    static constexpr SimTime kDefaultPeriodNs = 1'000'000;
+
+    /** Rows kept; a pathological run degrades instead of OOMing. */
+    static constexpr std::size_t kDefaultRowCapacity = 1u << 16;
+
+    using Probe = std::function<std::int64_t()>;
+
+    explicit TimelineSampler(SimTime period_ns = kDefaultPeriodNs,
+                             std::size_t max_rows = kDefaultRowCapacity);
+
+    /** Register a probe column; registration order = column order. */
+    void addProbe(std::string name, Probe fn);
+
+    /** Register the engine columns (idempotent) and hand back the
+     *  sampler-owned stats block the engine updates. */
+    EngineTimelineStats *engineStats();
+
+    /**
+     * Advance the sampling clock to @p now (non-decreasing); emits one
+     * row per period boundary crossed, snapshotting every probe.
+     */
+    void
+    advanceTo(SimTime now)
+    {
+        while (now >= nextBoundary) {
+            emitRow(nextBoundary);
+            nextBoundary += period;
+        }
+    }
+
+    /** Emit the final (partial) interval at end of run. */
+    void quiesce(SimTime now);
+
+    struct Row
+    {
+        SimTime t = 0;
+        std::vector<std::int64_t> values;
+    };
+
+    SimTime periodNs() const { return period; }
+    const std::vector<std::string> &probeNames() const { return names; }
+    const std::vector<Row> &rows() const { return rowStore; }
+    std::uint64_t dropped() const { return droppedCount; }
+
+  private:
+    void emitRow(SimTime t);
+
+    SimTime period;
+    SimTime nextBoundary;
+    SimTime lastEmitted = 0;
+    bool any = false;
+    std::size_t cap;
+    std::vector<std::string> names;
+    std::vector<Probe> probes;
+    std::vector<Row> rowStore;
+    std::uint64_t droppedCount = 0;
+    EngineTimelineStats engine;
+    bool engineRegistered = false;
+};
+
+class TraceSession;
+
+/**
+ * Timeline artifact writer (JSONL): per cell a header line naming the
+ * probe columns, then one line per interval with the sampled values.
+ * Cells in the given (spec) order — byte-identical across --jobs.
+ */
+void writeTimelineJsonl(std::FILE *out,
+                        const std::vector<const TraceSession *> &cells);
+void writeTimelineFile(const std::string &path,
+                       const std::vector<const TraceSession *> &cells);
+
+} // namespace gmt::trace

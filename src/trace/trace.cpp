@@ -7,9 +7,6 @@
 namespace gmt::trace
 {
 
-namespace
-{
-
 /** Minimal JSON string escaping (names are ASCII identifiers, but the
  *  writer must never emit malformed JSON whatever the input). */
 std::string
@@ -36,6 +33,9 @@ jsonEscape(const std::string &s)
     }
     return out;
 }
+
+namespace
+{
 
 /** Chrome trace timestamps are microseconds; emit ns/1000 exactly. */
 void
@@ -95,9 +95,19 @@ TraceSink::track(const std::string &name)
     return TrackId(trackNames.size() - 1);
 }
 
+TraceSession::TraceSession(const Options &options)
+    : tracing(options.trace), metricsOn(options.metrics),
+      spansOn(options.spans), timelineOn(options.timelinePeriodNs > 0),
+      sink_(options.sinkCapacity),
+      sampler(timelineOn ? options.timelinePeriodNs
+                         : TimelineSampler::kDefaultPeriodNs)
+{
+}
+
 TraceSession::TraceSession(bool with_trace, bool with_metrics,
                            std::size_t sink_capacity)
-    : tracing(with_trace), metricsOn(with_metrics), sink_(sink_capacity)
+    : TraceSession(Options{with_trace, with_metrics, false, 0,
+                           sink_capacity})
 {
 }
 
@@ -112,6 +122,8 @@ TraceSession::quiesce(SimTime now)
 {
     for (const auto &hook : quiesceHooks)
         hook(now);
+    if (timelineOn)
+        sampler.quiesce(now);
 }
 
 void
@@ -294,12 +306,9 @@ writeMetricsJson(std::FILE *out,
     std::fprintf(out, "\n]}\n");
 }
 
-namespace
-{
-
 void
-writeToPath(const std::string &path,
-            const std::function<void(std::FILE *)> &writer)
+writeArtifactFile(const std::string &path,
+                  const std::function<void(std::FILE *)> &writer)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f)
@@ -308,6 +317,9 @@ writeToPath(const std::string &path,
     if (std::fclose(f) != 0)
         fatal("error writing '%s'", path.c_str());
 }
+
+namespace
+{
 
 bool
 hasSuffix(const std::string &s, const std::string &suffix)
@@ -323,7 +335,7 @@ void
 writeTraceFile(const std::string &path,
                const std::vector<const TraceSession *> &cells)
 {
-    writeToPath(path, [&](std::FILE *f) {
+    writeArtifactFile(path, [&](std::FILE *f) {
         if (hasSuffix(path, ".jsonl"))
             writeTraceJsonl(f, cells);
         else
@@ -335,8 +347,8 @@ void
 writeMetricsFile(const std::string &path,
                  const std::vector<const TraceSession *> &cells)
 {
-    writeToPath(path,
-                [&](std::FILE *f) { writeMetricsJson(f, cells); });
+    writeArtifactFile(path,
+                      [&](std::FILE *f) { writeMetricsJson(f, cells); });
 }
 
 } // namespace gmt::trace

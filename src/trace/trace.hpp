@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "trace/metrics.hpp"
+#include "trace/span.hpp"
+#include "trace/timeline.hpp"
 #include "util/types.hpp"
 
 namespace gmt::trace
@@ -151,6 +153,19 @@ struct CellInfo
 class TraceSession
 {
   public:
+    /** Which collectors a session enables (all off by default). */
+    struct Options
+    {
+        bool trace = false;   ///< event sink (Chrome JSON / JSONL)
+        bool metrics = false; ///< histograms / queue depths / counters
+        bool spans = false;   ///< per-fault causal profiler
+        /** Timeline sampling period in simulated ns; 0 = timeline off. */
+        SimTime timelinePeriodNs = 0;
+        std::size_t sinkCapacity = TraceSink::kDefaultCapacity;
+    };
+
+    explicit TraceSession(const Options &options);
+
     TraceSession(bool with_trace, bool with_metrics,
                  std::size_t sink_capacity = TraceSink::kDefaultCapacity);
 
@@ -165,11 +180,28 @@ class TraceSession
         return metricsOn ? &registry : nullptr;
     }
 
+    /** Null when span profiling is disabled. */
+    SpanProfiler *spans() { return spansOn ? &profiler : nullptr; }
+    const SpanProfiler *spans() const
+    {
+        return spansOn ? &profiler : nullptr;
+    }
+
+    /** Null when the timeline is disabled. */
+    TimelineSampler *timeline()
+    {
+        return timelineOn ? &sampler : nullptr;
+    }
+    const TimelineSampler *timeline() const
+    {
+        return timelineOn ? &sampler : nullptr;
+    }
+
     /** Components register end-of-run drains at attach time. */
     void onQuiesce(std::function<void(SimTime)> hook);
 
-    /** Runs every registered hook (idempotent per hook semantics are the
-     *  component's business; the harness calls this exactly once). */
+    /** Runs every registered hook, then closes the timeline with a
+     *  final row (the harness calls this exactly once per run). */
     void quiesce(SimTime now);
 
     CellInfo info;
@@ -177,8 +209,12 @@ class TraceSession
   private:
     bool tracing;
     bool metricsOn;
+    bool spansOn;
+    bool timelineOn;
     TraceSink sink_;
     MetricsRegistry registry;
+    SpanProfiler profiler;
+    TimelineSampler sampler;
     std::vector<std::function<void(SimTime)>> quiesceHooks;
 };
 
@@ -200,5 +236,12 @@ void writeTraceFile(const std::string &path,
                     const std::vector<const TraceSession *> &cells);
 void writeMetricsFile(const std::string &path,
                       const std::vector<const TraceSession *> &cells);
+
+/** Shared artifact-writer plumbing (also used by the spans/timeline
+ *  writers): JSON string escaping, and open-write-close with fatal()
+ *  on any I/O error. */
+std::string jsonEscape(const std::string &s);
+void writeArtifactFile(const std::string &path,
+                       const std::function<void(std::FILE *)> &writer);
 
 } // namespace gmt::trace

@@ -21,6 +21,7 @@
 #include "gpu/coalescer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/trace.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 
@@ -229,6 +230,46 @@ TEST(HotPathAlloc, WheelBackendSteadyStateNeverAllocates)
     EXPECT_EQ(after - before, 0u)
         << "wheel steady-state churn must be allocation-free";
     EXPECT_EQ(sink, 2u * (64u + 60000u));
+}
+
+TEST(HotPathAlloc, DisabledProfilingSessionKeepsHitPathAllocationFree)
+{
+    // An attached session with every collector off (no sink, metrics,
+    // spans, or timeline) must leave all instrumentation pointers null:
+    // the steady-state hit path stays allocation-free, byte-for-byte
+    // the never-attached behaviour (the PR-2 zero-overhead rule).
+    RuntimeConfig cfg;
+    cfg.numPages = 128;
+    cfg.tier1Pages = 128;
+    cfg.tier2Pages = 256;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.sampleTarget = 0;
+    auto rt = makeGmtRuntime(cfg);
+    gmt::trace::TraceSession session(gmt::trace::TraceSession::Options{});
+    rt->attachTrace(&session);
+
+    SimTime now = 0;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, false).readyAt;
+    for (PageId p = 0; p < cfg.numPages; ++p)
+        now = rt->access(now + 1, 0, p, true).readyAt;
+
+    Rng rng(17);
+    std::uint64_t hits = 0;
+
+    const std::uint64_t before = g_news;
+    for (int i = 0; i < 100000; ++i) {
+        const PageId page = rng.below(cfg.numPages);
+        now += 10;
+        const AccessResult r =
+            rt->access(now, WarpId(i % 32), page, i % 8 == 0);
+        hits += r.tier1Hit ? 1 : 0;
+    }
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "an all-off session must add zero allocations to the hit path";
+    EXPECT_EQ(hits, 100000u);
 }
 
 TEST(HotPathAlloc, TryHitFastPathNeverAllocates)

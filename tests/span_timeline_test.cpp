@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Span profiler + timeline sampler tests: the unit-level attribution
+ * rules, the PR-wide determinism invariants (profiling never changes
+ * simulated results; artifacts are byte-identical across job counts
+ * and scheduler backends), the per-fault stage-sum reconciliation, and
+ * the pinned export order of the fast-path metric counters.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/golden.hpp"
+#include "harness/run_matrix.hpp"
+#include "trace/span.hpp"
+#include "trace/timeline.hpp"
+#include "trace/trace.hpp"
+
+using namespace gmt;
+using namespace gmt::trace;
+
+namespace
+{
+
+const harness::System kAllSystems[] = {
+    harness::System::Bam,          harness::System::GmtTierOrder,
+    harness::System::GmtRandom,    harness::System::GmtReuse,
+    harness::System::Hmm,
+};
+
+TraceSession::Options
+profilingOptions()
+{
+    TraceSession::Options o;
+    o.metrics = true;
+    o.spans = true;
+    o.timelinePeriodNs = TimelineSampler::kDefaultPeriodNs;
+    return o;
+}
+
+harness::ExperimentResult
+runTraced(harness::System sys, TraceSession *session)
+{
+    return harness::runSystem(sys, harness::goldenSmallConfig(), "Srad",
+                              64, session);
+}
+
+std::string
+readWholeFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, n);
+    std::fclose(f);
+    return out;
+}
+
+} // namespace
+
+TEST(SpanProfiler, ResidualFoldsIntoOtherAndSumsReconcile)
+{
+    SpanProfiler prof;
+    prof.beginFault(1000, 3, 42);
+    prof.stage(Stage::MissHandling, 100);
+    prof.stage(Stage::SsdRead, 500);
+    prof.endFault(FaultKind::GmtSsd, 2000); // 400 ns unattributed
+
+    ASSERT_EQ(prof.faults(), 1u);
+    const FaultRecord &f = prof.records()[0];
+    EXPECT_EQ(f.id, 0u);
+    EXPECT_EQ(f.warp, 3u);
+    EXPECT_EQ(f.page, 42u);
+    EXPECT_EQ(f.stageNs[unsigned(Stage::MissHandling)], 100u);
+    EXPECT_EQ(f.stageNs[unsigned(Stage::SsdRead)], 500u);
+    EXPECT_EQ(f.stageNs[unsigned(Stage::Other)], 400u);
+    SimTime sum = 0;
+    for (unsigned s = 0; s < kNumStages; ++s)
+        sum += f.stageNs[s];
+    EXPECT_EQ(sum, f.end - f.begin);
+    EXPECT_EQ(prof.faultHistogram(FaultKind::GmtSsd).sum(), 1000u);
+}
+
+TEST(SpanProfiler, PauseMasksResourceAttribution)
+{
+    SpanProfiler prof;
+    // Attribution with no open fault is discarded.
+    prof.queueing(50);
+    prof.wire(50);
+
+    prof.beginFault(0, 0, 0);
+    prof.queueing(10);
+    prof.pause();
+    prof.queueing(999); // eviction working on another page
+    prof.deviceService(999);
+    prof.pause(); // nestable
+    prof.wire(999);
+    prof.resume();
+    prof.resume();
+    prof.deviceService(20);
+    prof.wire(30);
+    prof.stage(Stage::Other, 0);
+    prof.endFault(FaultKind::GmtTier2, 100);
+
+    const FaultRecord &f = prof.records()[0];
+    EXPECT_EQ(f.queueNs, 10u);
+    EXPECT_EQ(f.serviceNs, 20u);
+    EXPECT_EQ(f.wireNs, 30u);
+}
+
+TEST(TimelineSampler, RowsAtPeriodBoundariesAndFinalQuiesceRow)
+{
+    TimelineSampler tl(100);
+    std::int64_t gauge = 0;
+    tl.addProbe("gauge", [&gauge] { return gauge; });
+
+    gauge = 1;
+    tl.advanceTo(50); // before the first boundary: no row
+    EXPECT_TRUE(tl.rows().empty());
+    gauge = 2;
+    tl.advanceTo(250); // crosses t=100 and t=200
+    ASSERT_EQ(tl.rows().size(), 2u);
+    EXPECT_EQ(tl.rows()[0].t, 100u);
+    EXPECT_EQ(tl.rows()[0].values[0], 2);
+    EXPECT_EQ(tl.rows()[1].t, 200u);
+
+    gauge = 7;
+    tl.quiesce(260); // final partial interval
+    ASSERT_EQ(tl.rows().size(), 3u);
+    EXPECT_EQ(tl.rows()[2].t, 260u);
+    EXPECT_EQ(tl.rows()[2].values[0], 7);
+
+    // A quiesce exactly on the last emitted boundary adds nothing.
+    TimelineSampler exact(100);
+    exact.addProbe("gauge", [&gauge] { return gauge; });
+    exact.advanceTo(200);
+    exact.quiesce(200);
+    EXPECT_EQ(exact.rows().size(), 2u);
+}
+
+TEST(TracedRun, SpansAndTimelineDoNotChangeSimulatedOutcome)
+{
+    for (harness::System sys : kAllSystems) {
+        const harness::ExperimentResult plain = runTraced(sys, nullptr);
+        TraceSession session(profilingOptions());
+        const harness::ExperimentResult traced = runTraced(sys, &session);
+        EXPECT_EQ(plain, traced)
+            << "profiling changed the simulation for "
+            << harness::systemName(sys);
+    }
+}
+
+TEST(TracedRun, StageSumsReconcileWithEndToEndLatencyExactly)
+{
+    for (harness::System sys : kAllSystems) {
+        TraceSession session(profilingOptions());
+        runTraced(sys, &session);
+        const SpanProfiler *prof = session.spans();
+        ASSERT_NE(prof, nullptr);
+        EXPECT_GT(prof->faults(), 0u)
+            << harness::systemName(sys)
+            << " ran without a single Tier-1 miss";
+
+        // Per raw record: stage segments sum exactly to end - begin.
+        for (const FaultRecord &f : prof->records()) {
+            SimTime sum = 0;
+            for (unsigned s = 0; s < kNumStages; ++s)
+                sum += f.stageNs[s];
+            ASSERT_EQ(sum, f.end - f.begin)
+                << harness::systemName(sys) << " fault #" << f.id;
+        }
+
+        // Aggregate: per kind, the stage histogram sums reconcile with
+        // the end-to-end total (the trace_tool gap, required < 1%;
+        // here exactly 0).
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            const auto kind = FaultKind(k);
+            const LatencyHistogram &tot = prof->faultHistogram(kind);
+            if (tot.count() == 0)
+                continue;
+            SimTime stage_sum = 0;
+            for (unsigned s = 0; s < kNumStages; ++s)
+                stage_sum += prof->stageHistogram(kind, Stage(s)).sum();
+            EXPECT_EQ(stage_sum, tot.sum())
+                << harness::systemName(sys) << " kind "
+                << faultKindName(kind);
+            EXPECT_EQ(prof->criticalPath(kind).totalNs, tot.sum());
+        }
+    }
+}
+
+TEST(TracedRun, TimelineRowsAreMonotoneAndEndAtQuiesce)
+{
+    TraceSession session(profilingOptions());
+    const harness::ExperimentResult r =
+        runTraced(harness::System::GmtReuse, &session);
+    const TimelineSampler *tl = session.timeline();
+    ASSERT_NE(tl, nullptr);
+    ASSERT_FALSE(tl->rows().empty());
+
+    SimTime prev = 0;
+    std::int64_t prevAccesses = 0;
+    const auto &names = tl->probeNames();
+    std::size_t accessesCol = names.size();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        if (names[i] == "gpu.accesses")
+            accessesCol = i;
+    }
+    ASSERT_LT(accessesCol, names.size());
+    for (const TimelineSampler::Row &row : tl->rows()) {
+        EXPECT_GT(row.t, prev);
+        prev = row.t;
+        ASSERT_EQ(row.values.size(), names.size());
+        EXPECT_GE(row.values[accessesCol], prevAccesses)
+            << "cumulative columns must be non-decreasing";
+        prevAccesses = row.values[accessesCol];
+    }
+    // The final (quiesce) row settles at the flush time and has seen
+    // every access.
+    EXPECT_EQ(tl->rows().back().t, r.makespanNs);
+    EXPECT_EQ(std::uint64_t(prevAccesses), r.accesses);
+}
+
+TEST(MetricsExport, FastPathCountersPinnedFirstInExportOrder)
+{
+    // gpu.fast_path_hits / gpu.fast_path_hit_bp are created by the
+    // engine at end of run, BEFORE any quiesce-hook counter — golden
+    // metrics depend on this creation (= export) order staying fixed.
+    TraceSession session(profilingOptions());
+    const harness::ExperimentResult r =
+        runTraced(harness::System::GmtReuse, &session);
+    const MetricsRegistry *reg = session.metrics();
+    ASSERT_NE(reg, nullptr);
+
+    std::vector<std::string> names;
+    for (const auto &[name, value] : reg->counters())
+        names.push_back(name);
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_EQ(names[0], "gpu.fast_path_hits");
+    EXPECT_EQ(names[1], "gpu.fast_path_hit_bp");
+
+    for (const auto &[name, value] : reg->counters()) {
+        if (name == "gpu.fast_path_hits") {
+            EXPECT_EQ(value, r.fastPathHits);
+        } else if (name == "gpu.fast_path_hit_bp") {
+            EXPECT_EQ(value, r.fastPathHits * 10000 / r.accesses);
+        }
+    }
+}
+
+TEST(Artifacts, SpansAndTimelineByteIdenticalAcrossJobsAndSchedulers)
+{
+    const std::string dir = testing::TempDir();
+    std::vector<std::string> variants;
+
+    for (const sim::SchedulerBackend backend :
+         {sim::SchedulerBackend::Heap, sim::SchedulerBackend::Wheel}) {
+        for (const unsigned jobs : {1u, 4u}) {
+            std::vector<harness::RunSpec> specs =
+                harness::goldenSpecs("fig8_speedup");
+            for (auto &spec : specs)
+                spec.cfg.scheduler = backend;
+
+            harness::MatrixTracer::Options opt;
+            const std::string tag = std::string(
+                                        sim::schedulerBackendName(backend))
+                + "_j" + std::to_string(jobs);
+            opt.spansPath = dir + "/spans_" + tag + ".jsonl";
+            opt.timelinePath = dir + "/timeline_" + tag + ".jsonl";
+            harness::MatrixTracer tracer(opt);
+            harness::runMatrix(specs, jobs, &tracer);
+            tracer.writeOutputs();
+
+            variants.push_back(readWholeFile(opt.spansPath) + "\x1f"
+                               + readWholeFile(opt.timelinePath));
+            EXPECT_FALSE(variants.back().empty());
+        }
+    }
+    for (std::size_t i = 1; i < variants.size(); ++i) {
+        EXPECT_EQ(variants[0], variants[i])
+            << "artifact bytes diverged for variant " << i;
+    }
+}

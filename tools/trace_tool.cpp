@@ -15,15 +15,31 @@
  *       Re-run every golden figure configuration and write
  *       DIR/<figure>_small.json — the one command that refreshes the
  *       checked-in references under tests/golden/.
+ *
+ *   trace_tool spans SPANS_JSONL [--top N]
+ *       Per-stage latency breakdown of a spans artifact: per cell and
+ *       fault kind, every stage's count/sum/share/percentiles, the
+ *       stage-sum vs end-to-end reconciliation gap, and the
+ *       queueing/device/transfer critical-path split. --top N appends
+ *       the N worst individual faults with their stage decomposition.
+ *
+ *   trace_tool timeline TIMELINE_JSONL [--csv]
+ *       Per-cell interval summary of a timeline artifact; --csv emits
+ *       every sample in long form (cell,system,workload,t_ns,probe,
+ *       value) for plotting.
  */
 
+#include <algorithm>
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "harness/golden.hpp"
 #include "trace/diff.hpp"
+#include "trace/json.hpp"
 #include "util/logging.hpp"
 
 namespace
@@ -36,8 +52,287 @@ usage()
                  "usage: trace_tool summarize TRACE\n"
                  "       trace_tool diff [--tol REL] METRICS_A "
                  "METRICS_B\n"
-                 "       trace_tool regen-goldens DIR [--jobs N]\n");
+                 "       trace_tool regen-goldens DIR [--jobs N]\n"
+                 "       trace_tool spans SPANS_JSONL [--top N]\n"
+                 "       trace_tool timeline TIMELINE_JSONL [--csv]\n");
     return 2;
+}
+
+/** Parse one JSONL artifact into a vector of per-line documents. */
+std::vector<gmt::trace::JsonValue>
+parseJsonl(const std::string &path)
+{
+    const std::string text = gmt::trace::readFileOrDie(path);
+    std::vector<gmt::trace::JsonValue> lines;
+    std::size_t pos = 0;
+    std::size_t lineno = 0;
+    while (pos < text.size()) {
+        std::size_t end = text.find('\n', pos);
+        if (end == std::string::npos)
+            end = text.size();
+        ++lineno;
+        const std::string line = text.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty())
+            continue;
+        gmt::trace::JsonValue v;
+        std::string err;
+        if (!gmt::trace::parseJson(line, v, err))
+            gmt::fatal("%s:%zu: %s", path.c_str(), lineno, err.c_str());
+        lines.push_back(std::move(v));
+    }
+    return lines;
+}
+
+std::uint64_t
+u64Of(const gmt::trace::JsonValue &v, const char *key)
+{
+    const gmt::trace::JsonValue *m = v.find(key);
+    return m ? std::uint64_t(m->number) : 0;
+}
+
+std::string
+strOf(const gmt::trace::JsonValue &v, const char *key)
+{
+    const gmt::trace::JsonValue *m = v.find(key);
+    return m ? m->text : std::string();
+}
+
+int
+runSpans(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const std::string path = argv[0];
+    unsigned top = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v <= 0)
+                return usage();
+            top = unsigned(v);
+        } else {
+            return usage();
+        }
+    }
+
+    const auto lines = parseJsonl(path);
+    int rc = 0;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto &line = lines[i];
+        const std::string type = strOf(line, "type");
+        if (type == "cell") {
+            std::printf("cell %" PRIu64 ": %s/%s  makespan %" PRIu64
+                        " ns  faults %" PRIu64 "  dropped %" PRIu64
+                        "\n",
+                        u64Of(line, "cell"),
+                        strOf(line, "system").c_str(),
+                        strOf(line, "workload").c_str(),
+                        u64Of(line, "makespan_ns"),
+                        u64Of(line, "faults"), u64Of(line, "dropped"));
+            continue;
+        }
+        if (type == "stage") {
+            const std::string fault = strOf(line, "fault");
+            const std::string stage = strOf(line, "stage");
+            const std::uint64_t sum = u64Of(line, "sum_ns");
+            if (stage == "total") {
+                // The "total" line opens the kind's block; gather the
+                // following stage lines of the same kind to print
+                // shares and the reconciliation gap.
+                std::printf("  %s: %" PRIu64 " faults, total %" PRIu64
+                            " ns (p50 %" PRIu64 " p95 %" PRIu64
+                            " p99 %" PRIu64 " max %" PRIu64 ")\n",
+                            fault.c_str(), u64Of(line, "count"), sum,
+                            u64Of(line, "p50_ns"),
+                            u64Of(line, "p95_ns"),
+                            u64Of(line, "p99_ns"),
+                            u64Of(line, "max_ns"));
+                std::printf("    %-15s %10s %16s %7s %10s %10s\n",
+                            "stage", "count", "sum_ns", "share",
+                            "p50_ns", "p95_ns");
+                std::uint64_t stage_sum = 0;
+                for (std::size_t j = i + 1; j < lines.size(); ++j) {
+                    const auto &sl = lines[j];
+                    if (strOf(sl, "type") != "stage"
+                        || strOf(sl, "fault") != fault
+                        || strOf(sl, "stage") == "total") {
+                        break;
+                    }
+                    const std::uint64_t ssum = u64Of(sl, "sum_ns");
+                    stage_sum += ssum;
+                    std::printf(
+                        "    %-15s %10" PRIu64 " %16" PRIu64
+                        " %6.2f%% %10" PRIu64 " %10" PRIu64 "\n",
+                        strOf(sl, "stage").c_str(), u64Of(sl, "count"),
+                        ssum, sum ? 100.0 * double(ssum) / double(sum) : 0.0,
+                        u64Of(sl, "p50_ns"), u64Of(sl, "p95_ns"));
+                }
+                const double gap = sum
+                    ? 100.0
+                        * double(sum > stage_sum ? sum - stage_sum
+                                                 : stage_sum - sum)
+                        / double(sum)
+                    : 0.0;
+                std::printf("    stage sum %" PRIu64
+                            " ns vs total: gap %.4f%%\n",
+                            stage_sum, gap);
+                if (gap >= 1.0) {
+                    std::fprintf(stderr,
+                                 "spans: %s stage sums diverge from "
+                                 "end-to-end latency by %.4f%%\n",
+                                 fault.c_str(), gap);
+                    rc = 1;
+                }
+            }
+            continue;
+        }
+        if (type == "critical_path") {
+            const std::uint64_t total = u64Of(line, "total_ns");
+            const std::uint64_t queue = u64Of(line, "queueing_ns");
+            const std::uint64_t service =
+                u64Of(line, "device_service_ns");
+            const std::uint64_t wire = u64Of(line, "transfer_ns");
+            const double d = total ? double(total) : 1.0;
+            std::printf("    critical path: queueing %.2f%%  device "
+                        "service %.2f%%  transfer %.2f%%  "
+                        "(software/other %.2f%%)\n",
+                        100.0 * double(queue) / d,
+                        100.0 * double(service) / d,
+                        100.0 * double(wire) / d,
+                        total > queue + service + wire
+                            ? 100.0 * double(total - queue - service - wire)
+                                / d
+                            : 0.0);
+            continue;
+        }
+    }
+
+    if (top > 0) {
+        struct Worst
+        {
+            std::uint64_t cell;
+            const gmt::trace::JsonValue *line;
+            std::uint64_t dur;
+        };
+        std::vector<Worst> faults;
+        for (const auto &line : lines) {
+            if (strOf(line, "type") != "fault")
+                continue;
+            const std::uint64_t dur =
+                u64Of(line, "end_ns") - u64Of(line, "begin_ns");
+            faults.push_back({u64Of(line, "cell"), &line, dur});
+        }
+        std::stable_sort(faults.begin(), faults.end(),
+                         [](const Worst &a, const Worst &b) {
+                             return a.dur > b.dur;
+                         });
+        if (faults.size() > top)
+            faults.resize(top);
+        std::printf("worst %zu faults:\n", faults.size());
+        for (const Worst &w : faults) {
+            std::printf("  cell %" PRIu64 " fault #%" PRIu64
+                        " %s warp %" PRIu64 " page %" PRIu64 ": %" PRIu64
+                        " ns @%" PRIu64 "\n",
+                        w.cell, u64Of(*w.line, "id"),
+                        strOf(*w.line, "kind").c_str(),
+                        u64Of(*w.line, "warp"), u64Of(*w.line, "page"),
+                        w.dur, u64Of(*w.line, "begin_ns"));
+            if (const gmt::trace::JsonValue *stages =
+                    w.line->find("stages")) {
+                for (const auto &[name, val] : stages->members) {
+                    std::printf("      %-15s %16" PRIu64 " ns\n",
+                                name.c_str(),
+                                std::uint64_t(val.number));
+                }
+            }
+        }
+    }
+    return rc;
+}
+
+int
+runTimeline(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const std::string path = argv[0];
+    bool csv = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--csv") == 0)
+            csv = true;
+        else
+            return usage();
+    }
+
+    const auto lines = parseJsonl(path);
+
+    struct Cell
+    {
+        std::string system, workload;
+        std::uint64_t period = 0;
+        std::uint64_t dropped = 0;
+        std::vector<std::string> probes;
+        std::uint64_t rows = 0;
+        std::uint64_t lastT = 0;
+    };
+    std::vector<Cell> cellsMeta;
+
+    if (csv)
+        std::printf("cell,system,workload,t_ns,probe,value\n");
+    for (const auto &line : lines) {
+        const std::string type = strOf(line, "type");
+        if (type == "cell") {
+            Cell c;
+            c.system = strOf(line, "system");
+            c.workload = strOf(line, "workload");
+            c.period = u64Of(line, "period_ns");
+            c.dropped = u64Of(line, "dropped");
+            if (const gmt::trace::JsonValue *p = line.find("probes")) {
+                for (const auto &item : p->items)
+                    c.probes.push_back(item.text);
+            }
+            cellsMeta.resize(
+                std::max<std::size_t>(cellsMeta.size(),
+                                      u64Of(line, "cell") + 1));
+            cellsMeta[u64Of(line, "cell")] = std::move(c);
+            continue;
+        }
+        if (type != "interval")
+            continue;
+        const std::uint64_t id = u64Of(line, "cell");
+        if (id >= cellsMeta.size())
+            gmt::fatal("interval row for unknown cell %" PRIu64, id);
+        Cell &c = cellsMeta[id];
+        ++c.rows;
+        c.lastT = u64Of(line, "t_ns");
+        if (csv) {
+            const gmt::trace::JsonValue *vals = line.find("values");
+            if (!vals || vals->items.size() != c.probes.size())
+                gmt::fatal("interval row arity mismatch in cell %" PRIu64,
+                           id);
+            for (std::size_t p = 0; p < c.probes.size(); ++p) {
+                std::printf("%" PRIu64 ",%s,%s,%" PRIu64 ",%s,%.0f\n",
+                            id, c.system.c_str(), c.workload.c_str(),
+                            c.lastT, c.probes[p].c_str(),
+                            vals->items[p].number);
+            }
+        }
+    }
+    if (!csv) {
+        for (std::size_t i = 0; i < cellsMeta.size(); ++i) {
+            const Cell &c = cellsMeta[i];
+            std::printf("cell %zu: %s/%s  period %" PRIu64
+                        " ns  intervals %" PRIu64 "  last t %" PRIu64
+                        " ns  dropped %" PRIu64 "  columns %zu\n",
+                        i, c.system.c_str(), c.workload.c_str(),
+                        c.period, c.rows, c.lastT, c.dropped,
+                        c.probes.size());
+            for (const std::string &p : c.probes)
+                std::printf("    %s\n", p.c_str());
+        }
+    }
+    return 0;
 }
 
 int
@@ -107,5 +402,9 @@ main(int argc, char **argv)
         return runDiff(argc - 2, argv + 2);
     if (cmd == "regen-goldens")
         return runRegen(argc - 2, argv + 2);
+    if (cmd == "spans")
+        return runSpans(argc - 2, argv + 2);
+    if (cmd == "timeline")
+        return runTimeline(argc - 2, argv + 2);
     return usage();
 }
