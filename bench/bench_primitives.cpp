@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "baselines/bam_runtime.hpp"
 #include "core/config.hpp"
 #include "core/runtime.hpp"
 #include "gpu/coalescer.hpp"
@@ -533,19 +534,24 @@ namespace
 
 /**
  * One full GpuEngine run per iteration over a zipf stream, with the
- * event scheduler and hit fast path chosen per variant. The "legacy"
- * variant (heap scheduler, fast path off) is the PR 3 engine's cost
- * shape; "tuned" is the timing wheel plus the event-free hit streak.
- * Both produce identical simulated results — only wall time differs.
+ * event scheduler, hit fast path, and epoch fast-forward chosen per
+ * variant. The "legacy" variant (heap scheduler, fast path off) is the
+ * PR 3 engine's cost shape; "WheelFast" is the timing wheel plus the
+ * event-free hit streak (PR 4); "FastFwd" adds the planned epochs
+ * (PR 6). All produce identical simulated results — only wall time
+ * differs — and the per-cell event split (dispatched vs elided, plus
+ * epochs entered) is exported as benchmark counters so bench_report's
+ * trajectory JSON shows where the wins come from.
  */
 void
 engineRunBench(benchmark::State &state, const RuntimeConfig &cfg,
                double zipf_skew, std::uint64_t visits,
-               sim::SchedulerBackend backend, bool fast_path)
+               sim::SchedulerBackend backend, bool fast_path,
+               bool fast_forward, bool bam = false)
 {
     RuntimeConfig rc = cfg;
     rc.scheduler = backend;
-    auto rt = makeGmtRuntime(rc);
+    auto rt = bam ? baselines::makeBamRuntime(rc) : makeGmtRuntime(rc);
 
     workloads::WorkloadConfig wc;
     wc.pages = rc.numPages;
@@ -555,18 +561,25 @@ engineRunBench(benchmark::State &state, const RuntimeConfig &cfg,
 
     gpu::EngineConfig ec;
     ec.hitFastPath = fast_path;
+    ec.fastForward = fast_forward;
     gpu::GpuEngine engine(ec);
 
     std::uint64_t makespan = 0;
+    gpu::RunResult r;
     for (auto _ : state) {
         rt->reset();
         stream.reset();
-        const gpu::RunResult r = engine.run(*rt, stream);
+        r = engine.run(*rt, stream);
         makespan = r.makespanNs;
         state.SetItemsProcessed(state.items_processed()
                                 + std::int64_t(r.accesses));
     }
     benchmark::DoNotOptimize(makespan);
+    state.counters["events_dispatched"] =
+        benchmark::Counter(double(r.eventsDispatched));
+    state.counters["events_elided"] =
+        benchmark::Counter(double(r.fastPathHits));
+    state.counters["ff_epochs"] = benchmark::Counter(double(r.ffEpochs));
 }
 
 /** Resident working set: every steady-state access is a Tier-1 hit, so
@@ -602,7 +615,7 @@ static void
 BM_EngineHitLoopLegacy(benchmark::State &state)
 {
     engineRunBench(state, hitLoopConfig(), 0.6, 100000,
-                   sim::SchedulerBackend::Heap, false);
+                   sim::SchedulerBackend::Heap, false, false);
 }
 BENCHMARK(BM_EngineHitLoopLegacy)->Unit(benchmark::kMicrosecond);
 
@@ -610,15 +623,23 @@ static void
 BM_EngineHitLoopWheelFast(benchmark::State &state)
 {
     engineRunBench(state, hitLoopConfig(), 0.6, 100000,
-                   sim::SchedulerBackend::Wheel, true);
+                   sim::SchedulerBackend::Wheel, true, false);
 }
 BENCHMARK(BM_EngineHitLoopWheelFast)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineHitLoopFastFwd(benchmark::State &state)
+{
+    engineRunBench(state, hitLoopConfig(), 0.6, 100000,
+                   sim::SchedulerBackend::Wheel, true, true);
+}
+BENCHMARK(BM_EngineHitLoopFastFwd)->Unit(benchmark::kMicrosecond);
 
 static void
 BM_EngineFig8CellLegacy(benchmark::State &state)
 {
     engineRunBench(state, fig8CellConfig(), 0.8, 60000,
-                   sim::SchedulerBackend::Heap, false);
+                   sim::SchedulerBackend::Heap, false, false);
 }
 BENCHMARK(BM_EngineFig8CellLegacy)->Unit(benchmark::kMicrosecond);
 
@@ -626,9 +647,53 @@ static void
 BM_EngineFig8CellWheelFast(benchmark::State &state)
 {
     engineRunBench(state, fig8CellConfig(), 0.8, 60000,
-                   sim::SchedulerBackend::Wheel, true);
+                   sim::SchedulerBackend::Wheel, true, false);
 }
 BENCHMARK(BM_EngineFig8CellWheelFast)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineFig8CellFastFwd(benchmark::State &state)
+{
+    engineRunBench(state, fig8CellConfig(), 0.8, 60000,
+                   sim::SchedulerBackend::Wheel, true, true);
+}
+BENCHMARK(BM_EngineFig8CellFastFwd)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineBamFig8CellLegacy(benchmark::State &state)
+{
+    // The BaM fig8 cell under the seed engine configuration (heap
+    // dispatch, no inline streak, no fast-forward): the in-binary
+    // baseline the PR 6 headline target is measured against.
+    engineRunBench(state, fig8CellConfig(), 0.8, 60000,
+                   sim::SchedulerBackend::Heap, false, false,
+                   /*bam=*/true);
+}
+BENCHMARK(BM_EngineBamFig8CellLegacy)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineBamFig8CellWheelFast(benchmark::State &state)
+{
+    // The BaM fig8 cell (GmtRuntime in bamMode: Tier-2 absent, every
+    // miss goes straight to the NVMe rings) with PR 4's per-access
+    // streak — the baseline the fast-forward target is measured
+    // against.
+    engineRunBench(state, fig8CellConfig(), 0.8, 60000,
+                   sim::SchedulerBackend::Wheel, true, false,
+                   /*bam=*/true);
+}
+BENCHMARK(BM_EngineBamFig8CellWheelFast)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineBamFig8CellFastFwd(benchmark::State &state)
+{
+    // Same cell with planned epochs: BaM's ring-idle batched hits are
+    // the first fast-forward client (ISSUE 6 headline target).
+    engineRunBench(state, fig8CellConfig(), 0.8, 60000,
+                   sim::SchedulerBackend::Wheel, true, true,
+                   /*bam=*/true);
+}
+BENCHMARK(BM_EngineBamFig8CellFastFwd)->Unit(benchmark::kMicrosecond);
 
 static void
 BM_OlsRegressorSample(benchmark::State &state)

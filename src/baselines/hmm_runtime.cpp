@@ -67,9 +67,8 @@ HmmRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
     // with no in-flight migration to wait on (see GmtRuntime::tryHit).
     if (pt.meta(page).residency != mem::Residency::Tier1)
         return false;
-    if (const SimTime *arrival = pageArrivalProbe(page))
-        if (*arrival > now)
-            return false;
+    if (!pageUsableNow(now, page))
+        return false;
 
     // Commit: byte-for-byte the hit path of access().
     if (!cAccesses) [[unlikely]]
@@ -85,7 +84,7 @@ HmmRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
     cTier1Hits->inc();
     if (is_write)
         tier1.markDirty(page);
-    out.readyAt = pageReadyAt(now, page); // == now; prunes the entry
+    out.readyAt = now; // pageUsableNow pruned any stale arrival entry
     out.tier1Hit = true;
     out.tier2Hit = false;
     return true;

@@ -9,31 +9,11 @@ namespace gmt::cache
 
 Tier1Cache::Tier1Cache(mem::PageTable &page_table, std::uint64_t num_frames)
     : pt(page_table), pool(num_frames),
-      clock(replacement::makeClock(num_frames))
+      clock(num_frames)
 {
     // At most one outstanding fetch per frame; cap the hint so huge
     // Tier-1 configs don't pre-size a window they will never fill.
     inflight.reserve(std::size_t(std::min<std::uint64_t>(num_frames, 1024)));
-}
-
-LookupResult
-Tier1Cache::lookup(PageId page)
-{
-    LookupResult r;
-    const mem::PageMeta &m = pt.meta(page);
-    if (m.residency == mem::Residency::Tier1) {
-        r.kind = LookupResult::Kind::Hit;
-        r.frame = m.frame;
-        clock->onAccess(m.frame);
-        return r;
-    }
-    if (const SimTime *ready = inflight.find(page)) {
-        r.kind = LookupResult::Kind::InFlight;
-        r.readyAt = *ready;
-        return r;
-    }
-    r.kind = LookupResult::Kind::Miss;
-    return r;
 }
 
 void
@@ -55,7 +35,7 @@ Tier1Cache::finishFetch(PageId page, bool mark_dirty)
     pt.setResidency(page, mem::Residency::Tier1, f);
     if (mark_dirty)
         pt.meta(page).dirty = true;
-    clock->onInsert(f);
+    clock.onInsert(f);
     return f;
 }
 
@@ -70,7 +50,7 @@ Tier1Cache::inflightReadyAt(PageId page) const
 FrameId
 Tier1Cache::selectVictim()
 {
-    return clock->selectVictim(pool);
+    return clock.selectVictim(pool);
 }
 
 PageId
@@ -78,7 +58,7 @@ Tier1Cache::evict(FrameId frame)
 {
     const PageId page = pool.frame(frame).page;
     GMT_ASSERT(page != kInvalidPage);
-    clock->onRemove(frame);
+    clock.onRemove(frame);
     pool.release(frame);
     // Caller sets the new residency (Tier2 / Tier3); mark None meanwhile
     // so accounting never shows the page in two places.
@@ -97,7 +77,7 @@ Tier1Cache::markDirty(PageId page)
 void
 Tier1Cache::giveSecondChance(FrameId frame)
 {
-    clock->onAccess(frame);
+    clock.onAccess(frame);
 }
 
 void
@@ -113,7 +93,7 @@ void
 Tier1Cache::reset()
 {
     pool.clear();
-    clock->reset();
+    clock.reset();
     inflight.clear();
     occupancy = nullptr;
 }

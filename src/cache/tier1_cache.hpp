@@ -21,6 +21,7 @@
 
 #include "mem/frame_pool.hpp"
 #include "mem/page_table.hpp"
+#include "replacement/clock.hpp"
 #include "replacement/policy.hpp"
 #include "trace/trace.hpp"
 #include "util/flat_map.hpp"
@@ -60,8 +61,28 @@ class Tier1Cache
 
     /** Look @p page up; touches the clock on a hit. An InFlight result
      *  carries the fetch's completion time in readyAt from the same
-     *  (single) probe — callers never need a second hash. */
-    LookupResult lookup(PageId page);
+     *  (single) probe — callers never need a second hash. Inline: this
+     *  is the first thing every simulated access executes, and the hit
+     *  arm is a residency check plus one reference-bit store. */
+    LookupResult
+    lookup(PageId page)
+    {
+        LookupResult r;
+        const mem::PageMeta &m = pt.meta(page);
+        if (m.residency == mem::Residency::Tier1) {
+            r.kind = LookupResult::Kind::Hit;
+            r.frame = m.frame;
+            clock.onAccess(m.frame);
+            return r;
+        }
+        if (const SimTime *ready = inflight.find(page)) {
+            r.kind = LookupResult::Kind::InFlight;
+            r.readyAt = *ready;
+            return r;
+        }
+        r.kind = LookupResult::Kind::Miss;
+        return r;
+    }
 
     /**
      * Begin fetching @p page (caller has issued the I/O/transfer that
@@ -128,7 +149,10 @@ class Tier1Cache
   private:
     mem::PageTable &pt;
     mem::FramePool pool;
-    std::unique_ptr<replacement::Policy> clock;
+    /** Concrete, by value: Tier-1's victim selector is clock by
+     *  construction (§2, item 3), and holding the final type lets the
+     *  hit path's onAccess devirtualize to an inline byte store. */
+    replacement::ClockPolicy clock;
     /** page -> fetch completion time. Bounded by the outstanding-fetch
      *  window (never more in-flight fetches than frames), so it is
      *  pre-sized once and stays allocation-free per access. */

@@ -83,8 +83,11 @@ struct RuntimeConfig
     /** Event-queue ordering backend for runs driven through GpuEngine.
      *  Both backends dispatch in identical (when, key, seq) order, so
      *  simulated results do not depend on this choice; the GMT_SCHED
-     *  env var ("heap" | "wheel") overrides it process-wide. */
-    sim::SchedulerBackend scheduler = sim::SchedulerBackend::Heap;
+     *  env var ("heap" | "wheel") overrides it process-wide. The wheel
+     *  is the default since PR 6 (it wins on every engine-driven
+     *  workload); the heap remains the reference oracle for tests and
+     *  A/B runs. */
+    sim::SchedulerBackend scheduler = sim::SchedulerBackend::Wheel;
 
     /** §2.2 Tier-3-overflow redirection heuristic (GMT-Reuse). */
     bool overflowHeuristic = true;

@@ -92,9 +92,8 @@ GmtRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
     // transfer stalls the warp, which is access()'s job.
     if (pt.meta(page).residency != mem::Residency::Tier1)
         return false;
-    if (const SimTime *arrival = pageArrivalProbe(page))
-        if (*arrival > now)
-            return false;
+    if (!pageUsableNow(now, page))
+        return false;
 
     // Commit: byte-for-byte the hit path of access(), including the
     // counter-creation points (metric exports serialize creation order)
@@ -124,7 +123,7 @@ GmtRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
     m.lastAccessStamp = stamp;
     ++m.accessCount;
 
-    out.readyAt = pageReadyAt(now, page); // == now; prunes the entry
+    out.readyAt = now; // pageUsableNow pruned any stale arrival entry
     out.tier1Hit = true;
     out.tier2Hit = false;
     return true;

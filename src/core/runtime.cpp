@@ -46,17 +46,4 @@ TieredRuntime::setPageReadyAt(PageId page, SimTime when)
     arrivals.insertOrAssign(page, when);
 }
 
-SimTime
-TieredRuntime::pageReadyAt(SimTime now, PageId page)
-{
-    const SimTime *when = arrivals.find(page);
-    if (!when)
-        return now;
-    if (*when <= now) {
-        arrivals.erase(page); // transfer long since finished
-        return now;
-    }
-    return *when;
-}
-
 } // namespace gmt

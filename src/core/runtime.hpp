@@ -127,8 +127,21 @@ class TieredRuntime
     /** Record that @p page's content arrives at @p when. */
     void setPageReadyAt(PageId page, SimTime when);
 
-    /** Earliest time @p page's content is usable (>= @p now). */
-    SimTime pageReadyAt(SimTime now, PageId page);
+    /** Earliest time @p page's content is usable (>= @p now). Inline:
+     *  every Tier-1 hit pays this probe, so the table lookup belongs in
+     *  the caller's code, not behind a call. */
+    SimTime
+    pageReadyAt(SimTime now, PageId page)
+    {
+        const SimTime *when = arrivals.find(page);
+        if (!when)
+            return now;
+        if (*when <= now) {
+            arrivals.erase(page); // transfer long since finished
+            return now;
+        }
+        return *when;
+    }
 
     /** Non-mutating probe of the in-transit table: @p page's recorded
      *  arrival time, or nullptr when none. Used by tryHit() overrides
@@ -136,6 +149,28 @@ class TieredRuntime
     const SimTime *pageArrivalProbe(PageId page) const
     {
         return arrivals.find(page);
+    }
+
+    /**
+     * Fused in-transit check for tryHit() overrides: one lookup decides
+     * both the probe and the prune that pageArrivalProbe() +
+     * pageReadyAt() would pay two lookups for. Returns false — with no
+     * side effects — when @p page is still in flight at @p now (the
+     * override must decline); returns true when the page is usable at
+     * @p now, pruning a stale (arrival <= now) entry on the spot. The
+     * early prune is unobservable: the committed hit's pageReadyAt()
+     * would erase the same entry moments later, and nothing reads the
+     * table in between.
+     */
+    bool
+    pageUsableNow(SimTime now, PageId page)
+    {
+        if (const SimTime *when = arrivals.find(page)) {
+            if (*when > now)
+                return false;
+            arrivals.erase(page);
+        }
+        return true;
     }
 
     RuntimeConfig cfg;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/event_queue.hpp"
+#include "sim/fast_forward.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::gpu
@@ -16,7 +17,10 @@ namespace
  * event (its next issue turn, keyed by warp id so same-time ties
  * dispatch in warp order); turn() issues accesses for one warp, staying
  * inline across an event-free hit streak and rescheduling onto the
- * queue the moment the streak breaks.
+ * queue the moment the streak breaks. With fast-forward on, a streak
+ * runs as a planned epoch: one queue peek buys a whole budget of
+ * inline issues (sim::inlineIssueBudget) and the per-access metrics
+ * collapse into bulk updates at epoch exit.
  */
 struct EngineLoop
 {
@@ -24,6 +28,8 @@ struct EngineLoop
     TieredRuntime &rt;
     AccessStream &st;
     const EngineConfig &cfg;
+    /** cfg.fastForward after the GMT_FASTFWD override, resolved once. */
+    bool ffwd = false;
 
     trace::TraceSink *sink = nullptr;
     trace::TrackId gpuTrk = 0;
@@ -38,6 +44,17 @@ struct EngineLoop
     bool truncated = false;
 
     void turn(WarpId w);
+
+    /** Why a fast-forwarded epoch handed control back. */
+    enum class EpochExit
+    {
+        Done,      ///< turn() is finished (retired / scheduled / capped)
+        CarryMiss, ///< the fetched access missed: rerun it on the
+                   ///< general path at the epoch's exit time
+    };
+
+    EpochExit epoch(WarpId w, SimTime &at, Access &a, bool have_head,
+                    SimTime head_when, std::uint64_t head_key);
 };
 
 /** The pooled event payload: 16 bytes, stored inline in the node. */
@@ -47,6 +64,116 @@ struct WarpTurn
     WarpId w;
     void operator()() const { loop->turn(w); }
 };
+
+/**
+ * A planned steady-state epoch. Entered mid-streak: the caller just
+ * committed a fast hit, counted the continuation, and advanced the
+ * clock to @p at — the issue time of the epoch's first access, already
+ * proven to precede the queue head.
+ *
+ * Invariants that make the plan sound (and the output byte-identical
+ * to the per-access streak):
+ *  - the streak dispatches no events and schedules none, and runtimes
+ *    never touch the engine queue (completion times are computed
+ *    synchronously), so the head (when, key) and q.pending() are
+ *    constants for the whole epoch — one peek authorizes every issue
+ *    the budget counts;
+ *  - a committed fast hit has readyAt == at, so the stall is
+ *    identically 0, no stall span is emitted, and the issue clock
+ *    advances by exactly computeNsPerAccess per access;
+ *  - therefore the per-access stallLat records and readyDepth samples
+ *    are k copies of the same value on an arithmetic time sequence,
+ *    which LatencyHistogram::record(ns, k) and
+ *    QueueDepthTracker::sampleRun reproduce state-identically in O(1).
+ *
+ * Everything observable at interior times stays per-access: result /
+ * timeline counters (rows snapshot them at period boundaries) and
+ * backgroundTick (it mutates runtime state that probes read).
+ */
+EngineLoop::EpochExit
+EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
+                  SimTime head_when, std::uint64_t head_key)
+{
+    const SimTime stride = cfg.computeNsPerAccess;
+    std::uint64_t budget = sim::inlineIssueBudget(at, stride, w, have_head,
+                                                  head_when, head_key);
+    GMT_ASSERT(budget > 0); // the streak predicate authorized this issue
+    ++result.ffEpochs;
+
+    const SimTime t0 = at;
+    const std::int64_t depth = std::int64_t(q.pending() + 1);
+    std::uint64_t k = 0; // bulk-deferred per-access records
+    std::uint64_t bgLeft = cfg.backgroundInterval
+                           - (result.accesses % cfg.backgroundInterval);
+
+    const auto flush = [&] {
+        if (k == 0)
+            return;
+        if (stallLat)
+            stallLat->record(0, k);
+        if (readyDepth)
+            readyDepth->sampleRun(t0, stride, k, depth);
+    };
+
+    for (;;) {
+        if (!st.nextAccess(w, a)) {
+            // Warp retired (same exit as the general loop's).
+            flush();
+            result.makespanNs = std::max(result.makespanNs, at);
+            if (readyDepth)
+                readyDepth->sample(at, std::int64_t(q.pending()));
+            return EpochExit::Done;
+        }
+
+        AccessResult ar;
+        if (!rt.tryHit(at, w, a.page, a.write, ar)) {
+            // Streak over: flush the bulk records first (they precede
+            // `at`), then let the general path run this access once.
+            flush();
+            return EpochExit::CarryMiss;
+        }
+
+        ++result.accesses;
+        result.tier1Hits += ar.tier1Hit ? 1 : 0;
+        result.tier2Hits += ar.tier2Hit ? 1 : 0;
+        if (engineTl) {
+            ++engineTl->accesses;
+            engineTl->tier1Hits += ar.tier1Hit ? 1 : 0;
+        }
+        ++k;
+
+        if (--bgLeft == 0) {
+            rt.backgroundTick(at);
+            bgLeft = cfg.backgroundInterval;
+        }
+
+        if (cfg.maxAccesses && result.accesses >= cfg.maxAccesses) {
+            flush();
+            warn("GpuEngine: access cap (%llu) hit; truncating run",
+                 static_cast<unsigned long long>(cfg.maxAccesses));
+            truncated = true;
+            result.makespanNs = std::max(result.makespanNs, at + stride);
+            return EpochExit::Done;
+        }
+
+        if (--budget == 0) {
+            // Head-bound: the next issue (at + stride) no longer
+            // precedes the queue head. Schedule it, exactly as the
+            // per-access streak check would — no re-peek needed, the
+            // epoch never touched the queue.
+            flush();
+            q.scheduleAtKeyed(at + stride, w, WarpTurn{this, w});
+            return EpochExit::Done;
+        }
+
+        ++result.fastPathHits;
+        if (engineTl)
+            ++engineTl->fastPathHits;
+        at += stride;
+        if (timeline)
+            timeline->advanceTo(at);
+    }
+}
 
 void
 EngineLoop::turn(WarpId w)
@@ -60,22 +187,28 @@ EngineLoop::turn(WarpId w)
         result.makespanNs = std::max(result.makespanNs, at);
         return;
     }
+    Access a;
+    // An epoch that ends on a miss hands the fetched access back here
+    // so the general path below runs it exactly once.
+    bool fetched = false;
+    bool knownMiss = false;
     for (;;) {
-        Access a;
-        if (!st.nextAccess(w, a)) {
+        if (!fetched && !st.nextAccess(w, a)) {
             // Warp retired.
             result.makespanNs = std::max(result.makespanNs, at);
             if (readyDepth)
                 readyDepth->sample(at, std::int64_t(q.pending()));
             return;
         }
+        fetched = false;
 
         // Fast path first: a pure resident hit commits its effects and
         // reports readyAt == at without the runtime's full miss
         // machinery. Anything else goes through access().
         AccessResult ar;
-        const bool fast =
-            cfg.hitFastPath && rt.tryHit(at, w, a.page, a.write, ar);
+        const bool fast = !knownMiss && cfg.hitFastPath
+                          && rt.tryHit(at, w, a.page, a.write, ar);
+        knownMiss = false;
         if (!fast)
             ar = rt.access(at, w, a.page, a.write);
 
@@ -117,18 +250,27 @@ EngineLoop::turn(WarpId w)
         // dispatch order — i.e. the queue would pop this warp next
         // anyway. A stalled access never continues inline (the streak
         // condition requires a committed fast hit, readyAt == at).
-        SimTime headWhen;
-        std::uint64_t headKey;
-        if (fast
-            && (!q.peekEarliest(headWhen, headKey) || next_at < headWhen
-                || (next_at == headWhen && w < headKey))) {
-            ++result.fastPathHits;
-            if (engineTl)
-                ++engineTl->fastPathHits;
-            at = next_at;
-            if (timeline)
-                timeline->advanceTo(at);
-            continue;
+        if (fast) {
+            SimTime headWhen = 0;
+            std::uint64_t headKey = 0;
+            const bool haveHead = q.peekEarliest(headWhen, headKey);
+            if (!haveHead || next_at < headWhen
+                || (next_at == headWhen && w < headKey)) {
+                ++result.fastPathHits;
+                if (engineTl)
+                    ++engineTl->fastPathHits;
+                at = next_at;
+                if (timeline)
+                    timeline->advanceTo(at);
+                if (!ffwd)
+                    continue; // per-access oracle: re-peek every access
+                if (epoch(w, at, a, haveHead, headWhen, headKey)
+                    == EpochExit::Done)
+                    return;
+                fetched = true;
+                knownMiss = true;
+                continue;
+            }
         }
 
         q.scheduleAtKeyed(next_at, w, WarpTurn{this, w});
@@ -155,6 +297,9 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
         sim::schedulerBackendFromEnv(runtime.config().scheduler));
 
     EngineLoop loop{events, runtime, stream, cfg};
+    // Like the backend: GMT_FASTFWD flips a whole process for A/B runs
+    // and never changes simulated results.
+    loop.ffwd = cfg.hitFastPath && sim::fastForwardFromEnv(cfg.fastForward);
 
     // Observability hooks resolve once per run off the runtime's
     // attached session; an untraced run keeps them all null.
@@ -179,7 +324,7 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
 
     for (WarpId w = 0; w < warps; ++w)
         events.scheduleAtKeyed(cfg.startTimeNs, w, WarpTurn{&loop, w});
-    events.runToCompletion();
+    loop.result.eventsDispatched = events.runToCompletion();
 
     // Export the fast-path split into the golden metrics (created here,
     // before the quiesce-hook counters, so export order is fixed).

@@ -19,6 +19,16 @@
  * warp's event becomes due, so dispatch order — and therefore every
  * simulated result — is identical with the fast path on or off.
  *
+ * On top of the streak, the fast-forward planner (sim/fast_forward.hpp)
+ * turns the per-access queue peek into a per-epoch closed form: the
+ * streak never touches the queue, so one head peek proves how many
+ * issues stay ahead of every queued event, and the engine burns through
+ * that budget in a tight loop with the per-access stall/occupancy
+ * metrics deferred into bulk updates that reproduce the tracker state
+ * bit-for-bit. GMT_FASTFWD=0|1 (or EngineConfig::fastForward) keeps the
+ * per-access streak around as the oracle; results, metrics, traces,
+ * spans, and timelines are byte-identical either way.
+ *
  * Per access, a warp pays computeNsPerAccess of "useful work" time plus
  * whatever the runtime reports for data readiness. The engine also calls
  * runtime.backgroundTick() periodically (the host-side actors: GMT's
@@ -62,6 +72,13 @@ struct EngineConfig
      *  event-free hit streak). Never changes simulated results; off is
      *  kept for A/B parity tests and perf comparisons. */
     bool hitFastPath = true;
+
+    /** Plan whole steady-state epochs analytically instead of peeking
+     *  the queue head per inline access (sim/fast_forward.hpp).
+     *  Overridable per process with GMT_FASTFWD=0|1; never changes
+     *  simulated results — off keeps the per-access streak as the
+     *  oracle for A/B runs. Requires hitFastPath. */
+    bool fastForward = true;
 };
 
 /** Result of one kernel run. */
@@ -83,6 +100,15 @@ struct RunResult
      *  of tier1Hits; 0 when the fast path is disabled). Diagnostic
      *  only — not part of any simulated result. */
     std::uint64_t fastPathHits = 0;
+
+    /** Events actually dispatched off the queue this run. Together
+     *  with fastPathHits (the elided turns) this quantifies the
+     *  fast-forward win per cell. Diagnostic only. */
+    std::uint64_t eventsDispatched = 0;
+
+    /** Fast-forwarded steady-state epochs entered (0 when fast-forward
+     *  is off). Diagnostic only. */
+    std::uint64_t ffEpochs = 0;
 };
 
 /** Warp scheduler + issue loop. */

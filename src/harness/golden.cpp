@@ -16,6 +16,12 @@ const char *const kGoldenApps[] = {"Srad", "BFS"};
 const System kGoldenSystems[] = {System::Bam, System::GmtTierOrder,
                                  System::GmtRandom, System::GmtReuse};
 
+/** fig14 compares against the host-orchestrated baseline, so its
+ *  golden locks HMM (the fast-forward opt-in of PR 6) alongside the
+ *  endpoints of the comparison. */
+const System kFig14Systems[] = {System::Bam, System::Hmm,
+                                System::GmtReuse};
+
 } // namespace
 
 const std::vector<std::string> &
@@ -25,6 +31,7 @@ goldenFigures()
         "fig8_speedup",
         "fig11_oversubscription",
         "fig12_capacity_ratio",
+        "fig14_hmm",
     };
     return figures;
 }
@@ -46,6 +53,7 @@ goldenSpecs(const std::string &figure)
     std::vector<RunSpec> specs;
     for (const char *app : kGoldenApps) {
         RuntimeConfig cfg = goldenSmallConfig();
+        bool hmmFigure = false;
         if (figure == "fig8_speedup") {
             // Defaults: OSF 2, both tiers as configured.
         } else if (figure == "fig11_oversubscription") {
@@ -59,12 +67,22 @@ goldenSpecs(const std::string &figure)
             // (the bench covers {2, 4, 8}; the default config is 4).
             cfg.tier2Pages = cfg.tier1Pages * 8;
             cfg.setOversubscription(2.0);
+        } else if (figure == "fig14_hmm") {
+            // Defaults, with the system set swapped below: the HMM
+            // baseline's hit/migration machinery under the same shrunk
+            // working set (bench_fig14_hmm at full scale).
+            hmmFigure = true;
         } else {
             fatal("no golden configuration for figure '%s'",
                   figure.c_str());
         }
-        for (System sys : kGoldenSystems)
-            specs.push_back({sys, app, cfg, 64});
+        if (hmmFigure) {
+            for (System sys : kFig14Systems)
+                specs.push_back({sys, app, cfg, 64});
+        } else {
+            for (System sys : kGoldenSystems)
+                specs.push_back({sys, app, cfg, 64});
+        }
     }
     return specs;
 }

@@ -27,10 +27,11 @@ const std::vector<std::string> &goldenFigures();
 RuntimeConfig goldenSmallConfig();
 
 /**
- * The spec matrix for @p figure ("fig8_speedup" or
- * "fig11_oversubscription"): two apps (one graph, one regular) under
- * all four systems, with fig11 applying the paper's §3.5 resizing
- * (graph apps halve both tiers, others double the dataset).
+ * The spec matrix for @p figure (any name from goldenFigures()): two
+ * apps (one graph, one regular) under all four systems — except
+ * fig14_hmm, which swaps in {BaM, HMM, GMT-Reuse} to lock the HMM
+ * baseline — with fig11 applying the paper's §3.5 resizing (graph
+ * apps halve both tiers, others double the dataset).
  * Fatal on unknown figure names.
  */
 std::vector<RunSpec> goldenSpecs(const std::string &figure);

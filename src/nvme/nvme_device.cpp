@@ -32,13 +32,10 @@ NvmeDevice::submitPage(QueuePair &qp, SimTime now, PageId page,
                        NvmeOpcode op)
 {
     // First reap whatever has completed by now — those warps' polls
-    // have long since freed their ring slots.
+    // have long since freed their ring slots. The batch reap leaves the
+    // ring in the exact state a poll() drain would, in one pass.
     SimTime t = now;
-    {
-        CompletionEntry ce;
-        while (qp.poll(t, ce)) {
-        }
-    }
+    qp.reapReady(t);
 
     // Ring back-pressure: a full SQ forces the submitter to spin until
     // the oldest in-flight command completes and its CQ entry is reaped.
@@ -60,12 +57,11 @@ NvmeDevice::submitPage(QueuePair &qp, SimTime now, PageId page,
     sqe.opcode = op;
     sqe.startLba = page * (kPageBytes / QueuePair::kBlockBytes);
     sqe.numBlocks = std::uint32_t(kPageBytes / QueuePair::kBlockBytes);
-    const std::uint16_t cid = qp.submit(t, sqe);
-
     // The submitter peeks its own CQ entry for the completion time; the
     // entry keeps its slot until a later poll drains it, so concurrent
     // submissions feel the ring's occupancy.
-    const SimTime done = qp.readyTimeOf(cid);
+    SimTime done = 0;
+    qp.submit(t, sqe, &done);
     if (cmdLat)
         cmdLat->record(done - now);
     if (ringDepth)

@@ -21,7 +21,8 @@ QueuePair::full() const
 }
 
 std::uint16_t
-QueuePair::submit(SimTime now, const SubmissionEntry &entry)
+QueuePair::submit(SimTime now, const SubmissionEntry &entry,
+                  SimTime *ready_at)
 {
     GMT_ASSERT(!full());
     GMT_ASSERT(entry.numBlocks > 0);
@@ -51,7 +52,31 @@ QueuePair::submit(SimTime now, const SubmissionEntry &entry)
             return a.readyAt < b.readyAt;
         });
     pendingCq.insert(it, ce);
+    if (ready_at)
+        *ready_at = done;
     return cid;
+}
+
+std::uint16_t
+QueuePair::reapReady(SimTime now)
+{
+    // The ready prefix of the readiness-sorted CQ.
+    std::size_t k = 0;
+    while (k < pendingCq.size() && pendingCq[k].readyAt <= now)
+        ++k;
+    if (k == 0)
+        return 0;
+    pendingCq.erase(pendingCq.begin(),
+                    pendingCq.begin() + std::ptrdiff_t(k));
+    occupancy = std::uint16_t(occupancy - k);
+    totalCompletions += k;
+    // k single-step head advances, folded: the phase bit flips once per
+    // CQ wrap, so it flips iff (cqHead + k) / ringDepth is odd.
+    const unsigned wraps = unsigned((cqHead + k) / ringDepth);
+    cqHead = std::uint16_t((cqHead + k) % ringDepth);
+    if (wraps & 1u)
+        cqPhase = !cqPhase;
+    return std::uint16_t(k);
 }
 
 bool

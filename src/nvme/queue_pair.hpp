@@ -73,9 +73,13 @@ class QueuePair
     /**
      * Ring the submission doorbell for @p entry at time @p now.
      * @pre !full()
+     * @param ready_at  when non-null, receives the command's completion
+     *                  time — the submitter's peek at its own CQ entry,
+     *                  saving the readyTimeOf() ring scan.
      * @return the command id assigned to this submission.
      */
-    std::uint16_t submit(SimTime now, const SubmissionEntry &entry);
+    std::uint16_t submit(SimTime now, const SubmissionEntry &entry,
+                         SimTime *ready_at = nullptr);
 
     /**
      * Poll the CQ at time @p now: pops the oldest completion whose
@@ -83,6 +87,17 @@ class QueuePair
      * @retval true and fills @p out when a completion was reaped.
      */
     bool poll(SimTime now, CompletionEntry &out);
+
+    /**
+     * Reap every completion ready by @p now in one pass — the analytic
+     * form of a poll() drain loop whose entries are discarded. The
+     * ready prefix is a closed-form batch: one range erase instead of k
+     * front erases (each a memmove of the whole ring), with occupancy,
+     * reap count, CQ head, and the phase bit advanced arithmetically to
+     * the exact state k polls would leave.
+     * @return completions reaped.
+     */
+    std::uint16_t reapReady(SimTime now);
 
     /**
      * Poll the CQ until command @p cid has been reaped, consuming any

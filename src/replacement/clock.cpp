@@ -6,26 +6,8 @@ namespace gmt::replacement
 {
 
 ClockPolicy::ClockPolicy(std::uint64_t num_frames)
-    : refBit(num_frames, false)
+    : refBit(num_frames, 0)
 {
-}
-
-void
-ClockPolicy::onInsert(FrameId f)
-{
-    refBit[f] = true;
-}
-
-void
-ClockPolicy::onAccess(FrameId f)
-{
-    refBit[f] = true;
-}
-
-void
-ClockPolicy::onRemove(FrameId f)
-{
-    refBit[f] = false;
 }
 
 FrameId
@@ -44,7 +26,7 @@ ClockPolicy::selectVictim(const mem::FramePool &pool)
         if (fr.pins > 0)
             continue;
         if (refBit[f]) {
-            refBit[f] = false;
+            refBit[f] = 0;
             continue;
         }
         return f;
@@ -55,7 +37,7 @@ ClockPolicy::selectVictim(const mem::FramePool &pool)
 void
 ClockPolicy::reset()
 {
-    refBit.assign(refBit.size(), false);
+    refBit.assign(refBit.size(), 0);
     handPos = 0;
 }
 

@@ -19,14 +19,18 @@ namespace gmt::replacement
 {
 
 /** Clock / second-chance policy. */
-class ClockPolicy : public Policy
+class ClockPolicy final : public Policy
 {
   public:
     explicit ClockPolicy(std::uint64_t num_frames);
 
-    void onInsert(FrameId f) override;
-    void onAccess(FrameId f) override;
-    void onRemove(FrameId f) override;
+    // The touch hooks are inline (and the class is final) so callers
+    // holding a concrete ClockPolicy — Tier-1 fixes clock per the paper
+    // — compile a hit's reference-bit set down to one byte store with
+    // no virtual dispatch.
+    void onInsert(FrameId f) override { refBit[f] = 1; }
+    void onAccess(FrameId f) override { refBit[f] = 1; }
+    void onRemove(FrameId f) override { refBit[f] = 0; }
     FrameId selectVictim(const mem::FramePool &pool) override;
     const char *name() const override { return "clock"; }
     void reset() override;
@@ -35,7 +39,9 @@ class ClockPolicy : public Policy
     std::uint64_t hand() const { return handPos; }
 
   private:
-    std::vector<bool> refBit;
+    // Bytes, not vector<bool>: the hit path writes refBit[f] blind, and
+    // a byte store beats the packed bitset's read-modify-write.
+    std::vector<std::uint8_t> refBit;
     std::uint64_t handPos = 0;
 };
 

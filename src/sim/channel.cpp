@@ -22,8 +22,19 @@ SimTime
 BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
 {
     const SimTime start = std::max(now, busyUntil);
-    const double ns = double(bytes) / bytesPerSec * 1e9;
-    const auto occupy = SimTime(std::llround(ns));
+    // Memoized occupancy: traffic is overwhelmingly same-sized (page
+    // transfers), and llround(bytes/bps*1e9) is a deterministic pure
+    // function of bytes, so a one-entry cache skips the fp divide
+    // without changing a single completion time. In a saturated phase
+    // this constant occupy IS the stride of the closed-form arithmetic
+    // completion sequence (busyUntil advances by exactly `occupy` per
+    // back-to-back transfer).
+    if (bytes != cachedBytes) {
+        const double ns = double(bytes) / bytesPerSec * 1e9;
+        cachedOccupy = SimTime(std::llround(ns));
+        cachedBytes = bytes;
+    }
+    const SimTime occupy = cachedOccupy;
     busyUntil = start + occupy;
     totalBusy += occupy;
     totalBytes += bytes;

@@ -83,6 +83,11 @@ class BandwidthChannel
     SimTime busyUntil = 0;
     std::uint64_t totalBytes = 0;
     SimTime totalBusy = 0;
+    /** One-entry occupancy memo (transfers are overwhelmingly
+     *  same-sized pages): llround(bytes/bps*1e9) is pure, so caching
+     *  it is timing-invisible. */
+    std::uint64_t cachedBytes = 0;
+    SimTime cachedOccupy = 0;
 
     trace::TraceSink *sink = nullptr;
     trace::TrackId trk = 0;

@@ -1,0 +1,26 @@
+#include "sim/fast_forward.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace gmt::sim
+{
+
+bool
+fastForwardFromEnv(bool fallback)
+{
+    const char *env = std::getenv("GMT_FASTFWD");
+    if (!env || !*env)
+        return fallback;
+    const std::string v(env);
+    if (v == "1" || v == "on")
+        return true;
+    if (v == "0" || v == "off")
+        return false;
+    fatal("unknown GMT_FASTFWD value '%s' (expected '0'/'off' or '1'/'on')",
+          v.c_str());
+}
+
+} // namespace gmt::sim

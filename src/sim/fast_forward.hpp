@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Steady-state fast-forward for the DES: epoch planning next to the
+ * event queue (sim/event_queue.hpp, sim/timing_wheel.hpp).
+ *
+ * The event-free hit streak (PR 4) elides the *scheduling* of a warp's
+ * next turn, but still pays one queue-head peek, one stall-histogram
+ * record, one occupancy sample, and one background-tick modulo per
+ * access. During a pure-hit streak none of those can change between
+ * accesses: the queue is static (the streak dispatches no events and
+ * schedules none), so the head (when, key) is a constant, the stall is
+ * identically zero, the ready-warp depth is a constant, and the issue
+ * clock advances by a fixed stride. That makes the number of inline
+ * issues the streak may perform *provable up front* — a closed-form
+ * division against the queue head — and everything per-access except
+ * the access itself (stream step + tryHit commit) can be advanced
+ * analytically: time by `stride` per access, metrics by bulk updates
+ * that reproduce the per-access state byte-for-byte
+ * (LatencyHistogram::record(ns, k), QueueDepthTracker::sampleRun).
+ *
+ * inlineIssueBudget() is that closed form. The engine consumes the
+ * budget in a tight epoch loop (gpu/gpu_engine.cpp) and exits early on
+ * the first non-hit access, stream end, or access cap — each of which
+ * re-enters the fully general path at an issue time the budget already
+ * proved legal, so dispatch order (and every simulated result, trace,
+ * span, and timeline byte) is identical to the unplanned loop. The
+ * GMT_FASTFWD=0|1 environment switch keeps the per-access path around
+ * as the oracle for A/B runs, exactly like GMT_SCHED does for the
+ * heap/wheel backends.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace gmt::sim
+{
+
+/** "No bound from the queue": the stream/caller limits the epoch. */
+inline constexpr std::uint64_t kUnboundedIssues = ~std::uint64_t(0);
+
+/**
+ * How many consecutive inline issues a warp may perform starting at
+ * @p first_at and advancing by @p stride, without overtaking the queue
+ * head `(head_when, head_key)` in (when, key) dispatch order. The
+ * issue at @p first_at must already be authorized by the caller (the
+ * engine checks the streak predicate before entering an epoch); the
+ * budget counts it and every later issue `first_at + i*stride` that
+ * still precedes the head — strictly earlier, or tied on time with
+ * @p warp_key winning the tie.
+ *
+ * @p have_head false (empty queue) returns kUnboundedIssues, as does a
+ * zero stride that never reaches the head.
+ */
+inline std::uint64_t
+inlineIssueBudget(SimTime first_at, SimTime stride, std::uint64_t warp_key,
+                  bool have_head, SimTime head_when, std::uint64_t head_key)
+{
+    if (!have_head)
+        return kUnboundedIssues;
+    if (first_at > head_when)
+        return 0; // caller misjudged; no issue is legal
+    const bool wins_tie = warp_key < head_key;
+    if (first_at == head_when)
+        return wins_tie ? (stride == 0 ? kUnboundedIssues : 1) : 0;
+    if (stride == 0)
+        return kUnboundedIssues;
+    // Issues at first_at + i*stride, i = 0..: strictly-before count is
+    // ceil(d / stride); an exact landing on head_when adds one more
+    // only when the warp wins the time tie.
+    const SimTime d = head_when - first_at;
+    const std::uint64_t q = d / stride;
+    const SimTime r = d % stride;
+    if (r != 0)
+        return q + 1;
+    return q + (wins_tie ? 1 : 0);
+}
+
+/**
+ * Resolve the fast-forward switch for a run: the GMT_FASTFWD
+ * environment variable if set ("1"/"on" or "0"/"off", fatal on junk),
+ * else @p fallback. Fast-forward never changes simulated results; the
+ * switch exists so the per-access path stays available as the oracle.
+ */
+bool fastForwardFromEnv(bool fallback);
+
+} // namespace gmt::sim

@@ -57,6 +57,25 @@ class LatencyHistogram
             hi = ns;
     }
 
+    /**
+     * Record @p k identical samples of @p ns in O(1). State-identical
+     * to k record(ns) calls — including the (mod 2^64) sum, since
+     * ns * k wraps exactly like k additions of ns.
+     */
+    void
+    record(SimTime ns, std::uint64_t k)
+    {
+        if (k == 0)
+            return;
+        buckets[bucketFor(ns)] += k;
+        if (n == 0 || ns < lo)
+            lo = ns;
+        n += k;
+        total += ns * k;
+        if (ns > hi)
+            hi = ns;
+    }
+
     std::uint64_t count() const { return n; }
     std::uint64_t sum() const { return total; }
     SimTime min() const { return n ? lo : 0; }
@@ -166,6 +185,33 @@ class QueueDepthTracker
             maxD = depth;
         if (depth < minD)
             minD = depth;
+    }
+
+    /**
+     * Record @p k samples of the same @p depth at times t0, t0+stride,
+     * ..., t0+(k-1)*stride in O(1). State-identical to the per-sample
+     * loop: the per-step integral increments telescope to
+     * depth * (end - lastT) for the portion past the current lastT
+     * (steps at or before lastT clamp to zero dt, exactly as sample()
+     * does), min/max/cur see the one repeated depth, and n grows by k.
+     * The fast-forwarded engine epoch uses this for its constant-depth
+     * occupancy run.
+     */
+    void
+    sampleRun(SimTime t0, SimTime stride, std::uint64_t k,
+              std::int64_t depth)
+    {
+        if (k == 0)
+            return;
+        sample(t0, depth);
+        if (k == 1)
+            return;
+        n += k - 1;
+        const SimTime end = t0 + stride * (k - 1);
+        if (end > lastT) {
+            integral += std::uint64_t(cur) * (end - lastT);
+            lastT = end;
+        }
     }
 
     QueueKind queueKind() const { return kind; }

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -218,16 +220,52 @@ residentCfg()
     return cfg;
 }
 
+/** Pin an env var for one call (restored on scope exit) so the CI
+ *  matrix's process-wide GMT_SCHED / GMT_FASTFWD cannot mask the
+ *  config switch under test. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
 RunResult
 runResident(sim::SchedulerBackend backend, bool fast_path,
-            std::uint64_t per_warp = 400)
+            bool fast_forward = true, std::uint64_t per_warp = 400)
 {
+    // Force the env overrides to match the requested combination so
+    // each leg genuinely runs what its name says, regardless of the
+    // process-wide CI matrix settings.
+    ScopedEnv sched("GMT_SCHED",
+                    backend == sim::SchedulerBackend::Heap ? "heap"
+                                                           : "wheel");
+    ScopedEnv ffwd("GMT_FASTFWD", fast_forward ? "1" : "0");
     RuntimeConfig cfg = residentCfg();
     cfg.scheduler = backend;
     auto rt = makeGmtRuntime(cfg);
     CountingStream stream(8, per_warp);
     EngineConfig ec;
     ec.hitFastPath = fast_path;
+    ec.fastForward = fast_forward;
     return GpuEngine(ec).run(*rt, stream);
 }
 
@@ -243,10 +281,10 @@ TEST(GpuEngine, FastPathFiresOnResidentWorkload)
 
 TEST(GpuEngine, FastPathAndBackendDoNotChangeResults)
 {
-    // The tentpole determinism claim at engine granularity: all four
+    // The determinism claim at engine granularity: all four
     // {heap, wheel} x {fast path on, off} combinations must produce
-    // identical simulated results. (Under GMT_SCHED both backend legs
-    // resolve to the same scheduler; the comparison still holds.)
+    // identical simulated results (runResident pins GMT_SCHED and
+    // GMT_FASTFWD, so every leg genuinely runs its combination).
     const RunResult heapSlow =
         runResident(sim::SchedulerBackend::Heap, false);
     const RunResult heapFast =
@@ -265,4 +303,61 @@ TEST(GpuEngine, FastPathAndBackendDoNotChangeResults)
     EXPECT_EQ(heapSlow.fastPathHits, 0u);
     EXPECT_EQ(wheelSlow.fastPathHits, 0u);
     EXPECT_EQ(heapFast.fastPathHits, wheelFast.fastPathHits);
+}
+
+TEST(GpuEngine, FastForwardMatrixIdentity)
+{
+    // PR 6 tentpole claim: fast-forwarding whole epochs is invisible in
+    // every simulated result across both scheduler backends — and the
+    // event schedule itself is untouched (epochs elide bookkeeping,
+    // not events), so eventsDispatched matches too.
+    const RunResult heapOracle =
+        runResident(sim::SchedulerBackend::Heap, true, false);
+    const RunResult heapFf =
+        runResident(sim::SchedulerBackend::Heap, true, true);
+    const RunResult wheelOracle =
+        runResident(sim::SchedulerBackend::Wheel, true, false);
+    const RunResult wheelFf =
+        runResident(sim::SchedulerBackend::Wheel, true, true);
+
+    for (const RunResult *r : {&heapFf, &wheelOracle, &wheelFf}) {
+        EXPECT_EQ(r->accesses, heapOracle.accesses);
+        EXPECT_EQ(r->tier1Hits, heapOracle.tier1Hits);
+        EXPECT_EQ(r->tier2Hits, heapOracle.tier2Hits);
+        EXPECT_EQ(r->makespanNs, heapOracle.makespanNs);
+        EXPECT_EQ(r->fastPathHits, heapOracle.fastPathHits);
+        EXPECT_EQ(r->eventsDispatched, heapOracle.eventsDispatched);
+    }
+    EXPECT_GT(heapOracle.fastPathHits, 0u);
+    EXPECT_EQ(heapOracle.ffEpochs, 0u);
+    EXPECT_EQ(wheelOracle.ffEpochs, 0u);
+    EXPECT_GT(heapFf.ffEpochs, 0u)
+        << "streak continuations must enter the epoch planner";
+    EXPECT_EQ(heapFf.ffEpochs, wheelFf.ffEpochs);
+}
+
+TEST(GpuEngine, FastForwardEnvOverridesConfig)
+{
+    // GMT_FASTFWD flips a whole process for A/B runs: env 0 must force
+    // the per-access oracle even when the config asks for fast-forward,
+    // and env 1 must enable it when the config says off.
+    RuntimeConfig cfg = residentCfg();
+    {
+        ScopedEnv ffwd("GMT_FASTFWD", "0");
+        auto rt = makeGmtRuntime(cfg);
+        CountingStream stream(8, 400);
+        EngineConfig ec; // fastForward defaults to true
+        const RunResult r = GpuEngine(ec).run(*rt, stream);
+        EXPECT_EQ(r.ffEpochs, 0u);
+        EXPECT_GT(r.fastPathHits, 0u);
+    }
+    {
+        ScopedEnv ffwd("GMT_FASTFWD", "1");
+        auto rt = makeGmtRuntime(cfg);
+        CountingStream stream(8, 400);
+        EngineConfig ec;
+        ec.fastForward = false;
+        const RunResult r = GpuEngine(ec).run(*rt, stream);
+        EXPECT_GT(r.ffEpochs, 0u);
+    }
 }

@@ -15,10 +15,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <string>
 
 #include "core/config.hpp"
 #include "core/runtime.hpp"
+#include "gpu/access_stream.hpp"
 #include "gpu/coalescer.hpp"
+#include "gpu/gpu_engine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/scheduler.hpp"
 #include "trace/trace.hpp"
@@ -270,6 +273,111 @@ TEST(HotPathAlloc, DisabledProfilingSessionKeepsHitPathAllocationFree)
     EXPECT_EQ(after - before, 0u)
         << "an all-off session must add zero allocations to the hit path";
     EXPECT_EQ(hits, 100000u);
+}
+
+namespace
+{
+
+/** Pin an env var for one test (restored on scope exit) so the CI
+ *  matrix's process-wide GMT_* settings cannot mask the switch under
+ *  test. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Single-warp sequential sweep over a fixed page range: once the
+ *  range is resident, the rest of the run is one unbounded epoch. */
+class SeqStream : public gpu::AccessStream
+{
+  public:
+    SeqStream(std::uint64_t pages, std::uint64_t total)
+        : pages_(pages), total_(total), left_(total)
+    {
+    }
+
+    unsigned numWarps() const override { return 1; }
+    std::uint64_t numPages() const override { return pages_; }
+    const std::string &name() const override { return name_; }
+
+    bool
+    nextAccess(WarpId, gpu::Access &out) override
+    {
+        if (left_ == 0)
+            return false;
+        --left_;
+        out.page = (total_ - left_ - 1) % pages_;
+        out.write = false;
+        return true;
+    }
+
+    void reset() override { left_ = total_; }
+
+  private:
+    std::uint64_t pages_;
+    std::uint64_t total_;
+    std::uint64_t left_;
+    std::string name_ = "seq";
+};
+
+} // namespace
+
+TEST(HotPathAlloc, FastForwardedEpochNeverAllocates)
+{
+    // Two runs that differ only in how long the post-warm-up epoch
+    // lasts must allocate identically: the warm-up sweeps are the same
+    // prefix (same misses at the same times, so the same event-queue
+    // and runtime capacity growth), and every extra access of the long
+    // run retires inside a fast-forwarded epoch — which must never
+    // touch the allocator (ISSUE 6 acceptance).
+    ScopedEnv ff("GMT_FASTFWD", "1");
+
+    const auto run = [](std::uint64_t accesses, gpu::RunResult &out) {
+        RuntimeConfig cfg;
+        cfg.numPages = 128;
+        cfg.tier1Pages = 128;
+        cfg.tier2Pages = 256;
+        cfg.policy = PlacementPolicy::Reuse;
+        cfg.sampleTarget = 0;
+        auto rt = makeGmtRuntime(cfg);
+        SeqStream stream(cfg.numPages, accesses);
+        const gpu::EngineConfig ec; // fast path + fast-forward defaults
+        const std::uint64_t before = g_news;
+        out = gpu::GpuEngine(ec).run(*rt, stream);
+        return g_news - before;
+    };
+
+    gpu::RunResult shortRun, longRun;
+    const std::uint64_t shortAllocs = run(20000, shortRun);
+    const std::uint64_t longAllocs = run(120000, longRun);
+
+    EXPECT_EQ(longRun.accesses, 120000u);
+    EXPECT_GT(longRun.ffEpochs, 0u)
+        << "the resident tail must fast-forward through epochs";
+    EXPECT_GT(longRun.fastPathHits, shortRun.fastPathHits);
+    EXPECT_EQ(longAllocs, shortAllocs)
+        << "100000 extra fast-forwarded accesses must add zero "
+           "allocations";
 }
 
 TEST(HotPathAlloc, TryHitFastPathNeverAllocates)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "harness/experiment.hpp"
 
 using namespace gmt;
@@ -14,6 +17,34 @@ using namespace gmt::harness;
 
 namespace
 {
+
+/** Pin an env var for one scope (restored on exit) so the CI matrix's
+ *  process-wide GMT_SCHED / GMT_FASTFWD cannot mask the leg under
+ *  test. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
 
 RuntimeConfig
 smallConfig()
@@ -131,6 +162,38 @@ TEST(Integration, PredictionAccuracyIsMeaningfulForReuse)
     EXPECT_GT(r.predTotal, 100u);
     EXPECT_GT(r.predictionAccuracy(), 0.3);
     EXPECT_LE(r.predictionAccuracy(), 1.0);
+}
+
+TEST(Integration, SchedulerAndFastForwardInvisibleOnAllSystems)
+{
+    // PR 6 identity matrix at system granularity: every evaluated
+    // system must produce bit-identical ExperimentResults across
+    // {heap, wheel} x {fast-forward on, off}. The heap/oracle leg is
+    // the reference; operator== compares every metric field.
+    const RuntimeConfig cfg = smallConfig();
+    for (const auto sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse,
+                           System::Hmm}) {
+        ExperimentResult reference;
+        bool first = true;
+        for (const char *sched : {"heap", "wheel"}) {
+            for (const char *ffwd : {"0", "1"}) {
+                ScopedEnv se("GMT_SCHED", sched);
+                ScopedEnv fe("GMT_FASTFWD", ffwd);
+                const ExperimentResult r =
+                    runSystem(sys, cfg, "Srad", 16);
+                if (first) {
+                    reference = r;
+                    first = false;
+                } else {
+                    EXPECT_EQ(r, reference)
+                        << systemName(sys) << " diverged under GMT_SCHED="
+                        << sched << " GMT_FASTFWD=" << ffwd;
+                }
+            }
+        }
+        EXPECT_GT(reference.accesses, 0u) << systemName(sys);
+    }
 }
 
 TEST(Integration, RunsAreReproducible)

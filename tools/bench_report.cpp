@@ -23,15 +23,21 @@
  * normalized report: benchmarks present in both are matched by name and
  * the run FAILS (exit 3) when any real_time_ns regresses beyond
  * --check-threshold (default 0.10 = 10% slower). Benchmarks only on one
- * side are reported but never fail the check. Intended as an *advisory*
- * CI step: machine noise makes ns thresholds flaky, so the CI leg using
- * --check is non-blocking.
+ * side are reported but never fail the check. Since PR 6 the CI leg
+ * using --check is a *blocking* gate against the committed PR baseline
+ * (the default 10% threshold absorbs CI-box noise).
+ *
+ * User counters (google-benchmark state.counters, e.g. the engine
+ * benches' events_dispatched / events_elided / ff_epochs split) pass
+ * through into each normalized entry under "counters", so the committed
+ * trajectory shows per-cell how much work fast-forwarding elides.
  *
  * Without --check, exit status is non-zero only when the report would
  * be malformed (bench crashed, JSON didn't parse, required fields
  * missing) — never on slow numbers.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +60,9 @@ struct BenchEntry
     double cpuTimeNs = 0.0;
     double itemsPerSecond = 0.0; ///< 0 when the bench doesn't report it
     std::uint64_t iterations = 0;
+    /** User counters (document order): any numeric member of the
+     *  benchmark entry that is not a standard google-benchmark field. */
+    std::vector<std::pair<std::string, double>> counters;
 };
 
 struct Options
@@ -224,6 +233,25 @@ parseBenchmarkJson(const std::string &text, JsonValue &context,
             e.itemsPerSecond = ips->number;
         if (const JsonValue *it = b.find("iterations"))
             e.iterations = std::uint64_t(it->number);
+        // Everything numeric beyond the standard fields is a user
+        // counter (state.counters); keep them in document order.
+        static const char *const kStandard[] = {
+            "family_index", "per_family_instance_index", "repetitions",
+            "repetition_index", "threads", "iterations", "real_time",
+            "cpu_time", "items_per_second", "bytes_per_second"};
+        for (const auto &member : b.members) {
+            if (member.second.kind != JsonValue::Kind::Number)
+                continue;
+            bool standard = false;
+            for (const char *key : kStandard)
+                if (member.first == key) {
+                    standard = true;
+                    break;
+                }
+            if (!standard)
+                e.counters.emplace_back(member.first,
+                                        member.second.number);
+        }
         entries.push_back(std::move(e));
     }
     if (entries.empty()) {
@@ -260,6 +288,15 @@ numberText(double v)
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.6g", v);
     return buf;
+}
+
+/** Counter values are exact counts; never round them to 6 sig figs. */
+std::string
+counterText(double v)
+{
+    if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15)
+        return std::to_string(std::int64_t(v));
+    return numberText(v);
 }
 
 /** Context fields worth keeping in the committed artifact. */
@@ -325,6 +362,17 @@ writeReport(std::string &out, const std::string &tag,
         if (e.itemsPerSecond > 0.0)
             out += ", \"items_per_second\": " + numberText(e.itemsPerSecond);
         out += ", \"iterations\": " + std::to_string(e.iterations);
+        if (!e.counters.empty()) {
+            out += ",\n" + indent + "     \"counters\": {";
+            for (std::size_t c = 0; c < e.counters.size(); ++c) {
+                if (c)
+                    out += ", ";
+                out += "\"";
+                jsonEscapeTo(out, e.counters[c].first);
+                out += "\": " + counterText(e.counters[c].second);
+            }
+            out += "}";
+        }
         out += "}";
     }
     out += "\n" + indent + "  ]";
