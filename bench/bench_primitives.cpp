@@ -27,6 +27,7 @@
 #include "tier2/directory.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
+#include "workloads/tenant_schedule.hpp"
 #include "workloads/zipf_stream.hpp"
 
 using namespace gmt;
@@ -694,6 +695,84 @@ BM_EngineBamFig8CellFastFwd(benchmark::State &state)
                    /*bam=*/true);
 }
 BENCHMARK(BM_EngineBamFig8CellFastFwd)->Unit(benchmark::kMicrosecond);
+
+namespace
+{
+
+/** Four contending open-loop tenants over one GmtRuntime — the serving
+ *  steady state (arrival pacing, per-tenant accounting, shared or
+ *  partitioned replacement) as a wall-time cell. Per-tenant p99s are
+ *  exported as counters so the committed bench trajectory shows the
+ *  QoS effect alongside the cost. */
+void
+tenantServingBench(benchmark::State &state, bool partitioned)
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.numPages = 640;
+    cfg.policy = PlacementPolicy::Reuse;
+
+    std::vector<workloads::TenantSpec> specs(4);
+    const workloads::ArrivalPattern patterns[4] = {
+        workloads::ArrivalPattern::Zipf,
+        workloads::ArrivalPattern::Uniform,
+        workloads::ArrivalPattern::Scan,
+        workloads::ArrivalPattern::Hotspot};
+    for (unsigned t = 0; t < 4; ++t) {
+        specs[t].name = "t" + std::to_string(t);
+        specs[t].pattern = patterns[t];
+        specs[t].pages = 160;
+        specs[t].requests = 2000;
+        specs[t].periodNs = 50000;
+        specs[t].phaseNs = t * 12500;
+        specs[t].seed = 11 + t;
+    }
+    if (partitioned) {
+        cfg.tenants.pageBounds = {160, 320, 480, 640};
+        cfg.tenants.partitionTier1 = true;
+        cfg.tenants.tier1Quota = {16, 16, 16, 16};
+        cfg.tenants.pinnedPages = {8, 0, 0, 4};
+        cfg.tenants.fetchWindow = 4;
+    }
+
+    auto rt = makeGmtRuntime(cfg);
+    workloads::TenantStream stream(specs);
+    gpu::GpuEngine engine{{}};
+
+    std::uint64_t accesses = 0;
+    for (auto _ : state) {
+        rt->reset();
+        stream.reset();
+        const gpu::RunResult r = engine.run(*rt, stream);
+        accesses = r.accesses;
+        state.SetItemsProcessed(state.items_processed()
+                                + std::int64_t(r.accesses));
+    }
+    benchmark::DoNotOptimize(accesses);
+    for (unsigned t = 0; t < 4; ++t) {
+        const auto snap = stream.snapshot(t);
+        state.counters["p99_" + snap.name] =
+            benchmark::Counter(double(snap.latency->percentile(99)));
+    }
+}
+
+} // namespace
+
+static void
+BM_EngineTenantServingShared(benchmark::State &state)
+{
+    tenantServingBench(state, /*partitioned=*/false);
+}
+BENCHMARK(BM_EngineTenantServingShared)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineTenantServingPartitioned(benchmark::State &state)
+{
+    tenantServingBench(state, /*partitioned=*/true);
+}
+BENCHMARK(BM_EngineTenantServingPartitioned)
+    ->Unit(benchmark::kMicrosecond);
 
 static void
 BM_OlsRegressorSample(benchmark::State &state)

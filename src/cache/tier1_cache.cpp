@@ -36,7 +36,39 @@ Tier1Cache::finishFetch(PageId page, bool mark_dirty)
     if (mark_dirty)
         pt.meta(page).dirty = true;
     clock.onInsert(f);
+    if (partitioned()) {
+        const unsigned t = tenantOf(page);
+        GMT_ASSERT(usedBy[t] < quota[t]); // caller evicted if at quota
+        frameOwner[f] = std::uint8_t(t);
+        ++usedBy[t];
+    }
     return f;
+}
+
+void
+Tier1Cache::configurePartitions(
+    const std::vector<std::uint64_t> &page_bounds,
+    const std::vector<std::uint64_t> &quotas)
+{
+    GMT_ASSERT(!page_bounds.empty());
+    GMT_ASSERT(page_bounds.size() == quotas.size());
+    GMT_ASSERT(page_bounds.size() < kNoOwner);
+    GMT_ASSERT(pool.used() == 0); // before any fetch
+    bounds = page_bounds;
+    quota = quotas;
+    usedBy.assign(quota.size(), 0);
+    hands.assign(quota.size(), 0);
+    frameOwner.assign(pool.capacity(), kNoOwner);
+}
+
+FrameId
+Tier1Cache::selectVictimFor(PageId page)
+{
+    if (!partitioned())
+        return clock.selectVictim(pool);
+    const unsigned t = tenantOf(page);
+    return clock.selectVictimOwned(pool, frameOwner, std::uint8_t(t),
+                                   hands[t]);
 }
 
 SimTime
@@ -58,6 +90,12 @@ Tier1Cache::evict(FrameId frame)
 {
     const PageId page = pool.frame(frame).page;
     GMT_ASSERT(page != kInvalidPage);
+    if (partitioned()) {
+        const std::uint8_t t = frameOwner[frame];
+        GMT_ASSERT(t != kNoOwner);
+        --usedBy[t];
+        frameOwner[frame] = kNoOwner;
+    }
     clock.onRemove(frame);
     pool.release(frame);
     // Caller sets the new residency (Tier2 / Tier3); mark None meanwhile
@@ -96,6 +134,11 @@ Tier1Cache::reset()
     clock.reset();
     inflight.clear();
     occupancy = nullptr;
+    if (partitioned()) {
+        usedBy.assign(quota.size(), 0);
+        hands.assign(quota.size(), 0);
+        frameOwner.assign(pool.capacity(), kNoOwner);
+    }
 }
 
 } // namespace gmt::cache

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "mem/frame_pool.hpp"
 #include "mem/page_table.hpp"
@@ -58,6 +59,46 @@ class Tier1Cache
     std::uint64_t capacity() const { return pool.capacity(); }
     std::uint64_t used() const { return pool.used(); }
     bool full() const { return pool.full(); }
+
+    /**
+     * Switch to per-tenant partitioned clock replacement. Tenant t
+     * (owner of pages [page_bounds[t-1], page_bounds[t])) may occupy at
+     * most @p quotas[t] frames, and victims are selected by a private
+     * clock hand over its own frames only — other tenants' reference
+     * bits are never disturbed by its sweeps. Frames are tagged with
+     * their owner at fetch completion; the quotas may undershoot the
+     * capacity (strict isolation leaves the remainder idle).
+     * Call once, before any fetch; reset() keeps the configuration.
+     */
+    void configurePartitions(const std::vector<std::uint64_t> &page_bounds,
+                             const std::vector<std::uint64_t> &quotas);
+
+    bool partitioned() const { return !quota.empty(); }
+
+    /** Frames tenant @p t occupies right now (partitioned mode). */
+    std::uint64_t tenantUsed(unsigned t) const { return usedBy[t]; }
+
+    /**
+     * Must a fetch of @p page evict first? Shared mode: the pool is
+     * full. Partitioned mode: the page's tenant is at its quota (the
+     * pool-full check is subsumed — quotas bound every tenant).
+     */
+    bool
+    needsEviction(PageId page) const
+    {
+        if (!partitioned())
+            return pool.full();
+        return usedBy[tenantOf(page)] >= quota[tenantOf(page)]
+            || pool.full();
+    }
+
+    /**
+     * Victim for an incoming @p page: the shared clock, or — when
+     * partitioned — the page's tenant's private clock over its own
+     * frames.
+     * @return frame id, or kInvalidFrame if nothing is evictable.
+     */
+    FrameId selectVictimFor(PageId page);
 
     /** Look @p page up; touches the clock on a hit. An InFlight result
      *  carries the fetch's completion time in readyAt from the same
@@ -147,6 +188,19 @@ class Tier1Cache
     void reset();
 
   private:
+    /** Owning tenant of @p page (partitioned mode; miss path only). */
+    unsigned
+    tenantOf(PageId page) const
+    {
+        unsigned t = 0;
+        while (bounds[t] <= page)
+            ++t;
+        return t;
+    }
+
+    /** frameOwner value for a frame no tenant holds. */
+    static constexpr std::uint8_t kNoOwner = 0xff;
+
     mem::PageTable &pt;
     mem::FramePool pool;
     /** Concrete, by value: Tier-1's victim selector is clock by
@@ -158,6 +212,15 @@ class Tier1Cache
      *  pre-sized once and stays allocation-free per access. */
     util::FlatMap<PageId, SimTime> inflight;
     trace::QueueDepthTracker *occupancy = nullptr;
+
+    /** Partitioned-replacement state (all empty in shared mode). The
+     *  configuration (bounds/quota) survives reset(); the occupancy
+     *  tags (frameOwner/usedBy/hands) are cleared by it. */
+    std::vector<std::uint64_t> bounds; ///< cumulative page-range ends
+    std::vector<std::uint64_t> quota;  ///< frames allowed per tenant
+    std::vector<std::uint64_t> usedBy; ///< frames held per tenant
+    std::vector<std::uint64_t> hands;  ///< per-tenant clock hand
+    std::vector<std::uint8_t> frameOwner; ///< frame -> tenant | kNoOwner
 };
 
 } // namespace gmt::cache

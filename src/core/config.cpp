@@ -63,6 +63,73 @@ RuntimeConfig::validate() const
         fatal("RuntimeConfig: sample period must be positive");
     if (samplerDrainBatch == 0)
         fatal("RuntimeConfig: sampler drain batch must be positive");
+
+    if (!tenants.enabled()) {
+        if (tenants.partitionTier1 || !tenants.tier1Quota.empty()
+            || !tenants.pinnedPages.empty() || tenants.fetchWindow) {
+            fatal("RuntimeConfig: tenant QoS knobs set without tenant "
+                  "page bounds");
+        }
+        return;
+    }
+    const unsigned n = tenants.count();
+    std::uint64_t prev = 0;
+    for (unsigned t = 0; t < n; ++t) {
+        if (tenants.pageBounds[t] <= prev)
+            fatal("RuntimeConfig: tenant %u page range is empty or "
+                  "non-ascending", t);
+        prev = tenants.pageBounds[t];
+    }
+    if (prev != numPages)
+        fatal("RuntimeConfig: tenant page bounds cover %llu pages but "
+              "the working set has %llu",
+              static_cast<unsigned long long>(prev),
+              static_cast<unsigned long long>(numPages));
+    if (tenants.partitionTier1) {
+        if (tenants.tier1Quota.size() != n)
+            fatal("RuntimeConfig: partitioned Tier-1 needs one quota "
+                  "per tenant");
+        std::uint64_t total = 0;
+        for (unsigned t = 0; t < n; ++t) {
+            if (tenants.tier1Quota[t] == 0)
+                fatal("RuntimeConfig: tenant %u has a zero Tier-1 "
+                      "quota", t);
+            total += tenants.tier1Quota[t];
+        }
+        if (total > tier1Pages)
+            fatal("RuntimeConfig: tenant Tier-1 quotas (%llu) exceed "
+                  "tier1Pages (%llu)",
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(tier1Pages));
+    } else if (!tenants.tier1Quota.empty()) {
+        fatal("RuntimeConfig: tier1Quota set without partitionTier1");
+    }
+    if (!tenants.pinnedPages.empty()) {
+        if (tenants.pinnedPages.size() != n)
+            fatal("RuntimeConfig: pinnedPages needs one entry per "
+                  "tenant");
+        std::uint64_t pinned = 0;
+        prev = 0;
+        for (unsigned t = 0; t < n; ++t) {
+            const std::uint64_t range = tenants.pageBounds[t] - prev;
+            prev = tenants.pageBounds[t];
+            if (tenants.pinnedPages[t] > range)
+                fatal("RuntimeConfig: tenant %u pins more pages than "
+                      "its range holds", t);
+            // A tenant must keep at least one evictable frame, or the
+            // clock can find no victim.
+            if (tenants.partitionTier1
+                && tenants.pinnedPages[t] >= tenants.tier1Quota[t])
+                fatal("RuntimeConfig: tenant %u pin quota fills its "
+                      "whole Tier-1 partition", t);
+            pinned += tenants.pinnedPages[t];
+        }
+        if (pinned >= tier1Pages)
+            fatal("RuntimeConfig: pinned pages (%llu) fill all of "
+                  "Tier-1 (%llu)",
+                  static_cast<unsigned long long>(pinned),
+                  static_cast<unsigned long long>(tier1Pages));
+    }
 }
 
 } // namespace gmt

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nvme/ssd_model.hpp"
 #include "pcie/transfer_manager.hpp"
@@ -46,6 +47,73 @@ scaledPagesForGiB(std::uint64_t paper_gib)
 {
     return paper_gib * 1_GiB / kCapacityScale / kPageBytes;
 }
+
+/**
+ * Multi-tenant QoS knobs (serving scenarios). Tenants own disjoint,
+ * contiguous page ranges of the working set: tenant t's pages are
+ * [pageBounds[t-1], pageBounds[t]) with pageBounds.back() == numPages.
+ * An empty pageBounds means single-tenant (all knobs off). The mapping
+ * is consulted only on the miss path (and at fetch completion), never
+ * on the Tier-1 hit path.
+ */
+struct TenantQosConfig
+{
+    /** Cumulative page-range ends, one per tenant (ascending). */
+    std::vector<std::uint64_t> pageBounds;
+
+    /**
+     * Partition Tier-1's clock replacement: tenant t may occupy at most
+     * tier1Quota[t] frames and evicts only its own frames (per-tenant
+     * clock hand). false = one shared clock over all frames.
+     */
+    bool partitionTier1 = false;
+    std::vector<std::uint64_t> tier1Quota;
+
+    /**
+     * Pin quota: the first pinnedPages[t] pages of tenant t's range are
+     * pinned in Tier-1 when first fetched and never evicted afterwards
+     * (a guaranteed-resident hot set). Empty = no pinning.
+     */
+    std::vector<std::uint64_t> pinnedPages;
+
+    /**
+     * Admission throttle: at most fetchWindow outstanding Tier-1 miss
+     * fetches per tenant; a miss beyond the window is admitted only
+     * when the tenant's (window)-th previous fetch has completed.
+     * 0 = unthrottled.
+     */
+    std::uint64_t fetchWindow = 0;
+
+    bool enabled() const { return !pageBounds.empty(); }
+    unsigned count() const { return unsigned(pageBounds.size()); }
+
+    /** Owning tenant of @p page (miss-path only: linear over tenants). */
+    unsigned
+    tenantOfPage(PageId page) const
+    {
+        unsigned t = 0;
+        while (pageBounds[t] <= page)
+            ++t;
+        return t;
+    }
+
+    /** First page of tenant @p t's range. */
+    std::uint64_t
+    rangeBegin(unsigned t) const
+    {
+        return t == 0 ? 0 : pageBounds[t - 1];
+    }
+
+    /** Is @p page inside its tenant's pin quota? */
+    bool
+    pagePinned(PageId page) const
+    {
+        if (pinnedPages.empty())
+            return false;
+        const unsigned t = tenantOfPage(page);
+        return page - rangeBegin(t) < pinnedPages[t];
+    }
+};
 
 /** Full configuration for any of the tiered runtimes. */
 struct RuntimeConfig
@@ -135,6 +203,10 @@ struct RuntimeConfig
 
     /** Allocate a byte-level backing store (examples/integrity tests). */
     bool backingStore = false;
+
+    /** Multi-tenant serving QoS (GmtRuntime incl. BaM mode; HMM keeps
+     *  its host-managed shared cache). Off by default. */
+    TenantQosConfig tenants;
 
     /** Default §3.1 configuration: T1=16 GB, T2=64 GB (4x), OSF=2. */
     static RuntimeConfig paperDefault();

@@ -24,6 +24,18 @@ GmtRuntime::GmtRuntime(const RuntimeConfig &config)
       classifier(config.tier1Pages, config.tier2Pages),
       rng(config.seed)
 {
+    if (cfg.tenants.enabled()) {
+        if (cfg.tenants.partitionTier1) {
+            tier1.configurePartitions(cfg.tenants.pageBounds,
+                                      cfg.tenants.tier1Quota);
+        }
+        if (cfg.tenants.fetchWindow) {
+            throttleRing.assign(
+                cfg.tenants.count(),
+                std::vector<SimTime>(cfg.tenants.fetchWindow, 0));
+            throttleSeq.assign(cfg.tenants.count(), 0);
+        }
+    }
 }
 
 const char *
@@ -202,10 +214,10 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     // eviction works on a *different* page, so its channel/NVMe time is
     // masked out of the demand fault (its tail shows up as EvictWait).
     SimTime evict_done = t;
-    if (tier1.full()) {
+    if (tier1.needsEviction(page)) {
         if (spanProf)
             spanProf->pause();
-        evict_done = evictOne(t, warp);
+        evict_done = evictOne(t, warp, page);
         if (spanProf)
             spanProf->resume();
     }
@@ -215,9 +227,24 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         learnOnRefetch(page);
 
     // Fetch the page (up path always bypasses Tier-2 for SSD sources).
-    const SimTime issue = t + cfg.missHandlingNs;
+    SimTime issue = t + cfg.missHandlingNs;
     if (spanProf)
         spanProf->stage(trace::Stage::MissHandling, cfg.missHandlingNs);
+    // QoS admission throttle: this tenant's seq-th fetch may not issue
+    // before its (seq - W)-th fetch completed.
+    unsigned tenant = 0;
+    if (!throttleRing.empty()) {
+        tenant = cfg.tenants.tenantOfPage(page);
+        const SimTime gate =
+            throttleRing[tenant][throttleSeq[tenant]
+                                 % cfg.tenants.fetchWindow];
+        if (gate > issue) {
+            if (spanProf)
+                spanProf->stage(trace::Stage::Admission, gate - issue);
+            stats.get("admission_waits").inc();
+            issue = gate;
+        }
+    }
     SimTime fetch_done;
     if (from_tier2) {
         fetch_done = xferUp.transfer(issue, 1, kWarpLanes);
@@ -239,8 +266,20 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         }
     }
 
+    if (!throttleRing.empty()) {
+        throttleRing[tenant][throttleSeq[tenant]
+                             % cfg.tenants.fetchWindow] = fetch_done;
+        ++throttleSeq[tenant];
+    }
+
     tier1.beginFetch(page, fetch_done);
-    tier1.finishFetch(page, is_write);
+    const FrameId frame = tier1.finishFetch(page, is_write);
+    // QoS pin quota: a tenant's pinned pages stay resident for the rest
+    // of the run once first fetched (the clock skips pinned frames).
+    if (cfg.tenants.pagePinned(page)) {
+        tier1.pin(frame);
+        stats.get("qos_pins").inc();
+    }
     tier1.traceOccupancy(fetch_done);
     m.retainedThisResidency = false;
     m.lastAccessStamp = stamp;
@@ -337,13 +376,13 @@ GmtRuntime::learnOnRefetch(PageId page)
 }
 
 SimTime
-GmtRuntime::evictOne(SimTime now, WarpId warp)
+GmtRuntime::evictOne(SimTime now, WarpId warp, PageId incoming)
 {
     const bool reuse_policy =
         !bamMode() && cfg.policy == PlacementPolicy::Reuse;
 
     for (unsigned attempt = 0;; ++attempt) {
-        const FrameId victim = tier1.selectVictim();
+        const FrameId victim = tier1.selectVictimFor(incoming);
         if (victim == kInvalidFrame)
             panic("Tier-1 eviction found no victim (all pinned?)");
         const PageId vpage = tier1.frames().frame(victim).page;
@@ -482,12 +521,16 @@ GmtRuntime::prefetchAfter(SimTime now, WarpId warp, PageId page)
         }
         if (tier1.lookup(next).kind != cache::LookupResult::Kind::Miss)
             continue;
-        if (tier1.full())
-            evictOne(now, warp);
+        if (tier1.needsEviction(next))
+            evictOne(now, warp, next);
         const SimTime io_done = nvme.readPage(now, next, warp);
         const SimTime done = pcieUp.transferAt(io_done, kPageBytes);
         tier1.beginFetch(next, done);
-        tier1.finishFetch(next, false);
+        const FrameId pf = tier1.finishFetch(next, false);
+        if (cfg.tenants.pagePinned(next)) {
+            tier1.pin(pf);
+            stats.get("qos_pins").inc();
+        }
         tier1.traceOccupancy(done);
         pt.meta(next).retainedThisResidency = false;
         setPageReadyAt(next, done);
@@ -547,6 +590,9 @@ GmtRuntime::reset()
     vtd.reset();
     sampler.reset();
     overflow.reset();
+    for (auto &ring : throttleRing)
+        ring.assign(ring.size(), 0);
+    throttleSeq.assign(throttleSeq.size(), 0);
     rng.reseed(cfg.seed);
     sink = nullptr;
     missLat = nullptr;

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "cache/tier1_cache.hpp"
 #include "core/runtime.hpp"
@@ -81,8 +82,10 @@ class GmtRuntime : public TieredRuntime
     void setEvictionProbe(EvictionProbe probe) { evictionProbe = probe; }
 
   private:
-    /** Decide + perform one Tier-1 eviction; returns its finish time. */
-    SimTime evictOne(SimTime now, WarpId warp);
+    /** Decide + perform one Tier-1 eviction to make room for
+     *  @p incoming (whose tenant's partition the victim comes from,
+     *  when partitioned); returns its finish time. */
+    SimTime evictOne(SimTime now, WarpId warp, PageId incoming);
 
     /** Place @p page into Tier-2, making room per policy. */
     SimTime placeInTier2(SimTime now, PageId page);
@@ -130,6 +133,15 @@ class GmtRuntime : public TieredRuntime
     stats::Counter *cAccesses = nullptr;
     stats::Counter *cTier1Hits = nullptr;
     stats::Counter *cTier1Misses = nullptr;
+
+    /**
+     * Per-tenant admission throttle (cfg.tenants.fetchWindow): ring of
+     * the last W fetch completion times per tenant; slot seq % W gates
+     * issue seq — a classic sliding window, allocation-free after
+     * construction. Empty when the throttle is off.
+     */
+    std::vector<std::vector<SimTime>> throttleRing;
+    std::vector<std::uint64_t> throttleSeq;
 
     /** Retries when GMT-Reuse keeps re-classifying candidates short. */
     static constexpr unsigned kMaxShortRetains = 8;

@@ -11,6 +11,18 @@
  * Workloads implement nextAccess() as a resumable per-warp cursor so the
  * engine can interleave warps by simulated readiness; a stream therefore
  * never assumes warps advance in lockstep.
+ *
+ * Open-loop serving streams additionally implement nextAccessAt() (the
+ * time-aware variant the engine calls whenever serving() is non-null)
+ * and may return an access
+ * whose notBefore lies in the future: the engine then *holds* that
+ * access and re-runs the warp at exactly notBefore, which is how
+ * arrival pacing composes with the event-free hit streak and the epoch
+ * fast-forward without forking the hot path. The call time of a warp's
+ * nextAccessAt is a contract: it equals the completion time of the
+ * warp's previous access plus EngineConfig::computeNsPerAccess (or the
+ * warp's start time for its first call), letting serving streams
+ * account per-request latency without an extra callback.
  */
 
 #pragma once
@@ -20,14 +32,27 @@
 
 #include "util/types.hpp"
 
+namespace gmt::trace
+{
+class TraceSession;
+} // namespace gmt::trace
+
 namespace gmt::gpu
 {
+
+namespace serving
+{
+class ServingHooks;
+} // namespace serving
 
 /** One coalesced warp access. */
 struct Access
 {
     PageId page = kInvalidPage;
     bool write = false;
+    /** Earliest simulated issue time (open-loop arrival). 0 means "no
+     *  constraint"; the engine never issues the access before this. */
+    SimTime notBefore = 0;
 };
 
 /** Pull-based per-warp access generator. */
@@ -47,6 +72,36 @@ class AccessStream
      * @retval false when the warp has retired (no more work).
      */
     virtual bool nextAccess(WarpId warp, Access &out) = 0;
+
+    /**
+     * Time-aware variant — what the engine calls for streams whose
+     * serving() is non-null (closed-loop streams get plain
+     * nextAccess, keeping their hot path one virtual call). @p now is
+     * the warp's current issue clock (see the header comment for the
+     * exact contract); serving streams use it to pace arrivals
+     * (out.notBefore) and to account request completion.
+     */
+    virtual bool
+    nextAccessAt(SimTime now, WarpId warp, Access &out)
+    {
+        (void)now;
+        return nextAccess(warp, out);
+    }
+
+    /** Multi-tenant serving hooks, or nullptr for closed-loop streams.
+     *  Resolved once per run by the engine and the harness. */
+    virtual serving::ServingHooks *serving() { return nullptr; }
+
+    /**
+     * Attach structured observability for the next run (same cadence as
+     * TieredRuntime::attachTrace: after reset, at most once per run).
+     * Base is a no-op; serving streams register per-tenant registry
+     * scopes and a quiesce copy-out hook.
+     */
+    virtual void attachTrace(trace::TraceSession *session)
+    {
+        (void)session;
+    }
 
     /** Workload name for reports. */
     virtual const std::string &name() const = 0;

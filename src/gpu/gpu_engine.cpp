@@ -1,7 +1,9 @@
 #include "gpu/gpu_engine.hpp"
 
 #include <algorithm>
+#include <vector>
 
+#include "gpu/serving.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fast_forward.hpp"
 #include "util/logging.hpp"
@@ -38,31 +40,56 @@ struct EngineLoop
     trace::TimelineSampler *timeline = nullptr;
     trace::EngineTimelineStats *engineTl = nullptr;
 
+    /** Serving (multi-tenant) hot-path hooks, resolved once per run off
+     *  the stream — null for closed-loop streams, which run the
+     *  Serving=false loop instantiation and never read them. The
+     *  serving instantiation bumps the owning tenant's counters with
+     *  plain stores, mirroring the trace hooks. */
+    const unsigned *servTenant = nullptr;
+    serving::TenantCounters *servCnt = nullptr;
+    /** A paced access (notBefore in the future) is held here and the
+     *  warp rescheduled at exactly its arrival; the resumed turn takes
+     *  the held access instead of pulling a new one. One slot per warp:
+     *  a warp holds at most one pending arrival. Sized at run start, so
+     *  steady state never allocates. */
+    std::vector<Access> held;
+    std::vector<std::uint8_t> hasHeld;
+
     RunResult result;
     /** After the maxAccesses cap: remaining turns only fold their due
      *  time into the makespan (matching the old drain loop). */
     bool truncated = false;
 
-    void turn(WarpId w);
+    /** Serving is a compile-time fork: the closed-loop instantiation
+     *  keeps the exact pre-serving instruction stream (one virtual
+     *  nextAccess, no held-slot or notBefore checks, no tenant
+     *  counters) so tenancy costs closed-loop cells nothing. Both
+     *  instantiations simulate identically for closed-loop streams
+     *  (their nextAccessAt forwards to nextAccess and never sets
+     *  notBefore). */
+    template <bool Serving> void turn(WarpId w);
 
     /** Why a fast-forwarded epoch handed control back. */
     enum class EpochExit
     {
-        Done,      ///< turn() is finished (retired / scheduled / capped)
-        CarryMiss, ///< the fetched access missed: rerun it on the
-                   ///< general path at the epoch's exit time
+        Done,       ///< turn() is finished (retired / scheduled / capped)
+        CarryMiss,  ///< the fetched access missed: rerun it on the
+                    ///< general path at the epoch's exit time
+        CarryPaced, ///< the fetched access arrives in the future: the
+                    ///< general path holds it and waits
     };
 
+    template <bool Serving>
     EpochExit epoch(WarpId w, SimTime &at, Access &a, bool have_head,
                     SimTime head_when, std::uint64_t head_key);
 };
 
 /** The pooled event payload: 16 bytes, stored inline in the node. */
-struct WarpTurn
+template <bool Serving> struct WarpTurn
 {
     EngineLoop *loop;
     WarpId w;
-    void operator()() const { loop->turn(w); }
+    void operator()() const { loop->turn<Serving>(w); }
 };
 
 /**
@@ -90,6 +117,7 @@ struct WarpTurn
  * timeline counters (rows snapshot them at period boundaries) and
  * backgroundTick (it mutates runtime state that probes read).
  */
+template <bool Serving>
 EngineLoop::EpochExit
 EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
                   SimTime head_when, std::uint64_t head_key)
@@ -116,13 +144,24 @@ EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
     };
 
     for (;;) {
-        if (!st.nextAccess(w, a)) {
+        const bool more =
+            Serving ? st.nextAccessAt(at, w, a) : st.nextAccess(w, a);
+        if (!more) {
             // Warp retired (same exit as the general loop's).
             flush();
             result.makespanNs = std::max(result.makespanNs, at);
             if (readyDepth)
                 readyDepth->sample(at, std::int64_t(q.pending()));
             return EpochExit::Done;
+        }
+
+        if constexpr (Serving) {
+            if (a.notBefore > at) {
+                // Open-loop arrival beyond the epoch: nothing to issue
+                // yet. Flush and let the general path hold it + wait.
+                flush();
+                return EpochExit::CarryPaced;
+            }
         }
 
         AccessResult ar;
@@ -139,6 +178,11 @@ EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
         if (engineTl) {
             ++engineTl->accesses;
             engineTl->tier1Hits += ar.tier1Hit ? 1 : 0;
+        }
+        if constexpr (Serving) {
+            serving::TenantCounters &tc = servCnt[servTenant[w]];
+            ++tc.accesses;
+            ++tc.tier1Hits;
         }
         ++k;
 
@@ -162,7 +206,7 @@ EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
             // per-access streak check would — no re-peek needed, the
             // epoch never touched the queue.
             flush();
-            q.scheduleAtKeyed(at + stride, w, WarpTurn{this, w});
+            q.scheduleAtKeyed(at + stride, w, WarpTurn<Serving>{this, w});
             return EpochExit::Done;
         }
 
@@ -175,6 +219,7 @@ EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
     }
 }
 
+template <bool Serving>
 void
 EngineLoop::turn(WarpId w)
 {
@@ -189,18 +234,44 @@ EngineLoop::turn(WarpId w)
     }
     Access a;
     // An epoch that ends on a miss hands the fetched access back here
-    // so the general path below runs it exactly once.
+    // so the general path below runs it exactly once; a paced turn
+    // resumes with the access it held when it went to sleep.
     bool fetched = false;
     bool knownMiss = false;
+    if constexpr (Serving) {
+        if (hasHeld[w]) {
+            a = held[w];
+            hasHeld[w] = 0;
+            fetched = true;
+        }
+    }
     for (;;) {
-        if (!fetched && !st.nextAccess(w, a)) {
-            // Warp retired.
-            result.makespanNs = std::max(result.makespanNs, at);
-            if (readyDepth)
-                readyDepth->sample(at, std::int64_t(q.pending()));
-            return;
+        if (!fetched) {
+            const bool more =
+                Serving ? st.nextAccessAt(at, w, a) : st.nextAccess(w, a);
+            if (!more) {
+                // Warp retired.
+                result.makespanNs = std::max(result.makespanNs, at);
+                if (readyDepth)
+                    readyDepth->sample(at, std::int64_t(q.pending()));
+                return;
+            }
         }
         fetched = false;
+
+        if constexpr (Serving) {
+            if (a.notBefore > at) {
+                // Open-loop pacing: the request has not arrived yet.
+                // Hold the access and sleep until exactly its arrival
+                // time; the resumed turn issues it first. (A held
+                // access re-enters with at == notBefore, so it never
+                // re-triggers this.)
+                held[w] = a;
+                hasHeld[w] = 1;
+                q.scheduleAtKeyed(a.notBefore, w, WarpTurn<Serving>{this, w});
+                return;
+            }
+        }
 
         // Fast path first: a pure resident hit commits its effects and
         // reports readyAt == at without the runtime's full miss
@@ -218,6 +289,13 @@ EngineLoop::turn(WarpId w)
         if (engineTl) {
             ++engineTl->accesses;
             engineTl->tier1Hits += ar.tier1Hit ? 1 : 0;
+        }
+        if constexpr (Serving) {
+            serving::TenantCounters &tc = servCnt[servTenant[w]];
+            ++tc.accesses;
+            tc.tier1Hits += ar.tier1Hit ? 1 : 0;
+            tc.tier2Hits += ar.tier2Hit ? 1 : 0;
+            tc.faults += ar.tier1Hit ? 0 : 1;
         }
 
         if (stallLat)
@@ -264,16 +342,17 @@ EngineLoop::turn(WarpId w)
                     timeline->advanceTo(at);
                 if (!ffwd)
                     continue; // per-access oracle: re-peek every access
-                if (epoch(w, at, a, haveHead, headWhen, headKey)
-                    == EpochExit::Done)
+                const EpochExit ex =
+                    epoch<Serving>(w, at, a, haveHead, headWhen, headKey);
+                if (ex == EpochExit::Done)
                     return;
                 fetched = true;
-                knownMiss = true;
+                knownMiss = ex == EpochExit::CarryMiss;
                 continue;
             }
         }
 
-        q.scheduleAtKeyed(next_at, w, WarpTurn{this, w});
+        q.scheduleAtKeyed(next_at, w, WarpTurn<Serving>{this, w});
         return;
     }
 }
@@ -301,6 +380,17 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
     // and never changes simulated results.
     loop.ffwd = cfg.hitFastPath && sim::fastForwardFromEnv(cfg.fastForward);
 
+    // Serving hooks resolve once per run and pick the loop
+    // instantiation; closed-loop streams run the pre-serving
+    // instruction stream untouched.
+    serving::ServingHooks *sv = stream.serving();
+    if (sv) {
+        loop.held.resize(warps);
+        loop.hasHeld.assign(warps, 0);
+        loop.servTenant = sv->warpTenant();
+        loop.servCnt = sv->tenantCounters();
+    }
+
     // Observability hooks resolve once per run off the runtime's
     // attached session; an untraced run keeps them all null.
     trace::TraceSession *session = runtime.traceSession();
@@ -322,8 +412,14 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
         }
     }
 
-    for (WarpId w = 0; w < warps; ++w)
-        events.scheduleAtKeyed(cfg.startTimeNs, w, WarpTurn{&loop, w});
+    for (WarpId w = 0; w < warps; ++w) {
+        if (sv)
+            events.scheduleAtKeyed(cfg.startTimeNs, w,
+                                   WarpTurn<true>{&loop, w});
+        else
+            events.scheduleAtKeyed(cfg.startTimeNs, w,
+                                   WarpTurn<false>{&loop, w});
+    }
     loop.result.eventsDispatched = events.runToCompletion();
 
     // Export the fast-path split into the golden metrics (created here,

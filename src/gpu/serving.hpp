@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Serving hooks: the engine <-> stream interface for multi-tenant
+ * open-loop serving runs.
+ *
+ * A serving stream (workloads::TenantStream) models N independent
+ * tenants whose requests *arrive* on their own clocks regardless of
+ * completion. The engine stays tenant-agnostic on the hot path: at run
+ * start it resolves two raw arrays off the stream's ServingHooks — the
+ * warp -> tenant map and the per-tenant counter block — and its
+ * serving loop instantiation bumps the owning tenant's counters with
+ * plain stores per access (closed-loop streams run a separate
+ * instantiation with no tenant code at all). Everything else (arrival
+ * pacing,
+ * request latency accounting) lives inside the stream, driven by the
+ * Access::notBefore contract in access_stream.hpp.
+ *
+ * Counters deliberately live in the stream, not the MetricsRegistry:
+ * the steady-state path must not pay a name-hash per access, and the
+ * stream copies them into registry scopes at quiesce time.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+class LatencyHistogram;
+} // namespace gmt::trace
+
+namespace gmt::gpu::serving
+{
+
+/** Per-tenant access outcome counters, bumped by the engine. */
+struct TenantCounters
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t tier1Hits = 0;
+    std::uint64_t tier2Hits = 0;
+    /** Accesses that were not Tier-1 hits (full miss path, whether the
+     *  page came from Tier-2 or the SSD). */
+    std::uint64_t faults = 0;
+};
+
+/** One tenant's harvested state after a run (for ExperimentResult). */
+struct TenantSnapshot
+{
+    std::string name;
+    std::uint64_t requests = 0; ///< completed requests
+    TenantCounters counters;
+    /** Request latency histogram (completion - arrival), stream-owned;
+     *  valid until the stream is reset or destroyed. */
+    const trace::LatencyHistogram *latency = nullptr;
+};
+
+/** What a serving-capable AccessStream exposes to engine + harness. */
+class ServingHooks
+{
+  public:
+    virtual ~ServingHooks() = default;
+
+    virtual unsigned numTenants() const = 0;
+
+    /** Warp -> tenant index, one entry per stream warp. Stable for the
+     *  stream's lifetime; the engine caches the raw pointer per run. */
+    virtual const unsigned *warpTenant() const = 0;
+
+    /** Per-tenant counter block, indexed by tenant. The engine bumps
+     *  these inline per access; reset() zeroes them. */
+    virtual TenantCounters *tenantCounters() = 0;
+
+    /** Harvest one tenant's results after a run. */
+    virtual TenantSnapshot snapshot(unsigned tenant) const = 0;
+};
+
+} // namespace gmt::gpu::serving

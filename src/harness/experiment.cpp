@@ -48,8 +48,10 @@ runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
 {
     runtime.reset();
     stream.reset();
-    if (session)
+    if (session) {
         runtime.attachTrace(session);
+        stream.attachTrace(session);
+    }
     gpu::GpuEngine engine(engine_cfg);
     const gpu::RunResult rr = engine.run(runtime, stream);
     const SimTime flushed = runtime.flush(rr.makespanNs);
@@ -86,6 +88,26 @@ runOne(TieredRuntime &runtime, gpu::AccessStream &stream,
     r.overflowRedirects = c.value("overflow_redirects");
     r.prefetches = c.value("prefetches");
     r.fastPathHits = rr.fastPathHits;
+
+    if (gpu::serving::ServingHooks *hooks = stream.serving()) {
+        r.tenants.reserve(hooks->numTenants());
+        for (unsigned t = 0; t < hooks->numTenants(); ++t) {
+            const gpu::serving::TenantSnapshot s = hooks->snapshot(t);
+            TenantResult tr;
+            tr.tenant = s.name;
+            tr.requests = s.requests;
+            tr.accesses = s.counters.accesses;
+            tr.tier1Hits = s.counters.tier1Hits;
+            tr.tier2Hits = s.counters.tier2Hits;
+            tr.faults = s.counters.faults;
+            tr.p50Ns = s.latency->percentile(50);
+            tr.p95Ns = s.latency->percentile(95);
+            tr.p99Ns = s.latency->percentile(99);
+            tr.maxNs = s.latency->max();
+            tr.sumNs = s.latency->sum();
+            r.tenants.push_back(std::move(tr));
+        }
+    }
     return r;
 }
 
@@ -101,6 +123,42 @@ runSystem(System system, const RuntimeConfig &cfg,
     auto stream = workloads::makeWorkload(workload_name, wc);
     auto runtime = makeSystem(system, cfg);
     return runOne(*runtime, *stream, {}, session);
+}
+
+ExperimentResult
+runTenants(System system, const RuntimeConfig &cfg,
+           const std::vector<workloads::TenantSpec> &tenant_specs,
+           trace::TraceSession *session)
+{
+    std::uint64_t pages = 0;
+    for (const workloads::TenantSpec &s : tenant_specs)
+        pages += s.pages;
+    if (pages != cfg.numPages)
+        fatal("tenant page ranges cover %llu pages, config says %llu",
+              (unsigned long long)pages,
+              (unsigned long long)cfg.numPages);
+
+    RuntimeConfig c = cfg;
+    if (c.tenants.pageBounds.empty()) {
+        // Fill in the tenant layout so per-range accounting (and any
+        // QoS knobs added later) sees the same tenant boundaries the
+        // stream uses. Knob-free bounds change no placement decision.
+        std::uint64_t end = 0;
+        for (const workloads::TenantSpec &s : tenant_specs) {
+            end += s.pages;
+            c.tenants.pageBounds.push_back(end);
+        }
+    } else if (c.tenants.pageBounds.size() != tenant_specs.size()
+               || c.tenants.pageBounds.back() != pages) {
+        fatal("cfg.tenants.pageBounds does not match the tenant specs");
+    }
+
+    workloads::TenantScheduleConfig sc;
+    gpu::EngineConfig ec;
+    sc.computeNsPerAccess = ec.computeNsPerAccess;
+    auto stream = workloads::makeTenantStream(tenant_specs, sc);
+    auto runtime = makeSystem(system, c);
+    return runOne(*runtime, *stream, ec, session);
 }
 
 double

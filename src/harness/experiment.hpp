@@ -16,9 +16,37 @@
 #include "core/runtime.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "workloads/factory.hpp"
+#include "workloads/tenant_schedule.hpp"
 
 namespace gmt::harness
 {
+
+/** Per-tenant outcome of a serving run (all integers, so vectors of
+ *  these compare exactly in the determinism identity tests). */
+struct TenantResult
+{
+    std::string tenant;
+    std::uint64_t requests = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t tier1Hits = 0;
+    std::uint64_t tier2Hits = 0;
+    std::uint64_t faults = 0;
+    /** Request-latency (completion - arrival) percentiles, log2 bucket
+     *  edges clamped to the max (trace::LatencyHistogram convention). */
+    SimTime p50Ns = 0;
+    SimTime p95Ns = 0;
+    SimTime p99Ns = 0;
+    SimTime maxNs = 0;
+    std::uint64_t sumNs = 0;
+
+    bool operator==(const TenantResult &) const = default;
+
+    double
+    meanNs() const
+    {
+        return requests ? double(sumNs) / double(requests) : 0.0;
+    }
+};
 
 /** Everything a figure might need from one run. */
 struct ExperimentResult
@@ -44,6 +72,9 @@ struct ExperimentResult
     std::uint64_t prefetches = 0;
     /** Tier-1 hits retired through the engine's event-free streak. */
     std::uint64_t fastPathHits = 0;
+
+    /** Per-tenant tails of a serving run (empty for closed-loop). */
+    std::vector<TenantResult> tenants;
 
     /** Exact metric equality (determinism checks across job counts). */
     bool operator==(const ExperimentResult &) const = default;
@@ -113,6 +144,18 @@ ExperimentResult runSystem(System system, const RuntimeConfig &cfg,
                            const std::string &workload_name,
                            unsigned warps = 64,
                            trace::TraceSession *session = nullptr);
+
+/**
+ * Serving scenario: run @p tenant_specs under @p system. The tenant
+ * page ranges must tile cfg.numPages exactly, and cfg.tenants.pageBounds
+ * (when set) must match the spec layout; with cfg.tenants unset it is
+ * filled in from the specs so QoS-off runs stay terse at call sites.
+ * The result's `tenants` vector carries per-tenant tails in spec order.
+ */
+ExperimentResult
+runTenants(System system, const RuntimeConfig &cfg,
+           const std::vector<workloads::TenantSpec> &tenant_specs,
+           trace::TraceSession *session = nullptr);
 
 /** Geometric mean of speedups over a baseline vector (paper averages). */
 double meanSpeedup(const std::vector<double> &speedups);

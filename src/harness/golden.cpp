@@ -22,6 +22,70 @@ const System kGoldenSystems[] = {System::Bam, System::GmtTierOrder,
 const System kFig14Systems[] = {System::Bam, System::Hmm,
                                 System::GmtReuse};
 
+/** Four small contending tenants with mixed access patterns tiling the
+ *  goldenSmallConfig working set (640 pages at OSF 2): the shrunk
+ *  bench_tenants cell. Phases are staggered so arrival ties exercise
+ *  the (time, tenant, seq) merge order. */
+std::vector<workloads::TenantSpec>
+goldenTenantSpecs()
+{
+    using workloads::ArrivalPattern;
+    std::vector<workloads::TenantSpec> specs(4);
+    const ArrivalPattern patterns[4] = {
+        ArrivalPattern::Zipf, ArrivalPattern::Uniform,
+        ArrivalPattern::Scan, ArrivalPattern::Hotspot};
+    const char *const names[4] = {"kv", "scan", "etl", "web"};
+    for (unsigned t = 0; t < 4; ++t) {
+        workloads::TenantSpec &s = specs[t];
+        s.name = names[t];
+        s.pattern = patterns[t];
+        s.pages = 160;
+        s.requests = 400;
+        // Near saturation: the cell's measured backlogged makespan is
+        // ~17 ms for 1600 requests, so a 50 us period (20 ms arrival
+        // span) keeps the system busy without degenerate tails where
+        // every request just measures queue-drain time.
+        s.periodNs = 50000;
+        s.phaseNs = t * 12500;
+        s.warps = 8;
+        s.touchesPerRequest = 8;
+        s.seed = 11 + t;
+    }
+    return specs;
+}
+
+/** The two QoS endpoints the golden locks: a shared clock and a fully
+ *  partitioned one with pins + admission throttle, both over the same
+ *  tenant set, so the golden diff catches drift in either mode. */
+std::vector<RunSpec>
+goldenTenantCells()
+{
+    std::vector<RunSpec> cells;
+    auto tenants = goldenTenantSpecs();
+
+    RunSpec shared;
+    shared.system = System::GmtReuse;
+    shared.cfg = goldenSmallConfig();
+    shared.tenants = tenants;
+    cells.push_back(shared);
+
+    RunSpec part;
+    part.system = System::GmtReuse;
+    part.cfg = goldenSmallConfig();
+    part.cfg.tenants.pageBounds = {160, 320, 480, 640};
+    part.cfg.tenants.partitionTier1 = true;
+    part.cfg.tenants.tier1Quota = {16, 16, 16, 16};
+    part.cfg.tenants.pinnedPages = {8, 0, 0, 4};
+    // Below the per-tenant warp count (8), so the throttle engages
+    // whenever a tenant's misses cluster — the golden locks a nonzero
+    // admission_waits count.
+    part.cfg.tenants.fetchWindow = 4;
+    part.tenants = std::move(tenants);
+    cells.push_back(std::move(part));
+
+    return cells;
+}
+
 } // namespace
 
 const std::vector<std::string> &
@@ -32,6 +96,7 @@ goldenFigures()
         "fig11_oversubscription",
         "fig12_capacity_ratio",
         "fig14_hmm",
+        "tenants_serving",
     };
     return figures;
 }
@@ -50,6 +115,9 @@ goldenSmallConfig()
 std::vector<RunSpec>
 goldenSpecs(const std::string &figure)
 {
+    if (figure == "tenants_serving")
+        return goldenTenantCells();
+
     std::vector<RunSpec> specs;
     for (const char *app : kGoldenApps) {
         RuntimeConfig cfg = goldenSmallConfig();

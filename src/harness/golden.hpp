@@ -31,8 +31,10 @@ RuntimeConfig goldenSmallConfig();
  * apps (one graph, one regular) under all four systems — except
  * fig14_hmm, which swaps in {BaM, HMM, GMT-Reuse} to lock the HMM
  * baseline — with fig11 applying the paper's §3.5 resizing (graph
- * apps halve both tiers, others double the dataset).
- * Fatal on unknown figure names.
+ * apps halve both tiers, others double the dataset). tenants_serving
+ * is the multi-tenant cell: four contending tenants under GMT-Reuse,
+ * once with the shared clock and once fully partitioned with pins and
+ * an admission throttle. Fatal on unknown figure names.
  */
 std::vector<RunSpec> goldenSpecs(const std::string &figure);
 

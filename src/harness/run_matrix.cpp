@@ -73,9 +73,11 @@ runMatrix(const std::vector<RunSpec> &specs, unsigned jobs,
         specs.size(),
         [&](std::size_t i) {
             const RunSpec &s = specs[i];
-            results[i] =
-                runSystem(s.system, s.cfg, s.workload, s.warps,
-                          traced ? tracer->session(base + i) : nullptr);
+            trace::TraceSession *session =
+                traced ? tracer->session(base + i) : nullptr;
+            results[i] = s.tenants.empty()
+                ? runSystem(s.system, s.cfg, s.workload, s.warps, session)
+                : runTenants(s.system, s.cfg, s.tenants, session);
         },
         jobs);
     return results;

@@ -36,6 +36,11 @@ struct RunSpec
     std::string workload;
     RuntimeConfig cfg;
     unsigned warps = 64;
+
+    /** Non-empty: a multi-tenant serving cell — the cell runs
+     *  runTenants(system, cfg, tenants) and `workload`/`warps` are
+     *  ignored (the stream derives both from the specs). */
+    std::vector<workloads::TenantSpec> tenants;
 };
 
 /**

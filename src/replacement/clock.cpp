@@ -34,6 +34,33 @@ ClockPolicy::selectVictim(const mem::FramePool &pool)
     return kInvalidFrame;
 }
 
+FrameId
+ClockPolicy::selectVictimOwned(const mem::FramePool &pool,
+                               const std::vector<std::uint8_t> &owner,
+                               std::uint8_t tenant, std::uint64_t &hand)
+{
+    const std::uint64_t n = refBit.size();
+    GMT_ASSERT(n == pool.capacity());
+    GMT_ASSERT(owner.size() == n);
+    for (std::uint64_t scanned = 0; scanned < 2 * n; ++scanned) {
+        const auto f = FrameId(hand);
+        hand = (hand + 1) % n;
+        if (owner[f] != tenant)
+            continue;
+        const mem::Frame &fr = pool.frame(f);
+        if (fr.page == kInvalidPage)
+            continue;
+        if (fr.pins > 0)
+            continue;
+        if (refBit[f]) {
+            refBit[f] = 0;
+            continue;
+        }
+        return f;
+    }
+    return kInvalidFrame;
+}
+
 void
 ClockPolicy::reset()
 {

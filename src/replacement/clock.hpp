@@ -35,6 +35,20 @@ class ClockPolicy final : public Policy
     const char *name() const override { return "clock"; }
     void reset() override;
 
+    /**
+     * Partitioned-clock scan: like selectVictim, but only frames with
+     * @p owner[f] == tenant participate — other tenants' frames are
+     * passed over without touching their reference bits, so each
+     * tenant's clock state evolves as if it had a private cache. The
+     * caller owns one @p hand per tenant (this policy's shared hand is
+     * untouched).
+     * @return frame id, or kInvalidFrame if the tenant has no
+     *         evictable (unpinned) frame.
+     */
+    FrameId selectVictimOwned(const mem::FramePool &pool,
+                              const std::vector<std::uint8_t> &owner,
+                              std::uint8_t tenant, std::uint64_t &hand);
+
     /** Current hand position (exposed for tests). */
     std::uint64_t hand() const { return handPos; }
 

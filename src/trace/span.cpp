@@ -33,6 +33,7 @@ stageName(Stage stage)
       case Stage::PcieTransfer: return "pcie_transfer";
       case Stage::Migration: return "migration";
       case Stage::EvictWait: return "evict_wait";
+      case Stage::Admission: return "admission";
       case Stage::Other: return "other";
     }
     return "?";

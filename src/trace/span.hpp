@@ -67,10 +67,11 @@ enum class Stage : std::uint8_t
     PcieTransfer,  ///< SSD payload crossing the upstream PCIe hop
     Migration,     ///< HMM DMA migration into GPU memory
     EvictWait,     ///< tail waiting on the eviction to finish
+    Admission,     ///< per-tenant QoS throttle gating the fetch issue
     Other,         ///< residual the runtime did not attribute
 };
 
-inline constexpr unsigned kNumStages = 10;
+inline constexpr unsigned kNumStages = 11;
 
 const char *stageName(Stage stage);
 

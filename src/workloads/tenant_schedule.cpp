@@ -1,0 +1,295 @@
+#include "workloads/tenant_schedule.hpp"
+
+#include <algorithm>
+
+#include "trace/trace.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::workloads
+{
+
+namespace
+{
+
+/** splitmix64-style finalizer: one well-mixed Rng seed per (tenant
+ *  seed, request index) pair, so request content is a pure function of
+ *  the spec — never of service interleaving. */
+std::uint64_t
+mix64(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a + 0x9e3779b97f4a7c15ull * (b + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return x ? x : 0x9e3779b97f4a7c15ull;
+}
+
+} // namespace
+
+const char *
+patternName(ArrivalPattern pattern)
+{
+    switch (pattern) {
+      case ArrivalPattern::Zipf: return "zipf";
+      case ArrivalPattern::Uniform: return "uniform";
+      case ArrivalPattern::Scan: return "scan";
+      case ArrivalPattern::Hotspot: return "hotspot";
+    }
+    return "?";
+}
+
+ArrivalPattern
+patternFromName(const std::string &name)
+{
+    if (name == "zipf")
+        return ArrivalPattern::Zipf;
+    if (name == "uniform")
+        return ArrivalPattern::Uniform;
+    if (name == "scan")
+        return ArrivalPattern::Scan;
+    if (name == "hotspot")
+        return ArrivalPattern::Hotspot;
+    fatal("unknown arrival pattern '%s'", name.c_str());
+}
+
+TenantPageGen::TenantPageGen(const TenantSpec &spec)
+    : pattern(spec.pattern), pages(spec.pages),
+      writeRatio(spec.writeRatio), seed(spec.seed),
+      indexOffset(spec.indexOffset), indexStride(spec.indexStride),
+      zipf(spec.pattern == ArrivalPattern::Zipf ? spec.pages : 1,
+           spec.pattern == ArrivalPattern::Zipf ? spec.zipfSkew : 0.0)
+{
+    GMT_ASSERT(pages > 0);
+    GMT_ASSERT(indexStride > 0);
+}
+
+void
+TenantPageGen::draw(std::uint64_t seq, std::uint64_t &rel_page,
+                    bool &write) const
+{
+    const std::uint64_t idx = indexOffset + seq * indexStride;
+    Rng r(mix64(seed, idx));
+    switch (pattern) {
+      case ArrivalPattern::Zipf:
+        rel_page = zipf.sample(r);
+        break;
+      case ArrivalPattern::Uniform:
+        rel_page = r.below(pages);
+        break;
+      case ArrivalPattern::Scan:
+        rel_page = idx % pages;
+        break;
+      case ArrivalPattern::Hotspot: {
+        const std::uint64_t hot = std::max<std::uint64_t>(1, pages / 8);
+        const std::uint64_t cold = pages - hot;
+        rel_page = (cold == 0 || r.chance(0.9)) ? r.below(hot)
+                                                : hot + r.below(cold);
+        break;
+      }
+    }
+    write = r.chance(writeRatio);
+}
+
+std::vector<ArrivalEvent>
+mergeSchedules(const std::vector<TenantSpec> &specs)
+{
+    std::vector<ArrivalEvent> merged;
+    std::uint64_t total = 0;
+    for (const TenantSpec &s : specs)
+        total += s.requests;
+    merged.reserve(total);
+
+    std::uint64_t range_base = 0;
+    for (unsigned t = 0; t < specs.size(); ++t) {
+        const TenantSpec &s = specs[t];
+        const TenantPageGen gen(s);
+        for (std::uint64_t k = 0; k < s.requests; ++k) {
+            ArrivalEvent e;
+            e.time = s.phaseNs + k * s.periodNs;
+            e.tenant = t;
+            e.seq = k;
+            std::uint64_t rel = 0;
+            gen.draw(k, rel, e.write);
+            e.page = range_base + rel;
+            merged.push_back(e);
+        }
+        range_base += s.pages;
+    }
+    // (time, tenant, seq) is a total order over the events, so plain
+    // sort yields the one deterministic merge.
+    std::sort(merged.begin(), merged.end(),
+              [](const ArrivalEvent &a, const ArrivalEvent &b) {
+                  if (a.time != b.time)
+                      return a.time < b.time;
+                  if (a.tenant != b.tenant)
+                      return a.tenant < b.tenant;
+                  return a.seq < b.seq;
+              });
+    return merged;
+}
+
+TenantStream::TenantStream(std::vector<TenantSpec> tenant_specs,
+                           TenantScheduleConfig config)
+    : cfg(std::move(config)), specs(std::move(tenant_specs))
+{
+    GMT_ASSERT(!specs.empty());
+    GMT_ASSERT(specs.size() < 255); // Tier1Cache owner tags are bytes
+    GMT_ASSERT(cfg.computeNsPerAccess > 0);
+
+    gens.reserve(specs.size());
+    base.reserve(specs.size());
+    for (unsigned t = 0; t < specs.size(); ++t) {
+        const TenantSpec &s = specs[t];
+        if (s.pages == 0)
+            fatal("tenant '%s' has an empty page range", s.name.c_str());
+        if (s.warps == 0)
+            fatal("tenant '%s' has no warps", s.name.c_str());
+        if (s.touchesPerRequest == 0)
+            fatal("tenant '%s' touches 0 pages per request",
+                  s.name.c_str());
+        if (s.periodNs == 0)
+            fatal("tenant '%s' has a zero arrival period",
+                  s.name.c_str());
+        gens.emplace_back(s);
+        base.push_back(totalPages);
+        totalPages += s.pages;
+        for (unsigned w = 0; w < s.warps; ++w)
+            warpOf.push_back(t);
+    }
+
+    warpState.resize(warpOf.size());
+    nextSeq.assign(specs.size(), 0);
+    completedReq.assign(specs.size(), 0);
+    lat.assign(specs.size(), trace::LatencyHistogram{});
+    counters.assign(specs.size(), gpu::serving::TenantCounters{});
+    slots.assign(specs.size(), RegistrySlot{});
+}
+
+bool
+TenantStream::nextAccess(WarpId warp, gpu::Access &out)
+{
+    (void)warp;
+    (void)out;
+    panic("TenantStream is open-loop: drive it through nextAccessAt "
+          "(GpuEngine always does)");
+}
+
+bool
+TenantStream::nextAccessAt(SimTime now, WarpId warp, gpu::Access &out)
+{
+    WarpState &ws = warpState[warp];
+    const unsigned t = warpOf[warp];
+
+    if (ws.remaining > 0) {
+        // Touches 2..N of the in-service request: the page was made
+        // resident by the first touch, so these are plain accesses at
+        // the warp's own pace.
+        --ws.remaining;
+        out.page = ws.page;
+        out.write = ws.write;
+        out.notBefore = 0;
+        return true;
+    }
+
+    if (ws.inService) {
+        // The engine calls a warp exactly computeNsPerAccess after its
+        // previous access completed (see access_stream.hpp), so the
+        // request's last access retired at now - stride: that is the
+        // completion the open-loop latency is measured to.
+        const SimTime completion = now - cfg.computeNsPerAccess;
+        lat[t].record(completion > ws.arrival
+                          ? completion - ws.arrival
+                          : 0);
+        ++completedReq[t];
+        ws.inService = false;
+    }
+
+    const TenantSpec &s = specs[t];
+    if (nextSeq[t] >= s.requests)
+        return false; // tenant drained: this warp retires
+
+    const std::uint64_t seq = nextSeq[t]++;
+    std::uint64_t rel = 0;
+    bool write = false;
+    gens[t].draw(seq, rel, write);
+
+    ws.page = base[t] + rel;
+    ws.write = write;
+    ws.arrival = s.phaseNs + seq * s.periodNs;
+    ws.remaining = s.touchesPerRequest - 1;
+    ws.inService = true;
+
+    out.page = ws.page;
+    out.write = write;
+    // Open-loop pacing: the engine holds the access until the arrival
+    // when the warp got here early; a late warp (notBefore <= now)
+    // issues immediately and the queueing delay lands in the latency.
+    out.notBefore = ws.arrival;
+    return true;
+}
+
+void
+TenantStream::attachTrace(trace::TraceSession *session)
+{
+    trace::MetricsRegistry *reg = session->metrics();
+    if (!reg)
+        return;
+    // Registration order is export order and golden-pinned: per tenant
+    // (spec order), the latency scope then the five counters.
+    for (unsigned t = 0; t < specs.size(); ++t) {
+        const std::string scope = "tenant." + specs[t].name;
+        RegistrySlot &s = slots[t];
+        s.lat = &reg->latency(scope + ".request_ns");
+        s.requests = &reg->counter(scope + ".requests");
+        s.accesses = &reg->counter(scope + ".accesses");
+        s.tier1Hits = &reg->counter(scope + ".tier1_hits");
+        s.tier2Hits = &reg->counter(scope + ".tier2_hits");
+        s.faults = &reg->counter(scope + ".faults");
+    }
+    session->onQuiesce([this](SimTime) {
+        for (unsigned t = 0; t < specs.size(); ++t) {
+            const RegistrySlot &s = slots[t];
+            *s.lat = lat[t];
+            *s.requests = completedReq[t];
+            *s.accesses = counters[t].accesses;
+            *s.tier1Hits = counters[t].tier1Hits;
+            *s.tier2Hits = counters[t].tier2Hits;
+            *s.faults = counters[t].faults;
+        }
+    });
+}
+
+void
+TenantStream::reset()
+{
+    std::fill(warpState.begin(), warpState.end(), WarpState{});
+    std::fill(nextSeq.begin(), nextSeq.end(), 0);
+    std::fill(completedReq.begin(), completedReq.end(), 0);
+    std::fill(lat.begin(), lat.end(), trace::LatencyHistogram{});
+    std::fill(counters.begin(), counters.end(),
+              gpu::serving::TenantCounters{});
+    std::fill(slots.begin(), slots.end(), RegistrySlot{});
+}
+
+gpu::serving::TenantSnapshot
+TenantStream::snapshot(unsigned tenant) const
+{
+    gpu::serving::TenantSnapshot s;
+    s.name = specs[tenant].name;
+    s.requests = completedReq[tenant];
+    s.counters = counters[tenant];
+    s.latency = &lat[tenant];
+    return s;
+}
+
+std::unique_ptr<TenantStream>
+makeTenantStream(std::vector<TenantSpec> specs,
+                 TenantScheduleConfig config)
+{
+    return std::make_unique<TenantStream>(std::move(specs),
+                                          std::move(config));
+}
+
+} // namespace gmt::workloads

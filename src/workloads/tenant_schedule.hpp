@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Multi-tenant open-loop serving schedule.
+ *
+ * N tenants share one tiered runtime. Each tenant owns a private,
+ * contiguous page range and an *open-loop* arrival process: request k
+ * arrives at phaseNs + k * periodNs regardless of how far service has
+ * fallen behind (the serving-systems convention — Redis/LevelDB-style
+ * front ends do not stop the world when the cache thrashes, they queue).
+ * Per-request latency is completion - arrival, so queueing delay under
+ * contention lands in the tails, which is exactly what the per-tenant
+ * p99 is for.
+ *
+ * Determinism: a request's page and write flag are *keyed* draws — a
+ * fresh Rng seeded by mix64(seed, indexOffset + k * indexStride) per
+ * request — so request k's content is a pure function of the spec, not
+ * of service interleaving. That is what makes the split-tenant property
+ * hold (one tenant at rate r == two half-rate tenants with interleaved
+ * index sequences) and what keeps the merged schedule a pure function
+ * of the spec list (mergeSchedules below).
+ *
+ * Service: each tenant brings spec.warps warps (engine concurrency).
+ * Its warps pull the tenant's requests FIFO; a request is
+ * touchesPerRequest consecutive accesses to its page (first can miss,
+ * the rest model the work on the page). Completion times are inferred
+ * from the engine's nextAccessAt call-time contract (see
+ * gpu/access_stream.hpp), so the stream needs no callback from the
+ * runtime and the whole path stays allocation-free after construction.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/access_stream.hpp"
+#include "gpu/serving.hpp"
+#include "trace/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace gmt::workloads
+{
+
+/** How a tenant draws pages inside its range. */
+enum class ArrivalPattern : std::uint8_t
+{
+    Zipf,    ///< Zipf-ranked popularity (Redis-style point lookups)
+    Uniform, ///< uniform random (batch analytics)
+    Scan,    ///< sequential sweep (LevelDB-style range scans)
+    Hotspot, ///< 90% of draws in the first eighth of the range
+};
+
+const char *patternName(ArrivalPattern pattern);
+ArrivalPattern patternFromName(const std::string &name);
+
+/** One tenant of a serving scenario. */
+struct TenantSpec
+{
+    std::string name = "tenant";
+    ArrivalPattern pattern = ArrivalPattern::Zipf;
+    double zipfSkew = 0.8; ///< Zipf pattern only
+
+    /** Private page-range size; ranges are laid out contiguously in
+     *  spec order (tenant t starts where tenant t-1 ends). */
+    std::uint64_t pages = 256;
+
+    /** Open-loop arrivals: @p requests requests, one every
+     *  @p periodNs, the first at @p phaseNs. */
+    std::uint64_t requests = 1000;
+    SimTime periodNs = 20000;
+    SimTime phaseNs = 0;
+
+    /** Warps serving this tenant (its service concurrency). */
+    unsigned warps = 8;
+
+    /** Coalesced accesses per request (>= 1; only the first can miss
+     *  a freshly fetched page). */
+    unsigned touchesPerRequest = 8;
+
+    double writeRatio = 0.1;
+    std::uint64_t seed = 1;
+
+    /** Request k draws logical index indexOffset + k * indexStride of
+     *  the tenant's keyed sequence. The identity pair (0, 1) is the
+     *  normal case; (0, 2) / (1, 2) split one tenant into two
+     *  half-rate tenants that reproduce its aggregate sequence. */
+    std::uint64_t indexOffset = 0;
+    std::uint64_t indexStride = 1;
+};
+
+/** Keyed per-request draw for one tenant (pure given the spec). */
+class TenantPageGen
+{
+  public:
+    explicit TenantPageGen(const TenantSpec &spec);
+
+    /** Page (relative to the tenant's range) + write flag of request
+     *  @p seq. O(log pages) for Zipf, O(1) otherwise; no allocation. */
+    void draw(std::uint64_t seq, std::uint64_t &rel_page,
+              bool &write) const;
+
+  private:
+    ArrivalPattern pattern;
+    std::uint64_t pages;
+    double writeRatio;
+    std::uint64_t seed;
+    std::uint64_t indexOffset;
+    std::uint64_t indexStride;
+    ZipfSampler zipf; ///< trivial (n=1) for non-Zipf patterns
+};
+
+/** One arrival of the merged global schedule. */
+struct ArrivalEvent
+{
+    SimTime time = 0;
+    unsigned tenant = 0;
+    std::uint64_t seq = 0; ///< per-tenant request ordinal
+    PageId page = kInvalidPage; ///< global page (range base applied)
+    bool write = false;
+
+    bool operator==(const ArrivalEvent &) const = default;
+};
+
+/**
+ * The deterministically merged global issue order: every tenant's
+ * arrivals, sorted under (time, tenant, seq) — a total order, so the
+ * result is independent of any evaluation order. Pure function of the
+ * specs; the property tests pin it.
+ */
+std::vector<ArrivalEvent> mergeSchedules(const std::vector<TenantSpec> &specs);
+
+/** Shared knobs of a serving scenario. */
+struct TenantScheduleConfig
+{
+    std::string name = "Serving";
+
+    /** MUST equal EngineConfig::computeNsPerAccess of the run: the
+     *  stream infers each access's completion as (next call time -
+     *  this stride); see gpu/access_stream.hpp. */
+    SimTime computeNsPerAccess = 1000;
+};
+
+/** The multi-tenant serving stream (also its own ServingHooks). */
+class TenantStream final : public gpu::AccessStream,
+                           public gpu::serving::ServingHooks
+{
+  public:
+    TenantStream(std::vector<TenantSpec> tenant_specs,
+                 TenantScheduleConfig config = {});
+
+    // AccessStream
+    unsigned numWarps() const override { return unsigned(warpOf.size()); }
+    std::uint64_t numPages() const override { return totalPages; }
+    bool nextAccess(WarpId warp, gpu::Access &out) override;
+    bool nextAccessAt(SimTime now, WarpId warp,
+                      gpu::Access &out) override;
+    gpu::serving::ServingHooks *serving() override { return this; }
+    void attachTrace(trace::TraceSession *session) override;
+    const std::string &name() const override { return cfg.name; }
+    void reset() override;
+
+    // ServingHooks
+    unsigned numTenants() const override
+    {
+        return unsigned(specs.size());
+    }
+    const unsigned *warpTenant() const override { return warpOf.data(); }
+    gpu::serving::TenantCounters *tenantCounters() override
+    {
+        return counters.data();
+    }
+    gpu::serving::TenantSnapshot snapshot(unsigned tenant) const override;
+
+    const std::vector<TenantSpec> &tenantSpecs() const { return specs; }
+
+    /** First page of tenant @p t's range. */
+    std::uint64_t pageBase(unsigned t) const { return base[t]; }
+
+  private:
+    struct WarpState
+    {
+        std::uint64_t page = 0;    ///< global page of the request
+        SimTime arrival = 0;
+        unsigned remaining = 0;    ///< touches still to issue
+        bool write = false;
+        bool inService = false;    ///< issued fully, completion pending
+    };
+
+    /** Registry scope of one tenant (traced runs only; filled by the
+     *  quiesce hook so the hot path never touches the registry). */
+    struct RegistrySlot
+    {
+        trace::LatencyHistogram *lat = nullptr;
+        std::uint64_t *requests = nullptr;
+        std::uint64_t *accesses = nullptr;
+        std::uint64_t *tier1Hits = nullptr;
+        std::uint64_t *tier2Hits = nullptr;
+        std::uint64_t *faults = nullptr;
+    };
+
+    TenantScheduleConfig cfg;
+    std::vector<TenantSpec> specs;
+    std::vector<TenantPageGen> gens;
+    std::vector<std::uint64_t> base; ///< per-tenant range start
+    std::uint64_t totalPages = 0;
+    std::vector<unsigned> warpOf;    ///< warp -> tenant
+
+    // Run state (cleared by reset()).
+    std::vector<WarpState> warpState;
+    std::vector<std::uint64_t> nextSeq;       ///< per-tenant FIFO head
+    std::vector<std::uint64_t> completedReq;  ///< per-tenant
+    std::vector<trace::LatencyHistogram> lat; ///< per-tenant request ns
+    std::vector<gpu::serving::TenantCounters> counters;
+    std::vector<RegistrySlot> slots; ///< valid for the attached run
+};
+
+/** Build a serving stream (validates the specs; fatal on nonsense). */
+std::unique_ptr<TenantStream>
+makeTenantStream(std::vector<TenantSpec> specs,
+                 TenantScheduleConfig config = {});
+
+} // namespace gmt::workloads

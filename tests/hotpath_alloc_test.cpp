@@ -20,6 +20,7 @@
 #include "core/config.hpp"
 #include "core/runtime.hpp"
 #include "gpu/access_stream.hpp"
+#include "workloads/tenant_schedule.hpp"
 #include "gpu/coalescer.hpp"
 #include "gpu/gpu_engine.hpp"
 #include "sim/event_queue.hpp"
@@ -378,6 +379,62 @@ TEST(HotPathAlloc, FastForwardedEpochNeverAllocates)
     EXPECT_EQ(longAllocs, shortAllocs)
         << "100000 extra fast-forwarded accesses must add zero "
            "allocations";
+}
+
+TEST(HotPathAlloc, MultiTenantSteadyStateNeverAllocates)
+{
+    // Two serving runs differing only in request count must allocate
+    // identically: construction sizes every per-tenant/per-warp buffer,
+    // and the steady-state path — keyed draws, arrival pacing (held
+    // accesses), per-tenant counter bumps, latency recording — must
+    // never touch the allocator (ISSUE 7 acceptance). Each run uses a
+    // fresh runtime/stream/engine, so capacity growth is identical on
+    // both sides and any delta is per-request work.
+    //
+    // Heap backend: its pending set is bounded by the warp count, so
+    // its capacity is range-independent. (The wheel lazily grows one
+    // bucket vector per first-touched (level, slot) — the longer run's
+    // wider absolute-time range would add that bounded, sub-linear
+    // capacity growth to the delta; the wheel has its own steady-state
+    // allocation test above.)
+    ScopedEnv sched("GMT_SCHED", "heap");
+    const auto run = [](std::uint64_t requests) {
+        RuntimeConfig cfg;
+        cfg.numPages = 256;
+        cfg.tier1Pages = 256; // resident: isolates the serving path
+        cfg.tier2Pages = 512;
+        cfg.policy = PlacementPolicy::Reuse;
+        cfg.sampleTarget = 0;
+
+        std::vector<gmt::workloads::TenantSpec> specs(2);
+        for (unsigned t = 0; t < 2; ++t) {
+            specs[t].name = t == 0 ? "a" : "b";
+            specs[t].pattern = gmt::workloads::ArrivalPattern::Zipf;
+            specs[t].pages = 128;
+            specs[t].requests = requests;
+            specs[t].periodNs = 9000;
+            specs[t].phaseNs = t * 4500;
+            specs[t].warps = 4;
+            specs[t].seed = 3 + t;
+        }
+
+        auto rt = makeGmtRuntime(cfg);
+        gmt::workloads::TenantStream stream(specs);
+        gpu::GpuEngine engine{{}};
+
+        const std::uint64_t before = g_news;
+        const gpu::RunResult r = engine.run(*rt, stream);
+        const std::uint64_t allocs = g_news - before;
+        EXPECT_EQ(r.accesses, 2 * requests * 8);
+        return allocs;
+    };
+
+    // 2000 requests is past every capacity knee (measured: allocation
+    // counts converge by ~1000 requests and stay flat through 16000).
+    const std::uint64_t shortAllocs = run(2000);
+    const std::uint64_t longAllocs = run(8000);
+    EXPECT_EQ(longAllocs, shortAllocs)
+        << "12000 extra open-loop requests must add zero allocations";
 }
 
 TEST(HotPathAlloc, TryHitFastPathNeverAllocates)

@@ -196,6 +196,50 @@ TEST(Integration, SchedulerAndFastForwardInvisibleOnAllSystems)
     }
 }
 
+TEST(Integration, MultiTenantCellJoinsTheIdentityMatrix)
+{
+    // The serving subsystem must compose with the PR 4/6 fast paths:
+    // a 4-tenant open-loop cell produces bit-identical results across
+    // {heap, wheel} x {fast-forward on, off}, exactly like the
+    // closed-loop workloads above.
+    RuntimeConfig cfg = smallConfig();
+    std::vector<workloads::TenantSpec> tenants(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        tenants[t].name = "t" + std::to_string(t);
+        tenants[t].pattern = t % 2 == 0
+            ? workloads::ArrivalPattern::Zipf
+            : workloads::ArrivalPattern::Hotspot;
+        tenants[t].pages = cfg.numPages / 4;
+        tenants[t].requests = 250;
+        tenants[t].periodNs = 40000;
+        tenants[t].phaseNs = t * 10000;
+        tenants[t].seed = 7 + t;
+    }
+    tenants[3].pages += cfg.numPages - 4 * (cfg.numPages / 4);
+
+    ExperimentResult reference;
+    bool first = true;
+    for (const char *sched : {"heap", "wheel"}) {
+        for (const char *ffwd : {"0", "1"}) {
+            ScopedEnv se("GMT_SCHED", sched);
+            ScopedEnv fe("GMT_FASTFWD", ffwd);
+            const ExperimentResult r =
+                runTenants(System::GmtReuse, cfg, tenants);
+            if (first) {
+                reference = r;
+                first = false;
+            } else {
+                EXPECT_EQ(r, reference)
+                    << "tenant cell diverged under GMT_SCHED=" << sched
+                    << " GMT_FASTFWD=" << ffwd;
+            }
+        }
+    }
+    ASSERT_EQ(reference.tenants.size(), 4u);
+    for (const auto &tr : reference.tenants)
+        EXPECT_EQ(tr.requests, 250u);
+}
+
 TEST(Integration, RunsAreReproducible)
 {
     const RuntimeConfig cfg = smallConfig();

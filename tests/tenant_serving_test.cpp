@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Multi-tenant open-loop serving: properties of the deterministic
+ * arrival merger, the per-tenant latency accounting, the QoS knobs
+ * (partitioned clock, pin quotas, admission throttle), and the
+ * identity sweep that locks the whole subsystem across job counts,
+ * scheduler backends, and fast-forward settings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/gmt_runtime.hpp"
+#include "harness/golden.hpp"
+#include "harness/run_matrix.hpp"
+#include "trace/json.hpp"
+#include "trace/trace.hpp"
+#include "workloads/tenant_schedule.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+using namespace gmt::workloads;
+
+namespace
+{
+
+/** Pin an env var for one scope (restored on exit) so the CI matrix's
+ *  process-wide GMT_SCHED / GMT_FASTFWD cannot mask the leg under
+ *  test. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Small contending 4-tenant set over a 640-page working set. */
+std::vector<TenantSpec>
+smallTenants(std::uint64_t requests = 300)
+{
+    const ArrivalPattern patterns[4] = {
+        ArrivalPattern::Zipf, ArrivalPattern::Uniform,
+        ArrivalPattern::Scan, ArrivalPattern::Hotspot};
+    const char *const names[4] = {"kv", "scan", "etl", "web"};
+    std::vector<TenantSpec> specs(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        specs[t].name = names[t];
+        specs[t].pattern = patterns[t];
+        specs[t].pages = 160;
+        specs[t].requests = requests;
+        specs[t].periodNs = 50000;
+        specs[t].phaseNs = t * 12500;
+        specs[t].seed = 11 + t;
+    }
+    return specs;
+}
+
+RuntimeConfig
+smallConfig()
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.numPages = 640;
+    cfg.policy = PlacementPolicy::Reuse;
+    return cfg;
+}
+
+RuntimeConfig
+partitionedConfig()
+{
+    RuntimeConfig cfg = smallConfig();
+    cfg.tenants.pageBounds = {160, 320, 480, 640};
+    cfg.tenants.partitionTier1 = true;
+    cfg.tenants.tier1Quota = {16, 16, 16, 16};
+    cfg.tenants.pinnedPages = {8, 0, 0, 4};
+    cfg.tenants.fetchWindow = 4;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Arrival-merger properties
+// ---------------------------------------------------------------------
+
+TEST(TenantMerger, ScheduleSortedAndStableUnderTimeTenantSeq)
+{
+    auto specs = smallTenants(200);
+    // Force heavy ties: same period everywhere, phases collide.
+    for (auto &s : specs)
+        s.phaseNs = (s.phaseNs / 25000) * 25000;
+    const auto merged = mergeSchedules(specs);
+
+    std::uint64_t total = 0;
+    for (const auto &s : specs)
+        total += s.requests;
+    ASSERT_EQ(merged.size(), total);
+
+    for (std::size_t i = 1; i < merged.size(); ++i) {
+        const ArrivalEvent &a = merged[i - 1];
+        const ArrivalEvent &b = merged[i];
+        const bool ordered =
+            a.time < b.time
+            || (a.time == b.time
+                && (a.tenant < b.tenant
+                    || (a.tenant == b.tenant && a.seq < b.seq)));
+        ASSERT_TRUE(ordered)
+            << "merge order violated at " << i << ": (" << a.time << ","
+            << a.tenant << "," << a.seq << ") then (" << b.time << ","
+            << b.tenant << "," << b.seq << ")";
+    }
+}
+
+TEST(TenantMerger, PerTenantIssueCountsAreExact)
+{
+    auto specs = smallTenants(0);
+    specs[0].requests = 17;
+    specs[1].requests = 0;
+    specs[2].requests = 101;
+    specs[3].requests = 1;
+    const auto merged = mergeSchedules(specs);
+
+    std::vector<std::uint64_t> counts(4, 0), lastSeq(4, 0);
+    for (const auto &e : merged) {
+        ASSERT_LT(e.tenant, 4u);
+        // Per-tenant seqs must arrive in order (open-loop FIFO).
+        if (counts[e.tenant] > 0)
+            EXPECT_GT(e.seq, lastSeq[e.tenant]);
+        lastSeq[e.tenant] = e.seq;
+        ++counts[e.tenant];
+        // Pages stay within the owning tenant's contiguous range.
+        const std::uint64_t base = std::uint64_t(e.tenant) * 160;
+        EXPECT_GE(e.page, base);
+        EXPECT_LT(e.page, base + 160);
+    }
+    EXPECT_EQ(counts[0], 17u);
+    EXPECT_EQ(counts[1], 0u);
+    EXPECT_EQ(counts[2], 101u);
+    EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(TenantMerger, MergeIsPureFunctionOfSpecs)
+{
+    const auto specs = smallTenants(150);
+    EXPECT_EQ(mergeSchedules(specs), mergeSchedules(specs));
+}
+
+TEST(TenantMerger, SplitTenantReproducesAggregateSequence)
+{
+    // One tenant at rate 1/P with the identity index map must equal two
+    // half-rate tenants drawing the even/odd halves of its keyed index
+    // sequence: the keyed draws make request content independent of
+    // which tenant issues it.
+    TenantSpec whole;
+    whole.name = "whole";
+    whole.pattern = ArrivalPattern::Zipf;
+    whole.pages = 128;
+    whole.requests = 400;
+    whole.periodNs = 10000;
+    whole.phaseNs = 0;
+    whole.seed = 42;
+
+    TenantSpec even = whole, odd = whole;
+    even.name = "even";
+    even.requests = 200;
+    even.periodNs = 20000;
+    even.indexOffset = 0;
+    even.indexStride = 2;
+    odd.name = "odd";
+    odd.requests = 200;
+    odd.periodNs = 20000;
+    odd.phaseNs = 10000;
+    odd.indexOffset = 1;
+    odd.indexStride = 2;
+
+    const auto one = mergeSchedules({whole});
+    const auto two = mergeSchedules({even, odd});
+    ASSERT_EQ(one.size(), two.size());
+
+    for (std::size_t i = 0; i < one.size(); ++i) {
+        EXPECT_EQ(one[i].time, two[i].time) << "arrival " << i;
+        // The split pair's ranges are laid out back to back; reduce to
+        // range-relative pages for the comparison.
+        const std::uint64_t rel =
+            two[i].page - (two[i].tenant == 1 ? 128 : 0);
+        EXPECT_EQ(one[i].page, rel) << "arrival " << i;
+        EXPECT_EQ(one[i].write, two[i].write) << "arrival " << i;
+        // Even arrivals come from the even tenant, odd from the odd.
+        EXPECT_EQ(two[i].tenant, unsigned(one[i].seq % 2))
+            << "arrival " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serving runs: accounting and QoS behaviour
+// ---------------------------------------------------------------------
+
+TEST(TenantServing, EveryRequestCompletesWithLatencyAccounted)
+{
+    const auto specs = smallTenants();
+    const ExperimentResult r =
+        runTenants(System::GmtReuse, smallConfig(), specs);
+
+    ASSERT_EQ(r.tenants.size(), 4u);
+    std::uint64_t accesses = 0;
+    for (unsigned t = 0; t < 4; ++t) {
+        const TenantResult &tr = r.tenants[t];
+        EXPECT_EQ(tr.tenant, specs[t].name);
+        EXPECT_EQ(tr.requests, specs[t].requests);
+        EXPECT_EQ(tr.accesses,
+                  specs[t].requests * specs[t].touchesPerRequest);
+        EXPECT_EQ(tr.tier1Hits + tr.faults, tr.accesses);
+        EXPECT_LE(tr.tier2Hits, tr.faults);
+        // Tails are monotone and the open-loop queueing is visible.
+        EXPECT_GT(tr.p50Ns, 0u);
+        EXPECT_LE(tr.p50Ns, tr.p95Ns);
+        EXPECT_LE(tr.p95Ns, tr.p99Ns);
+        EXPECT_LE(tr.p99Ns, tr.maxNs);
+        accesses += tr.accesses;
+    }
+    // Per-tenant accounting tiles the aggregate exactly.
+    EXPECT_EQ(accesses, r.accesses);
+    const std::uint64_t faults =
+        r.tenants[0].faults + r.tenants[1].faults + r.tenants[2].faults
+        + r.tenants[3].faults;
+    EXPECT_EQ(faults, r.tier1Misses);
+}
+
+TEST(TenantServing, BamModeServesTenantsToo)
+{
+    // QoS partitioning applies to the BaM-mode GmtRuntime as well
+    // (tier2Pages == 0): per-tenant accounting must hold there.
+    RuntimeConfig cfg = smallConfig();
+    cfg.tier2Pages = 0;
+    const ExperimentResult r =
+        runTenants(System::Bam, cfg, smallTenants(150));
+    ASSERT_EQ(r.tenants.size(), 4u);
+    for (const TenantResult &tr : r.tenants) {
+        EXPECT_EQ(tr.requests, 150u);
+        EXPECT_EQ(tr.tier1Hits + tr.faults, tr.accesses);
+        EXPECT_EQ(tr.tier2Hits, 0u);
+    }
+}
+
+TEST(TenantServing, PartitionedReplacementChangesPerTenantTails)
+{
+    const auto specs = smallTenants();
+    const ExperimentResult shared =
+        runTenants(System::GmtReuse, smallConfig(), specs);
+    const ExperimentResult part =
+        runTenants(System::GmtReuse, partitionedConfig(), specs);
+
+    ASSERT_EQ(shared.tenants.size(), part.tenants.size());
+    bool tailsDiffer = false;
+    for (std::size_t t = 0; t < shared.tenants.size(); ++t) {
+        // Same requests either way; only placement changed.
+        EXPECT_EQ(shared.tenants[t].requests, part.tenants[t].requests);
+        tailsDiffer = tailsDiffer
+            || shared.tenants[t].p99Ns != part.tenants[t].p99Ns
+            || shared.tenants[t].p50Ns != part.tenants[t].p50Ns;
+    }
+    EXPECT_TRUE(tailsDiffer)
+        << "partitioning Tier-1 must measurably move per-tenant tails";
+    // The pinned hotspot tenant ("web") gets a guaranteed-resident hot
+    // set: its hit count must improve under partitioning + pins.
+    EXPECT_GT(part.tenants[3].tier1Hits, shared.tenants[3].tier1Hits);
+}
+
+TEST(TenantServing, PinnedPagesStayResidentUnderEvictionPressure)
+{
+    // Drive the runtime directly: fetch a pinned page, thrash far more
+    // pages than Tier-1 holds, and the pinned page must still hit.
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 32;
+    cfg.tier2Pages = 128;
+    cfg.numPages = 320;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.tenants.pageBounds = {160, 320};
+    cfg.tenants.pinnedPages = {4, 0};
+    cfg.validate();
+    auto rt = makeGmtRuntime(cfg);
+
+    SimTime now = 1;
+    for (PageId p = 0; p < 4; ++p)
+        now = rt->access(now + 1, 0, p, false).readyAt;
+    // 3 full Tier-1 turnovers of unpinned traffic.
+    for (int sweep = 0; sweep < 3; ++sweep)
+        for (PageId p = 4; p < 4 + cfg.tier1Pages; ++p)
+            now = rt->access(now + 1, 0, p, false).readyAt;
+
+    for (PageId p = 0; p < 4; ++p) {
+        const AccessResult r = rt->access(now + 1, 0, p, false);
+        EXPECT_TRUE(r.tier1Hit) << "pinned page " << p << " was evicted";
+        now = r.readyAt;
+    }
+    EXPECT_EQ(rt->counters().value("qos_pins"), 4u);
+}
+
+TEST(TenantServing, AdmissionThrottleDelaysBurstyMisses)
+{
+    // A tight window must generate admission waits and push the
+    // all-miss tenant's completion later; unthrottled it never waits.
+    const auto specs = smallTenants();
+    RuntimeConfig throttled = smallConfig();
+    throttled.tenants.pageBounds = {160, 320, 480, 640};
+    throttled.tenants.fetchWindow = 2;
+
+    const ExperimentResult open =
+        runTenants(System::GmtReuse, smallConfig(), specs);
+    const ExperimentResult gated =
+        runTenants(System::GmtReuse, throttled, specs);
+
+    // Same work either way.
+    EXPECT_EQ(open.accesses, gated.accesses);
+    bool changed = open.makespanNs != gated.makespanNs;
+    for (std::size_t t = 0; t < open.tenants.size(); ++t)
+        changed = changed
+            || open.tenants[t].p99Ns != gated.tenants[t].p99Ns;
+    EXPECT_TRUE(changed)
+        << "a window of 2 outstanding fetches must alter the timeline";
+}
+
+TEST(TenantServing, ThrottleCountsAdmissionWaits)
+{
+    RuntimeConfig throttled = smallConfig();
+    throttled.tenants.pageBounds = {160, 320, 480, 640};
+    throttled.tenants.fetchWindow = 1;
+    workloads::TenantScheduleConfig sc;
+    auto stream = makeTenantStream(smallTenants(100), sc);
+    auto rt = makeGmtRuntime(throttled);
+    gpu::GpuEngine engine{{}};
+    engine.run(*rt, *stream);
+    EXPECT_GT(rt->counters().value("admission_waits"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Metrics export
+// ---------------------------------------------------------------------
+
+TEST(TenantServing, RegistryExportOrderIsPinned)
+{
+    trace::TraceSession session(
+        trace::TraceSession::Options{false, true, false, 0});
+    const ExperimentResult r = runTenants(
+        System::GmtReuse, smallConfig(), smallTenants(100), &session);
+
+    // Latency scopes: one per tenant, spec order, before any other
+    // latency registration from the stream.
+    const auto &lats = session.metrics()->latencies();
+    std::vector<std::string> latNames;
+    for (const auto &kv : lats)
+        if (kv.first.rfind("tenant.", 0) == 0)
+            latNames.push_back(kv.first);
+    ASSERT_EQ(latNames.size(), 4u);
+    EXPECT_EQ(latNames[0], "tenant.kv.request_ns");
+    EXPECT_EQ(latNames[1], "tenant.scan.request_ns");
+    EXPECT_EQ(latNames[2], "tenant.etl.request_ns");
+    EXPECT_EQ(latNames[3], "tenant.web.request_ns");
+
+    // Counter scopes: per tenant in spec order, five counters each in
+    // a fixed order — the golden file's export order.
+    static const char *const kSuffix[5] = {
+        ".requests", ".accesses", ".tier1_hits", ".tier2_hits",
+        ".faults"};
+    std::vector<std::string> cntNames;
+    for (const auto &kv : session.metrics()->counters())
+        if (kv.first.rfind("tenant.", 0) == 0)
+            cntNames.push_back(kv.first);
+    ASSERT_EQ(cntNames.size(), 20u);
+    static const char *const kTenants[4] = {"kv", "scan", "etl", "web"};
+    for (unsigned t = 0; t < 4; ++t)
+        for (unsigned k = 0; k < 5; ++k)
+            EXPECT_EQ(cntNames[t * 5 + k],
+                      std::string("tenant.") + kTenants[t] + kSuffix[k]);
+
+    // Exported values mirror the harvested snapshot exactly.
+    for (const auto &kv : session.metrics()->counters()) {
+        if (kv.first == "tenant.kv.requests")
+            EXPECT_EQ(kv.second, r.tenants[0].requests);
+        if (kv.first == "tenant.web.faults")
+            EXPECT_EQ(kv.second, r.tenants[3].faults);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Determinism identity sweep
+// ---------------------------------------------------------------------
+
+TEST(TenantServing, ResultsIdenticalAcrossSchedulersAndFastForward)
+{
+    for (const RuntimeConfig &cfg :
+         {smallConfig(), partitionedConfig()}) {
+        ExperimentResult reference;
+        bool first = true;
+        for (const char *sched : {"heap", "wheel"}) {
+            for (const char *ffwd : {"0", "1"}) {
+                ScopedEnv se("GMT_SCHED", sched);
+                ScopedEnv fe("GMT_FASTFWD", ffwd);
+                const ExperimentResult r =
+                    runTenants(System::GmtReuse, cfg, smallTenants());
+                if (first) {
+                    reference = r;
+                    first = false;
+                } else {
+                    EXPECT_EQ(r, reference)
+                        << "tenant run diverged under GMT_SCHED=" << sched
+                        << " GMT_FASTFWD=" << ffwd << " partitioned="
+                        << cfg.tenants.partitionTier1;
+                }
+            }
+        }
+        ASSERT_EQ(reference.tenants.size(), 4u);
+        EXPECT_GT(reference.tenants[0].requests, 0u);
+    }
+}
+
+TEST(TenantServing, ArtifactsByteIdenticalAcrossJobsSchedulersFastForward)
+{
+    // The full artifact set (trace + metrics + spans + timeline) of the
+    // golden tenant matrix must be byte-identical across --jobs 1/4,
+    // heap/wheel, and fast-forward on/off: 8 legs against the first.
+    auto writeArtifacts = [](const std::string &stem, unsigned jobs) {
+        MatrixTracer tracer(MatrixTracer::Options{
+            stem + ".trace.json", stem + ".metrics.json",
+            stem + ".spans.jsonl", stem + ".timeline.jsonl", 0});
+        runMatrix(goldenSpecs("tenants_serving"), jobs, &tracer);
+        tracer.writeOutputs();
+    };
+    auto readAll = [](const std::string &stem) {
+        return trace::readFileOrDie(stem + ".trace.json") + "\x1e"
+            + trace::readFileOrDie(stem + ".metrics.json") + "\x1e"
+            + trace::readFileOrDie(stem + ".spans.jsonl") + "\x1e"
+            + trace::readFileOrDie(stem + ".timeline.jsonl");
+    };
+
+    std::string reference;
+    for (const char *sched : {"heap", "wheel"}) {
+        for (const char *ffwd : {"0", "1"}) {
+            for (unsigned jobs : {1u, 4u}) {
+                ScopedEnv se("GMT_SCHED", sched);
+                ScopedEnv fe("GMT_FASTFWD", ffwd);
+                const std::string stem = testing::TempDir() + "tenants_"
+                    + sched + "_" + ffwd + "_j" + std::to_string(jobs);
+                writeArtifacts(stem, jobs);
+                const std::string bytes = readAll(stem);
+                ASSERT_GT(bytes.size(), 4u);
+                if (reference.empty()) {
+                    reference = bytes;
+                } else {
+                    EXPECT_EQ(bytes, reference)
+                        << "artifacts diverged under GMT_SCHED=" << sched
+                        << " GMT_FASTFWD=" << ffwd << " jobs=" << jobs;
+                }
+            }
+        }
+    }
+}
