@@ -8,8 +8,10 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <chrono>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "core/runtime.hpp"
 #include "gpu/coalescer.hpp"
 #include "gpu/gpu_engine.hpp"
+#include "harness/thread_pool.hpp"
 #include "mem/frame_pool.hpp"
 #include "replacement/policy.hpp"
 #include "reuse/olken_tree.hpp"
@@ -659,6 +662,63 @@ BM_EngineFig8CellFastFwd(benchmark::State &state)
                    sim::SchedulerBackend::Wheel, true, true);
 }
 BENCHMARK(BM_EngineFig8CellFastFwd)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineReuseSampledCellSharded(benchmark::State &state)
+{
+    // The heaviest single-cell shape: GMT-Reuse with the sampling
+    // phase covering most of the run, so the Olken/OLS drain is on the
+    // critical path. Arg = shard count; 1 is the single-thread oracle,
+    // >1 pipelines reuse-distance preparation onto a borrowed pool
+    // worker. All arguments produce byte-identical simulated results.
+    RuntimeConfig cfg = fig8CellConfig(); // default sampling target: on
+    cfg.shards = unsigned(state.range(0));
+    cfg.scheduler = sim::SchedulerBackend::Wheel;
+    auto rt = makeGmtRuntime(cfg);
+
+    workloads::WorkloadConfig wc;
+    wc.pages = cfg.numPages;
+    wc.warps = 64;
+    wc.touchesPerVisit = 4;
+    workloads::ZipfStream stream(wc, 0.8, 60000);
+
+    gpu::EngineConfig ec;
+    ec.hitFastPath = true;
+    ec.fastForward = true;
+    gpu::GpuEngine engine(ec);
+
+    harness::ThreadPool &pool = harness::ThreadPool::shared();
+    gpu::RunResult r;
+    for (auto _ : state) {
+        state.PauseTiming();
+        rt->reset();
+        stream.reset();
+        // The drain actor borrows an idle pool worker at run start;
+        // after the previous iteration's stop the worker re-parks
+        // asynchronously, so wait outside the timed region.
+        for (int i = 0; i < 5000 && cfg.shards > 1 && pool.idleCount() == 0;
+             ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        state.ResumeTiming();
+        r = engine.run(*rt, stream);
+        state.SetItemsProcessed(state.items_processed()
+                                + std::int64_t(r.accesses));
+    }
+    state.counters["shard.domains"] = benchmark::Counter(double(r.shards));
+    state.counters["shard.epochs"] =
+        benchmark::Counter(double(r.shardEpochs));
+    state.counters["shard.deferred"] =
+        benchmark::Counter(double(r.shardDeferred));
+    state.counters["shard.barrier_waits"] =
+        benchmark::Counter(double(r.shardBarrierWaits));
+    state.counters["events_dispatched"] =
+        benchmark::Counter(double(r.eventsDispatched));
+}
+BENCHMARK(BM_EngineReuseSampledCellSharded)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
 
 static void
 BM_EngineBamFig8CellLegacy(benchmark::State &state)

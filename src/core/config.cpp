@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "pcie/params.hpp"
+#include "sim/sharded_executor.hpp"
 #include "util/logging.hpp"
 
 namespace gmt
@@ -48,6 +50,17 @@ RuntimeConfig::setOversubscription(double factor)
         std::llround(double(tier1Pages + tier2Pages) * factor));
 }
 
+SimTime
+RuntimeConfig::shardLookaheadNs() const
+{
+    const SimTime pcie_page_ns =
+        pcie::kLinkLatencyNs
+        + SimTime(std::llround(double(kPageBytes) / pcie::kLinkBandwidth
+                               * 1e9));
+    return sim::conservativeLookaheadNs(missHandlingNs, ssd.readLatencyNs,
+                                        pcie_page_ns);
+}
+
 void
 RuntimeConfig::validate() const
 {
@@ -63,6 +76,9 @@ RuntimeConfig::validate() const
         fatal("RuntimeConfig: sample period must be positive");
     if (samplerDrainBatch == 0)
         fatal("RuntimeConfig: sampler drain batch must be positive");
+    if (shards == 0)
+        fatal("RuntimeConfig: shards must be positive (1 = single-thread "
+              "oracle)");
 
     if (!tenants.enabled()) {
         if (tenants.partitionTier1 || !tenants.tier1Quota.empty()

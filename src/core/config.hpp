@@ -157,6 +157,15 @@ struct RuntimeConfig
      *  A/B runs. */
     sim::SchedulerBackend scheduler = sim::SchedulerBackend::Wheel;
 
+    /** Event-queue domains for one simulation (sharded
+     *  conservative-parallel DES). Warps partition across this many
+     *  domain queues and worker roles run inside a conservative
+     *  lookahead window (shardLookaheadNs); results, metrics, traces,
+     *  and goldens are byte-identical for any value. 1 = the
+     *  single-thread oracle. The GMT_SHARDS env var overrides it
+     *  process-wide, in the GMT_SCHED / GMT_FASTFWD style. */
+    unsigned shards = 1;
+
     /** §2.2 Tier-3-overflow redirection heuristic (GMT-Reuse). */
     bool overflowHeuristic = true;
 
@@ -214,6 +223,16 @@ struct RuntimeConfig
     /** Working set implied by an oversubscription factor (§3.1 fn 2):
      *  OSF = workingSet / (T1 + T2). */
     void setOversubscription(double factor);
+
+    /**
+     * Conservative lookahead window for sharded execution: the minimum
+     * simulated time between a Tier-1 miss being issued and its effects
+     * becoming visible to any other domain — software miss handling +
+     * the NVMe read floor + one page crossing PCIe. No cross-domain
+     * interaction can land earlier, so worker roles may safely run this
+     * far ahead of the commit point.
+     */
+    SimTime shardLookaheadNs() const;
 
     /** Sanity-check invariants; fatal() on nonsense. */
     void validate() const;

@@ -122,6 +122,8 @@ GmtRuntime::tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
         const VirtualStamp sample_vtd =
             m.accessCount > 0 ? stamp - m.lastAccessStamp : 0;
         sampler.onAccess(page, sample_vtd);
+        if (shardStats && sampler.kickDue())
+            drainActor.kick();
     }
 
     const cache::LookupResult lr = tier1.lookup(page);
@@ -159,6 +161,8 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         const VirtualStamp sample_vtd =
             m.accessCount > 0 ? stamp - m.lastAccessStamp : 0;
         sampler.onAccess(page, sample_vtd);
+        if (shardStats && sampler.kickDue())
+            drainActor.kick();
     }
 
     const cache::LookupResult lr = tier1.lookup(page);
@@ -549,7 +553,60 @@ GmtRuntime::backgroundTick(SimTime now)
     // path. The per-tick budget is cfg.samplerDrainBatch — the host
     // easily keeps up with the sampled stream (one sample per
     // cfg.samplePeriod accesses).
+    if (drainActor.running()) {
+        // Sharded mode: the borrowed worker has been computing reuse
+        // distances continuously behind the recording cursor; the tick
+        // applies the (cheap) regressor updates along exactly the
+        // oracle's trajectory, joining on the worker only if it fell
+        // behind. Kick BEFORE the join: a parked worker with samples
+        // recorded since its last wakeup would otherwise never run —
+        // the join would spin on a cursor nobody advances.
+        drainActor.kick();
+        const std::uint64_t fresh =
+            sampler.drainAsyncTick(cfg.samplerDrainBatch);
+        if (shardStats) {
+            ++shardStats->epochs;
+            shardStats->deferred += fresh;
+        }
+        return;
+    }
     sampler.drain(cfg.samplerDrainBatch);
+}
+
+void
+GmtRuntime::beginSharded(const sim::ShardPlan &plan)
+{
+    // Only the Reuse policy has host-side work worth a worker: the
+    // sampler drain (Olken tree + OLS) is ~half the wall-clock of the
+    // heaviest cells. BaM mode never samples.
+    if (bamMode() || cfg.policy != PlacementPolicy::Reuse)
+        return;
+    shardStats = plan.stats;
+    sampler.beginAsync(plan.stats);
+    const std::uint64_t chunk = std::max<std::uint64_t>(
+        std::uint64_t(1), cfg.samplerDrainBatch / 8);
+    const bool started = drainActor.start(
+        [this, chunk] { return sampler.prepareChunk(chunk); });
+    if (!started) {
+        // No idle worker: fall back to the synchronous oracle path.
+        sampler.endAsync();
+        shardStats = nullptr;
+    }
+}
+
+void
+GmtRuntime::endSharded()
+{
+    if (!drainActor.running()) {
+        shardStats = nullptr;
+        return;
+    }
+    // stop() pumps the worker dry after publishing `stopping`, but the
+    // apply trajectory doesn't depend on it: `prepared` merely ends up
+    // at or ahead of `consumed`, which endAsync() tolerates.
+    drainActor.stop();
+    sampler.endAsync();
+    shardStats = nullptr;
 }
 
 SimTime
@@ -580,6 +637,7 @@ void
 GmtRuntime::reset()
 {
     TieredRuntime::reset();
+    endSharded(); // defensive: a run must not leak its worker
     tier1.reset();
     tier2.reset();
     pcieUp.reset();

@@ -39,6 +39,7 @@
 #include "reuse/sampler.hpp"
 #include "reuse/vtd_tracker.hpp"
 #include "sim/channel.hpp"
+#include "sim/sharded_executor.hpp"
 #include "tier2/tier2_pool.hpp"
 #include "util/rng.hpp"
 
@@ -56,6 +57,8 @@ class GmtRuntime : public TieredRuntime
     bool tryHit(SimTime now, WarpId warp, PageId page, bool is_write,
                 AccessResult &out) override;
     void backgroundTick(SimTime now) override;
+    void beginSharded(const sim::ShardPlan &plan) override;
+    void endSharded() override;
     SimTime flush(SimTime now) override;
     const char *name() const override;
     void attachTrace(trace::TraceSession *session) override;
@@ -120,6 +123,11 @@ class GmtRuntime : public TieredRuntime
     reuse::OverflowHeuristic overflow;
     Rng rng;
     EvictionProbe evictionProbe;
+
+    /** Sharded mode (GMT_SHARDS > 1): borrowed worker chasing the
+     *  sampler's published drain goals; idle otherwise. */
+    sim::ShardActor drainActor;
+    sim::ShardStats *shardStats = nullptr;
 
     trace::TraceSink *sink = nullptr;
     trace::TrackId tier1Trk = 0;

@@ -32,6 +32,11 @@
 namespace gmt
 {
 
+namespace sim
+{
+struct ShardPlan;
+} // namespace sim
+
 /** Outcome of one coalesced access. */
 struct AccessResult
 {
@@ -91,6 +96,19 @@ class TieredRuntime
      * the sample queue). Never charged to warp time.
      */
     virtual void backgroundTick(SimTime now) { (void)now; }
+
+    /**
+     * Sharded execution (GMT_SHARDS > 1): the engine announces the
+     * shard plan before scheduling the first warp turn. Runtimes that
+     * have deferrable host-side work (GmtRuntime's sampler drain) may
+     * move it onto a borrowed worker; the committed state sequence must
+     * stay byte-identical to the single-thread oracle. Base: no-op.
+     */
+    virtual void beginSharded(const sim::ShardPlan &plan) { (void)plan; }
+
+    /** End of a sharded run: join workers, return to oracle mode.
+     *  Called before flush() and before counters are read. Base: no-op. */
+    virtual void endSharded() {}
 
     /**
      * Flush dirty state at the end of a run (write-back to SSD).

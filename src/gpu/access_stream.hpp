@@ -37,6 +37,11 @@ namespace gmt::trace
 class TraceSession;
 } // namespace gmt::trace
 
+namespace gmt::sim
+{
+struct ShardPlan;
+} // namespace gmt::sim
+
 namespace gmt::gpu
 {
 
@@ -102,6 +107,19 @@ class AccessStream
     {
         (void)session;
     }
+
+    /**
+     * Sharded execution (GMT_SHARDS > 1): the engine announces the
+     * shard plan before the run. Streams with a deferrable production
+     * step (SequenceStream's global item sequence) may pipeline it onto
+     * a borrowed worker; the item sequence the engine consumes must
+     * stay byte-identical. Base: no-op.
+     */
+    virtual void beginSharded(const sim::ShardPlan &plan) { (void)plan; }
+
+    /** End of a sharded run: join workers. The stream must be reset()
+     *  before it is driven again. Base: no-op. */
+    virtual void endSharded() {}
 
     /** Workload name for reports. */
     virtual const std::string &name() const = 0;

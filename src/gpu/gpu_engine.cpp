@@ -1,11 +1,14 @@
 #include "gpu/gpu_engine.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "gpu/serving.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fast_forward.hpp"
+#include "sim/sharded_executor.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::gpu
@@ -23,10 +26,17 @@ namespace
  * runs as a planned epoch: one queue peek buys a whole budget of
  * inline issues (sim::inlineIssueBudget) and the per-access metrics
  * collapse into bulk updates at epoch exit.
+ *
+ * Q is the event-queue facade: sim::EventQueue (the single-queue
+ * oracle) or sim::ShardedQueues (GMT_SHARDS > 1). Both dispatch in the
+ * identical (when, key) order — warp keys are unique per pending event,
+ * so the K-way merge over disjoint per-domain queues reproduces the
+ * single queue's (when, key, seq) order exactly — which is why every
+ * simulated result is byte-identical across the two instantiations.
  */
-struct EngineLoop
+template <typename Q> struct EngineLoop
 {
-    sim::EventQueue &q;
+    Q &q;
     TieredRuntime &rt;
     AccessStream &st;
     const EngineConfig &cfg;
@@ -85,11 +95,11 @@ struct EngineLoop
 };
 
 /** The pooled event payload: 16 bytes, stored inline in the node. */
-template <bool Serving> struct WarpTurn
+template <typename Q, bool Serving> struct WarpTurn
 {
-    EngineLoop *loop;
+    EngineLoop<Q> *loop;
     WarpId w;
-    void operator()() const { loop->turn<Serving>(w); }
+    void operator()() const { loop->template turn<Serving>(w); }
 };
 
 /**
@@ -117,10 +127,11 @@ template <bool Serving> struct WarpTurn
  * timeline counters (rows snapshot them at period boundaries) and
  * backgroundTick (it mutates runtime state that probes read).
  */
+template <typename Q>
 template <bool Serving>
-EngineLoop::EpochExit
-EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
-                  SimTime head_when, std::uint64_t head_key)
+typename EngineLoop<Q>::EpochExit
+EngineLoop<Q>::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
+                     SimTime head_when, std::uint64_t head_key)
 {
     const SimTime stride = cfg.computeNsPerAccess;
     std::uint64_t budget = sim::inlineIssueBudget(at, stride, w, have_head,
@@ -206,7 +217,8 @@ EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
             // per-access streak check would — no re-peek needed, the
             // epoch never touched the queue.
             flush();
-            q.scheduleAtKeyed(at + stride, w, WarpTurn<Serving>{this, w});
+            q.scheduleAtKeyed(at + stride, w,
+                              WarpTurn<Q, Serving>{this, w});
             return EpochExit::Done;
         }
 
@@ -219,9 +231,10 @@ EngineLoop::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
     }
 }
 
+template <typename Q>
 template <bool Serving>
 void
-EngineLoop::turn(WarpId w)
+EngineLoop<Q>::turn(WarpId w)
 {
     SimTime at = q.now();
     // The issue clock is globally non-decreasing, so it can drive the
@@ -268,7 +281,8 @@ EngineLoop::turn(WarpId w)
                 // re-triggers this.)
                 held[w] = a;
                 hasHeld[w] = 1;
-                q.scheduleAtKeyed(a.notBefore, w, WarpTurn<Serving>{this, w});
+                q.scheduleAtKeyed(a.notBefore, w,
+                                  WarpTurn<Q, Serving>{this, w});
                 return;
             }
         }
@@ -342,8 +356,8 @@ EngineLoop::turn(WarpId w)
                     timeline->advanceTo(at);
                 if (!ffwd)
                     continue; // per-access oracle: re-peek every access
-                const EpochExit ex =
-                    epoch<Serving>(w, at, a, haveHead, headWhen, headKey);
+                const EpochExit ex = this->template epoch<Serving>(
+                    w, at, a, haveHead, headWhen, headKey);
                 if (ex == EpochExit::Done)
                     return;
                 fetched = true;
@@ -352,30 +366,24 @@ EngineLoop::turn(WarpId w)
             }
         }
 
-        q.scheduleAtKeyed(next_at, w, WarpTurn<Serving>{this, w});
+        q.scheduleAtKeyed(next_at, w, WarpTurn<Q, Serving>{this, w});
         return;
     }
 }
 
-} // namespace
-
-GpuEngine::GpuEngine(const EngineConfig &engine_config)
-    : cfg(engine_config)
-{
-}
-
+/**
+ * Drive one run over queue facade @p events — the whole issue loop from
+ * hook resolution to the fast-path counter export. Everything in here
+ * is queue-type-agnostic; run() picks the facade.
+ */
+template <typename Q>
 RunResult
-GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
+runWithQueue(Q &events, TieredRuntime &runtime, AccessStream &stream,
+             const EngineConfig &cfg)
 {
     const unsigned warps = stream.numWarps();
-    GMT_ASSERT(warps > 0);
 
-    // Backend choice never changes simulated results (identical
-    // dispatch order); GMT_SCHED flips a whole process for A/B runs.
-    sim::EventQueue events(
-        sim::schedulerBackendFromEnv(runtime.config().scheduler));
-
-    EngineLoop loop{events, runtime, stream, cfg};
+    EngineLoop<Q> loop{events, runtime, stream, cfg};
     // Like the backend: GMT_FASTFWD flips a whole process for A/B runs
     // and never changes simulated results.
     loop.ffwd = cfg.hitFastPath && sim::fastForwardFromEnv(cfg.fastForward);
@@ -415,10 +423,10 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
     for (WarpId w = 0; w < warps; ++w) {
         if (sv)
             events.scheduleAtKeyed(cfg.startTimeNs, w,
-                                   WarpTurn<true>{&loop, w});
+                                   WarpTurn<Q, true>{&loop, w});
         else
             events.scheduleAtKeyed(cfg.startTimeNs, w,
-                                   WarpTurn<false>{&loop, w});
+                                   WarpTurn<Q, false>{&loop, w});
     }
     loop.result.eventsDispatched = events.runToCompletion();
 
@@ -434,6 +442,106 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
     }
 
     return loop.result;
+}
+
+/**
+ * Shard telemetry shared with opt-in timeline probes. Probes are
+ * sampled at session quiesce, after run()'s stack frame (and the
+ * ShardedQueues) are gone — so they capture this block by shared_ptr
+ * and read the final snapshot once `live` is nulled.
+ */
+struct ShardTelemetry
+{
+    sim::ShardStats stats;
+    std::vector<std::int64_t> finalDepth;
+    sim::ShardedQueues *live = nullptr;
+};
+
+} // namespace
+
+GpuEngine::GpuEngine(const EngineConfig &engine_config)
+    : cfg(engine_config)
+{
+}
+
+RunResult
+GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
+{
+    const unsigned warps = stream.numWarps();
+    GMT_ASSERT(warps > 0);
+
+    // Backend choice never changes simulated results (identical
+    // dispatch order); GMT_SCHED flips a whole process for A/B runs.
+    const sim::SchedulerBackend backend =
+        sim::schedulerBackendFromEnv(runtime.config().scheduler);
+
+    // Shard count likewise: GMT_SHARDS partitions the run across domain
+    // queues + borrowed workers without changing any simulated result.
+    // More domains than warps would leave empty queues in every scan.
+    const unsigned shards = sim::shardsFromEnv(runtime.config().shards);
+    const unsigned domains = std::min(shards, warps);
+
+    if (domains <= 1) {
+        sim::EventQueue events(backend);
+        return runWithQueue(events, runtime, stream, cfg);
+    }
+
+    sim::ShardedQueues events(domains, backend);
+    auto telem = std::make_shared<ShardTelemetry>();
+
+    sim::ShardPlan plan;
+    plan.shards = domains;
+    plan.lookaheadNs = runtime.config().shardLookaheadNs();
+    plan.strideNs = cfg.computeNsPerAccess;
+    plan.stats = &telem->stats;
+
+    // Opt-in per-domain timeline columns (GMT_SHARD_TIMELINE=1). Off by
+    // default: the timeline artifact is part of the byte-identity
+    // contract across GMT_SHARDS, and extra columns would break it.
+    trace::TraceSession *session = runtime.traceSession();
+    bool probed = false;
+    if (session && sim::shardTimelineFromEnv()) {
+        if (trace::TimelineSampler *tl = session->timeline()) {
+            probed = true;
+            telem->live = &events;
+            telem->finalDepth.assign(domains, 0);
+            for (unsigned d = 0; d < domains; ++d) {
+                tl->addProbe(
+                    "shard" + std::to_string(d) + ".queue_depth",
+                    [telem, d] {
+                        return telem->live
+                            ? std::int64_t(telem->live->domainPending(d))
+                            : telem->finalDepth[d];
+                    });
+            }
+            tl->addProbe("shard.barrier_waits", [telem] {
+                return std::int64_t(telem->stats.barrierWaits);
+            });
+            tl->addProbe("shard.deferred", [telem] {
+                return std::int64_t(telem->stats.deferred);
+            });
+        }
+    }
+
+    runtime.beginSharded(plan);
+    stream.beginSharded(plan);
+    RunResult r = runWithQueue(events, runtime, stream, cfg);
+    stream.endSharded();
+    runtime.endSharded();
+
+    if (probed) {
+        // Snapshot for post-run quiesce rows, then detach from the
+        // queue object (it dies with this frame).
+        for (unsigned d = 0; d < domains; ++d)
+            telem->finalDepth[d] = std::int64_t(events.domainPending(d));
+        telem->live = nullptr;
+    }
+
+    r.shards = domains;
+    r.shardEpochs = telem->stats.epochs;
+    r.shardBarrierWaits = telem->stats.barrierWaits;
+    r.shardDeferred = telem->stats.deferred;
+    return r;
 }
 
 } // namespace gmt::gpu

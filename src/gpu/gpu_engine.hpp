@@ -109,6 +109,25 @@ struct RunResult
     /** Fast-forwarded steady-state epochs entered (0 when fast-forward
      *  is off). Diagnostic only. */
     std::uint64_t ffEpochs = 0;
+
+    /** Event-queue domains the run executed with (GMT_SHARDS resolved
+     *  against the warp count). 1 = single-thread oracle. Diagnostic
+     *  only — simulated results are byte-identical for any value. */
+    unsigned shards = 1;
+
+    /** Sharded mode: epoch barriers crossed (drain goals published,
+     *  producer window leases). Deterministic. Diagnostic only. */
+    std::uint64_t shardEpochs = 0;
+
+    /** Sharded mode: barriers that actually waited on a worker. NOT
+     *  deterministic (depends on host scheduling) — never feeds any
+     *  simulated result. Diagnostic only. */
+    std::uint64_t shardBarrierWaits = 0;
+
+    /** Sharded mode: work items routed through cross-thread outboxes
+     *  (samples drained off-thread, stream items through the producer
+     *  ring). Deterministic. Diagnostic only. */
+    std::uint64_t shardDeferred = 0;
 };
 
 /** Warp scheduler + issue loop. */

@@ -1,6 +1,10 @@
 #include "harness/run_matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 
 #include "harness/thread_pool.hpp"
 
@@ -19,10 +23,44 @@ parallelFor(std::size_t count,
             body(i);
         return;
     }
-    ThreadPool pool(unsigned(std::min<std::size_t>(jobs, count)));
-    for (std::size_t i = 0; i < count; ++i)
-        pool.submit([&body, i] { body(i); });
-    pool.wait();
+
+    // One process-wide pool instead of a pool per invocation: matrix
+    // runners and intra-run shard actors draw from the same workers, so
+    // --jobs remains the single concurrency budget.
+    ThreadPool &pool = ThreadPool::shared();
+    pool.ensureThreads(jobs);
+
+    // At most `jobs` runner tasks pump indices from a shared cursor
+    // (same self-balancing as one-task-per-index, fewer queue ops).
+    // Completion is tracked with a private latch, NOT pool.wait():
+    // shard actors parked on borrowed workers keep the pool's inFlight
+    // nonzero for their whole run.
+    struct Sync
+    {
+        std::atomic<std::size_t> next{0};
+        std::mutex mtx;
+        std::condition_variable done;
+        std::size_t left = 0;
+    };
+    auto sync = std::make_shared<Sync>();
+    const std::size_t runners = std::min<std::size_t>(jobs, count);
+    sync->left = runners;
+    for (std::size_t r = 0; r < runners; ++r) {
+        pool.submit([sync, &body, count] {
+            for (;;) {
+                const std::size_t i =
+                    sync->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    break;
+                body(i);
+            }
+            std::lock_guard<std::mutex> lock(sync->mtx);
+            if (--sync->left == 0)
+                sync->done.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(sync->mtx);
+    sync->done.wait(lock, [&] { return sync->left == 0; });
 }
 
 std::size_t

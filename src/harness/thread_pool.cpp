@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "sim/sharded_executor.hpp"
+
 namespace gmt::harness
 {
 
@@ -25,6 +27,21 @@ ThreadPool::~ThreadPool()
         w.join();
 }
 
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool(resolveJobs(0));
+    return pool;
+}
+
+void
+ThreadPool::ensureThreads(unsigned threads)
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (workers.size() < threads)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
 void
 ThreadPool::submit(std::function<void()> task)
 {
@@ -36,6 +53,23 @@ ThreadPool::submit(std::function<void()> task)
     taskReady.notify_one();
 }
 
+bool
+ThreadPool::trySubmitIfIdle(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mtx);
+        // Admit only into genuinely spare capacity: an idle worker
+        // beyond every task already queued (those will claim idle
+        // workers the moment they are notified).
+        if (stopping || idleWorkers <= tasks.size())
+            return false;
+        tasks.push(std::move(task));
+        ++inFlight;
+    }
+    taskReady.notify_one();
+    return true;
+}
+
 void
 ThreadPool::wait()
 {
@@ -43,26 +77,32 @@ ThreadPool::wait()
     allDone.wait(lock, [this] { return inFlight == 0; });
 }
 
+std::size_t
+ThreadPool::idleCount()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    return idleWorkers;
+}
+
 void
 ThreadPool::workerLoop()
 {
+    std::unique_lock<std::mutex> lock(mtx);
     for (;;) {
-        std::function<void()> task;
-        {
-            std::unique_lock<std::mutex> lock(mtx);
-            taskReady.wait(lock,
-                           [this] { return stopping || !tasks.empty(); });
-            if (tasks.empty())
-                return; // stopping and drained
-            task = std::move(tasks.front());
-            tasks.pop();
+        while (tasks.empty()) {
+            if (stopping)
+                return;
+            ++idleWorkers;
+            taskReady.wait(lock);
+            --idleWorkers;
         }
+        std::function<void()> task = std::move(tasks.front());
+        tasks.pop();
+        lock.unlock();
         task();
-        {
-            std::unique_lock<std::mutex> lock(mtx);
-            if (--inFlight == 0)
-                allDone.notify_all();
-        }
+        lock.lock();
+        if (--inFlight == 0)
+            allDone.notify_all();
     }
 }
 
@@ -79,5 +119,22 @@ resolveJobs(unsigned jobs)
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }
+
+namespace
+{
+
+/** Shard actors borrow idle shared-pool workers; see header. */
+bool
+borrowSharedWorker(std::function<void()> fn)
+{
+    return ThreadPool::shared().trySubmitIfIdle(std::move(fn));
+}
+
+[[maybe_unused]] const bool kInstallBorrowHook = [] {
+    sim::setWorkerBorrow(&borrowSharedWorker);
+    return true;
+}();
+
+} // namespace
 
 } // namespace gmt::harness

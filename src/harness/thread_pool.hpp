@@ -2,13 +2,19 @@
  * @file
  * A small fixed-size worker pool for running independent simulations.
  *
- * The DES itself is single-threaded by design; parallelism in GMT's
- * evaluation comes from the *matrix* of runs (apps x systems x configs),
- * which are fully independent. This pool provides exactly what that
- * needs: submit closures, wait for all of them, no futures, no
- * cancellation. Workers pull from one shared queue, so imbalanced job
- * lengths (a Srad run costs ~5x a lavaMD run) self-balance the way
- * work-stealing would for this one-deep task graph.
+ * The DES commit loop is single-threaded by design; parallelism in
+ * GMT's evaluation comes from two places that share this one pool so
+ * `--jobs` stays the single concurrency budget:
+ *
+ *  - the *matrix* of runs (apps x systems x configs), which are fully
+ *    independent — runMatrix pumps cells through shared() workers;
+ *  - *intra-run* shard actors (sim/sharded_executor), which borrow a
+ *    worker via trySubmitIfIdle() only when one is idle beyond all
+ *    queued work, so they can never starve matrix cells.
+ *
+ * Workers pull from one shared queue, so imbalanced job lengths (a
+ * Srad run costs ~5x a lavaMD run) self-balance the way work-stealing
+ * would for this one-deep task graph.
  */
 
 #pragma once
@@ -37,14 +43,41 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /**
+     * The process-wide pool, sized resolveJobs(0) on first use and
+     * grown on demand by ensureThreads(). Callers that used to build a
+     * private pool per invocation share this one instead.
+     */
+    static ThreadPool &shared();
+
+    /** Grow to at least @p threads workers (never shrinks). */
+    void ensureThreads(unsigned threads);
+
     /** Enqueue @p task; runs on some worker thread. */
     void submit(std::function<void()> task);
 
-    /** Block until every submitted task has finished running. */
+    /**
+     * Enqueue @p task only if a worker is idle beyond everything
+     * already queued — the admission rule for long-lived borrowers
+     * (shard actors) that park a worker for a whole run: they may use
+     * spare capacity but never displace queued matrix work.
+     * @retval false task not accepted; caller runs the work inline.
+     */
+    bool trySubmitIfIdle(std::function<void()> task);
+
+    /**
+     * Block until every submitted task has finished running. Callers
+     * that may coexist with parked borrowers (anything reached from
+     * runMatrix) must track their own completion instead — a borrower
+     * keeps inFlight nonzero for its whole run.
+     */
     void wait();
 
     /** Number of worker threads. */
     unsigned threadCount() const { return unsigned(workers.size()); }
+
+    /** Workers currently parked waiting for work (diagnostic). */
+    std::size_t idleCount();
 
   private:
     void workerLoop();
@@ -56,6 +89,7 @@ class ThreadPool
     std::condition_variable taskReady; ///< signals workers: work or stop
     std::condition_variable allDone;   ///< signals wait(): queue drained
     std::size_t inFlight = 0;          ///< queued + currently running
+    std::size_t idleWorkers = 0;       ///< workers parked in taskReady
     bool stopping = false;
 };
 

@@ -9,13 +9,15 @@ namespace
 {
 /** Initial stamp-index sizing (distinct pages before the first rehash). */
 constexpr std::size_t kInitialPages = 4096;
+
+/** Initial Fenwick coverage (stamps before the first doubling). */
+constexpr std::uint64_t kInitialStamps = 1u << 16;
 } // namespace
 
 OlkenTree::OlkenTree(std::uint64_t seed)
-    : rng(seed)
 {
-    // Node 0 is the null sentinel with size 0.
-    pool.push_back(Node{0, 0, 0, 0, 0});
+    (void)seed;
+    bit.assign(kInitialStamps + 1, 0);
     // The stamp index tracks distinct pages; start at a size that keeps
     // the sampling phase (hundreds of thousands of samples over a much
     // smaller distinct-page set) from rehashing more than a few times.
@@ -24,132 +26,70 @@ OlkenTree::OlkenTree(std::uint64_t seed)
 
 OlkenTree::~OlkenTree() = default;
 
-std::uint32_t
-OlkenTree::allocNode(std::uint64_t key)
-{
-    std::uint32_t idx;
-    if (!freeNodes.empty()) {
-        idx = freeNodes.back();
-        freeNodes.pop_back();
-        pool[idx] = Node{key, rng.next(), 0, 0, 1};
-    } else {
-        idx = std::uint32_t(pool.size());
-        pool.push_back(Node{key, rng.next(), 0, 0, 1});
-    }
-    return idx;
-}
-
 void
-OlkenTree::freeNode(std::uint32_t n)
+OlkenTree::ensureCapacity(std::uint64_t stamp)
 {
-    freeNodes.push_back(n);
-}
-
-std::uint32_t
-OlkenTree::size(std::uint32_t n) const
-{
-    return pool[n].size;
-}
-
-void
-OlkenTree::split(std::uint32_t t, std::uint64_t key, std::uint32_t &l,
-                 std::uint32_t &r)
-{
-    // Split into keys <= key (l) and keys > key (r).
-    if (t == 0) {
-        l = r = 0;
+    const std::uint64_t old_cap = bit.size() - 1;
+    if (stamp <= old_cap) [[likely]]
         return;
-    }
-    if (pool[t].key <= key) {
-        split(pool[t].right, key, pool[t].right, r);
-        l = t;
-    } else {
-        split(pool[t].left, key, l, pool[t].left);
-        r = t;
-    }
-    pool[t].size = 1 + size(pool[t].left) + size(pool[t].right);
-}
-
-std::uint32_t
-OlkenTree::merge(std::uint32_t l, std::uint32_t r)
-{
-    if (l == 0 || r == 0)
-        return l ? l : r;
-    if (pool[l].prio >= pool[r].prio) {
-        pool[l].right = merge(pool[l].right, r);
-        pool[l].size = 1 + size(pool[l].left) + size(pool[l].right);
-        return l;
-    }
-    pool[r].left = merge(l, pool[r].left);
-    pool[r].size = 1 + size(pool[r].left) + size(pool[r].right);
-    return r;
-}
-
-void
-OlkenTree::insert(std::uint64_t key)
-{
-    const std::uint32_t n = allocNode(key);
-    std::uint32_t l = 0, r = 0;
-    split(root, key, l, r);
-    root = merge(merge(l, n), r);
-}
-
-void
-OlkenTree::erase(std::uint64_t key)
-{
-    std::uint32_t l = 0, mid = 0, r = 0;
-    split(root, key, l, r);
-    split(l, key - 1, l, mid);
-    GMT_ASSERT(mid != 0 && pool[mid].key == key && pool[mid].size == 1);
-    freeNode(mid);
-    root = merge(l, r);
+    std::uint64_t cap = old_cap;
+    while (stamp > cap)
+        cap *= 2;
+    bit.resize(std::size_t(cap + 1), 0);
+    // Growing a power-of-two Fenwick preserves every existing node: an
+    // update path from i <= old_cap ascends through old_cap itself
+    // before leaving, so no past add ever skipped a node in the new
+    // region — except the new power-of-two "root" nodes, whose ranges
+    // (0, m] reach below old_cap and must count every live stamp (all
+    // of which are < stamp <= old_cap * 2 <= m). Zero-fill covers the
+    // rest.
+    for (std::uint64_t m = 2 * old_cap; m <= cap; m *= 2)
+        bit[std::size_t(m)] = std::uint32_t(live);
 }
 
 std::uint64_t
-OlkenTree::countGreater(std::uint64_t key) const
+OlkenTree::prefix(std::uint64_t stamp) const
 {
-    std::uint64_t greater = 0;
-    std::uint32_t t = root;
-    while (t != 0) {
-        if (pool[t].key > key) {
-            greater += 1 + size(pool[t].right);
-            t = pool[t].left;
-        } else {
-            t = pool[t].right;
-        }
-    }
-    return greater;
+    std::uint64_t sum = 0;
+    for (std::uint64_t i = stamp; i > 0; i -= i & (~i + 1))
+        sum += bit[std::size_t(i)];
+    return sum;
 }
 
 std::uint64_t
 OlkenTree::access(PageId page)
 {
-    // Stamps start at 1: erase() computes key - 1 and a zero key would
-    // wrap around.
+    // Stamps start at 1: Fenwick indices are 1-based.
     const std::uint64_t stamp = ++clock;
+    ensureCapacity(stamp);
     auto [last, inserted] = lastStamp.emplace(page, stamp);
     std::uint64_t distance = kColdDistance;
+    const std::uint64_t cap = bit.size() - 1;
     if (!inserted) {
-        // Distinct pages touched since the previous access = nodes whose
-        // last-access timestamp is newer than ours (we ourselves were
-        // re-stamped by those accesses' inserts).
-        distance = countGreater(*last);
-        erase(*last);
+        // Distinct pages touched since the previous access = live
+        // last-access stamps newer than ours (we ourselves were
+        // re-stamped by those accesses).
+        distance = live - prefix(*last);
+        for (std::uint64_t i = *last; i <= cap; i += i & (~i + 1))
+            --bit[std::size_t(i)];
         *last = stamp;
+    } else {
+        ++live;
     }
-    insert(stamp);
+    for (std::uint64_t i = stamp; i <= cap; i += i & (~i + 1))
+        ++bit[std::size_t(i)];
     return distance;
 }
 
 void
 OlkenTree::reset()
 {
-    pool.clear();
-    pool.push_back(Node{0, 0, 0, 0, 0});
-    freeNodes.clear();
-    root = 0;
+    // Keep capacity: steady-state epochs after a reset reuse the arrays
+    // without touching the allocator.
+    bit.assign(bit.size(), 0);
     lastStamp.clear();
     clock = 0;
+    live = 0;
 }
 
 } // namespace gmt::reuse

@@ -4,26 +4,29 @@
  *
  * This is the "tree-based method" (§2.1.3) the CPU thread uses to turn a
  * stream of page accesses into true reuse distances (number of *distinct*
- * pages touched between consecutive accesses to the same page). The
- * structure is a balanced order-statistic tree keyed by last-access
- * timestamp: on each access, the previous occurrence of the page is
- * located via a hash map, its rank from the right equals the set of
- * distinct pages touched since, the old node is deleted and a new node
- * with the current timestamp inserted.
+ * pages touched between consecutive accesses to the same page). On each
+ * access, the previous occurrence of the page is located via a hash map;
+ * the number of live last-access stamps newer than it equals the set of
+ * distinct pages touched since; then the page is re-stamped with the
+ * current time.
  *
- * We implement the order-statistic tree as a treap (randomized priorities,
- * deterministic seed) with subtree counts: expected O(log n) per access
- * and far simpler to verify against the brute-force oracle in tests than
- * a red-black tree.
+ * The order statistic exploits the access pattern: stamps are handed out
+ * in strictly increasing order, so "live stamps newer than s" is a suffix
+ * count over a dense integer domain — a Fenwick (binary indexed) tree
+ * over stamp slots answers it in O(log n) array steps with no pointer
+ * chasing, no balancing, and no per-node allocation (the classic
+ * balanced-tree formulation pays all three). Distances are identical by
+ * construction: the count of live stamps greater than a key does not
+ * depend on how the set is stored.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "util/flat_map.hpp"
-#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace gmt::reuse
@@ -37,6 +40,8 @@ inline constexpr std::uint64_t kColdDistance =
 class OlkenTree
 {
   public:
+    /** @param seed  kept for API stability; the Fenwick formulation is
+     *               deterministic and needs no randomness. */
     explicit OlkenTree(std::uint64_t seed = 42);
     ~OlkenTree();
 
@@ -51,7 +56,7 @@ class OlkenTree
     std::uint64_t access(PageId page);
 
     /** Number of distinct pages seen so far. */
-    std::uint64_t distinctPages() const { return lastStamp.size(); }
+    std::uint64_t distinctPages() const { return live; }
 
     /** Total accesses processed. */
     std::uint64_t accesses() const { return clock; }
@@ -59,34 +64,23 @@ class OlkenTree
     void reset();
 
   private:
-    struct Node
-    {
-        std::uint64_t key;      ///< last-access timestamp
-        std::uint64_t prio;     ///< treap heap priority
-        std::uint32_t left = 0; ///< node-pool indices; 0 = null
-        std::uint32_t right = 0;
-        std::uint32_t size = 1; ///< subtree node count
-    };
+    /** Grow the Fenwick array to cover @p stamp (capacity doubles, so
+     *  growth is amortized away; steady state never reallocates). */
+    void ensureCapacity(std::uint64_t stamp);
 
-    std::uint32_t allocNode(std::uint64_t key);
-    void freeNode(std::uint32_t n);
-    std::uint32_t size(std::uint32_t n) const;
-    void split(std::uint32_t t, std::uint64_t key, std::uint32_t &l,
-               std::uint32_t &r);
-    std::uint32_t merge(std::uint32_t l, std::uint32_t r);
-    void insert(std::uint64_t key);
-    void erase(std::uint64_t key);
-    /** Number of keys strictly greater than @p key. */
-    std::uint64_t countGreater(std::uint64_t key) const;
+    /** bit[1..cap]: Fenwick counts of live last-access stamps. Node i
+     *  covers stamps (i - lowbit(i), i]. */
+    std::vector<std::uint32_t> bit;
 
-    std::vector<Node> pool;           ///< node 0 is the null sentinel
-    std::vector<std::uint32_t> freeNodes;
-    std::uint32_t root = 0;
+    /** Live stamps <= @p stamp. */
+    std::uint64_t prefix(std::uint64_t stamp) const;
+
     /** page -> last-access stamp; pure point lookups (no iteration), so
      *  the flat map's table order never influences reuse distances. */
     util::FlatMap<PageId, std::uint64_t> lastStamp;
-    std::uint64_t clock = 0;
-    Rng rng;
+
+    std::uint64_t clock = 0; ///< stamps handed out (stamps start at 1)
+    std::uint64_t live = 0;  ///< live stamps == distinct pages seen
 };
 
 } // namespace gmt::reuse

@@ -1,5 +1,10 @@
 #include "reuse/sampler.hpp"
 
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "sim/sharded_executor.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::reuse
@@ -7,9 +12,16 @@ namespace gmt::reuse
 
 ReuseSampler::ReuseSampler(std::uint64_t sample_period,
                            std::uint64_t sample_target)
-    : period(sample_period), target(sample_target)
+    : period(sample_period), target(sample_target),
+      kickEvery(std::thread::hardware_concurrency() > 1
+                    ? 64
+                    : std::numeric_limits<std::uint64_t>::max())
 {
     GMT_ASSERT(sample_period > 0);
+    // Fixed-size pointer tables: they never reallocate, so the prepare
+    // worker can index into them while onAccess appends.
+    slabs.resize(std::size_t(target / kSlabSamples + 1));
+    rdSlabs.resize(slabs.size());
 }
 
 void
@@ -19,35 +31,130 @@ ReuseSampler::onAccess(PageId page, VirtualStamp vtd)
         return;
     if (++seen % period != 0)
         return;
-    queue.push_back(AccessSample{page, vtd});
+    const std::size_t slot = std::size_t(recorded / kSlabSamples);
+    if (!slabs[slot]) {
+        slabs[slot] = std::make_unique<AccessSample[]>(kSlabSamples);
+        rdSlabs[slot] = std::make_unique<std::uint64_t[]>(kSlabSamples);
+    }
+    slabs[slot][recorded % kSlabSamples] = AccessSample{page, vtd};
     ++recorded;
+    // Publish to the prepare worker. Oracle mode skips the store: the
+    // commit thread is the only reader and `recorded` covers it.
+    if (asyncMode)
+        recordedPub.store(recorded, std::memory_order_release);
 }
 
-std::uint64_t
-ReuseSampler::drain(std::uint64_t max_samples)
+void
+ReuseSampler::prepareTo(std::uint64_t limit)
 {
-    std::uint64_t done = 0;
-    while (done < max_samples && !queue.empty()) {
-        const AccessSample s = queue.front();
-        queue.pop_front();
+    std::uint64_t p = prepared.load(std::memory_order_relaxed);
+    while (p < limit) {
+        const AccessSample s =
+            slabs[std::size_t(p / kSlabSamples)][p % kSlabSamples];
         // The tree runs over the *sampled* stream. Unique-page counts
         // are nearly sampling-invariant: a page visit spans many
         // coalesced accesses, so a page appearing between two samples
         // of p is itself sampled with high probability. The distance
         // therefore feeds the regressor unscaled (VTDs are true global
         // counter deltas).
-        const std::uint64_t rd = tree.access(s.page);
+        rdSlabs[std::size_t(p / kSlabSamples)][p % kSlabSamples] =
+            tree.access(s.page);
+        ++p;
+        // Per-sample release: a joiner that acquires `prepared >= n`
+        // also sees the rd results those samples produced.
+        prepared.store(p, std::memory_order_release);
+    }
+}
+
+void
+ReuseSampler::applyTo(std::uint64_t limit)
+{
+    while (consumed < limit) {
+        const std::size_t slab = std::size_t(consumed / kSlabSamples);
+        const std::uint64_t slot = consumed % kSlabSamples;
+        const AccessSample s = slabs[slab][slot];
+        const std::uint64_t rd = rdSlabs[slab][slot];
         if (rd != kColdDistance && s.vtd > 0)
             regressor.addSample(double(s.vtd), double(rd));
         ++consumed;
-        ++done;
     }
-    return done;
+}
+
+std::uint64_t
+ReuseSampler::drain(std::uint64_t max_samples)
+{
+    GMT_ASSERT(!asyncMode); // sharded drains go through drainAsyncTick
+    const std::uint64_t limit = std::min(recorded, consumed + max_samples);
+    const std::uint64_t before = consumed;
+    prepareTo(limit);
+    applyTo(limit);
+    return consumed - before;
+}
+
+void
+ReuseSampler::beginAsync(sim::ShardStats *stats)
+{
+    GMT_ASSERT(!asyncMode);
+    // The worker continues the tree from wherever the prepare cursor
+    // stands (== consumed after oracle-mode drains, possibly ahead
+    // after an earlier async phase — both fine).
+    recordedPub.store(recorded, std::memory_order_release);
+    lastKick = recorded;
+    shardStats = stats;
+    asyncMode = true;
+}
+
+void
+ReuseSampler::endAsync()
+{
+    if (!asyncMode)
+        return;
+    asyncMode = false;
+    shardStats = nullptr;
+    // `prepared` may sit ahead of `consumed`; that is fine. The apply
+    // trajectory — the only observable one — stays exactly where the
+    // oracle's ticks left it, and both sync and async drains skip the
+    // tree for already-prepared samples (prepareTo is a no-op past the
+    // cursor), so phase-chained runs keep byte-identity either way.
+}
+
+std::uint64_t
+ReuseSampler::drainAsyncTick(std::uint64_t batch)
+{
+    GMT_ASSERT(asyncMode);
+    const std::uint64_t limit = std::min(recorded, consumed + batch);
+    if (limit == consumed)
+        return 0;
+    // Join on the prepare worker. It chases the recording cursor
+    // continuously, so it normally passed `limit` long ago; waiting
+    // here means the borrowed worker is starved or still waking up.
+    if (prepared.load(std::memory_order_acquire) < limit) {
+        if (shardStats)
+            ++shardStats->barrierWaits;
+        while (prepared.load(std::memory_order_acquire) < limit)
+            std::this_thread::yield();
+    }
+    const std::uint64_t before = consumed;
+    applyTo(limit);
+    return consumed - before;
+}
+
+bool
+ReuseSampler::prepareChunk(std::uint64_t chunk)
+{
+    const std::uint64_t rec = recordedPub.load(std::memory_order_acquire);
+    const std::uint64_t p = prepared.load(std::memory_order_relaxed);
+    if (p >= rec)
+        return false;
+    prepareTo(std::min(rec, p + std::max<std::uint64_t>(chunk, 1)));
+    return true;
 }
 
 LinearModel
 ReuseSampler::model() const
 {
+    // Commit-thread state in both modes: only drain()/drainAsyncTick()
+    // (commit thread) ever advance the regressor, so no join is needed.
     // Prefer the pipelined coefficients; before the first full batch,
     // fall back to a direct fit so short sampling phases still learn.
     LinearModel m = regressor.pipelinedModel();
@@ -59,8 +166,14 @@ ReuseSampler::model() const
 void
 ReuseSampler::reset()
 {
-    seen = recorded = consumed = 0;
-    queue.clear();
+    GMT_ASSERT(!asyncMode);
+    seen = recorded = 0;
+    consumed = 0;
+    lastKick = 0;
+    prepared.store(0, std::memory_order_relaxed);
+    recordedPub.store(0, std::memory_order_relaxed);
+    // Slabs stay allocated: steady-state epochs after a reset reuse
+    // them without touching the allocator.
     tree.reset();
     regressor.reset();
 }

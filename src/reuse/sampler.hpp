@@ -3,26 +3,56 @@
  * GPU->CPU sampling pipeline for fitting the VTD->RD model (§2.1.3).
  *
  * Early in execution the GPU pushes a sample of its coalesced page
- * accesses into a queue shared with the host. A dedicated host thread
- * drains the queue, runs each sampled access through the Olken tree to
+ * accesses into a buffer shared with the host. A dedicated host thread
+ * drains the buffer, runs each sampled access through the Olken tree to
  * recover the true unique reuse distance, pairs it with the VTD the GPU
  * measured, and feeds the pair to the OLS regressor. Updated (m, b)
  * coefficients are published back every OlsRegressor::kPipelineBatch
  * samples.
  *
- * In the DES the "host thread" is a logical actor: draining is
- * off the GPU critical path (its cost is charged to a host-side channel,
- * never to warp time), matching the paper's design intent.
+ * The drain is two stages with very different costs and constraints:
+ *
+ *  - PREPARE: tree.access(page) -> reuse distance. Expensive (the tree
+ *    is O(log n) per access and dominates the heaviest cells' wall
+ *    clock), but each sample's (vtd, rd) pair is a *pure function of
+ *    the sample sequence* — it does not matter when it is computed.
+ *  - APPLY: regressor.addSample(vtd, rd). A few adds — cheap — but its
+ *    timing is observable: model() reads (every eviction's placement
+ *    prediction) must see the regressor exactly where the oracle's
+ *    per-tick drain trajectory consumed_{k+1} = min(recorded_k,
+ *    consumed_k + batch) would have left it.
+ *
+ * The single-thread oracle (GMT_SHARDS=1) runs both stages back to
+ * back inside drain(batch) at every background tick. Sharded mode
+ * pipelines PREPARE onto a borrowed worker that chases the recording
+ * cursor continuously — arbitrarily far ahead of the apply trajectory,
+ * since pairs are order-determined — while APPLY stays on the commit
+ * thread at exactly the oracle's ticks (drainAsyncTick). The tick
+ * joins on "pairs prepared through this tick's limit", which the
+ * worker has normally finished long before, so the expensive stage
+ * vanishes from the commit thread. Every model() read is a plain
+ * commit-thread read — byte-identical to the oracle by construction.
+ *
+ * Sample storage is a fixed-slot table of lazily-allocated slabs: the
+ * outer pointer tables never reallocate, so the worker can read
+ * published samples (and write rd results) while the GPU side appends.
  */
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <vector>
 
 #include "reuse/olken_tree.hpp"
 #include "reuse/ols_regressor.hpp"
 #include "util/types.hpp"
+
+namespace gmt::sim
+{
+struct ShardStats;
+} // namespace gmt::sim
 
 namespace gmt::reuse
 {
@@ -50,21 +80,59 @@ class ReuseSampler
 
     /**
      * GPU side: called on every coalesced access during the sampling
-     * phase. Cheap: one modulo and, on sampled accesses, a queue push.
+     * phase. Cheap: one modulo and, on sampled accesses, a slab store
+     * (plus one release publication in sharded mode).
      */
     void onAccess(PageId page, VirtualStamp vtd);
 
     /**
-     * Host side: drain up to @p max_samples queued samples through the
-     * Olken tree + regressor. @return samples consumed.
+     * Host side, oracle mode: drain up to @p max_samples queued samples
+     * through the Olken tree + regressor. @return samples consumed.
      */
     std::uint64_t drain(std::uint64_t max_samples);
 
-    /** Coefficients as published by the pipelined regression. */
+    /** Enter sharded mode: PREPARE pipelines onto a worker, APPLY runs
+     *  at drainAsyncTick. Barrier waits are accounted into @p stats
+     *  (may be null). */
+    void beginAsync(sim::ShardStats *stats);
+
+    /** Leave sharded mode. @pre the worker has stopped. */
+    void endAsync();
+
+    /**
+     * Commit thread, sharded mode: one background tick of the oracle's
+     * drain trajectory — apply regressor updates for samples
+     * [consumed, min(recorded, consumed + batch)), joining on the
+     * worker's prepared cursor first (normally no wait).
+     * @return samples applied.
+     */
+    std::uint64_t drainAsyncTick(std::uint64_t batch);
+
+    /**
+     * Worker side, sharded mode: compute reuse distances for up to
+     * @p chunk recorded-but-unprepared samples. @return true while
+     * progress was made (pump contract of sim::ShardActor).
+     */
+    bool prepareChunk(std::uint64_t chunk);
+
+    /** Sharded mode: should the GPU side kick the prepare worker?
+     *  True once per kickEvery newly recorded samples (and latches the
+     *  kick point). Always false in oracle mode. */
+    bool
+    kickDue()
+    {
+        if (!asyncMode || recorded - lastKick < kickEvery)
+            return false;
+        lastKick = recorded;
+        return true;
+    }
+
+    /** Coefficients as published by the pipelined regression. Plain
+     *  commit-thread state in both modes. */
     LinearModel model() const;
 
-    /** Queue length (for host-actor scheduling & tests). */
-    std::size_t pendingSamples() const { return queue.size(); }
+    /** Recorded-but-unconsumed samples (host-actor scheduling & tests). */
+    std::size_t pendingSamples() const { return recorded - consumed; }
 
     std::uint64_t samplesRecorded() const { return recorded; }
     std::uint64_t samplesConsumed() const { return consumed; }
@@ -72,12 +140,50 @@ class ReuseSampler
     void reset();
 
   private:
+    /** Samples per storage slab; slabs allocate lazily on first use and
+     *  persist across reset() so steady-state epochs stay allocation
+     *  free. */
+    static constexpr std::uint64_t kSlabSamples = 4096;
+
+    /** Kick the prepare worker once per this many new samples: often
+     *  enough that it never falls a full tick behind, rare enough that
+     *  the hit path almost never pays the wakeup. On a single-thread
+     *  host mid-interval kicks buy nothing (there is no overlap to
+     *  win), so the period is effectively infinite there and only the
+     *  per-tick kick wakes the worker. Set in the constructor. */
+    std::uint64_t kickEvery;
+
+    /** PREPARE samples [prepared, limit): tree -> rd slab. */
+    void prepareTo(std::uint64_t limit);
+
+    /** APPLY samples [consumed, limit): rd slab -> regressor.
+     *  @pre prepared >= limit. */
+    void applyTo(std::uint64_t limit);
+
     std::uint64_t period;
     std::uint64_t target;
-    std::uint64_t seen = 0;
-    std::uint64_t recorded = 0;
-    std::uint64_t consumed = 0;
-    std::deque<AccessSample> queue;
+    std::uint64_t seen = 0;     ///< commit-thread only
+    std::uint64_t recorded = 0; ///< commit-thread only
+    std::uint64_t consumed = 0; ///< regressor cursor; commit-thread only
+    std::uint64_t lastKick = 0; ///< commit-thread only
+
+    /** Tree cursor. Worker-owned in sharded mode (release per sample,
+     *  acquired by the tick join); plain in oracle mode. */
+    std::atomic<std::uint64_t> prepared{0};
+
+    /** Recording cursor as published to the worker (release store in
+     *  onAccess during sharded mode only). */
+    std::atomic<std::uint64_t> recordedPub{0};
+
+    bool asyncMode = false;
+    sim::ShardStats *shardStats = nullptr;
+
+    /** Fixed-size pointer tables (sized for `target` at construction);
+     *  they never reallocate, so worker-side slab reads stay valid
+     *  while the GPU side appends. */
+    std::vector<std::unique_ptr<AccessSample[]>> slabs;
+    std::vector<std::unique_ptr<std::uint64_t[]>> rdSlabs;
+
     OlkenTree tree;
     OlsRegressor regressor;
 };

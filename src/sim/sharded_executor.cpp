@@ -1,0 +1,209 @@
+#include "sim/sharded_executor.hpp"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace gmt::sim
+{
+
+unsigned
+shardsFromEnv(unsigned fallback)
+{
+    const char *env = std::getenv("GMT_SHARDS");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (*end != '\0' || v == 0 || v > 1024)
+        fatal("invalid GMT_SHARDS '%s' (expected an integer in [1, 1024])",
+              env);
+    return unsigned(v);
+}
+
+bool
+shardTimelineFromEnv()
+{
+    const char *env = std::getenv("GMT_SHARD_TIMELINE");
+    if (!env || !*env)
+        return false;
+    const std::string s(env);
+    if (s == "0")
+        return false;
+    if (s == "1")
+        return true;
+    fatal("invalid GMT_SHARD_TIMELINE '%s' (expected '0' or '1')", env);
+}
+
+SimTime
+conservativeLookaheadNs(SimTime miss_handling_ns, SimTime ssd_read_floor_ns,
+                        SimTime pcie_page_ns)
+{
+    return miss_handling_ns + ssd_read_floor_ns + pcie_page_ns;
+}
+
+namespace
+{
+WorkerBorrowFn gBorrow = nullptr;
+} // namespace
+
+void
+setWorkerBorrow(WorkerBorrowFn fn)
+{
+    gBorrow = fn;
+}
+
+WorkerBorrowFn
+workerBorrow()
+{
+    return gBorrow;
+}
+
+bool
+ShardActor::start(std::function<bool()> pump)
+{
+    GMT_ASSERT(!st); // stop() before reusing an actor
+    WorkerBorrowFn borrow = workerBorrow();
+    if (!borrow)
+        return false;
+
+    auto state = std::make_shared<State>();
+    state->pump = std::move(pump);
+
+    const bool accepted = borrow([state] {
+        // Spin this many dry pumps before parking on the cv. Producers
+        // publish work every few microseconds during the phases that
+        // matter (sampling, stream generation); staying hot skips the
+        // wakeup latency that would otherwise eat the overlap window.
+        // On a single-hardware-thread host there is nothing to overlap
+        // with — every spin steals the producer's own timeslice — so
+        // park immediately and rely on kicks.
+        const int kSpinRounds =
+            std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+        std::unique_lock<std::mutex> lk(state->mtx);
+        for (;;) {
+            lk.unlock();
+            // Pump dry, then keep spinning for up to kSpinRounds
+            // consecutive dry pumps before parking.
+            int idle = 0;
+            do {
+                if (state->pump())
+                    idle = 0;
+                else if (++idle <= kSpinRounds)
+                    std::this_thread::yield();
+            } while (idle <= kSpinRounds);
+            lk.lock();
+            if (state->stopping) {
+                // The final goal is published before stopping is set
+                // (both under this mutex on the caller side), so one
+                // more dry pump observes everything outstanding.
+                lk.unlock();
+                while (state->pump()) {
+                }
+                lk.lock();
+                break;
+            }
+            state->cv.wait(
+                lk, [&] { return state->kicked || state->stopping; });
+            state->kicked = false;
+        }
+        state->finished = true;
+        state->cv.notify_all();
+    });
+    if (!accepted)
+        return false;
+    st = std::move(state);
+    return true;
+}
+
+void
+ShardActor::kick()
+{
+    if (!st)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(st->mtx);
+        st->kicked = true;
+    }
+    st->cv.notify_one();
+}
+
+void
+ShardActor::stop()
+{
+    if (!st)
+        return;
+    {
+        std::lock_guard<std::mutex> lk(st->mtx);
+        st->stopping = true;
+        st->kicked = true;
+    }
+    st->cv.notify_all();
+    {
+        std::unique_lock<std::mutex> lk(st->mtx);
+        st->cv.wait(lk, [&] { return st->finished; });
+    }
+    st.reset();
+}
+
+ShardedQueues::ShardedQueues(unsigned domains, SchedulerBackend backend)
+{
+    GMT_ASSERT(domains >= 1);
+    for (unsigned d = 0; d < domains; ++d)
+        doms.emplace_back(backend);
+}
+
+int
+ShardedQueues::earliestDomain()
+{
+    int best = -1;
+    for (std::size_t d = 0; d < doms.size(); ++d) {
+        Domain &dom = doms[d];
+        if (!dom.fresh) {
+            dom.hasHead = dom.q.peekEarliest(dom.headWhen, dom.headKey);
+            dom.fresh = true;
+        }
+        if (!dom.hasHead)
+            continue;
+        if (best < 0) {
+            best = int(d);
+            continue;
+        }
+        const Domain &cur = doms[std::size_t(best)];
+        if (dom.headWhen < cur.headWhen
+            || (dom.headWhen == cur.headWhen && dom.headKey < cur.headKey))
+            best = int(d);
+        // Cross-domain (when, key) ties would make the merge order
+        // depend on domain count; unique keys (one pending turn per
+        // warp, same warp always lands in the same domain) rule them
+        // out structurally — so a tie here is a GMT bug.
+        GMT_ASSERT(dom.headWhen != cur.headWhen
+                   || dom.headKey != cur.headKey);
+    }
+    return best;
+}
+
+std::uint64_t
+ShardedQueues::runToCompletion()
+{
+    std::uint64_t dispatched = 0;
+    for (;;) {
+        const int d = earliestDomain();
+        if (d < 0)
+            break;
+        Domain &dom = doms[std::size_t(d)];
+        // Mirror EventQueue::step() semantics as seen from callbacks:
+        // now() is the dispatched event's time and pending() excludes
+        // the event being dispatched.
+        currentTime = dom.headWhen;
+        --numPending;
+        dom.fresh = false;
+        if (probe) [[unlikely]]
+            probe(dom.headWhen, dom.headKey, unsigned(d));
+        dom.q.step();
+        ++dispatched;
+    }
+    return dispatched;
+}
+
+} // namespace gmt::sim

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Sharded conservative-parallel DES: one simulation spread across
+ * worker threads, byte-identical to the single-thread oracle.
+ *
+ * Why this shape. The obvious parallelization — let K domains commit
+ * state concurrently and reconcile at barriers — is unsound here:
+ * every access commit mutates globally-ordered state (the virtual-time
+ * counter ticks once per access, the reuse sampler records in global
+ * access order, the clock hand advances per lookup), so two domains
+ * committing concurrently would have to agree on a global interleaving
+ * anyway. What *is* safely parallel is everything that feeds a commit
+ * without observing other warps: producing the workload's global item
+ * sequence, and the host-side regression drain (Olken tree + OLS) the
+ * paper itself runs on a dedicated CPU thread. The sharded executor
+ * therefore splits a run into:
+ *
+ *  - K event-queue domains (ShardedQueues): warps partition by
+ *    `key % K`, each domain owns its own EventQueue (wheel or heap),
+ *    and the commit thread merges the per-domain heads in exact
+ *    (when, key) order. Keys (warp ids) are unique per pending event,
+ *    so the merged order equals the single-queue (when, key, seq)
+ *    dispatch order — the structural invariant every golden rides on.
+ *
+ *  - worker roles on borrowed threads (ShardActor): a stream producer
+ *    filling a fixed ring with the global work-item sequence, and the
+ *    GMT host-domain drain chasing a deterministic per-tick goal. Both
+ *    only run *ahead* of the commit thread inside a bounded window and
+ *    join at deterministic points, so the committed state sequence is
+ *    exactly the oracle's.
+ *
+ * The conservative lookahead window bounds how far a worker may run
+ * ahead: no cross-domain interaction can land earlier than the minimum
+ * service latency of the miss path (software miss handling + NVMe read
+ * floor + one page crossing PCIe), computed once per run from
+ * RuntimeConfig::shardLookaheadNs(). Outbox rings are sized from that
+ * window; epoch barriers (background ticks / model reads) are where
+ * deferred work merges back, counted in ShardStats.
+ *
+ * GMT_SHARDS=N overrides RuntimeConfig::shards process-wide, in the
+ * same oracle-A/B style as GMT_SCHED and GMT_FASTFWD; N=1 is the
+ * single-thread oracle and the default. Results, metrics, traces,
+ * spans, timelines, and goldens are byte-identical for every N.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/logging.hpp"
+#include "util/types.hpp"
+
+namespace gmt::sim
+{
+
+/** RuntimeConfig::shards after the GMT_SHARDS override (>= 1). */
+unsigned shardsFromEnv(unsigned fallback);
+
+/** Opt-in shard telemetry columns for the timeline sampler
+ *  (GMT_SHARD_TIMELINE=1). Off by default so timeline artifacts stay
+ *  byte-identical across GMT_SHARDS — this is the one deliberate
+ *  artifact difference, and it must be asked for. */
+bool shardTimelineFromEnv();
+
+/**
+ * Conservative lookahead floor from its three components (pure
+ * arithmetic; core/config.cpp feeds it the RuntimeConfig numbers).
+ * The sum is the earliest any cross-domain state change can feed back
+ * into another domain's timing.
+ */
+SimTime conservativeLookaheadNs(SimTime miss_handling_ns,
+                                SimTime ssd_read_floor_ns,
+                                SimTime pcie_page_ns);
+
+/**
+ * Borrow hook: run a long-lived actor on an idle harness worker.
+ * Installed by harness::ThreadPool (thread_pool.cpp) when that library
+ * is linked, so intra-run shards draw from the same budget as
+ * `--jobs`; null (no harness) means actors fall back to inline
+ * execution on the commit thread — identical results, no parallelism.
+ */
+using WorkerBorrowFn = bool (*)(std::function<void()> fn);
+void setWorkerBorrow(WorkerBorrowFn fn);
+WorkerBorrowFn workerBorrow();
+
+/** Telemetry for one sharded run. Commit-thread-owned (workers never
+ *  touch it); diagnostic only — simulated results never depend on it. */
+struct ShardStats
+{
+    /** Epoch barriers crossed (drain goals published at background
+     *  ticks + producer refill leases). */
+    std::uint64_t epochs = 0;
+
+    /** Barriers that actually waited on a worker (drain joins before a
+     *  model read, ring pops that found the outbox empty). */
+    std::uint64_t barrierWaits = 0;
+
+    /** Cross-domain work items deferred through an outbox (samples
+     *  routed to the host-domain drain, stream items through the
+     *  producer ring). */
+    std::uint64_t deferred = 0;
+};
+
+/** Per-run sharding parameters the engine hands to runtime + stream. */
+struct ShardPlan
+{
+    /** Domain count (>= 2 when sharding is on). */
+    unsigned shards = 1;
+
+    /** Conservative lookahead window (RuntimeConfig::shardLookaheadNs). */
+    SimTime lookaheadNs = 0;
+
+    /** Engine issue stride (EngineConfig::computeNsPerAccess): with
+     *  the lookahead this converts the window into work items. */
+    SimTime strideNs = 1000;
+
+    /** Where participants account their barrier/outbox activity. */
+    ShardStats *stats = nullptr;
+};
+
+/**
+ * One worker-thread actor borrowed from the harness pool for the
+ * duration of a run. The actor repeatedly calls a pump function that
+ * returns true while it makes progress; when the pump runs dry the
+ * actor parks until kick()ed. stop() publishes a final pump pass (so
+ * outstanding goals are drained) and returns the worker to the pool.
+ *
+ * start() returns false when no idle worker exists (or no harness is
+ * linked); callers then simply keep doing the work inline — the
+ * deterministic schedules are built so both modes commit identical
+ * state.
+ */
+class ShardActor
+{
+  public:
+    ShardActor() = default;
+    ~ShardActor() { stop(); }
+
+    ShardActor(const ShardActor &) = delete;
+    ShardActor &operator=(const ShardActor &) = delete;
+
+    /** Borrow a worker and run @p pump on it; false = run inline. */
+    bool start(std::function<bool()> pump);
+
+    /** Wake the actor: new work is (or may be) available. */
+    void kick();
+
+    /** Drain outstanding work, then release the worker. Idempotent. */
+    void stop();
+
+    bool running() const { return st != nullptr; }
+
+  private:
+    struct State
+    {
+        std::mutex mtx;
+        std::condition_variable cv;
+        std::function<bool()> pump;
+        bool kicked = false;
+        bool stopping = false;
+        bool finished = false;
+    };
+    std::shared_ptr<State> st;
+};
+
+/**
+ * Fixed-capacity single-producer/single-consumer ring — the outbox a
+ * worker role fills ahead of the commit thread. Allocation happens
+ * once at construction; push/pop are wait-free. Capacity rounds up to
+ * a power of two.
+ */
+template <typename T> class SpscRing
+{
+  public:
+    explicit SpscRing(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        buf.resize(cap);
+        mask = cap - 1;
+    }
+
+    std::size_t capacity() const { return buf.size(); }
+
+    /** Producer side. @return false when full. */
+    bool
+    tryPush(const T &v)
+    {
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        if (t - head.load(std::memory_order_acquire) > mask)
+            return false;
+        buf[t & mask] = v;
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Consumer side. @return false when empty. */
+    bool
+    tryPop(T &out)
+    {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        if (h == tail.load(std::memory_order_acquire))
+            return false;
+        out = buf[h & mask];
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    /** Approximate occupancy (exact on the calling side's own view). */
+    std::size_t
+    size() const
+    {
+        return std::size_t(tail.load(std::memory_order_acquire)
+                           - head.load(std::memory_order_acquire));
+    }
+
+  private:
+    std::vector<T> buf;
+    std::size_t mask = 0;
+    alignas(64) std::atomic<std::uint64_t> head{0}; ///< consumer cursor
+    alignas(64) std::atomic<std::uint64_t> tail{0}; ///< producer cursor
+};
+
+/**
+ * K event-queue domains merged into one deterministic dispatch stream.
+ *
+ * Events route to domain `key % K`; each domain is a full EventQueue
+ * (wheel or heap, same backend choice as the oracle). The commit
+ * thread dispatches by scanning the cached per-domain heads for the
+ * minimum (when, key) — keys are unique across pending events (the
+ * engine keys every event by warp id and a warp owns at most one
+ * pending turn), so no cross-domain tie can reach the per-domain `seq`
+ * tiebreak and the merged order is a total order equal to the
+ * single-queue (when, key, seq) dispatch order.
+ *
+ * The facade mirrors the EventQueue surface the engine consumes
+ * (now / pending / peekEarliest / scheduleAtKeyed / runToCompletion),
+ * so the engine loop is templated over either queue type.
+ */
+class ShardedQueues
+{
+  public:
+    ShardedQueues(unsigned domains, SchedulerBackend backend);
+
+    /** Global simulated clock: the last dispatched event's time. */
+    SimTime now() const { return currentTime; }
+
+    /** Total pending events across all domains. */
+    std::size_t pending() const { return numPending; }
+
+    bool empty() const { return numPending == 0; }
+
+    unsigned domainCount() const { return unsigned(doms.size()); }
+
+    /** Pending events in domain @p d (timeline probes). */
+    std::size_t
+    domainPending(unsigned d) const
+    {
+        return doms[d].q.pending();
+    }
+
+    /** Route to domain key % K; same causality contract as EventQueue. */
+    template <typename F>
+    void
+    scheduleAtKeyed(SimTime when, std::uint64_t key, F &&fn)
+    {
+        Domain &d = doms[key % doms.size()];
+        d.q.scheduleAtKeyed(when, key, std::forward<F>(fn));
+        d.fresh = false;
+        ++numPending;
+    }
+
+    /** Ordering fields of the globally-next event (merged over the
+     *  per-domain heads). Same contract as EventQueue::peekEarliest. */
+    bool
+    peekEarliest(SimTime &when, std::uint64_t &key)
+    {
+        const int d = earliestDomain();
+        if (d < 0)
+            return false;
+        when = doms[std::size_t(d)].headWhen;
+        key = doms[std::size_t(d)].headKey;
+        return true;
+    }
+
+    /** Dispatch the merged stream until every domain drains. Returns
+     *  events dispatched (same count as the single-queue oracle). */
+    std::uint64_t runToCompletion();
+
+    /** Test hook: observe every dispatch as (when, key, domain). */
+    using DispatchProbe =
+        std::function<void(SimTime, std::uint64_t, unsigned)>;
+    void setDispatchProbe(DispatchProbe p) { probe = std::move(p); }
+
+  private:
+    struct Domain
+    {
+        explicit Domain(SchedulerBackend backend) : q(backend) {}
+        EventQueue q;
+        SimTime headWhen = 0;
+        std::uint64_t headKey = 0;
+        bool hasHead = false;
+        /** Head cache valid? Invalidated by schedule into / step of
+         *  this domain; only stale domains re-peek on the next scan. */
+        bool fresh = false;
+    };
+
+    /** Index of the domain owning the global minimum head, -1 if all
+     *  empty. Refreshes stale head caches along the way. */
+    int earliestDomain();
+
+    std::deque<Domain> doms; ///< deque: EventQueue is not movable
+    std::size_t numPending = 0;
+    SimTime currentTime = 0;
+    DispatchProbe probe;
+};
+
+} // namespace gmt::sim

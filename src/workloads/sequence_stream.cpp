@@ -1,5 +1,7 @@
 #include "workloads/sequence_stream.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "util/logging.hpp"
@@ -18,6 +20,116 @@ SequenceStream::SequenceStream(std::string stream_name,
 }
 
 bool
+SequenceStream::pumpProducer()
+{
+    bool progress = false;
+    if (pipe->hasCarry) {
+        // A generated item that found the ring full last pump; it must
+        // go out before anything new (FIFO = determinism).
+        if (!pipe->ring.tryPush(pipe->carry))
+            return false; // still full; park until the consumer kicks
+        pipe->hasCarry = false;
+        progress = true;
+    }
+    if (pipe->srcDone)
+        return progress;
+    WorkItem item;
+    for (;;) {
+        if (!nextItem(item)) {
+            pipe->srcDone = true;
+            pipe->done.store(true, std::memory_order_release);
+            break;
+        }
+        if (!pipe->ring.tryPush(item)) {
+            // Window filled: stash the overflow item (it cannot be
+            // regenerated) and park. Never spin here — at stop() time
+            // the consumer is gone and a spin would never end.
+            pipe->carry = item;
+            pipe->hasCarry = true;
+            break;
+        }
+        progress = true;
+    }
+    return progress;
+}
+
+bool
+SequenceStream::pullItem(WorkItem &out)
+{
+    Pipe *p = pipe.get();
+    if (!p)
+        return nextItem(out);
+    for (;;) {
+        if (p->ring.tryPop(out)) {
+            ++p->pops;
+            // Periodic kick: refill the window every quarter turn of
+            // the ring instead of per item (the producer batches).
+            if ((p->pops & p->kickMask) == 0)
+                p->producer.kick();
+            return true;
+        }
+        if (p->done.load(std::memory_order_acquire)) {
+            // done is set after the final push; one re-pop closes the
+            // race between a failed pop and the publication.
+            if (p->ring.tryPop(out)) {
+                ++p->pops;
+                return true;
+            }
+            return false;
+        }
+        // Outbox empty with the producer still live: a real barrier
+        // wait on cross-thread work.
+        if (p->stats)
+            ++p->stats->barrierWaits;
+        p->producer.kick();
+        std::this_thread::yield();
+    }
+}
+
+void
+SequenceStream::beginSharded(const sim::ShardPlan &plan)
+{
+    GMT_ASSERT(!pipe);
+    if (plan.shards < 2)
+        return;
+    // Size the outbox to the conservative window: the items the engine
+    // can consume while a cross-domain miss is still in flight. One
+    // item covers touchesPerVisit engine strides.
+    const SimTime stride =
+        std::max<SimTime>(1, plan.strideNs * cfg.touchesPerVisit);
+    const std::uint64_t window =
+        std::uint64_t(plan.shards) * std::uint64_t(plan.lookaheadNs / stride);
+    const std::size_t capacity = std::size_t(
+        std::clamp<std::uint64_t>(window, 256, 65536));
+    auto p = std::make_unique<Pipe>(capacity);
+    p->kickMask = p->ring.capacity() / 4 - 1;
+    p->stats = plan.stats;
+    pipe = std::move(p);
+    const bool started =
+        pipe->producer.start([this] { return pumpProducer(); });
+    if (!started) {
+        pipe.reset(); // no idle worker: stay on the inline path
+        return;
+    }
+    if (plan.stats)
+        ++plan.stats->epochs; // the initial window lease
+}
+
+void
+SequenceStream::endSharded()
+{
+    if (!pipe)
+        return;
+    if (pipe->stats)
+        pipe->stats->deferred += pipe->pops;
+    pipe->producer.stop();
+    // Items still in the ring were generated but never consumed; the
+    // sequence state has advanced past them, so the stream must be
+    // reset() before it is driven again (reset also drops the pipe).
+    pipe.reset();
+}
+
+bool
 SequenceStream::nextAccess(WarpId warp, gpu::Access &out)
 {
     GMT_ASSERT(warp < cursors.size());
@@ -26,7 +138,7 @@ SequenceStream::nextAccess(WarpId warp, gpu::Access &out)
         if (exhausted)
             return false;
         WorkItem item;
-        if (!nextItem(item)) {
+        if (!pullItem(item)) {
             exhausted = true;
             return false;
         }
@@ -44,6 +156,7 @@ SequenceStream::nextAccess(WarpId warp, gpu::Access &out)
 void
 SequenceStream::reset()
 {
+    endSharded(); // defensive: a run must not leak its producer
     cursors.assign(cfg.warps, Cursor{});
     exhausted = false;
     rng.reseed(cfg.seed);

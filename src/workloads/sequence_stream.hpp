@@ -18,10 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "gpu/access_stream.hpp"
+#include "sim/sharded_executor.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -65,6 +67,16 @@ class SequenceStream : public gpu::AccessStream
     bool nextAccess(WarpId warp, gpu::Access &out) final;
     void reset() final;
 
+    /**
+     * Sharded mode: generate the global item sequence on a borrowed
+     * worker, one conservative-lookahead window ahead of the engine,
+     * through a fixed SPSC outbox ring. Item order (and thus every
+     * simulated result) is byte-identical — the ring is FIFO and
+     * nextItem() runs only on the producer side.
+     */
+    void beginSharded(const sim::ShardPlan &plan) final;
+    void endSharded() final;
+
     const WorkloadConfig &workloadConfig() const { return cfg; }
 
   protected:
@@ -85,9 +97,39 @@ class SequenceStream : public gpu::AccessStream
         unsigned remaining = 0;
     };
 
+    /** Producer pipeline state, live only between begin/endSharded. */
+    struct Pipe
+    {
+        explicit Pipe(std::size_t capacity) : ring(capacity) {}
+
+        sim::SpscRing<WorkItem> ring;
+        sim::ShardActor producer;
+
+        /** Producer -> consumer: sequence exhausted, ring holds the
+         *  tail. Producer-side mirror is srcDone (plain). */
+        std::atomic<bool> done{false};
+        bool srcDone = false;
+
+        /** Producer-side overflow item (generated, ring was full). */
+        WorkItem carry;
+        bool hasCarry = false;
+
+        /** Consumer-side bookkeeping (commit thread only). */
+        std::uint64_t pops = 0;
+        std::uint64_t kickMask = 0;
+        sim::ShardStats *stats = nullptr;
+    };
+
+    /** Next global item: ring pop when pipelined, else nextItem(). */
+    bool pullItem(WorkItem &out);
+
+    /** Producer pump: fill the ring until full or sequence end. */
+    bool pumpProducer();
+
     std::string _name;
     std::vector<Cursor> cursors;
     bool exhausted = false;
+    std::unique_ptr<Pipe> pipe;
 };
 
 } // namespace gmt::workloads

@@ -12,14 +12,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <thread>
 
 #include "core/config.hpp"
 #include "core/runtime.hpp"
 #include "gpu/access_stream.hpp"
+#include "harness/thread_pool.hpp"
 #include "workloads/tenant_schedule.hpp"
 #include "gpu/coalescer.hpp"
 #include "gpu/gpu_engine.hpp"
@@ -32,15 +36,17 @@
 namespace
 {
 
-/** Allocations observed since process start (single-threaded tests). */
-std::uint64_t g_news = 0;
+/** Allocations observed since process start. Atomic: sharded runs
+ *  prepare reuse distances on a borrowed pool worker, so counts from
+ *  two threads must merge losslessly. */
+std::atomic<std::uint64_t> g_news{0};
 
 } // namespace
 
 void *
 operator new(std::size_t size)
 {
-    ++g_news;
+    g_news.fetch_add(1, std::memory_order_relaxed);
     if (void *p = std::malloc(size ? size : 1))
         return p;
     throw std::bad_alloc();
@@ -307,17 +313,18 @@ class ScopedEnv
     std::string old_;
 };
 
-/** Single-warp sequential sweep over a fixed page range: once the
- *  range is resident, the rest of the run is one unbounded epoch. */
+/** Sequential sweep over a fixed page range (warps share one global
+ *  sequence): once the range is resident, the rest of the run is one
+ *  unbounded epoch. */
 class SeqStream : public gpu::AccessStream
 {
   public:
-    SeqStream(std::uint64_t pages, std::uint64_t total)
-        : pages_(pages), total_(total), left_(total)
+    SeqStream(std::uint64_t pages, std::uint64_t total, unsigned warps = 1)
+        : pages_(pages), total_(total), left_(total), warps_(warps)
     {
     }
 
-    unsigned numWarps() const override { return 1; }
+    unsigned numWarps() const override { return warps_; }
     std::uint64_t numPages() const override { return pages_; }
     const std::string &name() const override { return name_; }
 
@@ -338,6 +345,7 @@ class SeqStream : public gpu::AccessStream
     std::uint64_t pages_;
     std::uint64_t total_;
     std::uint64_t left_;
+    unsigned warps_;
     std::string name_ = "seq";
 };
 
@@ -352,6 +360,7 @@ TEST(HotPathAlloc, FastForwardedEpochNeverAllocates)
     // run retires inside a fast-forwarded epoch — which must never
     // touch the allocator (ISSUE 6 acceptance).
     ScopedEnv ff("GMT_FASTFWD", "1");
+    ScopedEnv oneShard("GMT_SHARDS", "1"); // sharded runs proven below
 
     const auto run = [](std::uint64_t accesses, gpu::RunResult &out) {
         RuntimeConfig cfg;
@@ -398,6 +407,7 @@ TEST(HotPathAlloc, MultiTenantSteadyStateNeverAllocates)
     // capacity growth to the delta; the wheel has its own steady-state
     // allocation test above.)
     ScopedEnv sched("GMT_SCHED", "heap");
+    ScopedEnv oneShard("GMT_SHARDS", "1"); // sharded runs proven below
     const auto run = [](std::uint64_t requests) {
         RuntimeConfig cfg;
         cfg.numPages = 256;
@@ -475,4 +485,58 @@ TEST(HotPathAlloc, TryHitFastPathNeverAllocates)
         << "a committed Tier-1 fast hit must be allocation-free";
     EXPECT_EQ(hits, 100000u) << "every resident access must take the "
                                 "fast path in steady state";
+}
+
+TEST(HotPathAlloc, ShardedSteadyStateEpochsNeverAllocate)
+{
+    // Sharded counterpart of FastForwardedEpochNeverAllocates: with the
+    // drain actor live on a borrowed pool worker, two runs differing
+    // only in how long the post-sampling steady state lasts must
+    // allocate identically. The sampling phase (slab fills on the
+    // commit thread, Olken/Fenwick growth on the worker) completes
+    // inside the short run's prefix, so every extra access of the long
+    // run retires inside a sharded fast-forwarded epoch — which must
+    // never touch the allocator on either thread.
+    ScopedEnv shards("GMT_SHARDS", "4");
+    ScopedEnv ff("GMT_FASTFWD", "1");
+    // Heap backend: range-independent capacity (see the tenant test).
+    ScopedEnv sched("GMT_SCHED", "heap");
+
+    const auto run = [](std::uint64_t accesses, gpu::RunResult &out) {
+        // A worker must have parked idle before it can be borrowed —
+        // both on the cold shared pool and between back-to-back runs
+        // (the previous run's actor releases its worker asynchronously).
+        gmt::harness::ThreadPool &pool = gmt::harness::ThreadPool::shared();
+        for (int i = 0; i < 5000 && pool.idleCount() == 0; ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        EXPECT_GT(pool.idleCount(), 0u);
+        RuntimeConfig cfg;
+        cfg.numPages = 128;
+        cfg.tier1Pages = 128;
+        cfg.tier2Pages = 256;
+        cfg.policy = PlacementPolicy::Reuse;
+        cfg.samplePeriod = 4;
+        cfg.sampleTarget = 1000; // done after 4000 accesses
+        auto rt = makeGmtRuntime(cfg);
+        SeqStream stream(cfg.numPages, accesses, 4); // 4 warps = 4 domains
+        const gpu::EngineConfig ec;
+        const std::uint64_t before = g_news;
+        out = gpu::GpuEngine(ec).run(*rt, stream);
+        return g_news - before;
+    };
+
+    gpu::RunResult shortRun, longRun;
+    const std::uint64_t shortAllocs = run(20000, shortRun);
+    const std::uint64_t longAllocs = run(120000, longRun);
+
+    // The sharded machinery must actually be engaged, not silently
+    // fallen back to the oracle.
+    EXPECT_EQ(shortRun.shards, 4u);
+    EXPECT_GT(shortRun.shardEpochs, 0u);
+    EXPECT_EQ(longRun.shards, 4u);
+    EXPECT_GT(longRun.ffEpochs, 0u)
+        << "the resident tail must fast-forward through epochs";
+    EXPECT_EQ(longAllocs, shortAllocs)
+        << "100000 extra sharded steady-state accesses must add zero "
+           "allocations on both the commit thread and the worker";
 }

@@ -28,9 +28,12 @@
  * (the default 10% threshold absorbs CI-box noise).
  *
  * User counters (google-benchmark state.counters, e.g. the engine
- * benches' events_dispatched / events_elided / ff_epochs split) pass
- * through into each normalized entry under "counters", so the committed
- * trajectory shows per-cell how much work fast-forwarding elides.
+ * benches' events_dispatched / events_elided / ff_epochs split, or the
+ * sharded benches' shard.* telemetry) pass through into each normalized
+ * entry under "counters", so the committed trajectory shows per-cell
+ * how much work fast-forwarding elides. --check also diffs counters
+ * over the union of keys on both sides — new, dropped, and changed
+ * counters are reported but never fail the gate.
  *
  * Without --check, exit status is non-zero only when the report would
  * be malformed (bench crashed, JSON didn't parse, required fields
@@ -446,6 +449,43 @@ checkAgainstBaseline(const std::vector<BenchEntry> &entries,
                      regressed ? "  REGRESSION" : "");
         if (regressed)
             ++regressions;
+
+        // Counter diff over the UNION of keys: counters only on one
+        // side (a new shard.* counter, or one a refactor dropped) used
+        // to vanish from the check silently. Informational only —
+        // counters are work-shape telemetry, not a perf gate.
+        const JsonValue *baseCounters = base->find("counters");
+        for (const auto &[key, value] : e.counters) {
+            const JsonValue *bv =
+                baseCounters ? baseCounters->find(key.c_str()) : nullptr;
+            if (!bv)
+                std::fprintf(stderr,
+                             "bench_report: check:   counter %-32s  "
+                             "(new) %s\n",
+                             key.c_str(), counterText(value).c_str());
+            else if (bv->number != value)
+                std::fprintf(stderr,
+                             "bench_report: check:   counter %-32s  "
+                             "%s -> %s\n",
+                             key.c_str(), counterText(bv->number).c_str(),
+                             counterText(value).c_str());
+        }
+        if (baseCounters) {
+            for (const auto &member : baseCounters->members) {
+                bool present = false;
+                for (const auto &[key, value] : e.counters)
+                    if (key == member.first) {
+                        present = true;
+                        break;
+                    }
+                if (!present)
+                    std::fprintf(stderr,
+                                 "bench_report: check:   counter %-32s  "
+                                 "(dropped, was %s)\n",
+                                 member.first.c_str(),
+                                 counterText(member.second.number).c_str());
+            }
+        }
     }
     if (compared == 0) {
         std::fprintf(stderr, "bench_report: check: no benchmarks in "

@@ -25,8 +25,9 @@
  *
  *   trace_tool timeline TIMELINE_JSONL [--csv]
  *       Per-cell interval summary of a timeline artifact; --csv emits
- *       every sample in long form (cell,system,workload,t_ns,probe,
- *       value) for plotting.
+ *       every sample in long form (cell,system,workload,t_ns,shard,
+ *       probe,value) for plotting. Probes named "shard<d>.<p>" land as
+ *       shard=<d>, probe=<p>; other probes leave shard empty.
  */
 
 #include <algorithm>
@@ -278,8 +279,26 @@ runTimeline(int argc, char **argv)
     };
     std::vector<Cell> cellsMeta;
 
+    // Per-domain probes registered by the sharded engine are named
+    // "shard<d>.<probe>"; split the domain into its own CSV column so
+    // queue depths / barrier stalls group naturally per shard. Probes
+    // without the prefix get an empty shard column.
+    auto splitShard = [](const std::string &probe,
+                         std::string &shard) -> std::string {
+        shard.clear();
+        if (probe.rfind("shard", 0) != 0)
+            return probe;
+        std::size_t i = 5;
+        while (i < probe.size() && probe[i] >= '0' && probe[i] <= '9')
+            ++i;
+        if (i == 5 || i >= probe.size() || probe[i] != '.')
+            return probe;
+        shard = probe.substr(5, i - 5);
+        return probe.substr(i + 1);
+    };
+
     if (csv)
-        std::printf("cell,system,workload,t_ns,probe,value\n");
+        std::printf("cell,system,workload,t_ns,shard,probe,value\n");
     for (const auto &line : lines) {
         const std::string type = strOf(line, "type");
         if (type == "cell") {
@@ -312,9 +331,11 @@ runTimeline(int argc, char **argv)
                 gmt::fatal("interval row arity mismatch in cell %" PRIu64,
                            id);
             for (std::size_t p = 0; p < c.probes.size(); ++p) {
-                std::printf("%" PRIu64 ",%s,%s,%" PRIu64 ",%s,%.0f\n",
+                std::string shard;
+                const std::string probe = splitShard(c.probes[p], shard);
+                std::printf("%" PRIu64 ",%s,%s,%" PRIu64 ",%s,%s,%.0f\n",
                             id, c.system.c_str(), c.workload.c_str(),
-                            c.lastT, c.probes[p].c_str(),
+                            c.lastT, shard.c_str(), probe.c_str(),
                             vals->items[p].number);
             }
         }
