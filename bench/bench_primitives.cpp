@@ -9,6 +9,7 @@
 
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -548,6 +549,32 @@ namespace
  * trajectory JSON shows where the wins come from.
  */
 void
+runEngineCell(benchmark::State &state, TieredRuntime &rt,
+              gpu::AccessStream &stream, const gpu::EngineConfig &ec)
+{
+    gpu::GpuEngine engine(ec);
+
+    std::uint64_t makespan = 0;
+    gpu::RunResult r;
+    for (auto _ : state) {
+        rt.reset();
+        stream.reset();
+        r = engine.run(rt, stream);
+        makespan = r.makespanNs;
+        state.SetItemsProcessed(state.items_processed()
+                                + std::int64_t(r.accesses));
+    }
+    benchmark::DoNotOptimize(makespan);
+    state.counters["events_dispatched"] =
+        benchmark::Counter(double(r.eventsDispatched));
+    state.counters["events_elided"] =
+        benchmark::Counter(double(r.fastPathHits));
+    state.counters["ff_epochs"] = benchmark::Counter(double(r.ffEpochs));
+    state.counters["lane_dispatched"] =
+        benchmark::Counter(double(r.laneDispatches));
+}
+
+void
 engineRunBench(benchmark::State &state, const RuntimeConfig &cfg,
                double zipf_skew, std::uint64_t visits,
                sim::SchedulerBackend backend, bool fast_path,
@@ -566,24 +593,7 @@ engineRunBench(benchmark::State &state, const RuntimeConfig &cfg,
     gpu::EngineConfig ec;
     ec.hitFastPath = fast_path;
     ec.fastForward = fast_forward;
-    gpu::GpuEngine engine(ec);
-
-    std::uint64_t makespan = 0;
-    gpu::RunResult r;
-    for (auto _ : state) {
-        rt->reset();
-        stream.reset();
-        r = engine.run(*rt, stream);
-        makespan = r.makespanNs;
-        state.SetItemsProcessed(state.items_processed()
-                                + std::int64_t(r.accesses));
-    }
-    benchmark::DoNotOptimize(makespan);
-    state.counters["events_dispatched"] =
-        benchmark::Counter(double(r.eventsDispatched));
-    state.counters["events_elided"] =
-        benchmark::Counter(double(r.fastPathHits));
-    state.counters["ff_epochs"] = benchmark::Counter(double(r.ffEpochs));
+    runEngineCell(state, *rt, stream, ec);
 }
 
 /** Resident working set: every steady-state access is a Tier-1 hit, so
@@ -611,6 +621,88 @@ fig8CellConfig()
     cfg.tier2Pages = 1024;
     cfg.policy = PlacementPolicy::Reuse;
     return cfg;
+}
+
+/** A fig11-style high-OSF cell: the working set is 16x Tier-1 and the
+ *  zipf skew is nearly flat, so almost every visit is a cold miss
+ *  feeding a sustained eviction storm — the shape the bulk-transfer
+ *  planners (GMT_BULKFWD) target. */
+RuntimeConfig
+stormCellConfig()
+{
+    RuntimeConfig cfg;
+    cfg.numPages = 8192;
+    cfg.tier1Pages = 512;
+    cfg.tier2Pages = 1024;
+    cfg.policy = PlacementPolicy::Reuse;
+    cfg.sampleTarget = 0;
+    return cfg;
+}
+
+/** The cold-miss sweep itself: a strided walk over the whole working
+ *  set, so every visit's reuse distance exceeds Tier-1 and every visit
+ *  is a miss. Deliberately trivial to generate — the cell measures the
+ *  storm's event machinery, not the workload sampler. */
+class SweepStream : public workloads::SequenceStream
+{
+  public:
+    SweepStream(const workloads::WorkloadConfig &config,
+                std::uint64_t total_visits)
+        : SequenceStream("sweep", config), totalVisits(total_visits)
+    {
+    }
+
+  protected:
+    bool
+    nextItem(workloads::WorkItem &out) override
+    {
+        if (issued >= totalVisits)
+            return false;
+        out.page = (issued * 7) % cfg.pages;
+        out.write = (issued & 3) == 0;
+        out.touches = cfg.touchesPerVisit;
+        ++issued;
+        return true;
+    }
+
+    void resetSequence() override { issued = 0; }
+
+  private:
+    std::uint64_t totalVisits;
+    std::uint64_t issued = 0;
+};
+
+/** Storm cell with GMT_BULKFWD pinned for the whole run. The knob is
+ *  resolved at runtime/engine construction, so the env var must be set
+ *  before the runtime is built; restore afterwards so other benchmarks
+ *  keep the process default. */
+void
+engineStormBench(benchmark::State &state, const char *bulkfwd, bool bam)
+{
+    const char *prev = std::getenv("GMT_BULKFWD");
+    const std::string saved = prev ? prev : "";
+    setenv("GMT_BULKFWD", bulkfwd, 1);
+    {
+        RuntimeConfig rc = stormCellConfig();
+        rc.scheduler = sim::SchedulerBackend::Wheel;
+        auto rt =
+            bam ? baselines::makeBamRuntime(rc) : makeGmtRuntime(rc);
+
+        workloads::WorkloadConfig wc;
+        wc.pages = rc.numPages;
+        wc.warps = 64;
+        wc.touchesPerVisit = 4;
+        SweepStream stream(wc, 40000);
+
+        gpu::EngineConfig ec;
+        ec.hitFastPath = true;
+        ec.fastForward = true;
+        runEngineCell(state, *rt, stream, ec);
+    }
+    if (prev)
+        setenv("GMT_BULKFWD", saved.c_str(), 1);
+    else
+        unsetenv("GMT_BULKFWD");
 }
 
 } // namespace
@@ -662,6 +754,43 @@ BM_EngineFig8CellFastFwd(benchmark::State &state)
                    sim::SchedulerBackend::Wheel, true, true);
 }
 BENCHMARK(BM_EngineFig8CellFastFwd)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineStormCellOracle(benchmark::State &state)
+{
+    // Per-event oracle: every channel/ring completion is its own
+    // scheduler event, every miss turn rides the base event queue.
+    engineStormBench(state, "0", false);
+}
+BENCHMARK(BM_EngineStormCellOracle)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineStormCellBulkFwd(benchmark::State &state)
+{
+    // Closed-form batch planners plus the cohort lane: identical
+    // simulated results, but the storm's completion schedules are
+    // computed analytically and miss turns drain through the lane
+    // (see the lane_dispatched counter) instead of the scheduler.
+    engineStormBench(state, "1", false);
+}
+BENCHMARK(BM_EngineStormCellBulkFwd)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineBamStormCellOracle(benchmark::State &state)
+{
+    // Same storm through the BaM baseline: no Tier-2 directory or
+    // classifier on the miss path, so the per-event scheduler traffic
+    // is a far bigger slice of the oracle's wall time.
+    engineStormBench(state, "0", true);
+}
+BENCHMARK(BM_EngineBamStormCellOracle)->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineBamStormCellBulkFwd(benchmark::State &state)
+{
+    engineStormBench(state, "1", true);
+}
+BENCHMARK(BM_EngineBamStormCellBulkFwd)->Unit(benchmark::kMicrosecond);
 
 static void
 BM_EngineReuseSampledCellSharded(benchmark::State &state)

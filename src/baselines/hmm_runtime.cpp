@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pcie/params.hpp"
+#include "sim/bulk_forward.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::baselines
@@ -19,6 +20,7 @@ HmmRuntime::HmmRuntime(const RuntimeConfig &config,
       nvme(config.ssd, 1, config.nvmeQueueDepth, config.numSsds)
 {
     GMT_ASSERT(config.tier2Pages > 0); // HMM always has a page cache
+    bulkFwd = sim::bulkForwardFromEnv(true);
 }
 
 void
@@ -230,16 +232,32 @@ HmmRuntime::evictToHost(SimTime now)
 SimTime
 HmmRuntime::flush(SimTime now)
 {
-    SimTime done = now;
+    if (!bulkFwd) {
+        SimTime done = now;
+        for (PageId p = 0; p < cfg.numPages; ++p) {
+            mem::PageMeta &m = pt.meta(p);
+            if (!m.dirty)
+                continue;
+            done = std::max(done, nvme.hostWritePage(now, p));
+            m.dirty = false;
+            stats.get("ssd_writes").inc();
+        }
+        return done;
+    }
+    // Bulk path: every dirty page takes the host queue, so the whole
+    // write-back is one batched run (value-identical to the loop).
+    flushRun.clear();
     for (PageId p = 0; p < cfg.numPages; ++p) {
         mem::PageMeta &m = pt.meta(p);
         if (!m.dirty)
             continue;
-        done = std::max(done, nvme.hostWritePage(now, p));
+        flushRun.push_back(p);
         m.dirty = false;
-        stats.get("ssd_writes").inc();
     }
-    return done;
+    if (flushRun.empty())
+        return now;
+    stats.get("ssd_writes").inc(flushRun.size());
+    return nvme.hostWritePagesRun(now, flushRun.data(), flushRun.size());
 }
 
 void

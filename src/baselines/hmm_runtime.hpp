@@ -97,6 +97,12 @@ class HmmRuntime : public TieredRuntime
     trace::TrackId tier1Trk = 0;
     trace::LatencyHistogram *missLat = nullptr; ///< whole fault path
 
+    /** GMT_BULKFWD resolved at construction: flush() batches the
+     *  dirty-page write-back into one NVMe run when on. */
+    bool bulkFwd = true;
+    /** Scratch dirty-page run for flush(). */
+    std::vector<PageId> flushRun;
+
     /** Hot counters, cached after their first lazy creation (see the
      *  GmtRuntime note: creation order is observable in exports). */
     stats::Counter *cAccesses = nullptr;

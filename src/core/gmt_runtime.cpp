@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pcie/params.hpp"
+#include "sim/bulk_forward.hpp"
 #include "util/logging.hpp"
 
 namespace gmt
@@ -36,6 +37,7 @@ GmtRuntime::GmtRuntime(const RuntimeConfig &config)
             throttleSeq.assign(cfg.tenants.count(), 0);
         }
     }
+    bulkFwd = sim::bulkForwardFromEnv(true);
 }
 
 const char *
@@ -199,10 +201,10 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         t += cfg.tier2LookupNs;
         if (spanProf)
             spanProf->stage(trace::Stage::TierProbe, cfg.tier2LookupNs);
-        stats.get("tier2_lookups").inc();
+        cached(cTier2Lookups, "tier2_lookups").inc();
         from_tier2 = tier2.contains(page);
         if (from_tier2) {
-            stats.get("tier2_hits").inc();
+            cached(cTier2Hits, "tier2_hits").inc();
             // Claim the slot immediately so the eviction below can
             // neither displace this page nor race with its promotion
             // (the freed slot is what §2.2 calls an empty slot showing
@@ -210,7 +212,7 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
             tier2.take(page);
             tier2.traceOccupancy(t);
         } else {
-            stats.get("wasteful_lookups").inc();
+            cached(cWasteful, "wasteful_lookups").inc();
         }
     }
 
@@ -245,14 +247,14 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         if (gate > issue) {
             if (spanProf)
                 spanProf->stage(trace::Stage::Admission, gate - issue);
-            stats.get("admission_waits").inc();
+            cached(cAdmissionWaits, "admission_waits").inc();
             issue = gate;
         }
     }
     SimTime fetch_done;
     if (from_tier2) {
         fetch_done = xferUp.transfer(issue, 1, kWarpLanes);
-        stats.get("tier2_fetches").inc();
+        cached(cTier2Fetches, "tier2_fetches").inc();
         if (tier2FetchLat)
             tier2FetchLat->record(fetch_done - issue);
         if (spanProf)
@@ -262,7 +264,7 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         // hop into GPU memory.
         const SimTime io_done = nvme.readPage(issue, page, warp);
         fetch_done = pcieUp.transferAt(io_done, kPageBytes);
-        stats.get("ssd_reads").inc();
+        cached(cSsdReads, "ssd_reads").inc();
         if (spanProf) {
             spanProf->stage(trace::Stage::SsdRead, io_done - issue);
             spanProf->stage(trace::Stage::PcieTransfer,
@@ -282,7 +284,7 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     // of the run once first fetched (the clock skips pinned frames).
     if (cfg.tenants.pagePinned(page)) {
         tier1.pin(frame);
-        stats.get("qos_pins").inc();
+        cached(cQosPins, "qos_pins").inc();
     }
     tier1.traceOccupancy(fetch_done);
     m.retainedThisResidency = false;
@@ -367,9 +369,9 @@ GmtRuntime::learnOnRefetch(PageId page)
         std::uint8_t(classifier.classify(rrd));
 
     if (m.lastPredictedTier <= 2) {
-        stats.get("pred_total").inc();
+        cached(cPredTotal, "pred_total").inc();
         if (m.lastPredictedTier == correct)
-            stats.get("pred_correct").inc();
+            cached(cPredCorrect, "pred_correct").inc();
     }
 
     // Transition from the previous eviction's correct tier to this one.
@@ -415,7 +417,7 @@ GmtRuntime::evictOne(SimTime now, WarpId warp, PageId incoming)
                     && attempt < kMaxShortRetains) {
                     cand.retainedThisResidency = true;
                     tier1.giveSecondChance(victim);
-                    stats.get("short_retains").inc();
+                    cached(cShortRetains, "short_retains").inc();
                     continue;
                 }
                 target = Tier::HostMem;
@@ -427,7 +429,7 @@ GmtRuntime::evictOne(SimTime now, WarpId warp, PageId incoming)
                 if (target == Tier::Ssd && overflow.shouldRedirect()
                     && !tier2.full()) {
                     target = Tier::HostMem;
-                    stats.get("overflow_redirects").inc();
+                    cached(cOverflowRedirects, "overflow_redirects").inc();
                 }
             }
             // Medium placements into a full Tier-2 displace the FIFO
@@ -449,7 +451,7 @@ GmtRuntime::evictOne(SimTime now, WarpId warp, PageId incoming)
         // adjustments (overflow redirect, full-Tier-2 bypass) are not
         // the Markov chain's errors.
         vm.lastPredictedTier = reuse_policy ? pure_prediction : 3;
-        stats.get("tier1_evictions").inc();
+        cached(cTier1Evictions, "tier1_evictions").inc();
 
         if (evictionProbe)
             evictionProbe(vpage, vm.evictCount, target);
@@ -476,13 +478,13 @@ GmtRuntime::placeInTier2(SimTime now, PageId page)
         if (dm.dirty) {
             t = std::max(t, nvme.hostWritePage(now, displaced));
             dm.dirty = false;
-            stats.get("ssd_writes").inc();
+            cached(cSsdWrites, "ssd_writes").inc();
         }
-        stats.get("tier2_displacements").inc();
+        cached(cTier2Displacements, "tier2_displacements").inc();
     }
     tier2.insert(page);
     tier2.traceOccupancy(t);
-    stats.get("evict_to_tier2").inc();
+    cached(cEvictToTier2, "evict_to_tier2").inc();
     // Down-path transfer GPU -> host memory.
     return xferDown.transfer(t, 1, kWarpLanes);
 }
@@ -494,14 +496,14 @@ GmtRuntime::placeInTier3(SimTime now, WarpId warp, PageId page)
     pt.setResidency(page, mem::Residency::Tier3, kInvalidFrame);
     if (m.dirty) {
         m.dirty = false;
-        stats.get("ssd_writes").inc();
-        stats.get("evict_to_ssd").inc();
+        cached(cSsdWrites, "ssd_writes").inc();
+        cached(cEvictToSsd, "evict_to_ssd").inc();
         // Payload leaves GPU memory over the downstream x16 hop, then
         // the NVMe write is serviced.
         const SimTime staged = pcieDown.transferAt(now, kPageBytes);
         return nvme.writePage(staged, page, warp);
     }
-    stats.get("evict_discard").inc();
+    cached(cEvictDiscard, "evict_discard").inc();
     return now;
 }
 
@@ -533,13 +535,13 @@ GmtRuntime::prefetchAfter(SimTime now, WarpId warp, PageId page)
         const FrameId pf = tier1.finishFetch(next, false);
         if (cfg.tenants.pagePinned(next)) {
             tier1.pin(pf);
-            stats.get("qos_pins").inc();
+            cached(cQosPins, "qos_pins").inc();
         }
         tier1.traceOccupancy(done);
         pt.meta(next).retainedThisResidency = false;
         setPageReadyAt(next, done);
-        stats.get("ssd_reads").inc();
-        stats.get("prefetches").inc();
+        cached(cSsdReads, "ssd_reads").inc();
+        cached(cPrefetches, "prefetches").inc();
     }
 }
 
@@ -612,18 +614,57 @@ GmtRuntime::endSharded()
 SimTime
 GmtRuntime::flush(SimTime now)
 {
+    if (!bulkFwd) {
+        // Oracle path: one command per dirty page, in page order.
+        SimTime done = now;
+        for (PageId p = 0; p < cfg.numPages; ++p) {
+            mem::PageMeta &m = pt.meta(p);
+            if (!m.dirty)
+                continue;
+            if (m.residency == mem::Residency::Tier1)
+                done = std::max(done, nvme.writePage(now, p, 0));
+            else if (m.residency == mem::Residency::Tier2)
+                done = std::max(done, nvme.hostWritePage(now, p));
+            m.dirty = false;
+            cached(cSsdWrites, "ssd_writes").inc();
+        }
+        return done;
+    }
+    // Bulk path: the oracle's command stream is maximal runs of
+    // same-residency dirty pages (clean pages in between emit nothing,
+    // so they don't break a run); hand each run to the device's batched
+    // submit, which is value-identical to the per-page loop.
     SimTime done = now;
+    mem::Residency runRes = mem::Residency::Tier3;
+    flushRun.clear();
+    const auto emit = [&] {
+        if (flushRun.empty())
+            return;
+        const SimTime d = runRes == mem::Residency::Tier1
+            ? nvme.writePagesRun(now, flushRun.data(), flushRun.size(), 0)
+            : nvme.hostWritePagesRun(now, flushRun.data(),
+                                     flushRun.size());
+        done = std::max(done, d);
+        cached(cSsdWrites, "ssd_writes").inc(flushRun.size());
+        flushRun.clear();
+    };
     for (PageId p = 0; p < cfg.numPages; ++p) {
         mem::PageMeta &m = pt.meta(p);
         if (!m.dirty)
             continue;
-        if (m.residency == mem::Residency::Tier1)
-            done = std::max(done, nvme.writePage(now, p, 0));
-        else if (m.residency == mem::Residency::Tier2)
-            done = std::max(done, nvme.hostWritePage(now, p));
+        if (m.residency != mem::Residency::Tier1
+            && m.residency != mem::Residency::Tier2) {
+            m.dirty = false;
+            cached(cSsdWrites, "ssd_writes").inc();
+            continue;
+        }
+        if (!flushRun.empty() && m.residency != runRes)
+            emit();
+        runRes = m.residency;
+        flushRun.push_back(p);
         m.dirty = false;
-        stats.get("ssd_writes").inc();
     }
+    emit();
     return done;
 }
 

@@ -141,6 +141,37 @@ class GmtRuntime : public TieredRuntime
     stats::Counter *cAccesses = nullptr;
     stats::Counter *cTier1Hits = nullptr;
     stats::Counter *cTier1Misses = nullptr;
+    stats::Counter *cTier2Lookups = nullptr;
+    stats::Counter *cTier2Hits = nullptr;
+    stats::Counter *cWasteful = nullptr;
+    stats::Counter *cAdmissionWaits = nullptr;
+    stats::Counter *cTier2Fetches = nullptr;
+    stats::Counter *cSsdReads = nullptr;
+    stats::Counter *cQosPins = nullptr;
+    stats::Counter *cPredTotal = nullptr;
+    stats::Counter *cPredCorrect = nullptr;
+    stats::Counter *cShortRetains = nullptr;
+    stats::Counter *cOverflowRedirects = nullptr;
+    stats::Counter *cTier1Evictions = nullptr;
+    stats::Counter *cSsdWrites = nullptr;
+    stats::Counter *cTier2Displacements = nullptr;
+    stats::Counter *cEvictToTier2 = nullptr;
+    stats::Counter *cEvictToSsd = nullptr;
+    stats::Counter *cEvictDiscard = nullptr;
+    stats::Counter *cPrefetches = nullptr;
+
+    /** Lazy counter cache: the first call still creates the counter at
+     *  its original program point (metric exports serialize creation
+     *  order); later calls skip the name hash and — for names past the
+     *  small-string capacity — the per-call temporary's heap
+     *  allocation, which the storm paths cannot afford. */
+    stats::Counter &
+    cached(stats::Counter *&slot, const char *counter_name)
+    {
+        if (!slot) [[unlikely]]
+            slot = &stats.get(counter_name);
+        return *slot;
+    }
 
     /**
      * Per-tenant admission throttle (cfg.tenants.fetchWindow): ring of
@@ -150,6 +181,12 @@ class GmtRuntime : public TieredRuntime
      */
     std::vector<std::vector<SimTime>> throttleRing;
     std::vector<std::uint64_t> throttleSeq;
+
+    /** GMT_BULKFWD resolved at construction: flush() groups dirty-page
+     *  runs into batched NVMe submissions when on. */
+    bool bulkFwd = true;
+    /** Scratch run of same-residency dirty pages for flush(). */
+    std::vector<PageId> flushRun;
 
     /** Retries when GMT-Reuse keeps re-classifying candidates short. */
     static constexpr unsigned kMaxShortRetains = 8;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "gpu/serving.hpp"
+#include "sim/bulk_forward.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fast_forward.hpp"
 #include "sim/sharded_executor.hpp"
@@ -429,6 +430,8 @@ runWithQueue(Q &events, TieredRuntime &runtime, AccessStream &stream,
                                    WarpTurn<Q, false>{&loop, w});
     }
     loop.result.eventsDispatched = events.runToCompletion();
+    if constexpr (requires { events.laneDispatches(); })
+        loop.result.laneDispatches = events.laneDispatches();
 
     // Export the fast-path split into the golden metrics (created here,
     // before the quiesce-hook counters, so export order is fixed).
@@ -483,6 +486,15 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
 
     if (domains <= 1) {
         sim::EventQueue events(backend);
+        // Bulk-forward wraps the scheduler in the monotone cohort lane
+        // (sim/bulk_forward.hpp): storm-ordered completion turns bypass
+        // the heap/wheel while an exact (when, key) merge keeps the
+        // dispatch order — and with it every simulated result —
+        // byte-identical. GMT_BULKFWD flips a whole process for A/B.
+        if (sim::bulkForwardFromEnv(cfg.bulkForward)) {
+            sim::CohortQueue lane(events, warps);
+            return runWithQueue(lane, runtime, stream, cfg);
+        }
         return runWithQueue(events, runtime, stream, cfg);
     }
 

@@ -79,6 +79,15 @@ struct EngineConfig
      *  simulated results — off keeps the per-access streak as the
      *  oracle for A/B runs. Requires hitFastPath. */
     bool fastForward = true;
+
+    /** Dispatch storm-ordered warp turns through the monotone cohort
+     *  lane instead of the scheduler (sim/bulk_forward.hpp), and let
+     *  the queueing resources plan backlogged batches in closed form.
+     *  Overridable per process with GMT_BULKFWD=0|1; never changes
+     *  simulated results — off keeps the per-event path as the oracle.
+     *  Engaged at GMT_SHARDS<=1 (sharded domains keep their own
+     *  queues). */
+    bool bulkForward = true;
 };
 
 /** Result of one kernel run. */
@@ -101,10 +110,17 @@ struct RunResult
      *  only — not part of any simulated result. */
     std::uint64_t fastPathHits = 0;
 
-    /** Events actually dispatched off the queue this run. Together
+    /** Events actually dispatched off the scheduler this run. Together
      *  with fastPathHits (the elided turns) this quantifies the
-     *  fast-forward win per cell. Diagnostic only. */
+     *  fast-forward win per cell. Under the cohort lane this counts
+     *  base-queue dispatches only; eventsDispatched + laneDispatches
+     *  equals the oracle's dispatch count. Diagnostic only. */
     std::uint64_t eventsDispatched = 0;
+
+    /** Warp turns dispatched from the cohort lane — events the
+     *  scheduler never saw (0 when bulk-forward is off). Diagnostic
+     *  only. */
+    std::uint64_t laneDispatches = 0;
 
     /** Fast-forwarded steady-state epochs entered (0 when fast-forward
      *  is off). Diagnostic only. */

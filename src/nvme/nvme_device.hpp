@@ -56,6 +56,26 @@ class NvmeDevice
     /** Host path (libnvm): write one page from host memory. */
     SimTime hostWritePage(SimTime now, PageId page);
 
+    /**
+     * GPU path: write @p n pages submitted together at @p now by
+     * @p warp (a flush's write-back burst). Value-identical to n
+     * writePage() calls: the free ring slots take their commands in one
+     * QueuePair::submitBatch whose drain schedule the device computes
+     * in closed form, and only the ring-full tail falls back to the
+     * (inherently sequential) per-command stall path. Falls back to the
+     * per-page loop when the run cannot be proven equivalent (multiple
+     * drives interleave independent media FIFOs; an attached TraceSink
+     * must see per-command emission order; zero-latency devices may
+     * complete at @p now). @return the last command's completion time
+     * (== the max — same-drive completions are monotone).
+     */
+    SimTime writePagesRun(SimTime now, const PageId *pages, std::size_t n,
+                          WarpId warp);
+
+    /** Host-path counterpart of writePagesRun(). */
+    SimTime hostWritePagesRun(SimTime now, const PageId *pages,
+                              std::size_t n);
+
     /** First drive (back-compat accessor for single-SSD setups). */
     SsdModel &ssd() { return *models[0]; }
     const SsdModel &ssd() const { return *models[0]; }
@@ -105,6 +125,9 @@ class NvmeDevice
     SimTime submitPage(QueuePair &qp, SimTime now, PageId page,
                        NvmeOpcode op);
 
+    SimTime submitPagesRun(QueuePair &qp, SimTime now, const PageId *pages,
+                           std::size_t n, NvmeOpcode op);
+
     /** Drive a page stripes to. */
     unsigned driveOf(PageId page) const
     {
@@ -115,6 +138,11 @@ class NvmeDevice
     /** gpuQueues[drive][queue] */
     std::vector<std::vector<std::unique_ptr<QueuePair>>> gpuQueues;
     std::vector<std::unique_ptr<QueuePair>> hostQueues; ///< per drive
+    /** Page-run batching provably equivalent for this device (single
+     *  drive, nonzero command latencies)? Resolved at construction. */
+    bool runEligible = false;
+    /** Scratch for submitPagesRun completion times (<= ring depth). */
+    std::vector<SimTime> runDones;
     std::uint64_t gpuReadCount = 0;
     std::uint64_t gpuWriteCount = 0;
     std::uint64_t hostIoCount = 0;

@@ -58,6 +58,37 @@ QueuePair::submit(SimTime now, const SubmissionEntry &entry,
 }
 
 std::uint16_t
+QueuePair::submitBatch(SimTime now, NvmeOpcode op, std::uint32_t num_blocks,
+                       std::uint16_t n, SimTime *dones)
+{
+    GMT_ASSERT(n > 0 && num_blocks > 0);
+    GMT_ASSERT(occupancy + n <= ringDepth);
+    const std::uint64_t bytes = std::uint64_t(num_blocks) * kBlockBytes;
+    if (op == NvmeOpcode::Read)
+        device.readBatch(now, bytes, n, dones);
+    else
+        device.writeBatch(now, bytes, n, dones);
+    // The drive's FIFO media channel hands out completions in
+    // submission order, so every batch done lands at or after the
+    // current CQ tail: the upper_bound insert degenerates to appends.
+    GMT_ASSERT(pendingCq.empty() || pendingCq.back().readyAt <= dones[0]);
+    GMT_ASSERT(dones[0] > now);
+    const std::uint16_t first_cid = nextCommandId;
+    for (std::uint16_t j = 0; j < n; ++j) {
+        CompletionEntry ce;
+        ce.commandId = nextCommandId++;
+        ce.status = 0;
+        ce.phase = false;
+        ce.readyAt = dones[j];
+        pendingCq.push_back(ce);
+    }
+    sqTail = std::uint16_t((sqTail + n) % ringDepth);
+    occupancy = std::uint16_t(occupancy + n);
+    totalSubmissions += n;
+    return first_cid;
+}
+
+std::uint16_t
 QueuePair::reapReady(SimTime now)
 {
     // The ready prefix of the readiness-sorted CQ.

@@ -82,6 +82,24 @@ class QueuePair
                          SimTime *ready_at = nullptr);
 
     /**
+     * Ring the doorbell for @p n same-shape commands all arriving at
+     * @p now — the batched half of the ring's drain schedule. The
+     * device computes every completion in one call
+     * (SsdModel::readBatch/writeBatch); because same-drive completions
+     * come off one FIFO media channel in submission order, the batch
+     * appends to the readiness-sorted CQ (no per-command insertion
+     * search) and the SQ tail/occupancy advance arithmetically.
+     * State-identical to n submit() calls.
+     * @pre inFlight() + n <= depth(), and the device's per-command
+     *      latency is nonzero (completions strictly after @p now).
+     * @param dones receives the n completion times in command order.
+     * @return the command id of the first command in the batch.
+     */
+    std::uint16_t submitBatch(SimTime now, NvmeOpcode op,
+                              std::uint32_t num_blocks, std::uint16_t n,
+                              SimTime *dones);
+
+    /**
      * Poll the CQ at time @p now: pops the oldest completion whose
      * readyAt <= now, validating the phase tag.
      * @retval true and fills @p out when a completion was reaped.

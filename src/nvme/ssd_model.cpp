@@ -38,6 +38,34 @@ SsdModel::write(SimTime now, std::uint64_t bytes)
 }
 
 void
+SsdModel::readBatch(SimTime now, std::uint64_t bytes, std::size_t k,
+                    SimTime *dones)
+{
+    GMT_ASSERT(bytes > 0);
+    slots.serviceBatchAt(now, cfg.readLatencyNs, k, dones);
+    // Slot grants are non-decreasing, so the media arrivals replay in
+    // the exact order the per-command loop would present them.
+    for (std::size_t j = 0; j < k; ++j)
+        dones[j] = media.transferAt(dones[j], bytes);
+    reads += k;
+    readBytes += bytes * k;
+}
+
+void
+SsdModel::writeBatch(SimTime now, std::uint64_t bytes, std::size_t k,
+                     SimTime *dones)
+{
+    GMT_ASSERT(bytes > 0);
+    slots.serviceBatchAt(now, cfg.writeLatencyNs, k, dones);
+    const auto scaled = std::uint64_t(
+        double(bytes) * cfg.readBandwidth / cfg.writeBandwidth);
+    for (std::size_t j = 0; j < k; ++j)
+        dones[j] = media.transferAt(dones[j], scaled);
+    writes += k;
+    writeBytes += bytes * k;
+}
+
+void
 SsdModel::reset()
 {
     slots.reset();

@@ -49,6 +49,21 @@ class SsdModel
     /** Service a write of @p bytes arriving at @p now. */
     SimTime write(SimTime now, std::uint64_t bytes);
 
+    /**
+     * Service @p k same-size reads all arriving at @p now, filling
+     * @p dones[0..k) in command order. Value-identical to k read()
+     * calls: the slot pool and the media channel are independent state
+     * machines, so the k slot grants hoist into one
+     * ServerPool::serviceBatchAt and the media transfers then replay in
+     * the same arrival order the per-command loop would produce.
+     */
+    void readBatch(SimTime now, std::uint64_t bytes, std::size_t k,
+                   SimTime *dones);
+
+    /** Batched write counterpart of readBatch(). */
+    void writeBatch(SimTime now, std::uint64_t bytes, std::size_t k,
+                    SimTime *dones);
+
     std::uint64_t readsServiced() const { return reads; }
     std::uint64_t writesServiced() const { return writes; }
     std::uint64_t bytesRead() const { return readBytes; }

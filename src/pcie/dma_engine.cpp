@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "pcie/params.hpp"
+#include "sim/bulk_forward.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::pcie
@@ -12,6 +13,7 @@ DmaEngine::DmaEngine(sim::BandwidthChannel &link, unsigned num_engines)
     : pcie(link), engineBusyUntil(num_engines, 0)
 {
     GMT_ASSERT(num_engines > 0);
+    bulkPlan = sim::bulkForwardFromEnv(true);
 }
 
 SimTime
@@ -27,11 +29,22 @@ DmaEngine::transferPages(SimTime now, unsigned num_pages)
 
     SimTime done = now;
     SimTime engine_free = std::max(now, engine);
-    for (unsigned i = 0; i < num_pages; ++i) {
-        const SimTime launched = engine_free + kDmaLaunchOverheadNs;
-        done = pcie.transferAt(launched, kPageBytes);
+    if (bulkPlan && num_pages > 1) {
+        // Descriptor i+1 launches one overhead after descriptor i
+        // releases the link — exactly the link's paced-run recurrence,
+        // so the whole batch is one closed-form call.
+        done = pcie.transferPacedRun(engine_free + kDmaLaunchOverheadNs,
+                                     num_pages, kPageBytes,
+                                     kDmaLaunchOverheadNs);
         engine_free = done - pcie.latency();
-        ++totalLaunches;
+        totalLaunches += num_pages;
+    } else {
+        for (unsigned i = 0; i < num_pages; ++i) {
+            const SimTime launched = engine_free + kDmaLaunchOverheadNs;
+            done = pcie.transferAt(launched, kPageBytes);
+            engine_free = done - pcie.latency();
+            ++totalLaunches;
+        }
     }
     engine = engine_free;
     totalPages += num_pages;

@@ -54,6 +54,10 @@ class DmaEngine
   private:
     sim::BandwidthChannel &pcie;
     std::vector<SimTime> engineBusyUntil;
+    /** GMT_BULKFWD resolved at construction: multi-page batches use
+     *  the link's closed-form paced run instead of the per-descriptor
+     *  loop (value-identical — see channel.hpp). */
+    bool bulkPlan = true;
     unsigned nextEngine = 0;
     std::uint64_t totalLaunches = 0;
     std::uint64_t totalPages = 0;

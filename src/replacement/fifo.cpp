@@ -8,13 +8,17 @@ namespace gmt::replacement
 FifoPolicy::FifoPolicy(std::uint64_t num_frames)
     : queued(num_frames, false)
 {
+    std::size_t cap = 2;
+    while (cap < num_frames)
+        cap <<= 1;
+    ring.assign(cap, kInvalidFrame);
 }
 
 void
 FifoPolicy::onInsert(FrameId f)
 {
     GMT_ASSERT(!queued[f]);
-    order.push_back(f);
+    pushBack(f);
     queued[f] = true;
 }
 
@@ -23,9 +27,13 @@ FifoPolicy::onRemove(FrameId f)
 {
     if (!queued[f])
         return;
-    for (auto it = order.begin(); it != order.end(); ++it) {
-        if (*it == f) {
-            order.erase(it);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (at(i) == f) {
+            // Shift the tail left one slot: order is preserved exactly
+            // as a deque erase would.
+            for (std::size_t j = i; j + 1 < count; ++j)
+                at(j) = at(j + 1);
+            --count;
             break;
         }
     }
@@ -36,16 +44,15 @@ FrameId
 FifoPolicy::selectVictim(const mem::FramePool &pool)
 {
     // Rotate over pinned/stale entries at most once around the queue.
-    for (std::size_t scanned = 0, n = order.size(); scanned < n; ++scanned) {
-        const FrameId f = order.front();
-        order.pop_front();
+    for (std::size_t scanned = 0, n = count; scanned < n; ++scanned) {
+        const FrameId f = popFront();
         const mem::Frame &fr = pool.frame(f);
         if (fr.page == kInvalidPage) {
             queued[f] = false; // stale entry: page left without notice
             continue;
         }
         if (fr.pins > 0) {
-            order.push_back(f); // keep FIFO position roughly: rotate
+            pushBack(f); // keep FIFO position roughly: rotate
             continue;
         }
         queued[f] = false;
@@ -57,7 +64,8 @@ FifoPolicy::selectVictim(const mem::FramePool &pool)
 void
 FifoPolicy::reset()
 {
-    order.clear();
+    head = 0;
+    count = 0;
     queued.assign(queued.size(), false);
 }
 

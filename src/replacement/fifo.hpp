@@ -6,12 +6,18 @@
  * queue (unlike LRU), matching the paper's "simple FIFO mechanism in
  * Tier-2". Pinned frames are rotated to the back rather than skipped
  * destructively so the scan terminates.
+ *
+ * The queue lives in a fixed power-of-two ring sized at construction:
+ * each frame is queued at most once, so the population never exceeds
+ * the frame count and the steady push/pop churn of an eviction storm
+ * never touches the allocator (a deque would allocate and free a block
+ * every time its cursor crossed a block boundary).
  */
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "replacement/policy.hpp"
 
@@ -32,7 +38,32 @@ class FifoPolicy : public Policy
     void reset() override;
 
   private:
-    std::deque<FrameId> order;
+    FrameId &
+    at(std::size_t i)
+    {
+        return ring[(head + i) & (ring.size() - 1)];
+    }
+
+    void
+    pushBack(FrameId f)
+    {
+        at(count) = f;
+        ++count;
+    }
+
+    FrameId
+    popFront()
+    {
+        const FrameId f = ring[head];
+        head = (head + 1) & (ring.size() - 1);
+        --count;
+        return f;
+    }
+
+    /** Fixed ring holding the queue; capacity >= num_frames, pow2. */
+    std::vector<FrameId> ring;
+    std::size_t head = 0;
+    std::size_t count = 0;
     std::vector<bool> queued;
 };
 

@@ -12,11 +12,14 @@ namespace gmt::reuse
 
 ReuseSampler::ReuseSampler(std::uint64_t sample_period,
                            std::uint64_t sample_target)
-    : period(sample_period), target(sample_target),
-      kickEvery(std::thread::hardware_concurrency() > 1
-                    ? 64
-                    : std::numeric_limits<std::uint64_t>::max())
+    : period(sample_period), target(sample_target)
 {
+    // Kick cadence for the drain worker: GMT_SHARD_KICK appends per
+    // cross-thread kick, 0 = never kick mid-run (host tuning only;
+    // the hardware-concurrency default matches the old guess).
+    const std::uint64_t kick = sim::shardKickFromEnv();
+    kickEvery =
+        kick == 0 ? std::numeric_limits<std::uint64_t>::max() : kick;
     GMT_ASSERT(sample_period > 0);
     // Fixed-size pointer tables: they never reallocate, so the prepare
     // worker can index into them while onAccess appends.

@@ -1,0 +1,34 @@
+#include "sim/bulk_forward.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "util/logging.hpp"
+
+namespace gmt::sim
+{
+
+bool
+bulkForwardFromEnv(bool fallback)
+{
+    const char *env = std::getenv("GMT_BULKFWD");
+    if (!env || !*env)
+        return fallback;
+    const std::string v(env);
+    if (v == "1" || v == "on")
+        return true;
+    if (v == "0" || v == "off")
+        return false;
+    fatal("unknown GMT_BULKFWD value '%s' (expected '0'/'off' or '1'/'on')",
+          v.c_str());
+}
+
+void
+cohortSchedulePastFatal(SimTime when, SimTime now)
+{
+    fatal("CohortQueue: schedule at %llu ns precedes now (%llu ns)",
+          static_cast<unsigned long long>(when),
+          static_cast<unsigned long long>(now));
+}
+
+} // namespace gmt::sim

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Bulk-transfer fast-forward: closed-form completion schedules for
+ * backlogged queueing resources, and the cohort lane that dispatches
+ * miss-storm completion events without touching the scheduler.
+ *
+ * PR 6's epoch planner (sim/fast_forward.hpp) advances pure-hit streaks
+ * analytically; this file covers the other steady state named in the
+ * ROADMAP — bandwidth-saturated bulk phases (cold-miss sweeps at run
+ * start, eviction storms under oversubscription). Two mechanisms:
+ *
+ *  1. Batch planners on the resources themselves. A FIFO
+ *     work-conserving channel serving a backlogged batch of n
+ *     same-size transfers completes them on an arithmetic schedule
+ *     (BandwidthChannel::transferBatchAt); a k-server pool saturates
+ *     into a round-robin conveyor (ServerPool::serviceBatchAt); an
+ *     NVMe ring drains a command batch on a schedule computable
+ *     without per-command CQ events (QueuePair::submitBatch). Each is
+ *     value-identical to the per-event loop, with the per-item
+ *     observability records folded into the bulk metric updates PR 6
+ *     introduced (LatencyHistogram::recordRun,
+ *     QueueDepthTracker::sampleRamp, InflightWindow::issueBacklog).
+ *
+ *  2. The CohortQueue lane below, the miss-epoch planner's engine-side
+ *     half. In a storm every warp is blocked on an outstanding fetch
+ *     and the queue holds one completion turn per warp; because the
+ *     shared media/channel FIFOs hand out *monotone* completion times,
+ *     those turns are scheduled in almost exactly dispatch order. The
+ *     lane exploits that: a turn whose (when, key) does not precede
+ *     the lane tail appends to a flat FIFO ring and dispatches from
+ *     there — no heap sift, no wheel bucket insert/cascade, no node
+ *     alloc — while out-of-order turns fall back to the real scheduler
+ *     and an exact (when, key) two-way merge preserves the global
+ *     dispatch order event-for-event.
+ *
+ * Everything ships behind GMT_BULKFWD=0|1 with the event-by-event path
+ * kept as the oracle, the same A/B pattern as GMT_FASTFWD/GMT_SCHED:
+ * simulated results, metrics, traces, spans, and timelines are
+ * byte-identical either way, and the switch composes with epoch
+ * fast-forward, serving pacing, and GMT_SHARDS.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/logging.hpp"
+#include "util/types.hpp"
+
+namespace gmt::sim
+{
+
+/**
+ * Resolve the bulk fast-forward switch for a run: the GMT_BULKFWD
+ * environment variable if set ("1"/"on" or "0"/"off", fatal on junk),
+ * else @p fallback. Bulk forwarding never changes simulated results;
+ * the switch exists so the per-event path stays available as the
+ * oracle.
+ */
+bool bulkForwardFromEnv(bool fallback);
+
+[[noreturn]] void cohortSchedulePastFatal(SimTime when, SimTime now);
+
+/** Callbacks up to this many bytes ride in the lane ring (the engine's
+ *  WarpTurn payload is 16 bytes); larger or non-trivial callables go
+ *  to the base queue, which handles any callable. */
+inline constexpr std::size_t kCohortCallbackBytes = 16;
+
+/**
+ * An EventQueue facade that front-runs the scheduler with a monotone
+ * FIFO lane.
+ *
+ * Invariant: lane entries are non-decreasing in (when, key)
+ * lexicographic order — scheduleAtKeyed appends only when the new
+ * entry does not precede the current tail, so popping the lane head is
+ * popping the lane's minimum. Dispatch is an exact two-way merge of
+ * the lane head against the base queue head in (when, key) order;
+ * warp keys are unique among pending events (the same invariant
+ * ShardedQueues relies on), so a full (when, key) tie between the two
+ * sides is structurally impossible — asserted, never tolerated — and
+ * the merge reproduces the single queue's (when, key, seq) dispatch
+ * order exactly.
+ *
+ * The facade mirrors the EventQueue surface the engine uses (now,
+ * pending, peekEarliest, scheduleAtKeyed, runToCompletion), so
+ * EngineLoop instantiates against it unchanged.
+ */
+class CohortQueue
+{
+  public:
+    /** @param base_queue   the real scheduler (oracle order)
+     *  @param expected     lane capacity hint; one pending turn per
+     *                      warp bounds the lane, so passing the warp
+     *                      count makes the ring allocation-free for
+     *                      the whole run. */
+    explicit CohortQueue(EventQueue &base_queue, std::size_t expected)
+        : base(base_queue)
+    {
+        std::size_t cap = 16;
+        while (cap < expected + 1)
+            cap <<= 1;
+        ring.resize(cap);
+    }
+
+    SimTime now() const { return curNow; }
+
+    std::size_t pending() const { return laneCount + base.pending(); }
+
+    bool empty() const { return pending() == 0; }
+
+    /** Turns dispatched from the lane (events the scheduler never
+     *  saw). Diagnostic only. */
+    std::uint64_t laneDispatches() const { return laneDispatched; }
+
+    /** Ring slots currently allocated (tests assert no growth). */
+    std::size_t laneCapacity() const { return ring.size(); }
+
+    bool
+    peekEarliest(SimTime &when, std::uint64_t &key)
+    {
+        SimTime bw = 0;
+        std::uint64_t bk = 0;
+        const bool haveBase = base.peekEarliest(bw, bk);
+        if (laneCount == 0) {
+            if (!haveBase)
+                return false;
+            when = bw;
+            key = bk;
+            return true;
+        }
+        const Entry &head = ring[headIdx];
+        if (haveBase && baseFirst(bw, bk, head)) {
+            when = bw;
+            key = bk;
+        } else {
+            when = head.when;
+            key = head.key;
+        }
+        return true;
+    }
+
+    template <typename F>
+    void
+    scheduleAtKeyed(SimTime when, std::uint64_t key, F &&fn)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kCohortCallbackBytes
+                      && alignof(Fn) <= alignof(std::max_align_t)
+                      && std::is_trivially_copyable_v<Fn>) {
+            if (when < curNow) [[unlikely]]
+                cohortSchedulePastFatal(when, curNow);
+            // Lane-eligible iff strictly after the tail in (when, key)
+            // order (or the lane is empty). Equal (when, key) would
+            // need the seq tie-break the lane does not track; route it
+            // to the base queue (it cannot happen for warp turns —
+            // keys are unique — but the lane never guesses).
+            if (laneCount == 0 || tailPrecedes(when, key)) {
+                pushLane(when, key, fn);
+                return;
+            }
+        }
+        base.scheduleAtKeyed(when, key, std::forward<F>(fn));
+    }
+
+    /** Dispatch the exact (when, key) merge of lane and base until
+     *  both drain. Returns events dispatched off the BASE queue; lane
+     *  turns are counted in laneDispatches() — together they equal the
+     *  oracle's dispatch count. */
+    std::uint64_t
+    runToCompletion()
+    {
+        std::uint64_t dispatched = 0;
+        for (;;) {
+            SimTime bw = 0;
+            std::uint64_t bk = 0;
+            const bool haveBase = base.peekEarliest(bw, bk);
+            if (laneCount == 0 && !haveBase)
+                return dispatched;
+            if (laneCount == 0
+                || (haveBase && baseFirst(bw, bk, ring[headIdx]))) {
+                curNow = bw;
+                base.step();
+                ++dispatched;
+                continue;
+            }
+            const Entry &head = ring[headIdx];
+            GMT_ASSERT(!haveBase || bw != head.when || bk != head.key);
+            // Copy out before invoking: the callback reschedules into
+            // this ring (and may grow it).
+            Entry e = head;
+            headIdx = (headIdx + 1) & (ring.size() - 1);
+            --laneCount;
+            ++laneDispatched;
+            curNow = e.when;
+            e.invoke(e.buf);
+        }
+    }
+
+  private:
+    struct Entry
+    {
+        SimTime when = 0;
+        std::uint64_t key = 0;
+        void (*invoke)(void *) = nullptr;
+        alignas(std::max_align_t) unsigned char buf[kCohortCallbackBytes];
+    };
+
+    static bool
+    baseFirst(SimTime bw, std::uint64_t bk, const Entry &head)
+    {
+        return bw < head.when || (bw == head.when && bk < head.key);
+    }
+
+    bool
+    tailPrecedes(SimTime when, std::uint64_t key) const
+    {
+        const Entry &tail =
+            ring[(headIdx + laneCount - 1) & (ring.size() - 1)];
+        return tail.when < when || (tail.when == when && tail.key < key);
+    }
+
+    template <typename Fn>
+    void
+    pushLane(SimTime when, std::uint64_t key, const Fn &fn)
+    {
+        if (laneCount == ring.size()) [[unlikely]]
+            grow();
+        Entry &e = ring[(headIdx + laneCount) & (ring.size() - 1)];
+        e.when = when;
+        e.key = key;
+        ::new (static_cast<void *>(e.buf)) Fn(fn);
+        e.invoke = [](void *p) {
+            (*std::launder(reinterpret_cast<Fn *>(p)))();
+        };
+        ++laneCount;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Entry> bigger(ring.size() * 2);
+        for (std::size_t i = 0; i < laneCount; ++i)
+            bigger[i] = ring[(headIdx + i) & (ring.size() - 1)];
+        ring.swap(bigger);
+        headIdx = 0;
+    }
+
+    EventQueue &base;
+    std::vector<Entry> ring;
+    std::size_t headIdx = 0;
+    std::size_t laneCount = 0;
+    std::uint64_t laneDispatched = 0;
+    SimTime curNow = 0;
+};
+
+} // namespace gmt::sim

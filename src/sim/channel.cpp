@@ -2,12 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <utility>
 
 #include "util/logging.hpp"
 
 namespace gmt::sim
 {
+
+namespace
+{
+
+/** k(k-1)/2 without overflow in the division (one factor is even). */
+std::uint64_t
+triangular(std::uint64_t k)
+{
+    return (k % 2 == 0) ? (k / 2) * (k - 1) : k * ((k - 1) / 2);
+}
+
+} // namespace
 
 BandwidthChannel::BandwidthChannel(std::string channel_name,
                                    double bytes_per_second,
@@ -19,9 +32,8 @@ BandwidthChannel::BandwidthChannel(std::string channel_name,
 }
 
 SimTime
-BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
+BandwidthChannel::occupancyOf(std::uint64_t bytes)
 {
-    const SimTime start = std::max(now, busyUntil);
     // Memoized occupancy: traffic is overwhelmingly same-sized (page
     // transfers), and llround(bytes/bps*1e9) is a deterministic pure
     // function of bytes, so a one-entry cache skips the fp divide
@@ -34,10 +46,18 @@ BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
         cachedOccupy = SimTime(std::llround(ns));
         cachedBytes = bytes;
     }
-    const SimTime occupy = cachedOccupy;
+    return cachedOccupy;
+}
+
+SimTime
+BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
+{
+    const SimTime start = std::max(now, busyUntil);
+    const SimTime occupy = occupancyOf(bytes);
     busyUntil = start + occupy;
     totalBusy += occupy;
     totalBytes += bytes;
+    totalQueue += start - now;
     const SimTime done = busyUntil + latencyNs;
     if (lat)
         lat->record(done - now);
@@ -51,6 +71,106 @@ BandwidthChannel::transferAt(SimTime now, std::uint64_t bytes)
     return done;
 }
 
+SimTime
+BandwidthChannel::transferBatchAt(SimTime now, std::uint64_t n,
+                                  std::uint64_t bytes)
+{
+    GMT_ASSERT(n > 0);
+    const SimTime occupy = occupancyOf(bytes);
+    if (occupy == 0) {
+        // Degenerate stride: completions are not strictly in the
+        // future, so the window fold's premise fails. Run the oracle.
+        SimTime done = 0;
+        for (std::uint64_t i = 0; i < n; ++i)
+            done = transferAt(now, bytes);
+        return done;
+    }
+    // Backlog recurrence: transfer 0 starts at max(now, busyUntil);
+    // each later one starts exactly at its predecessor's release, so
+    // start_i = start_0 + i*occupy and done_i = start_i + occupy +
+    // latency — an arithmetic schedule with stride `occupy`.
+    const SimTime start0 = std::max(now, busyUntil);
+    const SimTime firstDone = start0 + occupy + latencyNs;
+    busyUntil = start0 + occupy * n;
+    totalBusy += occupy * n;
+    totalBytes += bytes * n;
+    const std::uint64_t queueSum =
+        (start0 - now) * n + occupy * triangular(n);
+    totalQueue += queueSum;
+    if (lat)
+        lat->recordRun(firstDone - now, occupy, n);
+    if (prof) {
+        prof->queueing(queueSum);
+        prof->wire((occupy + latencyNs) * n);
+    }
+    window.issueBacklog(now, start0 + occupy, occupy, n);
+    if (sink) {
+        SimTime d = firstDone;
+        for (std::uint64_t i = 0; i < n; ++i, d += occupy)
+            sink->span(trk, "xfer", now, d);
+    }
+    return firstDone + occupy * (n - 1);
+}
+
+SimTime
+BandwidthChannel::transferPacedRun(SimTime first_launch, std::uint64_t n,
+                                   std::uint64_t bytes, SimTime gap_ns)
+{
+    GMT_ASSERT(n > 0);
+    const SimTime occupy = occupancyOf(bytes);
+    if (occupy == 0 || n == 1) {
+        SimTime launch = first_launch;
+        SimTime done = 0;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            done = transferAt(launch, bytes);
+            launch = done - latencyNs + gap_ns;
+        }
+        return done;
+    }
+    // Paced recurrence: only the first launch can find the channel
+    // busy. Launch i+1 happens gap_ns after transfer i releases the
+    // channel, i.e. strictly after busyUntil, so start_{i+1} =
+    // launch_{i+1} and starts advance by the constant stride
+    // occupy + gap_ns; queueing is zero from the second transfer on
+    // and its latency record is the constant occupy + latency.
+    const SimTime start1 = std::max(first_launch, busyUntil);
+    const SimTime q1 = start1 - first_launch;
+    const SimTime step = occupy + gap_ns;
+    busyUntil = start1 + occupy + step * (n - 1);
+    totalBusy += occupy * n;
+    totalBytes += bytes * n;
+    totalQueue += q1;
+    if (lat) {
+        lat->record(q1 + occupy + latencyNs);
+        lat->record(occupy + latencyNs, n - 1);
+    }
+    if (prof) {
+        prof->queueing(q1);
+        prof->wire((occupy + latencyNs) * n);
+    }
+    if (window.attached()) {
+        // Per-transfer issues (each predecessor retires before the
+        // next launch, so depth oscillates — not a foldable ramp).
+        SimTime launch = first_launch;
+        SimTime release = start1 + occupy;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            window.issue(launch, release);
+            launch = release + gap_ns;
+            release += step;
+        }
+    }
+    if (sink) {
+        SimTime launch = first_launch;
+        SimTime d = start1 + occupy + latencyNs;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            sink->span(trk, "xfer", launch, d);
+            launch = d - latencyNs + gap_ns;
+            d += step;
+        }
+    }
+    return busyUntil + latencyNs;
+}
+
 void
 BandwidthChannel::attachTrace(trace::TraceSession *session)
 {
@@ -58,7 +178,12 @@ BandwidthChannel::attachTrace(trace::TraceSession *session)
         lat = &reg->latency(_name + ".xfer_ns");
         window.attach(&reg->queueDepth(_name + ".inflight",
                                        trace::QueueKind::Inflight));
-        session->onQuiesce([this](SimTime t) { window.quiesce(t); });
+        session->onQuiesce([this, reg](SimTime t) {
+            window.quiesce(t);
+            reg->counter(_name + ".busy_ns") = totalBusy;
+            reg->counter(_name + ".bytes") = totalBytes;
+            reg->counter(_name + ".queue_ns") = totalQueue;
+        });
     }
     if (trace::TraceSink *s = session->sink()) {
         sink = s;
@@ -73,6 +198,7 @@ BandwidthChannel::reset()
     busyUntil = 0;
     totalBytes = 0;
     totalBusy = 0;
+    totalQueue = 0;
     sink = nullptr;
     lat = nullptr;
     prof = nullptr;
@@ -84,19 +210,23 @@ ServerPool::ServerPool(std::string pool_name, unsigned num_servers)
     : _name(std::move(pool_name)), freeAt(num_servers, 0)
 {
     GMT_ASSERT(num_servers > 0);
+    sortedFree.reserve(num_servers);
 }
 
 SimTime
 ServerPool::serviceAt(SimTime now, SimTime service_ns)
 {
-    // Earliest-available server; linear scan is fine (pools are small:
-    // SSD queue depth and handler thread counts are both < 1024).
-    auto it = std::min_element(freeAt.begin(), freeAt.end());
-    const SimTime start = std::max(now, *it);
+    // Earliest-available server off the min-heap: O(log k) replace-min
+    // instead of a linear scan (SSD queue depths make this the hottest
+    // loop of a miss storm).
+    std::pop_heap(freeAt.begin(), freeAt.end(), std::greater<SimTime>{});
+    const SimTime start = std::max(now, freeAt.back());
     totalQueueing += start - now;
-    *it = start + service_ns;
+    totalBusy += service_ns;
+    freeAt.back() = start + service_ns;
+    std::push_heap(freeAt.begin(), freeAt.end(), std::greater<SimTime>{});
     ++totalJobs;
-    const SimTime done = *it;
+    const SimTime done = start + service_ns;
     if (lat)
         lat->record(done - now);
     if (prof) {
@@ -110,13 +240,79 @@ ServerPool::serviceAt(SimTime now, SimTime service_ns)
 }
 
 void
+ServerPool::serviceBatchAt(SimTime now, SimTime service_ns, std::size_t k,
+                           SimTime *dones)
+{
+    if (k == 0)
+        return;
+    if (service_ns == 0) {
+        // Zero service keeps completions at `now` — the window fold's
+        // strictly-future premise fails, so run the oracle.
+        for (std::size_t j = 0; j < k; ++j)
+            dones[j] = serviceAt(now, service_ns);
+        return;
+    }
+    // Snapshot the free times sorted; the merged stream of (sorted
+    // originals) and (already-generated completions, non-decreasing by
+    // construction) yields each job's server value in O(1): the oracle
+    // consumes the multiset minimum per job, and both candidate
+    // sequences are sorted with their fronts at the two pointers.
+    sortedFree.assign(freeAt.begin(), freeAt.end());
+    std::sort(sortedFree.begin(), sortedFree.end());
+    const std::size_t n = sortedFree.size();
+    std::size_t i = 0; // next unconsumed original free time
+    std::size_t g = 0; // next unconsumed generated completion
+    SimTime queueSum = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+        SimTime v;
+        if (i < n && (g >= j || sortedFree[i] <= dones[g]))
+            v = sortedFree[i++];
+        else
+            v = dones[g++];
+        const SimTime start = v > now ? v : now;
+        queueSum += start - now;
+        dones[j] = start + service_ns;
+    }
+    // Remaining multiset: unconsumed originals + unconsumed
+    // completions — exactly n values; re-heapify in place.
+    std::size_t idx = 0;
+    for (std::size_t a = i; a < n; ++a)
+        freeAt[idx++] = sortedFree[a];
+    for (std::size_t b = g; b < k; ++b)
+        freeAt[idx++] = dones[b];
+    GMT_ASSERT(idx == n);
+    std::make_heap(freeAt.begin(), freeAt.end(), std::greater<SimTime>{});
+
+    totalQueueing += queueSum;
+    totalBusy += service_ns * k;
+    totalJobs += k;
+    if (lat) {
+        for (std::size_t j = 0; j < k; ++j)
+            lat->record(dones[j] - now);
+    }
+    if (prof) {
+        prof->queueing(queueSum);
+        prof->deviceService(service_ns * k);
+    }
+    window.issueBatch(now, dones, k);
+    if (sink) {
+        for (std::size_t j = 0; j < k; ++j)
+            sink->span(trk, "job", now, dones[j]);
+    }
+}
+
+void
 ServerPool::attachTrace(trace::TraceSession *session)
 {
     if (trace::MetricsRegistry *reg = session->metrics()) {
         lat = &reg->latency(_name + ".service_ns");
         window.attach(&reg->queueDepth(_name + ".inflight",
                                        trace::QueueKind::Inflight));
-        session->onQuiesce([this](SimTime t) { window.quiesce(t); });
+        session->onQuiesce([this, reg](SimTime t) {
+            window.quiesce(t);
+            reg->counter(_name + ".busy_ns") = totalBusy;
+            reg->counter(_name + ".queue_ns") = totalQueueing;
+        });
     }
     if (trace::TraceSink *s = session->sink()) {
         sink = s;
@@ -131,6 +327,7 @@ ServerPool::reset()
     std::fill(freeAt.begin(), freeAt.end(), 0);
     totalJobs = 0;
     totalQueueing = 0;
+    totalBusy = 0;
     sink = nullptr;
     lat = nullptr;
     prof = nullptr;

@@ -15,6 +15,13 @@
  * Both hand back *completion times* rather than scheduling events
  * themselves, so callers compose them: e.g. an SSD read's completion is
  * serviceAt(ssdSlots) then transferAt(pcieLink).
+ *
+ * Both also expose *batch planners* (sim/bulk_forward.hpp): the FIFO
+ * discipline gives a closed-form completion schedule for a whole
+ * backlogged batch — an arithmetic sequence on a channel, a sorted
+ * two-pointer merge (degenerating to a round-robin conveyor once
+ * saturated) on a pool — value-identical to the per-event loop, with
+ * the per-item metric records folded into bulk updates.
  */
 
 #pragma once
@@ -47,6 +54,33 @@ class BandwidthChannel
      */
     SimTime transferAt(SimTime now, std::uint64_t bytes);
 
+    /**
+     * Enqueue @p n transfers of @p bytes each, all arriving at @p now —
+     * the backlogged-batch closed form. After the first transfer starts
+     * at max(now, busyUntil), every later one starts exactly when its
+     * predecessor releases the channel, so the n completion times are
+     * the arithmetic sequence start + (i+1)*occupy + latency: O(1) per
+     * transfer from busyUntil arithmetic, with the per-transfer
+     * histogram/window records folded into bulk updates. Byte-identical
+     * to n transferAt(now, bytes) calls.
+     * @return the last transfer's delivery time.
+     */
+    SimTime transferBatchAt(SimTime now, std::uint64_t n,
+                            std::uint64_t bytes);
+
+    /**
+     * A paced run of @p n transfers of @p bytes each, where transfer
+     * i+1 is launched @p gap_ns after transfer i releases the channel
+     * (the DMA-engine descriptor recurrence: launch overhead between
+     * back-to-back descriptors on one engine). The first launch is at
+     * @p first_launch and may find the channel busy; every later launch
+     * provably finds it free, so starts advance by the constant stride
+     * occupy + gap_ns. Byte-identical to the per-descriptor loop.
+     * @return the last transfer's delivery time.
+     */
+    SimTime transferPacedRun(SimTime first_launch, std::uint64_t n,
+                             std::uint64_t bytes, SimTime gap_ns);
+
     /** Time the channel next becomes idle (for utilization probes). */
     SimTime nextFree() const { return busyUntil; }
 
@@ -56,6 +90,9 @@ class BandwidthChannel
     /** Busy time accumulated (for utilization = busy / elapsed). */
     SimTime busyTime() const { return totalBusy; }
 
+    /** Sum of time transfers waited for the channel before starting. */
+    SimTime queueingTime() const { return totalQueue; }
+
     double bandwidth() const { return bytesPerSec; }
     SimTime latency() const { return latencyNs; }
     const std::string &name() const { return _name; }
@@ -63,9 +100,10 @@ class BandwidthChannel
     /**
      * Instrument this channel: per-transfer latency (queueing included)
      * into "<name>.xfer_ns", in-flight transfer depth into
-     * "<name>.inflight", spans on the "<name>" track. Call after
-     * reset(), once per run; without a session every probe stays a
-     * null-pointer test.
+     * "<name>.inflight", spans on the "<name>" track, and quiesce-time
+     * utilization counters "<name>.busy_ns" / "<name>.bytes" /
+     * "<name>.queue_ns". Call after reset(), once per run; without a
+     * session every probe stays a null-pointer test.
      */
     void attachTrace(trace::TraceSession *session);
 
@@ -83,11 +121,14 @@ class BandwidthChannel
     SimTime busyUntil = 0;
     std::uint64_t totalBytes = 0;
     SimTime totalBusy = 0;
+    SimTime totalQueue = 0;
     /** One-entry occupancy memo (transfers are overwhelmingly
      *  same-sized pages): llround(bytes/bps*1e9) is pure, so caching
      *  it is timing-invisible. */
     std::uint64_t cachedBytes = 0;
     SimTime cachedOccupy = 0;
+
+    SimTime occupancyOf(std::uint64_t bytes);
 
     trace::TraceSink *sink = nullptr;
     trace::TrackId trk = 0;
@@ -112,17 +153,36 @@ class ServerPool
      */
     SimTime serviceAt(SimTime now, SimTime service_ns);
 
+    /**
+     * Enqueue @p k jobs of @p service_ns each, all arriving at @p now —
+     * the pool batch planner. Job j's server is the j-th smallest value
+     * of the merged stream of original freeAt values and
+     * already-generated completions (a two-pointer merge over two
+     * sorted sequences); once every server is busy the merge
+     * degenerates into the saturated round-robin conveyor done_j =
+     * now + service * (floor(j/servers) + 1). Value-identical to k
+     * serviceAt(now, service_ns) calls: the oracle's outputs depend
+     * only on the *multiset* of freeAt values, which the merge evolves
+     * identically. Fills @p dones[0..k) in job order (non-decreasing).
+     */
+    void serviceBatchAt(SimTime now, SimTime service_ns, std::size_t k,
+                        SimTime *dones);
+
     /** Jobs accepted so far. */
     std::uint64_t jobs() const { return totalJobs; }
 
     /** Sum of time jobs spent queued before service began. */
     SimTime queueingTime() const { return totalQueueing; }
 
+    /** Aggregate service time dispensed (busy server-nanoseconds). */
+    SimTime busyTime() const { return totalBusy; }
+
     unsigned servers() const { return unsigned(freeAt.size()); }
     const std::string &name() const { return _name; }
 
     /** Instrument: per-job latency into "<name>.service_ns", queued or
-     *  in-service jobs into "<name>.inflight", spans on "<name>". */
+     *  in-service jobs into "<name>.inflight", spans on "<name>", and
+     *  quiesce-time "<name>.busy_ns" / "<name>.queue_ns" counters. */
     void attachTrace(trace::TraceSession *session);
 
     /** Attribute queue-wait and service time into @p profiler's open
@@ -133,9 +193,18 @@ class ServerPool
 
   private:
     std::string _name;
+    /** Server free times as a min-heap (std::greater order). The pool's
+     *  outputs are functions of the value multiset only — min_element
+     *  vs pop_heap pick different *instances* of an equal minimum but
+     *  evolve the multiset identically — so the heap is
+     *  timing-invisible while making serviceAt O(log k). */
     std::vector<SimTime> freeAt;
+    /** Scratch for serviceBatchAt's sorted snapshot (no allocation in
+     *  steady state). */
+    std::vector<SimTime> sortedFree;
     std::uint64_t totalJobs = 0;
     SimTime totalQueueing = 0;
+    SimTime totalBusy = 0;
 
     trace::TraceSink *sink = nullptr;
     trace::TrackId trk = 0;

@@ -35,6 +35,35 @@ shardTimelineFromEnv()
     fatal("invalid GMT_SHARD_TIMELINE '%s' (expected '0' or '1')", env);
 }
 
+std::uint64_t
+tunableFromEnv(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (*end != '\0')
+        fatal("invalid %s '%s' (expected a non-negative integer)", name,
+              env);
+    return std::uint64_t(v);
+}
+
+std::uint64_t
+shardSpinFromEnv()
+{
+    return tunableFromEnv("GMT_SHARD_SPIN",
+                          std::thread::hardware_concurrency() > 1 ? 4096
+                                                                  : 0);
+}
+
+std::uint64_t
+shardKickFromEnv()
+{
+    return tunableFromEnv("GMT_SHARD_KICK",
+                          std::thread::hardware_concurrency() > 1 ? 64 : 0);
+}
+
 SimTime
 conservativeLookaheadNs(SimTime miss_handling_ns, SimTime ssd_read_floor_ns,
                         SimTime pcie_page_ns)
@@ -70,28 +99,29 @@ ShardActor::start(std::function<bool()> pump)
     auto state = std::make_shared<State>();
     state->pump = std::move(pump);
 
-    const bool accepted = borrow([state] {
-        // Spin this many dry pumps before parking on the cv. Producers
-        // publish work every few microseconds during the phases that
-        // matter (sampling, stream generation); staying hot skips the
-        // wakeup latency that would otherwise eat the overlap window.
-        // On a single-hardware-thread host there is nothing to overlap
-        // with — every spin steals the producer's own timeslice — so
-        // park immediately and rely on kicks.
-        const int kSpinRounds =
-            std::thread::hardware_concurrency() > 1 ? 4096 : 0;
+    // Spin this many dry pumps before parking on the cv. Producers
+    // publish work every few microseconds during the phases that
+    // matter (sampling, stream generation); staying hot skips the
+    // wakeup latency that would otherwise eat the overlap window.
+    // On a single-hardware-thread host there is nothing to overlap
+    // with — every spin steals the producer's own timeslice — so
+    // park immediately and rely on kicks. GMT_SHARD_SPIN overrides
+    // the guess (host tuning only; never changes simulated results).
+    const auto spinRounds = std::int64_t(shardSpinFromEnv());
+
+    const bool accepted = borrow([state, spinRounds] {
         std::unique_lock<std::mutex> lk(state->mtx);
         for (;;) {
             lk.unlock();
-            // Pump dry, then keep spinning for up to kSpinRounds
+            // Pump dry, then keep spinning for up to spinRounds
             // consecutive dry pumps before parking.
-            int idle = 0;
+            std::int64_t idle = 0;
             do {
                 if (state->pump())
                     idle = 0;
-                else if (++idle <= kSpinRounds)
+                else if (++idle <= spinRounds)
                     std::this_thread::yield();
-            } while (idle <= kSpinRounds);
+            } while (idle <= spinRounds);
             lk.lock();
             if (state->stopping) {
                 // The final goal is published before stopping is set

@@ -71,6 +71,24 @@ unsigned shardsFromEnv(unsigned fallback);
 bool shardTimelineFromEnv();
 
 /**
+ * Host-side tuning knob from the environment: a non-negative integer,
+ * or @p fallback when @p name is unset/empty. Fatal on junk. These
+ * knobs only shape host scheduling (spin counts, kick cadence) — they
+ * can never change a simulated result.
+ */
+std::uint64_t tunableFromEnv(const char *name, std::uint64_t fallback);
+
+/** Dry pump-spins a borrowed worker burns before parking on its cv
+ *  (GMT_SHARD_SPIN; default 4096 with multiple hardware threads, 0 on
+ *  a single-thread host where spinning steals the producer's slice). */
+std::uint64_t shardSpinFromEnv();
+
+/** Producer appends between cross-thread kicks of the drain worker
+ *  (GMT_SHARD_KICK; 0 = never kick mid-run. Default 64 with multiple
+ *  hardware threads, never on a single-thread host). */
+std::uint64_t shardKickFromEnv();
+
+/**
  * Conservative lookahead floor from its three components (pure
  * arithmetic; core/config.cpp feeds it the RuntimeConfig numbers).
  * The sum is the earliest any cross-domain state change can feed back

@@ -28,16 +28,15 @@ FrameId
 Directory::find(PageId page) const
 {
     std::uint64_t i = hash(page) & mask();
-    for (std::uint64_t n = 0; n <= mask(); ++n) {
+    for (;;) {
         ++probes;
         const Cell &c = table[i];
         if (c.page == page)
             return c.slot;
-        if (c.page == kInvalidPage && !c.tombstone)
+        if (c.page == kInvalidPage)
             return kInvalidFrame;
         i = (i + 1) & mask();
     }
-    return kInvalidFrame;
 }
 
 void
@@ -50,7 +49,6 @@ Directory::insert(PageId page, FrameId slot)
         if (c.page == kInvalidPage) {
             c.page = page;
             c.slot = slot;
-            c.tombstone = false;
             ++entries;
             return;
         }
@@ -63,21 +61,32 @@ void
 Directory::erase(PageId page)
 {
     std::uint64_t i = hash(page) & mask();
-    for (std::uint64_t n = 0; n <= mask(); ++n) {
-        Cell &c = table[i];
-        if (c.page == page) {
-            c.page = kInvalidPage;
-            c.slot = kInvalidFrame;
-            c.tombstone = true;
-            --entries;
-            return;
-        }
-        if (c.page == kInvalidPage && !c.tombstone)
+    for (;;) {
+        if (table[i].page == page)
             break;
+        if (table[i].page == kInvalidPage)
+            panic("Directory::erase: page %llu not present",
+                  static_cast<unsigned long long>(page));
         i = (i + 1) & mask();
     }
-    panic("Directory::erase: page %llu not present",
-          static_cast<unsigned long long>(page));
+    // Backward shift: walk the rest of the probe chain and pull any
+    // entry whose home position cannot reach it past the hole back
+    // into the hole, so no tombstone is needed and find() stops at
+    // the first truly empty cell. An entry at j with home h may fill
+    // the hole iff h is cyclically outside (hole, j].
+    std::uint64_t hole = i;
+    std::uint64_t j = (i + 1) & mask();
+    while (table[j].page != kInvalidPage) {
+        const std::uint64_t home = hash(table[j].page) & mask();
+        if (((j - home) & mask()) >= ((j - hole) & mask())) {
+            table[hole] = table[j];
+            hole = j;
+        }
+        j = (j + 1) & mask();
+    }
+    table[hole].page = kInvalidPage;
+    table[hole].slot = kInvalidFrame;
+    --entries;
 }
 
 void

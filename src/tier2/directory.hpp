@@ -6,8 +6,16 @@
  * ("looking up Tier-2 to see whether a page is present, before going to
  * storage introduces additional latency" — §2, §3.4's 50 ns cost). It is
  * implemented as a power-of-two open-addressed hash table with linear
- * probing and tombstones, the same shape BaM uses for its page table,
- * sized at 2x the slot count to keep probe chains short.
+ * probing, the same shape BaM uses for its page table, sized at 2x the
+ * slot count to keep probe chains short.
+ *
+ * Deletion is backward-shift (compact the probe chain over the hole)
+ * rather than tombstones: under a sustained eviction storm the
+ * directory churns one erase+insert per displacement, and tombstones
+ * never die — eventually no clean empty cell is left and every
+ * absent-page probe (the common case in a cold-miss sweep) scans the
+ * whole table. Backward shift keeps a miss probe at the true chain
+ * length forever.
  */
 
 #pragma once
@@ -49,7 +57,6 @@ class Directory
     {
         PageId page = kInvalidPage;
         FrameId slot = kInvalidFrame;
-        bool tombstone = false;
     };
 
     std::uint64_t mask() const { return table.size() - 1; }

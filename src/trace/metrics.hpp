@@ -76,6 +76,51 @@ class LatencyHistogram
             hi = ns;
     }
 
+    /**
+     * Record the arithmetic sample run first, first + stride, ...,
+     * first + (k-1)*stride in O(buckets touched). State-identical to
+     * the per-sample loop — including the (mod 2^64) sum, computed as
+     * k*first + stride*(k(k-1)/2) with the triangular number split so
+     * the exact product wraps like the k additions do. The bulk
+     * fast-forward planners use this for a backlogged batch's
+     * completion latencies, whose stride is the channel occupancy.
+     */
+    void
+    recordRun(SimTime first, SimTime stride, std::uint64_t k)
+    {
+        if (k == 0)
+            return;
+        if (stride == 0 || k == 1) {
+            record(first, k);
+            return;
+        }
+        const SimTime last = first + stride * (k - 1);
+        if (n == 0 || first < lo)
+            lo = first;
+        if (last > hi)
+            hi = last;
+        n += k;
+        const std::uint64_t tri =
+            (k % 2 == 0) ? (k / 2) * (k - 1) : k * ((k - 1) / 2);
+        total += first * k + stride * tri;
+        // Per-bucket counts via the cumulative count of samples at or
+        // below each bucket's upper edge: c_b = floor((high-first)/
+        // stride)+1 clamped to k; bucket b gains c_b - c_{b-1}.
+        const unsigned bf = bucketFor(first);
+        const unsigned bl = bucketFor(last);
+        std::uint64_t prev = 0;
+        for (unsigned b = bf; b <= bl; ++b) {
+            std::uint64_t c = k;
+            if (b != bl) {
+                const std::uint64_t below =
+                    (bucketHigh(b) - first) / stride + 1;
+                c = below < k ? below : k;
+            }
+            buckets[b] += c - prev;
+            prev = c;
+        }
+    }
+
     std::uint64_t count() const { return n; }
     std::uint64_t sum() const { return total; }
     SimTime min() const { return n ? lo : 0; }
@@ -214,6 +259,33 @@ class QueueDepthTracker
         }
     }
 
+    /**
+     * Record @p k samples all at the same time @p t whose depths step
+     * monotonically from @p d0 to @p dk (a batch of issues observed at
+     * one arrival instant) in O(1). State-identical to the per-sample
+     * loop: only the first sample at @p t can advance the integral
+     * (later same-t samples clamp dt to zero), cur ends at the last
+     * depth, and the extremes of a monotone ramp are its endpoints.
+     */
+    void
+    sampleRamp(SimTime t, std::int64_t d0, std::int64_t dk,
+               std::uint64_t k)
+    {
+        if (k == 0)
+            return;
+        sample(t, d0);
+        if (k == 1)
+            return;
+        n += k - 1;
+        cur = dk;
+        const std::int64_t hiD = d0 > dk ? d0 : dk;
+        const std::int64_t loD = d0 < dk ? d0 : dk;
+        if (hiD > maxD)
+            maxD = hiD;
+        if (loD < minD)
+            minD = loD;
+    }
+
     QueueKind queueKind() const { return kind; }
     std::uint64_t samples() const { return n; }
     std::int64_t current() const { return cur; }
@@ -264,6 +336,10 @@ class InflightWindow
         tracker = depth_tracker;
     }
 
+    /** Whether a tracker is attached (lets callers skip per-item loops
+     *  whose only effect would be window issues). */
+    bool attached() const { return tracker != nullptr; }
+
     void
     issue(SimTime now, SimTime done)
     {
@@ -272,6 +348,45 @@ class InflightWindow
         retireUpTo(now);
         pending.push(done);
         tracker->sample(now, std::int64_t(pending.size()));
+    }
+
+    /**
+     * Issue @p k transfers all arriving at @p now whose completion
+     * times @p dones are sorted non-decreasing and strictly after
+     * @p now. State-identical to k issue() calls: the single
+     * retireUpTo(now) covers every per-issue retire (each retires
+     * completions <= now, and every newly pushed completion is in the
+     * future, so later retires in the batch are provably no-ops), and
+     * the k depth samples — all at t == now, depths stepping up by one
+     * — fold into one sampleRamp.
+     */
+    void
+    issueBatch(SimTime now, const SimTime *dones, std::uint64_t k)
+    {
+        if (!tracker || k == 0)
+            return;
+        retireUpTo(now);
+        const auto d0 = std::int64_t(pending.size() + 1);
+        for (std::uint64_t i = 0; i < k; ++i)
+            pending.push(dones[i]);
+        tracker->sampleRamp(now, d0, d0 + std::int64_t(k) - 1, k);
+    }
+
+    /** issueBatch for an arithmetic completion schedule first_done,
+     *  first_done + stride, ... (the backlogged-channel case), without
+     *  materializing the array. @pre first_done > now. */
+    void
+    issueBacklog(SimTime now, SimTime first_done, SimTime stride,
+                 std::uint64_t k)
+    {
+        if (!tracker || k == 0)
+            return;
+        retireUpTo(now);
+        const auto d0 = std::int64_t(pending.size() + 1);
+        SimTime d = first_done;
+        for (std::uint64_t i = 0; i < k; ++i, d += stride)
+            pending.push(d);
+        tracker->sampleRamp(now, d0, d0 + std::int64_t(k) - 1, k);
     }
 
     /** Retire everything still outstanding (end of run). */

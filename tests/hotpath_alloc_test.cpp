@@ -487,6 +487,92 @@ TEST(HotPathAlloc, TryHitFastPathNeverAllocates)
                                 "fast path in steady state";
 }
 
+namespace
+{
+
+/** Cyclic sweep over a range far larger than Tier 1 with periodic
+ *  writes: every access misses, every eviction is dirty often enough
+ *  to keep the flush write-back path hot — a steady miss/eviction
+ *  storm, the regime the bulk-transfer planners serve. */
+class StormStream : public gpu::AccessStream
+{
+  public:
+    StormStream(std::uint64_t pages, std::uint64_t total, unsigned warps)
+        : pages_(pages), total_(total), left_(total), warps_(warps)
+    {
+    }
+
+    unsigned numWarps() const override { return warps_; }
+    std::uint64_t numPages() const override { return pages_; }
+    const std::string &name() const override { return name_; }
+
+    bool
+    nextAccess(WarpId, gpu::Access &out) override
+    {
+        if (left_ == 0)
+            return false;
+        --left_;
+        const std::uint64_t i = total_ - left_ - 1;
+        out.page = (i * 7) % pages_; // stride-7 cycle: all distinct pages
+        out.write = i % 4 == 0;
+        return true;
+    }
+
+    void reset() override { left_ = total_; }
+
+  private:
+    std::uint64_t pages_;
+    std::uint64_t total_;
+    std::uint64_t left_;
+    unsigned warps_;
+    std::string name_ = "storm";
+};
+
+} // namespace
+
+TEST(HotPathAlloc, BulkForwardedStormNeverAllocates)
+{
+    // PR 9 acceptance: with bulk fast-forward on, two miss-storm runs
+    // differing only in length must allocate identically — the warm-up
+    // prefix (map/slab/ring capacity growth, lazily-created counters)
+    // is shared, and every extra access of the long run retires through
+    // the cohort lane and the closed-form batch planners
+    // (transferBatchAt folds, flush write-back runs, ring drains),
+    // which must never touch the allocator.
+    ScopedEnv bulk("GMT_BULKFWD", "1");
+    ScopedEnv oneShard("GMT_SHARDS", "1"); // the lane engages at one shard
+    ScopedEnv sched("GMT_SCHED", "heap");  // range-independent capacity
+
+    const auto run = [](std::uint64_t accesses, gpu::RunResult &out) {
+        RuntimeConfig cfg;
+        cfg.numPages = 512; // 8x Tier 1: a permanent eviction storm
+        cfg.tier1Pages = 64;
+        cfg.tier2Pages = 256;
+        cfg.policy = PlacementPolicy::Reuse;
+        cfg.sampleTarget = 0;
+        auto rt = makeGmtRuntime(cfg);
+        StormStream stream(cfg.numPages, accesses, 16);
+        const gpu::EngineConfig ec;
+        const std::uint64_t before = g_news;
+        out = gpu::GpuEngine(ec).run(*rt, stream);
+        return g_news - before;
+    };
+
+    gpu::RunResult shortRun, longRun;
+    const std::uint64_t shortAllocs = run(20000, shortRun);
+    const std::uint64_t longAllocs = run(60000, longRun);
+
+    EXPECT_EQ(longRun.accesses, 60000u);
+    EXPECT_GT(longRun.laneDispatches, shortRun.laneDispatches)
+        << "the storm's completion turns must ride the cohort lane";
+    EXPECT_GT(longRun.accesses - longRun.fastPathHits,
+              shortRun.accesses - shortRun.fastPathHits)
+        << "the extra accesses must actually miss";
+    EXPECT_EQ(longAllocs, shortAllocs)
+        << "40000 extra bulk-forwarded storm accesses must add zero "
+           "allocations";
+}
+
 TEST(HotPathAlloc, ShardedSteadyStateEpochsNeverAllocate)
 {
     // Sharded counterpart of FastForwardedEpochNeverAllocates: with the

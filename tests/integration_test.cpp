@@ -196,6 +196,40 @@ TEST(Integration, SchedulerAndFastForwardInvisibleOnAllSystems)
     }
 }
 
+TEST(Integration, BulkForwardInvisibleOnAllSystemsAcrossShards)
+{
+    // PR 9 identity matrix: bulk-transfer fast-forward (the cohort
+    // lane + the closed-form batch planners) must be invisible in
+    // every ExperimentResult field, on every system, composed with
+    // sharding. The GMT_BULKFWD=0 single-shard leg is the per-event
+    // oracle; operator== compares every metric field.
+    const RuntimeConfig cfg = smallConfig();
+    for (const auto sys : {System::Bam, System::GmtTierOrder,
+                           System::GmtRandom, System::GmtReuse,
+                           System::Hmm}) {
+        ExperimentResult reference;
+        bool first = true;
+        for (const char *bulk : {"0", "1"}) {
+            for (const char *shards : {"1", "4"}) {
+                ScopedEnv be("GMT_BULKFWD", bulk);
+                ScopedEnv se("GMT_SHARDS", shards);
+                const ExperimentResult r =
+                    runSystem(sys, cfg, "Srad", 16);
+                if (first) {
+                    reference = r;
+                    first = false;
+                } else {
+                    EXPECT_EQ(r, reference)
+                        << systemName(sys)
+                        << " diverged under GMT_BULKFWD=" << bulk
+                        << " GMT_SHARDS=" << shards;
+                }
+            }
+        }
+        EXPECT_GT(reference.accesses, 0u) << systemName(sys);
+    }
+}
+
 TEST(Integration, MultiTenantCellJoinsTheIdentityMatrix)
 {
     // The serving subsystem must compose with the PR 4/6 fast paths:

@@ -33,7 +33,11 @@
  * entry under "counters", so the committed trajectory shows per-cell
  * how much work fast-forwarding elides. --check also diffs counters
  * over the union of keys on both sides — new, dropped, and changed
- * counters are reported but never fail the gate.
+ * counters are reported; they never fail the gate EXCEPT counters
+ * named p99* (the serving benches' per-tenant tail latencies, in
+ * simulated nanoseconds): those are blocking under the same
+ * --check-threshold as the wall-time ratios, so a QoS regression
+ * fails CI even when the simulator itself got faster.
  *
  * Without --check, exit status is non-zero only when the report would
  * be malformed (bench crashed, JSON didn't parse, required fields
@@ -452,23 +456,35 @@ checkAgainstBaseline(const std::vector<BenchEntry> &entries,
 
         // Counter diff over the UNION of keys: counters only on one
         // side (a new shard.* counter, or one a refactor dropped) used
-        // to vanish from the check silently. Informational only —
-        // counters are work-shape telemetry, not a perf gate.
+        // to vanish from the check silently. Most counters are
+        // work-shape telemetry and stay informational — except p99*
+        // (the serving benches' per-tenant tail latencies, which are
+        // simulated time, not wall time): a p99 counter growing beyond
+        // the threshold is a QoS regression and fails the gate.
         const JsonValue *baseCounters = base->find("counters");
         for (const auto &[key, value] : e.counters) {
             const JsonValue *bv =
                 baseCounters ? baseCounters->find(key.c_str()) : nullptr;
-            if (!bv)
+            if (!bv) {
                 std::fprintf(stderr,
                              "bench_report: check:   counter %-32s  "
                              "(new) %s\n",
                              key.c_str(), counterText(value).c_str());
-            else if (bv->number != value)
+                continue;
+            }
+            const bool tail = key.rfind("p99", 0) == 0;
+            const bool tailRegressed =
+                tail && bv->number > 0.0
+                && value > bv->number * (1.0 + threshold);
+            if (bv->number != value || tailRegressed)
                 std::fprintf(stderr,
                              "bench_report: check:   counter %-32s  "
-                             "%s -> %s\n",
+                             "%s -> %s%s\n",
                              key.c_str(), counterText(bv->number).c_str(),
-                             counterText(value).c_str());
+                             counterText(value).c_str(),
+                             tailRegressed ? "  REGRESSION" : "");
+            if (tailRegressed)
+                ++regressions;
         }
         if (baseCounters) {
             for (const auto &member : baseCounters->members) {
@@ -495,8 +511,8 @@ checkAgainstBaseline(const std::vector<BenchEntry> &entries,
     }
     std::fprintf(stderr,
                  "bench_report: check: %d/%d within %.0f%% of '%s'\n",
-                 compared - regressions, compared, threshold * 100.0,
-                 path.c_str());
+                 compared - regressions < 0 ? 0 : compared - regressions,
+                 compared, threshold * 100.0, path.c_str());
     return regressions;
 }
 
