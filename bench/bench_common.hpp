@@ -20,6 +20,7 @@
 #include "harness/run_matrix.hpp"
 #include "harness/trace_analysis.hpp"
 #include "stats/table.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::bench
@@ -49,6 +50,12 @@ struct BenchOptions
 
     /** Timeline sampling period in simulated ns; 0 = default. */
     SimTime timelinePeriodNs = 0;
+
+    /** Per-tenant SLO monitor report JSONL; empty = monitors off. */
+    std::string sloFile;
+
+    /** Flight-recorder snapshot JSONL; empty = recorder off. */
+    std::string flightFile;
 };
 
 inline BenchOptions
@@ -93,10 +100,22 @@ parseOptions(int argc, char **argv)
                       "got '%s'",
                       argv[i]);
             opt.timelinePeriodNs = SimTime(v);
+        } else if (std::strcmp(argv[i], "--slo") == 0) {
+            if (i + 1 >= argc)
+                fatal("--slo needs a file path");
+            opt.sloFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--flight") == 0) {
+            if (i + 1 >= argc)
+                fatal("--flight needs a file path");
+            opt.flightFile = argv[++i];
+        } else if (std::strcmp(argv[i], "--help-env") == 0) {
+            util::printEnvHelp(stdout);
+            std::exit(0);
         } else
             fatal("unknown bench option '%s' (expected --quick/--csv/"
                   "--jobs N/--trace FILE/--metrics FILE/--spans FILE/"
-                  "--timeline FILE/--timeline-period NS)",
+                  "--timeline FILE/--timeline-period NS/--slo FILE/"
+                  "--flight FILE/--help-env)",
                   argv[i]);
     }
     return opt;
@@ -111,7 +130,7 @@ matrixTracer(const BenchOptions &opt)
 {
     static harness::MatrixTracer tracer(harness::MatrixTracer::Options{
         opt.traceFile, opt.metricsFile, opt.spansFile, opt.timelineFile,
-        opt.timelinePeriodNs});
+        opt.timelinePeriodNs, opt.sloFile, opt.flightFile});
     return tracer;
 }
 

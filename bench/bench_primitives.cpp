@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <thread>
 #include <unordered_map>
@@ -29,6 +30,7 @@
 #include "sim/channel.hpp"
 #include "sim/event_queue.hpp"
 #include "tier2/directory.hpp"
+#include "trace/trace.hpp"
 #include "util/flat_map.hpp"
 #include "util/rng.hpp"
 #include "workloads/tenant_schedule.hpp"
@@ -894,7 +896,8 @@ namespace
  *  exported as counters so the committed bench trajectory shows the
  *  QoS effect alongside the cost. */
 void
-tenantServingBench(benchmark::State &state, bool partitioned)
+tenantServingBench(benchmark::State &state, bool partitioned,
+                   bool monitored = false)
 {
     RuntimeConfig cfg;
     cfg.tier1Pages = 64;
@@ -924,16 +927,38 @@ tenantServingBench(benchmark::State &state, bool partitioned)
         cfg.tenants.pinnedPages = {8, 0, 0, 4};
         cfg.tenants.fetchWindow = 4;
     }
+    if (monitored) {
+        // p99 <= 1 ms per 1 ms window — tight enough that this
+        // thrashing cell breaches, so the breach path is measured too.
+        trace::SloSpec spec;
+        spec.quantilePct = 99;
+        spec.targetNs = 1'000'000;
+        spec.windowNs = 1'000'000;
+        cfg.tenants.slo = {spec, spec, spec, spec};
+    }
 
     auto rt = makeGmtRuntime(cfg);
     workloads::TenantStream stream(specs);
     gpu::GpuEngine engine{{}};
 
+    trace::TraceSession::Options so;
+    so.slo = monitored;
+    so.flight = monitored;
+    std::optional<trace::TraceSession> session;
+
     std::uint64_t accesses = 0;
     for (auto _ : state) {
+        if (monitored)
+            session.emplace(so); // fresh monitors; windows restart at 0
         rt->reset();
         stream.reset();
+        if (monitored) {
+            rt->attachTrace(&*session);
+            stream.attachTrace(&*session);
+        }
         const gpu::RunResult r = engine.run(*rt, stream);
+        if (monitored)
+            session->quiesce(rt->flush(r.makespanNs));
         accesses = r.accesses;
         state.SetItemsProcessed(state.items_processed()
                                 + std::int64_t(r.accesses));
@@ -943,6 +968,23 @@ tenantServingBench(benchmark::State &state, bool partitioned)
         const auto snap = stream.snapshot(t);
         state.counters["p99_" + snap.name] =
             benchmark::Counter(double(snap.latency->percentile(99)));
+    }
+    if (session) {
+        // slo.* counters ride the committed bench trajectory so breach
+        // counts (and recorder pressure) are tracked run over run.
+        const trace::SloTracker *slo = session->slo();
+        for (std::size_t t = 0; t < slo->tenantCount(); ++t) {
+            const auto &ts = slo->tenant(t);
+            state.counters["slo." + ts.name + ".breaches"] =
+                benchmark::Counter(double(ts.breaches + ts.burns));
+            state.counters["slo." + ts.name + ".worst_window_ns"] =
+                benchmark::Counter(double(ts.worstWindowNs));
+        }
+        const trace::FlightRecorder *rec = session->flight();
+        state.counters["flight.recorded"] =
+            benchmark::Counter(double(rec->recorded()));
+        state.counters["flight.snapshots"] =
+            benchmark::Counter(double(rec->snapshotCount()));
     }
 }
 
@@ -962,6 +1004,16 @@ BM_EngineTenantServingPartitioned(benchmark::State &state)
 }
 BENCHMARK(BM_EngineTenantServingPartitioned)
     ->Unit(benchmark::kMicrosecond);
+
+static void
+BM_EngineTenantServingMonitored(benchmark::State &state)
+{
+    // The shared-clock serving cell with SLO monitors + flight recorder
+    // attached: the observability tax on the serving hot path (ISSUE 10
+    // acceptance: within 10% of the unmonitored cell).
+    tenantServingBench(state, /*partitioned=*/false, /*monitored=*/true);
+}
+BENCHMARK(BM_EngineTenantServingMonitored)->Unit(benchmark::kMicrosecond);
 
 static void
 BM_OlsRegressorSample(benchmark::State &state)

@@ -71,6 +71,31 @@ applyQos(RuntimeConfig &cfg,
     cfg.tenants.fetchWindow = 4;
 }
 
+/**
+ * Per-tenant SLO monitors (pure observers — attached only when the
+ * bench runs with --slo/--flight, and never change results). The
+ * point-lookup tenants get tight p99 targets, the scanners loose p95
+ * ones; at high OSF the shared-clock cells breach the tight targets
+ * deterministically, which is what the flight recorder is for.
+ */
+void
+applySlo(RuntimeConfig &cfg)
+{
+    trace::SloSpec tight;
+    tight.quantilePct = 99;
+    tight.targetNs = 1'000'000; // 1 ms p99
+    tight.windowNs = 1'000'000;
+    tight.burnWindows = 8;
+    tight.burnThreshold = 4;
+    trace::SloSpec loose;
+    loose.quantilePct = 95;
+    loose.targetNs = 20'000'000; // 20 ms p95
+    loose.windowNs = 1'000'000;
+    loose.burnWindows = 8;
+    loose.burnThreshold = 4;
+    cfg.tenants.slo = {tight, loose, loose, tight}; // kv scan etl web
+}
+
 std::string
 ns(std::uint64_t v)
 {
@@ -97,6 +122,7 @@ main(int argc, char **argv)
         RunSpec shared;
         shared.system = System::GmtReuse;
         shared.cfg = base;
+        applySlo(shared.cfg);
         shared.tenants = tenants;
         specs.push_back(std::move(shared));
 
@@ -104,6 +130,7 @@ main(int argc, char **argv)
         part.system = System::GmtReuse;
         part.cfg = base;
         applyQos(part.cfg, tenants);
+        applySlo(part.cfg);
         part.tenants = tenants;
         specs.push_back(std::move(part));
     }

@@ -89,6 +89,21 @@ RuntimeConfig::validate() const
         return;
     }
     const unsigned n = tenants.count();
+    if (!tenants.slo.empty() && tenants.slo.size() != n)
+        fatal("RuntimeConfig: tenant SLO specs (%zu) must match the "
+              "tenant count (%u)",
+              tenants.slo.size(), n);
+    for (const trace::SloSpec &s : tenants.slo) {
+        if (!s.enabled())
+            continue;
+        if (s.quantilePct < 1 || s.quantilePct > 100)
+            fatal("RuntimeConfig: SLO quantile must be in [1, 100]");
+        if (s.burnWindows < 1 || s.burnWindows > 64
+            || s.burnThreshold < 1 || s.burnThreshold > s.burnWindows) {
+            fatal("RuntimeConfig: SLO burn window must be 1..64 with "
+                  "threshold in [1, burnWindows]");
+        }
+    }
     std::uint64_t prev = 0;
     for (unsigned t = 0; t < n; ++t) {
         if (tenants.pageBounds[t] <= prev)

@@ -19,6 +19,7 @@
 #include "nvme/ssd_model.hpp"
 #include "pcie/transfer_manager.hpp"
 #include "sim/scheduler.hpp"
+#include "trace/slo.hpp"
 #include "util/types.hpp"
 
 namespace gmt
@@ -83,6 +84,14 @@ struct TenantQosConfig
      * 0 = unthrottled.
      */
     std::uint64_t fetchWindow = 0;
+
+    /**
+     * Per-tenant SLO declarations (parallel to pageBounds; empty = no
+     * monitoring). Pure observer config: the runtime forwards these to
+     * an attached TraceSession's SloTracker at attach time, and the
+     * specs never influence scheduling, admission, or results.
+     */
+    std::vector<trace::SloSpec> slo;
 
     bool enabled() const { return !pageBounds.empty(); }
     unsigned count() const { return unsigned(pageBounds.size()); }

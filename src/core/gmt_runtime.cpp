@@ -69,6 +69,7 @@ GmtRuntime::attachTrace(trace::TraceSession *session)
         sink = s;
         tier1Trk = s->track("tier1");
     }
+    flightRec = session->flight();
     if (trace::TimelineSampler *tl = session->timeline()) {
         // Cumulative busy-ns columns: consumers difference adjacent
         // rows for per-interval bandwidth utilization.
@@ -187,6 +188,8 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
     if (!cTier1Misses) [[unlikely]]
         cTier1Misses = &stats.get("tier1_misses");
     cTier1Misses->inc();
+    if (flightRec)
+        flightRec->miss(now, warp, page);
 
     // ---- Miss path ----
     // Span profiling: the covering stage segments below are derived
@@ -248,6 +251,9 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
             if (spanProf)
                 spanProf->stage(trace::Stage::Admission, gate - issue);
             cached(cAdmissionWaits, "admission_waits").inc();
+            if (flightRec)
+                flightRec->admissionWait(issue, page, tenant,
+                                         gate - issue);
             issue = gate;
         }
     }
@@ -319,6 +325,8 @@ GmtRuntime::access(SimTime now, WarpId warp, PageId page, bool is_write)
         sink->span(tier1Trk, from_tier2 ? "miss_tier2" : "miss_ssd", now,
                    ready);
     }
+    if (flightRec)
+        flightRec->fetch(fetch_done, page, fetch_done - issue);
 
     AccessResult r;
     r.readyAt = ready;
@@ -455,6 +463,8 @@ GmtRuntime::evictOne(SimTime now, WarpId warp, PageId incoming)
 
         if (evictionProbe)
             evictionProbe(vpage, vm.evictCount, target);
+        if (flightRec)
+            flightRec->eviction(now, vpage, std::uint8_t(target));
 
         if (target == Tier::HostMem)
             return placeInTier2(now, vpage);
@@ -585,6 +595,7 @@ GmtRuntime::beginSharded(const sim::ShardPlan &plan)
         return;
     shardStats = plan.stats;
     sampler.beginAsync(plan.stats);
+    drainActor.bindStats(plan.stats);
     const std::uint64_t chunk = std::max<std::uint64_t>(
         std::uint64_t(1), cfg.samplerDrainBatch / 8);
     const bool started = drainActor.start(
@@ -607,6 +618,7 @@ GmtRuntime::endSharded()
     // apply trajectory doesn't depend on it: `prepared` merely ends up
     // at or ahead of `consumed`, which endAsync() tolerates.
     drainActor.stop();
+    drainActor.bindStats(nullptr); // plan.stats dies with the run
     sampler.endAsync();
     shardStats = nullptr;
 }
@@ -694,6 +706,7 @@ GmtRuntime::reset()
     throttleSeq.assign(throttleSeq.size(), 0);
     rng.reseed(cfg.seed);
     sink = nullptr;
+    flightRec = nullptr;
     missLat = nullptr;
     tier2FetchLat = nullptr;
 }

@@ -130,6 +130,7 @@ class GmtRuntime : public TieredRuntime
     sim::ShardStats *shardStats = nullptr;
 
     trace::TraceSink *sink = nullptr;
+    trace::FlightRecorder *flightRec = nullptr;
     trace::TrackId tier1Trk = 0;
     trace::LatencyHistogram *missLat = nullptr;      ///< whole miss path
     trace::LatencyHistogram *tier2FetchLat = nullptr;///< Tier-2 -> Tier-1

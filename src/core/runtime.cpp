@@ -28,6 +28,11 @@ TieredRuntime::attachTrace(trace::TraceSession *session)
 {
     traceSess = session;
     spanProf = session->spans();
+    // Declare the per-tenant SLO specs so the tenant stream (attached
+    // after the runtime in runOne) can bind its names against them.
+    trace::SloTracker *slo = session->slo();
+    if (slo && !cfg.tenants.slo.empty() && !slo->declared())
+        slo->declare(cfg.tenants.slo);
 }
 
 void

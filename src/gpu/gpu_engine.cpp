@@ -50,6 +50,7 @@ template <typename Q> struct EngineLoop
     trace::QueueDepthTracker *readyDepth = nullptr;
     trace::TimelineSampler *timeline = nullptr;
     trace::EngineTimelineStats *engineTl = nullptr;
+    trace::FlightRecorder *flight = nullptr;
 
     /** Serving (multi-tenant) hot-path hooks, resolved once per run off
      *  the stream — null for closed-loop streams, which run the
@@ -153,6 +154,10 @@ EngineLoop<Q>::epoch(WarpId w, SimTime &at, Access &a, bool have_head,
             stallLat->record(0, k);
         if (readyDepth)
             readyDepth->sampleRun(t0, stride, k, depth);
+        // One bulk record keeps the epoch closed-form: the k elided
+        // hits land in the ring as a single HitRun event.
+        if (flight)
+            flight->hitRun(t0, w, k, stride);
     };
 
     for (;;) {
@@ -317,6 +322,10 @@ EngineLoop<Q>::turn(WarpId w)
             stallLat->record(ar.readyAt > at ? ar.readyAt - at : 0);
         if (sink && ar.readyAt > at)
             sink->span(gpuTrk, "stall", at, ar.readyAt);
+        if (flight) {
+            flight->access(at, w, a.page, ar.tier1Hit,
+                           ar.readyAt > at ? ar.readyAt - at : 0);
+        }
         // This warp is in hand (not queued), so the occupancy sample is
         // the queued warps plus one — same value the pre-event-queue
         // engine sampled as ready.size() + 1.
@@ -419,6 +428,7 @@ runWithQueue(Q &events, TieredRuntime &runtime, AccessStream &stream,
             // frame (quiesce samples one final row after run returns).
             loop.engineTl = tl->engineStats();
         }
+        loop.flight = session->flight();
     }
 
     for (WarpId w = 0; w < warps; ++w) {
@@ -531,6 +541,18 @@ GpuEngine::run(TieredRuntime &runtime, AccessStream &stream)
             });
             tl->addProbe("shard.deferred", [telem] {
                 return std::int64_t(telem->stats.deferred);
+            });
+            // Contention columns (PR 10): spin rounds fold in at actor
+            // stop, so mid-run rows show kicks/borrows advancing and
+            // the quiesce row carries the spin total.
+            tl->addProbe("shard.spins", [telem] {
+                return std::int64_t(telem->stats.spins);
+            });
+            tl->addProbe("shard.kicks", [telem] {
+                return std::int64_t(telem->stats.kicks);
+            });
+            tl->addProbe("shard.borrows", [telem] {
+                return std::int64_t(telem->stats.borrows);
             });
         }
     }

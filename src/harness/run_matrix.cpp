@@ -76,6 +76,8 @@ MatrixTracer::addCells(std::size_t n)
             ? opt.timelinePeriodNs
             : trace::TimelineSampler::kDefaultPeriodNs;
     }
+    so.slo = !opt.sloPath.empty();
+    so.flight = !opt.flightPath.empty();
     for (std::size_t i = 0; i < n; ++i)
         cells.emplace_back(so);
     return first;
@@ -96,6 +98,10 @@ MatrixTracer::writeOutputs() const
         trace::writeSpansFile(opt.spansPath, views);
     if (!opt.timelinePath.empty())
         trace::writeTimelineFile(opt.timelinePath, views);
+    if (!opt.sloPath.empty())
+        trace::writeSloFile(opt.sloPath, views);
+    if (!opt.flightPath.empty())
+        trace::writeFlightFile(opt.flightPath, views);
 }
 
 std::vector<ExperimentResult>

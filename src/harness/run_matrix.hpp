@@ -63,19 +63,22 @@ class MatrixTracer
         /** Timeline sampling period; 0 picks the default when a
          *  timeline path is set. */
         SimTime timelinePeriodNs = 0;
+        std::string sloPath;    ///< per-tenant SLO monitors (JSONL)
+        std::string flightPath; ///< flight-recorder snapshots (JSONL)
     };
 
     explicit MatrixTracer(Options options) : opt(std::move(options)) {}
 
     MatrixTracer(std::string trace_path, std::string metrics_path)
         : MatrixTracer(Options{std::move(trace_path),
-                               std::move(metrics_path), {}, {}, 0})
+                               std::move(metrics_path), {}, {}, 0, {}, {}})
     {}
 
     bool enabled() const
     {
         return !opt.tracePath.empty() || !opt.metricsPath.empty()
-            || !opt.spansPath.empty() || !opt.timelinePath.empty();
+            || !opt.spansPath.empty() || !opt.timelinePath.empty()
+            || !opt.sloPath.empty() || !opt.flightPath.empty();
     }
 
     /** Append sessions for @p n upcoming cells; returns the index of

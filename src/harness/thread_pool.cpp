@@ -1,8 +1,7 @@
 #include "harness/thread_pool.hpp"
 
-#include <cstdlib>
-
 #include "sim/sharded_executor.hpp"
+#include "util/env.hpp"
 
 namespace gmt::harness
 {
@@ -111,11 +110,11 @@ resolveJobs(unsigned jobs)
 {
     if (jobs > 0)
         return jobs;
-    if (const char *env = std::getenv("GMT_JOBS")) {
-        const long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return unsigned(v);
-    }
+    // 0 is the "auto" sentinel: fall through to the hardware count.
+    // Junk is fatal as of PR 10 (it used to be silently ignored).
+    const auto env = unsigned(util::envU64("GMT_JOBS", 0, 0, 4096));
+    if (env > 0)
+        return env;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
 }

@@ -1,8 +1,6 @@
 #include "sim/bulk_forward.hpp"
 
-#include <cstdlib>
-#include <string>
-
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::sim
@@ -11,16 +9,7 @@ namespace gmt::sim
 bool
 bulkForwardFromEnv(bool fallback)
 {
-    const char *env = std::getenv("GMT_BULKFWD");
-    if (!env || !*env)
-        return fallback;
-    const std::string v(env);
-    if (v == "1" || v == "on")
-        return true;
-    if (v == "0" || v == "off")
-        return false;
-    fatal("unknown GMT_BULKFWD value '%s' (expected '0'/'off' or '1'/'on')",
-          v.c_str());
+    return util::envSwitch("GMT_BULKFWD", fallback);
 }
 
 void

@@ -1,9 +1,6 @@
 #include "sim/fast_forward.hpp"
 
-#include <cstdlib>
-#include <string>
-
-#include "util/logging.hpp"
+#include "util/env.hpp"
 
 namespace gmt::sim
 {
@@ -11,16 +8,7 @@ namespace gmt::sim
 bool
 fastForwardFromEnv(bool fallback)
 {
-    const char *env = std::getenv("GMT_FASTFWD");
-    if (!env || !*env)
-        return fallback;
-    const std::string v(env);
-    if (v == "1" || v == "on")
-        return true;
-    if (v == "0" || v == "off")
-        return false;
-    fatal("unknown GMT_FASTFWD value '%s' (expected '0'/'off' or '1'/'on')",
-          v.c_str());
+    return util::envSwitch("GMT_FASTFWD", fallback);
 }
 
 } // namespace gmt::sim

@@ -1,7 +1,6 @@
 #include "sim/scheduler.hpp"
 
-#include <cstdlib>
-
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace gmt::sim
@@ -31,8 +30,8 @@ schedulerBackendFromName(const std::string &name)
 SchedulerBackend
 schedulerBackendFromEnv(SchedulerBackend fallback)
 {
-    const char *env = std::getenv("GMT_SCHED");
-    if (!env || !*env)
+    const char *env = util::envRaw("GMT_SCHED");
+    if (!env)
         return fallback;
     return schedulerBackendFromName(env);
 }

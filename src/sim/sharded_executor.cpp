@@ -1,8 +1,8 @@
 #include "sim/sharded_executor.hpp"
 
-#include <cstdlib>
-#include <string>
 #include <thread>
+
+#include "util/env.hpp"
 
 namespace gmt::sim
 {
@@ -10,43 +10,19 @@ namespace gmt::sim
 unsigned
 shardsFromEnv(unsigned fallback)
 {
-    const char *env = std::getenv("GMT_SHARDS");
-    if (!env || !*env)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long v = std::strtoul(env, &end, 10);
-    if (*end != '\0' || v == 0 || v > 1024)
-        fatal("invalid GMT_SHARDS '%s' (expected an integer in [1, 1024])",
-              env);
-    return unsigned(v);
+    return unsigned(util::envU64("GMT_SHARDS", fallback, 1, 1024));
 }
 
 bool
 shardTimelineFromEnv()
 {
-    const char *env = std::getenv("GMT_SHARD_TIMELINE");
-    if (!env || !*env)
-        return false;
-    const std::string s(env);
-    if (s == "0")
-        return false;
-    if (s == "1")
-        return true;
-    fatal("invalid GMT_SHARD_TIMELINE '%s' (expected '0' or '1')", env);
+    return util::envSwitch("GMT_SHARD_TIMELINE", false);
 }
 
 std::uint64_t
 tunableFromEnv(const char *name, std::uint64_t fallback)
 {
-    const char *env = std::getenv(name);
-    if (!env || !*env)
-        return fallback;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (*end != '\0')
-        fatal("invalid %s '%s' (expected a non-negative integer)", name,
-              env);
-    return std::uint64_t(v);
+    return util::envU64(name, fallback, 0, ~std::uint64_t(0));
 }
 
 std::uint64_t
@@ -116,13 +92,17 @@ ShardActor::start(std::function<bool()> pump)
             // Pump dry, then keep spinning for up to spinRounds
             // consecutive dry pumps before parking.
             std::int64_t idle = 0;
+            std::uint64_t dry = 0;
             do {
-                if (state->pump())
+                if (state->pump()) {
                     idle = 0;
-                else if (++idle <= spinRounds)
+                } else if (++idle <= spinRounds) {
+                    ++dry;
                     std::this_thread::yield();
+                }
             } while (idle <= spinRounds);
             lk.lock();
+            state->spins += dry;
             if (state->stopping) {
                 // The final goal is published before stopping is set
                 // (both under this mutex on the caller side), so one
@@ -143,6 +123,8 @@ ShardActor::start(std::function<bool()> pump)
     if (!accepted)
         return false;
     st = std::move(state);
+    if (statsOut)
+        ++statsOut->borrows;
     return true;
 }
 
@@ -151,6 +133,8 @@ ShardActor::kick()
 {
     if (!st)
         return;
+    if (statsOut)
+        ++statsOut->kicks; // commit-thread only, like the caller
     {
         std::lock_guard<std::mutex> lk(st->mtx);
         st->kicked = true;
@@ -172,6 +156,8 @@ ShardActor::stop()
     {
         std::unique_lock<std::mutex> lk(st->mtx);
         st->cv.wait(lk, [&] { return st->finished; });
+        if (statsOut)
+            statsOut->spins += st->spins;
     }
     st.reset();
 }

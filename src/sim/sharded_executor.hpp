@@ -125,6 +125,21 @@ struct ShardStats
      *  routed to the host-domain drain, stream items through the
      *  producer ring). */
     std::uint64_t deferred = 0;
+
+    // Contention visibility (PR 10): like barrierWaits these are wall-
+    // clock-race-dependent — diagnostic only, never part of the
+    // byte-identity contract; the timeline exposes them only behind
+    // GMT_SHARD_TIMELINE.
+
+    /** Dry spin rounds actors burned before parking (GMT_SHARD_SPIN). */
+    std::uint64_t spins = 0;
+
+    /** Cross-thread wakeup kicks delivered to actors (GMT_SHARD_KICK
+     *  paces the producer-side kickDue throttle). */
+    std::uint64_t kicks = 0;
+
+    /** Pool workers successfully borrowed by shard actors. */
+    std::uint64_t borrows = 0;
 };
 
 /** Per-run sharding parameters the engine hands to runtime + stream. */
@@ -165,6 +180,11 @@ class ShardActor
     ShardActor(const ShardActor &) = delete;
     ShardActor &operator=(const ShardActor &) = delete;
 
+    /** Fold this actor's spin/kick/borrow tallies into @p stats (kicks
+     *  land immediately; spins at stop(), under the state mutex). Bind
+     *  before start(); the pointer must outlive the actor's run. */
+    void bindStats(ShardStats *stats) { statsOut = stats; }
+
     /** Borrow a worker and run @p pump on it; false = run inline. */
     bool start(std::function<bool()> pump);
 
@@ -185,8 +205,10 @@ class ShardActor
         bool kicked = false;
         bool stopping = false;
         bool finished = false;
+        std::uint64_t spins = 0; ///< dry rounds; worker-written
     };
     std::shared_ptr<State> st;
+    ShardStats *statsOut = nullptr;
 };
 
 /**

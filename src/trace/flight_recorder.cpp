@@ -1,0 +1,207 @@
+#include "trace/flight_recorder.hpp"
+
+#include <cinttypes>
+#include <mutex>
+
+#include "trace/trace.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::trace
+{
+
+namespace
+{
+
+/**
+ * Registry of live enabled recorders for the util/logging failure hook.
+ * Registration is cold-path (enable/destroy); the dump runs once, on
+ * the way to abort()/exit(1), and is best-effort by design.
+ */
+std::mutex gRegistryMu;
+std::vector<FlightRecorder *> gRegistry;
+
+void
+dumpAllRecorders()
+{
+    std::lock_guard<std::mutex> lk(gRegistryMu);
+    if (gRegistry.empty())
+        return;
+    std::fprintf(stderr,
+                 "flight recorder: dumping %zu live ring(s) (last-N "
+                 "engine events before the failure)\n",
+                 gRegistry.size());
+    for (FlightRecorder *rec : gRegistry)
+        rec->dumpTo(stderr);
+    std::fflush(stderr);
+}
+
+void
+registerRecorder(FlightRecorder *rec)
+{
+    std::lock_guard<std::mutex> lk(gRegistryMu);
+    if (gRegistry.empty())
+        setFailureHook(&dumpAllRecorders);
+    gRegistry.push_back(rec);
+}
+
+void
+deregisterRecorder(FlightRecorder *rec)
+{
+    std::lock_guard<std::mutex> lk(gRegistryMu);
+    for (std::size_t i = 0; i < gRegistry.size(); ++i) {
+        if (gRegistry[i] == rec) {
+            gRegistry.erase(gRegistry.begin() + std::ptrdiff_t(i));
+            break;
+        }
+    }
+}
+
+std::size_t
+roundUpPow2(std::size_t v)
+{
+    std::size_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+const char *
+flightKindName(FlightKind kind)
+{
+    switch (kind) {
+      case FlightKind::Mark: return "mark";
+      case FlightKind::Access: return "access";
+      case FlightKind::HitRun: return "hit_run";
+      case FlightKind::Miss: return "miss";
+      case FlightKind::MissStage: return "miss_stage";
+      case FlightKind::Eviction: return "eviction";
+      case FlightKind::AdmissionWait: return "admission_wait";
+      case FlightKind::Fetch: return "fetch";
+      case FlightKind::Breach: return "breach";
+    }
+    return "?";
+}
+
+FlightRecorder::~FlightRecorder()
+{
+    if (enabled())
+        deregisterRecorder(this);
+}
+
+void
+FlightRecorder::enable(std::size_t capacity)
+{
+    GMT_ASSERT(!enabled()); // enable once per recorder
+    GMT_ASSERT(capacity >= 2);
+    const std::size_t cap = roundUpPow2(capacity);
+    ring.assign(cap, FlightEvent{});
+    arena.assign(kMaxSnapshots * cap, FlightEvent{});
+    mask = cap - 1;
+    registerRecorder(this);
+}
+
+bool
+FlightRecorder::snapshot(const char *reason, SimTime at)
+{
+    if (!enabled())
+        return false;
+    if (snaps >= kMaxSnapshots) {
+        ++droppedSnaps;
+        return false;
+    }
+    const std::size_t cap = ring.size();
+    const std::uint64_t count = seq < cap ? seq : cap;
+    const std::uint64_t first = seq - count;
+    FlightEvent *dst = arena.data() + snaps * cap;
+    for (std::uint64_t i = 0; i < count; ++i)
+        dst[i] = ring[(first + i) & mask];
+    snapMeta[snaps] = {reason, at, first, std::size_t(count)};
+    ++snaps;
+    return true;
+}
+
+FlightRecorder::Snapshot
+FlightRecorder::snapshotAt(std::size_t i) const
+{
+    GMT_ASSERT(i < snaps);
+    const SnapMeta &m = snapMeta[i];
+    return {m.reason, m.at, m.firstSeq, m.count,
+            arena.data() + i * ring.size()};
+}
+
+void
+FlightRecorder::dumpTo(std::FILE *out) const
+{
+    if (!enabled())
+        return;
+    const std::size_t cap = ring.size();
+    const std::uint64_t live = seq < cap ? seq : cap;
+    std::fprintf(out,
+                 "  ring: %" PRIu64 " recorded, last %" PRIu64
+                 " retained, %zu snapshot(s), %" PRIu64 " dropped\n",
+                 seq, live, snaps, droppedSnaps);
+    const std::uint64_t first = seq - live;
+    for (std::uint64_t i = 0; i < live; ++i) {
+        const FlightEvent &ev = ring[(first + i) & mask];
+        std::fprintf(out,
+                     "  [%" PRIu64 "] t=%" PRIu64 " %s a=%" PRIu64
+                     " b=%" PRIu64 " c=%" PRIu32 " tag=%u\n",
+                     first + i, ev.t, flightKindName(ev.kind), ev.a, ev.b,
+                     ev.c, unsigned(ev.tag));
+    }
+}
+
+void
+writeFlightJsonl(std::FILE *out,
+                 const std::vector<const TraceSession *> &cells)
+{
+    for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+        const TraceSession &cell = *cells[pid];
+        const FlightRecorder *rec = cell.flight();
+        if (!rec)
+            continue;
+        std::fprintf(out,
+                     "{\"type\":\"flight\",\"cell\":%zu,\"system\":\"%s\","
+                     "\"workload\":\"%s\",\"capacity\":%zu,\"recorded\":"
+                     "%" PRIu64 ",\"snapshots\":%zu,\"dropped_snapshots\":"
+                     "%" PRIu64 "}\n",
+                     pid, jsonEscape(cell.info.system).c_str(),
+                     jsonEscape(cell.info.workload).c_str(),
+                     rec->capacity(), rec->recorded(), rec->snapshotCount(),
+                     rec->droppedSnapshots());
+        for (std::size_t s = 0; s < rec->snapshotCount(); ++s) {
+            const FlightRecorder::Snapshot snap = rec->snapshotAt(s);
+            std::fprintf(out,
+                         "{\"type\":\"snapshot\",\"cell\":%zu,\"id\":%zu,"
+                         "\"reason\":\"%s\",\"at_ns\":%" PRIu64
+                         ",\"first_seq\":%" PRIu64 ",\"events\":%zu}\n",
+                         pid, s, jsonEscape(snap.reason).c_str(), snap.at,
+                         snap.firstSeq, snap.count);
+            for (std::size_t i = 0; i < snap.count; ++i) {
+                const FlightEvent &ev = snap.events[i];
+                std::fprintf(out,
+                             "{\"type\":\"event\",\"cell\":%zu,\"snapshot\""
+                             ":%zu,\"seq\":%" PRIu64 ",\"t_ns\":%" PRIu64
+                             ",\"kind\":\"%s\",\"a\":%" PRIu64
+                             ",\"b\":%" PRIu64 ",\"c\":%" PRIu32
+                             ",\"tag\":%u}\n",
+                             pid, s, snap.firstSeq + i, ev.t,
+                             flightKindName(ev.kind), ev.a, ev.b, ev.c,
+                             unsigned(ev.tag));
+            }
+        }
+    }
+}
+
+void
+writeFlightFile(const std::string &path,
+                const std::vector<const TraceSession *> &cells)
+{
+    writeArtifactFile(path, [&cells](std::FILE *f) {
+        writeFlightJsonl(f, cells);
+    });
+}
+
+} // namespace gmt::trace

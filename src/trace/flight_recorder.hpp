@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Fixed-size, zero-allocation flight recorder for the serving path.
+ *
+ * A power-of-two ring of compact 32-byte POD events (accesses,
+ * miss-stage transitions, evictions, admission waits — the same "small
+ * fixed payload" discipline as the CohortQueue lanes). Recording is a
+ * masked store plus a counter increment; the ring forgets the oldest
+ * event when full, so steady state allocates nothing and costs O(1).
+ *
+ * The ring only becomes *useful* at an anomaly: an SLO breach, a
+ * GMT_ASSERT failure, or an explicit trigger snapshots the last-N
+ * events into a preallocated arena, and the snapshots are dumped as
+ * JSONL (`--flight`) or to stderr from the util/logging failure hook —
+ * so the history leading up to a crash or a blown latency target is
+ * always recoverable.
+ *
+ * Observer-only: the recorder never touches simulation state, metrics,
+ * or the scheduler; enabling it changes no result byte. Ring contents
+ * are diagnostic (they legitimately differ across GMT_FASTFWD etc.,
+ * where elided per-access work is recorded as bulk HitRun events
+ * instead) and are deliberately outside the byte-identity contract.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+
+/** Event taxonomy; `tag` below refines kinds (stage id, tier, flags). */
+enum class FlightKind : std::uint8_t
+{
+    Mark = 0,       ///< explicit annotation (a/b unused, c = code)
+    Access,         ///< warp access: a = page, b = ready latency, c = warp
+    HitRun,         ///< fast-forwarded hit batch: a = count, b = stride, c = warp
+    Miss,           ///< miss issued: a = page, b = 0, c = warp
+    MissStage,      ///< stage transition: a = page, b = stage ns, tag = stage
+    Eviction,       ///< a = victim page, tag = target tier
+    AdmissionWait,  ///< a = page, b = wait ns, c = tenant
+    Fetch,          ///< tier-2 fetch done: a = page, b = fetch ns
+    Breach,         ///< SLO breach: a = observed ns, b = target ns, c = tenant
+};
+
+const char *flightKindName(FlightKind kind);
+
+/** One recorded happening. 32 bytes, trivially copyable. */
+struct FlightEvent
+{
+    SimTime t = 0;          ///< simulated ns
+    std::uint64_t a = 0;    ///< kind-specific (usually a page id)
+    std::uint64_t b = 0;    ///< kind-specific (usually a duration)
+    std::uint32_t c = 0;    ///< kind-specific (warp / tenant / code)
+    FlightKind kind = FlightKind::Mark;
+    std::uint8_t tag = 0;   ///< kind-specific refinement
+    std::uint16_t aux = 0;  ///< spare, keeps the struct at 32 bytes
+};
+
+static_assert(sizeof(FlightEvent) == 32, "flight events must stay compact");
+static_assert(std::is_trivially_copyable_v<FlightEvent>);
+
+class FlightRecorder
+{
+  public:
+    static constexpr std::size_t kDefaultCapacity = 1024; ///< events
+    static constexpr std::size_t kMaxSnapshots = 4;
+
+    FlightRecorder() = default;
+    ~FlightRecorder();
+
+    /** Sessions hold recorders by value and hand out raw pointers;
+     *  moving one would dangle the failure-dump registry. */
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+    /**
+     * Allocate the ring and snapshot arena (capacity rounded up to a
+     * power of two) and register with the util/logging failure hook so
+     * panic()/fatal() dump the ring. All allocation happens here; the
+     * record path never allocates.
+     */
+    void enable(std::size_t capacity = kDefaultCapacity);
+
+    bool enabled() const { return mask != 0; }
+    std::size_t capacity() const { return ring.size(); }
+    std::uint64_t recorded() const { return seq; }
+
+    void
+    record(const FlightEvent &ev)
+    {
+        if (mask == 0)
+            return;
+        ring[seq & mask] = ev;
+        ++seq;
+    }
+
+    void
+    access(SimTime t, std::uint32_t warp, std::uint64_t page, bool hit,
+           SimTime ready_ns)
+    {
+        record({t, page, ready_ns, warp, FlightKind::Access,
+                std::uint8_t(hit ? 1 : 0), 0});
+    }
+
+    void
+    hitRun(SimTime t, std::uint32_t warp, std::uint64_t count,
+           std::uint64_t stride_ns)
+    {
+        record({t, count, stride_ns, warp, FlightKind::HitRun, 0, 0});
+    }
+
+    void
+    miss(SimTime t, std::uint32_t warp, std::uint64_t page)
+    {
+        record({t, page, 0, warp, FlightKind::Miss, 0, 0});
+    }
+
+    void
+    missStage(SimTime t, std::uint64_t page, std::uint8_t stage,
+              SimTime stage_ns)
+    {
+        record({t, page, stage_ns, 0, FlightKind::MissStage, stage, 0});
+    }
+
+    void
+    eviction(SimTime t, std::uint64_t victim_page, std::uint8_t target_tier)
+    {
+        record({t, victim_page, 0, 0, FlightKind::Eviction, target_tier, 0});
+    }
+
+    void
+    admissionWait(SimTime t, std::uint64_t page, std::uint32_t tenant,
+                  SimTime wait_ns)
+    {
+        record({t, page, wait_ns, tenant, FlightKind::AdmissionWait, 0, 0});
+    }
+
+    void
+    fetch(SimTime t, std::uint64_t page, SimTime fetch_ns)
+    {
+        record({t, page, fetch_ns, 0, FlightKind::Fetch, 0, 0});
+    }
+
+    void
+    breach(SimTime t, std::uint32_t tenant, std::uint64_t observed_ns,
+           std::uint64_t target_ns)
+    {
+        record({t, observed_ns, target_ns, tenant, FlightKind::Breach, 0,
+                0});
+    }
+
+    void
+    mark(SimTime t, std::uint32_t code)
+    {
+        record({t, 0, 0, code, FlightKind::Mark, 0, 0});
+    }
+
+    /** Copy the last-N history into the preallocated arena. Returns
+     *  false (and counts a drop) once kMaxSnapshots are taken. @p reason
+     *  must be a string literal (stored as-is, dumped verbatim). */
+    bool snapshot(const char *reason, SimTime at);
+
+    struct Snapshot
+    {
+        const char *reason = "";
+        SimTime at = 0;
+        std::uint64_t firstSeq = 0; ///< global seq of events[0]
+        std::size_t count = 0;
+        const FlightEvent *events = nullptr; ///< into the arena
+    };
+
+    std::size_t snapshotCount() const { return snaps; }
+    Snapshot snapshotAt(std::size_t i) const;
+    std::uint64_t droppedSnapshots() const { return droppedSnaps; }
+
+    /** Human-readable dump of snapshots + live ring (failure hook /
+     *  debugging; the JSONL artifact goes through writeFlightFile). */
+    void dumpTo(std::FILE *out) const;
+
+  private:
+    std::vector<FlightEvent> ring;  ///< sized power-of-two by enable()
+    std::vector<FlightEvent> arena; ///< kMaxSnapshots * capacity
+    struct SnapMeta
+    {
+        const char *reason = "";
+        SimTime at = 0;
+        std::uint64_t firstSeq = 0;
+        std::size_t count = 0;
+    };
+    SnapMeta snapMeta[kMaxSnapshots];
+    std::size_t snaps = 0;
+    std::uint64_t droppedSnaps = 0;
+    std::uint64_t seq = 0;  ///< events ever recorded; ring head
+    std::uint64_t mask = 0; ///< capacity - 1, 0 = disabled
+};
+
+class TraceSession;
+
+/** Merged `--flight` artifact: per cell, a recorder header, one header
+ *  line per snapshot, and the snapshot's events in capture order. */
+void writeFlightJsonl(std::FILE *out,
+                      const std::vector<const TraceSession *> &cells);
+void writeFlightFile(const std::string &path,
+                     const std::vector<const TraceSession *> &cells);
+
+} // namespace gmt::trace

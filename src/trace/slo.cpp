@@ -1,0 +1,235 @@
+#include "trace/slo.hpp"
+
+#include <cinttypes>
+
+#include "trace/flight_recorder.hpp"
+#include "trace/trace.hpp"
+#include "util/logging.hpp"
+
+namespace gmt::trace
+{
+
+void
+SloTracker::declare(const std::vector<SloSpec> &specs)
+{
+    GMT_ASSERT(tenants_.empty()); // declare before bind
+    specs_ = specs;
+    for (const SloSpec &s : specs_) {
+        if (!s.enabled())
+            continue;
+        GMT_ASSERT(s.quantilePct >= 1 && s.quantilePct <= 100);
+        GMT_ASSERT(s.burnWindows >= 1 && s.burnWindows <= 64);
+        GMT_ASSERT(s.burnThreshold >= 1 &&
+                   s.burnThreshold <= s.burnWindows);
+    }
+}
+
+void
+SloTracker::bindTenants(const std::vector<std::string> &names)
+{
+    if (specs_.empty() || bound())
+        return;
+    // A spec/tenant count mismatch is a config error the runtime-side
+    // validate already rejects; streams with a different tenant count
+    // (split-tenant algebra) just run unmonitored.
+    if (names.size() != specs_.size())
+        return;
+    tenants_.resize(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        TenantSlo &ts = tenants_[i];
+        ts.name = names[i];
+        ts.spec = specs_[i];
+        if (ts.spec.enabled())
+            ts.win.configure(ts.spec.windowNs);
+    }
+    breaches_.reserve(kMaxBreachRecords);
+}
+
+void
+SloTracker::record(std::uint32_t tenant, SimTime completion,
+                   SimTime latency_ns)
+{
+    recordBulk(tenant, completion, latency_ns, 1);
+}
+
+void
+SloTracker::recordBulk(std::uint32_t tenant, SimTime completion,
+                       SimTime latency_ns, std::uint64_t k)
+{
+    if (tenant >= tenants_.size() || k == 0)
+        return;
+    TenantSlo &ts = tenants_[tenant];
+    if (!ts.spec.enabled())
+        return;
+    ts.win.record(completion, latency_ns, k,
+                  [&](SimTime start, SimTime end,
+                      const LatencyHistogram &hist) {
+                      closeWindow(tenant, ts, start, end, hist, false);
+                  });
+}
+
+void
+SloTracker::quiesce(SimTime now)
+{
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+        TenantSlo &ts = tenants_[i];
+        if (!ts.spec.enabled())
+            continue;
+        // Close every whole window up to `now`, then the trailing
+        // partial window (evaluated too: a tail of slow requests must
+        // not escape monitoring just because the run ended).
+        ts.win.advanceTo(now, [&](SimTime start, SimTime end,
+                                  const LatencyHistogram &hist) {
+            closeWindow(std::uint32_t(i), ts, start, end, hist, false);
+        });
+        if (ts.win.current().count() > 0) {
+            closeWindow(std::uint32_t(i), ts, ts.win.windowStartNs(), now,
+                        ts.win.current(), true);
+        }
+    }
+}
+
+void
+SloTracker::closeWindow(std::uint32_t tenant_id, TenantSlo &ts,
+                        SimTime start, SimTime end,
+                        const LatencyHistogram &hist, bool final_window)
+{
+    ++ts.windows;
+    const std::uint64_t samples = hist.count();
+    ts.ewmaRateQ16 = ts.ewmaRateQ16 - (ts.ewmaRateQ16 >> kEwmaShift) +
+                     ((samples << 16) >> kEwmaShift);
+
+    const SimTime q = hist.percentile(ts.spec.quantilePct);
+    const bool violated = samples > 0 && q > ts.spec.targetNs;
+    if (violated && q > ts.worstWindowNs)
+        ts.worstWindowNs = q;
+
+    // Burn-rate mask over the last burnWindows windows, bit 0 = newest.
+    const std::uint64_t lookback =
+        ts.spec.burnWindows >= 64 ? ~std::uint64_t(0)
+                                  : ((std::uint64_t(1) << ts.spec.burnWindows) - 1);
+    ts.violationMask =
+        ((ts.violationMask << 1) | (violated ? 1 : 0)) & lookback;
+
+    if (!violated)
+        return;
+
+    ++ts.violations;
+    SloBreach b;
+    b.tenant = tenant_id;
+    b.kind = 0;
+    b.finalWindow = final_window ? 1 : 0;
+    b.windowStartNs = start;
+    b.windowEndNs = end;
+    b.observedNs = q;
+    b.targetNs = ts.spec.targetNs;
+    b.samples = samples;
+    pushBreach(b, end);
+    ++ts.breaches;
+
+    if (std::uint64_t(__builtin_popcountll(ts.violationMask)) >=
+        ts.spec.burnThreshold) {
+        b.kind = 1;
+        pushBreach(b, end);
+        ++ts.breaches;
+        ++ts.burns;
+        ts.violationMask = 0; // re-arm: one trip per burn episode
+    }
+}
+
+void
+SloTracker::pushBreach(const SloBreach &b, SimTime at)
+{
+    if (breaches_.size() >= kMaxBreachRecords) {
+        ++dropped_;
+        return;
+    }
+    breaches_.push_back(b);
+    if (flight) {
+        flight->breach(at, b.tenant, b.observedNs, b.targetNs);
+        flight->snapshot(b.kind == 1 ? "slo_burn" : "slo_breach", at);
+    }
+    if (sink) {
+        // Lazy track registration: a monitored run with zero breaches
+        // leaves the trace byte-identical to a monitors-off run.
+        if (!sloTrackReady) {
+            sloTrack = sink->track("slo");
+            sloTrackReady = true;
+        }
+        sink->instant(sloTrack, b.kind == 1 ? "slo_burn" : "slo_breach",
+                      at);
+    }
+}
+
+void
+writeSloJsonl(std::FILE *out,
+              const std::vector<const TraceSession *> &cells)
+{
+    for (std::size_t pid = 0; pid < cells.size(); ++pid) {
+        const TraceSession &cell = *cells[pid];
+        const SloTracker *slo = cell.slo();
+        if (!slo || !slo->bound())
+            continue;
+        for (std::size_t i = 0; i < slo->tenantCount(); ++i) {
+            const SloTracker::TenantSlo &ts = slo->tenant(i);
+            if (!ts.spec.enabled())
+                continue;
+            std::fprintf(
+                out,
+                "{\"type\":\"slo\",\"cell\":%zu,\"system\":\"%s\","
+                "\"workload\":\"%s\",\"tenant\":\"%s\",\"quantile_pct\":%u,"
+                "\"target_ns\":%" PRIu64 ",\"window_ns\":%" PRIu64
+                ",\"burn_windows\":%u,\"burn_threshold\":%u,\"windows\":"
+                "%" PRIu64 ",\"violations\":%" PRIu64 ",\"breaches\":"
+                "%" PRIu64 ",\"burns\":%" PRIu64 ",\"worst_window_ns\":"
+                "%" PRIu64 ",\"ewma_rate_q16\":%" PRIu64 "}\n",
+                pid, jsonEscape(cell.info.system).c_str(),
+                jsonEscape(cell.info.workload).c_str(),
+                jsonEscape(ts.name).c_str(), ts.spec.quantilePct,
+                ts.spec.targetNs, ts.spec.windowNs, ts.spec.burnWindows,
+                ts.spec.burnThreshold, ts.windows, ts.violations,
+                ts.breaches, ts.burns, ts.worstWindowNs, ts.ewmaRateQ16);
+            // Canonical counter aliases, one per line, for scripted
+            // consumers that want the `slo.<tenant>.*` names verbatim.
+            std::fprintf(out,
+                         "{\"type\":\"counter\",\"cell\":%zu,\"name\":"
+                         "\"slo.%s.breaches\",\"value\":%" PRIu64 "}\n",
+                         pid, jsonEscape(ts.name).c_str(), ts.breaches);
+            std::fprintf(out,
+                         "{\"type\":\"counter\",\"cell\":%zu,\"name\":"
+                         "\"slo.%s.worst_window_ns\",\"value\":%" PRIu64
+                         "}\n",
+                         pid, jsonEscape(ts.name).c_str(),
+                         ts.worstWindowNs);
+        }
+        for (const SloBreach &b : slo->breaches()) {
+            std::fprintf(
+                out,
+                "{\"type\":\"breach\",\"cell\":%zu,\"tenant\":\"%s\","
+                "\"kind\":\"%s\",\"final\":%u,\"window_start_ns\":%" PRIu64
+                ",\"window_end_ns\":%" PRIu64 ",\"observed_ns\":%" PRIu64
+                ",\"target_ns\":%" PRIu64 ",\"samples\":%" PRIu64 "}\n",
+                pid,
+                jsonEscape(slo->tenant(b.tenant).name).c_str(),
+                b.kind == 1 ? "burn" : "window", unsigned(b.finalWindow),
+                b.windowStartNs, b.windowEndNs, b.observedNs, b.targetNs,
+                b.samples);
+        }
+        if (slo->droppedBreaches() > 0) {
+            std::fprintf(out,
+                         "{\"type\":\"dropped\",\"cell\":%zu,\"breaches\":"
+                         "%" PRIu64 "}\n",
+                         pid, slo->droppedBreaches());
+        }
+    }
+}
+
+void
+writeSloFile(const std::string &path,
+             const std::vector<const TraceSession *> &cells)
+{
+    writeArtifactFile(path,
+                      [&cells](std::FILE *f) { writeSloJsonl(f, cells); });
+}
+
+} // namespace gmt::trace

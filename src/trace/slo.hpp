@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Windowed online stats + per-tenant SLO monitors.
+ *
+ * Everything before PR 10 was post-hoc: MetricsRegistry histograms and
+ * SpanProfiler spans are only inspectable after quiesce. SloTracker is
+ * the online layer — it chops simulated time into fixed absolute
+ * windows [i*W, (i+1)*W), keeps one integer log2 LatencyHistogram per
+ * open window, and the instant a record crosses a window boundary it
+ * closes the elapsed windows, evaluates each against the tenant's
+ * declared target quantile, and emits a breach record if the windowed
+ * quantile exceeds the threshold. A burn-rate mask over the last
+ * `burnWindows` windows catches sustained erosion that individual
+ * windows miss.
+ *
+ * Determinism: the monitor consumes (completion time, latency) pairs in
+ * the order the tenant stream produces them. That sequence is invariant
+ * across GMT_SCHED / GMT_FASTFWD / GMT_BULKFWD / GMT_SHARDS and --jobs
+ * (the engine's issue clock is part of the simulation contract), and
+ * window boundaries are pure integer arithmetic on simulated time — so
+ * window contents, breach instants, and every summary counter are
+ * byte-identical across the whole knob matrix.
+ *
+ * Observer-only: the tracker touches no MetricsRegistry, no runtime
+ * state, and no scheduler state. Results, metrics, goldens, spans and
+ * timelines are byte-identical with the monitor on or off; breach
+ * counters live in the dedicated `--slo` artifact (and as trace-sink
+ * annotations when tracing is on), never in the metrics export.
+ *
+ * Steady state allocates nothing: histograms are fixed arrays, breach
+ * storage is reserved at bind time and drops (with a counter) beyond
+ * capacity, and window close is O(65) integer work.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/metrics.hpp"
+#include "util/types.hpp"
+
+namespace gmt::trace
+{
+
+class FlightRecorder;
+class TraceSink;
+
+/**
+ * One tenant's SLO declaration. Lives in RuntimeConfig.tenants (core
+ * declares a vector parallel to the QoS page bounds); default-constructed
+ * specs (targetNs == 0) leave the tenant unmonitored.
+ */
+struct SloSpec
+{
+    unsigned quantilePct = 99;   ///< monitored quantile, 1..100
+    SimTime targetNs = 0;        ///< threshold; 0 disables the monitor
+    SimTime windowNs = 1'000'000;///< sliding-window length, simulated ns
+    unsigned burnWindows = 8;    ///< burn-rate lookback, 1..64 windows
+    unsigned burnThreshold = 4;  ///< violating windows that trip a burn
+
+    bool enabled() const { return targetNs > 0 && windowNs > 0; }
+};
+
+/**
+ * A log2 latency histogram over absolute simulated-time windows.
+ * record()/advanceTo() invoke the close callback once per elapsed
+ * window (empty gap windows included) — the caller owns evaluation.
+ * Bulk record(t, ns, k) mirrors LatencyHistogram::record(ns, k) so
+ * fast-forwarded epochs can feed a whole batch in O(1).
+ */
+class WindowedHistogram
+{
+  public:
+    void
+    configure(SimTime window_ns)
+    {
+        windowNs = window_ns;
+        curStart = 0;
+        cur = LatencyHistogram{};
+    }
+
+    bool configured() const { return windowNs > 0; }
+    SimTime windowLengthNs() const { return windowNs; }
+    SimTime windowStartNs() const { return curStart; }
+    const LatencyHistogram &current() const { return cur; }
+
+    /** Close every window that ends at or before @p t. close(start,
+     *  end, hist) runs per window in time order. O(windows elapsed). */
+    template <typename F>
+    void
+    advanceTo(SimTime t, F &&close)
+    {
+        while (windowNs > 0 && curStart + windowNs <= t) {
+            close(curStart, curStart + windowNs, cur);
+            cur = LatencyHistogram{};
+            curStart += windowNs;
+        }
+    }
+
+    /** Advance to @p t, then record @p k samples of @p ns into the
+     *  window containing @p t (clamped to the open window if @p t is
+     *  non-monotone, mirroring QueueDepthTracker's clamp policy). */
+    template <typename F>
+    void
+    record(SimTime t, SimTime ns, std::uint64_t k, F &&close)
+    {
+        advanceTo(t, close);
+        cur.record(ns, k);
+    }
+
+  private:
+    SimTime windowNs = 0;
+    SimTime curStart = 0;
+    LatencyHistogram cur;
+};
+
+/** One deterministic breach record (POD, preallocated storage). */
+struct SloBreach
+{
+    std::uint32_t tenant = 0;
+    std::uint8_t kind = 0;       ///< 0 = window quantile, 1 = burn rate
+    std::uint8_t finalWindow = 0;///< closed partial by quiesce, not a boundary
+    SimTime windowStartNs = 0;
+    SimTime windowEndNs = 0;
+    SimTime observedNs = 0;      ///< windowed quantile at close
+    SimTime targetNs = 0;
+    std::uint64_t samples = 0;   ///< requests inside the window
+};
+
+/**
+ * Per-tenant SLO monitors for one simulation cell. Lifecycle:
+ * declare() (runtime attach, from RuntimeConfig.tenants) then
+ * bindTenants() (stream attach, which knows the names), then record()
+ * per completed request, then quiesce() exactly once.
+ */
+class SloTracker
+{
+  public:
+    /** Breach storage reserved up front; beyond this they are counted
+     *  and dropped (droppedBreaches) so a pathological run degrades
+     *  instead of allocating. */
+    static constexpr std::size_t kMaxBreachRecords = 4096;
+
+    /** EWMA smoothing: rate' = rate - rate/4 + window_count/4, Q16. */
+    static constexpr unsigned kEwmaShift = 2;
+
+    struct TenantSlo
+    {
+        std::string name;
+        SloSpec spec;
+        WindowedHistogram win;
+        std::uint64_t windows = 0;    ///< closed windows
+        std::uint64_t violations = 0; ///< windows over target
+        std::uint64_t breaches = 0;   ///< breach records emitted
+        std::uint64_t burns = 0;      ///< burn-rate trips
+        SimTime worstWindowNs = 0;    ///< worst windowed quantile seen
+        std::uint64_t ewmaRateQ16 = 0;///< EWMA requests/window, Q16
+        std::uint64_t violationMask = 0; ///< last <=64 windows, bit0 newest
+    };
+
+    /** Stash the per-tenant specs (called by the runtime at attach). */
+    void declare(const std::vector<SloSpec> &specs);
+    bool declared() const { return !specs_.empty(); }
+
+    /** Bind tenant names and preallocate state (called by the stream at
+     *  attach; no-op unless declare() saw a matching tenant count). */
+    void bindTenants(const std::vector<std::string> &names);
+    bool bound() const { return !tenants_.empty(); }
+
+    /** Feed one completed request: @p completion is the simulated
+     *  completion instant, @p latency_ns the request latency. */
+    void record(std::uint32_t tenant, SimTime completion,
+                SimTime latency_ns);
+
+    /** Bulk variant: @p k identical samples, closed-form epochs. */
+    void recordBulk(std::uint32_t tenant, SimTime completion,
+                    SimTime latency_ns, std::uint64_t k);
+
+    /** Close the final (partial) window of every tenant. */
+    void quiesce(SimTime now);
+
+    std::size_t tenantCount() const { return tenants_.size(); }
+    const TenantSlo &tenant(std::size_t i) const { return tenants_[i]; }
+    const std::vector<SloBreach> &breaches() const { return breaches_; }
+    std::uint64_t droppedBreaches() const { return dropped_; }
+
+    /** Optional hookups (set by TraceSession before attach). */
+    void setFlight(FlightRecorder *recorder) { flight = recorder; }
+    void setSink(TraceSink *s) { sink = s; }
+
+  private:
+    void closeWindow(std::uint32_t tenant_id, TenantSlo &ts,
+                     SimTime start, SimTime end,
+                     const LatencyHistogram &hist, bool final_window);
+    void pushBreach(const SloBreach &b, SimTime at);
+
+    std::vector<SloSpec> specs_;
+    std::vector<TenantSlo> tenants_;
+    std::vector<SloBreach> breaches_;
+    std::uint64_t dropped_ = 0;
+    FlightRecorder *flight = nullptr;
+    TraceSink *sink = nullptr;
+    std::uint16_t sloTrack = 0;
+    bool sloTrackReady = false;
+};
+
+class TraceSession;
+
+/** Merged `--slo` artifact: per cell, one summary line per monitored
+ *  tenant plus one line per breach record, in spec order. */
+void writeSloJsonl(std::FILE *out,
+                   const std::vector<const TraceSession *> &cells);
+void writeSloFile(const std::string &path,
+                  const std::vector<const TraceSession *> &cells);
+
+} // namespace gmt::trace

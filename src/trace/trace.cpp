@@ -98,10 +98,19 @@ TraceSink::track(const std::string &name)
 TraceSession::TraceSession(const Options &options)
     : tracing(options.trace), metricsOn(options.metrics),
       spansOn(options.spans), timelineOn(options.timelinePeriodNs > 0),
+      sloOn(options.slo), flightOn(options.flight),
       sink_(options.sinkCapacity),
       sampler(timelineOn ? options.timelinePeriodNs
                          : TimelineSampler::kDefaultPeriodNs)
 {
+    if (flightOn)
+        recorder.enable(options.flightCapacity);
+    if (sloOn) {
+        if (flightOn)
+            sloTracker.setFlight(&recorder);
+        if (tracing)
+            sloTracker.setSink(&sink_);
+    }
 }
 
 TraceSession::TraceSession(bool with_trace, bool with_metrics,
@@ -122,6 +131,8 @@ TraceSession::quiesce(SimTime now)
 {
     for (const auto &hook : quiesceHooks)
         hook(now);
+    if (sloOn)
+        sloTracker.quiesce(now);
     if (timelineOn)
         sampler.quiesce(now);
 }

@@ -30,7 +30,9 @@
 #include <string>
 #include <vector>
 
+#include "trace/flight_recorder.hpp"
 #include "trace/metrics.hpp"
+#include "trace/slo.hpp"
 #include "trace/span.hpp"
 #include "trace/timeline.hpp"
 #include "util/types.hpp"
@@ -162,6 +164,9 @@ class TraceSession
         /** Timeline sampling period in simulated ns; 0 = timeline off. */
         SimTime timelinePeriodNs = 0;
         std::size_t sinkCapacity = TraceSink::kDefaultCapacity;
+        bool slo = false;    ///< per-tenant windowed SLO monitors
+        bool flight = false; ///< last-N event flight recorder
+        std::size_t flightCapacity = FlightRecorder::kDefaultCapacity;
     };
 
     explicit TraceSession(const Options &options);
@@ -197,6 +202,20 @@ class TraceSession
         return timelineOn ? &sampler : nullptr;
     }
 
+    /** Null when SLO monitoring is disabled. */
+    SloTracker *slo() { return sloOn ? &sloTracker : nullptr; }
+    const SloTracker *slo() const
+    {
+        return sloOn ? &sloTracker : nullptr;
+    }
+
+    /** Null when the flight recorder is disabled. */
+    FlightRecorder *flight() { return flightOn ? &recorder : nullptr; }
+    const FlightRecorder *flight() const
+    {
+        return flightOn ? &recorder : nullptr;
+    }
+
     /** Components register end-of-run drains at attach time. */
     void onQuiesce(std::function<void(SimTime)> hook);
 
@@ -211,10 +230,14 @@ class TraceSession
     bool metricsOn;
     bool spansOn;
     bool timelineOn;
+    bool sloOn;
+    bool flightOn;
     TraceSink sink_;
     MetricsRegistry registry;
     SpanProfiler profiler;
     TimelineSampler sampler;
+    SloTracker sloTracker;
+    FlightRecorder recorder;
     std::vector<std::function<void(SimTime)>> quiesceHooks;
 };
 

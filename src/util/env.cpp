@@ -1,0 +1,92 @@
+#include "util/env.hpp"
+
+#include "util/logging.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace gmt::util
+{
+
+const char *
+envRaw(const char *name)
+{
+    const char *env = std::getenv(name);
+    return (env && *env) ? env : nullptr;
+}
+
+bool
+envSwitch(const char *name, bool fallback)
+{
+    const char *env = envRaw(name);
+    if (!env)
+        return fallback;
+    if (!std::strcmp(env, "1") || !std::strcmp(env, "on"))
+        return true;
+    if (!std::strcmp(env, "0") || !std::strcmp(env, "off"))
+        return false;
+    fatal("invalid %s '%s' (expected '0'/'off' or '1'/'on')", name, env);
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback, std::uint64_t min,
+       std::uint64_t max)
+{
+    const char *env = envRaw(name);
+    if (!env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || *end != '\0' || v < min || v > max)
+        fatal("invalid %s '%s' (expected an integer in [%llu, %llu])", name,
+              env, static_cast<unsigned long long>(min),
+              static_cast<unsigned long long>(max));
+    return std::uint64_t(v);
+}
+
+namespace
+{
+
+const EnvKnob kKnobs[] = {
+    {"GMT_SCHED", "heap | wheel", "wheel",
+     "event-queue backend (byte-identical results either way)"},
+    {"GMT_FASTFWD", "0/off | 1/on", "1",
+     "closed-form epoch fast-forward for steady-state phases"},
+    {"GMT_BULKFWD", "0/off | 1/on", "1",
+     "closed-form bulk-transfer batch completion schedules"},
+    {"GMT_SHARDS", "1..1024", "1",
+     "conservative-parallel DES shard count (1 = single-queue oracle)"},
+    {"GMT_SHARD_SPIN", "0..2^64-1", "4096 on multicore, else 0",
+     "dry pump rounds a shard actor spins before parking on its cv"},
+    {"GMT_SHARD_KICK", "0..2^64-1", "64 on multicore, else 0",
+     "producer enqueues between cross-thread wakeup kicks"},
+    {"GMT_SHARD_TIMELINE", "0 | 1", "0",
+     "register shard.* contention probes with the timeline sampler"},
+    {"GMT_JOBS", "0..4096", "0 (auto: hardware threads)",
+     "experiment-matrix worker threads when --jobs is absent"},
+};
+
+} // namespace
+
+const EnvKnob *
+envKnobs(std::size_t *count)
+{
+    *count = sizeof(kKnobs) / sizeof(kKnobs[0]);
+    return kKnobs;
+}
+
+void
+printEnvHelp(std::FILE *out)
+{
+    std::size_t n = 0;
+    const EnvKnob *knobs = envKnobs(&n);
+    std::fprintf(out, "Environment knobs (all parse fatal-on-junk):\n");
+    for (std::size_t i = 0; i < n; ++i) {
+        const EnvKnob &k = knobs[i];
+        std::fprintf(out, "  %-19s %s\n", k.name, k.what);
+        std::fprintf(out, "  %-19s   values: %s   default: %s\n", "",
+                     k.values, k.fallback);
+    }
+}
+
+} // namespace gmt::util

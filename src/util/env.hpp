@@ -1,0 +1,56 @@
+/**
+ * @file
+ * One registry for every GMT_* environment knob.
+ *
+ * Before PR 10 each subsystem hand-rolled its own std::getenv parse with
+ * its own junk-handling policy (GMT_JOBS silently swallowed garbage,
+ * GMT_SHARDS was fatal, the switches accepted on/off, ...). All knobs
+ * now parse through the helpers below — uniform fatal-on-junk — and
+ * self-describe through envKnobs()/printEnvHelp() so `--help-env` on any
+ * bench or tool lists the whole surface without reading source.
+ *
+ * The helpers read the process environment each call; knobs are cheap
+ * and resolved once per run (or once per process), never on a hot path.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+
+namespace gmt::util
+{
+
+/** Raw value of an env knob, or nullptr when unset *or empty*. */
+const char *envRaw(const char *name);
+
+/**
+ * Boolean switch: '1'/'on' -> true, '0'/'off' -> false, unset/empty ->
+ * fallback, anything else -> fatal().
+ */
+bool envSwitch(const char *name, bool fallback);
+
+/**
+ * Unsigned integer knob clamped to [min, max]: unset/empty -> fallback
+ * (returned unchecked so "0 = auto" sentinels stay expressible),
+ * non-numeric / trailing junk / out-of-range -> fatal().
+ */
+std::uint64_t envU64(const char *name, std::uint64_t fallback,
+                     std::uint64_t min, std::uint64_t max);
+
+/** One row of the knob registry (static storage, never freed). */
+struct EnvKnob
+{
+    const char *name;    ///< e.g. "GMT_SCHED"
+    const char *values;  ///< accepted values, human-readable
+    const char *fallback;///< default when unset
+    const char *what;    ///< one-line description
+};
+
+/** Every registered GMT_* knob, in presentation order. */
+const EnvKnob *envKnobs(std::size_t *count);
+
+/** Render the registry as a `--help-env` listing. */
+void printEnvHelp(std::FILE *out);
+
+} // namespace gmt::util

@@ -10,6 +10,18 @@ namespace
 {
 
 bool informEnabled = true;
+void (*failureHook)() = nullptr;
+
+void
+runFailureHook()
+{
+    // One shot: a hook that itself panics must not recurse forever.
+    static bool ran = false;
+    if (ran || !failureHook)
+        return;
+    ran = true;
+    failureHook();
+}
 
 void
 vreport(std::FILE *stream, const char *prefix, const char *fmt, va_list ap)
@@ -29,6 +41,7 @@ panic(const char *fmt, ...)
     va_start(ap, fmt);
     vreport(stderr, "panic: ", fmt, ap);
     va_end(ap);
+    runFailureHook();
     std::abort();
 }
 
@@ -39,6 +52,7 @@ fatal(const char *fmt, ...)
     va_start(ap, fmt);
     vreport(stderr, "fatal: ", fmt, ap);
     va_end(ap);
+    runFailureHook();
     std::exit(1);
 }
 
@@ -66,6 +80,12 @@ void
 setInformEnabled(bool enabled)
 {
     informEnabled = enabled;
+}
+
+void
+setFailureHook(void (*hook)())
+{
+    failureHook = hook;
 }
 
 namespace detail

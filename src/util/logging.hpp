@@ -37,6 +37,15 @@ void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 /** Enable/disable inform() output (benches silence it for clean tables). */
 void setInformEnabled(bool enabled);
 
+/**
+ * Best-effort hook invoked (at most once, recursion-guarded) before
+ * panic() aborts or fatal() exits, after the message is printed. The
+ * flight recorder installs one so assertion reports carry the last-N
+ * engine events instead of just the message. The hook must tolerate
+ * being called from any thread and from arbitrarily broken state.
+ */
+void setFailureHook(void (*hook)());
+
 namespace detail
 {
 [[noreturn]] void assertFail(const char *expr, const char *file, int line);

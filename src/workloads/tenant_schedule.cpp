@@ -199,9 +199,16 @@ TenantStream::nextAccessAt(SimTime now, WarpId warp, gpu::Access &out)
         // request's last access retired at now - stride: that is the
         // completion the open-loop latency is measured to.
         const SimTime completion = now - cfg.computeNsPerAccess;
-        lat[t].record(completion > ws.arrival
-                          ? completion - ws.arrival
-                          : 0);
+        const SimTime req_lat =
+            completion > ws.arrival ? completion - ws.arrival : 0;
+        lat[t].record(req_lat);
+        // Online SLO feed: same (completion, latency) pair the final
+        // histogram sees, delivered the instant it is known. Completion
+        // rides the engine issue clock, so the sequence (and therefore
+        // every window close and breach instant) is invariant across
+        // schedulers, fast-forward, sharding, and --jobs.
+        if (sloT)
+            sloT->record(t, completion, req_lat);
         ++completedReq[t];
         ws.inService = false;
     }
@@ -233,6 +240,21 @@ TenantStream::nextAccessAt(SimTime now, WarpId warp, gpu::Access &out)
 void
 TenantStream::attachTrace(trace::TraceSession *session)
 {
+    // SLO monitors: the runtime declared the specs (from
+    // RuntimeConfig.tenants) when it attached; the stream owns the
+    // names and the completion feed, so it binds and records.
+    sloT = nullptr;
+    if (trace::SloTracker *slo = session->slo();
+        slo && slo->declared()) {
+        std::vector<std::string> names;
+        names.reserve(specs.size());
+        for (const TenantSpec &s : specs)
+            names.push_back(s.name);
+        slo->bindTenants(names);
+        if (slo->bound())
+            sloT = slo;
+    }
+
     trace::MetricsRegistry *reg = session->metrics();
     if (!reg)
         return;
@@ -271,6 +293,7 @@ TenantStream::reset()
     std::fill(counters.begin(), counters.end(),
               gpu::serving::TenantCounters{});
     std::fill(slots.begin(), slots.end(), RegistrySlot{});
+    sloT = nullptr;
 }
 
 gpu::serving::TenantSnapshot

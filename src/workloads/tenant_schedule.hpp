@@ -38,6 +38,7 @@
 #include "gpu/access_stream.hpp"
 #include "gpu/serving.hpp"
 #include "trace/metrics.hpp"
+#include "trace/slo.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -215,6 +216,7 @@ class TenantStream final : public gpu::AccessStream,
     std::vector<trace::LatencyHistogram> lat; ///< per-tenant request ns
     std::vector<gpu::serving::TenantCounters> counters;
     std::vector<RegistrySlot> slots; ///< valid for the attached run
+    trace::SloTracker *sloT = nullptr; ///< bound per attached run
 };
 
 /** Build a serving stream (validates the specs; fatal on nonsense). */

@@ -626,3 +626,92 @@ TEST(HotPathAlloc, ShardedSteadyStateEpochsNeverAllocate)
         << "100000 extra sharded steady-state accesses must add zero "
            "allocations on both the commit thread and the worker";
 }
+
+TEST(HotPathAlloc, FlightRecorderSteadyStateNeverAllocates)
+{
+    // enable() does all the allocating (ring + snapshot arena); after
+    // that, record() is a masked store and snapshot() a memcpy into the
+    // arena — neither may touch the allocator (ISSUE 10 acceptance).
+    gmt::trace::FlightRecorder rec;
+    rec.enable(1024);
+
+    const std::uint64_t before = g_news;
+    for (int i = 0; i < 100000; ++i) {
+        const SimTime t = SimTime(i) * 10;
+        rec.access(t, std::uint32_t(i % 32), std::uint64_t(i % 640),
+                   i % 4 != 0, 100);
+        if (i % 7 == 0)
+            rec.miss(t, std::uint32_t(i % 32), std::uint64_t(i % 640));
+        if (i % 11 == 0)
+            rec.eviction(t, std::uint64_t(i % 640), 2);
+    }
+    EXPECT_TRUE(rec.snapshot("alloc_test", 999999));
+    const std::uint64_t after = g_news;
+
+    EXPECT_EQ(after - before, 0u)
+        << "recording and snapshotting must be allocation-free";
+    EXPECT_GT(rec.recorded(), 100000u);
+    EXPECT_EQ(rec.snapshotCount(), 1u);
+}
+
+TEST(HotPathAlloc, MonitoredServingAddsNoSteadyStateAllocations)
+{
+    // The MultiTenantSteadyState test with SLO monitors + flight
+    // recorder attached: session construction and attach do the sizing
+    // (ring, arena, reserved breach storage), after which every extra
+    // request — windowed recording, window closes, breach pushes within
+    // the reserve, flight events — must add zero allocations.
+    ScopedEnv sched("GMT_SCHED", "heap");
+    ScopedEnv oneShard("GMT_SHARDS", "1");
+    const auto run = [](std::uint64_t requests) {
+        RuntimeConfig cfg;
+        cfg.numPages = 256;
+        cfg.tier1Pages = 256;
+        cfg.tier2Pages = 512;
+        cfg.policy = PlacementPolicy::Reuse;
+        cfg.sampleTarget = 0;
+        // Impossible SLO: every nonempty window breaches, so the
+        // breach path itself is part of the measured steady state.
+        gmt::trace::SloSpec spec;
+        spec.quantilePct = 50;
+        spec.targetNs = 1;
+        spec.windowNs = 1'000'000;
+        cfg.tenants.slo = {spec, spec};
+
+        std::vector<gmt::workloads::TenantSpec> specs(2);
+        for (unsigned t = 0; t < 2; ++t) {
+            specs[t].name = t == 0 ? "a" : "b";
+            specs[t].pattern = gmt::workloads::ArrivalPattern::Zipf;
+            specs[t].pages = 128;
+            specs[t].requests = requests;
+            specs[t].periodNs = 9000;
+            specs[t].phaseNs = t * 4500;
+            specs[t].warps = 4;
+            specs[t].seed = 3 + t;
+        }
+
+        auto rt = makeGmtRuntime(cfg);
+        gmt::workloads::TenantStream stream(specs);
+        gpu::GpuEngine engine{{}};
+        gmt::trace::TraceSession::Options so;
+        so.slo = true;
+        so.flight = true;
+        gmt::trace::TraceSession session(so);
+        rt->attachTrace(&session);
+        stream.attachTrace(&session);
+
+        const std::uint64_t before = g_news;
+        const gpu::RunResult r = engine.run(*rt, stream);
+        session.quiesce(r.makespanNs);
+        const std::uint64_t allocs = g_news - before;
+        EXPECT_EQ(r.accesses, 2 * requests * 8);
+        EXPECT_FALSE(session.slo()->breaches().empty());
+        EXPECT_GT(session.flight()->recorded(), 0u);
+        return allocs;
+    };
+
+    const std::uint64_t shortAllocs = run(2000);
+    const std::uint64_t longAllocs = run(8000);
+    EXPECT_EQ(longAllocs, shortAllocs)
+        << "monitored serving must add zero steady-state allocations";
+}

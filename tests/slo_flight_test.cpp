@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Windowed SLO monitors + flight recorder (ISSUE 10): unit properties
+ * of the windowed histogram / breach logic / ring, the observer-only
+ * invariant (results and metrics byte-identical with monitors on or
+ * off), and breach-instant byte-identity across the whole determinism
+ * knob matrix (--jobs x GMT_SCHED x GMT_FASTFWD x GMT_BULKFWD x
+ * GMT_SHARDS).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/run_matrix.hpp"
+#include "trace/flight_recorder.hpp"
+#include "trace/json.hpp"
+#include "trace/slo.hpp"
+#include "trace/trace.hpp"
+#include "util/logging.hpp"
+#include "workloads/tenant_schedule.hpp"
+
+using namespace gmt;
+using namespace gmt::harness;
+using namespace gmt::trace;
+using namespace gmt::workloads;
+
+namespace
+{
+
+/** Pin an env var for one scope (restored on exit). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        setenv(name, value, 1);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+/** Small contending 4-tenant set over a 640-page working set. */
+std::vector<TenantSpec>
+smallTenants(std::uint64_t requests = 300)
+{
+    const ArrivalPattern patterns[4] = {
+        ArrivalPattern::Zipf, ArrivalPattern::Uniform,
+        ArrivalPattern::Scan, ArrivalPattern::Hotspot};
+    const char *const names[4] = {"kv", "scan", "etl", "web"};
+    std::vector<TenantSpec> specs(4);
+    for (unsigned t = 0; t < 4; ++t) {
+        specs[t].name = names[t];
+        specs[t].pattern = patterns[t];
+        specs[t].pages = 160;
+        specs[t].requests = requests;
+        specs[t].periodNs = 50000;
+        specs[t].phaseNs = t * 12500;
+        specs[t].seed = 11 + t;
+    }
+    return specs;
+}
+
+/** Thrashing config with tight SLOs on the point-lookup tenants. */
+RuntimeConfig
+monitoredConfig()
+{
+    RuntimeConfig cfg;
+    cfg.tier1Pages = 64;
+    cfg.tier2Pages = 256;
+    cfg.numPages = 640;
+    cfg.policy = PlacementPolicy::Reuse;
+    // 20 us p99: any window whose tail sees an SSD miss (~110 us media
+    // latency) violates, so this thrashing cell breaches for certain.
+    SloSpec tight;
+    tight.quantilePct = 99;
+    tight.targetNs = 20'000;
+    tight.windowNs = 1'000'000;
+    tight.burnWindows = 8;
+    tight.burnThreshold = 4;
+    SloSpec loose = tight;
+    loose.quantilePct = 95;
+    loose.targetNs = 20'000'000;
+    cfg.tenants.slo = {tight, loose, loose, tight};
+    return cfg;
+}
+
+/** Breach records + summary tuples of one monitored serving run. */
+struct MonitoredRun
+{
+    ExperimentResult result;
+    std::vector<SloBreach> breaches;
+    std::vector<std::uint64_t> summary; ///< per tenant: windows,
+                                        ///< violations, breaches, burns,
+                                        ///< worst, ewma
+};
+
+MonitoredRun
+runMonitored(const RuntimeConfig &cfg,
+             const std::vector<TenantSpec> &specs)
+{
+    TraceSession::Options so;
+    so.metrics = true;
+    so.slo = true;
+    so.flight = true;
+    TraceSession session(so);
+    MonitoredRun out;
+    out.result = runTenants(System::GmtReuse, cfg, specs, &session);
+    const SloTracker *slo = session.slo();
+    out.breaches = slo->breaches();
+    for (std::size_t t = 0; t < slo->tenantCount(); ++t) {
+        const SloTracker::TenantSlo &ts = slo->tenant(t);
+        out.summary.insert(out.summary.end(),
+                           {ts.windows, ts.violations, ts.breaches,
+                            ts.burns, ts.worstWindowNs, ts.ewmaRateQ16});
+    }
+    return out;
+}
+
+void
+expectBreachesEqual(const std::vector<SloBreach> &a,
+                    const std::vector<SloBreach> &b, const char *what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].tenant, b[i].tenant) << what << " breach " << i;
+        EXPECT_EQ(a[i].kind, b[i].kind) << what << " breach " << i;
+        EXPECT_EQ(a[i].finalWindow, b[i].finalWindow)
+            << what << " breach " << i;
+        EXPECT_EQ(a[i].windowStartNs, b[i].windowStartNs)
+            << what << " breach " << i;
+        EXPECT_EQ(a[i].windowEndNs, b[i].windowEndNs)
+            << what << " breach " << i;
+        EXPECT_EQ(a[i].observedNs, b[i].observedNs)
+            << what << " breach " << i;
+        EXPECT_EQ(a[i].targetNs, b[i].targetNs) << what << " breach " << i;
+        EXPECT_EQ(a[i].samples, b[i].samples) << what << " breach " << i;
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// WindowedHistogram
+// ---------------------------------------------------------------------
+
+TEST(WindowedHistogram, ClosesEveryElapsedWindowIncludingEmptyGaps)
+{
+    WindowedHistogram win;
+    win.configure(100);
+    std::vector<std::pair<SimTime, std::uint64_t>> closed; // start, count
+    auto close = [&](SimTime start, SimTime /*end*/,
+                     const LatencyHistogram &h) {
+        closed.emplace_back(start, h.count());
+    };
+
+    win.record(10, 5, 1, close);  // window [0, 100)
+    win.record(20, 7, 2, close);  // same window
+    EXPECT_TRUE(closed.empty());  // nothing crossed yet
+
+    win.record(450, 9, 1, close); // crosses into [400, 500)
+    ASSERT_EQ(closed.size(), 4u); // [0,100) then three empty gaps
+    EXPECT_EQ(closed[0], (std::pair<SimTime, std::uint64_t>{0, 3}));
+    EXPECT_EQ(closed[1], (std::pair<SimTime, std::uint64_t>{100, 0}));
+    EXPECT_EQ(closed[2], (std::pair<SimTime, std::uint64_t>{200, 0}));
+    EXPECT_EQ(closed[3], (std::pair<SimTime, std::uint64_t>{300, 0}));
+    EXPECT_EQ(win.windowStartNs(), 400u);
+    EXPECT_EQ(win.current().count(), 1u);
+
+    // Bulk record mirrors k single records.
+    win.record(460, 9, 41, close);
+    EXPECT_EQ(win.current().count(), 42u);
+
+    // Non-monotone completion clamps into the open window.
+    win.record(430, 3, 1, close);
+    EXPECT_EQ(win.current().count(), 43u);
+    EXPECT_TRUE(closed.size() == 4u);
+}
+
+TEST(WindowedHistogram, AdvanceToBoundaryClosesExactlyTheEndedWindow)
+{
+    WindowedHistogram win;
+    win.configure(100);
+    unsigned closes = 0;
+    auto close = [&](SimTime, SimTime, const LatencyHistogram &) {
+        ++closes;
+    };
+    win.advanceTo(99, close);
+    EXPECT_EQ(closes, 0u);
+    win.advanceTo(100, close); // [0,100) ends exactly at t=100
+    EXPECT_EQ(closes, 1u);
+    win.advanceTo(100, close); // idempotent at the boundary
+    EXPECT_EQ(closes, 1u);
+}
+
+// ---------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, DisabledRecorderIgnoresRecords)
+{
+    FlightRecorder rec;
+    EXPECT_FALSE(rec.enabled());
+    rec.access(10, 1, 2, true, 0);
+    EXPECT_EQ(rec.recorded(), 0u);
+    EXPECT_FALSE(rec.snapshot("nothing", 10));
+    EXPECT_EQ(rec.snapshotCount(), 0u);
+}
+
+TEST(FlightRecorder, RingWrapsAndSnapshotKeepsTheLastN)
+{
+    FlightRecorder rec;
+    rec.enable(6); // rounds up to 8
+    EXPECT_EQ(rec.capacity(), 8u);
+
+    for (std::uint64_t i = 0; i < 20; ++i)
+        rec.mark(SimTime(i), std::uint32_t(i));
+    EXPECT_EQ(rec.recorded(), 20u);
+
+    ASSERT_TRUE(rec.snapshot("test_trigger", 19));
+    const FlightRecorder::Snapshot snap = rec.snapshotAt(0);
+    EXPECT_STREQ(snap.reason, "test_trigger");
+    EXPECT_EQ(snap.at, 19u);
+    EXPECT_EQ(snap.count, 8u);     // ring capacity
+    EXPECT_EQ(snap.firstSeq, 12u); // events 12..19 retained
+    for (std::size_t i = 0; i < snap.count; ++i) {
+        EXPECT_EQ(snap.events[i].t, SimTime(12 + i));
+        EXPECT_EQ(snap.events[i].kind, FlightKind::Mark);
+    }
+}
+
+TEST(FlightRecorderDeathTest, AssertionFailuresDumpTheLiveRing)
+{
+    // The util/logging failure hook (installed by the first enable())
+    // must dump every live ring to stderr on the way down, so the
+    // history leading up to a GMT_ASSERT failure is recoverable.
+    FlightRecorder rec;
+    rec.enable(8);
+    rec.mark(123, 7);
+    EXPECT_DEATH(GMT_ASSERT(1 == 2),
+                 "flight recorder: dumping 1 live ring");
+}
+
+TEST(FlightRecorder, SnapshotsBeyondTheArenaAreCountedAndDropped)
+{
+    FlightRecorder rec;
+    rec.enable(4);
+    rec.mark(1, 0);
+    for (std::size_t s = 0; s < FlightRecorder::kMaxSnapshots; ++s)
+        EXPECT_TRUE(rec.snapshot("fill", SimTime(s)));
+    EXPECT_FALSE(rec.snapshot("overflow", 99));
+    EXPECT_FALSE(rec.snapshot("overflow", 100));
+    EXPECT_EQ(rec.snapshotCount(), FlightRecorder::kMaxSnapshots);
+    EXPECT_EQ(rec.droppedSnapshots(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// SloTracker
+// ---------------------------------------------------------------------
+
+TEST(SloTracker, WindowBreachCarriesTheObservedQuantile)
+{
+    SloTracker slo;
+    SloSpec spec;
+    spec.quantilePct = 50;
+    spec.targetNs = 100;
+    spec.windowNs = 1000;
+    slo.declare({spec});
+    slo.bindTenants({"kv"});
+    ASSERT_TRUE(slo.bound());
+
+    // Window [0, 1000): every sample far over target.
+    for (int i = 0; i < 10; ++i)
+        slo.record(0, SimTime(100 * i), 5000);
+    // Crossing into the next window closes and evaluates [0, 1000).
+    slo.record(0, 1500, 10);
+    ASSERT_EQ(slo.breaches().size(), 1u);
+    const SloBreach &b = slo.breaches()[0];
+    EXPECT_EQ(b.tenant, 0u);
+    EXPECT_EQ(b.kind, 0u);
+    EXPECT_EQ(b.finalWindow, 0u);
+    EXPECT_EQ(b.windowStartNs, 0u);
+    EXPECT_EQ(b.windowEndNs, 1000u);
+    EXPECT_GE(b.observedNs, 5000u) << "log2 bucket upper bound";
+    EXPECT_EQ(b.targetNs, 100u);
+    EXPECT_EQ(b.samples, 10u);
+
+    const SloTracker::TenantSlo &ts = slo.tenant(0);
+    EXPECT_EQ(ts.windows, 1u);
+    EXPECT_EQ(ts.violations, 1u);
+    EXPECT_EQ(ts.breaches, 1u);
+    EXPECT_EQ(ts.worstWindowNs, b.observedNs);
+}
+
+TEST(SloTracker, BurnRateTripsAfterThresholdViolationsAndRearms)
+{
+    SloTracker slo;
+    SloSpec spec;
+    spec.quantilePct = 50;
+    spec.targetNs = 100;
+    spec.windowNs = 1000;
+    spec.burnWindows = 4;
+    spec.burnThreshold = 2;
+    slo.declare({spec});
+    slo.bindTenants({"kv"});
+
+    // Two violating windows inside the 4-window lookback trip a burn.
+    slo.record(0, 500, 5000);  // window 0 violates
+    slo.record(0, 1500, 5000); // closes w0; window 1 violates
+    slo.record(0, 2500, 10);   // closes w1 -> burn trips here
+    std::uint64_t burns = 0;
+    for (const SloBreach &b : slo.breaches())
+        burns += b.kind == 1 ? 1 : 0;
+    EXPECT_EQ(burns, 1u);
+    EXPECT_EQ(slo.tenant(0).burns, 1u);
+
+    // The mask reset re-arms: two more violations trip a second burn.
+    slo.record(0, 3500, 5000); // closes clean w2; w3 violates
+    slo.record(0, 4500, 5000); // closes w3; w4 violates
+    slo.record(0, 5500, 10);   // closes w4 -> burn again
+    burns = 0;
+    for (const SloBreach &b : slo.breaches())
+        burns += b.kind == 1 ? 1 : 0;
+    EXPECT_EQ(burns, 2u);
+}
+
+TEST(SloTracker, QuiesceClosesTheTrailingPartialWindowAsFinal)
+{
+    SloTracker slo;
+    SloSpec spec;
+    spec.quantilePct = 50;
+    spec.targetNs = 100;
+    spec.windowNs = 1000;
+    slo.declare({spec});
+    slo.bindTenants({"kv"});
+
+    slo.record(0, 2300, 9000); // lands in [2000, 3000)
+    slo.quiesce(2400);
+    ASSERT_EQ(slo.breaches().size(), 1u);
+    EXPECT_EQ(slo.breaches()[0].finalWindow, 1u);
+    EXPECT_EQ(slo.breaches()[0].windowStartNs, 2000u);
+    // Gap windows [0,1000) and [1000,2000) closed empty, no breach.
+    EXPECT_EQ(slo.tenant(0).windows, 3u);
+    EXPECT_EQ(slo.tenant(0).violations, 1u);
+}
+
+TEST(SloTracker, DisabledSpecsObserveNothing)
+{
+    SloTracker slo;
+    SloSpec off; // targetNs == 0 leaves the tenant unmonitored
+    slo.declare({off});
+    slo.bindTenants({"kv"});
+    for (int i = 0; i < 100; ++i)
+        slo.record(0, SimTime(i) * 1000, 1 << 20);
+    slo.quiesce(200000);
+    EXPECT_TRUE(slo.breaches().empty());
+    EXPECT_EQ(slo.tenant(0).windows, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Observer-only invariant + breach determinism
+// ---------------------------------------------------------------------
+
+TEST(SloServing, MonitorsAreInvisibleToResultsAndMetrics)
+{
+    const auto specs = smallTenants();
+    const RuntimeConfig cfg = monitoredConfig();
+
+    TraceSession::Options plainOpt;
+    plainOpt.metrics = true;
+    TraceSession plain(plainOpt);
+    const ExperimentResult off =
+        runTenants(System::GmtReuse, cfg, specs, &plain);
+
+    const MonitoredRun on = runMonitored(cfg, specs);
+    ASSERT_FALSE(on.breaches.empty())
+        << "the thrashing cell must breach its tight SLOs";
+
+    // Aggregate and per-tenant results are byte-identical.
+    EXPECT_EQ(off.makespanNs, on.result.makespanNs);
+    EXPECT_EQ(off.accesses, on.result.accesses);
+    EXPECT_EQ(off.tier1Hits, on.result.tier1Hits);
+    EXPECT_EQ(off.tier1Misses, on.result.tier1Misses);
+    EXPECT_EQ(off.ssdReads, on.result.ssdReads);
+    EXPECT_EQ(off.tier1Evictions, on.result.tier1Evictions);
+    ASSERT_EQ(off.tenants.size(), on.result.tenants.size());
+    for (std::size_t t = 0; t < off.tenants.size(); ++t) {
+        EXPECT_EQ(off.tenants[t].p50Ns, on.result.tenants[t].p50Ns);
+        EXPECT_EQ(off.tenants[t].p99Ns, on.result.tenants[t].p99Ns);
+        EXPECT_EQ(off.tenants[t].maxNs, on.result.tenants[t].maxNs);
+        EXPECT_EQ(off.tenants[t].sumNs, on.result.tenants[t].sumNs);
+    }
+}
+
+TEST(SloServing, BreachInstantsAreIdenticalAcrossTheKnobMatrix)
+{
+    const auto specs = smallTenants();
+    const RuntimeConfig cfg = monitoredConfig();
+    const MonitoredRun base = runMonitored(cfg, specs);
+    ASSERT_FALSE(base.breaches.empty());
+
+    const char *scheds[] = {"heap", "wheel"};
+    const char *toggles[] = {"0", "1"};
+    const char *shards[] = {"1", "4"};
+    for (const char *sched : scheds)
+        for (const char *ff : toggles)
+            for (const char *bulk : toggles)
+                for (const char *sh : shards) {
+                    ScopedEnv e1("GMT_SCHED", sched);
+                    ScopedEnv e2("GMT_FASTFWD", ff);
+                    ScopedEnv e3("GMT_BULKFWD", bulk);
+                    ScopedEnv e4("GMT_SHARDS", sh);
+                    const std::string what = std::string("sched=") + sched
+                        + " ff=" + ff + " bulk=" + bulk + " shards=" + sh;
+                    const MonitoredRun run = runMonitored(cfg, specs);
+                    expectBreachesEqual(base.breaches, run.breaches,
+                                        what.c_str());
+                    EXPECT_EQ(base.summary, run.summary) << what;
+                }
+}
+
+TEST(SloServing, SloArtifactBytesAreIdenticalAcrossJobCounts)
+{
+    // Two identical monitored cells through runMatrix at --jobs 1 and
+    // --jobs 4: the merged --slo artifact must be byte-identical.
+    const auto specs = smallTenants(200);
+    const RuntimeConfig cfg = monitoredConfig();
+    std::vector<RunSpec> matrix(2);
+    for (RunSpec &s : matrix) {
+        s.system = System::GmtReuse;
+        s.cfg = cfg;
+        s.tenants = specs;
+    }
+
+    const std::string dir = testing::TempDir();
+    std::vector<std::string> paths;
+    for (unsigned jobs : {1u, 4u}) {
+        MatrixTracer::Options mo;
+        mo.sloPath = dir + "/slo_jobs" + std::to_string(jobs) + ".jsonl";
+        mo.flightPath =
+            dir + "/flight_jobs" + std::to_string(jobs) + ".jsonl";
+        MatrixTracer tracer(mo);
+        runMatrix(matrix, jobs, &tracer);
+        tracer.writeOutputs();
+        paths.push_back(mo.sloPath);
+    }
+    const std::string a = readFileOrDie(paths[0]);
+    const std::string b = readFileOrDie(paths[1]);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b) << "--slo artifact differs between --jobs 1 and 4";
+    EXPECT_NE(a.find("\"type\":\"breach\""), std::string::npos);
+}
+
+TEST(SloServing, BreachTriggersAFlightSnapshotAndTheArtifactsParse)
+{
+    const auto specs = smallTenants();
+    const RuntimeConfig cfg = monitoredConfig();
+
+    TraceSession::Options so;
+    so.slo = true;
+    so.flight = true;
+    TraceSession session(so);
+    runTenants(System::GmtReuse, cfg, specs, &session);
+
+    const SloTracker *slo = session.slo();
+    const FlightRecorder *rec = session.flight();
+    ASSERT_FALSE(slo->breaches().empty());
+    ASSERT_GT(rec->snapshotCount(), 0u)
+        << "the first breach must snapshot the ring";
+    EXPECT_GT(rec->recorded(), 0u);
+
+    // Both JSONL artifacts parse line by line.
+    const std::string dir = testing::TempDir();
+    const std::string sloPath = dir + "/slo_parse.jsonl";
+    const std::string flightPath = dir + "/flight_parse.jsonl";
+    writeSloFile(sloPath, {&session});
+    writeFlightFile(flightPath, {&session});
+    for (const std::string &path : {sloPath, flightPath}) {
+        const std::string text = readFileOrDie(path);
+        ASSERT_FALSE(text.empty()) << path;
+        std::size_t pos = 0, lines = 0;
+        while (pos < text.size()) {
+            std::size_t end = text.find('\n', pos);
+            if (end == std::string::npos)
+                end = text.size();
+            const std::string line = text.substr(pos, end - pos);
+            pos = end + 1;
+            if (line.empty())
+                continue;
+            JsonValue v;
+            std::string err;
+            ASSERT_TRUE(parseJson(line, v, err))
+                << path << ": " << err << ": " << line;
+            ASSERT_NE(v.find("type"), nullptr) << path;
+            ++lines;
+        }
+        EXPECT_GT(lines, 1u) << path;
+    }
+}
+
+TEST(SloServing, ZeroBreachMonitorsLeaveTheTraceIdentical)
+{
+    // Loose SLOs that never breach: the lazily-registered "slo" sink
+    // track must never appear, so trace bytes match monitors-off.
+    const auto specs = smallTenants(100);
+    RuntimeConfig cfg = monitoredConfig();
+    for (SloSpec &s : cfg.tenants.slo)
+        s.targetNs = SimTime(1) << 40; // unreachably loose
+
+    const std::string dir = testing::TempDir();
+    std::vector<std::string> paths;
+    for (const bool monitored : {false, true}) {
+        MatrixTracer::Options mo;
+        mo.tracePath = dir + (monitored ? "/trace_on.jsonl"
+                                        : "/trace_off.jsonl");
+        if (monitored)
+            mo.sloPath = dir + "/trace_on_slo.jsonl";
+        MatrixTracer tracer(mo);
+        std::vector<RunSpec> matrix(1);
+        matrix[0].system = System::GmtReuse;
+        matrix[0].cfg = cfg;
+        matrix[0].tenants = specs;
+        runMatrix(matrix, 1, &tracer);
+        tracer.writeOutputs();
+        paths.push_back(mo.tracePath);
+    }
+    EXPECT_EQ(readFileOrDie(paths[0]), readFileOrDie(paths[1]))
+        << "a zero-breach monitored run must not perturb the trace";
+}

@@ -6,8 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
+#include <string>
 
+#include "util/env.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
@@ -151,4 +154,134 @@ TEST(Logging, AssertPassesSilently)
 {
     GMT_ASSERT(2 + 2 == 4); // must not abort
     SUCCEED();
+}
+
+namespace
+{
+
+/** Pin an env var for one scope (restored on exit). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_ = true;
+            old_ = old;
+        }
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_)
+            setenv(name_, old_.c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+} // namespace
+
+TEST(Env, RawTreatsEmptyAsUnset)
+{
+    ScopedEnv unset("GMT_TEST_KNOB", nullptr);
+    EXPECT_EQ(util::envRaw("GMT_TEST_KNOB"), nullptr);
+    ScopedEnv empty("GMT_TEST_KNOB", "");
+    EXPECT_EQ(util::envRaw("GMT_TEST_KNOB"), nullptr);
+    ScopedEnv set("GMT_TEST_KNOB", "x");
+    EXPECT_STREQ(util::envRaw("GMT_TEST_KNOB"), "x");
+}
+
+TEST(Env, SwitchParsesTheUsualSpellings)
+{
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "1");
+        EXPECT_TRUE(util::envSwitch("GMT_TEST_KNOB", false));
+    }
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "on");
+        EXPECT_TRUE(util::envSwitch("GMT_TEST_KNOB", false));
+    }
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "0");
+        EXPECT_FALSE(util::envSwitch("GMT_TEST_KNOB", true));
+    }
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "off");
+        EXPECT_FALSE(util::envSwitch("GMT_TEST_KNOB", true));
+    }
+    {
+        ScopedEnv e("GMT_TEST_KNOB", nullptr);
+        EXPECT_TRUE(util::envSwitch("GMT_TEST_KNOB", true));
+        EXPECT_FALSE(util::envSwitch("GMT_TEST_KNOB", false));
+    }
+}
+
+TEST(EnvDeathTest, SwitchRejectsJunk)
+{
+    ScopedEnv e("GMT_TEST_KNOB", "maybe");
+    EXPECT_DEATH(util::envSwitch("GMT_TEST_KNOB", false),
+                 "GMT_TEST_KNOB");
+}
+
+TEST(Env, U64ParsesClampedRangeAndKeepsSentinelFallback)
+{
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "42");
+        EXPECT_EQ(util::envU64("GMT_TEST_KNOB", 7, 1, 100), 42u);
+    }
+    {
+        // Unset returns the fallback unchecked: "0 = auto" sentinels
+        // below the min stay expressible.
+        ScopedEnv e("GMT_TEST_KNOB", nullptr);
+        EXPECT_EQ(util::envU64("GMT_TEST_KNOB", 0, 1, 100), 0u);
+    }
+}
+
+TEST(EnvDeathTest, U64RejectsJunkAndOutOfRange)
+{
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "12abc");
+        EXPECT_DEATH(util::envU64("GMT_TEST_KNOB", 7, 1, 100),
+                     "GMT_TEST_KNOB");
+    }
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "101");
+        EXPECT_DEATH(util::envU64("GMT_TEST_KNOB", 7, 1, 100),
+                     "GMT_TEST_KNOB");
+    }
+    {
+        ScopedEnv e("GMT_TEST_KNOB", "-3");
+        EXPECT_DEATH(util::envU64("GMT_TEST_KNOB", 7, 1, 100),
+                     "GMT_TEST_KNOB");
+    }
+}
+
+TEST(Env, RegistryCoversTheKnownKnobsAndPrints)
+{
+    std::size_t count = 0;
+    const util::EnvKnob *knobs = util::envKnobs(&count);
+    ASSERT_GT(count, 0u);
+    bool sawSched = false, sawJobs = false;
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_NE(knobs[i].name, nullptr);
+        EXPECT_NE(knobs[i].what, nullptr);
+        sawSched |= std::string(knobs[i].name) == "GMT_SCHED";
+        sawJobs |= std::string(knobs[i].name) == "GMT_JOBS";
+    }
+    EXPECT_TRUE(sawSched);
+    EXPECT_TRUE(sawJobs);
+
+    std::FILE *devnull = std::fopen("/dev/null", "w");
+    ASSERT_NE(devnull, nullptr);
+    util::printEnvHelp(devnull); // must not crash
+    std::fclose(devnull);
 }

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "trace/json.hpp"
+#include "util/env.hpp"
 #include "util/logging.hpp"
 
 namespace
@@ -92,7 +93,8 @@ usage(const char *argv0)
                  "usage: %s --tag <tag> [--bench <binary>] [--out <dir>]\n"
                  "          [--min-time <seconds>] [--filter <regex>]\n"
                  "          [--from-json <file>] [--baseline <file>]\n"
-                 "          [--check <file> [--check-threshold <frac>]]\n",
+                 "          [--check <file> [--check-threshold <frac>]]\n"
+                 "          [--help-env]\n",
                  argv0);
     std::exit(2);
 }
@@ -126,7 +128,10 @@ parseArgs(int argc, char **argv)
             opt.check = next();
         else if (arg == "--check-threshold")
             opt.checkThreshold = std::atof(next().c_str());
-        else
+        else if (arg == "--help-env") {
+            gmt::util::printEnvHelp(stdout);
+            std::exit(0);
+        } else
             usage(argv[0]);
     }
     if (opt.tag.empty())

@@ -28,6 +28,17 @@
  *       every sample in long form (cell,system,workload,t_ns,shard,
  *       probe,value) for plotting. Probes named "shard<d>.<p>" land as
  *       shard=<d>, probe=<p>; other probes leave shard empty.
+ *
+ *   trace_tool slo SLO_JSONL [--breaches N]
+ *       Per-cell, per-tenant SLO monitor summary (windows, violations,
+ *       breaches, burns, worst window, EWMA rate). --breaches N appends
+ *       the N worst individual breach records. Exits 1 when any breach
+ *       was recorded, 0 on a clean run — scriptable as an SLO gate.
+ *
+ *   trace_tool flight FLIGHT_JSONL [--events]
+ *       Per-cell flight-recorder snapshot summary (trigger reason,
+ *       trigger time, ring occupancy); --events dumps every captured
+ *       ring event of every snapshot.
  */
 
 #include <algorithm>
@@ -55,7 +66,9 @@ usage()
                  "METRICS_B\n"
                  "       trace_tool regen-goldens DIR [--jobs N]\n"
                  "       trace_tool spans SPANS_JSONL [--top N]\n"
-                 "       trace_tool timeline TIMELINE_JSONL [--csv]\n");
+                 "       trace_tool timeline TIMELINE_JSONL [--csv]\n"
+                 "       trace_tool slo SLO_JSONL [--breaches N]\n"
+                 "       trace_tool flight FLIGHT_JSONL [--events]\n");
     return 2;
 }
 
@@ -357,6 +370,134 @@ runTimeline(int argc, char **argv)
 }
 
 int
+runSlo(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const std::string path = argv[0];
+    unsigned breaches = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--breaches") == 0 && i + 1 < argc) {
+            const long v = std::strtol(argv[++i], nullptr, 10);
+            if (v <= 0)
+                return usage();
+            breaches = unsigned(v);
+        } else {
+            return usage();
+        }
+    }
+
+    const auto lines = parseJsonl(path);
+    std::uint64_t totalBreaches = 0;
+    std::printf("%4s %-10s %-8s %22s %8s %10s %8s %5s %16s\n", "cell",
+                "tenant", "slo", "target", "windows", "violations",
+                "breaches", "burns", "worst_window_ns");
+    for (const auto &line : lines) {
+        const std::string type = strOf(line, "type");
+        if (type == "slo") {
+            char slo[32];
+            std::snprintf(slo, sizeof slo, "p%" PRIu64,
+                          u64Of(line, "quantile_pct"));
+            char target[32];
+            std::snprintf(target, sizeof target,
+                          "%" PRIu64 " ns/%" PRIu64 " ns",
+                          u64Of(line, "target_ns"),
+                          u64Of(line, "window_ns"));
+            totalBreaches +=
+                u64Of(line, "breaches") + u64Of(line, "burns");
+            std::printf("%4" PRIu64 " %-10s %-8s %22s %8" PRIu64
+                        " %10" PRIu64 " %8" PRIu64 " %5" PRIu64
+                        " %16" PRIu64 "\n",
+                        u64Of(line, "cell"),
+                        strOf(line, "tenant").c_str(), slo, target,
+                        u64Of(line, "windows"), u64Of(line, "violations"),
+                        u64Of(line, "breaches"), u64Of(line, "burns"),
+                        u64Of(line, "worst_window_ns"));
+        } else if (type == "dropped") {
+            std::printf("cell %" PRIu64 ": %" PRIu64
+                        " breach records dropped (ring full)\n",
+                        u64Of(line, "cell"), u64Of(line, "breaches"));
+        }
+    }
+    if (breaches > 0) {
+        std::vector<const gmt::trace::JsonValue *> recs;
+        for (const auto &line : lines)
+            if (strOf(line, "type") == "breach")
+                recs.push_back(&line);
+        std::stable_sort(recs.begin(), recs.end(),
+                         [](const gmt::trace::JsonValue *a,
+                            const gmt::trace::JsonValue *b) {
+                             return u64Of(*a, "observed_ns")
+                                 > u64Of(*b, "observed_ns");
+                         });
+        if (recs.size() > breaches)
+            recs.resize(breaches);
+        std::printf("worst %zu breaches:\n", recs.size());
+        for (const auto *r : recs) {
+            std::printf("  cell %" PRIu64 " %s %s window [%" PRIu64
+                        ", %" PRIu64 ") observed %" PRIu64
+                        " ns vs target %" PRIu64 " ns over %" PRIu64
+                        " samples%s\n",
+                        u64Of(*r, "cell"), strOf(*r, "tenant").c_str(),
+                        strOf(*r, "kind").c_str(),
+                        u64Of(*r, "window_start_ns"),
+                        u64Of(*r, "window_end_ns"),
+                        u64Of(*r, "observed_ns"), u64Of(*r, "target_ns"),
+                        u64Of(*r, "samples"),
+                        u64Of(*r, "final") ? " (final partial window)"
+                                           : "");
+        }
+    }
+    // Gate semantics: a clean monitored run exits 0, any breach exits 1.
+    return totalBreaches > 0 ? 1 : 0;
+}
+
+int
+runFlight(int argc, char **argv)
+{
+    if (argc < 1)
+        return usage();
+    const std::string path = argv[0];
+    bool events = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--events") == 0)
+            events = true;
+        else
+            return usage();
+    }
+
+    const auto lines = parseJsonl(path);
+    for (const auto &line : lines) {
+        const std::string type = strOf(line, "type");
+        if (type == "flight") {
+            std::printf("cell %" PRIu64 ": %s/%s  ring %" PRIu64
+                        " events, %" PRIu64 " recorded, %" PRIu64
+                        " snapshot(s), %" PRIu64 " dropped\n",
+                        u64Of(line, "cell"),
+                        strOf(line, "system").c_str(),
+                        strOf(line, "workload").c_str(),
+                        u64Of(line, "capacity"), u64Of(line, "recorded"),
+                        u64Of(line, "snapshots"),
+                        u64Of(line, "dropped_snapshots"));
+        } else if (type == "snapshot") {
+            std::printf("  snapshot %" PRIu64 " (%s) @%" PRIu64
+                        " ns: %" PRIu64 " events from seq %" PRIu64 "\n",
+                        u64Of(line, "id"), strOf(line, "reason").c_str(),
+                        u64Of(line, "at_ns"), u64Of(line, "events"),
+                        u64Of(line, "first_seq"));
+        } else if (type == "event" && events) {
+            std::printf("    [%" PRIu64 "] t=%" PRIu64 " %-14s a=%" PRIu64
+                        " b=%" PRIu64 " c=%" PRIu64 " tag=%" PRIu64 "\n",
+                        u64Of(line, "seq"), u64Of(line, "t_ns"),
+                        strOf(line, "kind").c_str(), u64Of(line, "a"),
+                        u64Of(line, "b"), u64Of(line, "c"),
+                        u64Of(line, "tag"));
+        }
+    }
+    return 0;
+}
+
+int
 runDiff(int argc, char **argv)
 {
     double tol = 0.0;
@@ -427,5 +568,9 @@ main(int argc, char **argv)
         return runSpans(argc - 2, argv + 2);
     if (cmd == "timeline")
         return runTimeline(argc - 2, argv + 2);
+    if (cmd == "slo")
+        return runSlo(argc - 2, argv + 2);
+    if (cmd == "flight")
+        return runFlight(argc - 2, argv + 2);
     return usage();
 }
